@@ -1,0 +1,256 @@
+//! Accelerator configurations (Fig. 6) and the iso-compute-area
+//! normalization used throughout the paper's evaluation.
+//!
+//! The baseline accelerator is a 4×4 array of tiles with 6×8 FP16 PEs each
+//! (768 PEs).  Every other accelerator is given the *same compute area*: its
+//! PE count is the baseline PE area budget divided by its PE's relative area,
+//! which is how the paper makes BitMoD's smaller bit-serial PE translate into
+//! a larger array (8×8 per tile, Table X).
+
+use crate::pe::PeKind;
+use serde::{Deserialize, Serialize};
+
+/// Number of PE tiles (4 × 4 systolic arrangement).
+pub const NUM_TILES: usize = 16;
+/// PEs per tile of the baseline FP16 accelerator (6 × 8).
+pub const BASELINE_PES_PER_TILE: usize = 48;
+/// Nominal clock frequency in GHz.
+pub const FREQUENCY_GHZ: f64 = 1.0;
+/// Weight / activation buffer capacity in bytes (512 KB each).
+pub const BUFFER_BYTES: usize = 512 * 1024;
+/// DDR4 DRAM bandwidth in GB/s.
+pub const DRAM_GBPS: f64 = 25.6;
+
+/// The accelerators compared in Figs. 7–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorKind {
+    /// Baseline accelerator with FP16 weights and FP16 MAC PEs.
+    BaselineFp16,
+    /// ANT (adaptive data type, bit-parallel PEs, per-channel quantization).
+    Ant,
+    /// OliVe (outlier–victim pairs, bit-parallel PEs, per-channel quantization).
+    Olive,
+    /// BitMoD in the lossless configuration (INT6 weights).
+    BitModLossless,
+    /// BitMoD in the lossy configuration (4-bit discriminative / 3-bit
+    /// generative weights).
+    BitModLossy,
+}
+
+impl AcceleratorKind {
+    /// All accelerator kinds in the order the figures plot them.
+    pub const ALL: [AcceleratorKind; 5] = [
+        AcceleratorKind::BaselineFp16,
+        AcceleratorKind::Ant,
+        AcceleratorKind::Olive,
+        AcceleratorKind::BitModLossless,
+        AcceleratorKind::BitModLossy,
+    ];
+
+    /// Builds the accelerator configuration for this kind.
+    pub fn build(&self) -> Accelerator {
+        Accelerator::of_kind(*self)
+    }
+}
+
+/// A fully specified accelerator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Display name ("BitMoD (lossy)" …).
+    pub name: String,
+    /// Which of the paper's accelerators this is.
+    pub kind: AcceleratorKind,
+    /// PE microarchitecture.
+    pub pe_kind: PeKind,
+    /// Total number of PEs under the iso-compute-area constraint.
+    pub num_pes: usize,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Weight buffer capacity in bytes.
+    pub weight_buffer_bytes: usize,
+    /// Activation buffer capacity in bytes.
+    pub act_buffer_bytes: usize,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Whether the accelerator supports per-group dequantization in hardware
+    /// (only BitMoD does; ANT/OliVe are limited to per-channel scales).
+    pub per_group_dequant: bool,
+    /// Weight precision (bits) used for discriminative tasks.
+    pub weight_bits_discriminative: u8,
+    /// Weight precision (bits) used for generative tasks.
+    pub weight_bits_generative: u8,
+    /// Extra metadata bits per weight (per-group scale + selector amortized).
+    pub weight_metadata_bits: f64,
+}
+
+impl Accelerator {
+    /// Builds the configuration of one of the paper's accelerators.
+    ///
+    /// The per-task weight precisions encode the accuracy argument of
+    /// Section V-C: the baseline keeps FP16; lossless BitMoD uses INT6
+    /// (negligible loss per Table II); lossy BitMoD uses 4-bit weights for
+    /// discriminative and 3-bit for generative tasks (Tables VI/VII); ANT and
+    /// OliVe use 4-bit for discriminative tasks but need a higher precision
+    /// for generative tasks because their per-channel quantization cannot
+    /// hold perplexity at very low precision (ANT more so than OliVe).
+    pub fn of_kind(kind: AcceleratorKind) -> Accelerator {
+        let baseline_budget = (NUM_TILES * BASELINE_PES_PER_TILE) as f64;
+        let make = |name: &str,
+                    pe_kind: PeKind,
+                    per_group: bool,
+                    bits_disc: u8,
+                    bits_gen: u8,
+                    metadata_bits: f64| {
+            Accelerator {
+                name: name.to_string(),
+                kind,
+                pe_kind,
+                num_pes: (baseline_budget / pe_kind.relative_area()).floor() as usize,
+                frequency_ghz: FREQUENCY_GHZ,
+                weight_buffer_bytes: BUFFER_BYTES,
+                act_buffer_bytes: BUFFER_BYTES,
+                dram_gbps: DRAM_GBPS,
+                per_group_dequant: per_group,
+                weight_bits_discriminative: bits_disc,
+                weight_bits_generative: bits_gen,
+                weight_metadata_bits: metadata_bits,
+            }
+        };
+        match kind {
+            AcceleratorKind::BaselineFp16 => {
+                make("Baseline FP16", PeKind::Fp16Mac, false, 16, 16, 0.0)
+            }
+            // ANT stores a per-channel FP16 scale and a 2-bit type selector;
+            // amortized over a 4096-wide channel that is negligible.
+            AcceleratorKind::Ant => make("ANT", PeKind::Ant, false, 4, 5, 0.01),
+            AcceleratorKind::Olive => make("OliVe", PeKind::Olive, false, 4, 4, 0.01),
+            // BitMoD: 8-bit scale + 2-bit selector per 128-group = 10/128.
+            AcceleratorKind::BitModLossless => make(
+                "BitMoD (lossless)",
+                PeKind::BitSerial,
+                true,
+                6,
+                6,
+                10.0 / 128.0,
+            ),
+            AcceleratorKind::BitModLossy => make(
+                "BitMoD (lossy)",
+                PeKind::BitSerial,
+                true,
+                4,
+                3,
+                10.0 / 128.0,
+            ),
+        }
+    }
+
+    /// Weight precision used for a task.
+    pub fn weight_bits(&self, generative: bool) -> u8 {
+        if generative {
+            self.weight_bits_generative
+        } else {
+            self.weight_bits_discriminative
+        }
+    }
+
+    /// Effective storage bits per quantized weight (precision + metadata).
+    pub fn effective_weight_bits(&self, generative: bool) -> f64 {
+        self.weight_bits(generative) as f64 + self.weight_metadata_bits
+    }
+
+    /// Peak MAC throughput (MACs per cycle over the whole array) at the given
+    /// weight precision.
+    pub fn peak_macs_per_cycle(&self, weight_bits: u8) -> f64 {
+        self.num_pes as f64 * self.pe_kind.macs_per_cycle(weight_bits)
+    }
+
+    /// DRAM bytes transferred per clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_gbps / self.frequency_ghz
+    }
+
+    /// Total PE-array area in units of one baseline FP16 PE (≈ constant across
+    /// accelerators by construction — the iso-area constraint).
+    pub fn relative_compute_area(&self) -> f64 {
+        self.num_pes as f64 * self.pe_kind.relative_area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_768_pes() {
+        let acc = AcceleratorKind::BaselineFp16.build();
+        assert_eq!(acc.num_pes, 768);
+        assert_eq!(acc.weight_bits(true), 16);
+    }
+
+    #[test]
+    fn iso_area_holds_within_one_pe() {
+        let budget = (NUM_TILES * BASELINE_PES_PER_TILE) as f64;
+        for kind in AcceleratorKind::ALL {
+            let acc = kind.build();
+            let area = acc.relative_compute_area();
+            assert!(
+                area <= budget && area > budget - 1.5,
+                "{}: area {area} vs budget {budget}",
+                acc.name
+            );
+        }
+    }
+
+    #[test]
+    fn bitmod_fits_more_pes_than_baseline() {
+        let bitmod = AcceleratorKind::BitModLossy.build();
+        let baseline = AcceleratorKind::BaselineFp16.build();
+        assert!(bitmod.num_pes > baseline.num_pes);
+        // Table X: roughly 64 vs 48 PEs per tile -> ~1.33x.
+        let ratio = bitmod.num_pes as f64 / baseline.num_pes as f64;
+        assert!(ratio > 1.25 && ratio < 1.45, "ratio {ratio}");
+    }
+
+    #[test]
+    fn only_bitmod_supports_per_group_dequantization() {
+        for kind in AcceleratorKind::ALL {
+            let acc = kind.build();
+            let expect = matches!(
+                kind,
+                AcceleratorKind::BitModLossless | AcceleratorKind::BitModLossy
+            );
+            assert_eq!(acc.per_group_dequant, expect, "{}", acc.name);
+        }
+    }
+
+    #[test]
+    fn lossy_bitmod_uses_3_bit_for_generation_and_4_bit_for_discriminative() {
+        let acc = AcceleratorKind::BitModLossy.build();
+        assert_eq!(acc.weight_bits(false), 4);
+        assert_eq!(acc.weight_bits(true), 3);
+        assert!(acc.effective_weight_bits(true) > 3.0);
+    }
+
+    #[test]
+    fn ant_needs_higher_precision_for_generation_than_olive() {
+        let ant = AcceleratorKind::Ant.build();
+        let olive = AcceleratorKind::Olive.build();
+        assert!(ant.weight_bits(true) > olive.weight_bits(true));
+    }
+
+    #[test]
+    fn peak_throughput_reflects_bit_serial_scaling() {
+        let bitmod = AcceleratorKind::BitModLossy.build();
+        let t4 = bitmod.peak_macs_per_cycle(4);
+        let t8 = bitmod.peak_macs_per_cycle(8);
+        assert!((t4 / t8 - 2.0).abs() < 1e-9);
+        let baseline = AcceleratorKind::BaselineFp16.build();
+        assert!(t4 > 2.0 * baseline.peak_macs_per_cycle(16));
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_matches_bandwidth() {
+        let acc = AcceleratorKind::BaselineFp16.build();
+        assert!((acc.dram_bytes_per_cycle() - 25.6).abs() < 1e-9);
+    }
+}

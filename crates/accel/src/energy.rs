@@ -1,0 +1,89 @@
+//! Energy and area constants of the hardware model.
+//!
+//! The paper obtains these numbers from Synopsys DC (28 nm), CACTI and
+//! DRAMSim3.  None of those tools are available here, so the model uses the
+//! calibration points the paper itself reports (Table X) plus standard
+//! per-access energy figures for DDR4 and on-chip SRAM.  All figures are at
+//! 1 GHz and expressed in picojoules.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM (DDR4) access energy per byte, ≈20 pJ/bit.
+pub const DRAM_PJ_PER_BYTE: f64 = 160.0;
+
+/// On-chip SRAM (512 KB banked buffer) access energy per byte, CACTI-like
+/// figure for 28 nm.
+pub const SRAM_PJ_PER_BYTE: f64 = 4.0;
+
+/// Energy per cycle of one baseline FP16 PE, from Table X:
+/// 36.96 mW / 48 PEs at 1 GHz ≈ 0.77 pJ/cycle.
+pub const BASE_PE_PJ_PER_CYCLE: f64 = 0.77;
+
+/// Area of one baseline FP16 PE in µm², from Table X: 95,498 µm² / 48 PEs.
+pub const BASE_PE_AREA_UM2: f64 = 95_498.0 / 48.0;
+
+/// Area of the BitMoD bit-serial term encoder per tile, from Table X.
+pub const BITMOD_ENCODER_AREA_UM2: f64 = 2_419.0;
+
+/// Power of the BitMoD bit-serial term encoder per tile, from Table X (mW).
+pub const BITMOD_ENCODER_POWER_MW: f64 = 1.86;
+
+/// Energy breakdown of one simulated execution, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Off-chip DRAM access energy.
+    pub dram_pj: f64,
+    /// On-chip buffer (SRAM) access energy.
+    pub buffer_pj: f64,
+    /// PE-array (core) compute energy.
+    pub core_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.buffer_pj + self.core_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dram_pj: self.dram_pj + other.dram_pj,
+            buffer_pj: self.buffer_pj + other.buffer_pj,
+            core_pj: self.core_pj + other.core_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_access_is_far_more_expensive_than_sram() {
+        assert!(DRAM_PJ_PER_BYTE > 10.0 * SRAM_PJ_PER_BYTE);
+    }
+
+    #[test]
+    fn table_x_pe_energy_is_sub_picojoule_per_cycle() {
+        assert!(BASE_PE_PJ_PER_CYCLE > 0.5 && BASE_PE_PJ_PER_CYCLE < 1.0);
+    }
+
+    #[test]
+    fn breakdown_totals_and_addition() {
+        let a = EnergyBreakdown {
+            dram_pj: 1.0,
+            buffer_pj: 2.0,
+            core_pj: 3.0,
+        };
+        let b = a.add(&a);
+        assert_eq!(a.total_pj(), 6.0);
+        assert_eq!(b.total_pj(), 12.0);
+        assert!((a.total_joules() - 6e-12).abs() < 1e-24);
+    }
+}

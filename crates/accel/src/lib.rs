@@ -1,0 +1,33 @@
+//! BitMoD accelerator simulator (Section IV of the paper).
+//!
+//! The crate models the hardware side of the co-design at three levels:
+//!
+//! * [`pe`] — functional and cycle-level models of the processing elements:
+//!   the BitMoD mixed-precision bit-serial PE (Fig. 5), the baseline FP16
+//!   multiply–accumulate PE, and the FIGNA-style bit-parallel FP–INT PEs used
+//!   in the Fig. 10 comparison.  The functional models are exact and verified
+//!   against double-precision references.
+//! * [`arch`] — accelerator configurations (Fig. 6): PE array geometry,
+//!   buffers, DRAM, and the iso-compute-area normalization used throughout
+//!   the evaluation, plus presets for the baseline FP16 accelerator, ANT,
+//!   OliVe, and the lossless / lossy BitMoD configurations.
+//! * [`sim`] — the end-to-end performance and energy model that maps every
+//!   linear layer of an LLM onto an accelerator and produces the cycle
+//!   counts, energy breakdowns, speedups and EDP numbers behind Figs. 7–9.
+//!
+//! Area and power constants are calibrated to the numbers the paper reports
+//! from Synopsys DC synthesis in 28 nm (Table X and Fig. 10); DRAM and SRAM
+//! energy constants replace DRAMSim3 / CACTI with standard per-access
+//! figures.  See `DESIGN.md` for the substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arch;
+pub mod energy;
+pub mod pe;
+pub mod sim;
+
+pub use arch::{Accelerator, AcceleratorKind};
+pub use energy::EnergyBreakdown;
+pub use sim::{simulate_model, PerfResult, Workload};

@@ -1,0 +1,368 @@
+//! Processing-element models.
+//!
+//! [`BitSerialPe`] is a functional, cycle-counted software model of the
+//! BitMoD PE datapath of Fig. 5: every cycle it multiplies four bit-serial
+//! weight terms against four FP16 activations (exponent alignment → shifted
+//! mantissa products → adder tree), accumulates the group partial sum, and —
+//! once a group's dot product is complete — dequantizes the partial sum
+//! bit-serially with the group's INT8 scaling factor.
+//!
+//! The model is *functionally exact* with respect to the mathematical
+//! definition of the bit-serial decomposition (each term contributes
+//! `±2^shift · activation`), which is what the correctness tests pin against
+//! an `f64` reference.  Rounding of the FP16 activations themselves is
+//! applied on input, mirroring the hardware interface.
+
+use bitmod_dtypes::{BitSerialTerm, WeightTermEncoder};
+use bitmod_tensor::F16;
+use serde::{Deserialize, Serialize};
+
+/// Number of parallel lanes (weight terms × activations) a PE processes per
+/// cycle, fixed to 4 in the paper's design.
+pub const PE_LANES: usize = 4;
+
+/// Cycle accounting of one group dot product on the BitMoD PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupCycles {
+    /// Cycles spent on the bit-serial multiply/accumulate of the group.
+    pub compute: u64,
+    /// Cycles of the bit-serial dequantization (8 for an INT8 scale).
+    pub dequant: u64,
+    /// Whether dequantization is fully hidden behind the next group's
+    /// compute phase (Section IV-B argues it always is for G = 128).
+    pub dequant_hidden: bool,
+}
+
+impl GroupCycles {
+    /// Effective cycles the group occupies the PE pipeline.
+    pub fn effective(&self) -> u64 {
+        if self.dequant_hidden {
+            self.compute
+        } else {
+            self.compute + self.dequant
+        }
+    }
+}
+
+/// Functional + cycle model of the BitMoD bit-serial PE.
+#[derive(Debug, Clone, Default)]
+pub struct BitSerialPe {
+    encoder: WeightTermEncoder,
+}
+
+impl BitSerialPe {
+    /// Creates a PE model.
+    pub fn new() -> Self {
+        Self {
+            encoder: WeightTermEncoder::new(),
+        }
+    }
+
+    /// Computes the dot product between quantized weight codes (already
+    /// decomposed into bit-serial terms, `terms[i]` belonging to weight `i`)
+    /// and FP16 activations, returning the accumulated value and the cycle
+    /// count.  `terms_per_weight` is the PE's fixed schedule length for the
+    /// data type (2 for FP4/FP3, 3 for INT6, 4 for INT8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms.len() != activations.len()`.
+    pub fn group_dot_product(
+        &self,
+        terms: &[Vec<BitSerialTerm>],
+        activations: &[F16],
+        terms_per_weight: u64,
+    ) -> (f64, GroupCycles) {
+        assert_eq!(
+            terms.len(),
+            activations.len(),
+            "weight and activation counts differ"
+        );
+        let mut acc = 0.0f64;
+        // The PE processes PE_LANES weights per cycle, one term each; a weight
+        // with T terms therefore occupies T cycles of its lane.
+        for (weight_terms, &act) in terms.iter().zip(activations) {
+            let a = act.to_f32() as f64;
+            for term in weight_terms {
+                // Exponent alignment + shift + add, folded into exact arithmetic.
+                acc += term.value() * a;
+            }
+        }
+        let lanes_batches = (terms.len() as u64).div_ceil(PE_LANES as u64);
+        let compute = lanes_batches * terms_per_weight;
+        let dequant = 8; // INT8 per-group scale, one bit per cycle.
+        let cycles = GroupCycles {
+            compute,
+            dequant,
+            dequant_hidden: dequant <= compute,
+        };
+        (acc, cycles)
+    }
+
+    /// Full per-group pipeline: encode integer weight codes, multiply against
+    /// FP16 activations, and dequantize with the (integer-quantized) group
+    /// scale — i.e. what one PE does for one group of an INT-quantized layer.
+    ///
+    /// Returns the dequantized partial sum and the cycle accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs have different lengths or a weight does not fit
+    /// the given bit width.
+    pub fn int_group_mac(
+        &self,
+        weight_codes: &[i32],
+        activations: &[F16],
+        bits: u8,
+        group_scale: f64,
+    ) -> (f64, GroupCycles) {
+        let terms: Vec<Vec<BitSerialTerm>> = weight_codes
+            .iter()
+            .map(|&w| self.encoder.encode_int(w, bits))
+            .collect();
+        let terms_per_weight = (bits as u64).div_ceil(2);
+        let (acc, cycles) = self.group_dot_product(&terms, activations, terms_per_weight);
+        (acc * group_scale, cycles)
+    }
+
+    /// Full per-group pipeline for extended FP4/FP3 weights: the weight values
+    /// must be members of the group's extended codebook (basic values plus the
+    /// selected special value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs have different lengths or a weight value is not a
+    /// multiple of 0.5.
+    pub fn extended_fp_group_mac(
+        &self,
+        weight_values: &[f32],
+        activations: &[F16],
+        group_scale: f64,
+    ) -> (f64, GroupCycles) {
+        let terms: Vec<Vec<BitSerialTerm>> = weight_values
+            .iter()
+            .map(|&w| self.encoder.encode_extended_fp(w, 2))
+            .collect();
+        let (acc, cycles) = self.group_dot_product(&terms, activations, 2);
+        (acc * group_scale, cycles)
+    }
+}
+
+/// Reference FP16-activation dot product in double precision (what the
+/// baseline FP16 PE computes, up to accumulation rounding).
+pub fn reference_dot(weights: &[f64], activations: &[F16]) -> f64 {
+    weights
+        .iter()
+        .zip(activations)
+        .map(|(&w, &a)| w * a.to_f32() as f64)
+        .sum()
+}
+
+/// Kinds of PEs compared in Table X and Fig. 10, with their area and power
+/// relative to the baseline FP16 multiply–accumulate PE.  The ratios are
+/// calibrated to the paper's synthesis results: the BitMoD PE is 24% smaller
+/// than the FP16 PE (Table X); FIGNA-style FP–INT8 PEs are the smallest; a
+/// decomposable FP–INT8/4 PE is *larger* than the FP16 PE because it doubles
+/// the accumulator and output registers (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeKind {
+    /// Baseline FP16 multiply–accumulate PE.
+    Fp16Mac,
+    /// BitMoD mixed-precision bit-serial PE.
+    BitSerial,
+    /// FIGNA-style bit-parallel FP16-activation × INT8-weight PE.
+    FpInt8,
+    /// Decomposable bit-parallel PE: one FP16×INT8 or two FP16×INT4 ops.
+    FpInt8Int4,
+    /// ANT decoder + bit-parallel PE.
+    Ant,
+    /// OliVe outlier-aware decoder + bit-parallel PE.
+    Olive,
+}
+
+impl PeKind {
+    /// Area relative to the baseline FP16 PE (1.0).
+    pub fn relative_area(&self) -> f64 {
+        match self {
+            // Table X: 95,498/48 µm² baseline vs 97,090/64 µm² BitMoD => 0.76.
+            PeKind::Fp16Mac => 1.0,
+            PeKind::BitSerial => 0.76,
+            // Fig. 10: FP-INT8 is the smallest; the decomposable PE exceeds FP16.
+            PeKind::FpInt8 => 0.62,
+            PeKind::FpInt8Int4 => 1.08,
+            // ANT / OliVe bit-parallel PEs with their data-type decoders,
+            // calibrated so the iso-area speedups of Fig. 7 are reproduced.
+            PeKind::Ant => 0.70,
+            PeKind::Olive => 0.64,
+        }
+    }
+
+    /// Power relative to the baseline FP16 PE at the same frequency.
+    pub fn relative_power(&self) -> f64 {
+        match self {
+            // Table X: 36.96 mW / 48 PEs vs (37.5 + 1.86) mW / 64 PEs => 0.80.
+            PeKind::Fp16Mac => 1.0,
+            PeKind::BitSerial => 0.80,
+            PeKind::FpInt8 => 0.60,
+            PeKind::FpInt8Int4 => 1.12,
+            PeKind::Ant => 0.72,
+            PeKind::Olive => 0.68,
+        }
+    }
+
+    /// Peak multiply–accumulate throughput per cycle for a weight data type of
+    /// `weight_bits` effective precision.
+    ///
+    /// * The baseline FP16 PE and the bit-parallel PEs perform one MAC per
+    ///   cycle regardless of weight precision (the decomposable PE performs
+    ///   two at 4-bit).
+    /// * The BitMoD PE processes [`PE_LANES`] weights in `ceil(bits/2)` cycles
+    ///   (2 cycles for FP4/FP3, 3 for INT5/6, 4 for INT8), Section IV-B.
+    pub fn macs_per_cycle(&self, weight_bits: u8) -> f64 {
+        match self {
+            PeKind::Fp16Mac | PeKind::FpInt8 | PeKind::Ant | PeKind::Olive => 1.0,
+            PeKind::FpInt8Int4 => {
+                if weight_bits <= 4 {
+                    2.0
+                } else {
+                    1.0
+                }
+            }
+            PeKind::BitSerial => {
+                let terms = (weight_bits.clamp(2, 16) as f64 / 2.0).ceil();
+                PE_LANES as f64 / terms
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod_dtypes::bitmod::BitModFamily;
+    use bitmod_tensor::SeededRng;
+
+    fn random_activations(n: usize, rng: &mut SeededRng) -> Vec<F16> {
+        (0..n).map(|_| F16::from_f32(rng.normal(0.0, 1.0) as f32)).collect()
+    }
+
+    #[test]
+    fn int8_group_mac_matches_reference_exactly() {
+        let pe = BitSerialPe::new();
+        let mut rng = SeededRng::new(1);
+        for _ in 0..20 {
+            let codes: Vec<i32> = (0..128).map(|_| rng.below(255) as i32 - 127).collect();
+            let acts = random_activations(128, &mut rng);
+            let scale = 0.013;
+            let (got, cycles) = pe.int_group_mac(&codes, &acts, 8, scale);
+            let want = reference_dot(&codes.iter().map(|&c| c as f64).collect::<Vec<_>>(), &acts) * scale;
+            assert!((got - want).abs() < 1e-6, "got {got} want {want}");
+            assert_eq!(cycles.compute, 128 / 4 * 4);
+        }
+    }
+
+    #[test]
+    fn int6_group_mac_matches_reference_and_takes_three_cycles_per_batch() {
+        let pe = BitSerialPe::new();
+        let mut rng = SeededRng::new(2);
+        let codes: Vec<i32> = (0..128).map(|_| rng.below(63) as i32 - 31).collect();
+        let acts = random_activations(128, &mut rng);
+        let (got, cycles) = pe.int_group_mac(&codes, &acts, 6, 1.0);
+        let want = reference_dot(&codes.iter().map(|&c| c as f64).collect::<Vec<_>>(), &acts);
+        assert!((got - want).abs() < 1e-6);
+        assert_eq!(cycles.compute, 128 / 4 * 3);
+    }
+
+    #[test]
+    fn extended_fp_group_mac_matches_reference() {
+        let pe = BitSerialPe::new();
+        let mut rng = SeededRng::new(3);
+        for fam in [BitModFamily::fp3(), BitModFamily::fp4()] {
+            for member in fam.members() {
+                let cb = member.codebook();
+                let values: Vec<f32> = (0..128)
+                    .map(|_| cb.values()[rng.below(cb.len())])
+                    .collect();
+                let acts = random_activations(128, &mut rng);
+                let scale = 0.021;
+                let (got, cycles) = pe.extended_fp_group_mac(&values, &acts, scale);
+                let want =
+                    reference_dot(&values.iter().map(|&v| v as f64).collect::<Vec<_>>(), &acts) * scale;
+                assert!(
+                    (got - want).abs() < 1e-5,
+                    "{}: got {got} want {want}",
+                    member.name()
+                );
+                assert_eq!(cycles.compute, 128 / 4 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn dequantization_never_stalls_the_pipeline_for_group_128() {
+        // Section IV-B: even FP3 (2 terms) needs 64 cycles per 128-group,
+        // far above the 8-cycle dequantization.
+        let pe = BitSerialPe::new();
+        let mut rng = SeededRng::new(4);
+        let values: Vec<f32> = (0..128).map(|_| if rng.bernoulli(0.5) { 1.0 } else { -2.0 }).collect();
+        let acts = random_activations(128, &mut rng);
+        let (_, cycles) = pe.extended_fp_group_mac(&values, &acts, 1.0);
+        assert!(cycles.dequant_hidden);
+        assert_eq!(cycles.effective(), cycles.compute);
+    }
+
+    #[test]
+    fn dequantization_can_stall_for_unrealistically_small_groups() {
+        let pe = BitSerialPe::new();
+        let mut rng = SeededRng::new(5);
+        let values = vec![1.0f32; 8];
+        let acts = random_activations(8, &mut rng);
+        let (_, cycles) = pe.extended_fp_group_mac(&values, &acts, 1.0);
+        // 8 weights / 4 lanes * 2 terms = 4 cycles < 8 dequant cycles.
+        assert!(!cycles.dequant_hidden);
+        assert_eq!(cycles.effective(), cycles.compute + cycles.dequant);
+    }
+
+    #[test]
+    fn bitserial_pe_throughput_matches_section_iv() {
+        assert_eq!(PeKind::BitSerial.macs_per_cycle(3), 2.0);
+        assert_eq!(PeKind::BitSerial.macs_per_cycle(4), 2.0);
+        assert!((PeKind::BitSerial.macs_per_cycle(6) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(PeKind::BitSerial.macs_per_cycle(8), 1.0);
+        assert_eq!(PeKind::Fp16Mac.macs_per_cycle(16), 1.0);
+        assert_eq!(PeKind::FpInt8Int4.macs_per_cycle(4), 2.0);
+    }
+
+    #[test]
+    fn bitmod_pe_is_24_percent_smaller_than_fp16_pe() {
+        let ratio = PeKind::BitSerial.relative_area() / PeKind::Fp16Mac.relative_area();
+        assert!((ratio - 0.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn decomposable_bit_parallel_pe_is_larger_than_fp16_pe() {
+        // Fig. 10's point: supporting two FP16×INT4 ops in a bit-parallel PE
+        // costs more area/power than the plain FP16 PE.
+        assert!(PeKind::FpInt8Int4.relative_area() > PeKind::Fp16Mac.relative_area());
+        assert!(PeKind::FpInt8Int4.relative_power() > PeKind::Fp16Mac.relative_power());
+        // While the non-decomposable FP-INT8 PE is the smallest of all.
+        for k in [PeKind::Fp16Mac, PeKind::BitSerial, PeKind::FpInt8Int4, PeKind::Ant, PeKind::Olive] {
+            assert!(PeKind::FpInt8.relative_area() <= k.relative_area());
+        }
+    }
+
+    #[test]
+    fn subnormal_and_negative_activations_are_handled() {
+        let pe = BitSerialPe::new();
+        let acts = vec![
+            F16::from_f32(-0.5),
+            F16::from_f32(2.0f32.powi(-20)),
+            F16::from_f32(0.0),
+            F16::from_f32(-3.25),
+        ];
+        let codes = vec![3, -4, 7, -8];
+        let (got, _) = pe.int_group_mac(&codes, &acts, 4, 2.0);
+        let want = reference_dot(&[3.0, -4.0, 7.0, -8.0], &acts) * 2.0;
+        assert!((got - want).abs() < 1e-9);
+    }
+}

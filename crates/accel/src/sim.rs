@@ -1,0 +1,412 @@
+//! End-to-end performance and energy model (Figs. 7, 8 and 9).
+//!
+//! The simulator maps every decoder layer of an LLM onto an accelerator and
+//! accounts for compute cycles (peak MACs/cycle at the configured weight
+//! precision), DRAM cycles (weights, activations, KV-cache at the configured
+//! bandwidth) and energy (DRAM + buffer + core).  Prefill and decode phases
+//! are modelled separately: prefill processes the whole prompt and is
+//! compute-bound for the evaluated models, while each decode step re-streams
+//! the full weight tensor and is memory-bound — which is exactly the
+//! asymmetry that makes low-precision weights pay off for generation.
+
+use crate::arch::Accelerator;
+use crate::energy::{
+    EnergyBreakdown, BASE_PE_PJ_PER_CYCLE, DRAM_PJ_PER_BYTE, SRAM_PJ_PER_BYTE,
+};
+use bitmod_llm::config::LlmConfig;
+use bitmod_llm::memory::TaskShape;
+use serde::{Deserialize, Serialize};
+
+pub use crate::energy::EnergyBreakdown as Energy;
+
+/// A simulation workload: one LLM under one task shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Workload {
+    /// The model configuration.
+    pub llm: LlmConfig,
+    /// The sequence-length setup.
+    pub task: TaskShape,
+}
+
+impl Workload {
+    /// Whether this workload is generative (more than one output token).
+    pub fn is_generative(&self) -> bool {
+        self.task.output_tokens > 1
+    }
+}
+
+/// Result of simulating one workload on one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfResult {
+    /// Cycles spent in the prefill phase.
+    pub prefill_cycles: f64,
+    /// Cycles spent in the decode phase.
+    pub decode_cycles: f64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: f64,
+    /// Total multiply–accumulate operations executed.
+    pub macs: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Clock frequency used, for converting cycles to seconds.
+    pub frequency_ghz: f64,
+}
+
+impl PerfResult {
+    /// Total cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.prefill_cycles + self.decode_cycles
+    }
+
+    /// Execution time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles() / (self.frequency_ghz * 1e9)
+    }
+
+    /// Speedup of this result relative to `baseline` (higher is better).
+    pub fn speedup_over(&self, baseline: &PerfResult) -> f64 {
+        baseline.total_cycles() / self.total_cycles()
+    }
+
+    /// Energy-delay product in joule-seconds.
+    pub fn edp(&self) -> f64 {
+        self.energy.total_joules() * self.seconds()
+    }
+
+    /// Energy relative to `baseline` (lower is better).
+    pub fn energy_ratio(&self, baseline: &PerfResult) -> f64 {
+        self.energy.total_pj() / baseline.energy.total_pj()
+    }
+}
+
+/// Simulates `workload` on `accel` using the accelerator's own per-task
+/// weight precision (lossless/lossy configuration).
+pub fn simulate_model(accel: &Accelerator, workload: &Workload) -> PerfResult {
+    let bits = accel.weight_bits(workload.is_generative());
+    simulate_with_precision(accel, workload, bits)
+}
+
+/// Simulates `workload` on `accel` with an explicit weight precision — used
+/// by the perplexity–EDP Pareto sweep of Fig. 9.
+pub fn simulate_with_precision(
+    accel: &Accelerator,
+    workload: &Workload,
+    weight_bits: u8,
+) -> PerfResult {
+    let cfg = &workload.llm;
+    let task = workload.task;
+    let eff_bits = weight_bits as f64
+        + if weight_bits < 16 {
+            accel.weight_metadata_bits
+        } else {
+            0.0
+        };
+    let weight_bytes = cfg.weight_bytes(eff_bits);
+    let act_elem_bytes = 2.0; // FP16 activations
+    // BitMoD (and the baseline paper setup) quantize the KV cache to INT8;
+    // accelerators without a suitable compute path keep it FP16.
+    let kv_elem_bytes = if accel.per_group_dequant { 1.0 } else { 2.0 };
+
+    let mut total = PhaseTotals::default();
+
+    // --- Prefill ---
+    let prompt = task.input_tokens as f64;
+    let prefill = simulate_phase(
+        accel,
+        cfg,
+        PhaseShape {
+            new_tokens: prompt,
+            context_len: prompt,
+            scored_positions: 1.0,
+        },
+        weight_bits,
+        weight_bytes,
+        act_elem_bytes,
+        kv_elem_bytes,
+    );
+    total.accumulate(&prefill);
+    let prefill_cycles = prefill.cycles;
+
+    // --- Decode ---
+    let mut decode_cycles = 0.0;
+    for step in 1..task.output_tokens {
+        let ctx = (task.input_tokens + step) as f64;
+        let phase = simulate_phase(
+            accel,
+            cfg,
+            PhaseShape {
+                new_tokens: 1.0,
+                context_len: ctx,
+                scored_positions: 1.0,
+            },
+            weight_bits,
+            weight_bytes,
+            act_elem_bytes,
+            kv_elem_bytes,
+        );
+        decode_cycles += phase.cycles;
+        total.accumulate(&phase);
+    }
+
+    let energy = EnergyBreakdown {
+        dram_pj: total.dram_bytes * DRAM_PJ_PER_BYTE,
+        // Every DRAM byte passes through a buffer (write + read) and operand
+        // reuse inside the PE array adds roughly half a byte of buffer traffic
+        // per MAC.
+        buffer_pj: (2.0 * total.dram_bytes + 0.5 * total.macs) * SRAM_PJ_PER_BYTE,
+        core_pj: total.pe_work_cycles * accel.pe_kind.relative_power() * BASE_PE_PJ_PER_CYCLE,
+    };
+
+    PerfResult {
+        prefill_cycles,
+        decode_cycles,
+        dram_bytes: total.dram_bytes,
+        macs: total.macs,
+        energy,
+        frequency_ghz: accel.frequency_ghz,
+    }
+}
+
+/// Shape of one execution phase: how many new tokens are processed against
+/// how long a context.
+#[derive(Debug, Clone, Copy)]
+struct PhaseShape {
+    new_tokens: f64,
+    context_len: f64,
+    scored_positions: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PhaseResult {
+    cycles: f64,
+    dram_bytes: f64,
+    macs: f64,
+    pe_work_cycles: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseTotals {
+    dram_bytes: f64,
+    macs: f64,
+    pe_work_cycles: f64,
+}
+
+impl PhaseTotals {
+    fn accumulate(&mut self, phase: &PhaseResult) {
+        self.dram_bytes += phase.dram_bytes;
+        self.macs += phase.macs;
+        self.pe_work_cycles += phase.pe_work_cycles;
+    }
+}
+
+fn simulate_phase(
+    accel: &Accelerator,
+    cfg: &LlmConfig,
+    shape: PhaseShape,
+    weight_bits: u8,
+    weight_bytes: f64,
+    act_elem_bytes: f64,
+    kv_elem_bytes: f64,
+) -> PhaseResult {
+    // ---- compute ----
+    let linear_macs = cfg.linear_macs(1) as f64 * shape.new_tokens;
+    let lm_head_macs = (cfg.hidden * cfg.vocab) as f64 * shape.scored_positions;
+    // Attention score + context MACs: 2 * hidden per (query, key) pair, causal
+    // average context of new tokens ≈ context_len/2 for prefill, context_len
+    // for single-token decode.
+    let avg_ctx = if shape.new_tokens > 1.0 {
+        shape.context_len / 2.0
+    } else {
+        shape.context_len
+    };
+    let attn_macs = 2.0 * cfg.layers as f64 * cfg.hidden as f64 * shape.new_tokens * avg_ctx;
+
+    let weight_macs_per_cycle = accel.peak_macs_per_cycle(weight_bits);
+    // Attention operands (K/V) are INT8 at best; every PE performs one such
+    // MAC per cycle.
+    let attn_macs_per_cycle = accel.num_pes as f64;
+    let compute_cycles = (linear_macs + lm_head_macs) / weight_macs_per_cycle
+        + attn_macs / attn_macs_per_cycle;
+
+    // ---- memory ----
+    // Weights are streamed once per phase (the 512 KB buffer cannot hold a
+    // multi-GB tensor, so no cross-phase reuse exists).
+    let residual_bytes =
+        4.0 * cfg.hidden as f64 * cfg.layers as f64 * shape.new_tokens * act_elem_bytes;
+    let logits_bytes = (cfg.hidden + cfg.vocab) as f64 * shape.scored_positions * act_elem_bytes;
+    let kv_write_bytes =
+        2.0 * cfg.kv_dim() as f64 * cfg.layers as f64 * shape.new_tokens * kv_elem_bytes;
+    let kv_read_bytes = if shape.new_tokens > 1.0 {
+        0.0 // prefill keeps the tile's K/V slices on chip
+    } else {
+        2.0 * cfg.kv_dim() as f64 * cfg.layers as f64 * shape.context_len * kv_elem_bytes
+    };
+    let dram_bytes = weight_bytes + residual_bytes + logits_bytes + kv_write_bytes + kv_read_bytes;
+    let memory_cycles = dram_bytes / accel.dram_bytes_per_cycle();
+
+    // Compute/memory overlap through double buffering: the phase takes the
+    // longer of the two.
+    let cycles = compute_cycles.max(memory_cycles);
+
+    let macs = linear_macs + lm_head_macs + attn_macs;
+    let pe_work_cycles = (linear_macs + lm_head_macs)
+        / accel.pe_kind.macs_per_cycle(weight_bits)
+        + attn_macs;
+    PhaseResult {
+        cycles,
+        dram_bytes,
+        macs,
+        pe_work_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::AcceleratorKind;
+    use bitmod_llm::config::LlmModel;
+
+    fn workload(model: LlmModel, generative: bool) -> Workload {
+        Workload {
+            llm: model.config(),
+            task: if generative {
+                TaskShape::GENERATIVE
+            } else {
+                TaskShape::DISCRIMINATIVE
+            },
+        }
+    }
+
+    fn run(kind: AcceleratorKind, model: LlmModel, generative: bool) -> PerfResult {
+        simulate_model(&kind.build(), &workload(model, generative))
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_and_decode_is_memory_bound_on_the_baseline() {
+        let acc = AcceleratorKind::BaselineFp16.build();
+        let w = workload(LlmModel::Llama2_7B, true);
+        let r = simulate_model(&acc, &w);
+        // Decode dominates the generative runtime on a memory-bound system.
+        assert!(r.decode_cycles > 10.0 * r.prefill_cycles);
+    }
+
+    #[test]
+    fn lossless_bitmod_speedup_is_about_2x_over_the_baseline() {
+        // Fig. 7: lossless BitMoD achieves 1.99x (discriminative) and 2.41x
+        // (generative) on average; the simulator should land in that region.
+        let mut disc = Vec::new();
+        let mut gen = Vec::new();
+        for model in LlmModel::ALL {
+            let base_d = run(AcceleratorKind::BaselineFp16, model, false);
+            let base_g = run(AcceleratorKind::BaselineFp16, model, true);
+            disc.push(run(AcceleratorKind::BitModLossless, model, false).speedup_over(&base_d));
+            gen.push(run(AcceleratorKind::BitModLossless, model, true).speedup_over(&base_g));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let d = mean(&disc);
+        let g = mean(&gen);
+        assert!(d > 1.5 && d < 2.6, "discriminative lossless speedup {d}");
+        assert!(g > 1.9 && g < 3.2, "generative lossless speedup {g}");
+        assert!(g > d, "generative should benefit more from weight compression");
+    }
+
+    #[test]
+    fn lossy_bitmod_beats_ant_and_olive_on_both_tasks() {
+        // Fig. 7: lossy BitMoD vs ANT ≈ 1.72x/1.66x and vs OliVe ≈ 1.56x/1.39x.
+        for generative in [false, true] {
+            let mut vs_ant = Vec::new();
+            let mut vs_olive = Vec::new();
+            for model in LlmModel::ALL {
+                let bitmod = run(AcceleratorKind::BitModLossy, model, generative);
+                let ant = run(AcceleratorKind::Ant, model, generative);
+                let olive = run(AcceleratorKind::Olive, model, generative);
+                vs_ant.push(ant.total_cycles() / bitmod.total_cycles());
+                vs_olive.push(olive.total_cycles() / bitmod.total_cycles());
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let a = mean(&vs_ant);
+            let o = mean(&vs_olive);
+            assert!(a > 1.2 && a < 2.3, "generative={generative} vs ANT {a}");
+            assert!(o > 1.1 && o < 2.0, "generative={generative} vs OliVe {o}");
+            assert!(a > o, "ANT should trail OliVe (paper: 1.72 vs 1.56)");
+        }
+    }
+
+    #[test]
+    fn every_quantized_accelerator_beats_the_fp16_baseline() {
+        for model in [LlmModel::Opt1_3B, LlmModel::Llama3_8B] {
+            for generative in [false, true] {
+                let base = run(AcceleratorKind::BaselineFp16, model, generative);
+                for kind in [
+                    AcceleratorKind::Ant,
+                    AcceleratorKind::Olive,
+                    AcceleratorKind::BitModLossless,
+                    AcceleratorKind::BitModLossy,
+                ] {
+                    let r = run(kind, model, generative);
+                    assert!(
+                        r.speedup_over(&base) > 1.0,
+                        "{:?} should beat the baseline on {} (gen={generative})",
+                        kind,
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitmod_energy_efficiency_beats_the_baseline_by_about_2x() {
+        // Fig. 8: lossless BitMoD has ~2.31x better energy efficiency.
+        let mut ratios = Vec::new();
+        for model in LlmModel::ALL {
+            for generative in [false, true] {
+                let base = run(AcceleratorKind::BaselineFp16, model, generative);
+                let bm = run(AcceleratorKind::BitModLossless, model, generative);
+                ratios.push(base.energy.total_pj() / bm.energy.total_pj());
+            }
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean > 1.7 && mean < 3.2, "energy efficiency {mean}");
+    }
+
+    #[test]
+    fn dram_energy_dominates_generative_workloads() {
+        // Fig. 8's breakdown: DRAM is the largest component for generation.
+        let r = run(AcceleratorKind::BaselineFp16, LlmModel::Llama2_13B, true);
+        assert!(r.energy.dram_pj > r.energy.core_pj);
+        assert!(r.energy.dram_pj > r.energy.buffer_pj);
+    }
+
+    #[test]
+    fn lower_precision_gives_lower_edp_on_memory_bound_generation() {
+        // The Fig. 9 Pareto direction: for the same accelerator, fewer weight
+        // bits means lower EDP on generative workloads.
+        let acc = AcceleratorKind::BitModLossy.build();
+        let w = workload(LlmModel::Phi2B, true);
+        let edp3 = simulate_with_precision(&acc, &w, 3).edp();
+        let edp4 = simulate_with_precision(&acc, &w, 4).edp();
+        let edp6 = simulate_with_precision(&acc, &w, 6).edp();
+        let edp8 = simulate_with_precision(&acc, &w, 8).edp();
+        assert!(edp3 < edp4 && edp4 < edp6 && edp6 < edp8);
+    }
+
+    #[test]
+    fn speedup_and_edp_helpers_are_consistent() {
+        let base = run(AcceleratorKind::BaselineFp16, LlmModel::Opt1_3B, false);
+        let fast = run(AcceleratorKind::BitModLossy, LlmModel::Opt1_3B, false);
+        assert!(fast.seconds() < base.seconds());
+        assert!(fast.speedup_over(&base) > 1.0);
+        assert!((fast.speedup_over(&base) - base.total_cycles() / fast.total_cycles()).abs() < 1e-12);
+        assert!(fast.edp() < base.edp());
+        assert!(fast.energy_ratio(&base) < 1.0);
+    }
+
+    #[test]
+    fn larger_models_take_longer() {
+        let small = run(AcceleratorKind::BitModLossy, LlmModel::Opt1_3B, true);
+        let large = run(AcceleratorKind::BitModLossy, LlmModel::Llama2_13B, true);
+        assert!(large.total_cycles() > 2.0 * small.total_cycles());
+        assert!(large.dram_bytes > 2.0 * small.dram_bytes);
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion benchmarks of Algorithm 1 (fine-grained data-type adaptation):
+//! the per-group special-value search that runs once per weight group at
+//! quantization time.
+
+use bitmod::dtypes::bitmod::BitModFamily;
+use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_slice};
+use bitmod::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_single_group(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let group = LlmModel::Llama2_7B
+        .weight_profile()
+        .sample_vector(128, &mut rng);
+    let mut bench = c.benchmark_group("algorithm1_single_group_128");
+    for bits in [3u8, 4u8] {
+        let family = BitModFamily::for_bits(bits);
+        bench.bench_with_input(BenchmarkId::from_parameter(bits), &family, |b, fam| {
+            b.iter(|| adaptive_quantize_group(&group, fam))
+        });
+    }
+    bench.finish();
+}
+
+fn bench_full_channel(c: &mut Criterion) {
+    let mut rng = SeededRng::new(4);
+    let channel = LlmModel::Llama2_7B
+        .weight_profile()
+        .sample_vector(4096, &mut rng);
+    let family = BitModFamily::fp4();
+    c.bench_function("algorithm1_channel_4096_g128", |b| {
+        b.iter(|| adaptive_quantize_slice(&channel, &family, 128))
+    });
+}
+
+criterion_group!(benches, bench_single_group, bench_full_channel);
+criterion_main!(benches);

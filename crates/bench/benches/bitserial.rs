@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the unified bit-serial representation: Booth
+//! encoding of integer weights and CSD/LOD decomposition of the extended
+//! FP4/FP3 values (the software model of the bit-serial term generator).
+
+use bitmod::dtypes::bitmod::BitModFamily;
+use bitmod::dtypes::{booth, WeightTermEncoder};
+use bitmod::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_booth_encoding(c: &mut Criterion) {
+    let mut rng = SeededRng::new(5);
+    let values: Vec<i32> = (0..4096).map(|_| rng.below(255) as i32 - 127).collect();
+    c.bench_function("booth_encode_4096_int8", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&v| booth::encode(v, 8).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_term_encoder(c: &mut Criterion) {
+    let enc = WeightTermEncoder::new();
+    let mut rng = SeededRng::new(6);
+    let int_values: Vec<i32> = (0..4096).map(|_| rng.below(63) as i32 - 31).collect();
+    c.bench_function("term_encode_4096_int6", |b| {
+        b.iter(|| {
+            int_values
+                .iter()
+                .map(|&v| enc.encode_int(v, 6).len())
+                .sum::<usize>()
+        })
+    });
+
+    let fam = BitModFamily::fp4();
+    let cb = fam.members()[3].codebook();
+    let fp_values: Vec<f32> = (0..4096).map(|_| cb.values()[rng.below(cb.len())]).collect();
+    c.bench_function("term_encode_4096_extended_fp4", |b| {
+        b.iter(|| {
+            fp_values
+                .iter()
+                .map(|&v| enc.encode_extended_fp(v, 2).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_booth_encoding, bench_term_encoder);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the BitMoD PE functional model: one 128-element
+//! group dot product at the supported weight data types.
+
+use bitmod::accel::pe::BitSerialPe;
+use bitmod::dtypes::bitmod::BitModFamily;
+use bitmod::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_group_mac(c: &mut Criterion) {
+    let pe = BitSerialPe::new();
+    let mut rng = SeededRng::new(7);
+    let activations: Vec<F16> = (0..128)
+        .map(|_| F16::from_f32(rng.normal(0.0, 1.0) as f32))
+        .collect();
+
+    let int8_codes: Vec<i32> = (0..128).map(|_| rng.below(255) as i32 - 127).collect();
+    c.bench_function("pe_group128_int8", |b| {
+        b.iter(|| pe.int_group_mac(&int8_codes, &activations, 8, 0.01))
+    });
+
+    let int6_codes: Vec<i32> = (0..128).map(|_| rng.below(63) as i32 - 31).collect();
+    c.bench_function("pe_group128_int6", |b| {
+        b.iter(|| pe.int_group_mac(&int6_codes, &activations, 6, 0.01))
+    });
+
+    let cb = BitModFamily::fp4().members()[1].codebook();
+    let fp4_values: Vec<f32> = (0..128).map(|_| cb.values()[rng.below(cb.len())]).collect();
+    c.bench_function("pe_group128_bitmod_fp4", |b| {
+        b.iter(|| pe.extended_fp_group_mac(&fp4_values, &activations, 0.01))
+    });
+}
+
+criterion_group!(benches, bench_group_mac);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the matrix-level quantization engine: every data
+//! type of Table VI applied to a realistic weight tensor at per-group
+//! granularity.
+
+use bitmod::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_quantize_methods(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let weights = LlmModel::Llama2_7B
+        .weight_profile()
+        .sample_matrix(64, 4096, &mut rng);
+    let g = Granularity::PerGroup(128);
+    let methods: Vec<(&str, QuantMethod)> = vec![
+        ("int4_asym", QuantMethod::IntAsym { bits: 4 }),
+        ("int6_sym", QuantMethod::IntSym { bits: 6 }),
+        ("bitmod4", QuantMethod::bitmod(4)),
+        ("bitmod3", QuantMethod::bitmod(3)),
+        ("ant4", QuantMethod::Ant { bits: 4 }),
+        ("olive4", QuantMethod::Olive { bits: 4 }),
+        (
+            "mxfp4",
+            QuantMethod::Mx {
+                format: bitmod::dtypes::mx::MxFormat::mxfp4(),
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("quantize_64x4096");
+    for (name, method) in methods {
+        let cfg = QuantConfig::new(method, g);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| quantize_matrix(&weights, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scale_quantization(c: &mut Criterion) {
+    let weights = LlmModel::Llama2_7B
+        .weight_profile()
+        .sample_matrix(64, 4096, &mut SeededRng::new(2));
+    c.bench_function("quantize_with_int8_scales_64x4096", |b| {
+        let cfg = QuantConfig::bitmod_deployment(4);
+        b.iter(|| quantize_matrix(&weights, &cfg))
+    });
+}
+
+criterion_group!(benches, bench_quantize_methods, bench_scale_quantization);
+criterion_main!(benches);

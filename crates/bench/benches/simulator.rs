@@ -1,0 +1,36 @@
+//! Criterion benchmarks of the end-to-end accelerator simulator and the proxy
+//! perplexity evaluation — the two engines every figure/table experiment is
+//! built on.
+
+use bitmod::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_accelerator_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_llama2_7b_generative");
+    for kind in AcceleratorKind::ALL {
+        let workload = Workload {
+            llm: LlmModel::Llama2_7B.config(),
+            task: TaskShape::GENERATIVE,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.build().name),
+            &kind,
+            |b, kind| {
+                let accel = kind.build();
+                b.iter(|| simulate_model(&accel, &workload))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_proxy_evaluation(c: &mut Criterion) {
+    let harness = EvalHarness::with_config(LlmModel::Phi2B, ProxyConfig::tiny(), 8);
+    let cfg = QuantConfig::bitmod_deployment(4);
+    c.bench_function("proxy_quantize_and_perplexity_tiny", |b| {
+        b.iter(|| harness.evaluate(&cfg))
+    });
+}
+
+criterion_group!(benches, bench_accelerator_simulation, bench_proxy_evaluation);
+criterion_main!(benches);

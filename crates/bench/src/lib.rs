@@ -1,0 +1,121 @@
+//! Shared infrastructure for the experiment binaries and Criterion benches
+//! that regenerate every table and figure of the BitMoD paper.
+//!
+//! Each experiment binary prints a human-readable table to stdout (the same
+//! rows/series the paper reports) and, when the `BITMOD_RESULTS_DIR`
+//! environment variable is set, also writes a JSON file with the raw numbers
+//! so the results can be post-processed or plotted.
+
+#![warn(missing_docs)]
+
+use bitmod::prelude::*;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Quantization data types compared in Table VI, at a given precision.
+pub fn table6_methods(bits: u8) -> Vec<(String, QuantMethod, Granularity)> {
+    use bitmod::dtypes::mx::MxFormat;
+    let g128 = Granularity::PerGroup(128);
+    let g32 = Granularity::PerGroup(32);
+    let mx = if bits >= 4 {
+        MxFormat::mxfp4()
+    } else {
+        MxFormat::mxfp3()
+    };
+    vec![
+        ("ANT".to_string(), QuantMethod::Ant { bits }, g128),
+        ("OliVe".to_string(), QuantMethod::Olive { bits }, g128),
+        (format!("MX-FP{bits}"), QuantMethod::Mx { format: mx }, g32),
+        (
+            format!("INT{bits}-Asym"),
+            QuantMethod::IntAsym { bits },
+            g128,
+        ),
+        (format!("BitMoD"), QuantMethod::bitmod(bits), g128),
+    ]
+}
+
+/// Builds an evaluation harness for every model in `models` with a shared
+/// seed, reporting progress on stderr.
+pub fn harnesses(models: &[LlmModel], seed: u64) -> Vec<EvalHarness> {
+    models
+        .iter()
+        .map(|&m| {
+            eprintln!("[setup] synthesizing proxy model for {}", m.name());
+            EvalHarness::new(m, seed)
+        })
+        .collect()
+}
+
+/// Prints a Markdown-ish table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Writes `value` as JSON into `$BITMOD_RESULTS_DIR/<name>.json` if the
+/// environment variable is set; otherwise does nothing.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let Ok(dir) = std::env::var("BITMOD_RESULTS_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    if std::fs::create_dir_all(&dir).is_err() {
+        eprintln!("[warn] could not create results dir {}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("[warn] could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[info] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[warn] could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_method_list_matches_the_paper() {
+        let m4 = table6_methods(4);
+        assert_eq!(m4.len(), 5);
+        assert_eq!(m4[0].0, "ANT");
+        assert_eq!(m4.last().unwrap().0, "BitMoD");
+        // MX uses group size 32, everything else 128.
+        assert_eq!(m4[2].2, Granularity::PerGroup(32));
+        assert_eq!(m4[3].2, Granularity::PerGroup(128));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f3(1.2345), "1.234");
+    }
+
+    #[test]
+    fn write_json_is_a_noop_without_the_env_var() {
+        std::env::remove_var("BITMOD_RESULTS_DIR");
+        write_json("unit-test", &vec![1, 2, 3]);
+    }
+}

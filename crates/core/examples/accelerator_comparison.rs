@@ -1,0 +1,52 @@
+//! Accelerator comparison: the Fig. 7 / Fig. 8 view in miniature.
+//!
+//! ```text
+//! cargo run --release -p bitmod --example accelerator_comparison
+//! ```
+//!
+//! Simulates every accelerator (baseline FP16, ANT, OliVe, BitMoD lossless,
+//! BitMoD lossy) on all six LLMs for both task shapes and prints the speedup
+//! and normalized energy relative to the FP16 baseline.
+
+use bitmod::prelude::*;
+
+fn main() {
+    for (task, label) in [
+        (TaskShape::DISCRIMINATIVE, "discriminative (256:1)"),
+        (TaskShape::GENERATIVE, "generative (256:256)"),
+    ] {
+        println!("== {label} ==");
+        print!("{:<14}", "model");
+        for kind in AcceleratorKind::ALL {
+            print!("{:>20}", kind.build().name);
+        }
+        println!();
+        let mut speedup_sum = vec![0.0f64; AcceleratorKind::ALL.len()];
+        let mut energy_sum = vec![0.0f64; AcceleratorKind::ALL.len()];
+        for model in LlmModel::ALL {
+            let workload = Workload {
+                llm: model.config(),
+                task,
+            };
+            let baseline = simulate_model(&AcceleratorKind::BaselineFp16.build(), &workload);
+            print!("{:<14}", model.name());
+            for (i, kind) in AcceleratorKind::ALL.iter().enumerate() {
+                let perf = simulate_model(&kind.build(), &workload);
+                let speedup = perf.speedup_over(&baseline);
+                speedup_sum[i] += speedup;
+                energy_sum[i] += perf.energy_ratio(&baseline);
+                print!("{:>14.2}x/{:>4.2}", speedup, perf.energy_ratio(&baseline));
+            }
+            println!();
+        }
+        print!("{:<14}", "geomean-ish");
+        for i in 0..AcceleratorKind::ALL.len() {
+            print!(
+                "{:>14.2}x/{:>4.2}",
+                speedup_sum[i] / LlmModel::ALL.len() as f64,
+                energy_sum[i] / LlmModel::ALL.len() as f64
+            );
+        }
+        println!("\n(each cell: speedup over FP16 baseline / normalized energy, lower energy is better)\n");
+    }
+}

@@ -1,0 +1,71 @@
+//! Data-type explorer: compare quantization data types on realistic weights.
+//!
+//! ```text
+//! cargo run --release -p bitmod --example datatype_explorer
+//! ```
+//!
+//! For each of the six evaluated LLM weight profiles, quantizes a synthetic
+//! weight tensor with every data type of Table VI at 4-bit and 3-bit
+//! precision and prints the reconstruction SQNR — the weight-level view of
+//! the paper's accuracy comparison.
+
+use bitmod::dtypes::fp::MiniFloat;
+use bitmod::dtypes::mx::MxFormat;
+use bitmod::prelude::*;
+
+fn methods(bits: u8) -> Vec<(String, QuantMethod, Granularity)> {
+    let g128 = Granularity::PerGroup(128);
+    let g32 = Granularity::PerGroup(32);
+    let mx = if bits == 4 {
+        MxFormat::mxfp4()
+    } else {
+        MxFormat::mxfp3()
+    };
+    let fp = if bits == 4 {
+        MiniFloat::FP4_E2M1
+    } else {
+        MiniFloat::FP3
+    };
+    vec![
+        ("ANT".into(), QuantMethod::Ant { bits }, g128),
+        ("OliVe".into(), QuantMethod::Olive { bits }, g128),
+        (format!("MX-FP{bits}"), QuantMethod::Mx { format: mx }, g32),
+        (
+            format!("FP{bits}"),
+            QuantMethod::minifloat(fp),
+            g128,
+        ),
+        (
+            format!("INT{bits}-Asym"),
+            QuantMethod::IntAsym { bits },
+            g128,
+        ),
+        (format!("BitMoD-{bits}b"), QuantMethod::bitmod(bits), g128),
+    ]
+}
+
+fn main() {
+    let mut rng = SeededRng::new(7);
+    for bits in [4u8, 3u8] {
+        println!("== {bits}-bit weight quantization (SQNR in dB, higher is better) ==");
+        print!("{:<14}", "model");
+        for (name, _, _) in methods(bits) {
+            print!("{name:>12}");
+        }
+        println!();
+        for model in LlmModel::ALL {
+            let weights = model
+                .weight_profile()
+                .sample_matrix(64, 2048, &mut rng.fork(bits as u64));
+            print!("{:<14}", model.name());
+            for (_, method, gran) in methods(bits) {
+                let q = quantize_matrix(&weights, &QuantConfig::new(method, gran));
+                print!("{:>12.2}", q.stats.sqnr_db);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("BitMoD should deliver the highest SQNR in (almost) every row, with the");
+    println!("margin growing at 3-bit — the weight-level analogue of Table VI.");
+}

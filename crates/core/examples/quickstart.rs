@@ -1,0 +1,45 @@
+//! Quickstart: run the whole BitMoD co-design pipeline on one model.
+//!
+//! ```text
+//! cargo run --release -p bitmod --example quickstart
+//! ```
+//!
+//! The pipeline synthesizes a proxy Llama-2-7B, quantizes its weights with
+//! the BitMoD 4-bit data type (per-group, INT8 scale factors), measures the
+//! proxy perplexity/accuracy impact, and simulates the lossy BitMoD
+//! accelerator against the FP16 baseline on the full-size model.
+
+use bitmod::prelude::*;
+
+fn main() {
+    let model = LlmModel::Llama2_7B;
+    println!("== BitMoD quickstart on {} ==\n", model.name());
+
+    for bits in [4u8, 3u8] {
+        let report = Pipeline::new(model).with_weight_bits(bits).run(42);
+        println!("BitMoD-{bits}b (per-group 128, INT8 scales)");
+        println!(
+            "  effective bits/weight : {:.3}",
+            report.effective_bits_per_weight
+        );
+        println!("  weight SQNR           : {:.1} dB", report.weight_sqnr_db);
+        println!(
+            "  proxy perplexity      : {:.2} (FP16 reference {:.2})",
+            report.proxy_perplexity.mean(),
+            report.fp16_perplexity.mean()
+        );
+        println!(
+            "  proxy accuracy        : {:.1} % agreement with FP16",
+            report.proxy_accuracy_percent
+        );
+        println!(
+            "  speedup vs FP16 accel : {:.2}x  (energy gain {:.2}x)",
+            report.speedup_over_fp16, report.energy_gain_over_fp16
+        );
+        println!(
+            "  generative latency    : {:.1} ms (baseline {:.1} ms)\n",
+            report.bitmod_perf.seconds() * 1e3,
+            report.baseline_perf.seconds() * 1e3
+        );
+    }
+}

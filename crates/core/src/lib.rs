@@ -1,0 +1,249 @@
+//! # BitMoD: Bit-serial Mixture-of-Datatype LLM Acceleration
+//!
+//! A from-scratch Rust reproduction of the HPCA 2025 paper *BitMoD:
+//! Bit-serial Mixture-of-Datatype LLM Acceleration* (Chen et al.).  This
+//! facade crate re-exports the workspace's building blocks and offers a
+//! high-level [`Pipeline`] that runs the whole co-design flow end to end:
+//!
+//! 1. synthesize a proxy model for one of the six evaluated LLMs
+//!    ([`bitmod_llm`]),
+//! 2. quantize its weights with a chosen data type and granularity
+//!    ([`bitmod_quant`], [`bitmod_dtypes`]),
+//! 3. measure the proxy perplexity / accuracy impact,
+//! 4. simulate the BitMoD accelerator (and the baselines) on the full-size
+//!    model ([`bitmod_accel`]) to obtain speedup, energy and EDP.
+//!
+//! ```
+//! use bitmod::Pipeline;
+//! use bitmod::llm::config::LlmModel;
+//!
+//! let report = Pipeline::new(LlmModel::Llama2_7B)
+//!     .with_weight_bits(4)
+//!     .run(42);
+//! assert!(report.speedup_over_fp16 > 1.0);
+//! assert!(report.proxy_perplexity.mean() >= report.fp16_perplexity.mean());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use bitmod_accel as accel;
+pub use bitmod_dtypes as dtypes;
+pub use bitmod_llm as llm;
+pub use bitmod_quant as quant;
+pub use bitmod_tensor as tensor;
+
+/// Convenient glob-import surface: `use bitmod::prelude::*;`.
+pub mod prelude {
+    pub use bitmod_accel::{simulate_model, Accelerator, AcceleratorKind, PerfResult, Workload};
+    pub use bitmod_dtypes::{BitModFamily, Codebook, WeightDtype};
+    pub use bitmod_llm::config::{LlmConfig, LlmModel};
+    pub use bitmod_llm::eval::{EvalHarness, PerplexityPair};
+    pub use bitmod_llm::memory::TaskShape;
+    pub use bitmod_llm::proxy::{ProxyConfig, ProxyTransformer};
+    pub use bitmod_quant::{quantize_matrix, Granularity, QuantConfig, QuantMethod, ScaleDtype};
+    pub use bitmod_tensor::{Matrix, SeededRng, F16};
+
+    pub use crate::{Pipeline, PipelineReport};
+}
+
+use bitmod_accel::{simulate_model, AcceleratorKind, PerfResult, Workload};
+use bitmod_llm::config::LlmModel;
+use bitmod_llm::eval::{EvalHarness, PerplexityPair};
+use bitmod_llm::memory::TaskShape;
+use bitmod_llm::proxy::ProxyConfig;
+use bitmod_quant::{QuantConfig, QuantMethod};
+use serde::Serialize;
+
+/// End-to-end result of running the BitMoD pipeline on one model.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineReport {
+    /// The evaluated LLM.
+    pub model: LlmModel,
+    /// Human-readable label of the quantization method.
+    pub method: String,
+    /// Effective storage bits per weight (including metadata).
+    pub effective_bits_per_weight: f64,
+    /// Mean weight-reconstruction SQNR across the proxy model's linears (dB).
+    pub weight_sqnr_db: f64,
+    /// Proxy perplexity of the FP32/FP16 reference model.
+    pub fp16_perplexity: PerplexityPair,
+    /// Proxy perplexity of the quantized model.
+    pub proxy_perplexity: PerplexityPair,
+    /// Proxy accuracy (argmax agreement with the reference, percent).
+    pub proxy_accuracy_percent: f64,
+    /// Simulated performance of the BitMoD accelerator on the full-size model.
+    pub bitmod_perf: PerfResult,
+    /// Simulated performance of the baseline FP16 accelerator.
+    pub baseline_perf: PerfResult,
+    /// Speedup of BitMoD over the FP16 baseline.
+    pub speedup_over_fp16: f64,
+    /// Energy-efficiency gain of BitMoD over the FP16 baseline.
+    pub energy_gain_over_fp16: f64,
+}
+
+/// High-level co-design pipeline: quantize → evaluate → simulate.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    model: LlmModel,
+    quant: QuantConfig,
+    proxy: ProxyConfig,
+    task: TaskShape,
+    accelerator: AcceleratorKind,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the paper's deployment defaults: BitMoD 4-bit
+    /// weights, per-group (G = 128) quantization, INT8 scale factors,
+    /// generative task shape, lossy BitMoD accelerator.
+    pub fn new(model: LlmModel) -> Self {
+        Self {
+            model,
+            quant: QuantConfig::bitmod_deployment(4),
+            proxy: ProxyConfig::standard(),
+            task: TaskShape::GENERATIVE,
+            accelerator: AcceleratorKind::BitModLossy,
+        }
+    }
+
+    /// Uses the BitMoD data type at the given precision (3 or 4 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 3 or 4.
+    pub fn with_weight_bits(mut self, bits: u8) -> Self {
+        self.quant = QuantConfig::bitmod_deployment(bits);
+        self
+    }
+
+    /// Replaces the full quantization configuration (any method).
+    pub fn with_quant_config(mut self, quant: QuantConfig) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// Replaces the proxy-model size (tests use [`ProxyConfig::tiny`]).
+    pub fn with_proxy_config(mut self, proxy: ProxyConfig) -> Self {
+        self.proxy = proxy;
+        self
+    }
+
+    /// Replaces the task shape.
+    pub fn with_task(mut self, task: TaskShape) -> Self {
+        self.task = task;
+        self
+    }
+
+    /// Replaces the simulated accelerator.
+    pub fn with_accelerator(mut self, kind: AcceleratorKind) -> Self {
+        self.accelerator = kind;
+        self
+    }
+
+    /// Runs the pipeline with a deterministic seed.
+    pub fn run(&self, seed: u64) -> PipelineReport {
+        // --- algorithm side: proxy accuracy ---
+        let harness = EvalHarness::with_config(self.model, self.proxy, seed);
+        let quantized = harness.reference.quantized(&self.quant);
+        let fp16_perplexity = harness.fp16_perplexity();
+        let proxy_perplexity = harness.evaluate_model(&quantized);
+        let proxy_accuracy_percent = harness.accuracy_percent(&quantized);
+        let (sqnr_sum, n_linears) = harness.reference.linears().iter().fold(
+            (0.0, 0usize),
+            |(acc, n), (_, w)| {
+                let q = bitmod_quant::quantize_matrix(w, &self.quant);
+                (acc + q.stats.sqnr_db, n + 1)
+            },
+        );
+
+        // --- hardware side: full-size model simulation ---
+        let workload = Workload {
+            llm: self.model.config(),
+            task: self.task,
+        };
+        let bitmod_perf = simulate_model(&self.accelerator.build(), &workload);
+        let baseline_perf = simulate_model(&AcceleratorKind::BaselineFp16.build(), &workload);
+
+        let cfg = self.model.config();
+        PipelineReport {
+            model: self.model,
+            method: self.quant.method.label(),
+            effective_bits_per_weight: self
+                .quant
+                .effective_bits_per_weight(cfg.hidden, cfg.hidden),
+            weight_sqnr_db: sqnr_sum / n_linears.max(1) as f64,
+            fp16_perplexity,
+            proxy_perplexity,
+            proxy_accuracy_percent,
+            speedup_over_fp16: bitmod_perf.speedup_over(&baseline_perf),
+            energy_gain_over_fp16: baseline_perf.energy.total_pj()
+                / bitmod_perf.energy.total_pj(),
+            bitmod_perf,
+            baseline_perf,
+        }
+    }
+}
+
+/// Shorthand for the common comparison: the proxy perplexity of a model under
+/// a list of quantization methods, at per-group granularity with G = 128.
+pub fn compare_methods(
+    model: LlmModel,
+    methods: &[QuantMethod],
+    proxy: ProxyConfig,
+    seed: u64,
+) -> Vec<(String, PerplexityPair)> {
+    let harness = EvalHarness::with_config(model, proxy, seed);
+    methods
+        .iter()
+        .map(|m| {
+            let cfg = QuantConfig::new(m.clone(), bitmod_quant::Granularity::PerGroup(128));
+            (m.label(), harness.evaluate(&cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_report_is_internally_consistent() {
+        let report = Pipeline::new(LlmModel::Phi2B)
+            .with_proxy_config(ProxyConfig::tiny())
+            .with_weight_bits(4)
+            .run(1);
+        assert_eq!(report.model, LlmModel::Phi2B);
+        assert_eq!(report.method, "BitMoD-4b");
+        assert!(report.effective_bits_per_weight > 4.0 && report.effective_bits_per_weight < 4.2);
+        assert!(report.speedup_over_fp16 > 1.0);
+        assert!(report.energy_gain_over_fp16 > 1.0);
+        assert!(report.proxy_perplexity.mean() >= report.fp16_perplexity.mean() * 0.99);
+        assert!(report.proxy_accuracy_percent <= 100.0);
+        assert!(report.weight_sqnr_db > 5.0);
+    }
+
+    #[test]
+    fn pipeline_3_bit_is_faster_but_less_accurate_than_4_bit() {
+        let base = Pipeline::new(LlmModel::Llama2_7B).with_proxy_config(ProxyConfig::tiny());
+        let r4 = base.clone().with_weight_bits(4).run(2);
+        let r3 = base.with_weight_bits(3).run(2);
+        assert!(r3.bitmod_perf.total_cycles() <= r4.bitmod_perf.total_cycles());
+        assert!(r3.weight_sqnr_db < r4.weight_sqnr_db);
+    }
+
+    #[test]
+    fn compare_methods_returns_one_entry_per_method() {
+        let out = compare_methods(
+            LlmModel::Opt1_3B,
+            &[
+                QuantMethod::bitmod(4),
+                QuantMethod::IntAsym { bits: 4 },
+            ],
+            ProxyConfig::tiny(),
+            3,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, "BitMoD-4b");
+        assert!(out.iter().all(|(_, p)| p.wiki.is_finite() && p.c4.is_finite()));
+    }
+}

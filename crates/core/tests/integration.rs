@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full co-design flow, exercised through
+//! the public API only.
+
+use bitmod::prelude::*;
+use bitmod::quant::awq::awq_quantize;
+use bitmod::quant::gptq::gptq_quantize;
+use bitmod::quant::smoothquant::smoothquant_quantize;
+
+#[test]
+fn quantize_evaluate_simulate_end_to_end() {
+    let report = Pipeline::new(LlmModel::Yi6B)
+        .with_proxy_config(ProxyConfig::tiny())
+        .with_weight_bits(3)
+        .run(11);
+    // Algorithm side: quantization degrades the proxy model but keeps it usable.
+    assert!(report.proxy_perplexity.mean() >= report.fp16_perplexity.mean());
+    assert!(report.proxy_accuracy_percent > 5.0);
+    // Hardware side: the lossy accelerator beats the FP16 baseline on both axes.
+    assert!(report.speedup_over_fp16 > 1.5);
+    assert!(report.energy_gain_over_fp16 > 1.5);
+}
+
+#[test]
+fn the_full_datatype_comparison_ranks_bitmod_first_on_mean_weight_error() {
+    // Table VI's conclusion, at the weight-error level, across all six models.
+    let g = Granularity::PerGroup(128);
+    let mut rng = SeededRng::new(99);
+    let mut mean_mse = std::collections::HashMap::<&str, f64>::new();
+    for model in LlmModel::ALL {
+        let w = model.weight_profile().sample_matrix(32, 1024, &mut rng);
+        for (label, method) in [
+            ("bitmod", QuantMethod::bitmod(3)),
+            ("int-asym", QuantMethod::IntAsym { bits: 3 }),
+            ("ant", QuantMethod::Ant { bits: 3 }),
+            ("olive", QuantMethod::Olive { bits: 3 }),
+        ] {
+            let q = quantize_matrix(&w, &QuantConfig::new(method, g));
+            *mean_mse.entry(label).or_default() += q.stats.mse;
+        }
+    }
+    let bitmod = mean_mse["bitmod"];
+    for (label, err) in &mean_mse {
+        assert!(
+            bitmod <= *err + 1e-12,
+            "BitMoD mean weight error {bitmod} should not exceed {label} ({err})"
+        );
+    }
+}
+
+#[test]
+fn bitserial_pe_computes_the_same_answer_as_the_quantization_framework() {
+    // Hardware/algorithm consistency: dequantized weights produced by the
+    // quantization engine, multiplied against FP16 activations, must equal
+    // what the bit-serial PE computes from the raw codes, group by group.
+    use bitmod::accel::pe::BitSerialPe;
+    use bitmod::dtypes::bitmod::BitModFamily;
+    use bitmod::quant::adaptive::adaptive_quantize_group;
+
+    let mut rng = SeededRng::new(5);
+    let fam = BitModFamily::fp4();
+    let pe = BitSerialPe::new();
+    for _ in 0..10 {
+        let group = LlmModel::Llama2_7B
+            .weight_profile()
+            .sample_vector(128, &mut rng);
+        let adapted = adaptive_quantize_group(&group, &fam);
+        // Raw codebook values (scaled domain) that the hardware would store.
+        let codebook = fam.basic_codebook().with_value(adapted.special.value);
+        let scale = adapted.quant.scale;
+        let codes: Vec<f32> = group.iter().map(|&x| codebook.quantize(x / scale)).collect();
+        let activations: Vec<F16> = (0..128)
+            .map(|_| F16::from_f32(rng.normal(0.0, 1.0) as f32))
+            .collect();
+        let (pe_result, cycles) = pe.extended_fp_group_mac(&codes, &activations, scale as f64);
+        let software: f64 = adapted
+            .quant
+            .reconstructed
+            .iter()
+            .zip(&activations)
+            .map(|(&w, &a)| w as f64 * a.to_f32() as f64)
+            .sum();
+        assert!(
+            (pe_result - software).abs() < 1e-3,
+            "PE {pe_result} vs software {software}"
+        );
+        assert_eq!(cycles.compute, 64);
+        assert!(cycles.dequant_hidden);
+    }
+}
+
+#[test]
+fn awq_gptq_smoothquant_compose_with_bitmod_on_the_proxy_model() {
+    // Tables XI and XII end to end: calibration-based optimizers applied to
+    // the proxy model's linears with the BitMoD data type.
+    let harness = EvalHarness::with_config(LlmModel::Llama2_7B, ProxyConfig::tiny(), 21);
+    let g = Granularity::PerGroup(128);
+    let bm_cfg = QuantConfig::new(QuantMethod::bitmod(3), g);
+
+    // Plain round-to-nearest BitMoD.
+    let rtn_ppl = harness.evaluate(&bm_cfg).mean();
+
+    // BitMoD + AWQ.
+    let awq_model = harness.reference.map_linears(|id, w| {
+        awq_quantize(w, harness.calibration_for(id), &bm_cfg)
+            .quantized
+            .reconstructed
+    });
+    let awq_ppl = harness.evaluate_model(&awq_model).mean();
+
+    // BitMoD + GPTQ.
+    let gptq_model = harness.reference.map_linears(|id, w| {
+        gptq_quantize(w, harness.calibration_for(id), &bm_cfg.method, 128).reconstructed
+    });
+    let gptq_ppl = harness.evaluate_model(&gptq_model).mean();
+
+    // BitMoD + SmoothQuant (weights only; the activation path of the proxy
+    // forward stays FP32, so we only check it runs and stays finite).
+    let sq_model = harness.reference.map_linears(|id, w| {
+        let result = smoothquant_quantize(w, harness.calibration_for(id), &bm_cfg, false);
+        // Fold the smoothing back out so the surrounding network is unchanged.
+        let mut rec = result.quantized_weights.reconstructed;
+        for (c, &s) in result.smoothing.iter().enumerate() {
+            rec.scale_col(c, 1.0 / s);
+        }
+        rec
+    });
+    let sq_ppl = harness.evaluate_model(&sq_model).mean();
+
+    let fp = harness.fp16_perplexity().mean();
+    for (label, ppl) in [
+        ("RTN", rtn_ppl),
+        ("AWQ", awq_ppl),
+        ("GPTQ", gptq_ppl),
+        ("SmoothQuant", sq_ppl),
+    ] {
+        assert!(ppl.is_finite() && ppl >= fp * 0.9, "{label} ppl {ppl} vs fp {fp}");
+        assert!(ppl < fp * 10.0, "{label} ppl {ppl} exploded");
+    }
+    // The calibration-based optimizers should not be dramatically worse than
+    // RTN; AWQ/GPTQ usually improve the proxy perplexity.
+    assert!(awq_ppl <= rtn_ppl * 1.2, "AWQ {awq_ppl} vs RTN {rtn_ppl}");
+    assert!(gptq_ppl <= rtn_ppl * 1.2, "GPTQ {gptq_ppl} vs RTN {rtn_ppl}");
+}
+
+#[test]
+fn fig7_orderings_hold_for_every_model() {
+    // Speedup ordering per model: BitMoD lossy >= BitMoD lossless is not
+    // required for discriminative tasks (both compute-bound at different
+    // precisions), but every quantized accelerator must beat the baseline and
+    // lossy BitMoD must beat ANT and OliVe.
+    for model in LlmModel::ALL {
+        for task in [TaskShape::DISCRIMINATIVE, TaskShape::GENERATIVE] {
+            let workload = Workload {
+                llm: model.config(),
+                task,
+            };
+            let baseline = simulate_model(&AcceleratorKind::BaselineFp16.build(), &workload);
+            let lossy = simulate_model(&AcceleratorKind::BitModLossy.build(), &workload);
+            let ant = simulate_model(&AcceleratorKind::Ant.build(), &workload);
+            let olive = simulate_model(&AcceleratorKind::Olive.build(), &workload);
+            assert!(lossy.speedup_over(&baseline) > 1.0);
+            assert!(lossy.total_cycles() < ant.total_cycles(), "{}", model.name());
+            assert!(lossy.total_cycles() < olive.total_cycles(), "{}", model.name());
+        }
+    }
+}
+
+#[test]
+fn memory_model_and_simulator_agree_on_weight_traffic_direction() {
+    // Two independent models of DRAM traffic (Fig. 1 analytic model and the
+    // simulator) must agree that generative traffic is dominated by weights
+    // and shrinks with precision.
+    use bitmod::llm::memory::{memory_access, TaskShape};
+    let cfg = LlmModel::Llama2_7B.config();
+    let analytic16 = memory_access(&cfg, TaskShape::GENERATIVE, 16.0, 2.0);
+    let analytic4 = memory_access(&cfg, TaskShape::GENERATIVE, 4.0, 2.0);
+    assert!(analytic4.weight_bytes < analytic16.weight_bytes);
+
+    let workload = Workload {
+        llm: cfg,
+        task: TaskShape::GENERATIVE,
+    };
+    let base = simulate_model(&AcceleratorKind::BaselineFp16.build(), &workload);
+    let lossy = simulate_model(&AcceleratorKind::BitModLossy.build(), &workload);
+    assert!(lossy.dram_bytes < base.dram_bytes);
+    // The simulator's baseline weight traffic should be within 2x of the
+    // analytic model's (they make slightly different activation assumptions).
+    let ratio = base.dram_bytes / (analytic16.weight_bytes + analytic16.activation_total());
+    assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+}

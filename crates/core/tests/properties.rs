@@ -1,0 +1,169 @@
+//! Property-based tests over the core data structures and invariants.
+
+use bitmod::dtypes::bitmod::BitModFamily;
+use bitmod::dtypes::{booth, WeightTermEncoder};
+use bitmod::prelude::*;
+use bitmod::quant::scale_quant::quantize_scales;
+use bitmod::quant::slice::{quantize_int_asymmetric, quantize_int_symmetric};
+use bitmod::tensor::f16::round_to_f16;
+use bitmod::tensor::stats;
+use proptest::prelude::*;
+
+proptest! {
+    /// Booth encoding reconstructs every representable integer exactly, for
+    /// every supported width.
+    #[test]
+    fn booth_roundtrip(value in -128i32..=127, bits in 2u8..=8) {
+        let lo = -(1i32 << (bits - 1));
+        let hi = (1i32 << (bits - 1)) - 1;
+        let v = value.clamp(lo, hi);
+        let digits = booth::encode(v, bits);
+        prop_assert_eq!(booth::decode(&digits), v as i64);
+        prop_assert_eq!(digits.len(), (bits as usize).div_ceil(2));
+    }
+
+    /// The unified bit-serial representation is exact for integer weights.
+    #[test]
+    fn bitserial_int_reconstruction(value in -128i32..=127) {
+        let enc = WeightTermEncoder::new();
+        let terms = enc.encode_int(value, 8);
+        let sum: f64 = terms.iter().map(|t| t.value()).sum();
+        prop_assert_eq!(sum, value as f64);
+    }
+
+    /// FP16 round-trip never increases magnitude error beyond half a ULP of
+    /// the normal range and is idempotent.
+    #[test]
+    fn f16_rounding_is_idempotent(x in -60000.0f32..60000.0) {
+        let once = round_to_f16(x);
+        let twice = round_to_f16(once);
+        prop_assert_eq!(once, twice);
+        if x.abs() > 1e-3 {
+            prop_assert!(((once - x) / x).abs() <= 2.0f32.powi(-11) + 1e-7);
+        }
+    }
+
+    /// Symmetric integer quantization error is bounded by half the step size
+    /// for every element.
+    #[test]
+    fn symmetric_quant_error_bound(
+        values in proptest::collection::vec(-10.0f32..10.0, 1..200),
+        bits in 2u8..=8,
+    ) {
+        let q = quantize_int_symmetric(&values, bits);
+        for (x, r) in values.iter().zip(&q.reconstructed) {
+            prop_assert!((x - r).abs() <= q.scale / 2.0 + 1e-5);
+        }
+    }
+
+    /// Asymmetric quantization never produces values outside the observed
+    /// range (plus one quantization step of slack).
+    #[test]
+    fn asymmetric_quant_stays_in_range(
+        values in proptest::collection::vec(-5.0f32..15.0, 2..200),
+        bits in 2u8..=8,
+    ) {
+        let q = quantize_int_asymmetric(&values, bits);
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
+        let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max).max(0.0);
+        for r in &q.reconstructed {
+            prop_assert!(*r >= lo - q.scale - 1e-4 && *r <= hi + q.scale + 1e-4);
+        }
+    }
+
+    /// Codebook quantization always returns a scaled member of the codebook.
+    #[test]
+    fn codebook_quantization_returns_grid_points(
+        values in proptest::collection::vec(-3.0f32..3.0, 1..150),
+    ) {
+        let fam = BitModFamily::fp4();
+        let member = &fam.members()[0];
+        let cb = member.codebook();
+        let q = bitmod::quant::slice::quantize_codebook(&values, &cb);
+        for r in &q.reconstructed {
+            let unscaled = r / q.scale;
+            let nearest = cb.quantize(unscaled);
+            prop_assert!((nearest - unscaled).abs() < 1e-3);
+        }
+    }
+
+    /// Algorithm 1 (adaptive special-value selection) never does worse than
+    /// the plain basic grid.
+    #[test]
+    fn adaptive_selection_never_hurts(
+        values in proptest::collection::vec(-1.0f32..1.0, 16..160),
+        bits in prop_oneof![Just(3u8), Just(4u8)],
+    ) {
+        use bitmod::quant::adaptive::adaptive_quantize_group;
+        use bitmod::quant::slice::quantize_codebook;
+        let fam = BitModFamily::for_bits(bits);
+        let adaptive = adaptive_quantize_group(&values, &fam);
+        let basic = quantize_codebook(&values, &fam.basic_codebook());
+        prop_assert!(adaptive.quant.mse <= basic.mse + 1e-12);
+    }
+
+    /// Second-level scale quantization to INT8 keeps every reconstructed scale
+    /// within 1% of the original (Table V's lossless claim).
+    #[test]
+    fn int8_scale_quantization_is_tight(
+        scales in proptest::collection::vec(0.001f32..1.0, 1..64),
+    ) {
+        let q = quantize_scales(&scales, 8);
+        let max = scales.iter().copied().fold(0.0f32, f32::max);
+        for (s, r) in scales.iter().zip(&q.reconstructed) {
+            prop_assert!((s - r).abs() <= max / 127.0 / 2.0 + 1e-6);
+        }
+    }
+
+    /// Quantizing a matrix never changes its shape and produces finite stats,
+    /// for every method.
+    #[test]
+    fn engine_preserves_shape_and_finiteness(seed in 0u64..500, rows in 1usize..6, cols in 1usize..200) {
+        let mut rng = SeededRng::new(seed);
+        let w = LlmModel::Phi2B.weight_profile().sample_matrix(rows, cols, &mut rng);
+        for method in [
+            QuantMethod::bitmod(3),
+            QuantMethod::IntAsym { bits: 4 },
+            QuantMethod::IntSym { bits: 6 },
+            QuantMethod::Ant { bits: 4 },
+            QuantMethod::Olive { bits: 4 },
+        ] {
+            let q = quantize_matrix(&w, &QuantConfig::new(method, Granularity::PerGroup(128)));
+            prop_assert_eq!(q.reconstructed.rows(), rows);
+            prop_assert_eq!(q.reconstructed.cols(), cols);
+            prop_assert!(q.stats.mse.is_finite());
+            prop_assert!(q.stats.bits_per_weight > 0.0);
+        }
+    }
+
+    /// The simulator is monotone: more output tokens never makes a workload
+    /// finish in fewer cycles, and lower weight precision never increases the
+    /// DRAM traffic.
+    #[test]
+    fn simulator_monotonicity(out_tokens in 1usize..64, bits_lo in 3u8..=6) {
+        let cfg = LlmModel::Opt1_3B.config();
+        let accel = AcceleratorKind::BitModLossy.build();
+        let short = Workload {
+            llm: cfg,
+            task: TaskShape { input_tokens: 64, output_tokens: out_tokens },
+        };
+        let long = Workload {
+            llm: cfg,
+            task: TaskShape { input_tokens: 64, output_tokens: out_tokens + 8 },
+        };
+        let r_short = bitmod::accel::sim::simulate_with_precision(&accel, &short, bits_lo);
+        let r_long = bitmod::accel::sim::simulate_with_precision(&accel, &long, bits_lo);
+        prop_assert!(r_long.total_cycles() >= r_short.total_cycles());
+
+        let r_hi = bitmod::accel::sim::simulate_with_precision(&accel, &short, bits_lo + 2);
+        prop_assert!(r_short.dram_bytes <= r_hi.dram_bytes);
+    }
+
+    /// Statistics helpers agree with direct computation.
+    #[test]
+    fn stats_mse_matches_manual(values in proptest::collection::vec(-4.0f32..4.0, 1..100)) {
+        let zeros = vec![0.0f32; values.len()];
+        let manual: f64 = values.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / values.len() as f64;
+        prop_assert!((stats::mse(&values, &zeros) - manual).abs() < 1e-9);
+    }
+}

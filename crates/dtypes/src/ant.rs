@@ -1,0 +1,151 @@
+//! ANT-style adaptive data-type selection (Guo et al., MICRO 2022).
+//!
+//! ANT quantizes each tensor (the paper extends this to each group for a fair
+//! comparison, Section V-A) with whichever of its supported data types —
+//! integer, float, power-of-two, or Flint — minimizes the quantization error
+//! for that tensor's value distribution.  This module reproduces that
+//! selection over the candidate grids so that Table VI's "ANT" rows can be
+//! regenerated.
+
+use crate::codebook::Codebook;
+use crate::flint::flint_codebook;
+use crate::fp::MiniFloat;
+use crate::int::symmetric_codebook;
+
+/// The candidate grids ANT chooses between at a given bit width:
+/// symmetric integer, minifloat, power-of-two, and Flint.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=8`.
+pub fn ant_candidates(bits: u8) -> Vec<Codebook> {
+    assert!((3..=8).contains(&bits), "ANT selection defined for 3..=8 bits");
+    let mut cands = vec![symmetric_codebook(bits), flint_codebook(bits)];
+    // Minifloat candidate: use the balanced exponent/mantissa split.
+    let mf = match bits {
+        3 => MiniFloat::FP3,
+        4 => MiniFloat::FP4_E2M1,
+        5 => MiniFloat { exp_bits: 2, man_bits: 2 },
+        6 => MiniFloat::FP6_E2M3,
+        7 => MiniFloat { exp_bits: 3, man_bits: 3 },
+        _ => MiniFloat::FP8_E4M3,
+    };
+    cands.push(mf.codebook());
+    cands.push(power_of_two_codebook(bits));
+    cands
+}
+
+/// Power-of-two (logarithmic) grid: `{0, ±1, ±2, ±4, …}` with `2^(bits-1) - 1`
+/// positive levels.  ANT includes this grid for extremely peaked
+/// distributions.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `2..=8`.
+pub fn power_of_two_codebook(bits: u8) -> Codebook {
+    assert!((2..=8).contains(&bits), "power-of-two grid defined for 2..=8 bits");
+    let n_pos = (1u32 << (bits - 1)) - 1;
+    let mut vals = vec![0.0f32];
+    for i in 0..n_pos {
+        let v = 2.0f32.powi(i as i32);
+        vals.push(v);
+        vals.push(-v);
+    }
+    Codebook::new(format!("PoT{bits}"), vals)
+}
+
+/// Selects the candidate grid with the lowest scaled mean-square error for a
+/// weight slice.  The scale for each candidate maps the slice's absolute
+/// maximum onto the candidate's largest magnitude (absmax calibration, as in
+/// ANT).  Returns the winning codebook and its MSE.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=8`.
+pub fn select_best(values: &[f32], bits: u8) -> (Codebook, f64) {
+    let absmax = values.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+    let mut best: Option<(Codebook, f64)> = None;
+    for cand in ant_candidates(bits) {
+        let scale = if cand.absmax() > 0.0 {
+            absmax / cand.absmax()
+        } else {
+            0.0
+        };
+        let err = cand.scaled_mse(values, scale);
+        if best.as_ref().map_or(true, |(_, e)| err < *e) {
+            best = Some((cand, err));
+        }
+    }
+    best.expect("candidate list is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_include_int_flint_fp_pot() {
+        let names: Vec<String> = ant_candidates(4)
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        assert!(names.iter().any(|n| n.contains("INT4")));
+        assert!(names.iter().any(|n| n.contains("Flint4")));
+        assert!(names.iter().any(|n| n.contains("FP4")));
+        assert!(names.iter().any(|n| n.contains("PoT4")));
+    }
+
+    #[test]
+    fn power_of_two_grid_contents() {
+        let cb = power_of_two_codebook(4);
+        assert_eq!(cb.absmax(), 64.0); // 2^6
+        assert!(cb.values().contains(&1.0));
+        assert!(cb.values().contains(&-32.0));
+        assert_eq!(cb.len(), 15);
+    }
+
+    #[test]
+    fn uniform_data_prefers_integer_grid() {
+        let xs: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) / 16.0).collect();
+        let (best, _) = select_best(&xs, 4);
+        assert!(
+            best.name().contains("INT"),
+            "uniform data should favour the integer grid, got {}",
+            best.name()
+        );
+    }
+
+    #[test]
+    fn geometric_data_prefers_wide_range_grid() {
+        // Data spanning several octaves (each value a power of two) is matched
+        // almost exactly by the power-of-two / flint grids but poorly by the
+        // uniform integer grid, which collapses the small octaves onto zero.
+        let xs: Vec<f32> = (0..512)
+            .map(|i| {
+                let mag = 2.0f32.powi((i % 7) as i32); // 1, 2, 4, ..., 64
+                if i % 2 == 0 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .collect();
+        let (best, _) = select_best(&xs, 4);
+        assert!(
+            best.name().contains("PoT") || best.name().contains("Flint"),
+            "geometric data should favour a log-like grid, got {}",
+            best.name()
+        );
+    }
+
+    #[test]
+    fn selection_error_is_no_worse_than_any_candidate() {
+        let xs: Vec<f32> = (0..128).map(|i| ((i * 37) % 97) as f32 / 10.0 - 4.0).collect();
+        let absmax = xs.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        let (_, best_err) = select_best(&xs, 4);
+        for cand in ant_candidates(4) {
+            let err = cand.scaled_mse(&xs, absmax / cand.absmax());
+            assert!(best_err <= err + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The BitMoD extended FP3/FP4 data types (Section III-A, Table IV).
+//!
+//! Basic sign–magnitude minifloats waste one code on the redundant negative
+//! zero.  BitMoD repurposes that code as a *special value*:
+//!
+//! * **Extra resolution (ER)** — the special value lies *inside* the basic
+//!   range (±3 for FP3, ±5 for FP4), keeping the data type's absolute maximum
+//!   unchanged, which suits symmetric Gaussian-like groups.
+//! * **Extra asymmetry (EA)** — the special value lies *outside* the range
+//!   (±6 for FP3, ±8 for FP4), making the maximum and minimum representable
+//!   magnitudes differ, which suits groups with one-sided outliers.
+//!
+//! Each weight group is quantized with the basic grid plus exactly one of the
+//! four allowed special values; a 2-bit selector per group records which.  The
+//! per-group selection itself (Algorithm 1) lives in `bitmod-quant`; this
+//! module defines the value sets.
+
+use crate::codebook::Codebook;
+use crate::fp::MiniFloat;
+use serde::{Deserialize, Serialize};
+
+/// One of the four special values a BitMoD group may use.
+///
+/// The discriminant doubles as the 2-bit hardware encoding stored per group
+/// and programmed into the PE's `SV_reg`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecialValue {
+    /// The numeric value that replaces the redundant negative zero.
+    pub value: f32,
+    /// 2-bit selector index (0–3) identifying this value in the group's
+    /// metadata and in the PE's special-value register file.
+    pub selector: u8,
+}
+
+/// Which extension family a data type belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExtensionKind {
+    /// Extra resolution: special value inside the basic range.
+    ExtraResolution,
+    /// Extra asymmetry: special value outside the basic range.
+    ExtraAsymmetry,
+}
+
+/// A single extended minifloat data type: the basic FP3/FP4 grid plus one
+/// fixed special value (e.g. `FP3-EA` with special value +6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedFp {
+    /// Human-readable name, e.g. `"FP3-EA(+6)"`.
+    name: String,
+    /// Precision in bits (3 or 4).
+    bits: u8,
+    /// The special value added to the basic grid.
+    special: SpecialValue,
+    /// Extension family.
+    kind: ExtensionKind,
+}
+
+impl ExtendedFp {
+    /// Creates an extended data type from a precision and a special value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 3 or 4.
+    pub fn new(bits: u8, special: SpecialValue) -> Self {
+        assert!(bits == 3 || bits == 4, "BitMoD extensions are defined for 3 and 4 bits");
+        let base_max = basic_minifloat(bits).absmax();
+        let kind = if special.value.abs() <= base_max {
+            ExtensionKind::ExtraResolution
+        } else {
+            ExtensionKind::ExtraAsymmetry
+        };
+        let suffix = match kind {
+            ExtensionKind::ExtraResolution => "ER",
+            ExtensionKind::ExtraAsymmetry => "EA",
+        };
+        let sign = if special.value >= 0.0 { "+" } else { "" };
+        Self {
+            name: format!("FP{bits}-{suffix}({sign}{})", special.value),
+            bits,
+            special,
+            kind,
+        }
+    }
+
+    /// The data type's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Precision in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The special value.
+    pub fn special(&self) -> SpecialValue {
+        self.special
+    }
+
+    /// Extension family (ER or EA).
+    pub fn kind(&self) -> ExtensionKind {
+        self.kind
+    }
+
+    /// The full value grid: basic minifloat values plus the special value.
+    /// The grid has exactly `2^bits` distinct values — every code is useful.
+    pub fn codebook(&self) -> Codebook {
+        basic_minifloat(self.bits)
+            .codebook()
+            .with_value(self.special.value)
+    }
+}
+
+/// The basic minifloat underlying a BitMoD precision (FP3 or FP4-E2M1).
+///
+/// # Panics
+///
+/// Panics if `bits` is not 3 or 4.
+pub fn basic_minifloat(bits: u8) -> MiniFloat {
+    match bits {
+        3 => MiniFloat::FP3,
+        4 => MiniFloat::FP4_E2M1,
+        _ => panic!("BitMoD extensions are defined for 3 and 4 bits, got {bits}"),
+    }
+}
+
+/// A BitMoD data-type family: the four allowed special values for one
+/// precision, from which every weight group picks the error-minimizing one.
+///
+/// # Example
+///
+/// ```
+/// use bitmod_dtypes::BitModFamily;
+///
+/// let fam = BitModFamily::fp3();
+/// let specials: Vec<f32> = fam.special_values().iter().map(|s| s.value).collect();
+/// assert_eq!(specials, vec![-3.0, 3.0, -6.0, 6.0]);
+/// assert_eq!(fam.members().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitModFamily {
+    bits: u8,
+    specials: Vec<SpecialValue>,
+}
+
+impl BitModFamily {
+    /// The paper's 3-bit family: special values {−3, +3} (FP3-ER) and
+    /// {−6, +6} (FP3-EA), Table IV.
+    pub fn fp3() -> Self {
+        Self::with_special_values(3, &[-3.0, 3.0, -6.0, 6.0])
+    }
+
+    /// The paper's 4-bit family: special values {−5, +5} (FP4-ER) and
+    /// {−8, +8} (FP4-EA), Table IV.
+    pub fn fp4() -> Self {
+        Self::with_special_values(4, &[-5.0, 5.0, -8.0, 8.0])
+    }
+
+    /// The family for a precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 3 or 4.
+    pub fn for_bits(bits: u8) -> Self {
+        match bits {
+            3 => Self::fp3(),
+            4 => Self::fp4(),
+            _ => panic!("BitMoD family defined for 3 and 4 bits, got {bits}"),
+        }
+    }
+
+    /// Builds a family with custom special values (the hardware's
+    /// programmable `SV_reg` allows arbitrary values; Table IX ablates
+    /// alternative sets such as {±3, ±5} and {±5, ±6}).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 3 or 4, or if more than four special values
+    /// are given (the 2-bit per-group selector cannot address more).
+    pub fn with_special_values(bits: u8, values: &[f32]) -> Self {
+        assert!(bits == 3 || bits == 4, "BitMoD family defined for 3 and 4 bits");
+        assert!(
+            !values.is_empty() && values.len() <= 4,
+            "the 2-bit selector supports 1..=4 special values, got {}",
+            values.len()
+        );
+        let specials = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| SpecialValue {
+                value: v,
+                selector: i as u8,
+            })
+            .collect();
+        Self { bits, specials }
+    }
+
+    /// Precision in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The allowed special values in selector order.
+    pub fn special_values(&self) -> &[SpecialValue] {
+        &self.specials
+    }
+
+    /// The basic (unextended) value grid for this precision.
+    pub fn basic_codebook(&self) -> Codebook {
+        basic_minifloat(self.bits).codebook()
+    }
+
+    /// All member data types (one per special value).
+    pub fn members(&self) -> Vec<ExtendedFp> {
+        self.specials
+            .iter()
+            .map(|&sv| ExtendedFp::new(self.bits, sv))
+            .collect()
+    }
+
+    /// Per-group metadata overhead in bits: the 2-bit special-value selector
+    /// (Section III-C counts 2 bits of encoding metadata per group).
+    pub fn selector_bits(&self) -> u32 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp3_family_matches_table_iv() {
+        let fam = BitModFamily::fp3();
+        let vals: Vec<f32> = fam.special_values().iter().map(|s| s.value).collect();
+        assert_eq!(vals, vec![-3.0, 3.0, -6.0, 6.0]);
+        assert_eq!(fam.bits(), 3);
+    }
+
+    #[test]
+    fn fp4_family_matches_table_iv() {
+        let fam = BitModFamily::fp4();
+        let vals: Vec<f32> = fam.special_values().iter().map(|s| s.value).collect();
+        assert_eq!(vals, vec![-5.0, 5.0, -8.0, 8.0]);
+    }
+
+    #[test]
+    fn er_vs_ea_classification() {
+        let fam = BitModFamily::fp3();
+        let members = fam.members();
+        assert_eq!(members[0].kind(), ExtensionKind::ExtraResolution); // -3
+        assert_eq!(members[1].kind(), ExtensionKind::ExtraResolution); // +3
+        assert_eq!(members[2].kind(), ExtensionKind::ExtraAsymmetry); // -6
+        assert_eq!(members[3].kind(), ExtensionKind::ExtraAsymmetry); // +6
+    }
+
+    #[test]
+    fn extended_codebook_uses_every_code() {
+        // FP3 basic has 7 distinct values; the extension brings it to 8 = 2^3.
+        for m in BitModFamily::fp3().members() {
+            assert_eq!(m.codebook().len(), 8, "{}", m.name());
+        }
+        for m in BitModFamily::fp4().members() {
+            assert_eq!(m.codebook().len(), 16, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn ea_extends_absmax_er_does_not() {
+        let fam = BitModFamily::fp4();
+        let members = fam.members();
+        let base_max = fam.basic_codebook().absmax();
+        assert_eq!(members[0].codebook().absmax(), base_max); // ER ±5 < 6
+        assert!(members[3].codebook().absmax() > base_max); // EA +8
+    }
+
+    #[test]
+    fn ea_grid_is_asymmetric() {
+        let plus6 = ExtendedFp::new(
+            3,
+            SpecialValue {
+                value: 6.0,
+                selector: 3,
+            },
+        );
+        let cb = plus6.codebook();
+        assert_eq!(cb.max(), 6.0);
+        assert_eq!(cb.min(), -4.0);
+    }
+
+    #[test]
+    fn selectors_are_sequential() {
+        let fam = BitModFamily::fp4();
+        for (i, sv) in fam.special_values().iter().enumerate() {
+            assert_eq!(sv.selector as usize, i);
+        }
+    }
+
+    #[test]
+    fn custom_special_values_table_ix() {
+        let fam = BitModFamily::with_special_values(3, &[-5.0, 5.0, -6.0, 6.0]);
+        assert_eq!(fam.members().len(), 4);
+        assert_eq!(fam.members()[1].special().value, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4 special values")]
+    fn too_many_special_values_rejected() {
+        let _ = BitModFamily::with_special_values(3, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 and 4 bits")]
+    fn unsupported_precision_rejected() {
+        let _ = BitModFamily::for_bits(5);
+    }
+
+    #[test]
+    fn names_reflect_kind_and_value() {
+        let members = BitModFamily::fp3().members();
+        assert!(members[0].name().contains("ER"));
+        assert!(members[2].name().contains("EA"));
+        assert!(members[3].name().contains("+6"));
+    }
+}

@@ -1,0 +1,325 @@
+//! The unified bit-serial representation (Section IV-A).
+//!
+//! Every weight data type supported by the BitMoD PE is decomposed into a
+//! sequence of *bit-serial terms*
+//!
+//! ```text
+//! v_term = (-1)^sign · 2^exp · man · 2^bsig
+//! ```
+//!
+//! with a 1-bit mantissa, a small exponent and a shared bit-significance:
+//!
+//! * INT8 / INT6 / INT5 weights are Booth-encoded; each radix-4 digit
+//!   {0, ±1, ±2} becomes one term (mantissa 0 or 1, exponent 0 or 1,
+//!   bit-significance `2·i`).
+//! * Extended FP4/FP3 weights are first converted to a sign–magnitude
+//!   fixed-point value with one fraction bit; because every value of the
+//!   extended grids (Table IV) has at most two set bits in that
+//!   representation, a leading-one detector emits at most two terms.
+//!   Arbitrary re-programmed special values are handled with a canonical
+//!   signed-digit decomposition, matching the paper's remark that e.g. `7`
+//!   can be emitted as `2^3 − 2^0`.
+//!
+//! The decompositions here are exact: reconstruction tests and property tests
+//! check every representable value.
+
+use crate::bitmod::BitModFamily;
+use crate::booth;
+use serde::{Deserialize, Serialize};
+
+/// One bit-serial term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSerialTerm {
+    /// Sign of the term (`true` = negative).
+    pub negative: bool,
+    /// Exponent within the term (0–3 in the hardware's 2-bit field).
+    pub exp: u8,
+    /// 1-bit mantissa: a zero mantissa makes the whole term contribute 0,
+    /// modelling an idle Booth digit.
+    pub man: u8,
+    /// Shared bit-significance, in powers of two.  May be negative for the
+    /// fractional window of the FP4 fixed-point representation.
+    pub bsig: i8,
+}
+
+impl BitSerialTerm {
+    /// A term contributing exactly zero (idle cycle).
+    pub const ZERO: BitSerialTerm = BitSerialTerm {
+        negative: false,
+        exp: 0,
+        man: 0,
+        bsig: 0,
+    };
+
+    /// Creates a term from its fields.
+    pub fn new(negative: bool, exp: u8, man: u8, bsig: i8) -> Self {
+        Self {
+            negative,
+            exp,
+            man,
+            bsig,
+        }
+    }
+
+    /// The numeric value `(-1)^sign · 2^exp · man · 2^bsig`.
+    pub fn value(&self) -> f64 {
+        if self.man == 0 {
+            return 0.0;
+        }
+        let mag = 2f64.powi(self.exp as i32 + self.bsig as i32);
+        if self.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Total shift amount (`exp + bsig`) applied to the activation mantissa
+    /// when this term is multiplied in the PE.
+    pub fn shift(&self) -> i32 {
+        self.exp as i32 + self.bsig as i32
+    }
+}
+
+/// Reconstructs the weight value represented by a term sequence.
+pub fn reconstruct(terms: &[BitSerialTerm]) -> f64 {
+    terms.iter().map(BitSerialTerm::value).sum()
+}
+
+/// Encoder that turns weights of the supported data types into bit-serial
+/// term sequences — the software model of the "bit-serial term generator" in
+/// Fig. 6 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use bitmod_dtypes::WeightTermEncoder;
+///
+/// let enc = WeightTermEncoder::new();
+/// let terms = enc.encode_int(-77, 8);
+/// assert_eq!(terms.len(), 4); // INT8 -> 4 Booth terms -> 4 PE cycles
+/// let value: f64 = terms.iter().map(|t| t.value()).sum();
+/// assert_eq!(value, -77.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WeightTermEncoder {
+    _private: (),
+}
+
+impl WeightTermEncoder {
+    /// Creates a new encoder.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+
+    /// Encodes an `bits`-wide two's-complement integer weight as Booth terms.
+    /// The sequence always has `ceil(bits/2)` terms (idle digits emit
+    /// zero-mantissa terms) because the PE spends a cycle per digit
+    /// regardless of its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `bits` bits (see [`booth::encode`]).
+    pub fn encode_int(&self, value: i32, bits: u8) -> Vec<BitSerialTerm> {
+        booth::encode(value, bits)
+            .into_iter()
+            .map(|d| {
+                let mag = d.digit.unsigned_abs();
+                BitSerialTerm {
+                    negative: d.digit < 0,
+                    exp: if mag == 2 { 1 } else { 0 },
+                    man: u8::from(mag != 0),
+                    bsig: (2 * d.position) as i8,
+                }
+            })
+            .collect()
+    }
+
+    /// Encodes an extended FP4/FP3 value (a member of a [`BitModFamily`]
+    /// codebook, i.e. basic minifloat values plus the group's special value)
+    /// into at most `max_terms` bit-serial terms using a canonical
+    /// signed-digit decomposition over a fixed-point representation with one
+    /// fraction bit.  The result is padded with zero terms to exactly
+    /// `max_terms`, modelling the PE's fixed two-cycle schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value * 2` is not an integer (the extended grids only
+    /// contain multiples of 0.5) or if the value needs more than `max_terms`
+    /// signed power-of-two terms.
+    pub fn encode_extended_fp(&self, value: f32, max_terms: usize) -> Vec<BitSerialTerm> {
+        let scaled = value * 2.0;
+        assert!(
+            (scaled - scaled.round()).abs() < 1e-6,
+            "extended FP values must be multiples of 0.5, got {value}"
+        );
+        let mut terms = csd_terms(scaled.round() as i64, -1);
+        assert!(
+            terms.len() <= max_terms,
+            "value {value} needs {} terms but only {max_terms} are allowed",
+            terms.len()
+        );
+        while terms.len() < max_terms {
+            terms.push(BitSerialTerm::ZERO);
+        }
+        terms
+    }
+
+    /// Encodes every value of a BitMoD family member's codebook and checks it
+    /// fits the two-term budget; returns the maximum number of non-zero terms
+    /// over the grid.  Used by tests and by the accelerator model to assert
+    /// the 2-cycle claim of Section IV-B.
+    pub fn max_nonzero_terms(&self, family: &BitModFamily) -> usize {
+        let mut worst = 0;
+        for member in family.members() {
+            for &v in member.codebook().values() {
+                let terms = csd_terms((v * 2.0).round() as i64, -1);
+                worst = worst.max(terms.len());
+            }
+        }
+        worst
+    }
+}
+
+/// Canonical signed-digit decomposition of an integer into signed powers of
+/// two, returned as bit-serial terms with the given extra bit-significance
+/// offset (used to undo fixed-point scaling).  CSD is minimal: no two
+/// adjacent digits are non-zero, so any value representable with two set bits
+/// (all Table IV values) yields at most two terms.
+fn csd_terms(mut v: i64, bsig_offset: i8) -> Vec<BitSerialTerm> {
+    let mut terms = Vec::new();
+    let mut pos: i32 = 0;
+    while v != 0 {
+        if v & 1 != 0 {
+            // Look at the two low bits to decide between +1 and -1 (borrow).
+            let low2 = v & 3;
+            let digit: i64 = if low2 == 3 { -1 } else { 1 };
+            terms.push(make_term(digit, pos, bsig_offset));
+            v -= digit;
+        }
+        v >>= 1;
+        pos += 1;
+    }
+    terms
+}
+
+fn make_term(digit: i64, pos: i32, bsig_offset: i8) -> BitSerialTerm {
+    debug_assert!(digit == 1 || digit == -1);
+    // Split the total shift into a small exponent (0..=3) and the remainder in
+    // bsig, mirroring the hardware's 2-bit exponent + shared significance.
+    let total = pos + bsig_offset as i32;
+    let exp = total.rem_euclid(4).min(3);
+    let bsig = total - exp;
+    BitSerialTerm {
+        negative: digit < 0,
+        exp: exp as u8,
+        man: 1,
+        bsig: bsig as i8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmod::BitModFamily;
+
+    #[test]
+    fn int_encoding_reconstructs_all_int8_values() {
+        let enc = WeightTermEncoder::new();
+        for v in -128..=127 {
+            let terms = enc.encode_int(v, 8);
+            assert_eq!(terms.len(), 4);
+            assert_eq!(reconstruct(&terms), v as f64, "value {v}");
+        }
+    }
+
+    #[test]
+    fn int6_uses_three_terms() {
+        let enc = WeightTermEncoder::new();
+        for v in -32..=31 {
+            let terms = enc.encode_int(v, 6);
+            assert_eq!(terms.len(), 3);
+            assert_eq!(reconstruct(&terms), v as f64);
+        }
+    }
+
+    #[test]
+    fn extended_fp4_values_need_at_most_two_terms() {
+        let enc = WeightTermEncoder::new();
+        assert!(enc.max_nonzero_terms(&BitModFamily::fp4()) <= 2);
+        assert!(enc.max_nonzero_terms(&BitModFamily::fp3()) <= 2);
+    }
+
+    #[test]
+    fn extended_fp_reconstruction_is_exact() {
+        let enc = WeightTermEncoder::new();
+        for fam in [BitModFamily::fp3(), BitModFamily::fp4()] {
+            for member in fam.members() {
+                for &v in member.codebook().values() {
+                    let terms = enc.encode_extended_fp(v, 2);
+                    assert_eq!(terms.len(), 2);
+                    assert!(
+                        (reconstruct(&terms) - v as f64).abs() < 1e-9,
+                        "value {v} of {}",
+                        member.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reprogrammed_special_value_seven_needs_two_terms() {
+        // The paper notes 7 can be emitted as 2^3 - 2^0 instead of three
+        // leading-one terms; the CSD decomposition does exactly that.
+        let enc = WeightTermEncoder::new();
+        let terms = enc.encode_extended_fp(7.0, 2);
+        let nonzero: Vec<_> = terms.iter().filter(|t| t.man != 0).collect();
+        assert_eq!(nonzero.len(), 2);
+        assert_eq!(reconstruct(&terms), 7.0);
+    }
+
+    #[test]
+    fn fractional_half_is_a_single_term() {
+        let enc = WeightTermEncoder::new();
+        let terms = enc.encode_extended_fp(0.5, 2);
+        assert_eq!(reconstruct(&terms), 0.5);
+        assert_eq!(terms.iter().filter(|t| t.man != 0).count(), 1);
+    }
+
+    #[test]
+    fn zero_encodes_to_idle_terms() {
+        let enc = WeightTermEncoder::new();
+        let terms = enc.encode_extended_fp(0.0, 2);
+        assert_eq!(terms, vec![BitSerialTerm::ZERO, BitSerialTerm::ZERO]);
+        assert_eq!(reconstruct(&terms), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 0.5")]
+    fn non_grid_value_rejected() {
+        let enc = WeightTermEncoder::new();
+        let _ = enc.encode_extended_fp(0.3, 2);
+    }
+
+    #[test]
+    fn term_value_and_shift() {
+        let t = BitSerialTerm::new(true, 1, 1, 2);
+        assert_eq!(t.value(), -8.0);
+        assert_eq!(t.shift(), 3);
+        assert_eq!(BitSerialTerm::ZERO.value(), 0.0);
+    }
+
+    #[test]
+    fn csd_is_minimal_for_small_values() {
+        // Every integer magnitude 0..=16 should need at most ceil(bits/2)+... —
+        // specifically values with two set bits need exactly two CSD digits.
+        for v in 0..=32i64 {
+            let terms = csd_terms(v, 0);
+            let ones = (v as u64).count_ones() as usize;
+            assert!(terms.len() <= ones.max(1), "v={v} terms={} ones={ones}", terms.len());
+            let sum: f64 = terms.iter().map(BitSerialTerm::value).sum();
+            assert_eq!(sum, v as f64);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Radix-4 Booth encoding of low-precision integer weights.
+//!
+//! The BitMoD PE processes INT8/INT6/INT5 weights as a sequence of 3-bit
+//! Booth strings (Fig. 4a of the paper): an `n`-bit two's-complement value is
+//! decomposed into `ceil(n/2)` signed digits in `{-2, -1, 0, +1, +2}`, each
+//! with a bit-significance two positions above the previous one, so
+//!
+//! ```text
+//! value = Σ_i  d_i · 4^i
+//! ```
+//!
+//! Each digit becomes one bit-serial term and therefore one PE cycle, which is
+//! where the "INT8 = 4 cycles, INT6 = 3 cycles" throughput of Section IV-B
+//! comes from.
+
+/// A single radix-4 Booth digit: value in `{-2, -1, 0, 1, 2}` at
+/// bit-significance `2 * position`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoothDigit {
+    /// Signed digit value.
+    pub digit: i8,
+    /// Digit index; the digit's weight is `4^position`.
+    pub position: u8,
+}
+
+impl BoothDigit {
+    /// The numeric contribution of this digit.
+    pub fn value(&self) -> i64 {
+        (self.digit as i64) << (2 * self.position as u32)
+    }
+}
+
+/// Number of Booth digits needed for an `n`-bit two's-complement value.
+pub fn digit_count(bits: u8) -> usize {
+    (bits as usize).div_ceil(2)
+}
+
+/// Booth-encodes an `n`-bit two's-complement integer.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `2..=16` or if `value` does not fit in `bits`
+/// two's-complement bits.
+pub fn encode(value: i32, bits: u8) -> Vec<BoothDigit> {
+    assert!((2..=16).contains(&bits), "booth encoding supports 2..=16 bits");
+    let lo = -(1i32 << (bits - 1));
+    let hi = (1i32 << (bits - 1)) - 1;
+    assert!(
+        (lo..=hi).contains(&value),
+        "value {value} does not fit in {bits}-bit two's complement"
+    );
+    // Work on the sign-extended bit pattern with an implicit 0 below the LSB.
+    let n_digits = digit_count(bits);
+    let bit = |idx: i32| -> i32 {
+        if idx < 0 {
+            0
+        } else {
+            (value >> idx.min(31)) & 1
+        }
+    };
+    let mut digits = Vec::with_capacity(n_digits);
+    for i in 0..n_digits {
+        let b_hi = bit(2 * i as i32 + 1);
+        let b_mid = bit(2 * i as i32);
+        let b_lo = bit(2 * i as i32 - 1);
+        let d = -2 * b_hi + b_mid + b_lo;
+        digits.push(BoothDigit {
+            digit: d as i8,
+            position: i as u8,
+        });
+    }
+    digits
+}
+
+/// Reconstructs the integer value from its Booth digits.
+pub fn decode(digits: &[BoothDigit]) -> i64 {
+    digits.iter().map(BoothDigit::value).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(bits: u8) {
+        let lo = -(1i32 << (bits - 1));
+        let hi = (1i32 << (bits - 1)) - 1;
+        for v in lo..=hi {
+            let digits = encode(v, bits);
+            assert_eq!(digits.len(), digit_count(bits));
+            assert_eq!(decode(&digits), v as i64, "roundtrip failed for {v} at {bits} bits");
+            assert!(digits.iter().all(|d| (-2..=2).contains(&d.digit)));
+        }
+    }
+
+    #[test]
+    fn int8_roundtrips_exhaustively() {
+        roundtrip(8);
+    }
+
+    #[test]
+    fn int6_roundtrips_exhaustively() {
+        roundtrip(6);
+    }
+
+    #[test]
+    fn int5_roundtrips_exhaustively() {
+        roundtrip(5);
+    }
+
+    #[test]
+    fn int4_roundtrips_exhaustively() {
+        roundtrip(4);
+    }
+
+    #[test]
+    fn digit_counts_match_paper_cycle_counts() {
+        assert_eq!(digit_count(8), 4);
+        assert_eq!(digit_count(6), 3);
+        assert_eq!(digit_count(5), 3);
+        assert_eq!(digit_count(4), 2);
+    }
+
+    #[test]
+    fn known_encodings() {
+        // 7 = 8 - 1 -> digits (LSB first): -1 at pos 0 (value -1), +2 at pos 1 (value 8).
+        let d = encode(7, 4);
+        assert_eq!(d[0].digit, -1);
+        assert_eq!(d[1].digit, 2);
+        // -1 -> all-ones pattern: digit -1 at pos 0, 0 elsewhere.
+        let d = encode(-1, 8);
+        assert_eq!(d[0].digit, -1);
+        assert!(d[1..].iter().all(|x| x.digit == 0));
+        // 0 encodes to all-zero digits.
+        assert!(encode(0, 6).iter().all(|x| x.digit == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn out_of_range_value_rejected() {
+        let _ = encode(128, 8);
+    }
+}

@@ -1,0 +1,257 @@
+//! Codebooks: finite, sorted sets of representable quantization values.
+//!
+//! Non-integer data types (minifloats, Flint, the BitMoD extended floats) are
+//! "non-linear" in the paper's terminology: quantization maps a scaled weight
+//! to the *nearest member of a value set* instead of rounding to an integer
+//! grid.  A [`Codebook`] is that value set plus the nearest-value lookup.
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted set of representable values for non-linear quantization.
+///
+/// # Example
+///
+/// ```
+/// use bitmod_dtypes::Codebook;
+///
+/// let cb = Codebook::new("FP3", vec![0.0, 1.0, -1.0, 2.0, -2.0, 4.0, -4.0]);
+/// assert_eq!(cb.quantize(2.9), 2.0);
+/// assert_eq!(cb.quantize(3.1), 4.0);
+/// assert_eq!(cb.absmax(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Codebook {
+    name: String,
+    /// Sorted ascending, deduplicated.
+    values: Vec<f32>,
+}
+
+impl Codebook {
+    /// Creates a codebook from an arbitrary collection of values.  Values are
+    /// sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains a non-finite value.
+    pub fn new(name: impl Into<String>, mut values: Vec<f32>) -> Self {
+        assert!(!values.is_empty(), "codebook must contain at least one value");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "codebook values must be finite"
+        );
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        values.dedup();
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Returns a new codebook equal to this one with `value` added.
+    pub fn with_value(&self, value: f32) -> Codebook {
+        let mut values = self.values.clone();
+        values.push(value);
+        Codebook::new(self.name.clone(), values)
+    }
+
+    /// The codebook's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted representable values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Number of representable values (quantization levels).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the codebook is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Largest absolute representable value.  The per-group scaling factor of
+    /// non-linear quantization maps the group's absolute maximum onto this
+    /// value (Section III-A: "the scaling factor and quantized values are
+    /// ultimately determined by the absolute maximum value of a data type").
+    pub fn absmax(&self) -> f32 {
+        self.values
+            .iter()
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// Smallest representable value.
+    pub fn min(&self) -> f32 {
+        self.values[0]
+    }
+
+    /// Largest representable value.
+    pub fn max(&self) -> f32 {
+        self.values[self.values.len() - 1]
+    }
+
+    /// Maps `x` to the nearest representable value (ties resolve toward the
+    /// smaller value, matching a deterministic round-half-down on the level
+    /// index; the choice is irrelevant for error statistics).
+    pub fn quantize(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return self.values[0];
+        }
+        match self
+            .values
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => self.values[i],
+            Err(i) => {
+                if i == 0 {
+                    self.values[0]
+                } else if i == self.values.len() {
+                    self.values[self.values.len() - 1]
+                } else {
+                    let lo = self.values[i - 1];
+                    let hi = self.values[i];
+                    if (x - lo) <= (hi - x) {
+                        lo
+                    } else {
+                        hi
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maps `x` to the *index* of the nearest representable value.
+    pub fn quantize_index(&self, x: f32) -> usize {
+        let q = self.quantize(x);
+        self.values
+            .iter()
+            .position(|&v| v == q)
+            .expect("quantize returns a codebook member")
+    }
+
+    /// Quantizes a whole slice, returning the reconstructed values.
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Mean-square error of quantizing `xs` with this codebook after scaling
+    /// by `scale` (i.e. the error of `scale * quantize(x / scale)` against
+    /// `x`).  `scale` must be positive; a zero scale yields the error of
+    /// all-zero reconstruction.
+    pub fn scaled_mse(&self, xs: &[f32], scale: f32) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let err: f64 = xs
+            .iter()
+            .map(|&x| {
+                let rec = if scale > 0.0 {
+                    self.quantize(x / scale) * scale
+                } else {
+                    0.0
+                };
+                let d = (x - rec) as f64;
+                d * d
+            })
+            .sum();
+        err / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp3() -> Codebook {
+        Codebook::new("FP3", vec![0.0, 1.0, -1.0, 2.0, -2.0, 4.0, -4.0])
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let cb = Codebook::new("x", vec![1.0, -1.0, 1.0, 0.0]);
+        assert_eq!(cb.values(), &[-1.0, 0.0, 1.0]);
+        assert_eq!(cb.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_codebook_panics() {
+        let _ = Codebook::new("x", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_value_panics() {
+        let _ = Codebook::new("x", vec![f32::INFINITY]);
+    }
+
+    #[test]
+    fn quantize_picks_nearest() {
+        let cb = fp3();
+        assert_eq!(cb.quantize(0.4), 0.0);
+        assert_eq!(cb.quantize(0.6), 1.0);
+        assert_eq!(cb.quantize(-2.9), -2.0);
+        assert_eq!(cb.quantize(-3.1), -4.0);
+        assert_eq!(cb.quantize(100.0), 4.0);
+        assert_eq!(cb.quantize(-100.0), -4.0);
+    }
+
+    #[test]
+    fn quantize_exact_member_is_identity() {
+        let cb = fp3();
+        for &v in cb.values() {
+            assert_eq!(cb.quantize(v), v);
+        }
+    }
+
+    #[test]
+    fn quantize_index_roundtrips() {
+        let cb = fp3();
+        for (i, &v) in cb.values().iter().enumerate() {
+            assert_eq!(cb.quantize_index(v), i);
+        }
+    }
+
+    #[test]
+    fn absmax_min_max() {
+        let cb = fp3();
+        assert_eq!(cb.absmax(), 4.0);
+        assert_eq!(cb.min(), -4.0);
+        assert_eq!(cb.max(), 4.0);
+    }
+
+    #[test]
+    fn with_value_extends_the_grid() {
+        let cb = fp3().with_value(6.0);
+        assert_eq!(cb.len(), 8);
+        assert_eq!(cb.quantize(5.5), 6.0);
+        assert_eq!(cb.absmax(), 6.0);
+    }
+
+    #[test]
+    fn scaled_mse_decreases_with_better_scale() {
+        let cb = fp3();
+        let xs: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) / 8.0).collect();
+        // Scale that maps absmax onto the codebook absmax should beat a wild scale.
+        let good = cb.scaled_mse(&xs, 1.0);
+        let bad = cb.scaled_mse(&xs, 10.0);
+        assert!(good < bad, "good {good} bad {bad}");
+    }
+
+    #[test]
+    fn scaled_mse_zero_scale_is_signal_power() {
+        let cb = fp3();
+        let xs = [1.0f32, -1.0];
+        assert!((cb.scaled_mse(&xs, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        let cb = fp3();
+        let _ = cb.quantize(f32::NAN);
+    }
+}

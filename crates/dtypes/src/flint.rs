@@ -1,0 +1,127 @@
+//! The ANT `Flint` data type (Guo et al., MICRO 2022).
+//!
+//! Flint ("float + int") splits its codes between an integer-like region near
+//! zero (fine, uniform resolution) and a float-like region away from zero
+//! (power-of-two spacing, large range).  ANT encodes this with a leading-one
+//! prefix: the position of the leading one selects the binade and the
+//! remaining bits are the mantissa, so small binades get more mantissa bits
+//! and large binades fewer.
+//!
+//! For a 4-bit Flint (1 sign + 3 magnitude bits) this enumeration yields the
+//! value set `{0, ±1, ±2, ±3, ±4, ±6, ±8, ±16}`: uniform near zero, a single
+//! mantissa step in the `[4, 8)` binade, and a bare power of two at the top.
+//! This reproduces the property the paper relies on (Table I): Flint adapts
+//! well to *per-channel* distributions (wide dynamic range) but is never the
+//! best grid at *per-group* granularity, where its sparse top region wastes
+//! levels.
+
+use crate::codebook::Codebook;
+
+/// Enumerates the magnitude set of a `bits`-wide Flint value (excluding the
+/// sign bit) and mirrors it to negative values.
+///
+/// The construction follows ANT's leading-one encoding.  With `k = bits - 1`
+/// magnitude bits, the magnitudes are:
+///
+/// * `0` and the dense integer region `1 ..= 2^(k-1)`;
+/// * for each subsequent binade `[2^j, 2^(j+1))`, `2^(k-1-?)`-spaced points,
+///   with the number of mantissa points halving every binade;
+/// * a final bare power of two `2^k` extending the range.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=8`.
+pub fn flint_values(bits: u8) -> Vec<f32> {
+    assert!((3..=8).contains(&bits), "flint is defined for 3..=8 bits");
+    let k = (bits - 1) as i32; // magnitude bits
+    let mut mags: Vec<f32> = Vec::new();
+    mags.push(0.0);
+    // Dense integer region: 1 ..= 2^(k-1).
+    let dense_top = 1i32 << (k - 1);
+    for v in 1..=dense_top {
+        mags.push(v as f32);
+    }
+    // Float-like region: binades [2^j, 2^(j+1)) for j = k-1 .. 2k-2, each with
+    // half the mantissa points of the previous one.
+    let mut points_in_binade = (dense_top / 2).max(1);
+    let mut j = k - 1;
+    while points_in_binade >= 1 && j <= 2 * k - 2 {
+        let lo = 1i32 << j;
+        let step = (1i32 << j) / points_in_binade;
+        for p in 1..points_in_binade {
+            mags.push((lo + p * step) as f32);
+        }
+        mags.push((1i32 << (j + 1)) as f32);
+        points_in_binade /= 2;
+        j += 1;
+    }
+    let mut vals: Vec<f32> = mags.iter().map(|&m| -m).chain(mags.iter().copied()).collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    vals.dedup();
+    vals
+}
+
+/// The Flint value grid as a [`Codebook`].
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=8`.
+pub fn flint_codebook(bits: u8) -> Codebook {
+    Codebook::new(format!("Flint{bits}"), flint_values(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flint4_value_set() {
+        let v = flint_values(4);
+        assert_eq!(
+            v,
+            vec![
+                -16.0, -8.0, -6.0, -4.0, -3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0
+            ]
+        );
+    }
+
+    #[test]
+    fn flint3_value_set() {
+        let v = flint_values(3);
+        // k = 2: dense 1..=2, then binade [2,4) with 1 point -> 4, then top 8.
+        assert!(v.contains(&1.0) && v.contains(&2.0) && v.contains(&4.0));
+        assert_eq!(v.iter().cloned().fold(0.0f32, f32::max), v.last().copied().unwrap());
+    }
+
+    #[test]
+    fn flint_has_wider_range_than_fp_of_same_width() {
+        use crate::fp::MiniFloat;
+        assert!(flint_codebook(4).absmax() > MiniFloat::FP4_E2M1.absmax());
+    }
+
+    #[test]
+    fn flint_is_symmetric() {
+        for bits in 3..=6 {
+            let v = flint_values(bits);
+            for &x in &v {
+                assert!(v.contains(&-x), "flint{bits} missing -{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn flint_is_coarser_than_int_near_its_top() {
+        // The top binade of flint4 jumps from 8 to 16, while INT4-Sym covers
+        // 1..7 uniformly — this coarseness is why flint loses at per-group
+        // granularity in Table I.
+        let v = flint_values(4);
+        let top_gap = v[v.len() - 1] - v[v.len() - 2];
+        assert_eq!(top_gap, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "3..=8")]
+    fn flint_rejects_tiny_widths() {
+        let _ = flint_values(2);
+    }
+}

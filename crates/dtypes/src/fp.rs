@@ -1,0 +1,186 @@
+//! Minifloat (low-precision floating point) value grids.
+//!
+//! The basic FP3 and FP4 data types of the paper, plus the FP6 variants of
+//! Table II and an FP8 for completeness, are all instances of a generic
+//! sign–magnitude minifloat with `E` exponent bits and `M` mantissa bits:
+//!
+//! * exponent field 0 encodes subnormals `±(m / 2^M) · 2^(1 - bias)`;
+//! * other exponent fields encode normals `±(1 + m / 2^M) · 2^(e - bias)`;
+//! * no field combination is reserved for infinity or NaN (these tiny formats
+//!   dedicate every code to a finite value, as the paper's Table IV does);
+//! * the bias is the usual `2^(E-1) - 1`.
+//!
+//! With that convention FP4-E2M1 enumerates exactly the paper's basic FP4
+//! values {0, ±0.5, ±1, ±1.5, ±2, ±3, ±4, ±6} and FP3-E2M0 enumerates
+//! {0, ±1, ±2, ±4}.
+
+use crate::codebook::Codebook;
+
+/// Parameters of a minifloat format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MiniFloat {
+    /// Number of exponent bits.
+    pub exp_bits: u8,
+    /// Number of mantissa bits.
+    pub man_bits: u8,
+}
+
+impl MiniFloat {
+    /// The paper's basic FP3 (1 sign, 2 exponent, 0 mantissa bits).
+    pub const FP3: MiniFloat = MiniFloat { exp_bits: 2, man_bits: 0 };
+    /// The paper's basic FP4, i.e. E2M1.
+    pub const FP4_E2M1: MiniFloat = MiniFloat { exp_bits: 2, man_bits: 1 };
+    /// FP6 with 2 exponent and 3 mantissa bits (Table II).
+    pub const FP6_E2M3: MiniFloat = MiniFloat { exp_bits: 2, man_bits: 3 };
+    /// FP6 with 3 exponent and 2 mantissa bits (Table II).
+    pub const FP6_E3M2: MiniFloat = MiniFloat { exp_bits: 3, man_bits: 2 };
+    /// FP8 E4M3 (used by the MX comparison at 8-bit element width).
+    pub const FP8_E4M3: MiniFloat = MiniFloat { exp_bits: 4, man_bits: 3 };
+
+    /// Total storage width in bits (sign + exponent + mantissa).
+    pub fn bits(&self) -> u8 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Exponent bias `2^(E-1) - 1` (minimum 0 for a 0/1-bit exponent).
+    pub fn bias(&self) -> i32 {
+        if self.exp_bits == 0 {
+            0
+        } else {
+            (1i32 << (self.exp_bits - 1)) - 1
+        }
+    }
+
+    /// Enumerates all distinct representable values, sorted ascending.
+    /// The redundant negative zero collapses onto +0, so the count is
+    /// `2^(bits) - 1` — the "wasted" code the BitMoD data types repurpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format is wider than 8 bits total.
+    pub fn values(&self) -> Vec<f32> {
+        assert!(self.bits() <= 8, "minifloat wider than 8 bits is not supported");
+        let mut vals = Vec::new();
+        let man_den = (1u32 << self.man_bits) as f32;
+        let e_max = (1u32 << self.exp_bits) as i32;
+        for e in 0..e_max {
+            for m in 0..(1u32 << self.man_bits) {
+                let mag = if e == 0 {
+                    (m as f32 / man_den) * 2f32.powi(1 - self.bias())
+                } else {
+                    (1.0 + m as f32 / man_den) * 2f32.powi(e - self.bias())
+                };
+                vals.push(mag);
+                if mag != 0.0 {
+                    vals.push(-mag);
+                }
+            }
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        vals.dedup();
+        vals
+    }
+
+    /// The value grid as a [`Codebook`].
+    pub fn codebook(&self) -> Codebook {
+        Codebook::new(
+            format!("FP{}-E{}M{}", self.bits(), self.exp_bits, self.man_bits),
+            self.values(),
+        )
+    }
+
+    /// Largest representable magnitude.
+    pub fn absmax(&self) -> f32 {
+        self.values()
+            .iter()
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp3_matches_table_iv_basic_values() {
+        let v = MiniFloat::FP3.values();
+        assert_eq!(v, vec![-4.0, -2.0, -1.0, 0.0, 1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn fp4_matches_table_iv_basic_values() {
+        let v = MiniFloat::FP4_E2M1.values();
+        assert_eq!(
+            v,
+            vec![
+                -6.0, -4.0, -3.0, -2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0
+            ]
+        );
+    }
+
+    #[test]
+    fn value_count_is_levels_minus_redundant_zero() {
+        // 2^bits codes, minus one because +0 and -0 collapse.
+        assert_eq!(MiniFloat::FP3.values().len(), 7);
+        assert_eq!(MiniFloat::FP4_E2M1.values().len(), 15);
+        assert_eq!(MiniFloat::FP6_E2M3.values().len(), 63);
+        assert_eq!(MiniFloat::FP6_E3M2.values().len(), 63);
+    }
+
+    #[test]
+    fn fp6_absmax_values() {
+        // E2M3: max = (1 + 7/8) * 2^(3-1) = 7.5
+        assert_eq!(MiniFloat::FP6_E2M3.absmax(), 7.5);
+        // E3M2: max = (1 + 3/4) * 2^(7-3) = 28
+        assert_eq!(MiniFloat::FP6_E3M2.absmax(), 28.0);
+    }
+
+    #[test]
+    fn e2m3_has_finer_resolution_near_one_than_e3m2() {
+        // More mantissa bits buy a finer step in the [1, 2) binade; more
+        // exponent bits buy range instead (28 vs 7.5 absmax).
+        let step_above_one = |mf: MiniFloat| {
+            let v = mf.values();
+            let next = v
+                .iter()
+                .copied()
+                .filter(|&x| x > 1.0)
+                .fold(f32::INFINITY, f32::min);
+            next - 1.0
+        };
+        assert!(step_above_one(MiniFloat::FP6_E2M3) < step_above_one(MiniFloat::FP6_E3M2));
+    }
+
+    #[test]
+    fn grids_are_symmetric() {
+        for mf in [
+            MiniFloat::FP3,
+            MiniFloat::FP4_E2M1,
+            MiniFloat::FP6_E2M3,
+            MiniFloat::FP6_E3M2,
+            MiniFloat::FP8_E4M3,
+        ] {
+            let v = mf.values();
+            for &x in &v {
+                assert!(v.contains(&-x), "{} missing -{x}", mf.codebook().name());
+            }
+        }
+    }
+
+    #[test]
+    fn bits_and_bias() {
+        assert_eq!(MiniFloat::FP4_E2M1.bits(), 4);
+        assert_eq!(MiniFloat::FP4_E2M1.bias(), 1);
+        assert_eq!(MiniFloat::FP6_E3M2.bits(), 6);
+        assert_eq!(MiniFloat::FP6_E3M2.bias(), 3);
+        assert_eq!(MiniFloat::FP8_E4M3.bias(), 7);
+    }
+
+    #[test]
+    fn codebook_quantizes_within_grid() {
+        let cb = MiniFloat::FP4_E2M1.codebook();
+        assert_eq!(cb.quantize(5.2), 6.0);
+        assert_eq!(cb.quantize(4.9), 4.0);
+        assert_eq!(cb.quantize(-0.2), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Integer quantization grids.
+//!
+//! Symmetric integer quantization (Eq. 1 of the paper) maps a weight group to
+//! the signed grid `{-(2^(b-1)-1), …, 2^(b-1)-1}` after scaling by
+//! `absmax / (2^(b-1)-1)`.  Asymmetric quantization (Eq. 2) maps the group's
+//! `[min, max]` range onto `{0, …, 2^b - 1}` with a zero point.  This module
+//! provides the grids and the level counts; the actual scaling/rounding lives
+//! in `bitmod-quant`, which owns granularity handling.
+
+use crate::codebook::Codebook;
+
+/// Number of quantization levels of a `bits`-wide integer grid.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 16.
+pub fn level_count(bits: u8) -> u32 {
+    assert!(bits >= 1 && bits <= 16, "unsupported integer width {bits}");
+    1u32 << bits
+}
+
+/// Maximum magnitude of the symmetric signed grid: `2^(b-1) - 1`.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` (a 1-bit symmetric grid has no usable levels) or
+/// `bits > 16`.
+pub fn symmetric_qmax(bits: u8) -> i32 {
+    assert!(bits >= 2 && bits <= 16, "unsupported symmetric width {bits}");
+    (1i32 << (bits - 1)) - 1
+}
+
+/// Maximum code of the asymmetric unsigned grid: `2^b - 1`.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 16.
+pub fn asymmetric_qmax(bits: u8) -> i32 {
+    assert!(bits >= 1 && bits <= 16, "unsupported asymmetric width {bits}");
+    (1i32 << bits) - 1
+}
+
+/// The symmetric integer grid as a codebook (e.g. INT4-Sym =
+/// `{-7, …, 7}`).  Useful for treating integer quantization uniformly with the
+/// non-linear data types in data-type comparison experiments.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `bits > 8`.
+pub fn symmetric_codebook(bits: u8) -> Codebook {
+    assert!(bits >= 2 && bits <= 8, "unsupported codebook width {bits}");
+    let qmax = symmetric_qmax(bits);
+    let values: Vec<f32> = (-qmax..=qmax).map(|v| v as f32).collect();
+    Codebook::new(format!("INT{bits}-Sym"), values)
+}
+
+/// The full signed two's-complement grid `{-2^(b-1), …, 2^(b-1)-1}` as a
+/// codebook.  This is the value set the Booth-encoded bit-serial datapath can
+/// represent natively.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `bits > 8`.
+pub fn twos_complement_codebook(bits: u8) -> Codebook {
+    assert!(bits >= 2 && bits <= 8, "unsupported codebook width {bits}");
+    let lo = -(1i32 << (bits - 1));
+    let hi = (1i32 << (bits - 1)) - 1;
+    let values: Vec<f32> = (lo..=hi).map(|v| v as f32).collect();
+    Codebook::new(format!("INT{bits}"), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_counts() {
+        assert_eq!(level_count(3), 8);
+        assert_eq!(level_count(4), 16);
+        assert_eq!(level_count(8), 256);
+    }
+
+    #[test]
+    fn qmax_values() {
+        assert_eq!(symmetric_qmax(4), 7);
+        assert_eq!(symmetric_qmax(8), 127);
+        assert_eq!(asymmetric_qmax(4), 15);
+        assert_eq!(asymmetric_qmax(3), 7);
+    }
+
+    #[test]
+    fn symmetric_codebook_is_symmetric_and_complete() {
+        let cb = symmetric_codebook(4);
+        assert_eq!(cb.len(), 15); // -7..=7
+        assert_eq!(cb.absmax(), 7.0);
+        assert_eq!(cb.min(), -cb.max());
+    }
+
+    #[test]
+    fn twos_complement_codebook_is_asymmetric_by_one() {
+        let cb = twos_complement_codebook(4);
+        assert_eq!(cb.len(), 16);
+        assert_eq!(cb.min(), -8.0);
+        assert_eq!(cb.max(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn zero_bits_rejected() {
+        let _ = level_count(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported symmetric width")]
+    fn one_bit_symmetric_rejected() {
+        let _ = symmetric_qmax(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! OCP Microscaling (MX) shared-exponent formats.
+//!
+//! MX assigns one 8-bit shared *power-of-two* scale (a micro-exponent) to a
+//! group of 32 low-precision floating-point elements.  The shared exponent is
+//! chosen so that the largest element of the group fits in the element
+//! format's range: `shared_exp = floor(log2(absmax)) - emax_elem`.  Because
+//! the scale is restricted to powers of two (unlike the arbitrary scaling
+//! factors of INT-Asym or BitMoD), up to one binade of resolution is lost —
+//! one of the reasons MX trails INT-Asym and BitMoD in Table VI.
+
+use crate::codebook::Codebook;
+use crate::fp::MiniFloat;
+use serde::{Deserialize, Serialize};
+
+/// The MX group size fixed by the OCP specification and used in the paper's
+/// comparison (Section V-A notes MX degrades with larger groups).
+pub const MX_GROUP_SIZE: usize = 32;
+
+/// An MX format: an element minifloat plus the shared-exponent convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MxFormat {
+    /// The per-element minifloat format.
+    pub element: MiniFloat,
+}
+
+/// Result of quantizing one MX group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MxGroup {
+    /// The shared exponent (power-of-two scale is `2^shared_exp`).
+    pub shared_exp: i32,
+    /// Reconstructed (dequantized) values.
+    pub reconstructed: Vec<f32>,
+}
+
+impl MxFormat {
+    /// MXFP4: FP4-E2M1 elements with a shared 8-bit exponent.
+    pub fn mxfp4() -> Self {
+        Self {
+            element: MiniFloat::FP4_E2M1,
+        }
+    }
+
+    /// MXFP3: FP3 elements with a shared 8-bit exponent.
+    pub fn mxfp3() -> Self {
+        Self {
+            element: MiniFloat::FP3,
+        }
+    }
+
+    /// MXFP6 (E2M3 elements).
+    pub fn mxfp6() -> Self {
+        Self {
+            element: MiniFloat::FP6_E2M3,
+        }
+    }
+
+    /// Element bit width.
+    pub fn element_bits(&self) -> u8 {
+        self.element.bits()
+    }
+
+    /// Total storage bits per weight including the amortized shared exponent
+    /// (8 bits per 32 elements = 0.25 bits/weight).
+    pub fn bits_per_weight(&self) -> f64 {
+        self.element.bits() as f64 + 8.0 / MX_GROUP_SIZE as f64
+    }
+
+    /// Chooses the shared exponent for a group: the power of two that brings
+    /// the group's absolute maximum just inside the element format's largest
+    /// magnitude.  An all-zero group uses exponent 0.
+    pub fn shared_exponent(&self, values: &[f32]) -> i32 {
+        let absmax = values.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        if absmax == 0.0 {
+            return 0;
+        }
+        let elem_max = self.element.absmax();
+        // floor(log2(absmax / elem_max)) rounded up so the max never clips above
+        // the representable range.
+        (absmax / elem_max).log2().ceil() as i32
+    }
+
+    /// Quantizes one group: picks the shared exponent, quantizes every element
+    /// with the element minifloat, and reconstructs.
+    pub fn quantize_group(&self, values: &[f32]) -> MxGroup {
+        let shared_exp = self.shared_exponent(values);
+        let scale = 2.0f32.powi(shared_exp);
+        let cb: Codebook = self.element.codebook();
+        let reconstructed = values.iter().map(|&x| cb.quantize(x / scale) * scale).collect();
+        MxGroup {
+            shared_exp,
+            reconstructed,
+        }
+    }
+
+    /// Quantizes a whole slice in groups of [`MX_GROUP_SIZE`], returning the
+    /// reconstruction.
+    pub fn quantize_slice(&self, values: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(values.len());
+        for chunk in values.chunks(MX_GROUP_SIZE) {
+            out.extend(self.quantize_group(chunk).reconstructed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_weight_includes_shared_exponent() {
+        assert!((MxFormat::mxfp4().bits_per_weight() - 4.25).abs() < 1e-12);
+        assert!((MxFormat::mxfp3().bits_per_weight() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_exponent_keeps_max_in_range() {
+        let fmt = MxFormat::mxfp4();
+        let vals = vec![0.1f32, -0.02, 0.5, -0.3];
+        let g = fmt.quantize_group(&vals);
+        let scale = 2.0f32.powi(g.shared_exp);
+        let absmax = vals.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        assert!(absmax / scale <= fmt.element.absmax() + 1e-6);
+    }
+
+    #[test]
+    fn all_zero_group_reconstructs_to_zero() {
+        let fmt = MxFormat::mxfp4();
+        let g = fmt.quantize_group(&[0.0; 8]);
+        assert_eq!(g.shared_exp, 0);
+        assert!(g.reconstructed.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn exact_powers_reconstruct_exactly() {
+        let fmt = MxFormat::mxfp4();
+        let vals = vec![6.0f32, 3.0, -1.5, 0.5];
+        let g = fmt.quantize_group(&vals);
+        assert_eq!(g.shared_exp, 0);
+        assert_eq!(g.reconstructed, vals);
+    }
+
+    #[test]
+    fn slice_quantization_preserves_length() {
+        let fmt = MxFormat::mxfp3();
+        let vals: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) / 13.0).collect();
+        assert_eq!(fmt.quantize_slice(&vals).len(), 100);
+    }
+
+    #[test]
+    fn power_of_two_scale_loses_against_exact_scale_on_worst_case() {
+        // A group whose absmax sits just above a power of two wastes almost a
+        // full binade of resolution with MX; an exact absmax scale does not.
+        let fmt = MxFormat::mxfp4();
+        let vals: Vec<f32> = (0..32).map(|i| 6.1 * ((i as f32 + 1.0) / 32.0)).collect();
+        let mx_rec = fmt.quantize_group(&vals).reconstructed;
+        let cb = MiniFloat::FP4_E2M1.codebook();
+        let exact_scale = 6.1 / cb.absmax();
+        let exact_rec: Vec<f32> = vals.iter().map(|&x| cb.quantize(x / exact_scale) * exact_scale).collect();
+        let mse = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>() / a.len() as f64
+        };
+        assert!(mse(&vals, &mx_rec) > mse(&vals, &exact_rec));
+    }
+}

@@ -1,0 +1,186 @@
+//! OliVe outlier–victim pair quantization (Guo et al., ISCA 2023).
+//!
+//! OliVe observes that outliers matter but their *neighbours* usually do not:
+//! it keeps the low-precision integer grid for normal values and, whenever a
+//! value is an outlier, encodes it with a wide-range "adaptive biased float"
+//! (abfloat) while *pruning the adjacent victim to zero* — the victim's code
+//! is what signals "the next value is an outlier" to the hardware decoder.
+//!
+//! The paper applies OliVe's data type at per-group granularity for a fair
+//! comparison (Section V-A).  This module provides the abfloat grid and the
+//! pair-wise encode/decode used by `bitmod-quant`.
+
+use crate::codebook::Codebook;
+use crate::int::symmetric_qmax;
+use serde::{Deserialize, Serialize};
+
+/// The abfloat (adaptive biased float) outlier grid at a given bit width.
+///
+/// Abfloat is an exponent-only format with a programmable bias: with `bits-1`
+/// magnitude bits it represents `±2^(bias + e)` for `e` in
+/// `0 .. 2^(bits-1) - 1` (the all-zeros magnitude is reserved so the decoder
+/// can distinguish outliers from the pruned victim).  With the default bias
+/// used for 4-bit weights this yields the paper's quoted outlier range
+/// `{±8, ±16, …, ±192-ish}` — far wider than the normal grid.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=8`.
+pub fn abfloat_values(bits: u8, bias: i32) -> Vec<f32> {
+    assert!((3..=8).contains(&bits), "abfloat defined for 3..=8 bits");
+    let n_exp = (1i32 << (bits - 1)) - 1;
+    let mut vals = Vec::new();
+    for e in 0..n_exp {
+        // Cap the exponent so wide formats (8-bit abfloat has 127 exponent
+        // codes) stay finite in f32; magnitudes beyond 2^60 are far outside
+        // any weight distribution and would never be selected anyway.
+        let mag = 2.0f32.powi((bias + e).min(60));
+        vals.push(mag);
+        vals.push(-mag);
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    vals.dedup();
+    vals
+}
+
+/// The abfloat grid as a [`Codebook`].
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `3..=8`.
+pub fn abfloat_codebook(bits: u8, bias: i32) -> Codebook {
+    Codebook::new(format!("Abfloat{bits}(bias={bias})"), abfloat_values(bits, bias))
+}
+
+/// Default abfloat bias for a weight precision: chosen so the smallest
+/// outlier magnitude sits just above the symmetric integer grid maximum
+/// (`qmax`), i.e. `2^bias > qmax`.
+pub fn default_bias(bits: u8) -> i32 {
+    let qmax = symmetric_qmax(bits.max(2)) as f32;
+    qmax.log2().floor() as i32 + 1
+}
+
+/// Outcome of encoding one value pair with the outlier–victim scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PairEncoding {
+    /// Both values are normal: both carry integer codes.
+    Normal,
+    /// The first element is an outlier (abfloat) and the second is pruned.
+    OutlierFirst,
+    /// The second element is an outlier (abfloat) and the first is pruned.
+    OutlierSecond,
+}
+
+/// OliVe quantization of a pair of already *scaled* values (i.e. values
+/// expressed in units of the integer grid).  Values whose magnitude exceeds
+/// the integer grid maximum are treated as outliers; if both elements of the
+/// pair are outliers only the larger one is preserved (the other becomes the
+/// victim), which is the accuracy compromise OliVe accepts.
+///
+/// Returns the reconstructed pair and how it was encoded.
+pub fn quantize_pair(
+    a: f32,
+    b: f32,
+    bits: u8,
+    abfloat: &Codebook,
+) -> ([f32; 2], PairEncoding) {
+    let qmax = symmetric_qmax(bits.max(2)) as f32;
+    let a_out = a.abs() > qmax;
+    let b_out = b.abs() > qmax;
+    let quant_int = |x: f32| x.round().clamp(-qmax, qmax);
+    match (a_out, b_out) {
+        (false, false) => ([quant_int(a), quant_int(b)], PairEncoding::Normal),
+        (true, false) => ([abfloat.quantize(a), 0.0], PairEncoding::OutlierFirst),
+        (false, true) => ([0.0, abfloat.quantize(b)], PairEncoding::OutlierSecond),
+        (true, true) => {
+            if a.abs() >= b.abs() {
+                ([abfloat.quantize(a), 0.0], PairEncoding::OutlierFirst)
+            } else {
+                ([0.0, abfloat.quantize(b)], PairEncoding::OutlierSecond)
+            }
+        }
+    }
+}
+
+/// Quantizes a whole scaled slice pair-wise with the outlier–victim scheme,
+/// returning the reconstruction.  Odd-length slices quantize their final
+/// element as a normal integer (it has no victim partner to sacrifice).
+pub fn quantize_slice(values: &[f32], bits: u8, abfloat: &Codebook) -> Vec<f32> {
+    let qmax = symmetric_qmax(bits.max(2)) as f32;
+    let mut out = Vec::with_capacity(values.len());
+    let mut i = 0;
+    while i + 1 < values.len() {
+        let ([qa, qb], _) = quantize_pair(values[i], values[i + 1], bits, abfloat);
+        out.push(qa);
+        out.push(qb);
+        i += 2;
+    }
+    if i < values.len() {
+        out.push(values[i].round().clamp(-qmax, qmax));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abfloat_range_is_wide() {
+        // 4-bit abfloat with the default bias covers {±8 .. ±512}; the paper
+        // quotes {24..192} for its biased variant — either way the range far
+        // exceeds the int4 grid, which is the property that matters.
+        let bias = default_bias(4);
+        assert_eq!(bias, 3);
+        let vals = abfloat_values(4, bias);
+        assert_eq!(vals.iter().cloned().fold(0.0f32, f32::max), 2.0f32.powi(3 + 6));
+        assert!(vals.iter().all(|&v| v.abs() >= 8.0));
+    }
+
+    #[test]
+    fn normal_pair_uses_integer_grid() {
+        let ab = abfloat_codebook(4, default_bias(4));
+        let ([a, b], enc) = quantize_pair(3.2, -5.7, 4, &ab);
+        assert_eq!(enc, PairEncoding::Normal);
+        assert_eq!(a, 3.0);
+        assert_eq!(b, -6.0);
+    }
+
+    #[test]
+    fn outlier_prunes_its_victim() {
+        let ab = abfloat_codebook(4, default_bias(4));
+        let ([a, b], enc) = quantize_pair(25.0, 2.0, 4, &ab);
+        assert_eq!(enc, PairEncoding::OutlierFirst);
+        assert!(a.abs() >= 8.0, "outlier should map to abfloat, got {a}");
+        assert_eq!(b, 0.0, "victim must be pruned");
+    }
+
+    #[test]
+    fn double_outlier_keeps_the_larger() {
+        let ab = abfloat_codebook(4, default_bias(4));
+        let ([a, b], enc) = quantize_pair(20.0, -40.0, 4, &ab);
+        assert_eq!(enc, PairEncoding::OutlierSecond);
+        assert_eq!(a, 0.0);
+        assert!(b < -8.0);
+    }
+
+    #[test]
+    fn slice_quantization_preserves_length_and_handles_odd_tail() {
+        let ab = abfloat_codebook(4, default_bias(4));
+        let xs = vec![1.0, 2.0, 30.0, 0.5, -3.0];
+        let q = quantize_slice(&xs, 4, &ab);
+        assert_eq!(q.len(), xs.len());
+        assert_eq!(q[3], 0.0); // victim of the 30.0 outlier
+        assert_eq!(q[4], -3.0); // odd tail quantized as normal int
+    }
+
+    #[test]
+    fn outlier_reconstruction_error_is_bounded_by_binade() {
+        let ab = abfloat_codebook(4, default_bias(4));
+        for x in [9.0f32, 17.0, 33.0, 100.0, 400.0] {
+            let ([q, _], _) = quantize_pair(x, 0.0, 4, &ab);
+            assert!(q > 0.0);
+            assert!((q - x).abs() / x <= 0.5 + 1e-6, "x={x} q={q}");
+        }
+    }
+}

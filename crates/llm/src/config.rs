@@ -1,0 +1,367 @@
+//! Configurations of the six LLMs the paper evaluates.
+//!
+//! Only the *shapes* matter for this reproduction: parameter counts drive the
+//! memory-access model (Fig. 1) and the per-layer GEMM dimensions drive the
+//! accelerator simulator (Figs. 7–9).  The numbers below are the published
+//! architectures of the HuggingFace checkpoints the paper uses.
+
+use bitmod_tensor::synthetic::WeightProfile;
+use serde::{Deserialize, Serialize};
+
+/// The six evaluated models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LlmModel {
+    /// OPT-1.3B (Zhang et al., 2022).
+    Opt1_3B,
+    /// Phi-2 (2.7B, Microsoft).
+    Phi2B,
+    /// Yi-6B (01.AI).
+    Yi6B,
+    /// Llama-2-7B (Meta).
+    Llama2_7B,
+    /// Llama-2-13B (Meta).
+    Llama2_13B,
+    /// Llama-3-8B (Meta).
+    Llama3_8B,
+}
+
+impl LlmModel {
+    /// All six models in the order the paper's tables list them.
+    pub const ALL: [LlmModel; 6] = [
+        LlmModel::Opt1_3B,
+        LlmModel::Phi2B,
+        LlmModel::Yi6B,
+        LlmModel::Llama2_7B,
+        LlmModel::Llama2_13B,
+        LlmModel::Llama3_8B,
+    ];
+
+    /// The four models used in the motivation figures (Fig. 1, Fig. 2,
+    /// Tables I/II/V).
+    pub const MOTIVATION: [LlmModel; 4] = [
+        LlmModel::Opt1_3B,
+        LlmModel::Phi2B,
+        LlmModel::Llama2_7B,
+        LlmModel::Llama2_13B,
+    ];
+
+    /// The three Llama models used in Tables VIII, XI and XII.
+    pub const LLAMA: [LlmModel; 3] = [
+        LlmModel::Llama2_7B,
+        LlmModel::Llama2_13B,
+        LlmModel::Llama3_8B,
+    ];
+
+    /// Architecture configuration of this model.
+    pub fn config(&self) -> LlmConfig {
+        match self {
+            LlmModel::Opt1_3B => LlmConfig {
+                name: "OPT-1.3B",
+                hidden: 2048,
+                layers: 24,
+                heads: 32,
+                kv_heads: 32,
+                intermediate: 8192,
+                vocab: 50272,
+                gated_mlp: false,
+                max_seq: 2048,
+            },
+            LlmModel::Phi2B => LlmConfig {
+                name: "Phi-2B",
+                hidden: 2560,
+                layers: 32,
+                heads: 32,
+                kv_heads: 32,
+                intermediate: 10240,
+                vocab: 51200,
+                gated_mlp: false,
+                max_seq: 2048,
+            },
+            LlmModel::Yi6B => LlmConfig {
+                name: "Yi-6B",
+                hidden: 4096,
+                layers: 32,
+                heads: 32,
+                kv_heads: 4,
+                intermediate: 11008,
+                vocab: 64000,
+                gated_mlp: true,
+                max_seq: 4096,
+            },
+            LlmModel::Llama2_7B => LlmConfig {
+                name: "Llama-2-7B",
+                hidden: 4096,
+                layers: 32,
+                heads: 32,
+                kv_heads: 32,
+                intermediate: 11008,
+                vocab: 32000,
+                gated_mlp: true,
+                max_seq: 4096,
+            },
+            LlmModel::Llama2_13B => LlmConfig {
+                name: "Llama-2-13B",
+                hidden: 5120,
+                layers: 40,
+                heads: 40,
+                kv_heads: 40,
+                intermediate: 13824,
+                vocab: 32000,
+                gated_mlp: true,
+                max_seq: 4096,
+            },
+            LlmModel::Llama3_8B => LlmConfig {
+                name: "Llama-3-8B",
+                hidden: 4096,
+                layers: 32,
+                heads: 32,
+                kv_heads: 8,
+                intermediate: 14336,
+                vocab: 128256,
+                gated_mlp: true,
+                max_seq: 8192,
+            },
+        }
+    }
+
+    /// The synthetic weight-distribution profile substituted for this model's
+    /// real checkpoint (see `DESIGN.md`).
+    pub fn weight_profile(&self) -> WeightProfile {
+        match self {
+            LlmModel::Opt1_3B => WeightProfile::opt_like(),
+            LlmModel::Phi2B => WeightProfile::phi_like(),
+            LlmModel::Yi6B => WeightProfile::yi_like(),
+            LlmModel::Llama2_7B => WeightProfile::llama_like(),
+            LlmModel::Llama2_13B => WeightProfile {
+                // The 13B model is slightly easier to quantize than the 7B one
+                // in every table of the paper: smaller relative tails.
+                outlier_rate: 0.0015,
+                asymmetric_group_rate: 0.12,
+                ..WeightProfile::llama_like()
+            },
+            LlmModel::Llama3_8B => WeightProfile::llama3_like(),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        self.config().name
+    }
+}
+
+/// Architecture parameters of a decoder-only transformer LLM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LlmConfig {
+    /// Model name.
+    pub name: &'static str,
+    /// Hidden (embedding) dimension.
+    pub hidden: usize,
+    /// Number of decoder layers.
+    pub layers: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Number of key/value heads (grouped-query attention when < `heads`).
+    pub kv_heads: usize,
+    /// MLP intermediate dimension.
+    pub intermediate: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Whether the MLP is gated (SwiGLU: gate+up+down) or a plain 2-layer FFN.
+    pub gated_mlp: bool,
+    /// Maximum sequence length (context window).
+    pub max_seq: usize,
+}
+
+/// Shape of one linear layer: `output × input`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinearShape {
+    /// Human-readable name ("q_proj", "down_proj", …).
+    pub name: &'static str,
+    /// Output features (rows of the weight matrix).
+    pub out_features: usize,
+    /// Input features (columns of the weight matrix).
+    pub in_features: usize,
+}
+
+impl LinearShape {
+    /// Number of weight parameters.
+    pub fn params(&self) -> u64 {
+        self.out_features as u64 * self.in_features as u64
+    }
+
+    /// Multiply–accumulate operations to process `tokens` tokens.
+    pub fn macs(&self, tokens: u64) -> u64 {
+        self.params() * tokens
+    }
+}
+
+impl LlmConfig {
+    /// Dimension of one attention head.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Combined key/value projection width (smaller than `hidden` under GQA).
+    pub fn kv_dim(&self) -> usize {
+        self.head_dim() * self.kv_heads
+    }
+
+    /// The linear layers of one decoder layer, in execution order.
+    pub fn decoder_linears(&self) -> Vec<LinearShape> {
+        let mut v = vec![
+            LinearShape {
+                name: "q_proj",
+                out_features: self.hidden,
+                in_features: self.hidden,
+            },
+            LinearShape {
+                name: "k_proj",
+                out_features: self.kv_dim(),
+                in_features: self.hidden,
+            },
+            LinearShape {
+                name: "v_proj",
+                out_features: self.kv_dim(),
+                in_features: self.hidden,
+            },
+            LinearShape {
+                name: "o_proj",
+                out_features: self.hidden,
+                in_features: self.hidden,
+            },
+        ];
+        if self.gated_mlp {
+            v.push(LinearShape {
+                name: "gate_proj",
+                out_features: self.intermediate,
+                in_features: self.hidden,
+            });
+            v.push(LinearShape {
+                name: "up_proj",
+                out_features: self.intermediate,
+                in_features: self.hidden,
+            });
+            v.push(LinearShape {
+                name: "down_proj",
+                out_features: self.hidden,
+                in_features: self.intermediate,
+            });
+        } else {
+            v.push(LinearShape {
+                name: "fc1",
+                out_features: self.intermediate,
+                in_features: self.hidden,
+            });
+            v.push(LinearShape {
+                name: "fc2",
+                out_features: self.hidden,
+                in_features: self.intermediate,
+            });
+        }
+        v
+    }
+
+    /// Total number of weight parameters in the decoder linear layers (the
+    /// tensors that get quantized).
+    pub fn linear_params(&self) -> u64 {
+        self.decoder_linears()
+            .iter()
+            .map(LinearShape::params)
+            .sum::<u64>()
+            * self.layers as u64
+    }
+
+    /// Embedding + LM-head parameters (kept in FP16, as in the paper).
+    pub fn embedding_params(&self) -> u64 {
+        2 * self.vocab as u64 * self.hidden as u64
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.linear_params() + self.embedding_params()
+    }
+
+    /// Bytes of weight storage with quantized linear layers.
+    ///
+    /// `bits_per_weight` is the effective storage width of the quantized
+    /// linear weights (including per-group metadata); embeddings stay FP16.
+    pub fn weight_bytes(&self, bits_per_weight: f64) -> f64 {
+        self.linear_params() as f64 * bits_per_weight / 8.0
+            + self.embedding_params() as f64 * 2.0
+    }
+
+    /// Multiply–accumulate operations in the decoder linear layers for
+    /// `tokens` tokens (attention score/context MACs are accounted separately
+    /// by the accelerator model).
+    pub fn linear_macs(&self, tokens: u64) -> u64 {
+        self.linear_params() * tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_are_in_the_right_ballpark() {
+        // Published totals: ~1.3B, ~2.7B, ~6B, ~6.7B, ~13B, ~8B.
+        let billions = |m: LlmModel| m.config().total_params() as f64 / 1e9;
+        assert!((billions(LlmModel::Opt1_3B) - 1.3).abs() < 0.25);
+        assert!((billions(LlmModel::Phi2B) - 2.7).abs() < 0.4);
+        assert!((billions(LlmModel::Yi6B) - 6.0).abs() < 0.7);
+        assert!((billions(LlmModel::Llama2_7B) - 6.7).abs() < 0.7);
+        assert!((billions(LlmModel::Llama2_13B) - 13.0).abs() < 1.3);
+        assert!((billions(LlmModel::Llama3_8B) - 8.0).abs() < 0.9);
+    }
+
+    #[test]
+    fn llama3_uses_grouped_query_attention() {
+        let cfg = LlmModel::Llama3_8B.config();
+        assert_eq!(cfg.kv_heads, 8);
+        assert_eq!(cfg.kv_dim(), 1024);
+        let k = cfg
+            .decoder_linears()
+            .into_iter()
+            .find(|l| l.name == "k_proj")
+            .unwrap();
+        assert_eq!(k.out_features, 1024);
+    }
+
+    #[test]
+    fn gated_models_have_seven_linears_per_layer() {
+        assert_eq!(LlmModel::Llama2_7B.config().decoder_linears().len(), 7);
+        assert_eq!(LlmModel::Opt1_3B.config().decoder_linears().len(), 6);
+    }
+
+    #[test]
+    fn weight_bytes_shrink_with_precision() {
+        let cfg = LlmModel::Llama2_7B.config();
+        let fp16 = cfg.weight_bytes(16.0);
+        let w4 = cfg.weight_bytes(4.0);
+        let w3 = cfg.weight_bytes(3.0);
+        assert!(fp16 > 12e9, "Llama-2-7B FP16 should exceed 12 GB, got {fp16}");
+        assert!(w4 < fp16 / 2.5);
+        assert!(w3 < w4);
+    }
+
+    #[test]
+    fn weight_profiles_differ_across_models() {
+        assert_ne!(
+            LlmModel::Opt1_3B.weight_profile(),
+            LlmModel::Llama2_7B.weight_profile()
+        );
+    }
+
+    #[test]
+    fn all_list_has_six_unique_models() {
+        let mut names: Vec<&str> = LlmModel::ALL.iter().map(|m| m.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn macs_scale_with_tokens() {
+        let cfg = LlmModel::Opt1_3B.config();
+        assert_eq!(cfg.linear_macs(2), 2 * cfg.linear_macs(1));
+    }
+}

@@ -1,0 +1,29 @@
+//! LLM substrate for the BitMoD reproduction: model configurations, memory
+//! modeling, and proxy evaluation.
+//!
+//! The paper evaluates six LLMs (OPT-1.3B, Phi-2B, Yi-6B, Llama-2-7B,
+//! Llama-2-13B, Llama-3-8B) on real datasets.  Those checkpoints and datasets
+//! are not available in this environment, so this crate provides the
+//! substitutes documented in `DESIGN.md`:
+//!
+//! * [`config`] — the exact layer shapes of the six models, used for memory
+//!   footprint accounting (Fig. 1) and accelerator simulation (Figs. 7–9).
+//! * [`memory`] — the analytic weight/activation/KV-cache memory-access model
+//!   behind Fig. 1.
+//! * [`proxy`] — a small decoder-only transformer with synthetic weights
+//!   drawn from each model's distributional profile; running it with
+//!   quantized weights yields a *proxy perplexity* and *proxy accuracy* whose
+//!   relative ordering across data types reproduces the paper's tables.
+//! * [`eval`] — the evaluation harness that turns quantization configurations
+//!   into proxy perplexity / accuracy numbers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod eval;
+pub mod memory;
+pub mod proxy;
+
+pub use config::{LlmConfig, LlmModel};
+pub use proxy::ProxyTransformer;

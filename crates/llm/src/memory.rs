@@ -1,0 +1,209 @@
+//! Memory-access model behind Fig. 1 of the paper.
+//!
+//! The figure profiles the total DRAM traffic of weights versus activations
+//! for discriminative (256 input tokens → 1 output token) and generative
+//! (256 → 256) tasks at batch size 1.  The model here follows the standard
+//! accounting for decoder-only inference:
+//!
+//! * **Weights** are streamed from DRAM once for the prefill pass and once
+//!   per generated token (no weight reuse across decode steps fits on-chip
+//!   for multi-GB models).
+//! * **Activations** comprise the per-layer input/output vectors of every
+//!   linear, the attention probabilities, and the KV-cache, which is written
+//!   once per token and re-read at every subsequent decode step.
+//!
+//! Absolute byte counts depend on modest assumptions (which intermediates are
+//! spilled), but the two conclusions the paper draws — weights dominate by
+//! orders of magnitude, and the gap widens for generative tasks — are robust
+//! to those assumptions, and the tests pin them down.
+
+use crate::config::LlmConfig;
+use serde::{Deserialize, Serialize};
+
+/// Sequence-length setup of a profiled task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskShape {
+    /// Number of input (prompt) tokens.
+    pub input_tokens: usize,
+    /// Number of generated output tokens.
+    pub output_tokens: usize,
+}
+
+impl TaskShape {
+    /// The paper's discriminative setting: 256 input tokens, 1 output token.
+    pub const DISCRIMINATIVE: TaskShape = TaskShape {
+        input_tokens: 256,
+        output_tokens: 1,
+    };
+    /// The paper's generative setting: 256 input tokens, 256 output tokens.
+    pub const GENERATIVE: TaskShape = TaskShape {
+        input_tokens: 256,
+        output_tokens: 256,
+    };
+}
+
+/// DRAM traffic breakdown for one model × task, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// Total weight bytes read from DRAM.
+    pub weight_bytes: f64,
+    /// Total activation bytes moved (inputs/outputs of linears + attention).
+    pub activation_bytes: f64,
+    /// KV-cache bytes written and re-read.
+    pub kv_cache_bytes: f64,
+}
+
+impl MemoryAccess {
+    /// Activation plus KV-cache traffic (the "activation" bar of Fig. 1).
+    pub fn activation_total(&self) -> f64 {
+        self.activation_bytes + self.kv_cache_bytes
+    }
+
+    /// Ratio of weight to activation traffic.
+    pub fn weight_to_activation_ratio(&self) -> f64 {
+        self.weight_bytes / self.activation_total().max(1.0)
+    }
+}
+
+/// Computes the DRAM traffic of running `task` on `model` with the given
+/// weight precision (activations and KV-cache in `act_bytes_per_elem` bytes,
+/// 2 for FP16).
+pub fn memory_access(
+    cfg: &LlmConfig,
+    task: TaskShape,
+    weight_bits: f64,
+    act_bytes_per_elem: f64,
+) -> MemoryAccess {
+    let weight_bytes_once = cfg.weight_bytes(weight_bits);
+    // Prefill reads the weights once; every decode step reads them again.
+    // The final prompt position already produces the first output token, so a
+    // task with one output token costs exactly one full weight pass.
+    let weight_passes = 1.0 + (task.output_tokens.saturating_sub(1)) as f64;
+    let weight_bytes = weight_bytes_once * weight_passes;
+
+    // Activation traffic: intermediates produced and consumed inside a
+    // decoder layer (Q/K/V, attention probabilities, the MLP intermediate)
+    // stay in the on-chip buffers at batch size 1, so the off-chip activation
+    // traffic is the residual hidden state read and written around the
+    // attention and MLP blocks of every layer, plus the LM-head input and the
+    // logits of every scored position.
+    let processed_tokens = (task.input_tokens + task.output_tokens.saturating_sub(1)) as f64;
+    let per_token_per_layer = 4.0 * cfg.hidden as f64 * act_bytes_per_elem;
+    let activation_bytes = processed_tokens * per_token_per_layer * cfg.layers as f64
+        + processed_tokens * (cfg.hidden + cfg.vocab) as f64 * act_bytes_per_elem;
+
+    // KV-cache: every processed token writes K and V (kv_dim each) per layer;
+    // every decode step re-reads the cache accumulated so far.
+    let kv_per_token = 2.0 * cfg.kv_dim() as f64 * cfg.layers as f64 * act_bytes_per_elem;
+    let kv_writes = processed_tokens * kv_per_token;
+    let mut kv_reads = 0.0;
+    for step in 0..task.output_tokens.saturating_sub(1) {
+        let ctx = task.input_tokens as f64 + step as f64;
+        kv_reads += ctx * kv_per_token;
+    }
+    MemoryAccess {
+        weight_bytes,
+        activation_bytes,
+        kv_cache_bytes: kv_writes + kv_reads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LlmModel;
+
+    #[test]
+    fn weights_dominate_for_discriminative_tasks() {
+        // Fig. 1 (left): weight access is orders of magnitude above activations.
+        for model in LlmModel::MOTIVATION {
+            let acc = memory_access(&model.config(), TaskShape::DISCRIMINATIVE, 16.0, 2.0);
+            assert!(
+                acc.weight_to_activation_ratio() > 5.0,
+                "{}: ratio {}",
+                model.name(),
+                acc.weight_to_activation_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn generative_gap_is_larger_than_discriminative_gap() {
+        // Fig. 1 (right): the weight/activation gap widens for generation even
+        // though the KV-cache grows.
+        for model in LlmModel::MOTIVATION {
+            let cfg = model.config();
+            let disc = memory_access(&cfg, TaskShape::DISCRIMINATIVE, 16.0, 2.0);
+            let gen = memory_access(&cfg, TaskShape::GENERATIVE, 16.0, 2.0);
+            assert!(
+                gen.weight_to_activation_ratio() > disc.weight_to_activation_ratio(),
+                "{}: gen {} vs disc {}",
+                model.name(),
+                gen.weight_to_activation_ratio(),
+                disc.weight_to_activation_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn generative_weight_traffic_scales_with_output_tokens() {
+        let cfg = LlmModel::Llama2_7B.config();
+        let gen = memory_access(&cfg, TaskShape::GENERATIVE, 16.0, 2.0);
+        let disc = memory_access(&cfg, TaskShape::DISCRIMINATIVE, 16.0, 2.0);
+        let ratio = gen.weight_bytes / disc.weight_bytes;
+        assert!((ratio - 256.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn quantization_reduces_weight_traffic_proportionally() {
+        let cfg = LlmModel::Llama2_13B.config();
+        let fp16 = memory_access(&cfg, TaskShape::GENERATIVE, 16.0, 2.0);
+        let w4 = memory_access(&cfg, TaskShape::GENERATIVE, 4.0, 2.0);
+        // Embeddings stay FP16, so the reduction is slightly less than 4x.
+        let ratio = fp16.weight_bytes / w4.weight_bytes;
+        assert!(ratio > 3.0 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn kv_cache_grows_quadratically_with_output_length() {
+        let cfg = LlmModel::Llama2_7B.config();
+        let short = memory_access(
+            &cfg,
+            TaskShape {
+                input_tokens: 256,
+                output_tokens: 64,
+            },
+            16.0,
+            2.0,
+        );
+        let long = memory_access(
+            &cfg,
+            TaskShape {
+                input_tokens: 256,
+                output_tokens: 256,
+            },
+            16.0,
+            2.0,
+        );
+        // 4x more output tokens -> much more than 4x more KV traffic.
+        assert!(long.kv_cache_bytes > 4.0 * short.kv_cache_bytes);
+    }
+
+    #[test]
+    fn gqa_models_have_smaller_kv_cache() {
+        let llama2 = memory_access(
+            &LlmModel::Llama2_7B.config(),
+            TaskShape::GENERATIVE,
+            16.0,
+            2.0,
+        );
+        let llama3 = memory_access(
+            &LlmModel::Llama3_8B.config(),
+            TaskShape::GENERATIVE,
+            16.0,
+            2.0,
+        );
+        // Llama-3-8B has 4x fewer KV heads at the same hidden size.
+        assert!(llama3.kv_cache_bytes < llama2.kv_cache_bytes);
+    }
+}

@@ -1,0 +1,735 @@
+//! Proxy transformer: a small decoder-only LM with synthetic weights.
+//!
+//! Real checkpoints and datasets are unavailable, so perplexity/accuracy
+//! experiments run on a scaled-down transformer whose weights follow the
+//! per-model distributional profiles of `bitmod-tensor::synthetic`.  The
+//! evaluation protocol (see [`crate::eval`]) measures how much a quantized
+//! copy of the model diverges from its own FP32 reference on a reference
+//! token stream, which preserves the *ordering* of data types the paper's
+//! tables establish.
+//!
+//! The architecture mirrors the evaluated LLM families: RMSNorm → causal
+//! multi-head self-attention → residual → RMSNorm → (SwiGLU or GELU-free
+//! 2-layer) MLP → residual, with a tied-free embedding and LM head kept in
+//! full precision (only the decoder linears are quantized, as in the paper).
+
+use crate::config::LlmModel;
+use bitmod_quant::{quantize_matrix, QuantConfig};
+use bitmod_tensor::{Matrix, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// Size parameters of the proxy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProxyConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Number of decoder layers.
+    pub layers: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// MLP intermediate dimension.
+    pub intermediate: usize,
+    /// Whether the MLP is gated (SwiGLU) or a plain 2-layer FFN.
+    pub gated_mlp: bool,
+    /// Maximum sequence length used during evaluation.
+    pub seq_len: usize,
+}
+
+impl ProxyConfig {
+    /// The default proxy size used by the experiment harness: large enough to
+    /// give every 128-wide quantization group realistic statistics, small
+    /// enough to evaluate dozens of (model × data type) combinations quickly.
+    pub fn standard() -> Self {
+        Self {
+            vocab: 256,
+            hidden: 128,
+            layers: 2,
+            heads: 4,
+            intermediate: 256,
+            gated_mlp: true,
+            seq_len: 64,
+        }
+    }
+
+    /// A smaller configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            vocab: 64,
+            hidden: 64,
+            layers: 2,
+            heads: 2,
+            intermediate: 128,
+            gated_mlp: true,
+            seq_len: 32,
+        }
+    }
+}
+
+/// Identifies one linear weight inside the proxy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinearId {
+    /// Decoder layer index.
+    pub layer: usize,
+    /// Linear kind.
+    pub kind: LinearKind,
+}
+
+/// The linear layers inside one decoder layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum LinearKind {
+    Query,
+    Key,
+    Value,
+    Output,
+    Gate,
+    Up,
+    Down,
+}
+
+/// Weights of one decoder layer.  Every matrix is stored as
+/// `out_features × in_features`, matching the quantization framework's
+/// row-equals-output-channel convention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerWeights {
+    /// Query projection.
+    pub wq: Matrix,
+    /// Key projection.
+    pub wk: Matrix,
+    /// Value projection.
+    pub wv: Matrix,
+    /// Attention output projection.
+    pub wo: Matrix,
+    /// MLP gate projection (SwiGLU) or first FFN layer.
+    pub w_gate: Matrix,
+    /// MLP up projection (absent for non-gated MLPs, where it equals zero
+    /// usage; kept for a uniform structure).
+    pub w_up: Matrix,
+    /// MLP down projection / second FFN layer.
+    pub w_down: Matrix,
+}
+
+impl LayerWeights {
+    /// Immutable references to the linears of this layer, with their kinds.
+    pub fn linears(&self) -> Vec<(LinearKind, &Matrix)> {
+        vec![
+            (LinearKind::Query, &self.wq),
+            (LinearKind::Key, &self.wk),
+            (LinearKind::Value, &self.wv),
+            (LinearKind::Output, &self.wo),
+            (LinearKind::Gate, &self.w_gate),
+            (LinearKind::Up, &self.w_up),
+            (LinearKind::Down, &self.w_down),
+        ]
+    }
+
+    fn get_mut(&mut self, kind: LinearKind) -> &mut Matrix {
+        match kind {
+            LinearKind::Query => &mut self.wq,
+            LinearKind::Key => &mut self.wk,
+            LinearKind::Value => &mut self.wv,
+            LinearKind::Output => &mut self.wo,
+            LinearKind::Gate => &mut self.w_gate,
+            LinearKind::Up => &mut self.w_up,
+            LinearKind::Down => &mut self.w_down,
+        }
+    }
+}
+
+/// The proxy transformer model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProxyTransformer {
+    /// Size parameters.
+    pub config: ProxyConfig,
+    /// Which LLM's weight profile the weights were synthesized from.
+    pub source_model: LlmModel,
+    /// Token embedding table (`vocab × hidden`), kept in full precision.
+    pub embedding: Matrix,
+    /// Decoder layers.
+    pub layers: Vec<LayerWeights>,
+    /// LM head (`vocab × hidden`), kept in full precision.
+    pub lm_head: Matrix,
+    /// When set, the input of every decoder linear is symmetrically quantized
+    /// to this integer width during the forward pass (per-tensor), modelling
+    /// INT8 activation quantization as in the SmoothQuant experiments
+    /// (Table XII).  `None` keeps activations in full precision.
+    pub activation_bits: Option<u8>,
+}
+
+impl ProxyTransformer {
+    /// Synthesizes a proxy model whose weights follow `model`'s distributional
+    /// profile, rescaled for numerical stability (`1/√fan_in` overall scale,
+    /// preserving the profile's relative tail and outlier structure).
+    pub fn synthesize(model: LlmModel, config: ProxyConfig, seed: u64) -> Self {
+        let mut rng = SeededRng::new(seed ^ 0xB17_D0D);
+        let profile = model.weight_profile();
+        let sample = |out: usize, inp: usize, rng: &mut SeededRng| -> Matrix {
+            let mut m = profile.sample_matrix(out, inp, rng);
+            let target_std = 1.0 / (inp as f32).sqrt();
+            let rescale = target_std / profile.sigma as f32;
+            m.map_inplace(|x| x * rescale);
+            m
+        };
+        let h = config.hidden;
+        let ffn = config.intermediate;
+        let layers = (0..config.layers)
+            .map(|_| LayerWeights {
+                wq: sample(h, h, &mut rng),
+                wk: sample(h, h, &mut rng),
+                wv: sample(h, h, &mut rng),
+                wo: sample(h, h, &mut rng),
+                w_gate: sample(ffn, h, &mut rng),
+                w_up: sample(ffn, h, &mut rng),
+                w_down: sample(h, ffn, &mut rng),
+            })
+            .collect();
+        // Embedding/LM head: plain Gaussian (they are not quantized).
+        let mut embedding = Matrix::zeros(config.vocab, h);
+        rng.fill_normal(embedding.as_mut_slice(), 0.0, 1.0 / (h as f64).sqrt());
+        let mut lm_head = Matrix::zeros(config.vocab, h);
+        rng.fill_normal(lm_head.as_mut_slice(), 0.0, 1.0 / (h as f64).sqrt());
+        Self {
+            config,
+            source_model: model,
+            embedding,
+            layers,
+            lm_head,
+            activation_bits: None,
+        }
+    }
+
+    /// Returns a copy of the model whose decoder-linear inputs are quantized
+    /// to `bits`-wide integers during the forward pass (see
+    /// [`activation_bits`](Self::activation_bits)).
+    pub fn with_activation_bits(&self, bits: u8) -> ProxyTransformer {
+        let mut out = self.clone();
+        out.activation_bits = Some(bits);
+        out
+    }
+
+    /// All quantizable linear weights with their identities.
+    pub fn linears(&self) -> Vec<(LinearId, &Matrix)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .flat_map(|(layer, lw)| {
+                lw.linears()
+                    .into_iter()
+                    .map(move |(kind, m)| (LinearId { layer, kind }, m))
+            })
+            .collect()
+    }
+
+    /// Total number of quantizable (decoder-linear) parameters.
+    pub fn linear_params(&self) -> usize {
+        self.linears().iter().map(|(_, m)| m.len()).sum()
+    }
+
+    /// Returns a copy of the model with every decoder linear replaced by
+    /// `f(id, weights)` (embedding and LM head untouched).  This is the hook
+    /// the evaluation harness uses to apply plain PTQ, AWQ, GPTQ, ….
+    pub fn map_linears(&self, mut f: impl FnMut(LinearId, &Matrix) -> Matrix) -> ProxyTransformer {
+        let mut out = self.clone();
+        for (layer, lw) in out.layers.iter_mut().enumerate() {
+            for kind in [
+                LinearKind::Query,
+                LinearKind::Key,
+                LinearKind::Value,
+                LinearKind::Output,
+                LinearKind::Gate,
+                LinearKind::Up,
+                LinearKind::Down,
+            ] {
+                let id = LinearId { layer, kind };
+                let original = self.layer_weight(id);
+                let replaced = f(id, original);
+                assert_eq!(
+                    (replaced.rows(), replaced.cols()),
+                    (original.rows(), original.cols()),
+                    "replacement for {id:?} changed the weight shape"
+                );
+                *lw.get_mut(kind) = replaced;
+            }
+        }
+        out
+    }
+
+    /// Returns a quantized copy of the model (round-to-nearest per `cfg`).
+    pub fn quantized(&self, cfg: &QuantConfig) -> ProxyTransformer {
+        self.map_linears(|_, w| quantize_matrix(w, cfg).reconstructed)
+    }
+
+    /// Borrows the weight matrix identified by `id`.
+    pub fn layer_weight(&self, id: LinearId) -> &Matrix {
+        let lw = &self.layers[id.layer];
+        match id.kind {
+            LinearKind::Query => &lw.wq,
+            LinearKind::Key => &lw.wk,
+            LinearKind::Value => &lw.wv,
+            LinearKind::Output => &lw.wo,
+            LinearKind::Gate => &lw.w_gate,
+            LinearKind::Up => &lw.w_up,
+            LinearKind::Down => &lw.w_down,
+        }
+    }
+
+    /// Forward pass over a token sequence, returning the logits matrix
+    /// (`seq × vocab`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty or contains an id outside the vocabulary.
+    pub fn forward(&self, tokens: &[usize]) -> Matrix {
+        self.forward_impl(tokens, None)
+    }
+
+    /// Forward pass that also captures the input activations of every decoder
+    /// linear, for calibration-based methods (AWQ, GPTQ, SmoothQuant).
+    pub fn forward_with_capture(&self, tokens: &[usize]) -> (Matrix, Vec<(LinearId, Matrix)>) {
+        let mut captured = Vec::new();
+        let logits = self.forward_impl(tokens, Some(&mut captured));
+        (logits, captured)
+    }
+
+    fn forward_impl(
+        &self,
+        tokens: &[usize],
+        mut capture: Option<&mut Vec<(LinearId, Matrix)>>,
+    ) -> Matrix {
+        assert!(!tokens.is_empty(), "cannot run a forward pass on no tokens");
+        let seq = tokens.len();
+        let h = self.config.hidden;
+        // Embed tokens (+ a simple sinusoidal position signal so attention has
+        // positional information).
+        let mut x = Matrix::zeros(seq, h);
+        for (t, &tok) in tokens.iter().enumerate() {
+            assert!(tok < self.config.vocab, "token id {tok} out of vocabulary");
+            let emb = self.embedding.row(tok);
+            let row = x.row_mut(t);
+            for (i, v) in row.iter_mut().enumerate() {
+                let angle = t as f32 / 10_000f32.powf(2.0 * (i / 2) as f32 / h as f32);
+                let pos = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+                *v = emb[i] + 0.1 * pos;
+            }
+        }
+
+        let act_q = |m: Matrix| -> Matrix {
+            match self.activation_bits {
+                None => m,
+                Some(bits) => quantize_activation(&m, bits),
+            }
+        };
+
+        for (layer_idx, lw) in self.layers.iter().enumerate() {
+            // --- attention block ---
+            let normed = act_q(rms_norm(&x));
+            if let Some(cap) = capture.as_deref_mut() {
+                for kind in [LinearKind::Query, LinearKind::Key, LinearKind::Value] {
+                    cap.push((
+                        LinearId {
+                            layer: layer_idx,
+                            kind,
+                        },
+                        normed.clone(),
+                    ));
+                }
+            }
+            let q = normed.matmul(&lw.wq.transposed());
+            let k = normed.matmul(&lw.wk.transposed());
+            let v = normed.matmul(&lw.wv.transposed());
+            let attn = act_q(causal_attention(&q, &k, &v, self.config.heads));
+            if let Some(cap) = capture.as_deref_mut() {
+                cap.push((
+                    LinearId {
+                        layer: layer_idx,
+                        kind: LinearKind::Output,
+                    },
+                    attn.clone(),
+                ));
+            }
+            let attn_out = attn.matmul(&lw.wo.transposed());
+            for (xi, ai) in x.as_mut_slice().iter_mut().zip(attn_out.as_slice()) {
+                *xi += ai;
+            }
+
+            // --- MLP block ---
+            let normed = act_q(rms_norm(&x));
+            if let Some(cap) = capture.as_deref_mut() {
+                for kind in [LinearKind::Gate, LinearKind::Up] {
+                    cap.push((
+                        LinearId {
+                            layer: layer_idx,
+                            kind,
+                        },
+                        normed.clone(),
+                    ));
+                }
+            }
+            let gate = normed.matmul(&lw.w_gate.transposed());
+            let hidden_act = act_q(if self.config.gated_mlp {
+                let up = normed.matmul(&lw.w_up.transposed());
+                let mut act = gate;
+                for (g, u) in act.as_mut_slice().iter_mut().zip(up.as_slice()) {
+                    *g = silu(*g) * u;
+                }
+                act
+            } else {
+                gate.map(silu)
+            });
+            if let Some(cap) = capture.as_deref_mut() {
+                cap.push((
+                    LinearId {
+                        layer: layer_idx,
+                        kind: LinearKind::Down,
+                    },
+                    hidden_act.clone(),
+                ));
+            }
+            let mlp_out = hidden_act.matmul(&lw.w_down.transposed());
+            for (xi, mi) in x.as_mut_slice().iter_mut().zip(mlp_out.as_slice()) {
+                *xi += mi;
+            }
+        }
+
+        rms_norm(&x).matmul(&self.lm_head.transposed())
+    }
+
+    /// Autoregressively samples `len` tokens after `prompt` at the given
+    /// softmax temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or the temperature is not positive.
+    pub fn generate(
+        &self,
+        prompt: &[usize],
+        len: usize,
+        temperature: f64,
+        rng: &mut SeededRng,
+    ) -> Vec<usize> {
+        assert!(!prompt.is_empty(), "prompt must be non-empty");
+        assert!(temperature > 0.0, "temperature must be positive");
+        let mut tokens = prompt.to_vec();
+        for _ in 0..len {
+            let window_start = tokens.len().saturating_sub(self.config.seq_len);
+            let logits = self.forward(&tokens[window_start..]);
+            let last = logits.row(logits.rows() - 1);
+            let probs = softmax_with_temperature(last, temperature);
+            let next = sample_from(&probs, rng);
+            tokens.push(next);
+        }
+        tokens
+    }
+
+    /// Perplexity of the model on a token stream: `exp(mean cross-entropy)` of
+    /// predicting token `t+1` from tokens `..=t`, evaluated in windows of
+    /// `config.seq_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has fewer than two tokens.
+    pub fn perplexity(&self, stream: &[usize]) -> f64 {
+        assert!(stream.len() >= 2, "perplexity needs at least two tokens");
+        let mut total_nll = 0.0;
+        let mut count = 0usize;
+        for window in stream.chunks(self.config.seq_len) {
+            if window.len() < 2 {
+                continue;
+            }
+            let logits = self.forward(window);
+            for t in 0..window.len() - 1 {
+                let probs = softmax_with_temperature(logits.row(t), 1.0);
+                let target = window[t + 1];
+                total_nll -= probs[target].max(1e-12).ln();
+                count += 1;
+            }
+        }
+        (total_nll / count.max(1) as f64).exp()
+    }
+
+    /// Fraction of positions where this model's greedy (argmax) next-token
+    /// prediction matches `reference`'s — the proxy for the zero-shot accuracy
+    /// of Table VII.
+    pub fn argmax_agreement(&self, reference: &ProxyTransformer, stream: &[usize]) -> f64 {
+        assert!(stream.len() >= 2, "agreement needs at least two tokens");
+        let mut agree = 0usize;
+        let mut count = 0usize;
+        for window in stream.chunks(self.config.seq_len) {
+            if window.len() < 2 {
+                continue;
+            }
+            let ours = self.forward(window);
+            let theirs = reference.forward(window);
+            for t in 0..window.len() - 1 {
+                if argmax(ours.row(t)) == argmax(theirs.row(t)) {
+                    agree += 1;
+                }
+                count += 1;
+            }
+        }
+        agree as f64 / count.max(1) as f64
+    }
+}
+
+/// Per-tensor symmetric integer quantization of an activation tensor, used to
+/// model INT8 activations in the SmoothQuant experiments.
+fn quantize_activation(m: &Matrix, bits: u8) -> Matrix {
+    let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+    let absmax = m.as_slice().iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+    if absmax == 0.0 {
+        return m.clone();
+    }
+    let scale = absmax / qmax;
+    m.map(|x| (x / scale).round().clamp(-qmax, qmax) * scale)
+}
+
+/// RMS normalization over the last dimension (no learned scale).
+fn rms_norm(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    let cols = x.cols();
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let ms = row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / cols as f64;
+        let inv = 1.0 / (ms + 1e-6).sqrt();
+        for (o, &v) in out.row_mut(r).iter_mut().zip(row) {
+            *o = (v as f64 * inv) as f32;
+        }
+    }
+    out
+}
+
+/// SiLU activation.
+fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Multi-head causal self-attention.
+fn causal_attention(q: &Matrix, k: &Matrix, v: &Matrix, heads: usize) -> Matrix {
+    let seq = q.rows();
+    let hidden = q.cols();
+    let head_dim = hidden / heads;
+    let scale = 1.0 / (head_dim as f64).sqrt();
+    let mut out = Matrix::zeros(seq, hidden);
+    for h in 0..heads {
+        let off = h * head_dim;
+        for t in 0..seq {
+            // Scores against positions 0..=t.
+            let mut scores = Vec::with_capacity(t + 1);
+            for s in 0..=t {
+                let mut dot = 0.0f64;
+                for d in 0..head_dim {
+                    dot += q.get(t, off + d) as f64 * k.get(s, off + d) as f64;
+                }
+                scores.push(dot * scale);
+            }
+            let maxs = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut weights: Vec<f64> = scores.iter().map(|&s| (s - maxs).exp()).collect();
+            let sum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= sum;
+            }
+            for d in 0..head_dim {
+                let mut acc = 0.0f64;
+                for (s, &w) in weights.iter().enumerate() {
+                    acc += w * v.get(s, off + d) as f64;
+                }
+                out.set(t, off + d, acc as f32);
+            }
+        }
+    }
+    out
+}
+
+fn softmax_with_temperature(logits: &[f32], temperature: f64) -> Vec<f64> {
+    let maxv = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let exps: Vec<f64> = logits
+        .iter()
+        .map(|&l| ((l as f64 - maxv) / temperature).exp())
+        .collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn sample_from(probs: &[f64], rng: &mut SeededRng) -> usize {
+    let r = rng.uniform();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod_quant::{Granularity, QuantMethod};
+
+    fn tiny_model(seed: u64) -> ProxyTransformer {
+        ProxyTransformer::synthesize(LlmModel::Llama2_7B, ProxyConfig::tiny(), seed)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        assert_eq!(tiny_model(1), tiny_model(1));
+        assert_ne!(tiny_model(1), tiny_model(2));
+    }
+
+    #[test]
+    fn forward_shapes_and_finiteness() {
+        let m = tiny_model(3);
+        let logits = m.forward(&[1, 2, 3, 4, 5]);
+        assert_eq!(logits.rows(), 5);
+        assert_eq!(logits.cols(), m.config.vocab);
+        assert!(logits.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn causality_prefix_logits_do_not_depend_on_future_tokens() {
+        let m = tiny_model(4);
+        let a = m.forward(&[1, 2, 3, 4, 5, 6]);
+        let b = m.forward(&[1, 2, 3, 9, 9, 9]);
+        // Logits at positions 0..=2 must be identical.
+        for t in 0..3 {
+            for c in 0..m.config.vocab {
+                assert!(
+                    (a.get(t, c) - b.get(t, c)).abs() < 1e-5,
+                    "position {t} leaked future information"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_produces_valid_tokens_deterministically() {
+        let m = tiny_model(5);
+        let mut rng1 = SeededRng::new(7);
+        let mut rng2 = SeededRng::new(7);
+        let s1 = m.generate(&[1, 2, 3], 20, 1.0, &mut rng1);
+        let s2 = m.generate(&[1, 2, 3], 20, 1.0, &mut rng2);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 23);
+        assert!(s1.iter().all(|&t| t < m.config.vocab));
+    }
+
+    #[test]
+    fn model_has_lower_perplexity_on_its_own_text_than_on_random_text() {
+        let m = tiny_model(6);
+        let mut rng = SeededRng::new(8);
+        let own = m.generate(&[1], 96, 0.8, &mut rng);
+        let random: Vec<usize> = (0..97).map(|_| rng.below(m.config.vocab)).collect();
+        let ppl_own = m.perplexity(&own);
+        let ppl_random = m.perplexity(&random);
+        assert!(
+            ppl_own < ppl_random,
+            "own text ppl {ppl_own} should be below random ppl {ppl_random}"
+        );
+        assert!(ppl_own < m.config.vocab as f64);
+    }
+
+    #[test]
+    fn quantization_error_increases_perplexity_monotonically_with_precision() {
+        let m = tiny_model(7);
+        let mut rng = SeededRng::new(9);
+        let stream = m.generate(&[1], 96, 0.8, &mut rng);
+        let ppl = |bits: u8| {
+            let cfg = QuantConfig::new(
+                QuantMethod::IntAsym { bits },
+                Granularity::PerGroup(64),
+            );
+            m.quantized(&cfg).perplexity(&stream)
+        };
+        let p_fp = m.perplexity(&stream);
+        let p8 = ppl(8);
+        let p3 = ppl(3);
+        let p2 = ppl(2);
+        assert!(p8 < p3, "8-bit {p8} should beat 3-bit {p3}");
+        assert!(p3 < p2, "3-bit {p3} should beat 2-bit {p2}");
+        assert!(p8 < p_fp * 1.10, "8-bit {p8} should be close to FP32 {p_fp}");
+    }
+
+    #[test]
+    fn argmax_agreement_is_one_against_itself_and_degrades_with_quantization() {
+        let m = tiny_model(10);
+        let mut rng = SeededRng::new(11);
+        let stream = m.generate(&[2], 64, 0.8, &mut rng);
+        assert_eq!(m.argmax_agreement(&m, &stream), 1.0);
+        let q2 = m.quantized(&QuantConfig::new(
+            QuantMethod::IntAsym { bits: 2 },
+            Granularity::PerGroup(64),
+        ));
+        let q8 = m.quantized(&QuantConfig::new(
+            QuantMethod::IntAsym { bits: 8 },
+            Granularity::PerGroup(64),
+        ));
+        let a2 = q2.argmax_agreement(&m, &stream);
+        let a8 = q8.argmax_agreement(&m, &stream);
+        assert!(a8 > a2, "8-bit agreement {a8} should exceed 2-bit {a2}");
+    }
+
+    #[test]
+    fn capture_returns_one_input_per_linear() {
+        let m = tiny_model(12);
+        let (_, captured) = m.forward_with_capture(&[1, 2, 3, 4]);
+        assert_eq!(captured.len(), m.config.layers * 7);
+        for (id, acts) in &captured {
+            let w = m.layer_weight(*id);
+            assert_eq!(acts.cols(), w.cols(), "{id:?} activation width mismatch");
+            assert_eq!(acts.rows(), 4);
+        }
+    }
+
+    #[test]
+    fn map_linears_replaces_weights_and_checks_shapes() {
+        let m = tiny_model(13);
+        let zeroed = m.map_linears(|_, w| Matrix::zeros(w.rows(), w.cols()));
+        assert!(zeroed.layers[0].wq.as_slice().iter().all(|&x| x == 0.0));
+        // Embedding untouched.
+        assert_eq!(zeroed.embedding, m.embedding);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed the weight shape")]
+    fn map_linears_rejects_shape_changes() {
+        let m = tiny_model(14);
+        let _ = m.map_linears(|_, _| Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn int8_activation_quantization_barely_changes_the_output() {
+        // Table XII relies on INT8 activations being nearly free after
+        // normalization; INT4 activations should hurt noticeably more.
+        let m = tiny_model(16);
+        let tokens = [1usize, 5, 9, 13, 17, 21];
+        let reference = m.forward(&tokens);
+        let diff = |other: &ProxyTransformer| {
+            let out = other.forward(&tokens);
+            let num = out.sub(&reference).frobenius_norm();
+            num / reference.frobenius_norm().max(1e-12)
+        };
+        let d8 = diff(&m.with_activation_bits(8));
+        let d4 = diff(&m.with_activation_bits(4));
+        assert!(d8 < 0.05, "INT8 activation relative error {d8}");
+        assert!(d8 < d4, "INT8 ({d8}) should beat INT4 ({d4})");
+    }
+
+    #[test]
+    fn linear_params_counts_only_decoder_weights() {
+        let m = tiny_model(15);
+        let expected: usize = m.linears().iter().map(|(_, w)| w.len()).sum();
+        assert_eq!(m.linear_params(), expected);
+        assert_eq!(m.linears().len(), m.config.layers * 7);
+    }
+}

@@ -1,0 +1,191 @@
+//! Algorithm 1: fine-grained data type adaptation (Section III-B).
+//!
+//! Every weight group is quantized with the basic FP3/FP4 grid plus exactly
+//! one of the four allowed special values; the special value is chosen per
+//! group to minimize the mean-square error between the original and quantized
+//! weights.  The search is embarrassingly parallel across groups (the paper
+//! vectorizes it on a GPU; here rayon parallelizes across rows).
+
+use crate::slice::{quantize_codebook, SliceQuant};
+use bitmod_dtypes::bitmod::{BitModFamily, SpecialValue};
+use serde::{Deserialize, Serialize};
+
+/// The result of adaptively quantizing one weight group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveGroupQuant {
+    /// The per-group quantization result (reconstruction, scale, MSE).
+    pub quant: SliceQuant,
+    /// The special value selected for this group.
+    pub special: SpecialValue,
+}
+
+/// Quantizes a single weight group with the error-minimizing special value
+/// (Algorithm 1, lines 4–12).
+///
+/// For each allowed special value the basic grid is extended with that value,
+/// non-linear quantization is applied with absmax scaling, and the candidate
+/// with the lowest MSE wins.
+pub fn adaptive_quantize_group(values: &[f32], family: &BitModFamily) -> AdaptiveGroupQuant {
+    let basic = family.basic_codebook();
+    let mut best: Option<AdaptiveGroupQuant> = None;
+    for &sv in family.special_values() {
+        let codebook = basic.with_value(sv.value);
+        let quant = quantize_codebook(values, &codebook);
+        let better = best
+            .as_ref()
+            .map_or(true, |b| quant.mse < b.quant.mse);
+        if better {
+            best = Some(AdaptiveGroupQuant { quant, special: sv });
+        }
+    }
+    best.expect("family always has at least one special value")
+}
+
+/// Quantizes a slice group-by-group (group size `g`), returning the
+/// reconstruction and the selected special value per group.
+pub fn adaptive_quantize_slice(
+    values: &[f32],
+    family: &BitModFamily,
+    group_size: usize,
+) -> (Vec<f32>, Vec<SpecialValue>) {
+    assert!(group_size > 0, "group size must be non-zero");
+    let mut reconstructed = Vec::with_capacity(values.len());
+    let mut selections = Vec::with_capacity(values.len().div_ceil(group_size));
+    for chunk in values.chunks(group_size) {
+        let g = adaptive_quantize_group(chunk, family);
+        reconstructed.extend(g.quant.reconstructed);
+        selections.push(g.special);
+    }
+    (reconstructed, selections)
+}
+
+/// Per-group quantization error of a *fixed* extended data type (basic grid
+/// plus one specific special value), used by the Fig. 3 / Table VIII ablation
+/// where no per-group adaptation is allowed.
+pub fn fixed_special_value_mse(values: &[f32], family: &BitModFamily, special: f32) -> f64 {
+    let codebook = family.basic_codebook().with_value(special);
+    quantize_codebook(values, &codebook).mse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod_tensor::{stats, synthetic::WeightProfile, SeededRng};
+
+    #[test]
+    fn adaptation_never_loses_to_any_single_special_value() {
+        let fam = BitModFamily::fp3();
+        let mut rng = SeededRng::new(11);
+        for _ in 0..20 {
+            let group = WeightProfile::opt_like().sample_vector(128, &mut rng);
+            let adaptive = adaptive_quantize_group(&group, &fam);
+            for &sv in fam.special_values() {
+                let fixed = fixed_special_value_mse(&group, &fam, sv.value);
+                assert!(
+                    adaptive.quant.mse <= fixed + 1e-12,
+                    "adaptive {} beat by fixed sv {} ({})",
+                    adaptive.quant.mse,
+                    sv.value,
+                    fixed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_sided_outlier_group_prefers_extra_resolution() {
+        // A group with equally strong outliers on BOTH sides cannot benefit
+        // from the one-sided EA range extension (the wrong-side outlier would
+        // be clipped), so the ER special value must win.
+        let mut group = vec![0.0f32; 128];
+        for (i, x) in group.iter_mut().enumerate() {
+            *x = if i % 2 == 0 { 0.1 } else { -0.1 };
+        }
+        for i in 0..4 {
+            group[i] = 4.0;
+            group[64 + i] = -4.0;
+        }
+        let fam = BitModFamily::fp3();
+        let choice = adaptive_quantize_group(&group, &fam);
+        assert!(
+            choice.special.value.abs() <= 4.0,
+            "two-sided group picked EA special value {}",
+            choice.special.value
+        );
+    }
+
+    #[test]
+    fn one_sided_outlier_group_prefers_extra_asymmetry() {
+        // A group with a single large positive outlier should pick +6.
+        let mut rng = SeededRng::new(4);
+        let mut group: Vec<f32> = (0..128).map(|_| rng.normal(0.0, 0.5) as f32).collect();
+        group[17] = 4.0; // strong positive outlier, no negative counterpart
+        let fam = BitModFamily::fp3();
+        let choice = adaptive_quantize_group(&group, &fam);
+        assert_eq!(
+            choice.special.value, 6.0,
+            "expected +6 EA selection, got {}",
+            choice.special.value
+        );
+    }
+
+    #[test]
+    fn negative_outlier_group_prefers_negative_special() {
+        let mut rng = SeededRng::new(5);
+        let mut group: Vec<f32> = (0..128).map(|_| rng.normal(0.0, 0.5) as f32).collect();
+        group[5] = -4.0;
+        let fam = BitModFamily::fp3();
+        let choice = adaptive_quantize_group(&group, &fam);
+        assert_eq!(choice.special.value, -6.0);
+    }
+
+    #[test]
+    fn slice_quantization_reconstruction_length_and_group_count() {
+        let fam = BitModFamily::fp4();
+        let values = WeightProfile::llama_like().sample_vector(300, &mut SeededRng::new(6));
+        let (rec, sels) = adaptive_quantize_slice(&values, &fam, 128);
+        assert_eq!(rec.len(), 300);
+        assert_eq!(sels.len(), 3);
+    }
+
+    #[test]
+    fn bitmod_beats_basic_fp_on_realistic_weights() {
+        // Table VIII: BitMoD (adaptive) <= FP-ER <= basic FP in error.
+        let mut rng = SeededRng::new(7);
+        let w = WeightProfile::llama_like().sample_vector(128 * 64, &mut rng);
+        let fam = BitModFamily::fp4();
+        let (rec_adaptive, _) = adaptive_quantize_slice(&w, &fam, 128);
+        let basic = fam.basic_codebook();
+        let rec_basic: Vec<f32> = w
+            .chunks(128)
+            .flat_map(|chunk| quantize_codebook(chunk, &basic).reconstructed)
+            .collect();
+        let mse_adaptive = stats::mse(&w, &rec_adaptive);
+        let mse_basic = stats::mse(&w, &rec_basic);
+        assert!(
+            mse_adaptive < mse_basic,
+            "adaptive {mse_adaptive} should beat basic {mse_basic}"
+        );
+    }
+
+    #[test]
+    fn adaptation_benefit_is_larger_at_3_bit_than_4_bit() {
+        // The paper's observation: the EA/ER extensions matter most when
+        // quantization levels are scarce.
+        let mut rng = SeededRng::new(8);
+        let w = WeightProfile::opt_like().sample_vector(128 * 64, &mut rng);
+        let relative_gain = |bits: u8| {
+            let fam = BitModFamily::for_bits(bits);
+            let (rec_a, _) = adaptive_quantize_slice(&w, &fam, 128);
+            let basic = fam.basic_codebook();
+            let rec_b: Vec<f32> = w
+                .chunks(128)
+                .flat_map(|c| quantize_codebook(c, &basic).reconstructed)
+                .collect();
+            let a = stats::mse(&w, &rec_a);
+            let b = stats::mse(&w, &rec_b);
+            (b - a) / b
+        };
+        assert!(relative_gain(3) > relative_gain(4));
+    }
+}

@@ -1,0 +1,182 @@
+//! Quantization-error analyses behind Fig. 2 and Fig. 3 of the paper.
+//!
+//! * [`granularity_extent`] reproduces Fig. 2: the absolute maximum and range
+//!   of weight vectors at per-tensor / per-channel / per-group granularity,
+//!   normalized by the standard deviation at that granularity.
+//! * [`special_value_error_sweep`] reproduces Fig. 3: the per-group
+//!   quantization error of FP3 extended with different candidate special
+//!   values, normalized to the error of the best candidate.
+
+use crate::adaptive::fixed_special_value_mse;
+use crate::granularity::Granularity;
+use bitmod_dtypes::bitmod::BitModFamily;
+use bitmod_tensor::{stats, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Fig. 2 data point: normalized absmax and range at one granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtentSummary {
+    /// Mean of `absmax / sigma` over all vectors at this granularity.
+    pub absmax_over_sigma: f64,
+    /// Mean of `range / sigma` over all vectors at this granularity.
+    pub range_over_sigma: f64,
+}
+
+/// Computes the Fig. 2 statistics of one weight matrix at a granularity.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or the group size is zero.
+pub fn granularity_extent(w: &Matrix, granularity: Granularity) -> ExtentSummary {
+    assert!(!w.is_empty(), "empty matrix");
+    let mut acc_absmax = 0.0;
+    let mut acc_range = 0.0;
+    let mut n = 0usize;
+    let mut push = |slice: &[f32]| {
+        let e = stats::normalized_extent(slice);
+        acc_absmax += e.absmax_over_sigma;
+        acc_range += e.range_over_sigma;
+        n += 1;
+    };
+    match granularity {
+        Granularity::PerTensor => push(w.as_slice()),
+        Granularity::PerChannel => {
+            for r in 0..w.rows() {
+                push(w.row(r));
+            }
+        }
+        Granularity::PerGroup(g) => {
+            for (_, _, chunk) in w.iter_groups(g) {
+                push(chunk);
+            }
+        }
+    }
+    ExtentSummary {
+        absmax_over_sigma: acc_absmax / n as f64,
+        range_over_sigma: acc_range / n as f64,
+    }
+}
+
+/// One candidate special value's aggregate quantization error over a weight
+/// matrix (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecialValueError {
+    /// Label of the candidate ("none", "+3/-3", "+6/-6", …).
+    pub label: String,
+    /// The candidate special values (empty for the basic grid).
+    pub special_values: Vec<f32>,
+    /// Mean per-group MSE over the matrix, normalized so the best candidate
+    /// in the sweep is 1.0.
+    pub normalized_error: f64,
+}
+
+/// Sweeps candidate special-value pairs for FP3 over a weight matrix and
+/// returns their per-group quantization errors, normalized to the best
+/// candidate (Fig. 3 sweeps ±2 … ±8 plus the basic FP3 grid).
+///
+/// Each candidate pair `±v` is evaluated the way Algorithm 1 would use it:
+/// each group picks whichever sign of `v` (or arguably the better of the two)
+/// minimizes its error — matching the paper's definition where a group is
+/// quantized "by the basic FP3 data type together with a selected special
+/// value".
+pub fn special_value_error_sweep(w: &Matrix, candidates: &[f32], group_size: usize) -> Vec<SpecialValueError> {
+    assert!(group_size > 0, "group size must be non-zero");
+    let mut raw: Vec<(String, Vec<f32>, f64)> = Vec::new();
+
+    // Baseline: plain FP3 without any special value.
+    let fam = BitModFamily::fp3();
+    let basic = fam.basic_codebook();
+    let mut basic_err = 0.0;
+    let mut n_groups = 0usize;
+    for (_, _, g) in w.iter_groups(group_size) {
+        basic_err += crate::slice::quantize_codebook(g, &basic).mse;
+        n_groups += 1;
+    }
+    raw.push(("none".to_string(), Vec::new(), basic_err / n_groups as f64));
+
+    for &v in candidates {
+        let mut err = 0.0;
+        for (_, _, g) in w.iter_groups(group_size) {
+            let plus = fixed_special_value_mse(g, &fam, v);
+            let minus = fixed_special_value_mse(g, &fam, -v);
+            err += plus.min(minus);
+        }
+        raw.push((format!("±{v}"), vec![-v, v], err / n_groups as f64));
+    }
+
+    let best = raw
+        .iter()
+        .map(|(_, _, e)| *e)
+        .fold(f64::INFINITY, f64::min)
+        .max(f64::MIN_POSITIVE);
+    raw.into_iter()
+        .map(|(label, special_values, e)| SpecialValueError {
+            label,
+            special_values,
+            normalized_error: e / best,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod_tensor::{synthetic::WeightProfile, SeededRng};
+
+    fn weights(seed: u64) -> Matrix {
+        WeightProfile::llama_like().sample_matrix(16, 1024, &mut SeededRng::new(seed))
+    }
+
+    #[test]
+    fn finer_granularity_has_smaller_normalized_extent() {
+        let w = weights(1);
+        let pt = granularity_extent(&w, Granularity::PerTensor);
+        let pc = granularity_extent(&w, Granularity::PerChannel);
+        let pg = granularity_extent(&w, Granularity::PerGroup(128));
+        assert!(pg.range_over_sigma < pc.range_over_sigma);
+        assert!(pc.range_over_sigma <= pt.range_over_sigma + 1e-9);
+        assert!(pg.absmax_over_sigma < pt.absmax_over_sigma);
+    }
+
+    #[test]
+    fn sweep_includes_baseline_and_all_candidates() {
+        let w = weights(2);
+        let sweep = special_value_error_sweep(&w, &[2.0, 3.0, 5.0, 6.0, 8.0], 128);
+        assert_eq!(sweep.len(), 6);
+        assert_eq!(sweep[0].label, "none");
+        assert!(sweep.iter().any(|s| s.label == "±6"));
+    }
+
+    #[test]
+    fn adding_a_special_value_never_hurts() {
+        // Any extended grid is a superset of the basic grid with the same
+        // absmax-or-larger, so for the ER candidates error cannot increase.
+        let w = weights(3);
+        let sweep = special_value_error_sweep(&w, &[3.0], 128);
+        let none = sweep.iter().find(|s| s.label == "none").unwrap().normalized_error;
+        let er = sweep.iter().find(|s| s.label == "±3").unwrap().normalized_error;
+        assert!(er <= none + 1e-9);
+    }
+
+    #[test]
+    fn normalization_makes_best_candidate_one() {
+        let w = weights(4);
+        let sweep = special_value_error_sweep(&w, &[2.0, 3.0, 6.0], 128);
+        let min = sweep
+            .iter()
+            .map(|s| s.normalized_error)
+            .fold(f64::INFINITY, f64::min);
+        assert!((min - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_specials_win_on_realistic_weights() {
+        // Fig. 3's conclusion: ±6 (EA) achieves the lowest error on most
+        // models; at minimum it must beat the plain grid clearly.
+        let w = WeightProfile::llama_like().sample_matrix(32, 2048, &mut SeededRng::new(5));
+        let sweep = special_value_error_sweep(&w, &[3.0, 6.0], 128);
+        let none = sweep.iter().find(|s| s.label == "none").unwrap().normalized_error;
+        let ea = sweep.iter().find(|s| s.label == "±6").unwrap().normalized_error;
+        assert!(ea < none, "±6 ({ea}) should beat the plain grid ({none})");
+    }
+}

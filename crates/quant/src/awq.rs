@@ -1,0 +1,220 @@
+//! AWQ-lite: activation-aware weight quantization (Lin et al., MLSys 2024).
+//!
+//! AWQ protects the weight channels that matter most — those multiplied by
+//! large activations — by scaling them up before quantization (and folding the
+//! inverse scale into the preceding operation), so their relative quantization
+//! error shrinks.  The per-channel scale is `s_j = a_j^α` where `a_j` is the
+//! mean activation magnitude of input channel `j` and `α ∈ [0, 1]` is found by
+//! a small grid search that minimizes the layer's output error on a
+//! calibration set.
+//!
+//! The paper's Table XI combines AWQ with the BitMoD data type by swapping the
+//! integer quantizer for the extended-FP quantizer; this implementation does
+//! the same by accepting any [`QuantConfig`].
+
+use crate::config::QuantConfig;
+use crate::engine::{quantize_matrix, QuantizedMatrix};
+use bitmod_tensor::{stats, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Result of an AWQ calibration + quantization pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AwqResult {
+    /// The quantized weights with the AWQ scales already folded back (i.e.
+    /// drop-in replacement for the original weights).
+    pub quantized: QuantizedMatrix,
+    /// The chosen exponent α of the activation-aware scale.
+    pub alpha: f64,
+    /// Output mean-square error on the calibration activations.
+    pub output_mse: f64,
+}
+
+/// Mean absolute activation magnitude per input channel.
+pub fn activation_channel_scales(activations: &Matrix) -> Vec<f32> {
+    let mut scales = vec![0.0f32; activations.cols()];
+    for row in activations.iter_rows() {
+        for (s, &x) in scales.iter_mut().zip(row) {
+            *s += x.abs();
+        }
+    }
+    let n = activations.rows().max(1) as f32;
+    for s in &mut scales {
+        *s /= n;
+    }
+    scales
+}
+
+/// Quantizes `weights` (shape `K × D`, rows = output channels) with
+/// activation-aware per-input-channel scaling.  `activations` has shape
+/// `T × D` (calibration tokens by input channels).
+///
+/// Returns the best result over the α grid `{0, 0.1, …, 1.0}` (α = 0 is plain
+/// quantization, so AWQ can never be worse than its baseline on the
+/// calibration set).
+///
+/// # Panics
+///
+/// Panics if the activation channel count does not match the weight channel
+/// count.
+pub fn awq_quantize(weights: &Matrix, activations: &Matrix, cfg: &QuantConfig) -> AwqResult {
+    assert_eq!(
+        weights.cols(),
+        activations.cols(),
+        "weights have {} input channels but activations have {}",
+        weights.cols(),
+        activations.cols()
+    );
+    let act_scales = activation_channel_scales(activations);
+    let reference = layer_output(activations, weights);
+
+    let mut best: Option<AwqResult> = None;
+    for step in 0..=10 {
+        let alpha = step as f64 / 10.0;
+        let channel_scales = normalized_scales(&act_scales, alpha);
+        // Scale weights up, quantize, then fold the scale back out.
+        let mut scaled = weights.clone();
+        for (c, &s) in channel_scales.iter().enumerate() {
+            scaled.scale_col(c, s);
+        }
+        let mut q = quantize_matrix(&scaled, cfg);
+        for (c, &s) in channel_scales.iter().enumerate() {
+            q.reconstructed.scale_col(c, 1.0 / s);
+        }
+        // Recompute error stats against the *original* weights.
+        q.stats.mse = stats::mse(weights.as_slice(), q.reconstructed.as_slice());
+        q.stats.sqnr_db = stats::sqnr_db(weights.as_slice(), q.reconstructed.as_slice());
+        let out = layer_output(activations, &q.reconstructed);
+        let output_mse = stats::mse(reference.as_slice(), out.as_slice());
+        if best.as_ref().map_or(true, |b| output_mse < b.output_mse) {
+            best = Some(AwqResult {
+                quantized: q,
+                alpha,
+                output_mse,
+            });
+        }
+    }
+    best.expect("alpha grid is non-empty")
+}
+
+/// `X · Wᵀ` — the linear layer output used as the calibration objective.
+fn layer_output(activations: &Matrix, weights: &Matrix) -> Matrix {
+    activations.matmul(&weights.transposed())
+}
+
+/// Normalizes the raw activation scales into quantization scales
+/// `s_j = (a_j / geo_mean)^α`, clamped away from zero.
+fn normalized_scales(act_scales: &[f32], alpha: f64) -> Vec<f32> {
+    let geo_mean = {
+        let logs: f64 = act_scales
+            .iter()
+            .map(|&a| (a.max(1e-8) as f64).ln())
+            .sum::<f64>()
+            / act_scales.len().max(1) as f64;
+        logs.exp()
+    };
+    act_scales
+        .iter()
+        .map(|&a| ((a.max(1e-8) as f64 / geo_mean).powf(alpha)).clamp(1e-4, 1e4) as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QuantMethod;
+    use crate::granularity::Granularity;
+    use bitmod_tensor::{synthetic::ActivationProfile, synthetic::WeightProfile, SeededRng};
+
+    fn setup(seed: u64) -> (Matrix, Matrix) {
+        let mut rng = SeededRng::new(seed);
+        let w = WeightProfile::llama_like().sample_matrix(32, 256, &mut rng);
+        let x = ActivationProfile {
+            hot_channel_rate: 0.05,
+            ..ActivationProfile::default()
+        }
+        .sample_matrix(64, 256, &mut rng);
+        (w, x)
+    }
+
+    #[test]
+    fn channel_scales_reflect_hot_channels() {
+        let mut rng = SeededRng::new(1);
+        let (x, true_scales) = ActivationProfile {
+            hot_channel_rate: 0.05,
+            ..ActivationProfile::default()
+        }
+        .sample_matrix_with_scales(128, 256, &mut rng);
+        let est = activation_channel_scales(&x);
+        // The hottest true channel must clearly stand out in the estimate.
+        let argmax = |v: &[f32]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let hot = argmax(&true_scales);
+        let median_est = {
+            let mut s = est.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(
+            est[hot] > 5.0 * median_est,
+            "hot channel estimate {} should dominate the median {}",
+            est[hot],
+            median_est
+        );
+    }
+
+    #[test]
+    fn awq_never_loses_to_plain_quantization_on_calibration_data() {
+        let (w, x) = setup(2);
+        let cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, Granularity::PerGroup(128));
+        let awq = awq_quantize(&w, &x, &cfg);
+        // α = 0 is in the grid and equals plain quantization, so the winner's
+        // output error is at most the plain error.
+        let plain = quantize_matrix(&w, &cfg);
+        let ref_out = x.matmul(&w.transposed());
+        let plain_out = x.matmul(&plain.reconstructed.transposed());
+        let plain_mse = stats::mse(ref_out.as_slice(), plain_out.as_slice());
+        assert!(awq.output_mse <= plain_mse + 1e-12);
+    }
+
+    #[test]
+    fn awq_improves_output_error_when_hot_channels_exist() {
+        let (w, x) = setup(3);
+        let cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, Granularity::PerGroup(128));
+        let awq = awq_quantize(&w, &x, &cfg);
+        assert!(
+            awq.alpha > 0.0,
+            "with hot activation channels the search should pick a non-zero alpha"
+        );
+    }
+
+    #[test]
+    fn awq_composes_with_bitmod_datatype() {
+        // Table XI: "BitMoD + AWQ" — the AWQ machinery must accept the BitMoD
+        // method and keep its advantage over INT-Asym.
+        let (w, x) = setup(4);
+        let int_cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, Granularity::PerGroup(128));
+        let bm_cfg = QuantConfig::new(QuantMethod::bitmod(3), Granularity::PerGroup(128));
+        let awq_int = awq_quantize(&w, &x, &int_cfg);
+        let awq_bm = awq_quantize(&w, &x, &bm_cfg);
+        assert!(
+            awq_bm.output_mse < awq_int.output_mse,
+            "BitMoD+AWQ ({}) should beat INT+AWQ ({})",
+            awq_bm.output_mse,
+            awq_int.output_mse
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn mismatched_channels_rejected() {
+        let (w, _) = setup(5);
+        let x = Matrix::zeros(4, 16);
+        let cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 4 }, Granularity::PerGroup(128));
+        let _ = awq_quantize(&w, &x, &cfg);
+    }
+}

@@ -1,0 +1,297 @@
+//! Quantization configuration: which data type, at which granularity, with
+//! which scale-factor precision.
+
+use crate::granularity::Granularity;
+use bitmod_dtypes::bitmod::BitModFamily;
+use bitmod_dtypes::fp::MiniFloat;
+use bitmod_dtypes::mx::MxFormat;
+use bitmod_dtypes::Codebook;
+use serde::{Deserialize, Serialize};
+
+/// Precision of the per-slice scaling factors (Section III-C / Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScaleDtype {
+    /// Full FP16 scaling factors (what software-only quantization uses).
+    Fp16,
+    /// Second-level symmetric integer quantization of the per-group scaling
+    /// factors to the given bit width (VS-Quant); BitMoD uses INT8.
+    Int(u8),
+}
+
+impl ScaleDtype {
+    /// Storage bits per scaling factor.
+    pub fn bits(&self) -> u32 {
+        match *self {
+            ScaleDtype::Fp16 => 16,
+            ScaleDtype::Int(b) => b as u32,
+        }
+    }
+}
+
+/// A weight quantization method: the data type plus any adaptation mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantMethod {
+    /// Symmetric integer quantization (Eq. 1).
+    IntSym {
+        /// Bit width.
+        bits: u8,
+    },
+    /// Asymmetric integer quantization (Eq. 2) — the baseline used by AWQ,
+    /// GPTQ and OmniQuant.
+    IntAsym {
+        /// Bit width.
+        bits: u8,
+    },
+    /// Non-linear quantization with a fixed codebook (basic FP3/FP4/FP6,
+    /// Flint, a single extended data type, …).
+    Fixed {
+        /// The value grid.
+        codebook: Codebook,
+        /// Storage bits per element.
+        bits: u8,
+    },
+    /// BitMoD: per-group adaptation over the family's special values
+    /// (Algorithm 1).
+    BitMod {
+        /// The data-type family (precision + allowed special values).
+        family: BitModFamily,
+    },
+    /// ANT: per-slice adaptive selection among int / float / power-of-two /
+    /// flint grids.
+    Ant {
+        /// Bit width.
+        bits: u8,
+    },
+    /// OliVe outlier–victim pair quantization.
+    Olive {
+        /// Bit width of the normal (integer) values.
+        bits: u8,
+    },
+    /// Microscaling: shared power-of-two exponent per group of 32; ignores
+    /// the configured granularity.
+    Mx {
+        /// The element format.
+        format: MxFormat,
+    },
+    /// No quantization: round weights to FP16 (the baseline accelerator's
+    /// weight format).
+    Fp16,
+}
+
+impl QuantMethod {
+    /// Convenience constructor for the BitMoD method at a precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 3 or 4.
+    pub fn bitmod(bits: u8) -> Self {
+        QuantMethod::BitMod {
+            family: BitModFamily::for_bits(bits),
+        }
+    }
+
+    /// Convenience constructor for a basic minifloat method.
+    pub fn minifloat(mf: MiniFloat) -> Self {
+        QuantMethod::Fixed {
+            bits: mf.bits(),
+            codebook: mf.codebook(),
+        }
+    }
+
+    /// Convenience constructor for the Flint data type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `3..=8`.
+    pub fn flint(bits: u8) -> Self {
+        QuantMethod::Fixed {
+            bits,
+            codebook: bitmod_dtypes::flint::flint_codebook(bits),
+        }
+    }
+
+    /// Storage bits per weight element (excluding per-slice metadata).
+    pub fn bits_per_weight(&self) -> f64 {
+        match self {
+            QuantMethod::IntSym { bits } | QuantMethod::IntAsym { bits } => *bits as f64,
+            QuantMethod::Fixed { bits, .. } => *bits as f64,
+            QuantMethod::BitMod { family } => family.bits() as f64,
+            QuantMethod::Ant { bits } | QuantMethod::Olive { bits } => *bits as f64,
+            QuantMethod::Mx { format } => format.element_bits() as f64,
+            QuantMethod::Fp16 => 16.0,
+        }
+    }
+
+    /// Human-readable label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            QuantMethod::IntSym { bits } => format!("INT{bits}-Sym"),
+            QuantMethod::IntAsym { bits } => format!("INT{bits}-Asym"),
+            QuantMethod::Fixed { codebook, .. } => codebook.name().to_string(),
+            QuantMethod::BitMod { family } => format!("BitMoD-{}b", family.bits()),
+            QuantMethod::Ant { bits } => format!("ANT-{bits}b"),
+            QuantMethod::Olive { bits } => format!("OliVe-{bits}b"),
+            QuantMethod::Mx { format } => format!("MX-FP{}", format.element_bits()),
+            QuantMethod::Fp16 => "FP16".to_string(),
+        }
+    }
+
+    /// The corresponding hardware-facing data-type label used by the
+    /// accelerator model.
+    pub fn weight_dtype(&self) -> bitmod_dtypes::WeightDtype {
+        use bitmod_dtypes::WeightDtype;
+        match self {
+            QuantMethod::IntSym { bits } => WeightDtype::IntSym(*bits),
+            QuantMethod::IntAsym { bits } => WeightDtype::IntAsym(*bits),
+            QuantMethod::Fixed { bits, .. } => WeightDtype::Fp {
+                bits: *bits,
+                exp_bits: 2,
+            },
+            QuantMethod::BitMod { family } => WeightDtype::BitMod {
+                bits: family.bits(),
+            },
+            QuantMethod::Ant { bits } => WeightDtype::Flint(*bits),
+            QuantMethod::Olive { bits } => WeightDtype::Olive(*bits),
+            QuantMethod::Mx { format } => WeightDtype::Mx(format.element_bits()),
+            QuantMethod::Fp16 => WeightDtype::Fp16,
+        }
+    }
+}
+
+/// Full configuration of a weight quantization pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// The quantization method / data type.
+    pub method: QuantMethod,
+    /// Granularity of the quantization parameters.
+    pub granularity: Granularity,
+    /// Precision of the stored scaling factors.
+    pub scale_dtype: ScaleDtype,
+}
+
+impl QuantConfig {
+    /// Creates a configuration with FP16 scaling factors.
+    pub fn new(method: QuantMethod, granularity: Granularity) -> Self {
+        Self {
+            method,
+            granularity,
+            scale_dtype: ScaleDtype::Fp16,
+        }
+    }
+
+    /// The paper's deployment configuration: per-group (G = 128) quantization
+    /// with INT8 second-level scale factors.
+    pub fn bitmod_deployment(bits: u8) -> Self {
+        Self {
+            method: QuantMethod::bitmod(bits),
+            granularity: Granularity::per_group_default(),
+            scale_dtype: ScaleDtype::Int(8),
+        }
+    }
+
+    /// Replaces the scale data type.
+    pub fn with_scale_dtype(mut self, scale_dtype: ScaleDtype) -> Self {
+        self.scale_dtype = scale_dtype;
+        self
+    }
+
+    /// Average storage bits per weight including per-slice metadata
+    /// (scaling factor, zero point for asymmetric methods, the 2-bit BitMoD
+    /// special-value selector, the MX shared exponent), for a tensor of the
+    /// given shape.  This is the number the memory-traffic model of the
+    /// accelerator uses.
+    pub fn effective_bits_per_weight(&self, rows: usize, cols: usize) -> f64 {
+        if matches!(self.method, QuantMethod::Fp16) {
+            return 16.0;
+        }
+        if let QuantMethod::Mx { format } = &self.method {
+            return format.bits_per_weight();
+        }
+        let n = (rows * cols).max(1) as f64;
+        let slices = self.granularity.num_slices(rows, cols) as f64;
+        let mut meta_bits_per_slice = self.scale_dtype.bits() as f64;
+        match &self.method {
+            QuantMethod::IntAsym { .. } => {
+                // Asymmetric integer stores a zero point per slice; prior
+                // software PTQ works use 8 bits for it (Section III-C).
+                meta_bits_per_slice += 8.0;
+            }
+            QuantMethod::BitMod { family } => {
+                meta_bits_per_slice += family.selector_bits() as f64;
+            }
+            QuantMethod::Ant { .. } => {
+                // ANT stores a 2-bit data-type selector per slice.
+                meta_bits_per_slice += 2.0;
+            }
+            _ => {}
+        }
+        self.method.bits_per_weight() + meta_bits_per_slice * slices / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(QuantMethod::bitmod(3).label(), "BitMoD-3b");
+        assert_eq!(QuantMethod::IntAsym { bits: 4 }.label(), "INT4-Asym");
+        assert_eq!(QuantMethod::flint(4).label(), "Flint4");
+        assert_eq!(
+            QuantMethod::minifloat(MiniFloat::FP6_E2M3).label(),
+            "FP6-E2M3"
+        );
+    }
+
+    #[test]
+    fn deployment_config_uses_int8_scales_and_group_128() {
+        let cfg = QuantConfig::bitmod_deployment(4);
+        assert_eq!(cfg.scale_dtype, ScaleDtype::Int(8));
+        assert_eq!(cfg.granularity, Granularity::PerGroup(128));
+    }
+
+    #[test]
+    fn effective_bits_overhead_matches_section_iii_c() {
+        // BitMoD: 8-bit scale + 2-bit selector per 128 weights = 10/128 bits.
+        let cfg = QuantConfig::bitmod_deployment(4);
+        let eff = cfg.effective_bits_per_weight(4096, 4096);
+        assert!((eff - (4.0 + 10.0 / 128.0)).abs() < 1e-9, "eff {eff}");
+        // INT-Asym with FP16 scales: 16 + 8 = 24 bits per group.
+        let cfg = QuantConfig::new(
+            QuantMethod::IntAsym { bits: 4 },
+            Granularity::PerGroup(128),
+        );
+        let eff = cfg.effective_bits_per_weight(4096, 4096);
+        assert!((eff - (4.0 + 24.0 / 128.0)).abs() < 1e-9, "eff {eff}");
+    }
+
+    #[test]
+    fn mx_effective_bits_include_shared_exponent() {
+        let cfg = QuantConfig::new(
+            QuantMethod::Mx {
+                format: MxFormat::mxfp4(),
+            },
+            Granularity::PerGroup(128),
+        );
+        assert!((cfg.effective_bits_per_weight(1024, 1024) - 4.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp16_is_sixteen_bits() {
+        let cfg = QuantConfig::new(QuantMethod::Fp16, Granularity::PerChannel);
+        assert_eq!(cfg.effective_bits_per_weight(10, 10), 16.0);
+    }
+
+    #[test]
+    fn weight_dtype_mapping() {
+        assert_eq!(
+            QuantMethod::bitmod(3).weight_dtype(),
+            bitmod_dtypes::WeightDtype::BitMod { bits: 3 }
+        );
+        assert_eq!(
+            QuantMethod::IntSym { bits: 6 }.weight_dtype(),
+            bitmod_dtypes::WeightDtype::IntSym(6)
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Matrix-level quantization engine.
+//!
+//! [`quantize_matrix`] applies a [`QuantConfig`] to a weight matrix and
+//! returns the dequantized reconstruction together with error statistics and
+//! the per-group metadata (selected special values, scaling factors).  The
+//! reconstruction is what the proxy-LLM evaluation consumes; the metadata is
+//! what the accelerator model consumes.
+
+use crate::adaptive::adaptive_quantize_group;
+use crate::config::{QuantConfig, QuantMethod, ScaleDtype};
+use crate::granularity::Granularity;
+use crate::scale_quant::quantize_scales;
+use crate::slice::{
+    quantize_codebook, quantize_codebook_with_scale, quantize_int_asymmetric,
+    quantize_int_symmetric, quantize_int_symmetric_with_scale,
+};
+use bitmod_dtypes::olive;
+use bitmod_tensor::{f16::round_to_f16, stats, Matrix};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Error and footprint statistics of one quantized tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantStats {
+    /// Mean-square error between the original and reconstructed weights.
+    pub mse: f64,
+    /// Signal-to-quantization-noise ratio in dB.
+    pub sqnr_db: f64,
+    /// Effective storage bits per weight, including per-group metadata.
+    pub bits_per_weight: f64,
+}
+
+/// A quantized weight matrix: the reconstruction plus metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    /// Dequantized weights (what a forward pass would use).
+    pub reconstructed: Matrix,
+    /// Error and footprint statistics.
+    pub stats: QuantStats,
+    /// Per-group special-value selectors (BitMoD only; empty otherwise),
+    /// in row-major group order.
+    pub special_selectors: Vec<u8>,
+    /// Per-slice scaling factors after any second-level scale quantization,
+    /// in row-major slice order.
+    pub scales: Vec<f32>,
+}
+
+/// Quantizes a weight matrix according to `cfg`.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or the configuration is internally invalid
+/// (e.g. zero group size).
+pub fn quantize_matrix(w: &Matrix, cfg: &QuantConfig) -> QuantizedMatrix {
+    assert!(!w.is_empty(), "cannot quantize an empty matrix");
+    let (reconstructed, selectors, scales) = match &cfg.method {
+        QuantMethod::Fp16 => {
+            let rec = w.map(round_to_f16);
+            (rec, Vec::new(), Vec::new())
+        }
+        QuantMethod::Mx { format } => {
+            let rows: Vec<Vec<f32>> = w
+                .iter_rows()
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|row| format.quantize_slice(row))
+                .collect();
+            let mut rec = Matrix::zeros(w.rows(), w.cols());
+            for (r, row) in rows.iter().enumerate() {
+                rec.row_mut(r).copy_from_slice(row);
+            }
+            (rec, Vec::new(), Vec::new())
+        }
+        _ => quantize_sliced(w, cfg),
+    };
+    let mse = stats::mse(w.as_slice(), reconstructed.as_slice());
+    let sqnr_db = stats::sqnr_db(w.as_slice(), reconstructed.as_slice());
+    QuantizedMatrix {
+        stats: QuantStats {
+            mse,
+            sqnr_db,
+            bits_per_weight: cfg.effective_bits_per_weight(w.rows(), w.cols()),
+        },
+        reconstructed,
+        special_selectors: selectors,
+        scales,
+    }
+}
+
+/// Quantization for the slice-oriented methods (everything except FP16/MX).
+fn quantize_sliced(w: &Matrix, cfg: &QuantConfig) -> (Matrix, Vec<u8>, Vec<f32>) {
+    match cfg.granularity {
+        Granularity::PerTensor => {
+            let (rec, sel, scales) = quantize_slice_set(&[w.as_slice().to_vec()], cfg);
+            let rec_matrix = Matrix::from_vec(w.rows(), w.cols(), rec.into_iter().next().unwrap());
+            (rec_matrix, sel, scales)
+        }
+        Granularity::PerChannel | Granularity::PerGroup(_) => {
+            let group = cfg.granularity.group_size_or(w.cols());
+            // Process rows in parallel; each row produces its reconstruction,
+            // selectors and scales.
+            let per_row: Vec<(Vec<f32>, Vec<u8>, Vec<f32>)> = (0..w.rows())
+                .into_par_iter()
+                .map(|r| {
+                    let row = w.row(r);
+                    let slices: Vec<Vec<f32>> =
+                        row.chunks(group).map(|c| c.to_vec()).collect();
+                    let (recs, sels, scales) = quantize_slice_set(&slices, cfg);
+                    (recs.concat(), sels, scales)
+                })
+                .collect();
+            let mut rec = Matrix::zeros(w.rows(), w.cols());
+            let mut selectors = Vec::new();
+            let mut scales = Vec::new();
+            for (r, (row_rec, row_sel, row_scales)) in per_row.into_iter().enumerate() {
+                rec.row_mut(r).copy_from_slice(&row_rec);
+                selectors.extend(row_sel);
+                scales.extend(row_scales);
+            }
+            (rec, selectors, scales)
+        }
+    }
+}
+
+/// Quantizes a set of slices that share a second-level scale-quantization
+/// domain (i.e. the groups of one channel).  Returns per-slice
+/// reconstructions, BitMoD selectors and final scales.
+fn quantize_slice_set(
+    slices: &[Vec<f32>],
+    cfg: &QuantConfig,
+) -> (Vec<Vec<f32>>, Vec<u8>, Vec<f32>) {
+    // First pass: quantize each slice with its natural (FP32) scale.
+    let mut recs: Vec<Vec<f32>> = Vec::with_capacity(slices.len());
+    let mut selectors: Vec<u8> = Vec::new();
+    let mut nat_scales: Vec<f32> = Vec::with_capacity(slices.len());
+    // Remember per-slice codebooks for the re-scale pass.
+    let mut codebooks: Vec<Option<bitmod_dtypes::Codebook>> = Vec::with_capacity(slices.len());
+
+    for slice in slices {
+        match &cfg.method {
+            QuantMethod::IntSym { bits } => {
+                let q = quantize_int_symmetric(slice, *bits);
+                nat_scales.push(q.scale);
+                recs.push(q.reconstructed);
+                codebooks.push(None);
+            }
+            QuantMethod::IntAsym { bits } => {
+                let q = quantize_int_asymmetric(slice, *bits);
+                nat_scales.push(q.scale);
+                recs.push(q.reconstructed);
+                codebooks.push(None);
+            }
+            QuantMethod::Fixed { codebook, .. } => {
+                let q = quantize_codebook(slice, codebook);
+                nat_scales.push(q.scale);
+                recs.push(q.reconstructed);
+                codebooks.push(Some(codebook.clone()));
+            }
+            QuantMethod::BitMod { family } => {
+                let g = adaptive_quantize_group(slice, family);
+                nat_scales.push(g.quant.scale);
+                recs.push(g.quant.reconstructed);
+                selectors.push(g.special.selector);
+                codebooks.push(Some(family.basic_codebook().with_value(g.special.value)));
+            }
+            QuantMethod::Ant { bits } => {
+                let (best, _) = bitmod_dtypes::ant::select_best(slice, *bits);
+                let q = quantize_codebook(slice, &best);
+                nat_scales.push(q.scale);
+                recs.push(q.reconstructed);
+                codebooks.push(Some(best));
+            }
+            QuantMethod::Olive { bits } => {
+                let (rec, scale) = quantize_olive_slice(slice, *bits);
+                nat_scales.push(scale);
+                recs.push(rec);
+                codebooks.push(None);
+            }
+            QuantMethod::Mx { .. } | QuantMethod::Fp16 => {
+                unreachable!("handled by quantize_matrix directly")
+            }
+        }
+    }
+
+    // Second pass: if the scaling factors themselves are quantized (VS-Quant /
+    // Section III-C), re-quantize every slice with its reconstructed scale.
+    if let ScaleDtype::Int(bits) = cfg.scale_dtype {
+        let qs = quantize_scales(&nat_scales, bits);
+        for (i, slice) in slices.iter().enumerate() {
+            let new_scale = qs.reconstructed[i];
+            let rec = match &cfg.method {
+                QuantMethod::IntSym { bits } => {
+                    quantize_int_symmetric_with_scale(slice, *bits, new_scale).reconstructed
+                }
+                QuantMethod::IntAsym { bits } => {
+                    // Keep the zero point in full precision (prior works store
+                    // an 8-bit zero point; its quantization is not the paper's
+                    // focus) but apply the integer-quantized scale.
+                    requantize_asym_with_scale(slice, *bits, new_scale)
+                }
+                QuantMethod::Olive { bits } => {
+                    let (rec, _) = quantize_olive_slice_with_scale(slice, *bits, new_scale);
+                    rec
+                }
+                _ => {
+                    let cb = codebooks[i]
+                        .as_ref()
+                        .expect("codebook-based methods recorded their codebook");
+                    quantize_codebook_with_scale(slice, cb, new_scale).reconstructed
+                }
+            };
+            recs[i] = rec;
+            nat_scales[i] = new_scale;
+        }
+    }
+
+    (recs, selectors, nat_scales)
+}
+
+fn requantize_asym_with_scale(slice: &[f32], bits: u8, scale: f32) -> Vec<f32> {
+    if scale <= 0.0 {
+        return vec![0.0; slice.len()];
+    }
+    let qmax = bitmod_dtypes::int::asymmetric_qmax(bits) as f32;
+    let lo = slice.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
+    let zero_point = (-lo / scale).round();
+    slice
+        .iter()
+        .map(|&x| {
+            let q = (x / scale + zero_point).round().clamp(0.0, qmax);
+            (q - zero_point) * scale
+        })
+        .collect()
+}
+
+/// OliVe quantization of one slice: the scale is calibrated on the
+/// non-outlier population (the largest ~1/64 of magnitudes are excluded), and
+/// values that fall outside the integer grid after scaling are encoded with
+/// the abfloat outlier type while their pair neighbour is pruned.
+fn quantize_olive_slice(slice: &[f32], bits: u8) -> (Vec<f32>, f32) {
+    let scale = olive_scale(slice, bits);
+    quantize_olive_slice_with_scale(slice, bits, scale)
+}
+
+fn quantize_olive_slice_with_scale(slice: &[f32], bits: u8, scale: f32) -> (Vec<f32>, f32) {
+    if slice.is_empty() || scale <= 0.0 {
+        return (vec![0.0; slice.len()], scale.max(0.0));
+    }
+    let bias = olive::default_bias(bits);
+    let abfloat = olive::abfloat_codebook(bits, bias);
+    let scaled: Vec<f32> = slice.iter().map(|&x| x / scale).collect();
+    let rec_scaled = olive::quantize_slice(&scaled, bits, &abfloat);
+    let rec = rec_scaled.iter().map(|&x| x * scale).collect();
+    (rec, scale)
+}
+
+fn olive_scale(slice: &[f32], bits: u8) -> f32 {
+    if slice.is_empty() {
+        return 1.0;
+    }
+    let qmax = bitmod_dtypes::int::symmetric_qmax(bits.max(2)) as f32;
+    let mut mags: Vec<f32> = slice.iter().map(|x| x.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+    let n_outliers = (slice.len() / 64).max(1).min(slice.len() - 1);
+    let normal_max = mags[slice.len() - 1 - n_outliers];
+    if normal_max > 0.0 {
+        normal_max / qmax
+    } else {
+        let absmax = mags[slice.len() - 1];
+        if absmax > 0.0 {
+            absmax / qmax
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{QuantConfig, QuantMethod};
+    use bitmod_dtypes::fp::MiniFloat;
+    use bitmod_tensor::{synthetic::WeightProfile, SeededRng};
+
+    fn test_weights(seed: u64) -> Matrix {
+        WeightProfile::llama_like().sample_matrix(16, 512, &mut SeededRng::new(seed))
+    }
+
+    fn mse_of(method: QuantMethod, gran: Granularity, w: &Matrix) -> f64 {
+        quantize_matrix(w, &QuantConfig::new(method, gran)).stats.mse
+    }
+
+    #[test]
+    fn fp16_quantization_is_essentially_lossless() {
+        let w = test_weights(1);
+        let q = quantize_matrix(&w, &QuantConfig::new(QuantMethod::Fp16, Granularity::PerChannel));
+        assert!(q.stats.sqnr_db > 60.0);
+        assert_eq!(q.stats.bits_per_weight, 16.0);
+    }
+
+    #[test]
+    fn per_group_beats_per_channel_beats_per_tensor() {
+        // The Fig. 2 / Table I granularity ordering.
+        let w = test_weights(2);
+        let m = QuantMethod::IntAsym { bits: 4 };
+        let pt = mse_of(m.clone(), Granularity::PerTensor, &w);
+        let pc = mse_of(m.clone(), Granularity::PerChannel, &w);
+        let pg = mse_of(m, Granularity::PerGroup(128), &w);
+        assert!(pg < pc, "per-group {pg} should beat per-channel {pc}");
+        assert!(pc < pt, "per-channel {pc} should beat per-tensor {pt}");
+    }
+
+    #[test]
+    fn bitmod_beats_int_asym_and_basic_fp_at_4_bit() {
+        // Table VI's data-type ordering at 4-bit (error proxy).
+        let w = test_weights(3);
+        let g = Granularity::PerGroup(128);
+        let bitmod = mse_of(QuantMethod::bitmod(4), g, &w);
+        let int_asym = mse_of(QuantMethod::IntAsym { bits: 4 }, g, &w);
+        let fp4 = mse_of(QuantMethod::minifloat(MiniFloat::FP4_E2M1), g, &w);
+        assert!(bitmod < int_asym, "bitmod {bitmod} vs int-asym {int_asym}");
+        assert!(bitmod < fp4, "bitmod {bitmod} vs fp4 {fp4}");
+    }
+
+    #[test]
+    fn bitmod_advantage_is_larger_at_3_bit() {
+        let w = test_weights(4);
+        let g = Granularity::PerGroup(128);
+        let ratio3 = mse_of(QuantMethod::IntAsym { bits: 3 }, g, &w)
+            / mse_of(QuantMethod::bitmod(3), g, &w);
+        let ratio4 = mse_of(QuantMethod::IntAsym { bits: 4 }, g, &w)
+            / mse_of(QuantMethod::bitmod(4), g, &w);
+        assert!(ratio3 > 1.0);
+        assert!(ratio3 > ratio4, "3-bit gain {ratio3} vs 4-bit gain {ratio4}");
+    }
+
+    #[test]
+    fn mx_group_32_is_worse_than_bitmod_4bit() {
+        let w = test_weights(5);
+        let mx = mse_of(
+            QuantMethod::Mx {
+                format: bitmod_dtypes::mx::MxFormat::mxfp4(),
+            },
+            Granularity::PerGroup(32),
+            &w,
+        );
+        let bitmod = mse_of(QuantMethod::bitmod(4), Granularity::PerGroup(128), &w);
+        assert!(bitmod < mx, "bitmod {bitmod} vs mx {mx}");
+    }
+
+    #[test]
+    fn olive_handles_outliers_better_than_int_sym_at_per_channel() {
+        // OliVe's raison d'être: protect outliers. Per-channel granularity on
+        // outlier-heavy weights.
+        let w = WeightProfile::opt_like().sample_matrix(8, 2048, &mut SeededRng::new(6));
+        let olive = mse_of(QuantMethod::Olive { bits: 4 }, Granularity::PerChannel, &w);
+        let int_sym = mse_of(QuantMethod::IntSym { bits: 4 }, Granularity::PerChannel, &w);
+        assert!(olive < int_sym, "olive {olive} vs int-sym {int_sym}");
+    }
+
+    #[test]
+    fn int8_scale_quantization_adds_negligible_error() {
+        // Table V: INT8 second-level scales ≈ FP16 scales.
+        let w = test_weights(7);
+        let base = QuantConfig::new(QuantMethod::IntAsym { bits: 4 }, Granularity::PerGroup(128));
+        let with_int8 = base.clone().with_scale_dtype(ScaleDtype::Int(8));
+        let mse_fp16 = quantize_matrix(&w, &base).stats.mse;
+        let mse_int8 = quantize_matrix(&w, &with_int8).stats.mse;
+        assert!(mse_int8 <= mse_fp16 * 1.05, "fp16 {mse_fp16} int8 {mse_int8}");
+    }
+
+    #[test]
+    fn int2_scale_quantization_hurts() {
+        // Table V: INT2 scales collapse accuracy. Give the groups of each
+        // channel clearly different magnitudes (as real LLM channels have) so
+        // that a 2-bit grid cannot represent the per-group scales.
+        let mut w = test_weights(8);
+        for r in 0..w.rows() {
+            let row = w.row_mut(r);
+            for (g, chunk) in row.chunks_mut(128).enumerate() {
+                let factor = 1.0 + 2.5 * g as f32;
+                for x in chunk {
+                    *x *= factor;
+                }
+            }
+        }
+        let base = QuantConfig::new(QuantMethod::IntAsym { bits: 4 }, Granularity::PerGroup(128));
+        let with_int2 = base.clone().with_scale_dtype(ScaleDtype::Int(2));
+        let mse_fp16 = quantize_matrix(&w, &base).stats.mse;
+        let mse_int2 = quantize_matrix(&w, &with_int2).stats.mse;
+        assert!(mse_int2 > mse_fp16 * 1.5, "fp16 {mse_fp16} int2 {mse_int2}");
+    }
+
+    #[test]
+    fn bitmod_records_one_selector_per_group() {
+        let w = test_weights(9);
+        let q = quantize_matrix(&w, &QuantConfig::bitmod_deployment(4));
+        assert_eq!(q.special_selectors.len(), 16 * (512 / 128));
+        assert!(q.special_selectors.iter().all(|&s| s < 4));
+        assert_eq!(q.scales.len(), 16 * 4);
+    }
+
+    #[test]
+    fn int6_per_group_is_nearly_lossless() {
+        // Table II: 6-bit data types show negligible loss; SQNR should be high.
+        let w = test_weights(10);
+        let q = quantize_matrix(
+            &w,
+            &QuantConfig::new(QuantMethod::IntSym { bits: 6 }, Granularity::PerGroup(128)),
+        );
+        assert!(q.stats.sqnr_db > 30.0, "INT6 SQNR {}", q.stats.sqnr_db);
+    }
+
+    #[test]
+    fn reconstruction_shape_matches_input() {
+        let w = test_weights(11);
+        for cfg in [
+            QuantConfig::bitmod_deployment(3),
+            QuantConfig::new(QuantMethod::Ant { bits: 4 }, Granularity::PerGroup(128)),
+            QuantConfig::new(
+                QuantMethod::Mx {
+                    format: bitmod_dtypes::mx::MxFormat::mxfp3(),
+                },
+                Granularity::PerGroup(32),
+            ),
+        ] {
+            let q = quantize_matrix(&w, &cfg);
+            assert_eq!(q.reconstructed.rows(), w.rows());
+            assert_eq!(q.reconstructed.cols(), w.cols());
+        }
+    }
+
+    #[test]
+    fn ragged_group_sizes_are_handled() {
+        let w = WeightProfile::llama_like().sample_matrix(4, 300, &mut SeededRng::new(12));
+        let q = quantize_matrix(&w, &QuantConfig::bitmod_deployment(4));
+        assert_eq!(q.reconstructed.cols(), 300);
+        assert_eq!(q.special_selectors.len(), 4 * 3); // ceil(300/128) = 3 groups/row
+    }
+}

@@ -1,0 +1,129 @@
+//! Quantization granularity (Section II-C, "Quantization Granularity Matters").
+//!
+//! A weight tensor `W ∈ R^{K×D}` can share quantization parameters at three
+//! granularities: one scale for the whole tensor, one per output channel
+//! (row), or one per contiguous group of `G` elements within a row.  Finer
+//! granularity means smaller per-slice dynamic range and therefore smaller
+//! quantization error, at the cost of per-group metadata.
+
+use serde::{Deserialize, Serialize};
+
+/// The group size used throughout the paper (and by AWQ/GPTQ/OmniQuant).
+pub const DEFAULT_GROUP_SIZE: usize = 128;
+
+/// Granularity at which scaling factors (and zero points / special values)
+/// are shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One set of quantization parameters for the whole tensor.
+    PerTensor,
+    /// One set of parameters per output channel (matrix row).
+    PerChannel,
+    /// One set of parameters per contiguous group of the given size within a
+    /// row.
+    PerGroup(usize),
+}
+
+impl Granularity {
+    /// The paper's default per-group granularity (G = 128).
+    pub fn per_group_default() -> Self {
+        Granularity::PerGroup(DEFAULT_GROUP_SIZE)
+    }
+
+    /// The slice length parameters are shared over, for a row of length
+    /// `cols` in a tensor of `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-group granularity has group size 0.
+    pub fn slice_len(&self, rows: usize, cols: usize) -> usize {
+        match *self {
+            Granularity::PerTensor => rows * cols,
+            Granularity::PerChannel => cols,
+            Granularity::PerGroup(g) => {
+                assert!(g > 0, "group size must be non-zero");
+                g.min(cols.max(1))
+            }
+        }
+    }
+
+    /// Number of parameter sets needed for a `rows × cols` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-group granularity has group size 0.
+    pub fn num_slices(&self, rows: usize, cols: usize) -> usize {
+        match *self {
+            Granularity::PerTensor => 1,
+            Granularity::PerChannel => rows,
+            Granularity::PerGroup(g) => {
+                assert!(g > 0, "group size must be non-zero");
+                rows * cols.div_ceil(g)
+            }
+        }
+    }
+
+    /// Iterates over the index ranges (as `(row, start_col, end_col)`) that
+    /// share parameters.  Per-tensor granularity yields one range per row (the
+    /// caller shares the parameters across them explicitly).
+    pub fn group_size_or(&self, cols: usize) -> usize {
+        match *self {
+            Granularity::PerTensor | Granularity::PerChannel => cols,
+            Granularity::PerGroup(g) => g,
+        }
+    }
+
+    /// Human-readable label ("PC", "PG-128", …) used in experiment output.
+    pub fn label(&self) -> String {
+        match *self {
+            Granularity::PerTensor => "PT".to_string(),
+            Granularity::PerChannel => "PC".to_string(),
+            Granularity::PerGroup(g) => format!("PG-{g}"),
+        }
+    }
+}
+
+impl Default for Granularity {
+    fn default() -> Self {
+        Granularity::per_group_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_slices_per_granularity() {
+        assert_eq!(Granularity::PerTensor.num_slices(4, 256), 1);
+        assert_eq!(Granularity::PerChannel.num_slices(4, 256), 4);
+        assert_eq!(Granularity::PerGroup(128).num_slices(4, 256), 8);
+        // Ragged tail: 300 columns -> 3 groups of 128 per row.
+        assert_eq!(Granularity::PerGroup(128).num_slices(2, 300), 6);
+    }
+
+    #[test]
+    fn slice_len_per_granularity() {
+        assert_eq!(Granularity::PerTensor.slice_len(4, 256), 1024);
+        assert_eq!(Granularity::PerChannel.slice_len(4, 256), 256);
+        assert_eq!(Granularity::PerGroup(128).slice_len(4, 256), 128);
+        assert_eq!(Granularity::PerGroup(512).slice_len(4, 256), 256);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Granularity::PerChannel.label(), "PC");
+        assert_eq!(Granularity::per_group_default().label(), "PG-128");
+    }
+
+    #[test]
+    fn default_is_group_128() {
+        assert_eq!(Granularity::default(), Granularity::PerGroup(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_group_size_rejected() {
+        let _ = Granularity::PerGroup(0).num_slices(1, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The BitMoD post-training quantization framework (Section III).
+//!
+//! This crate turns the data-type grids of `bitmod-dtypes` into an actual
+//! weight-only PTQ pipeline:
+//!
+//! * [`granularity`] — per-tensor, per-channel and per-group quantization.
+//! * [`slice`] — the per-vector quantizers: symmetric/asymmetric integer
+//!   (Eqs. 1–2 of the paper) and non-linear codebook quantization.
+//! * [`adaptive`] — **Algorithm 1**, the fine-grained data-type adaptation
+//!   that picks the error-minimizing special value for every weight group.
+//! * [`scale_quant`] — VS-Quant-style second-level quantization of the
+//!   per-group scaling factors to low-precision integers (Table V), which is
+//!   what makes the bit-serial dequantization unit of the accelerator
+//!   possible.
+//! * [`engine`] — the matrix-level quantization engine combining a method, a
+//!   granularity and a scale data type into a [`QuantizedMatrix`].
+//! * [`awq`], [`omniquant`], [`smoothquant`], [`gptq`] — re-implementations of
+//!   the software-only optimizations the paper composes BitMoD with
+//!   (Tables XI and XII).
+//! * [`analysis`] — the quantization-error analyses behind Figs. 2 and 3.
+//!
+//! # Example
+//!
+//! ```
+//! use bitmod_tensor::{SeededRng, synthetic::WeightProfile};
+//! use bitmod_quant::{QuantConfig, QuantMethod, Granularity, quantize_matrix};
+//!
+//! let w = WeightProfile::llama_like().sample_matrix(8, 256, &mut SeededRng::new(1));
+//! let cfg = QuantConfig::new(QuantMethod::bitmod(4), Granularity::PerGroup(128));
+//! let q = quantize_matrix(&w, &cfg);
+//! assert!(q.stats.sqnr_db > 10.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod analysis;
+pub mod awq;
+pub mod config;
+pub mod engine;
+pub mod gptq;
+pub mod granularity;
+pub mod kv;
+pub mod omniquant;
+pub mod packing;
+pub mod scale_quant;
+pub mod slice;
+pub mod smoothquant;
+
+pub use config::{QuantConfig, QuantMethod, ScaleDtype};
+pub use engine::{quantize_matrix, QuantStats, QuantizedMatrix};
+pub use granularity::Granularity;

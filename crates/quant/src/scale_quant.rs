@@ -1,0 +1,138 @@
+//! Second-level quantization of per-group scaling factors (Section III-C).
+//!
+//! Per-group quantization produces `D / G` scaling factors per channel.
+//! Storing them in FP16 costs memory and — more importantly for BitMoD —
+//! would force the accelerator to dequantize partial sums with a full
+//! floating-point multiplier.  Following VS-Quant, BitMoD applies symmetric
+//! integer quantization (Eq. 1) to the scaling factors of each channel, so a
+//! group's effective scale becomes `q · Δ_channel` with `q` a small integer
+//! that the PE can apply bit-serially.  Table V shows INT8 scale factors are
+//! lossless; this module reproduces that experiment's machinery.
+
+use bitmod_dtypes::int::symmetric_qmax;
+use serde::{Deserialize, Serialize};
+
+/// The result of quantizing one channel's per-group scaling factors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedScales {
+    /// The integer codes, one per group (non-negative: scales are positive).
+    pub codes: Vec<u32>,
+    /// The second-level (per-channel) scaling factor.
+    pub channel_scale: f32,
+    /// The reconstructed per-group scaling factors `code · channel_scale`.
+    pub reconstructed: Vec<f32>,
+}
+
+/// Symmetrically quantizes a channel's per-group scaling factors to
+/// `bits`-wide integers.
+///
+/// Scaling factors are positive, so the full signed range is not needed; the
+/// codes span `[0, 2^(bits-1) - 1]` exactly as Eq. 1 would produce for
+/// non-negative inputs.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `bits > 16`, or if any scale is negative or
+/// non-finite.
+pub fn quantize_scales(scales: &[f32], bits: u8) -> QuantizedScales {
+    assert!(
+        scales.iter().all(|s| s.is_finite() && *s >= 0.0),
+        "scaling factors must be non-negative and finite"
+    );
+    let qmax = symmetric_qmax(bits) as f32;
+    let max_scale = scales.iter().copied().fold(0.0f32, f32::max);
+    let channel_scale = if max_scale > 0.0 { max_scale / qmax } else { 1.0 };
+    let codes: Vec<u32> = scales
+        .iter()
+        .map(|&s| (s / channel_scale).round().clamp(0.0, qmax) as u32)
+        .collect();
+    let reconstructed: Vec<f32> = codes.iter().map(|&c| c as f32 * channel_scale).collect();
+    QuantizedScales {
+        codes,
+        channel_scale,
+        reconstructed,
+    }
+}
+
+/// Relative root-mean-square error introduced by quantizing the scales —
+/// the metric behind Table V's accuracy cliff at INT2.
+pub fn scale_quantization_rel_error(scales: &[f32], bits: u8) -> f64 {
+    if scales.is_empty() {
+        return 0.0;
+    }
+    let q = quantize_scales(scales, bits);
+    let num: f64 = scales
+        .iter()
+        .zip(&q.reconstructed)
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum();
+    let den: f64 = scales.iter().map(|&a| (a as f64).powi(2)).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod_tensor::SeededRng;
+
+    fn typical_scales(n: usize, seed: u64) -> Vec<f32> {
+        // Per-group scales of a realistic tensor: log-normally distributed,
+        // spanning roughly one order of magnitude.
+        let mut rng = SeededRng::new(seed);
+        (0..n)
+            .map(|_| (0.02 * rng.normal(0.0, 0.4).exp()) as f32)
+            .collect()
+    }
+
+    #[test]
+    fn int8_scales_are_nearly_lossless() {
+        let scales = typical_scales(64, 1);
+        let err = scale_quantization_rel_error(&scales, 8);
+        assert!(err < 0.01, "INT8 relative error {err}");
+    }
+
+    #[test]
+    fn error_grows_monotonically_as_bits_shrink() {
+        // Table V's trend: FP16 ≈ INT8 ≈ INT6 < INT4 << INT2.
+        let scales = typical_scales(64, 2);
+        let e8 = scale_quantization_rel_error(&scales, 8);
+        let e6 = scale_quantization_rel_error(&scales, 6);
+        let e4 = scale_quantization_rel_error(&scales, 4);
+        let e2 = scale_quantization_rel_error(&scales, 2);
+        assert!(e8 <= e6 + 1e-12);
+        assert!(e6 <= e4 + 1e-12);
+        assert!(e4 < e2);
+        assert!(e2 > 0.1, "INT2 should be clearly lossy, got {e2}");
+    }
+
+    #[test]
+    fn codes_fit_in_requested_width() {
+        let scales = typical_scales(128, 3);
+        let q = quantize_scales(&scales, 4);
+        assert!(q.codes.iter().all(|&c| c <= 7));
+    }
+
+    #[test]
+    fn max_scale_is_representable_exactly() {
+        let scales = vec![0.5f32, 1.0, 0.25];
+        let q = quantize_scales(&scales, 8);
+        let max_idx = 1;
+        assert!((q.reconstructed[max_idx] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_scales_are_handled() {
+        let q = quantize_scales(&[0.0, 0.0], 8);
+        assert!(q.reconstructed.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_rejected() {
+        let _ = quantize_scales(&[-1.0], 8);
+    }
+}

@@ -1,0 +1,321 @@
+//! Per-slice quantizers: the building blocks applied to one tensor, channel
+//! or group at a time.
+//!
+//! * [`quantize_int_symmetric`] implements Eq. 1 of the paper.
+//! * [`quantize_int_asymmetric`] implements Eq. 2.
+//! * [`quantize_codebook`] implements the non-linear quantization used for
+//!   every float-like grid (FP3/FP4/FP6, Flint, the BitMoD extensions, the
+//!   OliVe and MX element types), with an absmax-calibrated scale.
+
+use bitmod_dtypes::int::{asymmetric_qmax, symmetric_qmax};
+use bitmod_dtypes::Codebook;
+use bitmod_tensor::stats;
+use serde::{Deserialize, Serialize};
+
+/// The result of quantizing one slice: the reconstructed values plus the
+/// parameters that would be stored alongside the codes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceQuant {
+    /// Dequantized (reconstructed) values, same length as the input.
+    pub reconstructed: Vec<f32>,
+    /// The scaling factor Δ.
+    pub scale: f32,
+    /// The zero point `z` (0 for symmetric and codebook quantization).
+    pub zero_point: f32,
+    /// Mean-square error against the input.
+    pub mse: f64,
+}
+
+/// Symmetric integer quantization (Eq. 1):
+/// `Δ = absmax / (2^(b-1) - 1)`, `W_q = round(W / Δ)`, reconstruction
+/// `W_q · Δ`.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `bits > 16`.
+pub fn quantize_int_symmetric(values: &[f32], bits: u8) -> SliceQuant {
+    let qmax = symmetric_qmax(bits) as f32;
+    let absmax = stats::absmax(values);
+    let scale = if absmax > 0.0 { absmax / qmax } else { 1.0 };
+    let reconstructed: Vec<f32> = values
+        .iter()
+        .map(|&x| (x / scale).round().clamp(-qmax, qmax) * scale)
+        .collect();
+    let mse = stats::mse(values, &reconstructed);
+    SliceQuant {
+        reconstructed,
+        scale,
+        zero_point: 0.0,
+        mse,
+    }
+}
+
+/// Asymmetric integer quantization (Eq. 2):
+/// `Δ = (max - min) / (2^b - 1)`, `z = round(-min / Δ)`, codes in
+/// `[0, 2^b - 1]`, reconstruction `(W_q - z) · Δ`.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 16.
+pub fn quantize_int_asymmetric(values: &[f32], bits: u8) -> SliceQuant {
+    let qmax = asymmetric_qmax(bits) as f32;
+    if values.is_empty() {
+        return SliceQuant {
+            reconstructed: Vec::new(),
+            scale: 1.0,
+            zero_point: 0.0,
+            mse: 0.0,
+        };
+    }
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max).max(0.0);
+    let range = hi - lo;
+    let scale = if range > 0.0 { range / qmax } else { 1.0 };
+    let zero_point = (-lo / scale).round();
+    let reconstructed: Vec<f32> = values
+        .iter()
+        .map(|&x| {
+            let q = (x / scale + zero_point).round().clamp(0.0, qmax);
+            (q - zero_point) * scale
+        })
+        .collect();
+    let mse = stats::mse(values, &reconstructed);
+    SliceQuant {
+        reconstructed,
+        scale,
+        zero_point,
+        mse,
+    }
+}
+
+/// Non-linear codebook quantization with an absmax-calibrated scale: the
+/// slice's absolute maximum is mapped onto the codebook's largest magnitude,
+/// every element is divided by the scale, snapped to the nearest codebook
+/// value, and multiplied back.
+pub fn quantize_codebook(values: &[f32], codebook: &Codebook) -> SliceQuant {
+    let absmax = stats::absmax(values);
+    let cb_max = codebook.absmax();
+    let scale = if absmax > 0.0 && cb_max > 0.0 {
+        absmax / cb_max
+    } else {
+        1.0
+    };
+    let reconstructed: Vec<f32> = values
+        .iter()
+        .map(|&x| codebook.quantize(x / scale) * scale)
+        .collect();
+    let mse = stats::mse(values, &reconstructed);
+    SliceQuant {
+        reconstructed,
+        scale,
+        zero_point: 0.0,
+        mse,
+    }
+}
+
+/// Non-linear codebook quantization with an explicit scale (used when the
+/// scale itself has been quantized or optimized by a calibration search).
+pub fn quantize_codebook_with_scale(values: &[f32], codebook: &Codebook, scale: f32) -> SliceQuant {
+    let reconstructed: Vec<f32> = values
+        .iter()
+        .map(|&x| {
+            if scale > 0.0 {
+                codebook.quantize(x / scale) * scale
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mse = stats::mse(values, &reconstructed);
+    SliceQuant {
+        reconstructed,
+        scale,
+        zero_point: 0.0,
+        mse,
+    }
+}
+
+/// Symmetric integer quantization with an explicit scale (used after scale
+/// quantization or clipping search).
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `bits > 16`.
+pub fn quantize_int_symmetric_with_scale(values: &[f32], bits: u8, scale: f32) -> SliceQuant {
+    let qmax = symmetric_qmax(bits) as f32;
+    let reconstructed: Vec<f32> = values
+        .iter()
+        .map(|&x| {
+            if scale > 0.0 {
+                (x / scale).round().clamp(-qmax, qmax) * scale
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mse = stats::mse(values, &reconstructed);
+    SliceQuant {
+        reconstructed,
+        scale,
+        zero_point: 0.0,
+        mse,
+    }
+}
+
+/// Asymmetric integer quantization with an explicit clipping range
+/// `[lo, hi]` (used by the OmniQuant-style clipping search).
+///
+/// # Panics
+///
+/// Panics if `bits` is 0, greater than 16, or `hi < lo`.
+pub fn quantize_int_asymmetric_with_range(values: &[f32], bits: u8, lo: f32, hi: f32) -> SliceQuant {
+    assert!(hi >= lo, "invalid clipping range [{lo}, {hi}]");
+    let qmax = asymmetric_qmax(bits) as f32;
+    let range = (hi - lo).max(f32::MIN_POSITIVE);
+    let scale = range / qmax;
+    let zero_point = (-lo / scale).round();
+    let reconstructed: Vec<f32> = values
+        .iter()
+        .map(|&x| {
+            let q = (x / scale + zero_point).round().clamp(0.0, qmax);
+            (q - zero_point) * scale
+        })
+        .collect();
+    let mse = stats::mse(values, &reconstructed);
+    SliceQuant {
+        reconstructed,
+        scale,
+        zero_point,
+        mse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod_dtypes::fp::MiniFloat;
+
+    #[test]
+    fn symmetric_reconstruction_error_bounded_by_half_step() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) / 7.0).collect();
+        let q = quantize_int_symmetric(&values, 4);
+        let step = q.scale;
+        for (x, r) in values.iter().zip(&q.reconstructed) {
+            assert!((x - r).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_exact_grid_points_are_preserved() {
+        // Values already on the grid reconstruct exactly.
+        let scale = 0.5f32;
+        let values: Vec<f32> = (-7..=7).map(|i| i as f32 * scale).collect();
+        let q = quantize_int_symmetric(&values, 4);
+        for (x, r) in values.iter().zip(&q.reconstructed) {
+            assert!((x - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn asymmetric_handles_one_sided_data_better_than_symmetric() {
+        // All-positive group: asymmetric quantization uses all 2^b levels on
+        // the positive side, symmetric wastes half of them.
+        let values: Vec<f32> = (0..128).map(|i| 1.0 + i as f32 / 127.0).collect();
+        let sym = quantize_int_symmetric(&values, 3);
+        let asym = quantize_int_asymmetric(&values, 3);
+        assert!(asym.mse < sym.mse, "asym {} sym {}", asym.mse, sym.mse);
+    }
+
+    #[test]
+    fn asymmetric_zero_point_maps_zero_close_to_zero() {
+        let values = vec![-0.1f32, 0.0, 0.4, 0.9];
+        let q = quantize_int_asymmetric(&values, 4);
+        let idx_zero = 1;
+        assert!(q.reconstructed[idx_zero].abs() <= q.scale / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_constant_slice_is_exactly_representable() {
+        let values = vec![0.7f32; 16];
+        let q = quantize_int_asymmetric(&values, 4);
+        for r in &q.reconstructed {
+            assert!((r - 0.7).abs() < 0.05, "reconstructed {r}");
+        }
+    }
+
+    #[test]
+    fn codebook_quantization_uses_absmax_scaling() {
+        let cb = MiniFloat::FP4_E2M1.codebook();
+        let values = vec![-0.12f32, 0.03, 0.06, 0.12];
+        let q = quantize_codebook(&values, &cb);
+        // absmax 0.12 maps onto 6.0 -> scale 0.02, and 0.12 reconstructs exactly.
+        assert!((q.scale - 0.02).abs() < 1e-6);
+        assert!((q.reconstructed[3] - 0.12).abs() < 1e-6);
+        assert!((q.reconstructed[0] + 0.12).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fp4_beats_int4_sym_on_gaussian_like_data() {
+        // The paper's motivation: Gaussian-ish data fits the float grid better
+        // than the uniform grid at the same bit width.
+        use bitmod_tensor::SeededRng;
+        let mut rng = SeededRng::new(5);
+        let values: Vec<f32> = (0..4096).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+        let fp4 = quantize_codebook(&values, &MiniFloat::FP4_E2M1.codebook());
+        let int4 = quantize_int_symmetric(&values, 4);
+        // On pure Gaussian data without outliers the two are close; FP4 should
+        // not be dramatically worse, and with heavy tails it wins. Use a
+        // heavy-tailed sample to make the ordering strict.
+        let mut heavy: Vec<f32> = (0..4096).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+        for i in (0..heavy.len()).step_by(97) {
+            heavy[i] *= 6.0;
+        }
+        let fp4_h = quantize_codebook(&heavy, &MiniFloat::FP4_E2M1.codebook());
+        let int4_h = quantize_int_symmetric(&heavy, 4);
+        assert!(fp4_h.mse < int4_h.mse, "fp4 {} int4 {}", fp4_h.mse, int4_h.mse);
+        // Sanity: errors are finite and non-zero.
+        assert!(fp4.mse > 0.0 && int4.mse > 0.0);
+    }
+
+    #[test]
+    fn explicit_scale_variants_match_absmax_variants_when_given_absmax_scale() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32 - 20.0) / 9.0).collect();
+        let auto = quantize_int_symmetric(&values, 4);
+        let manual = quantize_int_symmetric_with_scale(&values, 4, auto.scale);
+        assert_eq!(auto.reconstructed, manual.reconstructed);
+
+        let cb = MiniFloat::FP3.codebook();
+        let auto = quantize_codebook(&values, &cb);
+        let manual = quantize_codebook_with_scale(&values, &cb, auto.scale);
+        assert_eq!(auto.reconstructed, manual.reconstructed);
+    }
+
+    #[test]
+    fn clipping_range_quantizer_clips_outliers() {
+        let values = vec![0.0f32, 0.5, 1.0, 10.0];
+        let q = quantize_int_asymmetric_with_range(&values, 4, 0.0, 1.0);
+        assert!(q.reconstructed[3] <= 1.0 + 1e-6);
+        // In-range values stay accurate.
+        assert!((q.reconstructed[1] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_slice_is_handled() {
+        let q = quantize_int_asymmetric(&[], 4);
+        assert!(q.reconstructed.is_empty());
+        assert_eq!(q.mse, 0.0);
+    }
+
+    #[test]
+    fn zero_slice_reconstructs_to_zero() {
+        let values = vec![0.0f32; 10];
+        for q in [
+            quantize_int_symmetric(&values, 4),
+            quantize_int_asymmetric(&values, 4),
+            quantize_codebook(&values, &MiniFloat::FP4_E2M1.codebook()),
+        ] {
+            assert!(q.reconstructed.iter().all(|&x| x == 0.0));
+            assert_eq!(q.mse, 0.0);
+        }
+    }
+}

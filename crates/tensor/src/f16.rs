@@ -1,0 +1,305 @@
+//! Software half-precision (IEEE 754 binary16) arithmetic.
+//!
+//! BitMoD keeps activations in FP16 while weights are quantized; the
+//! processing-element model in `bitmod-accel` therefore needs an exact
+//! software FP16 type to (a) round activations the way the hardware sees them
+//! and (b) validate the bit-serial datapath against a reference.  This module
+//! implements conversions with round-to-nearest-even, which is also the
+//! rounding mode the PE's shifter reserves guard bits for (Section IV-B).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An IEEE 754 binary16 value stored as its 16-bit pattern.
+///
+/// Arithmetic is performed by converting to `f32`, operating, and rounding
+/// back — which is exactly the "FP16 in, FP32 accumulate, FP16 out" behaviour
+/// of typical accelerator datapaths.
+///
+/// # Example
+///
+/// ```
+/// use bitmod_tensor::F16;
+///
+/// let x = F16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // 2^-25 is below the subnormal range and flushes to zero.
+/// assert_eq!(F16::from_f32(2.0f32.powi(-25)).to_f32(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F16(pub u16);
+
+/// Largest finite FP16 value (65504).
+pub const F16_MAX: f32 = 65504.0;
+/// Smallest positive normal FP16 value (2^-14).
+pub const F16_MIN_POSITIVE: f32 = 6.103_515_6e-5;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// Value one.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+
+    /// Converts an `f32` to FP16 with round-to-nearest-even.
+    ///
+    /// Values whose magnitude exceeds [`F16_MAX`] become infinity; values too
+    /// small for the subnormal range flush to (signed) zero; NaN stays NaN.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mantissa = bits & 0x7F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            let payload = if mantissa != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+
+        // Unbiased exponent.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity.
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range. 10-bit mantissa; round to nearest even on the
+            // 13 dropped bits.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let half_man = (mantissa >> 13) as u16;
+            let round_bits = mantissa & 0x1FFF;
+            let mut result = sign | half_exp | half_man;
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (half_man & 1) == 1) {
+                result = result.wrapping_add(1); // may carry into the exponent; that is correct
+            }
+            return F16(result);
+        }
+        if unbiased >= -24 {
+            // Subnormal range.
+            let full_man = mantissa | 0x80_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let half_man = (full_man >> shift) as u16;
+            let round_mask = (1u32 << shift) - 1;
+            let round_bits = full_man & round_mask;
+            let halfway = 1u32 << (shift - 1);
+            let mut result = sign | half_man;
+            if round_bits > halfway || (round_bits == halfway && (half_man & 1) == 1) {
+                result = result.wrapping_add(1);
+            }
+            return F16(result);
+        }
+        // Underflow to signed zero.
+        F16(sign)
+    }
+
+    /// Converts this FP16 value back to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let man = (self.0 & 0x3FF) as u32;
+        let bits = if exp == 0 {
+            if man == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: normalize.
+                let mut exp32 = 127 - 15 + 1;
+                let mut man32 = man;
+                while man32 & 0x400 == 0 {
+                    man32 <<= 1;
+                    exp32 -= 1;
+                }
+                man32 &= 0x3FF;
+                sign | ((exp32 as u32) << 23) | (man32 << 13)
+            }
+        } else if exp == 0x1F {
+            if man == 0 {
+                sign | 0x7F80_0000
+            } else {
+                sign | 0x7FC0_0000
+            }
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Sign bit (true if negative, including -0).
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & 0x8000 != 0
+    }
+
+    /// Returns true if this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x3FF) != 0
+    }
+
+    /// Returns true if this value is ±infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// Biased 5-bit exponent field.
+    pub fn exponent_bits(self) -> u16 {
+        (self.0 >> 10) & 0x1F
+    }
+
+    /// 10-bit mantissa field (without the hidden bit).
+    pub fn mantissa_bits(self) -> u16 {
+        self.0 & 0x3FF
+    }
+
+    /// Mantissa including the hidden bit, as an 11-bit integer, matching the
+    /// "11-bit activation mantissa including the hidden bit" the BitMoD PE
+    /// multiplies against (Fig. 5 of the paper).  Subnormals have no hidden
+    /// bit set.
+    pub fn significand11(self) -> u16 {
+        if self.exponent_bits() == 0 {
+            self.mantissa_bits()
+        } else {
+            self.mantissa_bits() | 0x400
+        }
+    }
+
+    /// Unbiased exponent of the value interpreted as `(-1)^s * m * 2^e` where
+    /// `m` is [`significand11`](Self::significand11) scaled by `2^-10`.
+    pub fn unbiased_exponent(self) -> i32 {
+        let e = self.exponent_bits() as i32;
+        if e == 0 {
+            -14
+        } else {
+            e - 15
+        }
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(value: f32) -> Self {
+        F16::from_f32(value)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(value: F16) -> Self {
+        value.to_f32()
+    }
+}
+
+/// Rounds an `f32` to the nearest representable FP16 value and returns it as
+/// `f32`.  Convenience for quantizing a whole activation tensor to the
+/// precision the accelerator actually sees.
+pub fn round_to_f16(value: f32) -> f32 {
+    F16::from_f32(value).to_f32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(F16::from_f32(x).to_f32(), x, "integer {i} should be exact");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_roundtrip() {
+        for e in -14..=15 {
+            let x = 2.0f32.powi(e);
+            assert_eq!(F16::from_f32(x).to_f32(), x, "2^{e} should be exact");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xC000);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert!(F16::from_f32(1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_sign_negative());
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero() {
+        assert_eq!(F16::from_f32(1e-12).to_f32(), 0.0);
+        let neg = F16::from_f32(-1e-12);
+        assert_eq!(neg.to_f32(), 0.0);
+        assert!(neg.is_sign_negative());
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        let sub = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(sub).to_f32(), sub);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next representable
+        // value 1.0 + 2^-10; RNE keeps the even mantissa (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // 1.0 + 3*2^-11 is halfway between (1 + 2^-10) and (1 + 2^-9); RNE picks
+        // the even mantissa which is 1 + 2^-9.
+        let halfway_up = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway_up).to_f32(), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn significand_and_exponent_decomposition_reconstructs_value() {
+        for &x in &[1.0f32, -1.5, 0.375, 100.0, 0.00074, -65504.0] {
+            let h = F16::from_f32(x);
+            let v = (if h.is_sign_negative() { -1.0 } else { 1.0 })
+                * h.significand11() as f32
+                * 2.0f32.powi(h.unbiased_exponent() - 10);
+            assert_eq!(v, h.to_f32(), "decomposition of {x}");
+        }
+    }
+
+    #[test]
+    fn monotonic_rounding_error_is_bounded() {
+        // Relative rounding error of normal-range values is at most 2^-11.
+        let mut x = 0.001f32;
+        while x < 60000.0 {
+            let r = round_to_f16(x);
+            assert!(((r - x) / x).abs() <= 2.0f32.powi(-11) + 1e-9, "x={x} r={r}");
+            x *= 1.37;
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Tensor and numeric substrate for the BitMoD reproduction.
+//!
+//! This crate provides the low-level building blocks that every other crate in
+//! the workspace relies on:
+//!
+//! * [`Matrix`] — a small, dependency-free, row-major `f32` matrix used to hold
+//!   weight tensors, activations and calibration data.
+//! * [`stats`] — statistics used throughout the paper's analysis (absolute
+//!   maximum, range, mean-square error, signal-to-quantization-noise ratio,
+//!   per-group views).
+//! * [`rng`] — deterministic random number generation (ChaCha-based) with
+//!   Gaussian and Student-t samplers implemented from scratch.
+//! * [`synthetic`] — synthetic LLM weight/activation generation.  Real
+//!   HuggingFace checkpoints are not available in this environment, so weight
+//!   tensors are drawn from per-channel Gaussian/Student-t mixtures with
+//!   injected asymmetric outliers matching the distributional characteristics
+//!   the paper relies on (see `DESIGN.md`).
+//! * [`f16`] — a software half-precision (`binary16`) type with
+//!   round-to-nearest-even conversion, used to model the FP16 activation path
+//!   of the BitMoD processing element exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use bitmod_tensor::{Matrix, rng::SeededRng, synthetic::WeightProfile};
+//!
+//! let mut rng = SeededRng::new(42);
+//! let profile = WeightProfile::llama_like();
+//! let w = profile.sample_matrix(64, 256, &mut rng);
+//! assert_eq!(w.rows(), 64);
+//! assert_eq!(w.cols(), 256);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod f16;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod synthetic;
+
+pub use f16::F16;
+pub use matrix::Matrix;
+pub use rng::SeededRng;

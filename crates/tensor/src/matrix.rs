@@ -1,0 +1,465 @@
+//! A minimal row-major `f32` matrix.
+//!
+//! The BitMoD reproduction only needs dense 2-D tensors (LLM linear-layer
+//! weights, activations, calibration batches), so this type intentionally
+//! stays small: contiguous storage, row/column accessors, matrix
+//! multiplication, transposition and per-group views along the channel
+//! dimension.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// Rows correspond to output channels of a weight tensor (`K` in the paper's
+/// notation) and columns to the channel size (`D`).  Per-group quantization
+/// slices each row into contiguous chunks of `group_size` columns.
+///
+/// # Example
+///
+/// ```
+/// use bitmod_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.row(0), &[1.0, 2.0]);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("data_len", &self.data.len())
+            .finish()
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of equally sized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different lengths or if `rows` is empty.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot build a matrix from zero rows");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} expected {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows (output channels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (channel size).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "column {c} out of bounds ({} cols)", self.cols);
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Iterator over contiguous per-group chunks of every row.
+    ///
+    /// Each item is `(row_index, group_index, group_slice)`.  The last group
+    /// of a row may be shorter than `group_size` if the channel size is not a
+    /// multiple of the group size, mirroring how per-group quantization
+    /// handles ragged tails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`.
+    pub fn iter_groups(&self, group_size: usize) -> impl Iterator<Item = (usize, usize, &[f32])> {
+        assert!(group_size > 0, "group size must be non-zero");
+        self.data
+            .chunks_exact(self.cols.max(1))
+            .enumerate()
+            .flat_map(move |(r, row)| {
+                row.chunks(group_size)
+                    .enumerate()
+                    .map(move |(g, chunk)| (r, g, chunk))
+            })
+    }
+
+    /// Number of groups per row for a given group size (ceiling division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`.
+    pub fn groups_per_row(&self, group_size: usize) -> usize {
+        assert!(group_size > 0, "group size must be non-zero");
+        self.cols.div_ceil(group_size)
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    /// Matrix multiplication `self (m×k) * rhs (k×n) -> (m×n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_rhs = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let row_out = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in row_out.iter_mut().zip(row_rhs.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self (m×k) * v (k) -> (m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.cols, "matvec shape mismatch");
+        self.iter_rows()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise in-place map.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Scales every element of column `c` by `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn scale_col(&mut self, c: usize, s: f32) {
+        assert!(c < self.cols, "column {c} out of bounds");
+        for r in 0..self.rows {
+            self.data[r * self.cols + c] *= s;
+        }
+    }
+
+    /// Scales every element of row `r` by `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn scale_row(&mut self, r: usize, s: f32) {
+        for x in self.row_mut(r) {
+            *x *= s;
+        }
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row mismatch in sub");
+        assert_eq!(self.cols, rhs.cols, "col mismatch in sub");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn filled_sets_every_element() {
+        let m = Matrix::filled(2, 2, 1.5);
+        assert!(m.as_slice().iter().all(|&x| x == 1.5));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_wrong_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_builds_row_major() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn matmul_matches_manual_result() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let id = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let v = vec![1.0, 0.5, -1.0];
+        let out = a.matvec(&v);
+        assert_eq!(out, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn iter_groups_covers_all_elements_with_ragged_tail() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0, 5.0]]);
+        let groups: Vec<_> = m.iter_groups(2).collect();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].2, &[1.0, 2.0]);
+        assert_eq!(groups[2].2, &[5.0]);
+        assert_eq!(m.groups_per_row(2), 3);
+    }
+
+    #[test]
+    fn scale_col_and_row() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.scale_col(0, 2.0);
+        assert_eq!(m.as_slice(), &[2.0, 2.0, 6.0, 4.0]);
+        m.scale_row(1, 0.5);
+        assert_eq!(m.as_slice(), &[2.0, 2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn sub_and_frobenius() {
+        let a = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        let b = Matrix::zeros(1, 2);
+        let d = a.sub(&b);
+        assert!((d.frobenius_norm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0]]);
+        let b = a.map(f32::abs);
+        assert_eq!(b.as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Statistics used throughout the BitMoD analysis.
+//!
+//! Section II-C of the paper compares quantization granularities by looking
+//! at the absolute maximum and the range of weight vectors normalized to their
+//! standard deviation (Fig. 2), and Algorithm 1 selects special values by
+//! mean-square error.  This module provides those primitives plus a few
+//! generally useful metrics (SQNR, quantiles).
+
+/// Absolute maximum of a slice (`max |x|`).  Returns 0 for an empty slice.
+pub fn absmax(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()))
+}
+
+/// Minimum value of a slice.  Returns 0 for an empty slice.
+pub fn min(xs: &[f32]) -> f32 {
+    xs.iter().copied().fold(f32::INFINITY, f32::min).min(f32::INFINITY)
+        .where_finite_or(0.0)
+}
+
+/// Maximum value of a slice.  Returns 0 for an empty slice.
+pub fn max(xs: &[f32]) -> f32 {
+    xs.iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max)
+        .where_finite_or(0.0)
+}
+
+/// Value range (`max - min`).  Returns 0 for an empty slice.
+pub fn range(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        max(xs) - min(xs)
+    }
+}
+
+/// Arithmetic mean.  Returns 0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.  Returns 0 for an empty slice.
+pub fn std_dev(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Mean-square error between two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse requires equal-length slices");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Root-mean-square error between two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rmse(a: &[f32], b: &[f32]) -> f64 {
+    mse(a, b).sqrt()
+}
+
+/// Signal-to-quantization-noise ratio in dB: `10 log10(E[x^2] / E[(x-x̂)^2])`.
+///
+/// Returns `f64::INFINITY` if the error is exactly zero and `0.0` if the
+/// signal is empty or all-zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sqnr_db(signal: &[f32], reconstruction: &[f32]) -> f64 {
+    assert_eq!(signal.len(), reconstruction.len(), "sqnr requires equal lengths");
+    if signal.is_empty() {
+        return 0.0;
+    }
+    let p_signal = signal.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+    if p_signal == 0.0 {
+        return 0.0;
+    }
+    let p_noise = signal
+        .iter()
+        .zip(reconstruction)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>();
+    if p_noise == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (p_signal / p_noise).log10()
+}
+
+/// Linear-interpolation quantile `q ∈ [0, 1]` of a slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or the slice is empty.
+pub fn quantile(xs: &[f32], q: f64) -> f32 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = (pos - lo as f64) as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Kurtosis (Fisher definition; 0 for a Gaussian).  Returns 0 for slices with
+/// fewer than 4 elements or zero variance.
+pub fn excess_kurtosis(xs: &[f32]) -> f64 {
+    if xs.len() < 4 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let n = xs.len() as f64;
+    let var = xs.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let m4 = xs.iter().map(|&x| (x as f64 - m).powi(4)).sum::<f64>() / n;
+    m4 / (var * var) - 3.0
+}
+
+/// Summary of the per-group statistics Fig. 2 of the paper reports: the
+/// absolute maximum and the range of a weight vector, both normalized by the
+/// standard deviation of that vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedExtent {
+    /// `absmax / sigma`.
+    pub absmax_over_sigma: f64,
+    /// `(max - min) / sigma`.
+    pub range_over_sigma: f64,
+}
+
+/// Computes the normalized absolute maximum and range of a vector, as plotted
+/// in Fig. 2 of the paper.  Returns zeros when the vector has no spread.
+pub fn normalized_extent(xs: &[f32]) -> NormalizedExtent {
+    let sigma = std_dev(xs);
+    if sigma == 0.0 {
+        return NormalizedExtent {
+            absmax_over_sigma: 0.0,
+            range_over_sigma: 0.0,
+        };
+    }
+    NormalizedExtent {
+        absmax_over_sigma: absmax(xs) as f64 / sigma,
+        range_over_sigma: range(xs) as f64 / sigma,
+    }
+}
+
+/// Measures how asymmetric a vector is: `|max + min| / (max - min)`, i.e. how
+/// far the midpoint sits from zero relative to the range.  0 for a perfectly
+/// symmetric range, approaching 1 for an entirely one-sided group.  The paper
+/// motivates asymmetric data types by exactly this phenomenon in per-group
+/// weight slices.
+pub fn asymmetry(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = max(xs) as f64;
+    let mn = min(xs) as f64;
+    let r = mx - mn;
+    if r == 0.0 {
+        0.0
+    } else {
+        (mx + mn).abs() / r
+    }
+}
+
+trait WhereFiniteOr {
+    fn where_finite_or(self, fallback: f32) -> f32;
+}
+
+impl WhereFiniteOr for f32 {
+    fn where_finite_or(self, fallback: f32) -> f32 {
+        if self.is_finite() {
+            self
+        } else {
+            fallback
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absmax_handles_signs_and_empty() {
+        assert_eq!(absmax(&[1.0, -3.0, 2.0]), 3.0);
+        assert_eq!(absmax(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_max_range() {
+        let xs = [1.0, -2.0, 5.0];
+        assert_eq!(min(&xs), -2.0);
+        assert_eq!(max(&xs), 5.0);
+        assert_eq!(range(&xs), 7.0);
+        assert_eq!(range(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_and_rmse() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 3.0];
+        assert!((mse(&a, &b) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&a, &b) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mse_length_mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sqnr_infinite_for_exact_reconstruction() {
+        let a = [1.0, -2.0, 0.5];
+        assert_eq!(sqnr_db(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn sqnr_decreases_with_noise() {
+        let a = [1.0, -2.0, 0.5, 3.0];
+        let small: Vec<f32> = a.iter().map(|x| x + 0.01).collect();
+        let big: Vec<f32> = a.iter().map(|x| x + 0.5).collect();
+        assert!(sqnr_db(&a, &small) > sqnr_db(&a, &big));
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+    }
+
+    #[test]
+    fn kurtosis_of_uniformish_is_negative_heavy_tail_positive() {
+        let uniform: Vec<f32> = (0..1000).map(|i| i as f32 / 1000.0).collect();
+        assert!(excess_kurtosis(&uniform) < 0.0);
+        // A vector with one large outlier has positive excess kurtosis.
+        let mut outliered = vec![0.0f32; 999];
+        outliered.push(100.0);
+        assert!(excess_kurtosis(&outliered) > 10.0);
+    }
+
+    #[test]
+    fn normalized_extent_of_standard_gaussianish_data() {
+        // For ±1 symmetric data, absmax/sigma == 1, range/sigma == 2.
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        let e = normalized_extent(&xs);
+        assert!((e.absmax_over_sigma - 1.0).abs() < 1e-9);
+        assert!((e.range_over_sigma - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetry_zero_for_symmetric_one_for_one_sided() {
+        assert_eq!(asymmetry(&[-2.0, 2.0]), 0.0);
+        let one_sided = asymmetry(&[1.0, 3.0]);
+        assert!(one_sided > 0.9, "one-sided asymmetry {one_sided}");
+        assert_eq!(asymmetry(&[]), 0.0);
+    }
+}
