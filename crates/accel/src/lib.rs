@@ -19,6 +19,22 @@
 //! from Synopsys DC synthesis in 28 nm (Table X and Fig. 10); DRAM and SRAM
 //! energy constants replace DRAMSim3 / CACTI with standard per-access
 //! figures.  See `DESIGN.md` for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use bitmod_accel::{simulate_model, AcceleratorKind, Workload};
+//! use bitmod_llm::config::LlmModel;
+//! use bitmod_llm::memory::TaskShape;
+//!
+//! let workload = Workload {
+//!     llm: LlmModel::Phi2B.config(),
+//!     task: TaskShape::GENERATIVE,
+//! };
+//! let bitmod = simulate_model(&AcceleratorKind::BitModLossy.build(), &workload);
+//! let fp16 = simulate_model(&AcceleratorKind::BaselineFp16.build(), &workload);
+//! assert!(bitmod.speedup_over(&fp16) > 1.0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

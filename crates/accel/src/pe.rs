@@ -243,7 +243,9 @@ mod tests {
     use bitmod_tensor::SeededRng;
 
     fn random_activations(n: usize, rng: &mut SeededRng) -> Vec<F16> {
-        (0..n).map(|_| F16::from_f32(rng.normal(0.0, 1.0) as f32)).collect()
+        (0..n)
+            .map(|_| F16::from_f32(rng.normal(0.0, 1.0) as f32))
+            .collect()
     }
 
     #[test]
@@ -255,7 +257,8 @@ mod tests {
             let acts = random_activations(128, &mut rng);
             let scale = 0.013;
             let (got, cycles) = pe.int_group_mac(&codes, &acts, 8, scale);
-            let want = reference_dot(&codes.iter().map(|&c| c as f64).collect::<Vec<_>>(), &acts) * scale;
+            let want =
+                reference_dot(&codes.iter().map(|&c| c as f64).collect::<Vec<_>>(), &acts) * scale;
             assert!((got - want).abs() < 1e-6, "got {got} want {want}");
             assert_eq!(cycles.compute, 128 / 4 * 4);
         }
@@ -280,14 +283,13 @@ mod tests {
         for fam in [BitModFamily::fp3(), BitModFamily::fp4()] {
             for member in fam.members() {
                 let cb = member.codebook();
-                let values: Vec<f32> = (0..128)
-                    .map(|_| cb.values()[rng.below(cb.len())])
-                    .collect();
+                let values: Vec<f32> = (0..128).map(|_| cb.values()[rng.below(cb.len())]).collect();
                 let acts = random_activations(128, &mut rng);
                 let scale = 0.021;
                 let (got, cycles) = pe.extended_fp_group_mac(&values, &acts, scale);
                 let want =
-                    reference_dot(&values.iter().map(|&v| v as f64).collect::<Vec<_>>(), &acts) * scale;
+                    reference_dot(&values.iter().map(|&v| v as f64).collect::<Vec<_>>(), &acts)
+                        * scale;
                 assert!(
                     (got - want).abs() < 1e-5,
                     "{}: got {got} want {want}",
@@ -304,7 +306,9 @@ mod tests {
         // far above the 8-cycle dequantization.
         let pe = BitSerialPe::new();
         let mut rng = SeededRng::new(4);
-        let values: Vec<f32> = (0..128).map(|_| if rng.bernoulli(0.5) { 1.0 } else { -2.0 }).collect();
+        let values: Vec<f32> = (0..128)
+            .map(|_| if rng.bernoulli(0.5) { 1.0 } else { -2.0 })
+            .collect();
         let acts = random_activations(128, &mut rng);
         let (_, cycles) = pe.extended_fp_group_mac(&values, &acts, 1.0);
         assert!(cycles.dequant_hidden);
@@ -346,7 +350,13 @@ mod tests {
         assert!(PeKind::FpInt8Int4.relative_area() > PeKind::Fp16Mac.relative_area());
         assert!(PeKind::FpInt8Int4.relative_power() > PeKind::Fp16Mac.relative_power());
         // While the non-decomposable FP-INT8 PE is the smallest of all.
-        for k in [PeKind::Fp16Mac, PeKind::BitSerial, PeKind::FpInt8Int4, PeKind::Ant, PeKind::Olive] {
+        for k in [
+            PeKind::Fp16Mac,
+            PeKind::BitSerial,
+            PeKind::FpInt8Int4,
+            PeKind::Ant,
+            PeKind::Olive,
+        ] {
             assert!(PeKind::FpInt8.relative_area() <= k.relative_area());
         }
     }

@@ -10,9 +10,7 @@
 //! asymmetry that makes low-precision weights pay off for generation.
 
 use crate::arch::Accelerator;
-use crate::energy::{
-    EnergyBreakdown, BASE_PE_PJ_PER_CYCLE, DRAM_PJ_PER_BYTE, SRAM_PJ_PER_BYTE,
-};
+use crate::energy::{EnergyBreakdown, BASE_PE_PJ_PER_CYCLE, DRAM_PJ_PER_BYTE, SRAM_PJ_PER_BYTE};
 use bitmod_llm::config::LlmConfig;
 use bitmod_llm::memory::TaskShape;
 use serde::{Deserialize, Serialize};
@@ -103,8 +101,8 @@ pub fn simulate_with_precision(
         };
     let weight_bytes = cfg.weight_bytes(eff_bits);
     let act_elem_bytes = 2.0; // FP16 activations
-    // BitMoD (and the baseline paper setup) quantize the KV cache to INT8;
-    // accelerators without a suitable compute path keep it FP16.
+                              // BitMoD (and the baseline paper setup) quantize the KV cache to INT8;
+                              // accelerators without a suitable compute path keep it FP16.
     let kv_elem_bytes = if accel.per_group_dequant { 1.0 } else { 2.0 };
 
     let mut total = PhaseTotals::default();
@@ -225,8 +223,8 @@ fn simulate_phase(
     // Attention operands (K/V) are INT8 at best; every PE performs one such
     // MAC per cycle.
     let attn_macs_per_cycle = accel.num_pes as f64;
-    let compute_cycles = (linear_macs + lm_head_macs) / weight_macs_per_cycle
-        + attn_macs / attn_macs_per_cycle;
+    let compute_cycles =
+        (linear_macs + lm_head_macs) / weight_macs_per_cycle + attn_macs / attn_macs_per_cycle;
 
     // ---- memory ----
     // Weights are streamed once per phase (the 512 KB buffer cannot hold a
@@ -249,9 +247,8 @@ fn simulate_phase(
     let cycles = compute_cycles.max(memory_cycles);
 
     let macs = linear_macs + lm_head_macs + attn_macs;
-    let pe_work_cycles = (linear_macs + lm_head_macs)
-        / accel.pe_kind.macs_per_cycle(weight_bits)
-        + attn_macs;
+    let pe_work_cycles =
+        (linear_macs + lm_head_macs) / accel.pe_kind.macs_per_cycle(weight_bits) + attn_macs;
     PhaseResult {
         cycles,
         dram_bytes,
@@ -307,7 +304,10 @@ mod tests {
         let g = mean(&gen);
         assert!(d > 1.5 && d < 2.6, "discriminative lossless speedup {d}");
         assert!(g > 1.9 && g < 3.2, "generative lossless speedup {g}");
-        assert!(g > d, "generative should benefit more from weight compression");
+        assert!(
+            g > d,
+            "generative should benefit more from weight compression"
+        );
     }
 
     #[test]
@@ -397,7 +397,9 @@ mod tests {
         let fast = run(AcceleratorKind::BitModLossy, LlmModel::Opt1_3B, false);
         assert!(fast.seconds() < base.seconds());
         assert!(fast.speedup_over(&base) > 1.0);
-        assert!((fast.speedup_over(&base) - base.total_cycles() / fast.total_cycles()).abs() < 1e-12);
+        assert!(
+            (fast.speedup_over(&base) - base.total_cycles() / fast.total_cycles()).abs() < 1e-12
+        );
         assert!(fast.edp() < base.edp());
         assert!(fast.energy_ratio(&base) < 1.0);
     }

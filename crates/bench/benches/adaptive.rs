@@ -3,8 +3,8 @@
 //! quantization time.
 
 use bitmod::dtypes::bitmod::BitModFamily;
-use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_slice};
 use bitmod::prelude::*;
+use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_slice};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_single_group(c: &mut Criterion) {

@@ -35,7 +35,9 @@ fn bench_term_encoder(c: &mut Criterion) {
 
     let fam = BitModFamily::fp4();
     let cb = fam.members()[3].codebook();
-    let fp_values: Vec<f32> = (0..4096).map(|_| cb.values()[rng.below(cb.len())]).collect();
+    let fp_values: Vec<f32> = (0..4096)
+        .map(|_| cb.values()[rng.below(cb.len())])
+        .collect();
     c.bench_function("term_encode_4096_extended_fp4", |b| {
         b.iter(|| {
             fp_values

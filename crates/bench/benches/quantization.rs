@@ -36,9 +36,10 @@ fn bench_quantize_methods(c: &mut Criterion) {
 }
 
 fn bench_scale_quantization(c: &mut Criterion) {
-    let weights = LlmModel::Llama2_7B
-        .weight_profile()
-        .sample_matrix(64, 4096, &mut SeededRng::new(2));
+    let weights =
+        LlmModel::Llama2_7B
+            .weight_profile()
+            .sample_matrix(64, 4096, &mut SeededRng::new(2));
     c.bench_function("quantize_with_int8_scales_64x4096", |b| {
         let cfg = QuantConfig::bitmod_deployment(4);
         b.iter(|| quantize_matrix(&weights, &cfg))

@@ -32,5 +32,9 @@ fn bench_proxy_evaluation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_accelerator_simulation, bench_proxy_evaluation);
+criterion_group!(
+    benches,
+    bench_accelerator_simulation,
+    bench_proxy_evaluation
+);
 criterion_main!(benches);

@@ -1,51 +1,8 @@
 //! Fig. 3 — Normalized per-group weight quantization error of FP3 extended
-//! with different special values (±2 … ±8), group size 128.
-
-use bitmod::quant::analysis::special_value_error_sweep;
-use bitmod::prelude::*;
-use bitmod_bench::{f3, print_table, write_json};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    model: String,
-    candidate: String,
-    normalized_error: f64,
-}
+//!
+//! Thin wrapper: the implementation lives in `bitmod_bench::repro::fig03_special_value_error`
+//! and is also reachable through `bitmod-cli repro`.
 
 fn main() {
-    let candidates = [2.0f32, 3.0, 5.0, 6.0, 8.0];
-    let mut rng = SeededRng::new(31);
-    let mut header = vec!["model".to_string(), "none".to_string()];
-    header.extend(candidates.iter().map(|c| format!("±{c}")));
-
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for model in LlmModel::ALL {
-        let w = model
-            .weight_profile()
-            .sample_matrix(64, 4096, &mut rng.fork(model.name().len() as u64));
-        let sweep = special_value_error_sweep(&w, &candidates, 128);
-        let mut row = vec![model.name().to_string()];
-        for entry in &sweep {
-            row.push(f3(entry.normalized_error));
-            json.push(Row {
-                model: model.name().to_string(),
-                candidate: entry.label.clone(),
-                normalized_error: entry.normalized_error,
-            });
-        }
-        rows.push(row);
-    }
-    print_table(
-        "Fig. 3 — normalized FP3 quantization error per special value (1.0 = best candidate)",
-        &header,
-        &rows,
-    );
-    println!(
-        "Paper shape to check: adding asymmetric special values clearly reduces the error;\n\
-         ±6 achieves the lowest (or near-lowest) error on most models, which is why\n\
-         BitMoD adopts ±3 / ±6 for FP3 (Table IV)."
-    );
-    write_json("fig03_special_value_error", &json);
+    bitmod_bench::repro::fig03_special_value_error::run();
 }

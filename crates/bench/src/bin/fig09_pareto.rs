@@ -1,104 +1,8 @@
 //! Fig. 9 — Perplexity–EDP Pareto plot for Phi-2B and Llama-2-7B: ANT, OliVe
-//! and BitMoD swept over weight precisions 3–8 bit on the generative task.
-
-use bitmod::accel::sim::simulate_with_precision;
-use bitmod::prelude::*;
-use bitmod_bench::{f2, print_table, write_json};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    model: String,
-    accelerator: String,
-    weight_bits: u8,
-    proxy_wiki_ppl: f64,
-    normalized_edp: f64,
-}
-
-/// The quantization method each accelerator family uses at a given precision.
-fn method_for(kind: AcceleratorKind, bits: u8) -> QuantMethod {
-    match kind {
-        AcceleratorKind::Ant => QuantMethod::Ant { bits },
-        AcceleratorKind::Olive => QuantMethod::Olive { bits },
-        _ => {
-            if bits <= 4 {
-                QuantMethod::bitmod(bits)
-            } else {
-                QuantMethod::IntSym { bits }
-            }
-        }
-    }
-}
-
-/// ANT / OliVe only support per-channel dequantization in hardware; BitMoD
-/// supports per-group.
-fn granularity_for(kind: AcceleratorKind) -> Granularity {
-    match kind {
-        AcceleratorKind::Ant | AcceleratorKind::Olive => Granularity::PerChannel,
-        _ => Granularity::PerGroup(128),
-    }
-}
+//!
+//! Thin wrapper: the implementation lives in `bitmod_bench::repro::fig09_pareto`
+//! and is also reachable through `bitmod-cli repro`.
 
 fn main() {
-    let models = [LlmModel::Phi2B, LlmModel::Llama2_7B];
-    let accelerators = [
-        AcceleratorKind::Ant,
-        AcceleratorKind::Olive,
-        AcceleratorKind::BitModLossy,
-    ];
-    let precisions = [3u8, 4, 5, 6, 8];
-
-    let mut json = Vec::new();
-    for model in models {
-        eprintln!("[setup] synthesizing proxy model for {}", model.name());
-        let harness = EvalHarness::new(model, 42);
-        let workload = Workload {
-            llm: model.config(),
-            task: TaskShape::GENERATIVE,
-        };
-        let baseline_edp =
-            simulate_model(&AcceleratorKind::BaselineFp16.build(), &workload).edp();
-
-        let header = vec![
-            "accelerator".to_string(),
-            "bits".to_string(),
-            "proxy Wiki PPL".to_string(),
-            "normalized EDP".to_string(),
-        ];
-        let mut rows = Vec::new();
-        for kind in accelerators {
-            let accel = kind.build();
-            for &bits in &precisions {
-                let method = method_for(kind, bits);
-                let ppl = harness
-                    .evaluate(&QuantConfig::new(method, granularity_for(kind)))
-                    .wiki;
-                let edp = simulate_with_precision(&accel, &workload, bits).edp() / baseline_edp;
-                rows.push(vec![
-                    accel.name.clone(),
-                    bits.to_string(),
-                    f2(ppl),
-                    f2(edp),
-                ]);
-                json.push(Point {
-                    model: model.name().to_string(),
-                    accelerator: accel.name.clone(),
-                    weight_bits: bits,
-                    proxy_wiki_ppl: ppl,
-                    normalized_edp: edp,
-                });
-            }
-        }
-        print_table(
-            &format!("Fig. 9 — perplexity vs normalized EDP Pareto points, {}", model.name()),
-            &header,
-            &rows,
-        );
-    }
-    println!(
-        "Paper shape to check: for any EDP budget the BitMoD points sit at (or very near)\n\
-         the lowest perplexity — i.e. BitMoD traces the Pareto frontier — because its\n\
-         per-group data types keep perplexity low at precisions where ANT/OliVe degrade."
-    );
-    write_json("fig09_pareto", &json);
+    bitmod_bench::repro::fig09_pareto::run();
 }

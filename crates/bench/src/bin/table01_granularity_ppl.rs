@@ -1,66 +1,8 @@
 //! Table I — Proxy perplexity under different quantization granularity
-//! (per-channel vs per-group 128) and 4-bit data types (INT4-Sym, INT4-Asym,
-//! FP4, Flint).
-
-use bitmod::dtypes::fp::MiniFloat;
-use bitmod::prelude::*;
-use bitmod_bench::{f2, harnesses, print_table, write_json};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Cell {
-    model: String,
-    dtype: String,
-    granularity: String,
-    wiki_ppl: f64,
-}
+//!
+//! Thin wrapper: the implementation lives in `bitmod_bench::repro::table01_granularity_ppl`
+//! and is also reachable through `bitmod-cli repro`.
 
 fn main() {
-    let models = LlmModel::MOTIVATION;
-    let hs = harnesses(&models, 42);
-
-    let dtypes: Vec<(String, QuantMethod)> = vec![
-        ("FP16".into(), QuantMethod::Fp16),
-        ("INT4-Sym".into(), QuantMethod::IntSym { bits: 4 }),
-        ("INT4-Asym".into(), QuantMethod::IntAsym { bits: 4 }),
-        ("FP4".into(), QuantMethod::minifloat(MiniFloat::FP4_E2M1)),
-        ("Flint".into(), QuantMethod::flint(4)),
-    ];
-
-    let mut header = vec!["dtype".to_string()];
-    for m in models {
-        header.push(format!("{} PC", m.name()));
-        header.push(format!("{} PG", m.name()));
-    }
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for (name, method) in &dtypes {
-        let mut row = vec![name.clone()];
-        for h in &hs {
-            for gran in [Granularity::PerChannel, Granularity::PerGroup(128)] {
-                let ppl = h
-                    .evaluate(&QuantConfig::new(method.clone(), gran))
-                    .wiki;
-                row.push(f2(ppl));
-                json.push(Cell {
-                    model: h.model.name().to_string(),
-                    dtype: name.clone(),
-                    granularity: gran.label(),
-                    wiki_ppl: ppl,
-                });
-            }
-        }
-        rows.push(row);
-    }
-    print_table(
-        "Table I — Wikitext proxy perplexity, per-channel (PC) vs per-group (PG, G=128), 4-bit",
-        &header,
-        &rows,
-    );
-    println!(
-        "Paper shape to check: per-group beats per-channel for every data type; Flint is\n\
-         competitive per-channel but never the best per-group; INT4-Asym and FP4 are the\n\
-         strongest basic data types at per-group granularity."
-    );
-    write_json("table01_granularity_ppl", &json);
+    bitmod_bench::repro::table01_granularity_ppl::run();
 }

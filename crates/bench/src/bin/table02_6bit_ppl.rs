@@ -1,63 +1,8 @@
 //! Table II — Proxy perplexity of different 6-bit data types (INT6-Sym,
-//! INT6-Asym, FP6-E2M3, FP6-E3M2) under per-group quantization (G = 128).
-
-use bitmod::dtypes::fp::MiniFloat;
-use bitmod::prelude::*;
-use bitmod_bench::{f2, harnesses, print_table, write_json};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Cell {
-    model: String,
-    dtype: String,
-    wiki_ppl: f64,
-    c4_ppl: f64,
-}
+//!
+//! Thin wrapper: the implementation lives in `bitmod_bench::repro::table02_6bit_ppl`
+//! and is also reachable through `bitmod-cli repro`.
 
 fn main() {
-    let models = LlmModel::MOTIVATION;
-    let hs = harnesses(&models, 42);
-    let g = Granularity::PerGroup(128);
-
-    let dtypes: Vec<(String, QuantMethod)> = vec![
-        ("FP16".into(), QuantMethod::Fp16),
-        ("INT6-Sym".into(), QuantMethod::IntSym { bits: 6 }),
-        ("INT6-Asym".into(), QuantMethod::IntAsym { bits: 6 }),
-        ("FP6-E2M3".into(), QuantMethod::minifloat(MiniFloat::FP6_E2M3)),
-        ("FP6-E3M2".into(), QuantMethod::minifloat(MiniFloat::FP6_E3M2)),
-    ];
-
-    let mut header = vec!["dtype".to_string()];
-    for m in models {
-        header.push(format!("{} Wiki", m.name()));
-        header.push(format!("{} C4", m.name()));
-    }
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for (name, method) in &dtypes {
-        let mut row = vec![name.clone()];
-        for h in &hs {
-            let p = h.evaluate(&QuantConfig::new(method.clone(), g));
-            row.push(f2(p.wiki));
-            row.push(f2(p.c4));
-            json.push(Cell {
-                model: h.model.name().to_string(),
-                dtype: name.clone(),
-                wiki_ppl: p.wiki,
-                c4_ppl: p.c4,
-            });
-        }
-        rows.push(row);
-    }
-    print_table(
-        "Table II — proxy perplexity of 6-bit data types under per-group quantization",
-        &header,
-        &rows,
-    );
-    println!(
-        "Paper shape to check: every 6-bit data type is essentially lossless relative to\n\
-         the FP16 row (the differences are within noise), motivating INT6 as the\n\
-         'lossless' BitMoD accelerator configuration."
-    );
-    write_json("table02_6bit_ppl", &json);
+    bitmod_bench::repro::table02_6bit_ppl::run();
 }

@@ -1,64 +1,8 @@
 //! Table V — Proxy perplexity under different precision for the per-group
-//! scaling factor (FP16, INT8, INT6, INT4, INT2), INT4-Asym weights, G = 128.
-
-use bitmod::prelude::*;
-use bitmod_bench::{f2, harnesses, print_table, write_json};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Cell {
-    model: String,
-    scale_dtype: String,
-    wiki_ppl: f64,
-    c4_ppl: f64,
-}
+//!
+//! Thin wrapper: the implementation lives in `bitmod_bench::repro::table05_scale_precision`
+//! and is also reachable through `bitmod-cli repro`.
 
 fn main() {
-    let models = LlmModel::MOTIVATION;
-    let hs = harnesses(&models, 42);
-    let g = Granularity::PerGroup(128);
-
-    let scale_dtypes: Vec<(String, ScaleDtype)> = vec![
-        ("FP16".into(), ScaleDtype::Fp16),
-        ("INT8".into(), ScaleDtype::Int(8)),
-        ("INT6".into(), ScaleDtype::Int(6)),
-        ("INT4".into(), ScaleDtype::Int(4)),
-        ("INT2".into(), ScaleDtype::Int(2)),
-    ];
-
-    let mut header = vec!["scale dtype".to_string()];
-    for m in models {
-        header.push(format!("{} Wiki", m.name()));
-        header.push(format!("{} C4", m.name()));
-    }
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for (name, sd) in &scale_dtypes {
-        let mut row = vec![name.clone()];
-        for h in &hs {
-            let cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 4 }, g)
-                .with_scale_dtype(*sd);
-            let p = h.evaluate(&cfg);
-            row.push(f2(p.wiki));
-            row.push(f2(p.c4));
-            json.push(Cell {
-                model: h.model.name().to_string(),
-                scale_dtype: name.clone(),
-                wiki_ppl: p.wiki,
-                c4_ppl: p.c4,
-            });
-        }
-        rows.push(row);
-    }
-    print_table(
-        "Table V — proxy perplexity vs per-group scale-factor precision (INT4-Asym weights)",
-        &header,
-        &rows,
-    );
-    println!(
-        "Paper shape to check: INT8 (and INT6) scale factors match FP16 scale factors;\n\
-         INT4 adds a small loss; INT2 collapses.  This justifies the INT8 scale factors\n\
-         that BitMoD's bit-serial dequantization unit relies on."
-    );
-    write_json("table05_scale_precision", &json);
+    bitmod_bench::repro::table05_scale_precision::run();
 }

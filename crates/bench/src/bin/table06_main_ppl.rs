@@ -1,78 +1,8 @@
 //! Table VI — The headline generative result: proxy perplexity of ANT, OliVe,
-//! MX, INT-Asym and BitMoD at 4-bit and 3-bit weight precision on all six
-//! LLMs, per-group quantization.
-
-use bitmod::prelude::*;
-use bitmod_bench::{f2, harnesses, print_table, table6_methods, write_json};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Cell {
-    precision: u8,
-    dtype: String,
-    model: String,
-    wiki_ppl: f64,
-    c4_ppl: f64,
-    delta_ppl_vs_fp16: f64,
-}
+//!
+//! Thin wrapper: the implementation lives in `bitmod_bench::repro::table06_main_ppl`
+//! and is also reachable through `bitmod-cli repro`.
 
 fn main() {
-    let models = LlmModel::ALL;
-    let hs = harnesses(&models, 42);
-    let fp16: Vec<PerplexityPair> = hs.iter().map(|h| h.fp16_perplexity()).collect();
-
-    let mut header = vec!["precision".to_string(), "dtype".to_string()];
-    for m in models {
-        header.push(format!("{} Wiki", m.name()));
-        header.push(format!("{} C4", m.name()));
-    }
-    header.push("mean ΔPPL".to_string());
-
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-
-    // FP16 reference row.
-    let mut fp_row = vec!["16-bit".to_string(), "FP16".to_string()];
-    for p in &fp16 {
-        fp_row.push(f2(p.wiki));
-        fp_row.push(f2(p.c4));
-    }
-    fp_row.push(f2(0.0));
-    rows.push(fp_row);
-
-    for bits in [4u8, 3u8] {
-        for (name, method, gran) in table6_methods(bits) {
-            let mut row = vec![format!("{bits}-bit"), name.clone()];
-            let mut delta_sum = 0.0;
-            for (h, fp) in hs.iter().zip(&fp16) {
-                let p = h.evaluate(&QuantConfig::new(method.clone(), gran));
-                row.push(f2(p.wiki));
-                row.push(f2(p.c4));
-                let delta = p.mean() - fp.mean();
-                delta_sum += delta;
-                json.push(Cell {
-                    precision: bits,
-                    dtype: name.clone(),
-                    model: h.model.name().to_string(),
-                    wiki_ppl: p.wiki,
-                    c4_ppl: p.c4,
-                    delta_ppl_vs_fp16: delta,
-                });
-            }
-            row.push(f2(delta_sum / hs.len() as f64));
-            rows.push(row);
-        }
-    }
-
-    print_table(
-        "Table VI — proxy perplexity per data type under per-group weight quantization",
-        &header,
-        &rows,
-    );
-    println!(
-        "Paper shape to check: at 4-bit all data types stay usable but BitMoD has the\n\
-         lowest mean ΔPPL; at 3-bit ANT/OliVe/MX degrade sharply (OPT-1.3B most of all)\n\
-         while BitMoD keeps the smallest mean ΔPPL, clearly ahead of INT3-Asym."
-    );
-    write_json("table06_main_ppl", &json);
+    bitmod_bench::repro::table06_main_ppl::run();
 }

@@ -1,84 +1,8 @@
 //! Table VIII — BitMoD data-type ablation: basic FP4/FP3 vs the ER-only and
-//! EA-only extensions vs the full adaptive BitMoD, on the three Llama models.
-
-use bitmod::dtypes::bitmod::BitModFamily;
-use bitmod::dtypes::fp::MiniFloat;
-use bitmod::prelude::*;
-use bitmod_bench::{f2, harnesses, print_table, write_json};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Cell {
-    precision: u8,
-    dtype: String,
-    model: String,
-    wiki_ppl: f64,
-    c4_ppl: f64,
-}
-
-fn variants(bits: u8) -> Vec<(String, QuantMethod)> {
-    let (mf, er, ea) = if bits == 4 {
-        (MiniFloat::FP4_E2M1, [-5.0f32, 5.0], [-8.0f32, 8.0])
-    } else {
-        (MiniFloat::FP3, [-3.0, 3.0], [-6.0, 6.0])
-    };
-    vec![
-        (format!("FP{bits}"), QuantMethod::minifloat(mf)),
-        (
-            format!("FP{bits}-ER"),
-            QuantMethod::BitMod {
-                family: BitModFamily::with_special_values(bits, &er),
-            },
-        ),
-        (
-            format!("FP{bits}-EA"),
-            QuantMethod::BitMod {
-                family: BitModFamily::with_special_values(bits, &ea),
-            },
-        ),
-        ("BitMoD".to_string(), QuantMethod::bitmod(bits)),
-    ]
-}
+//!
+//! Thin wrapper: the implementation lives in `bitmod_bench::repro::table08_dtype_ablation`
+//! and is also reachable through `bitmod-cli repro`.
 
 fn main() {
-    let models = LlmModel::LLAMA;
-    let hs = harnesses(&models, 42);
-    let g = Granularity::PerGroup(128);
-
-    let mut header = vec!["precision".to_string(), "dtype".to_string()];
-    for m in models {
-        header.push(format!("{} Wiki", m.name()));
-        header.push(format!("{} C4", m.name()));
-    }
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-    for bits in [4u8, 3u8] {
-        for (name, method) in variants(bits) {
-            let mut row = vec![format!("{bits}-bit"), name.clone()];
-            for h in &hs {
-                let p = h.evaluate(&QuantConfig::new(method.clone(), g));
-                row.push(f2(p.wiki));
-                row.push(f2(p.c4));
-                json.push(Cell {
-                    precision: bits,
-                    dtype: name.clone(),
-                    model: h.model.name().to_string(),
-                    wiki_ppl: p.wiki,
-                    c4_ppl: p.c4,
-                });
-            }
-            rows.push(row);
-        }
-    }
-    print_table(
-        "Table VIII — ablation of the ER / EA extensions (proxy perplexity)",
-        &header,
-        &rows,
-    );
-    println!(
-        "Paper shape to check: the full BitMoD (adaptive over ER and EA) is the best row\n\
-         at both precisions; at 4-bit the ER extension matters more than EA, at 3-bit EA\n\
-         matters more than ER."
-    );
-    write_json("table08_dtype_ablation", &json);
+    bitmod_bench::repro::table08_dtype_ablation::run();
 }

@@ -1,156 +1,8 @@
 //! Table XI — Composing BitMoD with software-only quantization optimizers:
-//! GPTQ / AWQ / OmniQuant with integer data types vs AWQ / OmniQuant with the
-//! BitMoD data type, on the three Llama models at 4-bit and 3-bit.
-
-use bitmod::quant::awq::awq_quantize;
-use bitmod::quant::gptq::gptq_quantize;
-use bitmod::quant::omniquant::omniquant_quantize;
-use bitmod::prelude::*;
-use bitmod_bench::{f2, print_table, write_json};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Cell {
-    precision: u8,
-    method: String,
-    model: String,
-    wiki_ppl: f64,
-    c4_ppl: f64,
-    delta_vs_fp16: f64,
-}
-
-/// Seeds averaged per (model, method) cell.  A single proxy model is noisy;
-/// the paper's ordering emerges from the mean, exactly as its tables average
-/// over large evaluation sets.
-const SEEDS: [u64; 3] = [42, 43, 44];
+//!
+//! Thin wrapper: the implementation lives in `bitmod_bench::repro::table11_awq_omniquant`
+//! and is also reachable through `bitmod-cli repro`.
 
 fn main() {
-    let models = LlmModel::LLAMA;
-    let g = Granularity::PerGroup(128);
-
-    let mut header = vec!["precision".to_string(), "method".to_string()];
-    for m in models {
-        header.push(format!("{} Wiki", m.name()));
-        header.push(format!("{} C4", m.name()));
-    }
-    header.push("mean ΔPPL".to_string());
-
-    let mut rows = Vec::new();
-    let mut json = Vec::new();
-
-    // Build the harnesses once per (model, seed); they carry the calibration
-    // activations.
-    let hs: Vec<EvalHarness> = models
-        .iter()
-        .flat_map(|&m| {
-            SEEDS.iter().map(move |&seed| {
-                eprintln!("[setup] synthesizing proxy model for {} (seed {seed})", m.name());
-                EvalHarness::new(m, seed)
-            })
-        })
-        .collect();
-    let fp16: Vec<PerplexityPair> = hs.iter().map(|h| h.fp16_perplexity()).collect();
-
-    for bits in [4u8, 3u8] {
-        let int_cfg = QuantConfig::new(QuantMethod::IntAsym { bits }, g);
-        let bm_cfg = QuantConfig::new(QuantMethod::bitmod(bits), g);
-
-        // (label, closure producing a quantized proxy model for one harness)
-        type Quantizer<'a> = Box<dyn Fn(&EvalHarness) -> ProxyTransformer + 'a>;
-        let strategies: Vec<(String, Quantizer)> = vec![
-            (
-                "GPTQ (INT)".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference.map_linears(|id, w| {
-                        gptq_quantize(w, h.calibration_for(id), &int_cfg.method, 128).reconstructed
-                    })
-                }),
-            ),
-            (
-                "AWQ (INT)".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference.map_linears(|id, w| {
-                        awq_quantize(w, h.calibration_for(id), &int_cfg)
-                            .quantized
-                            .reconstructed
-                    })
-                }),
-            ),
-            (
-                "OmniQ (INT)".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference
-                        .map_linears(|_, w| omniquant_quantize(w, &int_cfg).reconstructed)
-                }),
-            ),
-            (
-                "BitMoD + AWQ".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference.map_linears(|id, w| {
-                        awq_quantize(w, h.calibration_for(id), &bm_cfg)
-                            .quantized
-                            .reconstructed
-                    })
-                }),
-            ),
-            (
-                "BitMoD + OmniQ".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference
-                        .map_linears(|_, w| omniquant_quantize(w, &bm_cfg).reconstructed)
-                }),
-            ),
-        ];
-
-        for (label, quantize) in &strategies {
-            eprintln!("[run] {bits}-bit {label}");
-            let mut row = vec![format!("{bits}-bit"), label.clone()];
-            let mut delta_sum = 0.0;
-            // Average over the seeds of each model.
-            for (chunk, fp_chunk) in hs
-                .chunks(SEEDS.len())
-                .zip(fp16.chunks(SEEDS.len()))
-            {
-                let mut wiki = 0.0;
-                let mut c4 = 0.0;
-                let mut delta = 0.0;
-                for (h, fp) in chunk.iter().zip(fp_chunk) {
-                    let model = quantize(h);
-                    let p = h.evaluate_model(&model);
-                    wiki += p.wiki;
-                    c4 += p.c4;
-                    delta += p.mean() - fp.mean();
-                }
-                let n = chunk.len() as f64;
-                wiki /= n;
-                c4 /= n;
-                delta /= n;
-                row.push(f2(wiki));
-                row.push(f2(c4));
-                delta_sum += delta;
-                json.push(Cell {
-                    precision: bits,
-                    method: label.clone(),
-                    model: chunk[0].model.name().to_string(),
-                    wiki_ppl: wiki,
-                    c4_ppl: c4,
-                    delta_vs_fp16: delta,
-                });
-            }
-            row.push(f2(delta_sum / models.len() as f64));
-            rows.push(row);
-        }
-    }
-
-    print_table(
-        "Table XI — software-only optimizers with INT vs BitMoD data types (proxy perplexity)",
-        &header,
-        &rows,
-    );
-    println!(
-        "Paper shape to check: the calibration-based optimizers all improve over plain\n\
-         round-to-nearest, and swapping their integer quantizer for the BitMoD data type\n\
-         (BitMoD + AWQ / BitMoD + OmniQ) gives the lowest mean ΔPPL at both precisions."
-    );
-    write_json("table11_awq_omniquant", &json);
+    bitmod_bench::repro::table11_awq_omniquant::run();
 }

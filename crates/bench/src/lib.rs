@@ -12,6 +12,8 @@ use bitmod::prelude::*;
 use serde::Serialize;
 use std::path::PathBuf;
 
+pub mod repro;
+
 /// Quantization data types compared in Table VI, at a given precision.
 pub fn table6_methods(bits: u8) -> Vec<(String, QuantMethod, Granularity)> {
     use bitmod::dtypes::mx::MxFormat;
@@ -31,7 +33,7 @@ pub fn table6_methods(bits: u8) -> Vec<(String, QuantMethod, Granularity)> {
             QuantMethod::IntAsym { bits },
             g128,
         ),
-        (format!("BitMoD"), QuantMethod::bitmod(bits), g128),
+        ("BitMoD".to_string(), QuantMethod::bitmod(bits), g128),
     ]
 }
 
@@ -51,7 +53,10 @@ pub fn harnesses(models: &[LlmModel], seed: u64) -> Vec<EvalHarness> {
 pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

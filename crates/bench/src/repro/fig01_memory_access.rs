@@ -1,0 +1,64 @@
+//! Fig. 1 — Total memory access of weights and activations for
+//! discriminative (256:1) and generative (256:256) tasks at batch size 1.
+
+use crate::{f2, print_table, write_json};
+use bitmod::llm::memory::{memory_access, MemoryAccess, TaskShape};
+use bitmod::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    task: String,
+    weight_gb: f64,
+    activation_gb: f64,
+    kv_cache_gb: f64,
+    weight_to_activation_ratio: f64,
+}
+
+/// Prints the reproduction table/figure to stdout (and a JSON dump when
+/// `BITMOD_RESULTS_DIR` is set).
+pub fn run() {
+    let mut rows_json = Vec::new();
+    let mut rows = Vec::new();
+    for (task, label) in [
+        (TaskShape::DISCRIMINATIVE, "discriminative 256:1"),
+        (TaskShape::GENERATIVE, "generative 256:256"),
+    ] {
+        for model in LlmModel::MOTIVATION {
+            let acc: MemoryAccess = memory_access(&model.config(), task, 16.0, 2.0);
+            let row = Row {
+                model: model.name().to_string(),
+                task: label.to_string(),
+                weight_gb: acc.weight_bytes / 1e9,
+                activation_gb: acc.activation_bytes / 1e9,
+                kv_cache_gb: acc.kv_cache_bytes / 1e9,
+                weight_to_activation_ratio: acc.weight_to_activation_ratio(),
+            };
+            rows.push(vec![
+                row.model.clone(),
+                row.task.clone(),
+                f2(row.weight_gb),
+                f2(row.activation_gb + row.kv_cache_gb),
+                f2(row.weight_to_activation_ratio),
+            ]);
+            rows_json.push(row);
+        }
+    }
+    print_table(
+        "Fig. 1 — weight vs activation DRAM traffic (GB), FP16 weights",
+        &[
+            "model".into(),
+            "task".into(),
+            "weights (GB)".into(),
+            "activations+KV (GB)".into(),
+            "weight/act ratio".into(),
+        ],
+        &rows,
+    );
+    println!(
+        "Paper shape to check: weights exceed activations by a large factor for both\n\
+         tasks, and the gap widens for generative tasks despite the growing KV-cache."
+    );
+    write_json("fig01_memory_access", &rows_json);
+}

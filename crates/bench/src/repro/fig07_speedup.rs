@@ -1,0 +1,68 @@
+//! Fig. 7 — Speedup of ANT, OliVe, BitMoD-lossless and BitMoD-lossy over the
+//! FP16 baseline accelerator, per model and task.
+
+use crate::{f2, print_table, write_json};
+use bitmod::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    task: String,
+    model: String,
+    accelerator: String,
+    speedup: f64,
+}
+
+/// Prints the reproduction table/figure to stdout (and a JSON dump when
+/// `BITMOD_RESULTS_DIR` is set).
+pub fn run() {
+    let mut json = Vec::new();
+    for (task, label) in [
+        (TaskShape::DISCRIMINATIVE, "discriminative"),
+        (TaskShape::GENERATIVE, "generative"),
+    ] {
+        let mut header = vec!["model".to_string()];
+        for kind in AcceleratorKind::ALL {
+            header.push(kind.build().name);
+        }
+        let mut rows = Vec::new();
+        let mut sums = vec![0.0f64; AcceleratorKind::ALL.len()];
+        for model in LlmModel::ALL {
+            let workload = Workload {
+                llm: model.config(),
+                task,
+            };
+            let baseline = simulate_model(&AcceleratorKind::BaselineFp16.build(), &workload);
+            let mut row = vec![model.name().to_string()];
+            for (i, kind) in AcceleratorKind::ALL.iter().enumerate() {
+                let perf = simulate_model(&kind.build(), &workload);
+                let speedup = perf.speedup_over(&baseline);
+                sums[i] += speedup;
+                row.push(f2(speedup));
+                json.push(Cell {
+                    task: label.to_string(),
+                    model: model.name().to_string(),
+                    accelerator: kind.build().name,
+                    speedup,
+                });
+            }
+            rows.push(row);
+        }
+        let mut mean_row = vec!["mean".to_string()];
+        for s in &sums {
+            mean_row.push(f2(s / LlmModel::ALL.len() as f64));
+        }
+        rows.push(mean_row);
+        print_table(
+            &format!("Fig. 7 — speedup over the FP16 baseline, {label} tasks"),
+            &header,
+            &rows,
+        );
+    }
+    println!(
+        "Paper shape to check: lossless BitMoD ≈2x (disc) and ≈2.4x (gen) over the\n\
+         baseline; lossy BitMoD is the fastest accelerator on every model, roughly\n\
+         1.4–1.8x ahead of ANT and OliVe, with ANT trailing OliVe."
+    );
+    write_json("fig07_speedup", &json);
+}

@@ -1,0 +1,66 @@
+//! Fig. 10 — Normalized area and power of bit-parallel FP-INT PEs (FIGNA
+//! style), the FP16 baseline PE, and the BitMoD bit-serial PE.
+
+use crate::{f2, print_table, write_json};
+use bitmod::accel::pe::PeKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    pe: String,
+    relative_area: f64,
+    relative_power: f64,
+    macs_per_cycle_4bit: f64,
+    macs_per_cycle_8bit: f64,
+}
+
+/// Prints the reproduction table/figure to stdout (and a JSON dump when
+/// `BITMOD_RESULTS_DIR` is set).
+pub fn run() {
+    let pes = [
+        ("FP-INT8 (FIGNA)", PeKind::FpInt8),
+        ("FP-INT8/INT4 decomposable", PeKind::FpInt8Int4),
+        ("FP16 MAC (baseline)", PeKind::Fp16Mac),
+        ("BitMoD bit-serial", PeKind::BitSerial),
+    ];
+    let rows_data: Vec<Row> = pes
+        .iter()
+        .map(|(name, kind)| Row {
+            pe: name.to_string(),
+            relative_area: kind.relative_area(),
+            relative_power: kind.relative_power(),
+            macs_per_cycle_4bit: kind.macs_per_cycle(4),
+            macs_per_cycle_8bit: kind.macs_per_cycle(8),
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.pe.clone(),
+                f2(r.relative_area),
+                f2(r.relative_power),
+                f2(r.macs_per_cycle_4bit),
+                f2(r.macs_per_cycle_8bit),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 10 — PE area / power normalized to the FP16 MAC PE, plus throughput",
+        &[
+            "PE".into(),
+            "norm. area".into(),
+            "norm. power".into(),
+            "MACs/cycle @4b".into(),
+            "MACs/cycle @8b".into(),
+        ],
+        &rows,
+    );
+    println!(
+        "Paper shape to check: the fixed-function FP-INT8 PE is the smallest, but making\n\
+         a bit-parallel PE decomposable (two FP16xINT4 ops) pushes its area and power\n\
+         above the FP16 PE, while the bit-serial BitMoD PE stays 24% below the FP16 PE\n\
+         and still scales its throughput with lower weight precision."
+    );
+    write_json("fig10_pe_area_power", &rows_data);
+}

@@ -1,0 +1,187 @@
+//! One callable entry point per reproduced table/figure of the paper.
+//!
+//! Every experiment is a module with a `run()` function; [`ALL`] is the
+//! registry the `bitmod-cli repro` subcommand (and the thin `src/bin`
+//! wrappers) dispatch through.  Each run prints a human-readable table to
+//! stdout and, when `BITMOD_RESULTS_DIR` is set, writes a JSON dump of the
+//! raw numbers.
+
+pub mod fig01_memory_access;
+pub mod fig02_granularity_range;
+pub mod fig03_special_value_error;
+pub mod fig07_speedup;
+pub mod fig08_energy;
+pub mod fig09_pareto;
+pub mod fig10_pe_area_power;
+pub mod table01_granularity_ppl;
+pub mod table02_6bit_ppl;
+pub mod table05_scale_precision;
+pub mod table06_main_ppl;
+pub mod table07_discriminative;
+pub mod table08_dtype_ablation;
+pub mod table09_special_value_ablation;
+pub mod table10_tile_area_power;
+pub mod table11_awq_omniquant;
+pub mod table12_smoothquant;
+
+/// A registered reproduction experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Repro {
+    /// Canonical name (`table06`, `fig09`, …).
+    pub name: &'static str,
+    /// What the experiment reproduces.
+    pub description: &'static str,
+    /// The experiment entry point.
+    pub run: fn(),
+}
+
+/// Every reproduction, in paper order (tables then figures).
+pub const ALL: [Repro; 17] = [
+    Repro {
+        name: "table01",
+        description: "Proxy perplexity per granularity (per-channel vs per-group) at 4-bit",
+        run: table01_granularity_ppl::run,
+    },
+    Repro {
+        name: "table02",
+        description: "Proxy perplexity of 6-bit data types (INT6-Sym/Asym, FP6-E2M3, FP6-E3M2)",
+        run: table02_6bit_ppl::run,
+    },
+    Repro {
+        name: "table05",
+        description: "Proxy perplexity per scale-factor precision (FP16, INT8/6/4/2)",
+        run: table05_scale_precision::run,
+    },
+    Repro {
+        name: "table06",
+        description: "Headline generative result: ANT/OliVe/MX/INT-Asym/BitMoD at 4- and 3-bit",
+        run: table06_main_ppl::run,
+    },
+    Repro {
+        name: "table07",
+        description: "Proxy accuracy of discriminative tasks: INT-Asym vs BitMoD",
+        run: table07_discriminative::run,
+    },
+    Repro {
+        name: "table08",
+        description: "BitMoD data-type ablation: basic FP vs ER-only vs EA-only vs adaptive",
+        run: table08_dtype_ablation::run,
+    },
+    Repro {
+        name: "table09",
+        description: "FP3 special-value set ablation ({±5,±6} vs {±3,±5} vs {±3,±6})",
+        run: table09_special_value_ablation::run,
+    },
+    Repro {
+        name: "table10",
+        description: "PE-tile area and power: FP16 baseline vs BitMoD bit-serial tile",
+        run: table10_tile_area_power::run,
+    },
+    Repro {
+        name: "table11",
+        description: "Composition with AWQ and OmniQuant on the Llama models",
+        run: table11_awq_omniquant::run,
+    },
+    Repro {
+        name: "table12",
+        description: "Composition with SmoothQuant (INT8 activations) on the Llama models",
+        run: table12_smoothquant::run,
+    },
+    Repro {
+        name: "fig01",
+        description: "Memory access of weights vs activations per task shape",
+        run: fig01_memory_access::run,
+    },
+    Repro {
+        name: "fig02",
+        description: "Weight max/range per quantization granularity",
+        run: fig02_granularity_range::run,
+    },
+    Repro {
+        name: "fig03",
+        description: "Per-group FP3 quantization error per special value",
+        run: fig03_special_value_error::run,
+    },
+    Repro {
+        name: "fig07",
+        description: "Speedup over the FP16 baseline accelerator per model and task",
+        run: fig07_speedup::run,
+    },
+    Repro {
+        name: "fig08",
+        description: "Normalized energy breakdown (DRAM/buffer/core) per accelerator",
+        run: fig08_energy::run,
+    },
+    Repro {
+        name: "fig09",
+        description: "Perplexity-EDP Pareto sweep (precisions 3-8 bit) for Phi-2B and Llama-2-7B",
+        run: fig09_pareto::run,
+    },
+    Repro {
+        name: "fig10",
+        description: "Normalized area and power of FP-INT PEs vs the BitMoD bit-serial PE",
+        run: fig10_pe_area_power::run,
+    },
+];
+
+/// Looks up a reproduction by a forgiving name: the canonical name
+/// (`table06`), the unpadded form (`table6`, `fig9`), or the full module
+/// name (`table06_main_ppl`).
+pub fn find(name: &str) -> Option<&'static Repro> {
+    let wanted = name.trim().to_ascii_lowercase();
+    ALL.iter().find(|r| {
+        if r.name == wanted || wanted.starts_with(&format!("{}_", r.name)) {
+            return true;
+        }
+        // Zero-padding-insensitive match: table6 == table06, fig9 == fig09.
+        let split = r
+            .name
+            .find(|c: char| c.is_ascii_digit())
+            .unwrap_or(r.name.len());
+        let (kind, digits) = r.name.split_at(split);
+        let (Ok(num), Some(rest)) = (digits.parse::<usize>(), wanted.strip_prefix(kind)) else {
+            return false;
+        };
+        rest.parse::<usize>() == Ok(num)
+    })
+}
+
+/// Runs the named reproduction; returns `false` if the name is unknown (the
+/// caller decides how to surface the registry, e.g. `bitmod-cli repro
+/// --list`).
+pub fn run(name: &str) -> bool {
+    match find(name) {
+        Some(r) => {
+            (r.run)();
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_sorted_by_kind() {
+        let mut names: Vec<&str> = ALL.iter().map(|r| r.name).collect();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn find_accepts_forgiving_spellings() {
+        assert_eq!(find("table06").unwrap().name, "table06");
+        assert_eq!(find("table6").unwrap().name, "table06");
+        assert_eq!(find("Table06").unwrap().name, "table06");
+        assert_eq!(find("fig9").unwrap().name, "fig09");
+        assert_eq!(find("fig09").unwrap().name, "fig09");
+        assert_eq!(find("table06_main_ppl").unwrap().name, "table06");
+        assert_eq!(find("fig09_pareto").unwrap().name, "fig09");
+        assert!(find("table99").is_none());
+        assert!(find("nonsense").is_none());
+    }
+}

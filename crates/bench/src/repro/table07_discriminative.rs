@@ -1,0 +1,75 @@
+//! Table VII — Proxy accuracy of discriminative tasks: INT-Asym vs BitMoD at
+//! 4-bit and 3-bit weight precision, per-group quantization.
+
+use crate::{f2, harnesses, print_table, write_json};
+use bitmod::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    precision: u8,
+    dtype: String,
+    model: String,
+    accuracy_percent: f64,
+}
+
+/// Prints the reproduction table/figure to stdout (and a JSON dump when
+/// `BITMOD_RESULTS_DIR` is set).
+pub fn run() {
+    let models = LlmModel::ALL;
+    let hs = harnesses(&models, 42);
+    let g = Granularity::PerGroup(128);
+
+    let mut header = vec!["precision".to_string(), "dtype".to_string()];
+    for m in models {
+        header.push(m.name().to_string());
+    }
+    header.push("mean Δacc".to_string());
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    let mut fp_row = vec!["16-bit".to_string(), "FP16".to_string()];
+    for _ in &hs {
+        fp_row.push(f2(100.0));
+    }
+    fp_row.push(f2(0.0));
+    rows.push(fp_row);
+
+    for bits in [4u8, 3u8] {
+        for (name, method) in [
+            (format!("INT{bits}-Asym"), QuantMethod::IntAsym { bits }),
+            ("BitMoD".to_string(), QuantMethod::bitmod(bits)),
+        ] {
+            let mut row = vec![format!("{bits}-bit"), name.clone()];
+            let mut delta_sum = 0.0;
+            for h in &hs {
+                let acc = h.evaluate_accuracy(&QuantConfig::new(method.clone(), g));
+                row.push(f2(acc));
+                delta_sum += acc - 100.0;
+                json.push(Cell {
+                    precision: bits,
+                    dtype: name.clone(),
+                    model: h.model.name().to_string(),
+                    accuracy_percent: acc,
+                });
+            }
+            row.push(f2(delta_sum / hs.len() as f64));
+            rows.push(row);
+        }
+    }
+
+    print_table(
+        "Table VII — proxy accuracy (argmax agreement with the FP16 model, %) per data type",
+        &header,
+        &rows,
+    );
+    println!(
+        "Paper shape to check: BitMoD loses less accuracy than INT-Asym at the same\n\
+         precision, and the gap widens at 3-bit.  Note the proxy metric (argmax\n\
+         agreement over a small vocabulary) exaggerates absolute losses relative to the\n\
+         paper's zero-shot benchmarks; the BitMoD-vs-INT ordering and the relative size\n\
+         of the 4-bit vs 3-bit degradation are the quantities being reproduced."
+    );
+    write_json("table07_discriminative", &json);
+}

@@ -1,0 +1,107 @@
+//! Tiny dependency-free flag parser for the `bitmod-cli` subcommands.
+//!
+//! Supports `--key value`, `--key=value`, boolean switches, and positional
+//! arguments.  Unknown flags are hard errors so typos cannot silently change
+//! a sweep.
+
+use std::collections::{HashMap, HashSet};
+
+/// Parsed command-line arguments of one subcommand.
+#[derive(Debug, Default)]
+pub struct Flags {
+    /// Arguments that are not flags, in order.
+    pub positional: Vec<String>,
+    options: HashMap<String, String>,
+    switches: HashSet<String>,
+}
+
+impl Flags {
+    /// Parses `args`.  `option_names` take a value; `switch_names` do not.
+    pub fn parse(
+        args: &[String],
+        option_names: &[&str],
+        switch_names: &[&str],
+    ) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                let (name, inline_value) = match stripped.split_once('=') {
+                    Some((n, v)) => (n, Some(v.to_string())),
+                    None => (stripped, None),
+                };
+                if switch_names.contains(&name) {
+                    if inline_value.is_some() {
+                        return Err(format!("--{name} does not take a value"));
+                    }
+                    flags.switches.insert(name.to_string());
+                } else if option_names.contains(&name) {
+                    let value = match inline_value {
+                        Some(v) => v,
+                        None => it
+                            .next()
+                            .ok_or_else(|| format!("--{name} requires a value"))?
+                            .clone(),
+                    };
+                    flags.options.insert(name.to_string(), value);
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else {
+                flags.positional.push(arg.clone());
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Whether the boolean switch `--name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// Splits a comma-separated `--name a,b,c` value into items.
+    pub fn get_list(&self, name: &str) -> Option<Vec<&str>> {
+        self.get(name).map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options_switches_and_positionals() {
+        let f = Flags::parse(
+            &args(&["pos1", "--models", "a,b", "--pareto", "--seed=7", "pos2"]),
+            &["models", "seed"],
+            &["pareto"],
+        )
+        .unwrap();
+        assert_eq!(f.positional, vec!["pos1", "pos2"]);
+        assert_eq!(f.get("models"), Some("a,b"));
+        assert_eq!(f.get("seed"), Some("7"));
+        assert!(f.has("pareto"));
+        assert_eq!(f.get_list("models"), Some(vec!["a", "b"]));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(Flags::parse(&args(&["--nope"]), &["models"], &[]).is_err());
+        assert!(Flags::parse(&args(&["--models"]), &["models"], &[]).is_err());
+        assert!(Flags::parse(&args(&["--pareto=1"]), &[], &["pareto"]).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! `bitmod-cli` — one entry point for the whole BitMoD reproduction.
+//!
+//! * `sweep`  — rayon-parallel configuration sweeps (models × dtypes × bits ×
+//!   granularities) writing JSON/CSV reports;
+//! * `report` — post-process a sweep JSON: summary table, CSV export, Pareto
+//!   frontier;
+//! * `repro`  — rerun any of the 17 table/figure reproductions of the paper.
+//!
+//! See `docs/SWEEPS.md` for the report schema and worked examples.
+
+mod args;
+
+use args::Flags;
+use bitmod::llm::config::LlmModel;
+use bitmod::llm::proxy::ProxyConfig;
+use bitmod::prelude::AcceleratorKind;
+use bitmod::sweep::{parse_granularity, SweepConfig, SweepDtype, SweepReport};
+use std::process::ExitCode;
+
+const ROOT_HELP: &str = "\
+bitmod-cli — BitMoD (HPCA 2025) reproduction driver
+
+USAGE:
+    bitmod-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    sweep     Run a parallel quantization/accelerator sweep and write a JSON report
+    report    Summarize a sweep JSON report (table, CSV, Pareto frontier)
+    repro     Reproduce one of the paper's tables or figures
+    help      Show this message, or `help <command>` for command details
+
+Run `bitmod-cli <command> --help` for per-command options.";
+
+const SWEEP_HELP: &str = "\
+bitmod-cli sweep — run a parallel configuration sweep
+
+Fans Pipeline runs out across models × dtypes × bits × granularities with
+rayon, building one evaluation harness per model and sharing it across that
+model's grid points.
+
+USAGE:
+    bitmod-cli sweep --models <a,b,..> --bits <n,n,..> [OPTIONS]
+
+OPTIONS:
+    --models <list>         Comma-separated models: opt-1.3b, phi-2, yi-6b,
+                            llama2-7b, llama2-13b, llama3-8b (spellings are
+                            forgiving; `--models all` sweeps all six)
+    --bits <list>           Comma-separated weight bit widths, e.g. 3,4
+    --dtypes <list>         Data types to sweep [default: bitmod,int-asym]
+                            (choices: bitmod, int-asym, int-sym, ant, olive,
+                            mx, fp16)
+    --granularities <list>  Granularities: tensor, channel, or group size
+                            such as 128 / g64 [default: 128]
+    --proxy <size>          Proxy model size: standard | tiny [default: standard]
+    --accelerator <kind>    Simulated accelerator: lossy | lossless
+                            [default: lossy]
+    --seed <n>              Synthesis/evaluation seed [default: 42]
+    --out <path>            JSON report path [default: bitmod-sweep.json]
+    --csv <path>            Also write a CSV of the records
+    --quiet                 Suppress the stdout summary table
+    --help                  Show this message
+
+EXAMPLE:
+    bitmod-cli sweep --models llama2-7b,phi-2 --bits 3,4 \\
+        --dtypes bitmod,int-asym,ant --out sweep.json --csv sweep.csv";
+
+const REPORT_HELP: &str = "\
+bitmod-cli report — summarize a sweep JSON report
+
+USAGE:
+    bitmod-cli report <sweep.json> [OPTIONS]
+
+OPTIONS:
+    --pareto        Print only the perplexity/effective-bits Pareto frontier
+                    (the fig09 view)
+    --csv <path>    Export the records as CSV
+    --top <n>       Show only the first n rows of the table
+    --help          Show this message
+
+EXAMPLE:
+    bitmod-cli report bitmod-sweep.json --pareto";
+
+const REPRO_HELP: &str = "\
+bitmod-cli repro — reproduce a table or figure of the paper
+
+USAGE:
+    bitmod-cli repro <name>     Run one reproduction (table06, fig9, ...)
+    bitmod-cli repro all        Run every reproduction, in paper order
+    bitmod-cli repro --list     List all reproductions
+
+Names are forgiving: table6 == table06 == table06_main_ppl.
+Set BITMOD_RESULTS_DIR=<dir> to also dump each experiment's raw numbers as
+JSON into <dir>.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match argv.split_first() {
+        None => {
+            println!("{ROOT_HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Some((c, r)) => (c.as_str(), r),
+    };
+    match command {
+        "sweep" => cmd_sweep(rest),
+        "report" => cmd_report(rest),
+        "repro" => cmd_repro(rest),
+        "help" | "--help" | "-h" => {
+            match rest.first().map(String::as_str) {
+                Some("sweep") => println!("{SWEEP_HELP}"),
+                Some("report") => println!("{REPORT_HELP}"),
+                Some("repro") => println!("{REPRO_HELP}"),
+                _ => println!("{ROOT_HELP}"),
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{ROOT_HELP}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Prints a usage error plus the subcommand help and returns exit code 2.
+fn usage_error(message: &str, help: &str) -> ExitCode {
+    eprintln!("error: {message}\n\n{help}");
+    ExitCode::from(2)
+}
+
+fn cmd_sweep(rest: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        rest,
+        &[
+            "models",
+            "bits",
+            "dtypes",
+            "granularities",
+            "proxy",
+            "accelerator",
+            "seed",
+            "out",
+            "csv",
+        ],
+        &["quiet", "help"],
+    ) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e, SWEEP_HELP),
+    };
+    if flags.has("help") {
+        println!("{SWEEP_HELP}");
+        return ExitCode::SUCCESS;
+    }
+
+    // --models
+    let Some(model_names) = flags.get_list("models") else {
+        return usage_error("--models is required", SWEEP_HELP);
+    };
+    let mut models = Vec::new();
+    for name in model_names {
+        if name.eq_ignore_ascii_case("all") {
+            models = LlmModel::ALL.to_vec();
+            break;
+        }
+        match LlmModel::parse_cli_name(name) {
+            Some(m) => models.push(m),
+            None => return usage_error(&format!("unknown model `{name}`"), SWEEP_HELP),
+        }
+    }
+    if models.is_empty() {
+        return usage_error("--models needs at least one model", SWEEP_HELP);
+    }
+
+    // --bits
+    let Some(bit_strs) = flags.get_list("bits") else {
+        return usage_error("--bits is required", SWEEP_HELP);
+    };
+    let mut bits = Vec::new();
+    for b in bit_strs {
+        match b.parse::<u8>() {
+            Ok(n) if (2..=16).contains(&n) => bits.push(n),
+            _ => return usage_error(&format!("invalid bit width `{b}`"), SWEEP_HELP),
+        }
+    }
+    if bits.is_empty() {
+        return usage_error("--bits needs at least one bit width", SWEEP_HELP);
+    }
+
+    let mut cfg = SweepConfig::new(models, bits);
+
+    if let Some(dtype_strs) = flags.get_list("dtypes") {
+        let mut dtypes = Vec::new();
+        for d in dtype_strs {
+            match SweepDtype::parse(d) {
+                Some(dt) => dtypes.push(dt),
+                None => return usage_error(&format!("unknown dtype `{d}`"), SWEEP_HELP),
+            }
+        }
+        cfg = cfg.with_dtypes(dtypes);
+    }
+    if let Some(gran_strs) = flags.get_list("granularities") {
+        let mut grans = Vec::new();
+        for g in gran_strs {
+            match parse_granularity(g) {
+                Some(gr) => grans.push(gr),
+                None => return usage_error(&format!("invalid granularity `{g}`"), SWEEP_HELP),
+            }
+        }
+        cfg = cfg.with_granularities(grans);
+    }
+    match flags.get("proxy").unwrap_or("standard") {
+        "standard" => {}
+        "tiny" => cfg = cfg.with_proxy(ProxyConfig::tiny()),
+        other => return usage_error(&format!("unknown proxy size `{other}`"), SWEEP_HELP),
+    }
+    match flags.get("accelerator").unwrap_or("lossy") {
+        "lossy" => {}
+        "lossless" => cfg = cfg.with_accelerator(AcceleratorKind::BitModLossless),
+        other => return usage_error(&format!("unknown accelerator `{other}`"), SWEEP_HELP),
+    }
+    if let Some(seed) = flags.get("seed") {
+        match seed.parse::<u64>() {
+            Ok(s) => cfg = cfg.with_seed(s),
+            Err(_) => return usage_error(&format!("invalid seed `{seed}`"), SWEEP_HELP),
+        }
+    }
+
+    let grid = cfg.grid().len();
+    eprintln!(
+        "[sweep] {} grid points ({} models) on {} threads",
+        grid,
+        cfg.models.len(),
+        rayon::current_num_threads()
+    );
+    let report = cfg.run();
+    eprintln!(
+        "[sweep] {} records, {} skipped, {:.2}s wall",
+        report.records.len(),
+        report.skipped.len(),
+        report.wall_seconds
+    );
+
+    let out = flags.get("out").unwrap_or("bitmod-sweep.json");
+    if let Err(e) = std::fs::write(out, report.to_json()) {
+        eprintln!("error: could not write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[sweep] wrote {out}");
+    if let Some(csv) = flags.get("csv") {
+        if let Err(e) = std::fs::write(csv, report.to_csv()) {
+            eprintln!("error: could not write {csv}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[sweep] wrote {csv}");
+    }
+    if !flags.has("quiet") {
+        print_records_table(&report, usize::MAX, false);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_report(rest: &[String]) -> ExitCode {
+    let flags = match Flags::parse(rest, &["csv", "top"], &["pareto", "help"]) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e, REPORT_HELP),
+    };
+    if flags.has("help") {
+        println!("{REPORT_HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = flags.positional.first() else {
+        return usage_error("a sweep JSON path is required", REPORT_HELP);
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: could not read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match SweepReport::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path} is not a sweep report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top = match flags.get("top") {
+        None => usize::MAX,
+        Some(t) => match t.parse() {
+            Ok(n) => n,
+            Err(_) => return usage_error(&format!("invalid --top `{t}`"), REPORT_HELP),
+        },
+    };
+    println!(
+        "sweep of {} records ({} skipped), {:.2}s wall on {} threads\n",
+        report.records.len(),
+        report.skipped.len(),
+        report.wall_seconds,
+        report.threads
+    );
+    print_records_table(&report, top, flags.has("pareto"));
+    if let Some(csv) = flags.get("csv") {
+        if let Err(e) = std::fs::write(csv, report.to_csv()) {
+            eprintln!("error: could not write {csv}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[report] wrote {csv}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_repro(rest: &[String]) -> ExitCode {
+    let flags = match Flags::parse(rest, &[], &["list", "help"]) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e, REPRO_HELP),
+    };
+    if flags.has("help") {
+        println!("{REPRO_HELP}");
+        return ExitCode::SUCCESS;
+    }
+    if flags.has("list") || flags.positional.is_empty() {
+        println!("available reproductions:\n");
+        for r in &bitmod_bench::repro::ALL {
+            println!("  {:<10} {}", r.name, r.description);
+        }
+        return if flags.has("list") {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+    for name in &flags.positional {
+        if name.eq_ignore_ascii_case("all") {
+            for r in &bitmod_bench::repro::ALL {
+                eprintln!("[repro] running {}", r.name);
+                (r.run)();
+            }
+            return ExitCode::SUCCESS;
+        }
+        if !bitmod_bench::repro::run(name) {
+            eprintln!("error: unknown reproduction `{name}` (try `bitmod-cli repro --list`)");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints sweep records as an aligned table; `pareto` restricts the rows to
+/// the perplexity/effective-bits Pareto frontier.
+fn print_records_table(report: &SweepReport, top: usize, pareto: bool) {
+    let records: Vec<&bitmod::sweep::SweepRecord> = if pareto {
+        report.pareto_frontier()
+    } else {
+        report.records.iter().collect()
+    };
+    if pareto {
+        println!("Pareto frontier (proxy perplexity vs effective bits):\n");
+    }
+    println!(
+        "{:<12} {:<10} {:>4} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "model", "dtype", "bits", "gran", "wiki-ppl", "c4-ppl", "eff-bits", "speedup", "e-gain"
+    );
+    for r in records.iter().take(top) {
+        println!(
+            "{:<12} {:<10} {:>4} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>8.3} {:>8.3}",
+            r.report.model.name(),
+            r.point.dtype.name(),
+            r.point.bits,
+            bitmod::sweep::granularity_label(&r.point.granularity),
+            r.report.proxy_perplexity.wiki,
+            r.report.proxy_perplexity.c4,
+            r.report.effective_bits_per_weight,
+            r.report.speedup_over_fp16,
+            r.report.energy_gain_over_fp16,
+        );
+    }
+    for (point, reason) in report.skipped.iter().take(top) {
+        println!("skipped {:<30} {}", point.label(), reason);
+    }
+}

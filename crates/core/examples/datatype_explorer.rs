@@ -30,11 +30,7 @@ fn methods(bits: u8) -> Vec<(String, QuantMethod, Granularity)> {
         ("ANT".into(), QuantMethod::Ant { bits }, g128),
         ("OliVe".into(), QuantMethod::Olive { bits }, g128),
         (format!("MX-FP{bits}"), QuantMethod::Mx { format: mx }, g32),
-        (
-            format!("FP{bits}"),
-            QuantMethod::minifloat(fp),
-            g128,
-        ),
+        (format!("FP{bits}"), QuantMethod::minifloat(fp), g128),
         (
             format!("INT{bits}-Asym"),
             QuantMethod::IntAsym { bits },
@@ -54,9 +50,10 @@ fn main() {
         }
         println!();
         for model in LlmModel::ALL {
-            let weights = model
-                .weight_profile()
-                .sample_matrix(64, 2048, &mut rng.fork(bits as u64));
+            let weights =
+                model
+                    .weight_profile()
+                    .sample_matrix(64, 2048, &mut rng.fork(bits as u64));
             print!("{:<14}", model.name());
             for (_, method, gran) in methods(bits) {
                 let q = quantize_matrix(&weights, &QuantConfig::new(method, gran));

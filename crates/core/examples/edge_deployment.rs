@@ -38,7 +38,12 @@ fn main() {
     let fp_ppl = harness.fp16_perplexity().mean();
 
     let configs: Vec<(String, Option<QuantConfig>, AcceleratorKind, u8)> = vec![
-        ("FP16 baseline".into(), None, AcceleratorKind::BaselineFp16, 16),
+        (
+            "FP16 baseline".into(),
+            None,
+            AcceleratorKind::BaselineFp16,
+            16,
+        ),
         (
             "BitMoD lossless INT6".into(),
             Some(QuantConfig::new(

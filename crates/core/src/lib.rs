@@ -33,6 +33,8 @@ pub use bitmod_llm as llm;
 pub use bitmod_quant as quant;
 pub use bitmod_tensor as tensor;
 
+pub mod sweep;
+
 /// Convenient glob-import surface: `use bitmod::prelude::*;`.
 pub mod prelude {
     pub use bitmod_accel::{simulate_model, Accelerator, AcceleratorKind, PerfResult, Workload};
@@ -44,6 +46,7 @@ pub mod prelude {
     pub use bitmod_quant::{quantize_matrix, Granularity, QuantConfig, QuantMethod, ScaleDtype};
     pub use bitmod_tensor::{Matrix, SeededRng, F16};
 
+    pub use crate::sweep::{run_sweep, SweepConfig, SweepDtype, SweepReport};
     pub use crate::{Pipeline, PipelineReport};
 }
 
@@ -53,10 +56,11 @@ use bitmod_llm::eval::{EvalHarness, PerplexityPair};
 use bitmod_llm::memory::TaskShape;
 use bitmod_llm::proxy::ProxyConfig;
 use bitmod_quant::{QuantConfig, QuantMethod};
-use serde::Serialize;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// End-to-end result of running the BitMoD pipeline on one model.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineReport {
     /// The evaluated LLM.
     pub model: LlmModel,
@@ -140,21 +144,38 @@ impl Pipeline {
         self
     }
 
-    /// Runs the pipeline with a deterministic seed.
+    /// Runs the pipeline with a deterministic seed, building a fresh
+    /// evaluation harness.  When running many configurations of the same
+    /// model, build the harness once and use [`Pipeline::run_with_harness`]
+    /// instead — harness synthesis dominates a run's cost and is identical
+    /// for every configuration (this is what [`crate::sweep`] does).
     pub fn run(&self, seed: u64) -> PipelineReport {
-        // --- algorithm side: proxy accuracy ---
         let harness = EvalHarness::with_config(self.model, self.proxy, seed);
-        let quantized = harness.reference.quantized(&self.quant);
+        self.run_with_harness(&harness)
+    }
+
+    /// Runs the pipeline against a pre-built evaluation harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the harness was built for a different model.
+    pub fn run_with_harness(&self, harness: &EvalHarness) -> PipelineReport {
+        assert_eq!(
+            harness.model,
+            self.model,
+            "harness was built for {} but the pipeline evaluates {}",
+            harness.model.name(),
+            self.model.name()
+        );
+        // --- algorithm side: proxy accuracy ---
+        // One quantization pass yields both the model copy and the per-linear
+        // error stats (the per-group codebook search dominates a run's cost).
+        let (quantized, stats) = harness.reference.quantized_with_stats(&self.quant);
         let fp16_perplexity = harness.fp16_perplexity();
         let proxy_perplexity = harness.evaluate_model(&quantized);
         let proxy_accuracy_percent = harness.accuracy_percent(&quantized);
-        let (sqnr_sum, n_linears) = harness.reference.linears().iter().fold(
-            (0.0, 0usize),
-            |(acc, n), (_, w)| {
-                let q = bitmod_quant::quantize_matrix(w, &self.quant);
-                (acc + q.stats.sqnr_db, n + 1)
-            },
-        );
+        let sqnr_sum: f64 = stats.iter().map(|(_, s)| s.sqnr_db).sum();
+        let n_linears = stats.len();
 
         // --- hardware side: full-size model simulation ---
         let workload = Workload {
@@ -168,16 +189,13 @@ impl Pipeline {
         PipelineReport {
             model: self.model,
             method: self.quant.method.label(),
-            effective_bits_per_weight: self
-                .quant
-                .effective_bits_per_weight(cfg.hidden, cfg.hidden),
+            effective_bits_per_weight: self.quant.effective_bits_per_weight(cfg.hidden, cfg.hidden),
             weight_sqnr_db: sqnr_sum / n_linears.max(1) as f64,
             fp16_perplexity,
             proxy_perplexity,
             proxy_accuracy_percent,
             speedup_over_fp16: bitmod_perf.speedup_over(&baseline_perf),
-            energy_gain_over_fp16: baseline_perf.energy.total_pj()
-                / bitmod_perf.energy.total_pj(),
+            energy_gain_over_fp16: baseline_perf.energy.total_pj() / bitmod_perf.energy.total_pj(),
             bitmod_perf,
             baseline_perf,
         }
@@ -186,6 +204,9 @@ impl Pipeline {
 
 /// Shorthand for the common comparison: the proxy perplexity of a model under
 /// a list of quantization methods, at per-group granularity with G = 128.
+///
+/// The harness is synthesized once and shared; the methods are evaluated in
+/// parallel.
 pub fn compare_methods(
     model: LlmModel,
     methods: &[QuantMethod],
@@ -194,7 +215,7 @@ pub fn compare_methods(
 ) -> Vec<(String, PerplexityPair)> {
     let harness = EvalHarness::with_config(model, proxy, seed);
     methods
-        .iter()
+        .par_iter()
         .map(|m| {
             let cfg = QuantConfig::new(m.clone(), bitmod_quant::Granularity::PerGroup(128));
             (m.label(), harness.evaluate(&cfg))
@@ -235,15 +256,14 @@ mod tests {
     fn compare_methods_returns_one_entry_per_method() {
         let out = compare_methods(
             LlmModel::Opt1_3B,
-            &[
-                QuantMethod::bitmod(4),
-                QuantMethod::IntAsym { bits: 4 },
-            ],
+            &[QuantMethod::bitmod(4), QuantMethod::IntAsym { bits: 4 }],
             ProxyConfig::tiny(),
             3,
         );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, "BitMoD-4b");
-        assert!(out.iter().all(|(_, p)| p.wiki.is_finite() && p.c4.is_finite()));
+        assert!(out
+            .iter()
+            .all(|(_, p)| p.wiki.is_finite() && p.c4.is_finite()));
     }
 }

@@ -1,0 +1,533 @@
+//! Parallel configuration sweeps: models × data types × bit widths ×
+//! granularities.
+//!
+//! A sweep fans [`Pipeline`] runs out across every point of a configuration
+//! grid using rayon, building **one** [`EvalHarness`] per model up front and
+//! sharing it across all of that model's points (harness synthesis — proxy
+//! weights plus reference streams — is the expensive part of a run, and
+//! rebuilding it per configuration was the hot-path waste of the serial
+//! flow).  The result is a [`SweepReport`] that serializes to JSON or CSV,
+//! which is what `bitmod-cli sweep` writes and `bitmod-cli report` reads.
+//!
+//! ```
+//! use bitmod::sweep::{SweepConfig, SweepDtype};
+//! use bitmod::llm::config::LlmModel;
+//! use bitmod::llm::proxy::ProxyConfig;
+//!
+//! let report = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+//!     .with_dtypes(vec![SweepDtype::BitMod, SweepDtype::IntAsym])
+//!     .with_proxy(ProxyConfig::tiny())
+//!     .run();
+//! assert_eq!(report.records.len(), 2);
+//! ```
+
+use crate::{Pipeline, PipelineReport};
+use bitmod_accel::AcceleratorKind;
+use bitmod_dtypes::mx::MxFormat;
+use bitmod_llm::config::LlmModel;
+use bitmod_llm::eval::EvalHarness;
+use bitmod_llm::memory::TaskShape;
+use bitmod_llm::proxy::ProxyConfig;
+use bitmod_quant::{Granularity, QuantConfig, QuantMethod, ScaleDtype};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A quantization data-type family, parameterized by bit width at grid
+/// expansion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepDtype {
+    /// BitMoD extended floating point with per-group special-value adaptation.
+    BitMod,
+    /// Asymmetric integer (the AWQ/GPTQ baseline grid).
+    IntAsym,
+    /// Symmetric integer.
+    IntSym,
+    /// ANT's adaptive int/float/power-of-two/flint selection.
+    Ant,
+    /// OliVe outlier–victim pairs.
+    Olive,
+    /// OCP Microscaling (shared power-of-two exponent per group of 32).
+    Mx,
+    /// FP16 rounding only (no-op baseline row).
+    Fp16,
+}
+
+impl SweepDtype {
+    /// Every sweepable data type.
+    pub const ALL: [SweepDtype; 7] = [
+        SweepDtype::BitMod,
+        SweepDtype::IntAsym,
+        SweepDtype::IntSym,
+        SweepDtype::Ant,
+        SweepDtype::Olive,
+        SweepDtype::Mx,
+        SweepDtype::Fp16,
+    ];
+
+    /// The CLI / report spelling of this data type.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepDtype::BitMod => "bitmod",
+            SweepDtype::IntAsym => "int-asym",
+            SweepDtype::IntSym => "int-sym",
+            SweepDtype::Ant => "ant",
+            SweepDtype::Olive => "olive",
+            SweepDtype::Mx => "mx",
+            SweepDtype::Fp16 => "fp16",
+        }
+    }
+
+    /// Parses the CLI spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<SweepDtype> {
+        let s = s.to_ascii_lowercase();
+        Self::ALL.iter().copied().find(|d| d.name() == s)
+    }
+
+    /// Instantiates the [`QuantMethod`] at `bits`, or an explanation of why
+    /// the combination is invalid.
+    pub fn method_at(&self, bits: u8) -> Result<QuantMethod, String> {
+        match self {
+            SweepDtype::BitMod => {
+                if bits == 3 || bits == 4 {
+                    Ok(QuantMethod::bitmod(bits))
+                } else {
+                    Err(format!("bitmod supports 3 or 4 bits, not {bits}"))
+                }
+            }
+            SweepDtype::IntAsym => {
+                if (2..=8).contains(&bits) {
+                    Ok(QuantMethod::IntAsym { bits })
+                } else {
+                    Err(format!("int-asym supports 2–8 bits, not {bits}"))
+                }
+            }
+            SweepDtype::IntSym => {
+                if (2..=8).contains(&bits) {
+                    Ok(QuantMethod::IntSym { bits })
+                } else {
+                    Err(format!("int-sym supports 2–8 bits, not {bits}"))
+                }
+            }
+            SweepDtype::Ant => {
+                if (3..=8).contains(&bits) {
+                    Ok(QuantMethod::Ant { bits })
+                } else {
+                    Err(format!("ant supports 3–8 bits, not {bits}"))
+                }
+            }
+            SweepDtype::Olive => {
+                if (3..=8).contains(&bits) {
+                    Ok(QuantMethod::Olive { bits })
+                } else {
+                    Err(format!("olive supports 3–8 bits, not {bits}"))
+                }
+            }
+            SweepDtype::Mx => match bits {
+                3 => Ok(QuantMethod::Mx {
+                    format: MxFormat::mxfp3(),
+                }),
+                4 => Ok(QuantMethod::Mx {
+                    format: MxFormat::mxfp4(),
+                }),
+                _ => Err(format!("mx supports 3 or 4 bits, not {bits}")),
+            },
+            SweepDtype::Fp16 => Ok(QuantMethod::Fp16),
+        }
+    }
+}
+
+/// One point of the sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The evaluated LLM.
+    pub model: LlmModel,
+    /// The data-type family.
+    pub dtype: SweepDtype,
+    /// The weight bit width.
+    pub bits: u8,
+    /// The quantization granularity.
+    pub granularity: Granularity,
+}
+
+impl SweepPoint {
+    /// The full quantization configuration of this point (BitMoD deployment
+    /// scales: INT8 second-level scale quantization).
+    pub fn quant_config(&self) -> Result<QuantConfig, String> {
+        let method = self.dtype.method_at(self.bits)?;
+        Ok(QuantConfig::new(method, self.granularity).with_scale_dtype(ScaleDtype::Int(8)))
+    }
+
+    /// Compact human-readable label, e.g. `Phi-2B/bitmod-4b/g128`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}-{}b/{}",
+            self.model.name(),
+            self.dtype.name(),
+            self.bits,
+            granularity_label(&self.granularity)
+        )
+    }
+}
+
+/// Short label for a granularity (`g128`, `channel`, `tensor`).
+pub fn granularity_label(g: &Granularity) -> String {
+    match g {
+        Granularity::PerTensor => "tensor".to_string(),
+        Granularity::PerChannel => "channel".to_string(),
+        Granularity::PerGroup(n) => format!("g{n}"),
+    }
+}
+
+/// Parses a granularity label accepted by the CLI: `tensor`, `channel`, or a
+/// group size such as `128` / `g128`.
+pub fn parse_granularity(s: &str) -> Option<Granularity> {
+    let s = s.trim().to_ascii_lowercase();
+    match s.as_str() {
+        "tensor" | "per-tensor" => Some(Granularity::PerTensor),
+        "channel" | "per-channel" => Some(Granularity::PerChannel),
+        _ => {
+            let digits = s.strip_prefix('g').unwrap_or(&s);
+            digits
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(Granularity::PerGroup)
+        }
+    }
+}
+
+/// The configuration grid of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Models to sweep.
+    pub models: Vec<LlmModel>,
+    /// Data-type families to sweep.
+    pub dtypes: Vec<SweepDtype>,
+    /// Weight bit widths to sweep.
+    pub bits: Vec<u8>,
+    /// Granularities to sweep.
+    pub granularities: Vec<Granularity>,
+    /// Proxy model size (use [`ProxyConfig::tiny`] for smoke tests).
+    pub proxy: ProxyConfig,
+    /// Task shape driving the accelerator simulation.
+    pub task: TaskShape,
+    /// The simulated BitMoD accelerator variant.
+    pub accelerator: AcceleratorKind,
+    /// Seed for proxy synthesis and evaluation streams.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// A sweep over `models` × `bits` with the paper's defaults: BitMoD vs
+    /// INT-Asym, per-group G = 128, standard proxy size, generative task,
+    /// lossy BitMoD accelerator, seed 42.
+    pub fn new(models: Vec<LlmModel>, bits: Vec<u8>) -> Self {
+        Self {
+            models,
+            dtypes: vec![SweepDtype::BitMod, SweepDtype::IntAsym],
+            bits,
+            granularities: vec![Granularity::per_group_default()],
+            proxy: ProxyConfig::standard(),
+            task: TaskShape::GENERATIVE,
+            accelerator: AcceleratorKind::BitModLossy,
+            seed: 42,
+        }
+    }
+
+    /// Replaces the data-type list.
+    pub fn with_dtypes(mut self, dtypes: Vec<SweepDtype>) -> Self {
+        self.dtypes = dtypes;
+        self
+    }
+
+    /// Replaces the granularity list.
+    pub fn with_granularities(mut self, granularities: Vec<Granularity>) -> Self {
+        self.granularities = granularities;
+        self
+    }
+
+    /// Replaces the proxy model size.
+    pub fn with_proxy(mut self, proxy: ProxyConfig) -> Self {
+        self.proxy = proxy;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the simulated accelerator.
+    pub fn with_accelerator(mut self, accelerator: AcceleratorKind) -> Self {
+        self.accelerator = accelerator;
+        self
+    }
+
+    /// Expands the grid in row-major order (model, dtype, bits, granularity).
+    pub fn grid(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::new();
+        for &model in &self.models {
+            for &dtype in &self.dtypes {
+                for &bits in &self.bits {
+                    for &granularity in &self.granularities {
+                        points.push(SweepPoint {
+                            model,
+                            dtype,
+                            bits,
+                            granularity,
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Runs the sweep in parallel.  See [`run_sweep`].
+    pub fn run(&self) -> SweepReport {
+        run_sweep(self)
+    }
+}
+
+/// One completed sweep point: the grid coordinates plus the full pipeline
+/// report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// The grid coordinates.
+    pub point: SweepPoint,
+    /// The end-to-end pipeline result at this point.
+    pub report: PipelineReport,
+}
+
+/// The result of a sweep: every completed record plus run metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The configuration that produced this report.
+    pub config: SweepConfig,
+    /// Completed grid points, in grid order.
+    pub records: Vec<SweepRecord>,
+    /// Grid points skipped as invalid (e.g. `bitmod` at 6 bits), with the
+    /// reason.
+    pub skipped: Vec<(SweepPoint, String)>,
+    /// Wall-clock seconds the sweep took.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl SweepReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep reports always serialize")
+    }
+
+    /// Parses a report back from [`SweepReport::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Serializes the records as CSV (one flat row per record).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "model,dtype,bits,granularity,method,effective_bits,weight_sqnr_db,\
+             fp16_wiki_ppl,fp16_c4_ppl,wiki_ppl,c4_ppl,accuracy_pct,\
+             speedup_over_fp16,energy_gain_over_fp16,total_cycles,dram_gb\n",
+        );
+        for r in &self.records {
+            let p = &r.point;
+            let rep = &r.report;
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.4},{:.2},{:.4},{:.4},{:.4},{:.4},{:.2},{:.3},{:.3},{:.0},{:.3}\n",
+                rep.model.name(),
+                p.dtype.name(),
+                p.bits,
+                granularity_label(&p.granularity),
+                rep.method,
+                rep.effective_bits_per_weight,
+                rep.weight_sqnr_db,
+                rep.fp16_perplexity.wiki,
+                rep.fp16_perplexity.c4,
+                rep.proxy_perplexity.wiki,
+                rep.proxy_perplexity.c4,
+                rep.proxy_accuracy_percent,
+                rep.speedup_over_fp16,
+                rep.energy_gain_over_fp16,
+                rep.bitmod_perf.total_cycles(),
+                rep.bitmod_perf.dram_bytes / 1e9,
+            ));
+        }
+        out
+    }
+
+    /// The accuracy/efficiency Pareto frontier (the fig09 view): records not
+    /// dominated on (proxy perplexity ↓, effective bits ↓) by another record
+    /// of the **same model** — each model traces its own frontier.
+    pub fn pareto_frontier(&self) -> Vec<&SweepRecord> {
+        let dominated = |a: &SweepRecord, b: &SweepRecord| {
+            // b dominates a: same model, no worse on both axes, better on one.
+            let (pa, pb) = (
+                a.report.proxy_perplexity.mean(),
+                b.report.proxy_perplexity.mean(),
+            );
+            let (ba, bb) = (
+                a.report.effective_bits_per_weight,
+                b.report.effective_bits_per_weight,
+            );
+            a.point.model == b.point.model && pb <= pa && bb <= ba && (pb < pa || bb < ba)
+        };
+        self.records
+            .iter()
+            .filter(|a| !self.records.iter().any(|b| dominated(a, b)))
+            .collect()
+    }
+}
+
+/// Runs a sweep: one shared [`EvalHarness`] per model (built in parallel),
+/// then a rayon fan-out of [`Pipeline::run_with_harness`] across all valid
+/// grid points.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    let started = std::time::Instant::now();
+
+    // Phase 1: one harness per model, built concurrently.
+    let harnesses: Vec<EvalHarness> = cfg
+        .models
+        .par_iter()
+        .map(|&m| EvalHarness::with_config(m, cfg.proxy, cfg.seed))
+        .collect();
+    let harness_for = |model: LlmModel| -> &EvalHarness {
+        harnesses
+            .iter()
+            .find(|h| h.model == model)
+            .expect("one harness built per sweep model")
+    };
+
+    // Phase 2: validate the grid, then fan out the valid points.
+    let (valid, skipped): (Vec<_>, Vec<_>) = cfg
+        .grid()
+        .into_iter()
+        .map(|p| (p, p.quant_config()))
+        .partition(|(_, q)| q.is_ok());
+    let skipped = skipped
+        .into_iter()
+        .map(|(p, q)| (p, q.unwrap_err()))
+        .collect();
+
+    let records: Vec<SweepRecord> = valid
+        .into_par_iter()
+        .map(|(point, quant)| {
+            let pipeline = Pipeline::new(point.model)
+                .with_quant_config(quant.expect("partitioned on is_ok"))
+                .with_proxy_config(cfg.proxy)
+                .with_task(cfg.task)
+                .with_accelerator(cfg.accelerator);
+            let report = pipeline.run_with_harness(harness_for(point.model));
+            SweepRecord { point, report }
+        })
+        .collect();
+
+    SweepReport {
+        config: cfg.clone(),
+        records,
+        skipped,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        threads: rayon::current_num_threads(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> SweepConfig {
+        SweepConfig::new(vec![LlmModel::Phi2B, LlmModel::Opt1_3B], vec![3, 4])
+            .with_proxy(ProxyConfig::tiny())
+            .with_seed(7)
+    }
+
+    #[test]
+    fn grid_is_the_full_cross_product() {
+        let cfg = tiny_sweep()
+            .with_granularities(vec![Granularity::PerGroup(64), Granularity::PerChannel]);
+        // 2 models × 2 dtypes × 2 bits × 2 granularities.
+        assert_eq!(cfg.grid().len(), 16);
+    }
+
+    #[test]
+    fn sweep_covers_every_valid_point_and_skips_invalid_ones() {
+        let mut cfg = tiny_sweep();
+        cfg.bits = vec![4, 6]; // bitmod@6 is invalid, int-asym@6 is valid
+        let report = cfg.run();
+        // 2 models × (bitmod@4, int-asym@4, int-asym@6) = 6 records,
+        // 2 models × bitmod@6 skipped.
+        assert_eq!(report.records.len(), 6);
+        assert_eq!(report.skipped.len(), 2);
+        assert!(report.skipped[0].1.contains("bitmod"));
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.threads >= 1);
+    }
+
+    #[test]
+    fn sweep_reuses_one_harness_per_model() {
+        // Identical harness reuse means the FP16 baseline perplexity is
+        // bit-identical across all records of the same model.
+        let report = tiny_sweep().run();
+        for m in [LlmModel::Phi2B, LlmModel::Opt1_3B] {
+            let ppls: Vec<f64> = report
+                .records
+                .iter()
+                .filter(|r| r.point.model == m)
+                .map(|r| r.report.fp16_perplexity.wiki)
+                .collect();
+            assert!(ppls.len() > 1);
+            assert!(ppls.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_record_count() {
+        let report = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+            .with_proxy(ProxyConfig::tiny())
+            .run();
+        let json = report.to_json();
+        let back = SweepReport::from_json(&json).expect("roundtrip");
+        assert_eq!(back.records.len(), report.records.len());
+        assert_eq!(back.records[0].report.model, LlmModel::Phi2B);
+        assert_eq!(
+            back.records[0].report.speedup_over_fp16,
+            report.records[0].report.speedup_over_fp16
+        );
+    }
+
+    #[test]
+    fn csv_has_one_row_per_record_plus_header() {
+        let report = tiny_sweep().run();
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), report.records.len() + 1);
+        assert!(csv.starts_with("model,dtype,bits"));
+    }
+
+    #[test]
+    fn pareto_frontier_is_nonempty_and_undominated() {
+        let mut cfg = tiny_sweep();
+        cfg.dtypes = vec![SweepDtype::BitMod, SweepDtype::IntAsym, SweepDtype::IntSym];
+        let report = cfg.run();
+        let frontier = report.pareto_frontier();
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= report.records.len());
+    }
+
+    #[test]
+    fn dtype_and_granularity_parsing_roundtrip() {
+        for d in SweepDtype::ALL {
+            assert_eq!(SweepDtype::parse(d.name()), Some(d));
+        }
+        assert_eq!(SweepDtype::parse("BitMoD"), Some(SweepDtype::BitMod));
+        assert_eq!(SweepDtype::parse("nope"), None);
+        assert_eq!(parse_granularity("128"), Some(Granularity::PerGroup(128)));
+        assert_eq!(parse_granularity("g64"), Some(Granularity::PerGroup(64)));
+        assert_eq!(parse_granularity("channel"), Some(Granularity::PerChannel));
+        assert_eq!(parse_granularity("tensor"), Some(Granularity::PerTensor));
+        assert_eq!(parse_granularity("g0"), None);
+    }
+}

@@ -67,7 +67,10 @@ fn bitserial_pe_computes_the_same_answer_as_the_quantization_framework() {
         // Raw codebook values (scaled domain) that the hardware would store.
         let codebook = fam.basic_codebook().with_value(adapted.special.value);
         let scale = adapted.quant.scale;
-        let codes: Vec<f32> = group.iter().map(|&x| codebook.quantize(x / scale)).collect();
+        let codes: Vec<f32> = group
+            .iter()
+            .map(|&x| codebook.quantize(x / scale))
+            .collect();
         let activations: Vec<F16> = (0..128)
             .map(|_| F16::from_f32(rng.normal(0.0, 1.0) as f32))
             .collect();
@@ -133,13 +136,19 @@ fn awq_gptq_smoothquant_compose_with_bitmod_on_the_proxy_model() {
         ("GPTQ", gptq_ppl),
         ("SmoothQuant", sq_ppl),
     ] {
-        assert!(ppl.is_finite() && ppl >= fp * 0.9, "{label} ppl {ppl} vs fp {fp}");
+        assert!(
+            ppl.is_finite() && ppl >= fp * 0.9,
+            "{label} ppl {ppl} vs fp {fp}"
+        );
         assert!(ppl < fp * 10.0, "{label} ppl {ppl} exploded");
     }
     // The calibration-based optimizers should not be dramatically worse than
     // RTN; AWQ/GPTQ usually improve the proxy perplexity.
     assert!(awq_ppl <= rtn_ppl * 1.2, "AWQ {awq_ppl} vs RTN {rtn_ppl}");
-    assert!(gptq_ppl <= rtn_ppl * 1.2, "GPTQ {gptq_ppl} vs RTN {rtn_ppl}");
+    assert!(
+        gptq_ppl <= rtn_ppl * 1.2,
+        "GPTQ {gptq_ppl} vs RTN {rtn_ppl}"
+    );
 }
 
 #[test]
@@ -159,8 +168,16 @@ fn fig7_orderings_hold_for_every_model() {
             let ant = simulate_model(&AcceleratorKind::Ant.build(), &workload);
             let olive = simulate_model(&AcceleratorKind::Olive.build(), &workload);
             assert!(lossy.speedup_over(&baseline) > 1.0);
-            assert!(lossy.total_cycles() < ant.total_cycles(), "{}", model.name());
-            assert!(lossy.total_cycles() < olive.total_cycles(), "{}", model.name());
+            assert!(
+                lossy.total_cycles() < ant.total_cycles(),
+                "{}",
+                model.name()
+            );
+            assert!(
+                lossy.total_cycles() < olive.total_cycles(),
+                "{}",
+                model.name()
+            );
         }
     }
 }

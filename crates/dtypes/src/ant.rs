@@ -19,15 +19,24 @@ use crate::int::symmetric_codebook;
 ///
 /// Panics if `bits` is not in `3..=8`.
 pub fn ant_candidates(bits: u8) -> Vec<Codebook> {
-    assert!((3..=8).contains(&bits), "ANT selection defined for 3..=8 bits");
+    assert!(
+        (3..=8).contains(&bits),
+        "ANT selection defined for 3..=8 bits"
+    );
     let mut cands = vec![symmetric_codebook(bits), flint_codebook(bits)];
     // Minifloat candidate: use the balanced exponent/mantissa split.
     let mf = match bits {
         3 => MiniFloat::FP3,
         4 => MiniFloat::FP4_E2M1,
-        5 => MiniFloat { exp_bits: 2, man_bits: 2 },
+        5 => MiniFloat {
+            exp_bits: 2,
+            man_bits: 2,
+        },
         6 => MiniFloat::FP6_E2M3,
-        7 => MiniFloat { exp_bits: 3, man_bits: 3 },
+        7 => MiniFloat {
+            exp_bits: 3,
+            man_bits: 3,
+        },
         _ => MiniFloat::FP8_E4M3,
     };
     cands.push(mf.codebook());
@@ -43,7 +52,10 @@ pub fn ant_candidates(bits: u8) -> Vec<Codebook> {
 ///
 /// Panics if `bits` is not in `2..=8`.
 pub fn power_of_two_codebook(bits: u8) -> Codebook {
-    assert!((2..=8).contains(&bits), "power-of-two grid defined for 2..=8 bits");
+    assert!(
+        (2..=8).contains(&bits),
+        "power-of-two grid defined for 2..=8 bits"
+    );
     let n_pos = (1u32 << (bits - 1)) - 1;
     let mut vals = vec![0.0f32];
     for i in 0..n_pos {
@@ -72,7 +84,7 @@ pub fn select_best(values: &[f32], bits: u8) -> (Codebook, f64) {
             0.0
         };
         let err = cand.scaled_mse(values, scale);
-        if best.as_ref().map_or(true, |(_, e)| err < *e) {
+        if best.as_ref().is_none_or(|(_, e)| err < *e) {
             best = Some((cand, err));
         }
     }
@@ -122,7 +134,7 @@ mod tests {
         // uniform integer grid, which collapses the small octaves onto zero.
         let xs: Vec<f32> = (0..512)
             .map(|i| {
-                let mag = 2.0f32.powi((i % 7) as i32); // 1, 2, 4, ..., 64
+                let mag = 2.0f32.powi(i % 7); // 1, 2, 4, ..., 64
                 if i % 2 == 0 {
                     mag
                 } else {
@@ -140,7 +152,9 @@ mod tests {
 
     #[test]
     fn selection_error_is_no_worse_than_any_candidate() {
-        let xs: Vec<f32> = (0..128).map(|i| ((i * 37) % 97) as f32 / 10.0 - 4.0).collect();
+        let xs: Vec<f32> = (0..128)
+            .map(|i| ((i * 37) % 97) as f32 / 10.0 - 4.0)
+            .collect();
         let absmax = xs.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
         let (_, best_err) = select_best(&xs, 4);
         for cand in ant_candidates(4) {

@@ -62,7 +62,10 @@ impl ExtendedFp {
     ///
     /// Panics if `bits` is not 3 or 4.
     pub fn new(bits: u8, special: SpecialValue) -> Self {
-        assert!(bits == 3 || bits == 4, "BitMoD extensions are defined for 3 and 4 bits");
+        assert!(
+            bits == 3 || bits == 4,
+            "BitMoD extensions are defined for 3 and 4 bits"
+        );
         let base_max = basic_minifloat(bits).absmax();
         let kind = if special.value.abs() <= base_max {
             ExtensionKind::ExtraResolution
@@ -178,7 +181,10 @@ impl BitModFamily {
     /// Panics if `bits` is not 3 or 4, or if more than four special values
     /// are given (the 2-bit per-group selector cannot address more).
     pub fn with_special_values(bits: u8, values: &[f32]) -> Self {
-        assert!(bits == 3 || bits == 4, "BitMoD family defined for 3 and 4 bits");
+        assert!(
+            bits == 3 || bits == 4,
+            "BitMoD family defined for 3 and 4 bits"
+        );
         assert!(
             !values.is_empty() && values.len() <= 4,
             "the 2-bit selector supports 1..=4 special values, got {}",

@@ -317,7 +317,11 @@ mod tests {
         for v in 0..=32i64 {
             let terms = csd_terms(v, 0);
             let ones = (v as u64).count_ones() as usize;
-            assert!(terms.len() <= ones.max(1), "v={v} terms={} ones={ones}", terms.len());
+            assert!(
+                terms.len() <= ones.max(1),
+                "v={v} terms={} ones={ones}",
+                terms.len()
+            );
             let sum: f64 = terms.iter().map(BitSerialTerm::value).sum();
             assert_eq!(sum, v as f64);
         }

@@ -42,7 +42,10 @@ pub fn digit_count(bits: u8) -> usize {
 /// Panics if `bits` is not in `2..=16` or if `value` does not fit in `bits`
 /// two's-complement bits.
 pub fn encode(value: i32, bits: u8) -> Vec<BoothDigit> {
-    assert!((2..=16).contains(&bits), "booth encoding supports 2..=16 bits");
+    assert!(
+        (2..=16).contains(&bits),
+        "booth encoding supports 2..=16 bits"
+    );
     let lo = -(1i32 << (bits - 1));
     let hi = (1i32 << (bits - 1)) - 1;
     assert!(
@@ -87,7 +90,11 @@ mod tests {
         for v in lo..=hi {
             let digits = encode(v, bits);
             assert_eq!(digits.len(), digit_count(bits));
-            assert_eq!(decode(&digits), v as i64, "roundtrip failed for {v} at {bits} bits");
+            assert_eq!(
+                decode(&digits),
+                v as i64,
+                "roundtrip failed for {v} at {bits} bits"
+            );
             assert!(digits.iter().all(|d| (-2..=2).contains(&d.digit)));
         }
     }

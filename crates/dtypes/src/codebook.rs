@@ -34,7 +34,10 @@ impl Codebook {
     ///
     /// Panics if `values` is empty or contains a non-finite value.
     pub fn new(name: impl Into<String>, mut values: Vec<f32>) -> Self {
-        assert!(!values.is_empty(), "codebook must contain at least one value");
+        assert!(
+            !values.is_empty(),
+            "codebook must contain at least one value"
+        );
         assert!(
             values.iter().all(|v| v.is_finite()),
             "codebook values must be finite"
@@ -79,9 +82,7 @@ impl Codebook {
     /// value (Section III-A: "the scaling factor and quantized values are
     /// ultimately determined by the absolute maximum value of a data type").
     pub fn absmax(&self) -> f32 {
-        self.values
-            .iter()
-            .fold(0.0f32, |acc, &v| acc.max(v.abs()))
+        self.values.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()))
     }
 
     /// Smallest representable value.

@@ -55,7 +55,11 @@ pub fn flint_values(bits: u8) -> Vec<f32> {
         points_in_binade /= 2;
         j += 1;
     }
-    let mut vals: Vec<f32> = mags.iter().map(|&m| -m).chain(mags.iter().copied()).collect();
+    let mut vals: Vec<f32> = mags
+        .iter()
+        .map(|&m| -m)
+        .chain(mags.iter().copied())
+        .collect();
     vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     vals.dedup();
     vals
@@ -90,7 +94,10 @@ mod tests {
         let v = flint_values(3);
         // k = 2: dense 1..=2, then binade [2,4) with 1 point -> 4, then top 8.
         assert!(v.contains(&1.0) && v.contains(&2.0) && v.contains(&4.0));
-        assert_eq!(v.iter().cloned().fold(0.0f32, f32::max), v.last().copied().unwrap());
+        assert_eq!(
+            v.iter().cloned().fold(0.0f32, f32::max),
+            v.last().copied().unwrap()
+        );
     }
 
     #[test]

@@ -27,15 +27,30 @@ pub struct MiniFloat {
 
 impl MiniFloat {
     /// The paper's basic FP3 (1 sign, 2 exponent, 0 mantissa bits).
-    pub const FP3: MiniFloat = MiniFloat { exp_bits: 2, man_bits: 0 };
+    pub const FP3: MiniFloat = MiniFloat {
+        exp_bits: 2,
+        man_bits: 0,
+    };
     /// The paper's basic FP4, i.e. E2M1.
-    pub const FP4_E2M1: MiniFloat = MiniFloat { exp_bits: 2, man_bits: 1 };
+    pub const FP4_E2M1: MiniFloat = MiniFloat {
+        exp_bits: 2,
+        man_bits: 1,
+    };
     /// FP6 with 2 exponent and 3 mantissa bits (Table II).
-    pub const FP6_E2M3: MiniFloat = MiniFloat { exp_bits: 2, man_bits: 3 };
+    pub const FP6_E2M3: MiniFloat = MiniFloat {
+        exp_bits: 2,
+        man_bits: 3,
+    };
     /// FP6 with 3 exponent and 2 mantissa bits (Table II).
-    pub const FP6_E3M2: MiniFloat = MiniFloat { exp_bits: 3, man_bits: 2 };
+    pub const FP6_E3M2: MiniFloat = MiniFloat {
+        exp_bits: 3,
+        man_bits: 2,
+    };
     /// FP8 E4M3 (used by the MX comparison at 8-bit element width).
-    pub const FP8_E4M3: MiniFloat = MiniFloat { exp_bits: 4, man_bits: 3 };
+    pub const FP8_E4M3: MiniFloat = MiniFloat {
+        exp_bits: 4,
+        man_bits: 3,
+    };
 
     /// Total storage width in bits (sign + exponent + mantissa).
     pub fn bits(&self) -> u8 {
@@ -59,7 +74,10 @@ impl MiniFloat {
     ///
     /// Panics if the format is wider than 8 bits total.
     pub fn values(&self) -> Vec<f32> {
-        assert!(self.bits() <= 8, "minifloat wider than 8 bits is not supported");
+        assert!(
+            self.bits() <= 8,
+            "minifloat wider than 8 bits is not supported"
+        );
         let mut vals = Vec::new();
         let man_den = (1u32 << self.man_bits) as f32;
         let e_max = (1u32 << self.exp_bits) as i32;
@@ -112,9 +130,7 @@ mod tests {
         let v = MiniFloat::FP4_E2M1.values();
         assert_eq!(
             v,
-            vec![
-                -6.0, -4.0, -3.0, -2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0
-            ]
+            vec![-6.0, -4.0, -3.0, -2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
         );
     }
 

@@ -15,7 +15,7 @@ use crate::codebook::Codebook;
 ///
 /// Panics if `bits` is 0 or greater than 16.
 pub fn level_count(bits: u8) -> u32 {
-    assert!(bits >= 1 && bits <= 16, "unsupported integer width {bits}");
+    assert!((1..=16).contains(&bits), "unsupported integer width {bits}");
     1u32 << bits
 }
 
@@ -26,7 +26,10 @@ pub fn level_count(bits: u8) -> u32 {
 /// Panics if `bits < 2` (a 1-bit symmetric grid has no usable levels) or
 /// `bits > 16`.
 pub fn symmetric_qmax(bits: u8) -> i32 {
-    assert!(bits >= 2 && bits <= 16, "unsupported symmetric width {bits}");
+    assert!(
+        (2..=16).contains(&bits),
+        "unsupported symmetric width {bits}"
+    );
     (1i32 << (bits - 1)) - 1
 }
 
@@ -36,7 +39,10 @@ pub fn symmetric_qmax(bits: u8) -> i32 {
 ///
 /// Panics if `bits` is 0 or greater than 16.
 pub fn asymmetric_qmax(bits: u8) -> i32 {
-    assert!(bits >= 1 && bits <= 16, "unsupported asymmetric width {bits}");
+    assert!(
+        (1..=16).contains(&bits),
+        "unsupported asymmetric width {bits}"
+    );
     (1i32 << bits) - 1
 }
 
@@ -48,7 +54,7 @@ pub fn asymmetric_qmax(bits: u8) -> i32 {
 ///
 /// Panics if `bits < 2` or `bits > 8`.
 pub fn symmetric_codebook(bits: u8) -> Codebook {
-    assert!(bits >= 2 && bits <= 8, "unsupported codebook width {bits}");
+    assert!((2..=8).contains(&bits), "unsupported codebook width {bits}");
     let qmax = symmetric_qmax(bits);
     let values: Vec<f32> = (-qmax..=qmax).map(|v| v as f32).collect();
     Codebook::new(format!("INT{bits}-Sym"), values)
@@ -62,7 +68,7 @@ pub fn symmetric_codebook(bits: u8) -> Codebook {
 ///
 /// Panics if `bits < 2` or `bits > 8`.
 pub fn twos_complement_codebook(bits: u8) -> Codebook {
-    assert!(bits >= 2 && bits <= 8, "unsupported codebook width {bits}");
+    assert!((2..=8).contains(&bits), "unsupported codebook width {bits}");
     let lo = -(1i32 << (bits - 1));
     let hi = (1i32 << (bits - 1)) - 1;
     let values: Vec<f32> = (lo..=hi).map(|v| v as f32).collect();

@@ -123,7 +123,9 @@ impl WeightDtype {
         match *self {
             WeightDtype::IntSym(b) => format!("INT{b}-Sym"),
             WeightDtype::IntAsym(b) => format!("INT{b}-Asym"),
-            WeightDtype::Fp { bits, exp_bits } => format!("FP{bits}-E{exp_bits}M{}", bits - 1 - exp_bits),
+            WeightDtype::Fp { bits, exp_bits } => {
+                format!("FP{bits}-E{exp_bits}M{}", bits - 1 - exp_bits)
+            }
             WeightDtype::BitMod { bits } => format!("BitMoD-{bits}b"),
             WeightDtype::Flint(b) => format!("Flint{b}"),
             WeightDtype::Olive(b) => format!("OliVe-{b}b"),
@@ -158,7 +160,11 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(WeightDtype::IntAsym(4).label(), "INT4-Asym");
         assert_eq!(
-            WeightDtype::Fp { bits: 6, exp_bits: 2 }.label(),
+            WeightDtype::Fp {
+                bits: 6,
+                exp_bits: 2
+            }
+            .label(),
             "FP6-E2M3"
         );
         assert_eq!(WeightDtype::Mx(4).label(), "MX-FP4");

@@ -85,7 +85,10 @@ impl MxFormat {
         let shared_exp = self.shared_exponent(values);
         let scale = 2.0f32.powi(shared_exp);
         let cb: Codebook = self.element.codebook();
-        let reconstructed = values.iter().map(|&x| cb.quantize(x / scale) * scale).collect();
+        let reconstructed = values
+            .iter()
+            .map(|&x| cb.quantize(x / scale) * scale)
+            .collect();
         MxGroup {
             shared_exp,
             reconstructed,
@@ -156,9 +159,16 @@ mod tests {
         let mx_rec = fmt.quantize_group(&vals).reconstructed;
         let cb = MiniFloat::FP4_E2M1.codebook();
         let exact_scale = 6.1 / cb.absmax();
-        let exact_rec: Vec<f32> = vals.iter().map(|&x| cb.quantize(x / exact_scale) * exact_scale).collect();
+        let exact_rec: Vec<f32> = vals
+            .iter()
+            .map(|&x| cb.quantize(x / exact_scale) * exact_scale)
+            .collect();
         let mse = |a: &[f32], b: &[f32]| -> f64 {
-            a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>() / a.len() as f64
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
+                / a.len() as f64
         };
         assert!(mse(&vals, &mx_rec) > mse(&vals, &exact_rec));
     }

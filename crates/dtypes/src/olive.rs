@@ -49,7 +49,10 @@ pub fn abfloat_values(bits: u8, bias: i32) -> Vec<f32> {
 ///
 /// Panics if `bits` is not in `3..=8`.
 pub fn abfloat_codebook(bits: u8, bias: i32) -> Codebook {
-    Codebook::new(format!("Abfloat{bits}(bias={bias})"), abfloat_values(bits, bias))
+    Codebook::new(
+        format!("Abfloat{bits}(bias={bias})"),
+        abfloat_values(bits, bias),
+    )
 }
 
 /// Default abfloat bias for a weight precision: chosen so the smallest
@@ -78,12 +81,7 @@ pub enum PairEncoding {
 /// victim), which is the accuracy compromise OliVe accepts.
 ///
 /// Returns the reconstructed pair and how it was encoded.
-pub fn quantize_pair(
-    a: f32,
-    b: f32,
-    bits: u8,
-    abfloat: &Codebook,
-) -> ([f32; 2], PairEncoding) {
+pub fn quantize_pair(a: f32, b: f32, bits: u8, abfloat: &Codebook) -> ([f32; 2], PairEncoding) {
     let qmax = symmetric_qmax(bits.max(2)) as f32;
     let a_out = a.abs() > qmax;
     let b_out = b.abs() > qmax;
@@ -133,7 +131,10 @@ mod tests {
         let bias = default_bias(4);
         assert_eq!(bias, 3);
         let vals = abfloat_values(4, bias);
-        assert_eq!(vals.iter().cloned().fold(0.0f32, f32::max), 2.0f32.powi(3 + 6));
+        assert_eq!(
+            vals.iter().cloned().fold(0.0f32, f32::max),
+            2.0f32.powi(3 + 6)
+        );
         assert!(vals.iter().all(|&v| v.abs() >= 8.0));
     }
 

@@ -147,6 +147,29 @@ impl LlmModel {
     pub fn name(&self) -> &'static str {
         self.config().name
     }
+
+    /// Parses a command-line model name, forgiving about case, separators and
+    /// common short forms: `llama2-7b`, `Llama-2-7B`, `phi-2`, `opt-1.3b`,
+    /// `yi6b`, … all resolve.
+    pub fn parse_cli_name(s: &str) -> Option<LlmModel> {
+        let normalized: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        let aliases: [(&[&str], LlmModel); 6] = [
+            (&["opt13b", "opt"], LlmModel::Opt1_3B),
+            (&["phi2b", "phi2", "phi"], LlmModel::Phi2B),
+            (&["yi6b", "yi"], LlmModel::Yi6B),
+            (&["llama27b"], LlmModel::Llama2_7B),
+            (&["llama213b"], LlmModel::Llama2_13B),
+            (&["llama38b", "llama3"], LlmModel::Llama3_8B),
+        ];
+        aliases
+            .iter()
+            .find(|(names, _)| names.contains(&normalized.as_str()))
+            .map(|&(_, m)| m)
+    }
 }
 
 /// Architecture parameters of a decoder-only transformer LLM.
@@ -286,8 +309,7 @@ impl LlmConfig {
     /// `bits_per_weight` is the effective storage width of the quantized
     /// linear weights (including per-group metadata); embeddings stay FP16.
     pub fn weight_bytes(&self, bits_per_weight: f64) -> f64 {
-        self.linear_params() as f64 * bits_per_weight / 8.0
-            + self.embedding_params() as f64 * 2.0
+        self.linear_params() as f64 * bits_per_weight / 8.0 + self.embedding_params() as f64 * 2.0
     }
 
     /// Multiply–accumulate operations in the decoder linear layers for
@@ -339,7 +361,10 @@ mod tests {
         let fp16 = cfg.weight_bytes(16.0);
         let w4 = cfg.weight_bytes(4.0);
         let w3 = cfg.weight_bytes(3.0);
-        assert!(fp16 > 12e9, "Llama-2-7B FP16 should exceed 12 GB, got {fp16}");
+        assert!(
+            fp16 > 12e9,
+            "Llama-2-7B FP16 should exceed 12 GB, got {fp16}"
+        );
         assert!(w4 < fp16 / 2.5);
         assert!(w3 < w4);
     }
@@ -363,5 +388,23 @@ mod tests {
     fn macs_scale_with_tokens() {
         let cfg = LlmModel::Opt1_3B.config();
         assert_eq!(cfg.linear_macs(2), 2 * cfg.linear_macs(1));
+    }
+
+    #[test]
+    fn cli_names_resolve_every_model_and_common_spellings() {
+        for m in LlmModel::ALL {
+            assert_eq!(LlmModel::parse_cli_name(m.name()), Some(m), "{}", m.name());
+        }
+        assert_eq!(
+            LlmModel::parse_cli_name("llama2-7b"),
+            Some(LlmModel::Llama2_7B)
+        );
+        assert_eq!(LlmModel::parse_cli_name("phi-2"), Some(LlmModel::Phi2B));
+        assert_eq!(
+            LlmModel::parse_cli_name("OPT_1.3B"),
+            Some(LlmModel::Opt1_3B)
+        );
+        assert_eq!(LlmModel::parse_cli_name("yi6b"), Some(LlmModel::Yi6B));
+        assert_eq!(LlmModel::parse_cli_name("gpt-4"), None);
     }
 }

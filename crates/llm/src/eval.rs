@@ -172,7 +172,9 @@ mod tests {
         let mut int_total = 0.0;
         for seed in [3, 4, 5] {
             let h = harness(LlmModel::Phi2B, seed);
-            bm_total += h.evaluate(&QuantConfig::new(QuantMethod::bitmod(3), g)).mean();
+            bm_total += h
+                .evaluate(&QuantConfig::new(QuantMethod::bitmod(3), g))
+                .mean();
             int_total += h
                 .evaluate(&QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, g))
                 .mean();

@@ -16,6 +16,23 @@
 //!   relative ordering across data types reproduces the paper's tables.
 //! * [`eval`] — the evaluation harness that turns quantization configurations
 //!   into proxy perplexity / accuracy numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use bitmod_llm::config::LlmModel;
+//! use bitmod_llm::eval::EvalHarness;
+//! use bitmod_llm::proxy::ProxyConfig;
+//! use bitmod_quant::{Granularity, QuantConfig, QuantMethod};
+//!
+//! let harness = EvalHarness::with_config(LlmModel::Phi2B, ProxyConfig::tiny(), 1);
+//! let fp16 = harness.fp16_perplexity();
+//! let int3 = harness.evaluate(&QuantConfig::new(
+//!     QuantMethod::IntAsym { bits: 3 },
+//!     Granularity::PerGroup(64),
+//! ));
+//! assert!(int3.mean() > fp16.mean(), "3-bit weights must cost perplexity");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

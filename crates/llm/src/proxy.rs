@@ -261,6 +261,23 @@ impl ProxyTransformer {
         self.map_linears(|_, w| quantize_matrix(w, cfg).reconstructed)
     }
 
+    /// Like [`ProxyTransformer::quantized`], but also returns the per-linear
+    /// quantization statistics of the single pass — callers that need both
+    /// the model and its error stats (the pipeline, sweeps) avoid running
+    /// the per-group codebook search twice.
+    pub fn quantized_with_stats(
+        &self,
+        cfg: &QuantConfig,
+    ) -> (ProxyTransformer, Vec<(LinearId, bitmod_quant::QuantStats)>) {
+        let mut stats = Vec::new();
+        let model = self.map_linears(|id, w| {
+            let q = quantize_matrix(w, cfg);
+            stats.push((id, q.stats));
+            q.reconstructed
+        });
+        (model, stats)
+    }
+
     /// Borrows the weight matrix identified by `id`.
     pub fn layer_weight(&self, id: LinearId) -> &Matrix {
         let lw = &self.layers[id.layer];
@@ -645,10 +662,7 @@ mod tests {
         let mut rng = SeededRng::new(9);
         let stream = m.generate(&[1], 96, 0.8, &mut rng);
         let ppl = |bits: u8| {
-            let cfg = QuantConfig::new(
-                QuantMethod::IntAsym { bits },
-                Granularity::PerGroup(64),
-            );
+            let cfg = QuantConfig::new(QuantMethod::IntAsym { bits }, Granularity::PerGroup(64));
             m.quantized(&cfg).perplexity(&stream)
         };
         let p_fp = m.perplexity(&stream);
@@ -657,7 +671,10 @@ mod tests {
         let p2 = ppl(2);
         assert!(p8 < p3, "8-bit {p8} should beat 3-bit {p3}");
         assert!(p3 < p2, "3-bit {p3} should beat 2-bit {p2}");
-        assert!(p8 < p_fp * 1.10, "8-bit {p8} should be close to FP32 {p_fp}");
+        assert!(
+            p8 < p_fp * 1.10,
+            "8-bit {p8} should be close to FP32 {p_fp}"
+        );
     }
 
     #[test]

@@ -31,9 +31,7 @@ pub fn adaptive_quantize_group(values: &[f32], family: &BitModFamily) -> Adaptiv
     for &sv in family.special_values() {
         let codebook = basic.with_value(sv.value);
         let quant = quantize_codebook(values, &codebook);
-        let better = best
-            .as_ref()
-            .map_or(true, |b| quant.mse < b.quant.mse);
+        let better = best.as_ref().is_none_or(|b| quant.mse < b.quant.mse);
         if better {
             best = Some(AdaptiveGroupQuant { quant, special: sv });
         }

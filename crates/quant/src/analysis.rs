@@ -79,7 +79,11 @@ pub struct SpecialValueError {
 /// minimizes its error — matching the paper's definition where a group is
 /// quantized "by the basic FP3 data type together with a selected special
 /// value".
-pub fn special_value_error_sweep(w: &Matrix, candidates: &[f32], group_size: usize) -> Vec<SpecialValueError> {
+pub fn special_value_error_sweep(
+    w: &Matrix,
+    candidates: &[f32],
+    group_size: usize,
+) -> Vec<SpecialValueError> {
     assert!(group_size > 0, "group size must be non-zero");
     let mut raw: Vec<(String, Vec<f32>, f64)> = Vec::new();
 
@@ -153,8 +157,16 @@ mod tests {
         // absmax-or-larger, so for the ER candidates error cannot increase.
         let w = weights(3);
         let sweep = special_value_error_sweep(&w, &[3.0], 128);
-        let none = sweep.iter().find(|s| s.label == "none").unwrap().normalized_error;
-        let er = sweep.iter().find(|s| s.label == "±3").unwrap().normalized_error;
+        let none = sweep
+            .iter()
+            .find(|s| s.label == "none")
+            .unwrap()
+            .normalized_error;
+        let er = sweep
+            .iter()
+            .find(|s| s.label == "±3")
+            .unwrap()
+            .normalized_error;
         assert!(er <= none + 1e-9);
     }
 
@@ -175,8 +187,16 @@ mod tests {
         // models; at minimum it must beat the plain grid clearly.
         let w = WeightProfile::llama_like().sample_matrix(32, 2048, &mut SeededRng::new(5));
         let sweep = special_value_error_sweep(&w, &[3.0, 6.0], 128);
-        let none = sweep.iter().find(|s| s.label == "none").unwrap().normalized_error;
-        let ea = sweep.iter().find(|s| s.label == "±6").unwrap().normalized_error;
+        let none = sweep
+            .iter()
+            .find(|s| s.label == "none")
+            .unwrap()
+            .normalized_error;
+        let ea = sweep
+            .iter()
+            .find(|s| s.label == "±6")
+            .unwrap()
+            .normalized_error;
         assert!(ea < none, "±6 ({ea}) should beat the plain grid ({none})");
     }
 }

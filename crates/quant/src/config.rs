@@ -258,10 +258,7 @@ mod tests {
         let eff = cfg.effective_bits_per_weight(4096, 4096);
         assert!((eff - (4.0 + 10.0 / 128.0)).abs() < 1e-9, "eff {eff}");
         // INT-Asym with FP16 scales: 16 + 8 = 24 bits per group.
-        let cfg = QuantConfig::new(
-            QuantMethod::IntAsym { bits: 4 },
-            Granularity::PerGroup(128),
-        );
+        let cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 4 }, Granularity::PerGroup(128));
         let eff = cfg.effective_bits_per_weight(4096, 4096);
         assert!((eff - (4.0 + 24.0 / 128.0)).abs() < 1e-9, "eff {eff}");
     }

@@ -103,8 +103,7 @@ fn quantize_sliced(w: &Matrix, cfg: &QuantConfig) -> (Matrix, Vec<u8>, Vec<f32>)
                 .into_par_iter()
                 .map(|r| {
                     let row = w.row(r);
-                    let slices: Vec<Vec<f32>> =
-                        row.chunks(group).map(|c| c.to_vec()).collect();
+                    let slices: Vec<Vec<f32>> = row.chunks(group).map(|c| c.to_vec()).collect();
                     let (recs, sels, scales) = quantize_slice_set(&slices, cfg);
                     (recs.concat(), sels, scales)
                 })
@@ -287,13 +286,18 @@ mod tests {
     }
 
     fn mse_of(method: QuantMethod, gran: Granularity, w: &Matrix) -> f64 {
-        quantize_matrix(w, &QuantConfig::new(method, gran)).stats.mse
+        quantize_matrix(w, &QuantConfig::new(method, gran))
+            .stats
+            .mse
     }
 
     #[test]
     fn fp16_quantization_is_essentially_lossless() {
         let w = test_weights(1);
-        let q = quantize_matrix(&w, &QuantConfig::new(QuantMethod::Fp16, Granularity::PerChannel));
+        let q = quantize_matrix(
+            &w,
+            &QuantConfig::new(QuantMethod::Fp16, Granularity::PerChannel),
+        );
         assert!(q.stats.sqnr_db > 60.0);
         assert_eq!(q.stats.bits_per_weight, 16.0);
     }
@@ -326,12 +330,15 @@ mod tests {
     fn bitmod_advantage_is_larger_at_3_bit() {
         let w = test_weights(4);
         let g = Granularity::PerGroup(128);
-        let ratio3 = mse_of(QuantMethod::IntAsym { bits: 3 }, g, &w)
-            / mse_of(QuantMethod::bitmod(3), g, &w);
-        let ratio4 = mse_of(QuantMethod::IntAsym { bits: 4 }, g, &w)
-            / mse_of(QuantMethod::bitmod(4), g, &w);
+        let ratio3 =
+            mse_of(QuantMethod::IntAsym { bits: 3 }, g, &w) / mse_of(QuantMethod::bitmod(3), g, &w);
+        let ratio4 =
+            mse_of(QuantMethod::IntAsym { bits: 4 }, g, &w) / mse_of(QuantMethod::bitmod(4), g, &w);
         assert!(ratio3 > 1.0);
-        assert!(ratio3 > ratio4, "3-bit gain {ratio3} vs 4-bit gain {ratio4}");
+        assert!(
+            ratio3 > ratio4,
+            "3-bit gain {ratio3} vs 4-bit gain {ratio4}"
+        );
     }
 
     #[test]
@@ -366,7 +373,10 @@ mod tests {
         let with_int8 = base.clone().with_scale_dtype(ScaleDtype::Int(8));
         let mse_fp16 = quantize_matrix(&w, &base).stats.mse;
         let mse_int8 = quantize_matrix(&w, &with_int8).stats.mse;
-        assert!(mse_int8 <= mse_fp16 * 1.05, "fp16 {mse_fp16} int8 {mse_int8}");
+        assert!(
+            mse_int8 <= mse_fp16 * 1.05,
+            "fp16 {mse_fp16} int8 {mse_int8}"
+        );
     }
 
     #[test]

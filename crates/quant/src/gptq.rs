@@ -121,8 +121,16 @@ impl GroupQuantizer {
         match method {
             QuantMethod::IntAsym { bits } => {
                 let qmax = bitmod_dtypes::int::asymmetric_qmax(*bits) as f32;
-                let lo = values.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
-                let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max).max(0.0);
+                let lo = values
+                    .iter()
+                    .copied()
+                    .fold(f32::INFINITY, f32::min)
+                    .min(0.0);
+                let hi = values
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max)
+                    .max(0.0);
                 let range = (hi - lo).max(f32::MIN_POSITIVE);
                 let scale = range / qmax;
                 GroupQuantizer::IntAsym {
@@ -325,10 +333,7 @@ mod tests {
         let (w, x) = setup(1, 256);
         let method = QuantMethod::IntAsym { bits: 3 };
         let gptq = gptq_quantize(&w, &x, &method, 128);
-        let rtn = quantize_matrix(
-            &w,
-            &QuantConfig::new(method, Granularity::PerGroup(128)),
-        );
+        let rtn = quantize_matrix(&w, &QuantConfig::new(method, Granularity::PerGroup(128)));
         let reference = x.matmul(&w.transposed());
         let rtn_out = x.matmul(&rtn.reconstructed.transposed());
         let rtn_mse = stats::mse(reference.as_slice(), rtn_out.as_slice());

@@ -4,7 +4,7 @@
 //! weight-only PTQ pipeline:
 //!
 //! * [`granularity`] — per-tensor, per-channel and per-group quantization.
-//! * [`slice`] — the per-vector quantizers: symmetric/asymmetric integer
+//! * [`mod@slice`] — the per-vector quantizers: symmetric/asymmetric integer
 //!   (Eqs. 1–2 of the paper) and non-linear codebook quantization.
 //! * [`adaptive`] — **Algorithm 1**, the fine-grained data-type adaptation
 //!   that picks the error-minimizing special value for every weight group.

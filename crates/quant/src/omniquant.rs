@@ -79,7 +79,7 @@ fn clip_search_group(values: &[f32], method: &QuantMethod) -> (Vec<f32>, f32) {
     let mut best: Option<(Vec<f32>, f32, f64)> = None;
     for &ratio in &CLIP_GRID {
         let (rec, err) = quantize_clipped(values, method, ratio);
-        if best.as_ref().map_or(true, |(_, _, e)| err < *e) {
+        if best.as_ref().is_none_or(|(_, _, e)| err < *e) {
             best = Some((rec, ratio, err));
         }
     }
@@ -92,13 +92,27 @@ fn quantize_clipped(values: &[f32], method: &QuantMethod, ratio: f32) -> (Vec<f3
     match method {
         QuantMethod::IntSym { bits } => {
             let qmax = bitmod_dtypes::int::symmetric_qmax(*bits) as f32;
-            let scale = if absmax > 0.0 { ratio * absmax / qmax } else { 1.0 };
+            let scale = if absmax > 0.0 {
+                ratio * absmax / qmax
+            } else {
+                1.0
+            };
             let q = quantize_int_symmetric_with_scale(values, *bits, scale);
             (q.reconstructed, q.mse)
         }
         QuantMethod::IntAsym { bits } => {
-            let lo = values.iter().copied().fold(f32::INFINITY, f32::min).min(0.0) * ratio;
-            let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max).max(0.0) * ratio;
+            let lo = values
+                .iter()
+                .copied()
+                .fold(f32::INFINITY, f32::min)
+                .min(0.0)
+                * ratio;
+            let hi = values
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+                .max(0.0)
+                * ratio;
             let q = quantize_int_asymmetric_with_range(values, *bits, lo, hi);
             (q.reconstructed, q.mse)
         }
@@ -168,7 +182,8 @@ mod tests {
     fn composes_with_bitmod_and_keeps_its_edge() {
         // Table XI: BitMoD + OmniQuant beats INT-Asym + OmniQuant.
         let w = weights(3);
-        let int_cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, Granularity::PerGroup(128));
+        let int_cfg =
+            QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, Granularity::PerGroup(128));
         let bm_cfg = QuantConfig::new(QuantMethod::bitmod(3), Granularity::PerGroup(128));
         let omni_int = omniquant_quantize(&w, &int_cfg);
         let omni_bm = omniquant_quantize(&w, &bm_cfg);

@@ -30,7 +30,7 @@ impl BitWriter {
     ///
     /// Panics if `bits` is 0 or greater than 32.
     pub fn push(&mut self, value: u32, bits: u8) {
-        assert!(bits >= 1 && bits <= 32, "can only push 1..=32 bits");
+        assert!((1..=32).contains(&bits), "can only push 1..=32 bits");
         for i in 0..bits {
             let bit = (value >> i) & 1;
             let byte_idx = self.bit_pos / 8;
@@ -72,7 +72,7 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics if the read runs past the end of the buffer or `bits > 32`.
     pub fn read(&mut self, bits: u8) -> u32 {
-        assert!(bits >= 1 && bits <= 32, "can only read 1..=32 bits");
+        assert!((1..=32).contains(&bits), "can only read 1..=32 bits");
         let mut value = 0u32;
         for i in 0..bits {
             let byte_idx = self.bit_pos / 8;
@@ -189,7 +189,7 @@ mod tests {
     fn payload_size_is_exactly_ceil_of_bits() {
         let codes = vec![1u8; 128];
         let p3 = PackedGroup::pack(&codes, 3, 0, 0);
-        assert_eq!(p3.payload.len(), (128 * 3 + 7) / 8);
+        assert_eq!(p3.payload.len(), (128usize * 3).div_ceil(8));
         let p4 = PackedGroup::pack(&codes, 4, 0, 0);
         assert_eq!(p4.payload.len(), 64);
     }

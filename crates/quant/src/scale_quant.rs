@@ -41,7 +41,11 @@ pub fn quantize_scales(scales: &[f32], bits: u8) -> QuantizedScales {
     );
     let qmax = symmetric_qmax(bits) as f32;
     let max_scale = scales.iter().copied().fold(0.0f32, f32::max);
-    let channel_scale = if max_scale > 0.0 { max_scale / qmax } else { 1.0 };
+    let channel_scale = if max_scale > 0.0 {
+        max_scale / qmax
+    } else {
+        1.0
+    };
     let codes: Vec<u32> = scales
         .iter()
         .map(|&s| (s / channel_scale).round().clamp(0.0, qmax) as u32)

@@ -67,8 +67,16 @@ pub fn quantize_int_asymmetric(values: &[f32], bits: u8) -> SliceQuant {
             mse: 0.0,
         };
     }
-    let lo = values.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
-    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max).max(0.0);
+    let lo = values
+        .iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min)
+        .min(0.0);
+    let hi = values
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max)
+        .max(0.0);
     let range = hi - lo;
     let scale = if range > 0.0 { range / qmax } else { 1.0 };
     let zero_point = (-lo / scale).round();
@@ -168,7 +176,12 @@ pub fn quantize_int_symmetric_with_scale(values: &[f32], bits: u8, scale: f32) -
 /// # Panics
 ///
 /// Panics if `bits` is 0, greater than 16, or `hi < lo`.
-pub fn quantize_int_asymmetric_with_range(values: &[f32], bits: u8, lo: f32, hi: f32) -> SliceQuant {
+pub fn quantize_int_asymmetric_with_range(
+    values: &[f32],
+    bits: u8,
+    lo: f32,
+    hi: f32,
+) -> SliceQuant {
     assert!(hi >= lo, "invalid clipping range [{lo}, {hi}]");
     let qmax = asymmetric_qmax(bits) as f32;
     let range = (hi - lo).max(f32::MIN_POSITIVE);
@@ -272,7 +285,12 @@ mod tests {
         }
         let fp4_h = quantize_codebook(&heavy, &MiniFloat::FP4_E2M1.codebook());
         let int4_h = quantize_int_symmetric(&heavy, 4);
-        assert!(fp4_h.mse < int4_h.mse, "fp4 {} int4 {}", fp4_h.mse, int4_h.mse);
+        assert!(
+            fp4_h.mse < int4_h.mse,
+            "fp4 {} int4 {}",
+            fp4_h.mse,
+            int4_h.mse
+        );
         // Sanity: errors are finite and non-zero.
         assert!(fp4.mse > 0.0 && int4.mse > 0.0);
     }

@@ -298,7 +298,10 @@ mod tests {
         let mut x = 0.001f32;
         while x < 60000.0 {
             let r = round_to_f16(x);
-            assert!(((r - x) / x).abs() <= 2.0f32.powi(-11) + 1e-9, "x={x} r={r}");
+            assert!(
+                ((r - x) / x).abs() <= 2.0f32.powi(-11) + 1e-9,
+                "x={x} r={r}"
+            );
             x *= 1.37;
         }
     }

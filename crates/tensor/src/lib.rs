@@ -15,7 +15,7 @@
 //!   tensors are drawn from per-channel Gaussian/Student-t mixtures with
 //!   injected asymmetric outliers matching the distributional characteristics
 //!   the paper relies on (see `DESIGN.md`).
-//! * [`f16`] — a software half-precision (`binary16`) type with
+//! * [`mod@f16`] — a software half-precision (`binary16`) type with
 //!   round-to-nearest-even conversion, used to model the FP16 activation path
 //!   of the BitMoD processing element exactly.
 //!

@@ -92,7 +92,12 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
         Self {
@@ -144,7 +149,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -155,7 +163,10 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -187,7 +198,11 @@ impl Matrix {
     ///
     /// Panics if `c >= cols`.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "column {c} out of bounds ({} cols)", self.cols);
+        assert!(
+            c < self.cols,
+            "column {c} out of bounds ({} cols)",
+            self.cols
+        );
         (0..self.rows).map(|r| self.get(r, c)).collect()
     }
 

@@ -6,8 +6,94 @@
 //! generator needs: uniform, Gaussian (Box–Muller) and Student-t (ratio of a
 //! normal and a chi-square), none of which require external crates.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// The ChaCha-8 stream cipher core: 16 words of state producing 16-word
+/// keystream blocks.  Self-contained so the tensor crate stays
+/// dependency-free (the build environment cannot fetch `rand`).
+#[derive(Debug, Clone)]
+struct ChaCha8Core {
+    /// Constants, 256-bit key, 64-bit block counter, 64-bit nonce.
+    state: [u32; 16],
+    /// The current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    index: usize,
+}
+
+impl ChaCha8Core {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    /// Builds the cipher state from a 256-bit key (the nonce is fixed; every
+    /// generator distinguishes itself through the key).
+    fn new(key: [u32; 8]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&key);
+        // state[12..14] = block counter, state[14..16] = nonce (zero).
+        Self {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+
+    #[inline]
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    /// Generates the next keystream block and advances the counter.
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..4 {
+            // A double round: 4 column rounds + 4 diagonal rounds.
+            Self::quarter_round(&mut x, 0, 4, 8, 12);
+            Self::quarter_round(&mut x, 1, 5, 9, 13);
+            Self::quarter_round(&mut x, 2, 6, 10, 14);
+            Self::quarter_round(&mut x, 3, 7, 11, 15);
+            Self::quarter_round(&mut x, 0, 5, 10, 15);
+            Self::quarter_round(&mut x, 1, 6, 11, 12);
+            Self::quarter_round(&mut x, 2, 7, 8, 13);
+            Self::quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (out, s) in x.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*s);
+        }
+        self.block = x;
+        self.index = 0;
+        // 64-bit block counter in words 12–13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into a 256-bit ChaCha key.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random number generator with distribution samplers.
 ///
@@ -22,7 +108,7 @@ use rand_chacha::ChaCha8Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8Core,
     /// Cached second sample from the Box–Muller transform.
     spare_normal: Option<f64>,
 }
@@ -30,22 +116,41 @@ pub struct SeededRng {
 impl SeededRng {
     /// Creates a new generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut sm);
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
         Self {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            inner: ChaCha8Core::new(key),
             spare_normal: None,
         }
+    }
+
+    /// The next 32 bits of the underlying ChaCha-8 stream.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// The next 64 bits of the underlying ChaCha-8 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.inner.next_u32() as u64;
+        let hi = self.inner.next_u32() as u64;
+        (hi << 32) | lo
     }
 
     /// Derives an independent child generator.  Useful for giving each weight
     /// tensor or each experiment its own reproducible stream.
     pub fn fork(&mut self, label: u64) -> SeededRng {
-        let seed = self.inner.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SeededRng::new(seed)
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -65,7 +170,8 @@ impl SeededRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample below zero");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift reduction of a 64-bit draw onto [0, n).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli sample with probability `p` of returning `true`.
@@ -163,24 +269,6 @@ impl SeededRng {
         for x in out {
             *x = self.normal(mean, std_dev) as f32;
         }
-    }
-}
-
-impl RngCore for SeededRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 

@@ -13,7 +13,10 @@ pub fn absmax(xs: &[f32]) -> f32 {
 
 /// Minimum value of a slice.  Returns 0 for an empty slice.
 pub fn min(xs: &[f32]) -> f32 {
-    xs.iter().copied().fold(f32::INFINITY, f32::min).min(f32::INFINITY)
+    xs.iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min)
+        .min(f32::INFINITY)
         .where_finite_or(0.0)
 }
 
@@ -89,7 +92,11 @@ pub fn rmse(a: &[f32], b: &[f32]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn sqnr_db(signal: &[f32], reconstruction: &[f32]) -> f64 {
-    assert_eq!(signal.len(), reconstruction.len(), "sqnr requires equal lengths");
+    assert_eq!(
+        signal.len(),
+        reconstruction.len(),
+        "sqnr requires equal lengths"
+    );
     if signal.is_empty() {
         return 0.0;
     }

@@ -5,8 +5,8 @@
 //! reproduction substitutes synthetic weight tensors that preserve the
 //! distributional facts every result in the paper depends on:
 //!
-//! 1. The bulk of LLM weights is Gaussian-like (Section II-C, citing [17],
-//!    [51]) — modelled by a zero-mean normal component.
+//! 1. The bulk of LLM weights is Gaussian-like (Section II-C, citing \[17\],
+//!    \[51\]) — modelled by a zero-mean normal component.
 //! 2. Weight tensors contain heavy-tailed outliers, and at per-group
 //!    granularity those outliers appear *asymmetrically* (solely positive or
 //!    negative within a group) — modelled by a Student-t component plus a
@@ -179,9 +179,8 @@ impl WeightProfile {
                         continue;
                     }
                     let idx = start + rng.below(end - start);
-                    let magnitude = self.sigma
-                        * self.asymmetric_magnitude
-                        * (1.0 + 0.5 * rng.uniform());
+                    let magnitude =
+                        self.sigma * self.asymmetric_magnitude * (1.0 + 0.5 * rng.uniform());
                     row[idx] = (sign * magnitude) as f32 * row_scale;
                 }
             }
@@ -240,8 +239,8 @@ impl ActivationProfile {
             .collect();
         let mut m = Matrix::zeros(tokens, channels);
         for t in 0..tokens {
-            for c in 0..channels {
-                m.set(t, c, rng.normal(0.0, 1.0) as f32 * scales[c]);
+            for (c, &scale) in scales.iter().enumerate() {
+                m.set(t, c, rng.normal(0.0, 1.0) as f32 * scale);
             }
         }
         (m, scales)

@@ -1,0 +1,236 @@
+//! Minimal stand-in for the `criterion` crate (offline build).
+//!
+//! Implements the benchmarking surface the workspace's `benches/` use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.  Instead of rigorous
+//! statistics it reports the mean and best wall-clock time over a short
+//! time-boxed measurement window, which is enough to compare hot paths and
+//! catch order-of-magnitude regressions.
+//!
+//! Tuning knobs (environment variables):
+//!
+//! * `BITMOD_BENCH_MS` — measurement window per benchmark in milliseconds
+//!   (default 300).
+//!
+//! ```
+//! use criterion::{Criterion, black_box};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("sum_1k", |b| {
+//!     b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+//! });
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement window per benchmark.
+fn measure_window() -> Duration {
+    let ms = std::env::var("BITMOD_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` with an extra `input` argument.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A parameter-only id (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => "bench".to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly inside the measurement window.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: a few untimed runs (also primes caches/allocator).
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let window = measure_window();
+        let started = Instant::now();
+        let mut samples = Vec::new();
+        while started.elapsed() < window && samples.len() < 10_000 {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        self.samples = samples;
+    }
+}
+
+fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples (Bencher::iter was not called)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let best = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label}: mean {} / best {} over {} iters",
+        fmt_duration(mean),
+        fmt_duration(best),
+        bencher.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        std::env::set_var("BITMOD_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u8, |b, &x| {
+            b.iter(|| black_box(x as u32 * 2))
+        });
+        g.finish();
+    }
+}

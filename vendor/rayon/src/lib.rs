@@ -1,0 +1,280 @@
+//! Minimal stand-in for the `rayon` crate (offline build).
+//!
+//! Provides the small slice/range data-parallel surface this workspace uses:
+//! `par_iter()` / `into_par_iter()` producing a [`ParIter`] whose adapters
+//! (`map`, `filter`, `for_each`, …) run eagerly across OS threads via
+//! `std::thread::scope`, preserving input order.  Unlike real rayon there is
+//! no work-stealing pool: each adapter call splits the items into one
+//! contiguous chunk per available core.
+//!
+//! Thread count comes from `std::thread::available_parallelism`, overridable
+//! with the familiar `RAYON_NUM_THREADS` environment variable.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let squares: Vec<usize> = (0..100usize).into_par_iter().map(|x| x * x).collect();
+//! assert_eq!(squares[7], 49);
+//! ```
+
+use std::ops::Range;
+
+/// The rayon-compatible import surface: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads a parallel adapter will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// An eager "parallel iterator": a materialized batch of items whose
+/// adapters each run one ordered parallel pass.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, &f),
+        }
+    }
+
+    /// Keeps the items for which `f` returns true (parallel predicate
+    /// evaluation, ordered output).
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let keep = parallel_map(self.items, &|x: T| {
+            let k = f(&x);
+            (k, x)
+        });
+        ParIter {
+            items: keep
+                .into_iter()
+                .filter(|(k, _)| *k)
+                .map(|(_, x)| x)
+                .collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = parallel_map(self.items, &|x: T| f(x));
+    }
+
+    /// Collects the items (already computed) into any `FromIterator`
+    /// container.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items in input order.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items in the batch.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value (`vec.into_par_iter()`,
+/// `(0..n).into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting batch.
+    type Item: Send;
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::RangeInclusive<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Conversion into a [`ParIter`] of references (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type of the resulting batch.
+    type Item: Send;
+    /// Borrowing counterpart of
+    /// [`into_par_iter`](IntoParallelIterator::into_par_iter).
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Number of parallel regions currently executing.  The shim has no shared
+/// worker pool, so without this guard nested `par_iter` calls (e.g. a sweep
+/// fan-out whose per-point work itself parallelizes over matrix rows) would
+/// oversubscribe the machine quadratically — each nesting level spawning a
+/// full complement of OS threads.  Real rayon nests into one pool; the shim
+/// approximates that by running nested regions sequentially on the worker
+/// that reached them.
+static ACTIVE_PARALLEL_REGIONS: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Ordered parallel map: splits `items` into one contiguous chunk per
+/// thread, processes the chunks on scoped threads, and re-concatenates the
+/// results in input order.  Nested calls run sequentially (see
+/// [`ACTIVE_PARALLEL_REGIONS`]).
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::Ordering;
+
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 || ACTIVE_PARALLEL_REGIONS.load(Ordering::Acquire) > 0 {
+        return items.into_iter().map(f).collect();
+    }
+    ACTIVE_PARALLEL_REGIONS.fetch_add(1, Ordering::AcqRel);
+    // Split into `threads` contiguous chunks of near-equal size.
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let result = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim: worker thread panicked"))
+            .collect()
+    });
+    ACTIVE_PARALLEL_REGIONS.fetch_sub(1, Ordering::AcqRel);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out.len(), 10_000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let out: Vec<f64> = data.par_iter().map(|x| x + 1.0).collect();
+        assert_eq!(out, vec![2.0, 3.0, 4.0]);
+        assert_eq!(data.len(), 3); // still usable
+    }
+
+    #[test]
+    fn filter_and_sum() {
+        let evens: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .collect();
+        assert_eq!(evens.len(), 50);
+        let total: usize = (1..=100usize).into_par_iter().sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn nested_parallelism_stays_correct() {
+        // Inner par_iter calls run sequentially (no pool), but results must
+        // be identical to the flat computation.
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| (0..100usize).into_par_iter().map(|j| i * j).sum::<usize>())
+            .collect();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 4950));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small subset of serde it actually uses instead of pulling the real crate.
+//! The model is deliberately simple (closer to `miniserde` than to serde
+//! proper): serialization goes through an owned [`Value`] tree rather than a
+//! visitor pipeline.
+//!
+//! * [`Serialize`] converts a value into a [`Value`] tree.
+//! * [`Deserialize`] rebuilds a value from a [`Value`] tree.
+//! * `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   shim) generates both impls for structs and enums, using the same shapes
+//!   as real serde's externally-tagged default representation.
+//!
+//! `serde_json` (also vendored) renders a [`Value`] tree to JSON text and
+//! parses JSON text back into one.
+//!
+//! ```
+//! use serde::{Serialize, Value};
+//!
+//! let v = vec![1u32, 2, 3].to_value();
+//! assert!(matches!(v, Value::Seq(ref s) if s.len() == 3));
+//! ```
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing data tree — the interchange format between
+/// [`Serialize`], [`Deserialize`] and the vendored `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, as real `serde_json`
+    /// does).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents coerced to `f64` (`Null` maps to NaN, mirroring the
+    /// serializer's NaN → `null` convention).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(x) => Some(x as f64),
+            Value::U64(x) => Some(x as f64),
+            Value::F64(x) => Some(x),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) => i64::try_from(x).ok(),
+            Value::F64(x) if x.fract() == 0.0 && x.abs() < 9.0e18 => Some(x as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(x) => u64::try_from(x).ok(),
+            Value::U64(x) => Some(x),
+            Value::F64(x) if x.fract() == 0.0 && (0.0..1.9e19).contains(&x) => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean contents, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Error raised when a [`Value`] tree cannot be converted back into a Rust
+/// value.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing T".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Self::new(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// An enum payload named a variant the type does not have.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Self::new(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// A struct payload is missing a required field.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::new(format!("missing field `{field}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up `key` in a struct payload and deserializes it — used by the
+/// derive-generated code.
+pub fn from_map<T: Deserialize>(m: &[(String, Value)], key: &str, ty: &str) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v),
+        None => Err(Error::missing_field(ty, key)),
+    }
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = v.as_i64().ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(x).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(x).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::expected("number", "f32"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::expected("string", "char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_str()
+            .ok_or_else(|| Error::expected("string", "String"))?
+            .to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializing into `&'static str` leaks the string — acceptable for
+    /// this shim's use case (small, static-like config labels).
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::expected("string", "&str"))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|x| x.to_value()).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|x| x.to_value()).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|x| x.to_value()).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", "array"))?;
+        if seq.len() != N {
+            return Err(Error::expected("sequence of exact length", "array"));
+        }
+        let items: Result<Vec<T>, Error> = seq.iter().map(T::from_value).collect();
+        items?
+            .try_into()
+            .map_err(|_| Error::expected("sequence of exact length", "array"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| Error::expected("sequence", "tuple"))?;
+                let expected = [$( stringify!($n) ),+].len();
+                if seq.len() != expected {
+                    return Err(Error::expected("tuple-length sequence", "tuple"));
+                }
+                Ok(($( $t::from_value(&seq[$n])? ,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

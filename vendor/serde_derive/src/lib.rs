@@ -1,0 +1,485 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! The build environment has no network access, so this crate re-implements
+//! the two derive macros from scratch on top of `proc_macro` alone — no
+//! `syn`, no `quote`.  The item is parsed with a small hand-rolled token
+//! walker; the generated impl is assembled as a string and re-parsed into a
+//! `TokenStream`.
+//!
+//! Supported shapes (everything the workspace derives on):
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default);
+//! * plain type parameters (bounds are added per derived trait).
+//!
+//! Lifetimes, const generics and `where` clauses are intentionally not
+//! supported and produce a compile-time panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The parsed item body.
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+/// The parsed derive input.
+struct Input {
+    name: String,
+    type_params: Vec<String>,
+    body: Body,
+}
+
+/// Derives `serde::Serialize` (Value-tree serialization).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (Value-tree deserialization).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_input(ts: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes, doc comments and visibility until `struct` / `enum`.
+    let is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => i += 1,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected item name"),
+    };
+    i += 1;
+
+    // Generic parameter list.
+    let mut type_params = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let mut expect_param = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    if depth == 1 {
+                        expect_param = true;
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                    expect_param = false;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    panic!("serde_derive shim: lifetimes on derived types are not supported");
+                }
+                Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        panic!("serde_derive shim: const generics are not supported");
+                    }
+                    type_params.push(s);
+                    expect_param = false;
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generic parameter list"),
+            }
+            i += 1;
+        }
+    }
+
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde_derive shim: `where` clauses are not supported");
+    }
+
+    let body = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: expected enum body"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            _ => panic!("serde_derive: expected struct body"),
+        }
+    };
+
+    Input {
+        name,
+        type_params,
+        body,
+    }
+}
+
+/// Parses `vis name: Type, ...` — returns the field names in order.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes / doc comments.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        // Skip the type: everything up to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct / tuple-variant parenthesis group.
+fn tuple_arity(ts: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut has_tokens = false;
+    let mut last_was_comma = false;
+    let mut depth = 0i32;
+    for tok in ts {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                has_tokens = true;
+                last_was_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => {
+                depth -= 1;
+                last_was_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                last_was_comma = true;
+            }
+            _ => {
+                has_tokens = true;
+                last_was_comma = false;
+            }
+        }
+    }
+    if has_tokens && !last_was_comma {
+        arity += 1;
+    } else if !has_tokens {
+        arity = 0;
+    }
+    arity
+}
+
+/// Parses enum variants: `Name`, `Name(T, ..)`, `Name { f: T, .. }`,
+/// optionally with `= discriminant`.
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(tuple_arity(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant`, then the separating comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --- code generation -------------------------------------------------------
+
+/// `impl<T: bound, ..> trait_path for Name<T, ..>` header (or the
+/// non-generic form).
+fn impl_header(input: &Input, trait_path: &str, bound: &str) -> String {
+    if input.type_params.is_empty() {
+        format!("impl {trait_path} for {} ", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect();
+        let args = input.type_params.join(", ");
+        format!(
+            "impl<{}> {trait_path} for {}<{args}> ",
+            bounded.join(", "),
+            input.name
+        )
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Unit) => "::serde::Value::Map(Vec::new())".to_string(),
+        Body::Struct(Fields::Named(fields)) => ser_named_fields(fields, "&self."),
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            pats.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let inner = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pats} }} => ::serde::Value::Map(vec![\
+                             (String::from(\"{vn}\"), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "{}{{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}",
+        impl_header(input, "::serde::Serialize", "::serde::Serialize")
+    )
+}
+
+/// `Value::Map` construction for a list of named fields; `prefix` is
+/// `"&self."` for structs and `""` for match-bound variant fields.
+fn ser_named_fields(fields: &[String], prefix: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let access = if prefix.is_empty() {
+                f.clone()
+            } else {
+                format!("{prefix}{f}")
+            };
+            format!("(String::from(\"{f}\"), ::serde::Serialize::to_value({access}))")
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Unit) => format!("let _ = v; Ok({name})"),
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_map(m, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                .collect();
+            format!(
+                "let seq = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}\"))?;\n\
+                 if seq.len() != {n} {{ return Err(::serde::Error::expected(\"sequence of length {n}\", \"{name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(val)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let seq = val.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", \"{name}::{vn}\"))?;\n\
+                             if seq.len() != {n} {{ return Err(::serde::Error::expected(\"sequence of length {n}\", \"{name}::{vn}\")); }}\n\
+                             Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::from_map(fm, \"{f}\", \"{name}::{vn}\")?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let fm = val.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{ {} }})\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (k, val) = &m[0];\n\
+                 let _ = val;\n\
+                 match k.as_str() {{\n\
+                 {data_arms}\
+                 other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::expected(\"string or single-entry map\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "{}{{\n fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n {body}\n }}\n}}",
+        impl_header(input, "::serde::Deserialize", "::serde::Deserialize")
+    )
+}
