@@ -4,7 +4,9 @@
 
 use bitmod::dtypes::bitmod::BitModFamily;
 use bitmod::prelude::*;
-use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_slice};
+use bitmod::quant::adaptive::{
+    adaptive_quantize_group, adaptive_quantize_group_reference, adaptive_quantize_slice,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_single_group(c: &mut Criterion) {
@@ -33,5 +35,37 @@ fn bench_full_channel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_group, bench_full_channel);
+/// The MSE-only search (precomputed codebooks, winner-only reconstruction)
+/// against the naive reference that rebuilds the grid and reconstructs every
+/// candidate — the core per-group speedup of the quantization hot path.
+/// Shares its workload with `bitmod-cli bench` via `bitmod_bench::workloads`.
+fn bench_mse_only_vs_allocating(c: &mut Criterion) {
+    let (channel, family) = bitmod_bench::workloads::adaptive_channel();
+    let group_size = bitmod_bench::workloads::CHANNEL_GROUP;
+    let mut group = c.benchmark_group("algorithm1_search_4096_g128");
+    group.bench_function("mse_only", |b| {
+        b.iter(|| {
+            channel
+                .chunks(group_size)
+                .map(|g| adaptive_quantize_group(g, &family).quant.mse)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("allocating_reference", |b| {
+        b.iter(|| {
+            channel
+                .chunks(group_size)
+                .map(|g| adaptive_quantize_group_reference(g, &family).quant.mse)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_group,
+    bench_full_channel,
+    bench_mse_only_vs_allocating
+);
 criterion_main!(benches);

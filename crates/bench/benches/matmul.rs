@@ -1,0 +1,32 @@
+//! Criterion benchmarks of the dense matmul kernels: the fused
+//! transpose-free `matmul_nt` against the naive `matmul(&b.transposed())`
+//! formulation it replaced in the proxy-transformer forward pass.
+
+use bitmod_bench::workloads::matmul_operands;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The proxy forward pass's exact shapes: activations `seq × hidden` against
+/// weights `out × hidden` (attention projections and the MLP down-projection
+/// of the standard proxy), plus one larger square case.  Operands come from
+/// `bitmod_bench::workloads`, shared with `bitmod-cli bench`.
+fn bench_matmul_nt_vs_transposed(c: &mut Criterion) {
+    let shapes: &[(usize, usize, usize, &str)] = &[
+        (64, 128, 128, "attn_64x128x128"),
+        (64, 256, 128, "mlp_down_64x256x128"),
+        (128, 512, 512, "square_128x512x512"),
+    ];
+    let mut group = c.benchmark_group("matmul");
+    for &(m, k, n, label) in shapes {
+        let (a, b) = matmul_operands(m, k, n);
+        group.bench_function(BenchmarkId::new("fused_nt", label), |bench| {
+            bench.iter(|| a.matmul_nt(&b))
+        });
+        group.bench_function(BenchmarkId::new("transpose_then_matmul", label), |bench| {
+            bench.iter(|| a.matmul(&b.transposed()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_nt_vs_transposed);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ use serde::Serialize;
 use std::path::PathBuf;
 
 pub mod repro;
+pub mod workloads;
 
 /// Quantization data types compared in Table VI, at a given precision.
 pub fn table6_methods(bits: u8) -> Vec<(String, QuantMethod, Granularity)> {

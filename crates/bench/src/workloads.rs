@@ -1,0 +1,46 @@
+//! Canonical hot-path benchmark workloads, shared by the Criterion suites
+//! (`benches/adaptive.rs`, `benches/matmul.rs`) and the `bitmod-cli bench`
+//! micro-benchmarks so both always measure the same thing.
+
+use bitmod::prelude::*;
+
+/// Seed of the adaptive-search channel workload.
+const CHANNEL_SEED: u64 = 5;
+/// Seeds of the fused-matmul operand workload.
+const MATMUL_SEEDS: (u64, u64) = (7, 8);
+
+/// Length of the adaptive-search channel.
+pub const CHANNEL_LEN: usize = 4096;
+/// Group size of the adaptive-search workload (the paper's default G).
+pub const CHANNEL_GROUP: usize = 128;
+
+/// The adaptive special-value search workload: one Llama-2-7B-profile
+/// channel of [`CHANNEL_LEN`] weights, quantized per [`CHANNEL_GROUP`]-sized
+/// group with the FP4 family.
+pub fn adaptive_channel() -> (Vec<f32>, BitModFamily) {
+    let mut rng = SeededRng::new(CHANNEL_SEED);
+    let channel = LlmModel::Llama2_7B
+        .weight_profile()
+        .sample_vector(CHANNEL_LEN, &mut rng);
+    (channel, BitModFamily::fp4())
+}
+
+/// A Gaussian matrix for the matmul workloads.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    SeededRng::new(seed).fill_normal(m.as_mut_slice(), 0.0, 1.0);
+    m
+}
+
+/// The fused-matmul comparison operands: `a (m×k)` and `b (n×k)`, multiplied
+/// as `a × bᵀ`.
+pub fn matmul_operands(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
+    (
+        random_matrix(m, k, MATMUL_SEEDS.0),
+        random_matrix(n, k, MATMUL_SEEDS.1),
+    )
+}
+
+/// The headline fused-matmul shape reported by `bitmod-cli bench`:
+/// `(m, k, n) = (64, 512, 512)`.
+pub const MATMUL_SHAPE: (usize, usize, usize) = (64, 512, 512);

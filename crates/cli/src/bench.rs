@@ -1,0 +1,235 @@
+//! `bitmod-cli bench` — wall-clock benchmark of the default sweep grid.
+//!
+//! Runs the default sweep grid (the same models × dtypes × bits ×
+//! granularity cross-product `bitmod-cli sweep` uses out of the box) a few
+//! times, plus a set of hot-path micro-benchmarks, and appends the result to
+//! a JSON history file (`BENCH_sweep.json` by default).  Keeping every run in
+//! one appendable history is what lets before/after numbers for a perf change
+//! live side by side in the repository.
+
+use bitmod::llm::config::LlmModel;
+use bitmod::llm::proxy::{ProxyConfig, ProxyTransformer};
+use bitmod::prelude::*;
+use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_group_reference};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One micro-benchmark measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicroBench {
+    /// What was measured.
+    pub name: String,
+    /// Mean milliseconds per iteration.
+    pub mean_ms: f64,
+    /// Best (minimum) milliseconds per iteration.
+    pub best_ms: f64,
+    /// Iterations measured.
+    pub iters: usize,
+}
+
+/// One benchmark run of the default sweep grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Free-form label (`--label`), e.g. `pre-PR2-baseline` or `current`.
+    pub label: String,
+    /// Whether this was the `--quick` grid (tiny proxy, one model).
+    pub quick: bool,
+    /// Grid points attempted.
+    pub grid_points: usize,
+    /// Records produced (grid points minus skipped).
+    pub records: usize,
+    /// Wall-clock seconds of each full sweep run.
+    pub runs_seconds: Vec<f64>,
+    /// Mean of `runs_seconds`.
+    pub mean_seconds: f64,
+    /// Minimum of `runs_seconds`.
+    pub best_seconds: f64,
+    /// Worker threads the sweep used.
+    pub threads: usize,
+    /// Hot-path micro-benchmarks taken alongside the sweep timing.
+    pub micro: Vec<MicroBench>,
+}
+
+/// The appendable benchmark history (`BENCH_sweep.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// All recorded entries, oldest first.
+    pub history: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Parses a history file.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Serializes the history as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench reports always serialize")
+    }
+}
+
+/// The sweep configuration the benchmark times: the default grid (BitMoD vs
+/// INT-Asym at 3/4 bits, per-group 128) over two models at standard proxy
+/// size, or one model at tiny proxy size for `--quick`.
+pub fn bench_config(quick: bool, seed: u64) -> SweepConfig {
+    if quick {
+        SweepConfig::new(vec![LlmModel::Phi2B], vec![3, 4])
+            .with_proxy(ProxyConfig::tiny())
+            .with_seed(seed)
+    } else {
+        SweepConfig::new(vec![LlmModel::Phi2B, LlmModel::Opt1_3B], vec![3, 4]).with_seed(seed)
+    }
+}
+
+/// Times `f` for `iters` iterations and returns a [`MicroBench`].
+fn micro<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> MicroBench {
+    let _ = std::hint::black_box(f()); // warm-up
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let _ = std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    MicroBench {
+        name: name.to_string(),
+        mean_ms: mean,
+        best_ms: best,
+        iters,
+    }
+}
+
+/// The hot-path micro-benchmarks: the optimized adaptive search and fused
+/// matmul against their retained naive references, plus one proxy forward
+/// pass.  The reference paths are the exact pre-optimization algorithms, so
+/// the optimized/reference ratio is the locally reproducible speedup.
+/// Workloads come from `bitmod_bench::workloads`, shared with the Criterion
+/// suites so both measure the same thing.
+pub fn run_micro_benches(quick: bool) -> Vec<MicroBench> {
+    use bitmod_bench::workloads::{adaptive_channel, matmul_operands, CHANNEL_GROUP, MATMUL_SHAPE};
+
+    let iters = if quick { 3 } else { 10 };
+    let (channel, family) = adaptive_channel();
+    let adaptive = micro("adaptive_search_4096_g128_mse_only", iters, || {
+        channel
+            .chunks(CHANNEL_GROUP)
+            .map(|g| adaptive_quantize_group(g, &family).quant.mse)
+            .sum::<f64>()
+    });
+    let adaptive_ref = micro("adaptive_search_4096_g128_reference", iters, || {
+        channel
+            .chunks(CHANNEL_GROUP)
+            .map(|g| adaptive_quantize_group_reference(g, &family).quant.mse)
+            .sum::<f64>()
+    });
+
+    let (m, k, n) = MATMUL_SHAPE;
+    let (a, b) = matmul_operands(m, k, n);
+    let fused = micro("matmul_nt_64x512x512", iters, || a.matmul_nt(&b));
+    let naive = micro("matmul_transposed_64x512x512", iters, || {
+        a.matmul(&b.transposed())
+    });
+
+    let model = ProxyTransformer::synthesize(LlmModel::Phi2B, ProxyConfig::standard(), 42);
+    let tokens: Vec<usize> = (0..64).map(|t| (t * 7) % model.config.vocab).collect();
+    let forward = micro("proxy_forward_standard_64tok", iters, || {
+        model.forward(&tokens)
+    });
+
+    vec![adaptive, adaptive_ref, fused, naive, forward]
+}
+
+/// Runs the sweep benchmark `runs` times and assembles a [`BenchEntry`].
+pub fn run_bench(label: &str, quick: bool, runs: usize, seed: u64) -> BenchEntry {
+    let cfg = bench_config(quick, seed);
+    let grid_points = cfg.grid().len();
+    let mut runs_seconds = Vec::with_capacity(runs);
+    let mut records = 0;
+    let mut threads = 1;
+    for i in 0..runs {
+        let report = cfg.run();
+        eprintln!(
+            "[bench] run {}/{}: {:.2}s wall, {} records",
+            i + 1,
+            runs,
+            report.wall_seconds,
+            report.records.len()
+        );
+        records = report.records.len();
+        threads = report.threads;
+        runs_seconds.push(report.wall_seconds);
+    }
+    let mean_seconds = runs_seconds.iter().sum::<f64>() / runs_seconds.len().max(1) as f64;
+    let best_seconds = runs_seconds.iter().copied().fold(f64::INFINITY, f64::min);
+    eprintln!("[bench] micro-benchmarks...");
+    let micro = run_micro_benches(quick);
+    for m in &micro {
+        eprintln!(
+            "[bench]   {:<40} mean {:>9.3} ms / best {:>9.3} ms",
+            m.name, m.mean_ms, m.best_ms
+        );
+    }
+    BenchEntry {
+        label: label.to_string(),
+        quick,
+        grid_points,
+        records,
+        runs_seconds,
+        mean_seconds,
+        best_seconds,
+        threads,
+        micro,
+    }
+}
+
+/// Loads `path` if it exists (must parse as a [`BenchReport`]), appends
+/// `entry`, and returns the updated report.
+pub fn append_entry(existing_json: Option<&str>, entry: BenchEntry) -> Result<BenchReport, String> {
+    let mut report = match existing_json {
+        Some(s) => BenchReport::from_json(s)?,
+        None => BenchReport {
+            history: Vec::new(),
+        },
+    };
+    report.history.push(entry);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_roundtrips_and_appends() {
+        let entry = BenchEntry {
+            label: "t".into(),
+            quick: true,
+            grid_points: 4,
+            records: 4,
+            runs_seconds: vec![0.5, 0.4],
+            mean_seconds: 0.45,
+            best_seconds: 0.4,
+            threads: 1,
+            micro: vec![MicroBench {
+                name: "m".into(),
+                mean_ms: 1.0,
+                best_ms: 0.9,
+                iters: 3,
+            }],
+        };
+        let report = append_entry(None, entry.clone()).unwrap();
+        let json = report.to_json();
+        let appended = append_entry(Some(&json), entry).unwrap();
+        assert_eq!(appended.history.len(), 2);
+        assert_eq!(appended.history[0].label, "t");
+        assert!(append_entry(Some("not json"), appended.history[0].clone()).is_err());
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        assert_eq!(bench_config(true, 42).grid().len(), 4);
+        assert_eq!(bench_config(false, 42).grid().len(), 8);
+    }
+}

@@ -4,11 +4,15 @@
 //!   granularities) writing JSON/CSV reports;
 //! * `report` — post-process a sweep JSON: summary table, CSV export, Pareto
 //!   frontier;
-//! * `repro`  — rerun any of the 17 table/figure reproductions of the paper.
+//! * `repro`  — rerun any of the 17 table/figure reproductions of the paper;
+//! * `bench`  — time the default sweep grid and hot-path micro-benchmarks,
+//!   appending to the `BENCH_sweep.json` perf history.
 //!
-//! See `docs/SWEEPS.md` for the report schema and worked examples.
+//! See `docs/SWEEPS.md` for the report schema and worked examples, and
+//! `docs/PERFORMANCE.md` for the hot-path inventory and bench workflow.
 
 mod args;
+mod bench;
 
 use args::Flags;
 use bitmod::llm::config::LlmModel;
@@ -27,6 +31,7 @@ COMMANDS:
     sweep     Run a parallel quantization/accelerator sweep and write a JSON report
     report    Summarize a sweep JSON report (table, CSV, Pareto frontier)
     repro     Reproduce one of the paper's tables or figures
+    bench     Time the default sweep grid and append to the perf history JSON
     help      Show this message, or `help <command>` for command details
 
 Run `bitmod-cli <command> --help` for per-command options.";
@@ -92,6 +97,28 @@ Names are forgiving: table6 == table06 == table06_main_ppl.
 Set BITMOD_RESULTS_DIR=<dir> to also dump each experiment's raw numbers as
 JSON into <dir>.";
 
+const BENCH_HELP: &str = "\
+bitmod-cli bench — time the default sweep grid
+
+Runs the default sweep grid (2 models × {bitmod,int-asym} × {3,4} bits ×
+g128 at standard proxy size) several times plus a set of hot-path
+micro-benchmarks, and APPENDS the result to a JSON history file so
+before/after numbers of a performance change sit side by side.
+
+USAGE:
+    bitmod-cli bench [OPTIONS]
+
+OPTIONS:
+    --quick           Small grid (phi-2 only, tiny proxy) for CI smoke runs
+    --runs <n>        Full-sweep repetitions [default: 3, quick: 2]
+    --label <name>    History label for this entry [default: current]
+    --seed <n>        Sweep seed [default: 42]
+    --out <path>      History JSON path [default: BENCH_sweep.json]
+    --help            Show this message
+
+EXAMPLE:
+    bitmod-cli bench --label after-matmul-fusion --out BENCH_sweep.json";
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = match argv.split_first() {
@@ -105,11 +132,13 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "report" => cmd_report(rest),
         "repro" => cmd_repro(rest),
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("sweep") => println!("{SWEEP_HELP}"),
                 Some("report") => println!("{REPORT_HELP}"),
                 Some("repro") => println!("{REPRO_HELP}"),
+                Some("bench") => println!("{BENCH_HELP}"),
                 _ => println!("{ROOT_HELP}"),
             }
             ExitCode::SUCCESS
@@ -342,6 +371,83 @@ fn cmd_repro(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(rest: &[String]) -> ExitCode {
+    let flags = match Flags::parse(rest, &["runs", "label", "seed", "out"], &["quick", "help"]) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e, BENCH_HELP),
+    };
+    if flags.has("help") {
+        println!("{BENCH_HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let quick = flags.has("quick");
+    let runs = match flags.get("runs") {
+        None => {
+            if quick {
+                2
+            } else {
+                3
+            }
+        }
+        Some(r) => match r.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return usage_error(&format!("invalid --runs `{r}`"), BENCH_HELP),
+        },
+    };
+    let seed = match flags.get("seed") {
+        None => 42,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => return usage_error(&format!("invalid seed `{s}`"), BENCH_HELP),
+        },
+    };
+    let label = flags.get("label").unwrap_or("current");
+    let out = flags.get("out").unwrap_or("BENCH_sweep.json");
+
+    eprintln!(
+        "[bench] {} grid on {} threads, {} runs",
+        if quick { "quick" } else { "default" },
+        rayon::current_num_threads(),
+        runs
+    );
+    let entry = bench::run_bench(label, quick, runs, seed);
+    eprintln!(
+        "[bench] `{}`: mean {:.2}s / best {:.2}s over {} runs",
+        entry.label,
+        entry.mean_seconds,
+        entry.best_seconds,
+        entry.runs_seconds.len()
+    );
+
+    // Only a missing file means "no history yet" — any other read failure
+    // (permissions, encoding) must not silently replace the committed
+    // history with a fresh single-entry one.
+    let existing = match std::fs::read_to_string(out) {
+        Ok(s) => Some(s),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            eprintln!("error: could not read {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match bench::append_entry(existing.as_deref(), entry) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {out} exists but is not a bench history: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out, report.to_json()) {
+        eprintln!("error: could not write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[bench] appended to {out} ({} entries)",
+        report.history.len()
+    );
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,121 @@
+//! Property tests pinning the optimized hot paths to their retained naive
+//! reference implementations.
+//!
+//! PR 2 rewrote the quantization and proxy-forward hot paths (threshold-table
+//! codebook lookup, MSE-only adaptive search, fused transpose-free matmul,
+//! single-pass min/max).  Every rewrite keeps its naive counterpart in-tree;
+//! these properties assert the two produce **bit-identical** results on random
+//! inputs, so any future "optimization" that changes numerics fails loudly.
+
+use bitmod::dtypes::bitmod::BitModFamily;
+use bitmod::prelude::*;
+use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_group_reference};
+use bitmod::quant::slice::{
+    codebook_mse, codebook_scale, quantize_codebook, quantize_codebook_with_scale,
+    quantize_int_asymmetric,
+};
+use bitmod::tensor::stats;
+use proptest::prelude::*;
+
+proptest! {
+    /// The threshold-table `Codebook::quantize` returns exactly the value the
+    /// naive nearest-member scan returns, for arbitrary codebooks and inputs
+    /// (including inputs far outside the representable range).
+    #[test]
+    fn codebook_threshold_lookup_matches_reference(
+        grid in proptest::collection::vec(-8.0f32..8.0, 1..20),
+        probes in proptest::collection::vec(-20.0f32..20.0, 1..100),
+    ) {
+        let cb = Codebook::new("prop", grid);
+        for &x in &probes {
+            prop_assert_eq!(cb.quantize(x).to_bits(), cb.quantize_reference(x).to_bits());
+        }
+        // Exact members and exact midpoints are the adversarial inputs.
+        for w in cb.values().to_vec().windows(2) {
+            let mid = ((w[0] as f64 + w[1] as f64) * 0.5) as f32;
+            for x in [w[0], w[1], mid] {
+                prop_assert_eq!(cb.quantize(x).to_bits(), cb.quantize_reference(x).to_bits());
+            }
+        }
+    }
+
+    /// The MSE-only adaptive search (precomputed codebooks, no candidate
+    /// reconstruction) picks the same special value and produces a
+    /// bit-identical reconstruction to the per-candidate rebuild-and-
+    /// reconstruct reference.
+    #[test]
+    fn adaptive_search_matches_reference(
+        values in proptest::collection::vec(-2.0f32..2.0, 1..200),
+        bits in prop_oneof![Just(3u8), Just(4u8)],
+    ) {
+        let fam = BitModFamily::for_bits(bits);
+        let fast = adaptive_quantize_group(&values, &fam);
+        let naive = adaptive_quantize_group_reference(&values, &fam);
+        prop_assert_eq!(fast.special.selector, naive.special.selector);
+        prop_assert_eq!(fast.quant.scale.to_bits(), naive.quant.scale.to_bits());
+        prop_assert_eq!(fast.quant.mse.to_bits(), naive.quant.mse.to_bits());
+        prop_assert_eq!(fast.quant.reconstructed.len(), naive.quant.reconstructed.len());
+        for (a, b) in fast.quant.reconstructed.iter().zip(&naive.quant.reconstructed) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The allocation-free `codebook_mse` equals the `.mse` of the allocating
+    /// quantizer, both at an explicit scale and at the absmax-derived scale.
+    #[test]
+    fn mse_scan_matches_allocating_path(
+        values in proptest::collection::vec(-3.0f32..3.0, 1..150),
+        scale in 0.0f32..2.0,
+        bits in prop_oneof![Just(3u8), Just(4u8)],
+    ) {
+        let fam = BitModFamily::for_bits(bits);
+        for cb in fam.extended_codebooks() {
+            let scan = codebook_mse(&values, cb, scale);
+            let alloc = quantize_codebook_with_scale(&values, cb, scale).mse;
+            prop_assert_eq!(scan.to_bits(), alloc.to_bits());
+
+            let auto_scale = codebook_scale(stats::absmax(&values), cb);
+            let scan = codebook_mse(&values, cb, auto_scale);
+            let alloc = quantize_codebook(&values, cb).mse;
+            prop_assert_eq!(scan.to_bits(), alloc.to_bits());
+        }
+    }
+
+    /// `matmul_nt` (fused A·Bᵀ over B's contiguous rows) equals
+    /// `matmul(&b.transposed())` elementwise.
+    #[test]
+    fn fused_matmul_matches_transposed_matmul(
+        m in 1usize..12,
+        k in 1usize..24,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut a = Matrix::zeros(m, k);
+        rng.fill_normal(a.as_mut_slice(), 0.0, 1.0);
+        let mut b = Matrix::zeros(n, k);
+        rng.fill_normal(b.as_mut_slice(), 0.0, 1.0);
+        let fused = a.matmul_nt(&b);
+        let naive = a.matmul(&b.transposed());
+        prop_assert_eq!(fused.rows(), naive.rows());
+        prop_assert_eq!(fused.cols(), naive.cols());
+        prop_assert_eq!(fused.as_slice(), naive.as_slice());
+    }
+
+    /// The fused single-pass min/max inside `quantize_int_asymmetric` derives
+    /// the same grid the two separate folds derived.
+    #[test]
+    fn single_pass_extrema_match_two_folds(
+        values in proptest::collection::vec(-7.0f32..13.0, 1..200),
+        bits in 2u8..=8,
+    ) {
+        let q = quantize_int_asymmetric(&values, bits);
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
+        let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max).max(0.0);
+        let qmax = ((1u32 << bits) - 1) as f32;
+        let range = hi - lo;
+        let scale = if range > 0.0 { range / qmax } else { 1.0 };
+        prop_assert_eq!(q.scale.to_bits(), scale.to_bits());
+        prop_assert_eq!(q.zero_point.to_bits(), (-lo / scale).round().to_bits());
+    }
+}

@@ -17,7 +17,7 @@
 
 use crate::codebook::Codebook;
 use crate::fp::MiniFloat;
-use serde::{Deserialize, Serialize};
+use serde::{from_map, Deserialize, Error, Serialize, Value};
 
 /// One of the four special values a BitMoD group may use.
 ///
@@ -140,10 +140,67 @@ pub fn basic_minifloat(bits: u8) -> MiniFloat {
 /// assert_eq!(specials, vec![-3.0, 3.0, -6.0, 6.0]);
 /// assert_eq!(fam.members().len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BitModFamily {
     bits: u8,
     specials: Vec<SpecialValue>,
+    /// Extended codebooks (basic grid + one special value), precomputed in
+    /// selector order so the per-group adaptive search (which visits every
+    /// candidate for every group of every tensor) never rebuilds and re-sorts
+    /// a grid.
+    extended: Vec<Codebook>,
+}
+
+// The extended-codebook table is derived state: serialization carries only
+// `bits` + `specials` (the pre-optimization wire format), and deserialization
+// revalidates both and rebuilds the table, so a hand-edited payload cannot
+// produce a family whose cached grids disagree with its special values.
+impl Serialize for BitModFamily {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("bits".to_string(), self.bits.to_value()),
+            ("specials".to_string(), self.specials.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BitModFamily {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let Value::Map(m) = v else {
+            return Err(Error::expected("map", "BitModFamily"));
+        };
+        let bits: u8 = from_map(m, "bits", "BitModFamily")?;
+        let specials: Vec<SpecialValue> = from_map(m, "specials", "BitModFamily")?;
+        if bits != 3 && bits != 4 {
+            return Err(Error::expected("3 or 4 bits", "BitModFamily"));
+        }
+        if specials.is_empty() || specials.len() > 4 {
+            return Err(Error::expected("1..=4 special values", "BitModFamily"));
+        }
+        if !specials.iter().all(|sv| sv.value.is_finite()) {
+            return Err(Error::expected("finite special values", "BitModFamily"));
+        }
+        // Selectors are the indices into the extended-codebook table; the
+        // constructor assigns them sequentially, so anything else in a
+        // payload would desynchronize selector-indexed lookups.
+        if !specials
+            .iter()
+            .enumerate()
+            .all(|(i, sv)| sv.selector as usize == i)
+        {
+            return Err(Error::expected("sequential selectors", "BitModFamily"));
+        }
+        let basic = basic_minifloat(bits).codebook();
+        let extended = specials
+            .iter()
+            .map(|sv| basic.with_value(sv.value))
+            .collect();
+        Ok(Self {
+            bits,
+            specials,
+            extended,
+        })
+    }
 }
 
 impl BitModFamily {
@@ -190,7 +247,7 @@ impl BitModFamily {
             "the 2-bit selector supports 1..=4 special values, got {}",
             values.len()
         );
-        let specials = values
+        let specials: Vec<SpecialValue> = values
             .iter()
             .enumerate()
             .map(|(i, &v)| SpecialValue {
@@ -198,7 +255,16 @@ impl BitModFamily {
                 selector: i as u8,
             })
             .collect();
-        Self { bits, specials }
+        let basic = basic_minifloat(bits).codebook();
+        let extended = specials
+            .iter()
+            .map(|sv| basic.with_value(sv.value))
+            .collect();
+        Self {
+            bits,
+            specials,
+            extended,
+        }
     }
 
     /// Precision in bits.
@@ -214,6 +280,22 @@ impl BitModFamily {
     /// The basic (unextended) value grid for this precision.
     pub fn basic_codebook(&self) -> Codebook {
         basic_minifloat(self.bits).codebook()
+    }
+
+    /// The precomputed extended codebooks (basic grid plus one special value),
+    /// in selector order.  This is the grid set Algorithm 1 scores per group;
+    /// borrowing it avoids a clone + re-sort per group per candidate.
+    pub fn extended_codebooks(&self) -> &[Codebook] {
+        &self.extended
+    }
+
+    /// The precomputed extended codebook for one selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selector` is out of range for this family.
+    pub fn extended_codebook(&self, selector: u8) -> &Codebook {
+        &self.extended[selector as usize]
     }
 
     /// All member data types (one per special value).
@@ -319,6 +401,50 @@ mod tests {
     #[should_panic(expected = "3 and 4 bits")]
     fn unsupported_precision_rejected() {
         let _ = BitModFamily::for_bits(5);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_extended_grids_and_validates() {
+        let fam = BitModFamily::fp4();
+        let back = BitModFamily::from_value(&fam.to_value()).expect("roundtrip");
+        assert_eq!(back, fam);
+        assert_eq!(back.extended_codebooks(), fam.extended_codebooks());
+        // Unsupported precisions error instead of panicking.
+        let bad = Value::Map(vec![
+            ("bits".to_string(), 5u8.to_value()),
+            (
+                "specials".to_string(),
+                fam.special_values().to_vec().to_value(),
+            ),
+        ]);
+        assert!(BitModFamily::from_value(&bad).is_err());
+        // Non-sequential selectors would desynchronize the selector-indexed
+        // extended-codebook lookups; they are rejected.
+        let swapped = Value::Map(vec![
+            ("bits".to_string(), 4u8.to_value()),
+            (
+                "specials".to_string(),
+                vec![SpecialValue {
+                    value: 2.0,
+                    selector: 3,
+                }]
+                .to_value(),
+            ),
+        ]);
+        assert!(BitModFamily::from_value(&swapped).is_err());
+    }
+
+    #[test]
+    fn precomputed_extended_codebooks_match_member_grids() {
+        for bits in [3u8, 4] {
+            let fam = BitModFamily::for_bits(bits);
+            let members = fam.members();
+            assert_eq!(fam.extended_codebooks().len(), members.len());
+            for (i, m) in members.iter().enumerate() {
+                assert_eq!(fam.extended_codebooks()[i], m.codebook(), "{}", m.name());
+                assert_eq!(fam.extended_codebook(i as u8), &m.codebook());
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,20 @@
 //! to the *nearest member of a value set* instead of rounding to an integer
 //! grid.  A [`Codebook`] is that value set plus the nearest-value lookup.
 
-use serde::{Deserialize, Serialize};
+use serde::{from_map, Deserialize, Error, Serialize, Value};
 
 /// A sorted set of representable values for non-linear quantization.
+///
+/// Construction precomputes a midpoint-threshold table (one threshold between
+/// each pair of adjacent values) and the absolute maximum, so the hot-path
+/// [`Codebook::quantize`] is a branch-light counting scan over the thresholds
+/// instead of a per-element binary search, and [`Codebook::absmax`] is a field
+/// read instead of a fold.  Midpoints are computed in `f64`, where the
+/// average of two `f32` values is exact — the tie rule ("half-way rounds
+/// toward the smaller value") is decided by real arithmetic, not by `f32`
+/// rounding of a distance comparison — and then stored as the equivalent
+/// `f32` comparison bound (see the `thresholds` field) so the scan itself
+/// runs entirely in single precision.
 ///
 /// # Example
 ///
@@ -19,11 +30,68 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cb.quantize(3.1), 4.0);
 /// assert_eq!(cb.absmax(), 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Codebook {
     name: String,
     /// Sorted ascending, deduplicated.
     values: Vec<f32>,
+    /// `thresholds[i]` decides between `values[i]` and `values[i+1]`: inputs
+    /// with `x > thresholds[i]` round up past level `i`.  Stored as the
+    /// largest `f32` not above the exact `f64` midpoint, which makes the
+    /// single-precision comparison `x > thresholds[i]` *exactly* equivalent
+    /// to comparing `x` against the infinitely precise midpoint (no `f32`
+    /// value lies strictly between the stored threshold and the true one).
+    thresholds: Vec<f32>,
+    /// Cached largest absolute representable value.
+    absmax: f32,
+}
+
+// The threshold table and cached absmax are derived state: serialization
+// carries only `name` + `values` (the pre-optimization wire format), and
+// deserialization routes through [`Codebook::new`] so the caches are always
+// rebuilt consistently and the constructor's invariants cannot be bypassed
+// by hand-edited payloads.
+impl Serialize for Codebook {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("values".to_string(), self.values.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Codebook {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let Value::Map(m) = v else {
+            return Err(Error::expected("map", "Codebook"));
+        };
+        let name: String = from_map(m, "name", "Codebook")?;
+        let values: Vec<f32> = from_map(m, "values", "Codebook")?;
+        if values.is_empty() {
+            return Err(Error::expected("at least one value", "Codebook"));
+        }
+        if !values.iter().all(|x| x.is_finite()) {
+            return Err(Error::expected("finite values", "Codebook"));
+        }
+        Ok(Codebook::new(name, values))
+    }
+}
+
+/// The largest `f32` that is `<=` the finite `f64` midpoint `t`.
+fn f32_at_or_below(t: f64) -> f32 {
+    let c = t as f32; // round-to-nearest
+    if (c as f64) <= t {
+        c
+    } else {
+        // Step one ULP toward negative infinity.
+        if c == 0.0 {
+            -f32::from_bits(1)
+        } else if c.is_sign_positive() {
+            f32::from_bits(c.to_bits() - 1)
+        } else {
+            f32::from_bits(c.to_bits() + 1)
+        }
+    }
 }
 
 impl Codebook {
@@ -44,9 +112,16 @@ impl Codebook {
         );
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
         values.dedup();
+        let thresholds = values
+            .windows(2)
+            .map(|w| f32_at_or_below((w[0] as f64 + w[1] as f64) * 0.5))
+            .collect();
+        let absmax = values.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
         Self {
             name: name.into(),
             values,
+            thresholds,
+            absmax,
         }
     }
 
@@ -82,7 +157,7 @@ impl Codebook {
     /// value (Section III-A: "the scaling factor and quantized values are
     /// ultimately determined by the absolute maximum value of a data type").
     pub fn absmax(&self) -> f32 {
-        self.values.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()))
+        self.absmax
     }
 
     /// Smallest representable value.
@@ -98,40 +173,50 @@ impl Codebook {
     /// Maps `x` to the nearest representable value (ties resolve toward the
     /// smaller value, matching a deterministic round-half-down on the level
     /// index; the choice is irrelevant for error statistics).
+    ///
+    /// Implemented as a branch-light count of midpoint thresholds strictly
+    /// below `x`: codebooks are small (≤ 2^bits entries), so a straight-line
+    /// counting scan beats a binary search and auto-vectorizes.  NaN inputs
+    /// compare false against every threshold and land on the smallest value,
+    /// preserving the historical NaN behaviour without a dedicated branch.
+    #[inline]
     pub fn quantize(&self, x: f32) -> f32 {
-        if x.is_nan() {
-            return self.values[0];
-        }
-        match self
-            .values
-            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
-        {
-            Ok(i) => self.values[i],
-            Err(i) => {
-                if i == 0 {
-                    self.values[0]
-                } else if i == self.values.len() {
-                    self.values[self.values.len() - 1]
-                } else {
-                    let lo = self.values[i - 1];
-                    let hi = self.values[i];
-                    if (x - lo) <= (hi - x) {
-                        lo
-                    } else {
-                        hi
-                    }
-                }
-            }
-        }
+        self.values[self.quantize_index(x)]
     }
 
     /// Maps `x` to the *index* of the nearest representable value.
+    #[inline]
     pub fn quantize_index(&self, x: f32) -> usize {
-        let q = self.quantize(x);
-        self.values
+        // NaN compares false against every threshold and lands on index 0,
+        // preserving the historical NaN behaviour without a branch.
+        self.thresholds
             .iter()
-            .position(|&v| v == q)
-            .expect("quantize returns a codebook member")
+            .map(|&t| usize::from(x > t))
+            .sum::<usize>()
+    }
+
+    /// Reference implementation of [`Codebook::quantize`]: a linear scan over
+    /// the values, picking the member with the smallest distance to `x`
+    /// (distances compared exactly in `f64`, ties toward the smaller value).
+    /// Retained so property tests can assert the threshold-table hot path is
+    /// bit-identical to the naive definition.
+    pub fn quantize_reference(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return self.values[0];
+        }
+        let xf = x as f64;
+        let mut best = self.values[0];
+        // `f64` differences between two `f32` values are exact, so this is the
+        // true nearest-member rule rather than an approximation of it.
+        let mut best_dist = (xf - best as f64).abs();
+        for &v in &self.values[1..] {
+            let d = (xf - v as f64).abs();
+            if d < best_dist {
+                best = v;
+                best_dist = d;
+            }
+        }
+        best
     }
 
     /// Quantizes a whole slice, returning the reconstructed values.
@@ -254,5 +339,44 @@ mod tests {
     fn nan_input_does_not_panic() {
         let cb = fp3();
         let _ = cb.quantize(f32::NAN);
+        assert_eq!(cb.quantize(f32::NAN), cb.quantize_reference(f32::NAN));
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_derived_state_and_rejects_bad_payloads() {
+        let cb = fp3();
+        let back = Codebook::from_value(&cb.to_value()).expect("roundtrip");
+        assert_eq!(back, cb);
+        // The wire format carries only name + values; caches are rebuilt.
+        let Value::Map(fields) = cb.to_value() else {
+            panic!("codebook serializes as a map");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["name", "values"]);
+        // Empty or non-finite value lists are rejected instead of panicking.
+        let bad = Value::Map(vec![
+            ("name".to_string(), "x".to_string().to_value()),
+            ("values".to_string(), Vec::<f32>::new().to_value()),
+        ]);
+        assert!(Codebook::from_value(&bad).is_err());
+    }
+
+    #[test]
+    fn threshold_lookup_matches_reference_on_dense_probes() {
+        let cb = fp3();
+        let mut x = -6.0f32;
+        while x <= 6.0 {
+            assert_eq!(
+                cb.quantize(x).to_bits(),
+                cb.quantize_reference(x).to_bits(),
+                "mismatch at {x}"
+            );
+            x += 0.01;
+        }
+        // Exact midpoints tie toward the smaller value in both paths.
+        assert_eq!(cb.quantize(0.5), 0.0);
+        assert_eq!(cb.quantize_reference(0.5), 0.0);
+        assert_eq!(cb.quantize(3.0), 2.0);
+        assert_eq!(cb.quantize_reference(3.0), 2.0);
     }
 }

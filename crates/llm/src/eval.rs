@@ -51,6 +51,16 @@ pub struct EvalHarness {
     /// Calibration activations captured from the reference model, one entry
     /// per decoder linear.
     pub calibration: Vec<(LinearId, Matrix)>,
+    /// Cached perplexity of the FP32 reference on both streams.  Every sweep
+    /// point of a model shares the harness, so the baseline is computed once
+    /// here instead of once per configuration.
+    fp16_ppl: PerplexityPair,
+    /// Cached greedy predictions of the reference on the wiki stream, for
+    /// [`EvalHarness::accuracy_percent`] (reference forwards are identical
+    /// across all configurations of a model).
+    wiki_reference_predictions: Vec<usize>,
+    /// Cached greedy predictions of the reference on the C4 stream.
+    c4_reference_predictions: Vec<usize>,
 }
 
 /// Length of each generated evaluation stream.
@@ -73,20 +83,30 @@ impl EvalHarness {
         let c4_stream = reference.generate(&[5, 7, 11], STREAM_LEN, 1.0, &mut rng);
         let calib_tokens: Vec<usize> = (0..CALIB_LEN).map(|_| rng.below(config.vocab)).collect();
         let (_, calibration) = reference.forward_with_capture(&calib_tokens);
+        let fp16_ppl = PerplexityPair {
+            wiki: reference.perplexity(&wiki_stream),
+            c4: reference.perplexity(&c4_stream),
+        };
+        let wiki_reference_predictions = reference.greedy_predictions(&wiki_stream);
+        let c4_reference_predictions = reference.greedy_predictions(&c4_stream);
         Self {
             model,
             reference,
             wiki_stream,
             c4_stream,
             calibration,
+            fp16_ppl,
+            wiki_reference_predictions,
+            c4_reference_predictions,
         }
     }
 
     /// Perplexity of the FP32 reference model (the tables' "FP16" row; the
     /// difference between FP32 and FP16 weights is far below the proxy's
-    /// resolution).
+    /// resolution).  Computed once at harness construction; this is a cached
+    /// read.
     pub fn fp16_perplexity(&self) -> PerplexityPair {
-        self.evaluate_model(&self.reference)
+        self.fp16_ppl
     }
 
     /// Perplexity of an arbitrary (typically quantized) proxy model.
@@ -104,11 +124,12 @@ impl EvalHarness {
     }
 
     /// Proxy accuracy (percent) of a model: argmax agreement with the FP32
-    /// reference over both streams.
+    /// reference over both streams.  The reference side is served from the
+    /// predictions cached at construction, so only `model`'s forwards run.
     pub fn accuracy_percent(&self, model: &ProxyTransformer) -> f64 {
-        let a = model.argmax_agreement(&self.reference, &self.wiki_stream);
-        let b = model.argmax_agreement(&self.reference, &self.c4_stream);
-        50.0 * (a + b) * 2.0 / 2.0
+        let a = model.argmax_agreement_with(&self.wiki_reference_predictions, &self.wiki_stream);
+        let b = model.argmax_agreement_with(&self.c4_reference_predictions, &self.c4_stream);
+        50.0 * (a + b)
     }
 
     /// Quantizes with `cfg` and reports the proxy accuracy (percent).

@@ -6,8 +6,11 @@
 //! weights.  The search is embarrassingly parallel across groups (the paper
 //! vectorizes it on a GPU; here rayon parallelizes across rows).
 
-use crate::slice::{quantize_codebook, SliceQuant};
+use crate::slice::{
+    codebook_mse, codebook_mse_pruned, codebook_scale, quantize_codebook, SliceQuant,
+};
 use bitmod_dtypes::bitmod::{BitModFamily, SpecialValue};
+use bitmod_tensor::stats;
 use serde::{Deserialize, Serialize};
 
 /// The result of adaptively quantizing one weight group.
@@ -22,10 +25,41 @@ pub struct AdaptiveGroupQuant {
 /// Quantizes a single weight group with the error-minimizing special value
 /// (Algorithm 1, lines 4–12).
 ///
-/// For each allowed special value the basic grid is extended with that value,
-/// non-linear quantization is applied with absmax scaling, and the candidate
-/// with the lowest MSE wins.
+/// For each allowed special value the basic grid extended with that value
+/// (precomputed once per family, not rebuilt per group) is scored by an
+/// allocation-free MSE scan over the group; only the winning candidate is
+/// actually reconstructed.  The slice absmax is computed once and shared by
+/// all candidates, and a candidate's scan is abandoned as soon as its partial
+/// error provably exceeds the best so far (the selection is nevertheless
+/// identical to scoring every candidate in full — see
+/// [`codebook_mse_pruned`]).
 pub fn adaptive_quantize_group(values: &[f32], family: &BitModFamily) -> AdaptiveGroupQuant {
+    let absmax = stats::absmax(values);
+    let candidates = family.extended_codebooks();
+    let mut best_idx = 0usize;
+    let mut best_mse = f64::INFINITY;
+    for (i, codebook) in candidates.iter().enumerate() {
+        let mse = codebook_mse_pruned(values, codebook, codebook_scale(absmax, codebook), best_mse);
+        if mse < best_mse {
+            best_mse = mse;
+            best_idx = i;
+        }
+    }
+    AdaptiveGroupQuant {
+        quant: quantize_codebook(values, &candidates[best_idx]),
+        special: family.special_values()[best_idx],
+    }
+}
+
+/// Reference implementation of [`adaptive_quantize_group`]: extends the basic
+/// grid per candidate and fully reconstructs every candidate, exactly as the
+/// paper's Algorithm 1 pseudocode reads.  Retained so property tests can
+/// assert the optimized search selects the same special value and produces a
+/// bit-identical reconstruction.
+pub fn adaptive_quantize_group_reference(
+    values: &[f32],
+    family: &BitModFamily,
+) -> AdaptiveGroupQuant {
     let basic = family.basic_codebook();
     let mut best: Option<AdaptiveGroupQuant> = None;
     for &sv in family.special_values() {
@@ -60,9 +94,25 @@ pub fn adaptive_quantize_slice(
 /// Per-group quantization error of a *fixed* extended data type (basic grid
 /// plus one specific special value), used by the Fig. 3 / Table VIII ablation
 /// where no per-group adaptation is allowed.
+///
+/// When `special` is one of the family's own special values the precomputed
+/// extended codebook is borrowed; either way the error comes from the
+/// allocation-free MSE scan, never a materialized reconstruction.
 pub fn fixed_special_value_mse(values: &[f32], family: &BitModFamily, special: f32) -> f64 {
-    let codebook = family.basic_codebook().with_value(special);
-    quantize_codebook(values, &codebook).mse
+    let owned;
+    let codebook = match family
+        .special_values()
+        .iter()
+        .position(|sv| sv.value == special)
+    {
+        Some(i) => &family.extended_codebooks()[i],
+        None => {
+            owned = family.basic_codebook().with_value(special);
+            &owned
+        }
+    };
+    let scale = codebook_scale(stats::absmax(values), codebook);
+    codebook_mse(values, codebook, scale)
 }
 
 #[cfg(test)]

@@ -98,7 +98,7 @@ pub fn awq_quantize(weights: &Matrix, activations: &Matrix, cfg: &QuantConfig) -
 
 /// `X · Wᵀ` — the linear layer output used as the calibration objective.
 fn layer_output(activations: &Matrix, weights: &Matrix) -> Matrix {
-    activations.matmul(&weights.transposed())
+    activations.matmul_nt(weights)
 }
 
 /// Normalizes the raw activation scales into quantization scales
@@ -175,8 +175,8 @@ mod tests {
         // α = 0 is in the grid and equals plain quantization, so the winner's
         // output error is at most the plain error.
         let plain = quantize_matrix(&w, &cfg);
-        let ref_out = x.matmul(&w.transposed());
-        let plain_out = x.matmul(&plain.reconstructed.transposed());
+        let ref_out = x.matmul_nt(&w);
+        let plain_out = x.matmul_nt(&plain.reconstructed);
         let plain_mse = stats::mse(ref_out.as_slice(), plain_out.as_slice());
         assert!(awq.output_mse <= plain_mse + 1e-12);
     }
@@ -213,11 +213,11 @@ mod tests {
             let awq_bm = awq_quantize(&w, &x, &bm_cfg);
             let plain_bm = quantize_matrix(&w, &bm_cfg);
             let plain_int = quantize_matrix(&w, &int_cfg);
-            let reference = x.matmul(&w.transposed());
+            let reference = x.matmul_nt(&w);
             let out = |q: &QuantizedMatrix| {
                 stats::mse(
                     reference.as_slice(),
-                    x.matmul(&q.reconstructed.transposed()).as_slice(),
+                    x.matmul_nt(&q.reconstructed).as_slice(),
                 )
             };
             assert!(

@@ -91,19 +91,20 @@ pub fn quantize_matrix(w: &Matrix, cfg: &QuantConfig) -> QuantizedMatrix {
 fn quantize_sliced(w: &Matrix, cfg: &QuantConfig) -> (Matrix, Vec<u8>, Vec<f32>) {
     match cfg.granularity {
         Granularity::PerTensor => {
-            let (rec, sel, scales) = quantize_slice_set(&[w.as_slice().to_vec()], cfg);
+            let (rec, sel, scales) = quantize_slice_set(&[w.as_slice()], cfg);
             let rec_matrix = Matrix::from_vec(w.rows(), w.cols(), rec.into_iter().next().unwrap());
             (rec_matrix, sel, scales)
         }
         Granularity::PerChannel | Granularity::PerGroup(_) => {
             let group = cfg.granularity.group_size_or(w.cols());
             // Process rows in parallel; each row produces its reconstruction,
-            // selectors and scales.
+            // selectors and scales.  Groups are borrowed straight out of the
+            // row — no per-group copies.
             let per_row: Vec<(Vec<f32>, Vec<u8>, Vec<f32>)> = (0..w.rows())
                 .into_par_iter()
                 .map(|r| {
                     let row = w.row(r);
-                    let slices: Vec<Vec<f32>> = row.chunks(group).map(|c| c.to_vec()).collect();
+                    let slices: Vec<&[f32]> = row.chunks(group).collect();
                     let (recs, sels, scales) = quantize_slice_set(&slices, cfg);
                     (recs.concat(), sels, scales)
                 })
@@ -124,18 +125,19 @@ fn quantize_sliced(w: &Matrix, cfg: &QuantConfig) -> (Matrix, Vec<u8>, Vec<f32>)
 /// Quantizes a set of slices that share a second-level scale-quantization
 /// domain (i.e. the groups of one channel).  Returns per-slice
 /// reconstructions, BitMoD selectors and final scales.
-fn quantize_slice_set(
-    slices: &[Vec<f32>],
-    cfg: &QuantConfig,
-) -> (Vec<Vec<f32>>, Vec<u8>, Vec<f32>) {
+fn quantize_slice_set(slices: &[&[f32]], cfg: &QuantConfig) -> (Vec<Vec<f32>>, Vec<u8>, Vec<f32>) {
+    use std::borrow::Cow;
+
     // First pass: quantize each slice with its natural (FP32) scale.
     let mut recs: Vec<Vec<f32>> = Vec::with_capacity(slices.len());
     let mut selectors: Vec<u8> = Vec::new();
     let mut nat_scales: Vec<f32> = Vec::with_capacity(slices.len());
-    // Remember per-slice codebooks for the re-scale pass.
-    let mut codebooks: Vec<Option<bitmod_dtypes::Codebook>> = Vec::with_capacity(slices.len());
+    // Remember per-slice codebooks for the re-scale pass; borrowed from the
+    // config (Fixed) or the precomputed family grids (BitMoD) where possible.
+    let mut codebooks: Vec<Option<Cow<'_, bitmod_dtypes::Codebook>>> =
+        Vec::with_capacity(slices.len());
 
-    for slice in slices {
+    for &slice in slices {
         match &cfg.method {
             QuantMethod::IntSym { bits } => {
                 let q = quantize_int_symmetric(slice, *bits);
@@ -153,21 +155,23 @@ fn quantize_slice_set(
                 let q = quantize_codebook(slice, codebook);
                 nat_scales.push(q.scale);
                 recs.push(q.reconstructed);
-                codebooks.push(Some(codebook.clone()));
+                codebooks.push(Some(Cow::Borrowed(codebook)));
             }
             QuantMethod::BitMod { family } => {
                 let g = adaptive_quantize_group(slice, family);
                 nat_scales.push(g.quant.scale);
                 recs.push(g.quant.reconstructed);
                 selectors.push(g.special.selector);
-                codebooks.push(Some(family.basic_codebook().with_value(g.special.value)));
+                codebooks.push(Some(Cow::Borrowed(
+                    family.extended_codebook(g.special.selector),
+                )));
             }
             QuantMethod::Ant { bits } => {
                 let (best, _) = bitmod_dtypes::ant::select_best(slice, *bits);
                 let q = quantize_codebook(slice, &best);
                 nat_scales.push(q.scale);
                 recs.push(q.reconstructed);
-                codebooks.push(Some(best));
+                codebooks.push(Some(Cow::Owned(best)));
             }
             QuantMethod::Olive { bits } => {
                 let (rec, scale) = quantize_olive_slice(slice, *bits);

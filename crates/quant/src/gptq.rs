@@ -98,8 +98,8 @@ pub fn gptq_quantize(
     }
 
     let weight_mse = stats::mse(weights.as_slice(), w.as_slice());
-    let reference = activations.matmul(&weights.transposed());
-    let out = activations.matmul(&w.transposed());
+    let reference = activations.matmul_nt(weights);
+    let out = activations.matmul_nt(&w);
     let output_mse = stats::mse(reference.as_slice(), out.as_slice());
     GptqResult {
         reconstructed: w,
@@ -334,8 +334,8 @@ mod tests {
         let method = QuantMethod::IntAsym { bits: 3 };
         let gptq = gptq_quantize(&w, &x, &method, 128);
         let rtn = quantize_matrix(&w, &QuantConfig::new(method, Granularity::PerGroup(128)));
-        let reference = x.matmul(&w.transposed());
-        let rtn_out = x.matmul(&rtn.reconstructed.transposed());
+        let reference = x.matmul_nt(&w);
+        let rtn_out = x.matmul_nt(&rtn.reconstructed);
         let rtn_mse = stats::mse(reference.as_slice(), rtn_out.as_slice());
         assert!(
             gptq.output_mse < rtn_mse,

@@ -54,7 +54,7 @@ pub fn attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Matrix {
     assert_eq!(q.cols(), k.cols(), "Q/K head dimensions differ");
     assert_eq!(k.rows(), v.rows(), "K/V token counts differ");
     let d = q.cols() as f64;
-    let scores = q.matmul(&k.transposed());
+    let scores = q.matmul_nt(k);
     let mut probs = Matrix::zeros(scores.rows(), scores.cols());
     for r in 0..scores.rows() {
         let row = scores.row(r);

@@ -67,16 +67,14 @@ pub fn quantize_int_asymmetric(values: &[f32], bits: u8) -> SliceQuant {
             mse: 0.0,
         };
     }
-    let lo = values
+    // Single fused pass over the slice for both extrema (previously two
+    // separate folds); the grid must always contain zero (Eq. 2).
+    let (lo, hi) = values
         .iter()
-        .copied()
-        .fold(f32::INFINITY, f32::min)
-        .min(0.0);
-    let hi = values
-        .iter()
-        .copied()
-        .fold(f32::NEG_INFINITY, f32::max)
-        .max(0.0);
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
+    let (lo, hi) = (lo.min(0.0), hi.max(0.0));
     let range = hi - lo;
     let scale = if range > 0.0 { range / qmax } else { 1.0 };
     let zero_point = (-lo / scale).round();
@@ -102,12 +100,7 @@ pub fn quantize_int_asymmetric(values: &[f32], bits: u8) -> SliceQuant {
 /// value, and multiplied back.
 pub fn quantize_codebook(values: &[f32], codebook: &Codebook) -> SliceQuant {
     let absmax = stats::absmax(values);
-    let cb_max = codebook.absmax();
-    let scale = if absmax > 0.0 && cb_max > 0.0 {
-        absmax / cb_max
-    } else {
-        1.0
-    };
+    let scale = codebook_scale(absmax, codebook);
     let reconstructed: Vec<f32> = values
         .iter()
         .map(|&x| codebook.quantize(x / scale) * scale)
@@ -118,6 +111,95 @@ pub fn quantize_codebook(values: &[f32], codebook: &Codebook) -> SliceQuant {
         scale,
         zero_point: 0.0,
         mse,
+    }
+}
+
+/// Stack-buffer chunk width of the allocation-free MSE scans.  A quarter of
+/// the paper's default group size, so the early-exit bound of
+/// [`codebook_mse_pruned`] gets four chances to abandon a losing candidate
+/// within a typical group while each chunk stays long enough to pipeline
+/// well.
+const MSE_CHUNK: usize = 32;
+
+/// Mean-square error of quantizing `values` with `codebook` at an explicit
+/// `scale`, computed allocation-free over a reusable stack chunk.
+///
+/// Bit-identical to `quantize_codebook_with_scale(values, codebook, scale).mse`:
+/// the reconstruction pass and the error-accumulation pass are kept separate
+/// (reconstructing into a stack buffer chunk by chunk) so each pass pipelines
+/// as well as the allocating two-pass original, and the `f64` error sum visits
+/// elements in the same sequential order — while never touching the heap.
+pub fn codebook_mse(values: &[f32], codebook: &Codebook, scale: f32) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    codebook_sse_bounded(values, codebook, scale, f64::INFINITY) / values.len() as f64
+}
+
+/// Sum of squared quantization errors with monotone early exit: scans
+/// chunk-by-chunk and returns the partial sum as soon as it strictly exceeds
+/// `bound` (the partial sum is a lower bound on the full sum, so any return
+/// value `> bound` certifies the full sum is too).  Pass `f64::INFINITY` for
+/// an exact full scan.
+fn codebook_sse_bounded(values: &[f32], codebook: &Codebook, scale: f32, bound: f64) -> f64 {
+    let mut err = 0.0f64;
+    let mut buf = [0.0f32; MSE_CHUNK];
+    for chunk in values.chunks(MSE_CHUNK) {
+        let rec = &mut buf[..chunk.len()];
+        if scale > 0.0 {
+            for (r, &x) in rec.iter_mut().zip(chunk) {
+                *r = codebook.quantize(x / scale) * scale;
+            }
+        } else {
+            rec.fill(0.0);
+        }
+        for (&x, &r) in chunk.iter().zip(rec.iter()) {
+            let d = x as f64 - r as f64;
+            err += d * d;
+        }
+        if err > bound {
+            return err;
+        }
+    }
+    err
+}
+
+/// Mean-square error like [`codebook_mse`], but abandons the scan as soon as
+/// the error provably exceeds `best_mse` (the caller's best candidate so
+/// far), returning `f64::INFINITY` in that case.  The adaptive special-value
+/// search uses this to prune losing candidates: the squared-error sum grows
+/// monotonically, so a partial sum past the bound settles the comparison.
+///
+/// The bound carries a tiny relative safety margin (orders of magnitude above
+/// the 2-ulp rounding of the `·n` / `/n` conversions), so a candidate that
+/// could still win the rounded `mse < best_mse` comparison is never pruned —
+/// any non-infinite return is the exact [`codebook_mse`] value, which keeps
+/// the pruned search's selections identical to an unpruned one.
+pub fn codebook_mse_pruned(values: &[f32], codebook: &Codebook, scale: f32, best_mse: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let bound = best_mse * n * (1.0 + 1e-12);
+    let sse = codebook_sse_bounded(values, codebook, scale, bound);
+    if sse > bound {
+        f64::INFINITY
+    } else {
+        sse / n
+    }
+}
+
+/// The absmax-calibrated scale [`quantize_codebook`] uses: the slice's
+/// absolute maximum mapped onto the codebook's largest magnitude (1.0 when
+/// either is zero).  Exposed so callers that already know the slice absmax
+/// (e.g. the adaptive search scoring several codebooks over one group) can
+/// derive each candidate's scale without rescanning the slice.
+pub fn codebook_scale(absmax: f32, codebook: &Codebook) -> f32 {
+    let cb_max = codebook.absmax();
+    if absmax > 0.0 && cb_max > 0.0 {
+        absmax / cb_max
+    } else {
+        1.0
     }
 }
 

@@ -103,9 +103,9 @@ pub fn smoothquant_quantize(
     // Output error against the un-smoothed FP32 reference. Smoothing is
     // mathematically transparent (X/s · (W·s)ᵀ == X · Wᵀ), so any error comes
     // from quantization alone.
-    let reference = activations.matmul(&weights.transposed());
+    let reference = activations.matmul_nt(weights);
     let x_eval = x_used.as_ref().unwrap_or(&x_smooth);
-    let out = x_eval.matmul(&quantized_weights.reconstructed.transposed());
+    let out = x_eval.matmul_nt(&quantized_weights.reconstructed);
     let output_mse = stats::mse(reference.as_slice(), out.as_slice());
 
     SmoothQuantResult {
@@ -145,8 +145,8 @@ mod tests {
             w2.scale_col(c, f);
             x2.scale_col(c, 1.0 / f);
         }
-        let a = x.matmul(&w.transposed());
-        let b = x2.matmul(&w2.transposed());
+        let a = x.matmul_nt(&w);
+        let b = x2.matmul_nt(&w2);
         let rel =
             stats::mse(a.as_slice(), b.as_slice()) / stats::mse(a.as_slice(), &vec![0.0; a.len()]);
         assert!(rel < 1e-9, "smoothing changed the output: rel {rel}");
@@ -203,10 +203,10 @@ mod tests {
                     .output_mse;
             let plain_int =
                 quantize_matrix(&w, &QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, g));
-            let reference = x.matmul(&w.transposed());
+            let reference = x.matmul_nt(&w);
             let int3_unsmoothed = stats::mse(
                 reference.as_slice(),
-                x.matmul(&plain_int.reconstructed.transposed()).as_slice(),
+                x.matmul_nt(&plain_int.reconstructed).as_slice(),
             );
             assert!(
                 bm3 < int3_unsmoothed,

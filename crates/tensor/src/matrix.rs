@@ -9,6 +9,12 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Panel width of the fused [`Matrix::matmul_nt`] kernel: how many rows of
+/// the transposed operand are interleaved and advanced together.  Eight
+/// independent `f32` accumulators fill a 256-bit SIMD register and hide
+/// FMA latency without spilling.
+const NT_PANEL: usize = 8;
+
 /// A dense, row-major matrix of `f32` values.
 ///
 /// Rows correspond to output channels of a weight tensor (`K` in the paper's
@@ -280,6 +286,114 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Fused multiply against a transposed right-hand side:
+    /// `self (m×k) * rhsᵀ where rhs is (n×k) -> (m×n)`.
+    ///
+    /// Produces the same result as `self.matmul(&rhs.transposed())` without
+    /// ever materializing an `n×k` transposed copy.  The kernel tiles `rhs`
+    /// into eight-row *panels* (`NT_PANEL`) interleaved into one small reusable
+    /// buffer (`k × NT_PANEL`, L1-resident), so the inner loop reads one
+    /// contiguous lane group per `k` step and advances all panel outputs with
+    /// independent accumulators — SIMD-friendly across the panel, while each
+    /// output element still accumulates its products in ascending-`k` order,
+    /// exactly like `matmul`, keeping the two kernels' results equal.
+    ///
+    /// Weight matrices in this workspace are stored `out_features ×
+    /// in_features`, which is exactly the `rhs` layout this kernel wants, so
+    /// every projection in a proxy forward pass hits this path with zero
+    /// per-call layout shuffling.  Large products split the `self` rows into
+    /// contiguous blocks across rayon workers, one panel buffer per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions (`self.cols` vs `rhs.cols`) differ.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        // Row-block parallelism only when the product is big enough to
+        // amortize the scheduler (and the per-block panel re-interleave);
+        // small products and nested parallel regions run inline.
+        const PAR_MIN_FLOPS: usize = 1 << 21;
+        const ROW_BLOCK: usize = 16;
+        let par = m > ROW_BLOCK
+            && m.saturating_mul(n).saturating_mul(self.cols) >= PAR_MIN_FLOPS
+            && rayon::current_num_threads() > 1;
+        if par {
+            use rayon::prelude::*;
+            let block_count = m.div_ceil(ROW_BLOCK);
+            let blocks: Vec<Vec<f32>> = (0..block_count)
+                .into_par_iter()
+                .map(|b| {
+                    let lo = b * ROW_BLOCK;
+                    let hi = ((b + 1) * ROW_BLOCK).min(m);
+                    let a_block = &self.data[lo * self.cols..hi * self.cols];
+                    let mut out_block = vec![0.0f32; (hi - lo) * n];
+                    Self::matmul_nt_block(a_block, self.cols, rhs, &mut out_block);
+                    out_block
+                })
+                .collect();
+            for (b, block) in blocks.into_iter().enumerate() {
+                let lo = b * ROW_BLOCK;
+                out.data[lo * n..lo * n + block.len()].copy_from_slice(&block);
+            }
+        } else {
+            Self::matmul_nt_block(&self.data, self.cols, rhs, &mut out.data);
+        }
+        out
+    }
+
+    /// Multiplies a block of `a` rows (flat, `k`-wide) against `rhsᵀ` into
+    /// `out` (flat, `rhs.rows`-wide rows).  For every eight-row (`NT_PANEL`)
+    /// panel of `rhs` rows, the panel is interleaved once into a lane-major scratch
+    /// buffer and then streamed against every `a` row of the block.
+    fn matmul_nt_block(a: &[f32], k: usize, rhs: &Matrix, out: &mut [f32]) {
+        const NB: usize = NT_PANEL;
+        let n = rhs.rows;
+        let mut panel = vec![0.0f32; k * NB];
+        let mut j0 = 0;
+        while j0 < n {
+            let nb = (n - j0).min(NB);
+            // Interleave: panel[i*nb + l] = rhs[j0 + l][i].  One strided pass
+            // per panel, reused by every row of the block.
+            for l in 0..nb {
+                let b_row = rhs.row(j0 + l);
+                for (i, &v) in b_row.iter().enumerate() {
+                    panel[i * nb + l] = v;
+                }
+            }
+            for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+                let out_lanes = &mut out_row[j0..j0 + nb];
+                if nb == NB {
+                    // Full panel: fixed-width lane loop the compiler can
+                    // vectorize; each lane's accumulator still sums its
+                    // products in ascending-k order.
+                    let mut acc = [0.0f32; NB];
+                    for (&ai, lanes) in a_row.iter().zip(panel.chunks_exact(NB)) {
+                        for (l, acc_l) in acc.iter_mut().enumerate() {
+                            *acc_l += ai * lanes[l];
+                        }
+                    }
+                    out_lanes.copy_from_slice(&acc);
+                } else {
+                    // Ragged tail panel (fewer than NB lanes).
+                    let mut acc = [0.0f32; NB];
+                    for (&ai, lanes) in a_row.iter().zip(panel.chunks_exact(nb)) {
+                        for l in 0..nb {
+                            acc[l] += ai * lanes[l];
+                        }
+                    }
+                    out_lanes.copy_from_slice(&acc[..nb]);
+                }
+            }
+            j0 += nb;
+        }
     }
 
     /// Matrix–vector product `self (m×k) * v (k) -> (m)`.

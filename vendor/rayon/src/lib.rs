@@ -4,8 +4,11 @@
 //! `par_iter()` / `into_par_iter()` producing a [`ParIter`] whose adapters
 //! (`map`, `filter`, `for_each`, …) run eagerly across OS threads via
 //! `std::thread::scope`, preserving input order.  Unlike real rayon there is
-//! no work-stealing pool: each adapter call splits the items into one
-//! contiguous chunk per available core.
+//! no work-stealing between started tasks, but scheduling is *dynamic*: the
+//! items are pre-split into several small blocks per worker and an atomic
+//! counter hands the next unclaimed block to whichever worker finishes first,
+//! so uneven per-item costs (e.g. ragged quantization rows) no longer
+//! serialize on the slowest contiguous chunk.
 //!
 //! Thread count comes from `std::thread::available_parallelism`, overridable
 //! with the familiar `RAYON_NUM_THREADS` environment variable.
@@ -191,17 +194,26 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 static ACTIVE_PARALLEL_REGIONS: std::sync::atomic::AtomicUsize =
     std::sync::atomic::AtomicUsize::new(0);
 
-/// Ordered parallel map: splits `items` into one contiguous chunk per
-/// thread, processes the chunks on scoped threads, and re-concatenates the
-/// results in input order.  Nested calls run sequentially (see
-/// [`ACTIVE_PARALLEL_REGIONS`]).
+/// Number of work blocks handed out per worker thread.  More blocks give the
+/// dynamic scheduler finer grain to balance uneven per-item costs; each block
+/// claim is one atomic increment plus one uncontended mutex lock, so the
+/// overhead stays negligible at this granularity.
+const BLOCKS_PER_THREAD: usize = 8;
+
+/// Ordered parallel map with dynamic scheduling: the items are pre-split into
+/// `BLOCKS_PER_THREAD ×` threads contiguous blocks, and every worker claims
+/// the next unprocessed block off a shared atomic counter until none remain —
+/// a worker that drew cheap items simply claims more blocks instead of going
+/// idle behind a slow static chunk.  Results are reassembled in input order.
+/// Nested calls run sequentially (see [`ACTIVE_PARALLEL_REGIONS`]).
 fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    use std::sync::atomic::Ordering;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     let n = items.len();
     let threads = current_num_threads().min(n).max(1);
@@ -209,24 +221,44 @@ where
         return items.into_iter().map(f).collect();
     }
     ACTIVE_PARALLEL_REGIONS.fetch_add(1, Ordering::AcqRel);
-    // Split into `threads` contiguous chunks of near-equal size.
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    // Pre-split into many small blocks (near-equal sizes, input order).
+    let block_count = (threads * BLOCKS_PER_THREAD).min(n);
+    let block_len = n.div_ceil(block_count);
+    let mut blocks: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(block_count);
     let mut items = items;
     while !items.is_empty() {
-        let rest = items.split_off(items.len().min(chunk));
-        chunks.push(std::mem::replace(&mut items, rest));
+        let rest = items.split_off(items.len().min(block_len));
+        blocks.push(Mutex::new(Some(std::mem::replace(&mut items, rest))));
     }
-    let result = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("rayon shim: worker thread panicked"))
-            .collect()
+    let outputs: Vec<Mutex<Option<Vec<R>>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
+    let next_block = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let b = next_block.fetch_add(1, Ordering::Relaxed);
+                if b >= blocks.len() {
+                    break;
+                }
+                let block = blocks[b]
+                    .lock()
+                    .expect("rayon shim: block mutex poisoned")
+                    .take()
+                    .expect("rayon shim: block claimed twice");
+                let mapped: Vec<R> = block.into_iter().map(f).collect();
+                *outputs[b]
+                    .lock()
+                    .expect("rayon shim: output mutex poisoned") = Some(mapped);
+            });
+        }
     });
+    let result = outputs
+        .into_iter()
+        .flat_map(|m| {
+            m.into_inner()
+                .expect("rayon shim: output mutex poisoned")
+                .expect("rayon shim: worker thread panicked")
+        })
+        .collect();
     ACTIVE_PARALLEL_REGIONS.fetch_sub(1, Ordering::AcqRel);
     result
 }
@@ -270,6 +302,22 @@ mod tests {
             .map(|i| (0..100usize).into_par_iter().map(|j| i * j).sum::<usize>())
             .collect();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i * 4950));
+    }
+
+    #[test]
+    fn dynamic_scheduling_preserves_order_under_uneven_costs() {
+        // Items whose cost varies by ~1000×: a static per-thread split would
+        // still be correct, but this pins the dynamic scheduler's ordering.
+        let out: Vec<u64> = (0..400u64)
+            .into_par_iter()
+            .map(|i| {
+                if i % 89 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                }
+                i * 3
+            })
+            .collect();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
     }
 
     #[test]
