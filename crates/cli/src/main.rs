@@ -2,151 +2,79 @@
 //!
 //! * `sweep`  — rayon-parallel configuration sweeps (models × dtypes × bits ×
 //!   granularities) writing JSON/CSV reports;
-//! * `report` — post-process a sweep JSON: summary table, CSV export, Pareto
-//!   frontier;
+//! * `report` — post-process a sweep JSON (summary table, CSV export, Pareto
+//!   frontier) or merge `worker` shard outputs into one report;
+//! * `serve`  — the long-running sweep daemon: line-JSON protocol over
+//!   stdin/stdout or TCP, job dedup/result cache, batched harness reuse;
+//! * `submit` / `status` — clients for a running daemon;
+//! * `worker` — run one deterministic `k/n` shard of a sweep;
 //! * `repro`  — rerun any of the 17 table/figure reproductions of the paper;
 //! * `bench`  — time the default sweep grid and hot-path micro-benchmarks,
 //!   appending to the `BENCH_sweep.json` perf history.
 //!
-//! See `docs/SWEEPS.md` for the report schema and worked examples, and
-//! `docs/PERFORMANCE.md` for the hot-path inventory and bench workflow.
+//! See `docs/SWEEPS.md` for the report schema, `docs/SERVING.md` for the
+//! daemon protocol, `docs/ARCHITECTURE.md` for the crate map, and
+//! `docs/PERFORMANCE.md` for the bench workflow.  The command surface —
+//! help text plus accepted flags — lives in [`spec`], which the tests audit
+//! against the parser so the two cannot drift.
 
 mod args;
 mod bench;
+mod client;
+mod spec;
 
 use args::Flags;
-use bitmod::llm::config::LlmModel;
-use bitmod::llm::proxy::ProxyConfig;
-use bitmod::prelude::AcceleratorKind;
-use bitmod::sweep::{parse_granularity, SweepConfig, SweepDtype, SweepReport};
+use bitmod::shard::{merge_shards, run_shard, ShardReport, ShardSpec};
+use bitmod::sweep::{GridSpec, SweepConfig, SweepReport};
+use bitmod_server::engine::{EngineConfig, ServeEngine};
+use bitmod_server::proto;
+use serde::Value;
+use spec::CommandSpec;
 use std::process::ExitCode;
-
-const ROOT_HELP: &str = "\
-bitmod-cli — BitMoD (HPCA 2025) reproduction driver
-
-USAGE:
-    bitmod-cli <COMMAND> [OPTIONS]
-
-COMMANDS:
-    sweep     Run a parallel quantization/accelerator sweep and write a JSON report
-    report    Summarize a sweep JSON report (table, CSV, Pareto frontier)
-    repro     Reproduce one of the paper's tables or figures
-    bench     Time the default sweep grid and append to the perf history JSON
-    help      Show this message, or `help <command>` for command details
-
-Run `bitmod-cli <command> --help` for per-command options.";
-
-const SWEEP_HELP: &str = "\
-bitmod-cli sweep — run a parallel configuration sweep
-
-Fans Pipeline runs out across models × dtypes × bits × granularities with
-rayon, building one evaluation harness per model and sharing it across that
-model's grid points.
-
-USAGE:
-    bitmod-cli sweep --models <a,b,..> --bits <n,n,..> [OPTIONS]
-
-OPTIONS:
-    --models <list>         Comma-separated models: opt-1.3b, phi-2, yi-6b,
-                            llama2-7b, llama2-13b, llama3-8b (spellings are
-                            forgiving; `--models all` sweeps all six)
-    --bits <list>           Comma-separated weight bit widths, e.g. 3,4
-    --dtypes <list>         Data types to sweep [default: bitmod,int-asym]
-                            (choices: bitmod, int-asym, int-sym, ant, olive,
-                            mx, fp16)
-    --granularities <list>  Granularities: tensor, channel, or group size
-                            such as 128 / g64 [default: 128]
-    --proxy <size>          Proxy model size: standard | tiny [default: standard]
-    --accelerator <kind>    Simulated accelerator: lossy | lossless
-                            [default: lossy]
-    --seed <n>              Synthesis/evaluation seed [default: 42]
-    --out <path>            JSON report path [default: bitmod-sweep.json]
-    --csv <path>            Also write a CSV of the records
-    --quiet                 Suppress the stdout summary table
-    --help                  Show this message
-
-EXAMPLE:
-    bitmod-cli sweep --models llama2-7b,phi-2 --bits 3,4 \\
-        --dtypes bitmod,int-asym,ant --out sweep.json --csv sweep.csv";
-
-const REPORT_HELP: &str = "\
-bitmod-cli report — summarize a sweep JSON report
-
-USAGE:
-    bitmod-cli report <sweep.json> [OPTIONS]
-
-OPTIONS:
-    --pareto        Print only the perplexity/effective-bits Pareto frontier
-                    (the fig09 view)
-    --csv <path>    Export the records as CSV
-    --top <n>       Show only the first n rows of the table
-    --help          Show this message
-
-EXAMPLE:
-    bitmod-cli report bitmod-sweep.json --pareto";
-
-const REPRO_HELP: &str = "\
-bitmod-cli repro — reproduce a table or figure of the paper
-
-USAGE:
-    bitmod-cli repro <name>     Run one reproduction (table06, fig9, ...)
-    bitmod-cli repro all        Run every reproduction, in paper order
-    bitmod-cli repro --list     List all reproductions
-
-Names are forgiving: table6 == table06 == table06_main_ppl.
-Set BITMOD_RESULTS_DIR=<dir> to also dump each experiment's raw numbers as
-JSON into <dir>.";
-
-const BENCH_HELP: &str = "\
-bitmod-cli bench — time the default sweep grid
-
-Runs the default sweep grid (2 models × {bitmod,int-asym} × {3,4} bits ×
-g128 at standard proxy size) several times plus a set of hot-path
-micro-benchmarks, and APPENDS the result to a JSON history file so
-before/after numbers of a performance change sit side by side.
-
-USAGE:
-    bitmod-cli bench [OPTIONS]
-
-OPTIONS:
-    --quick           Small grid (phi-2 only, tiny proxy) for CI smoke runs
-    --runs <n>        Full-sweep repetitions [default: 3, quick: 2]
-    --label <name>    History label for this entry [default: current]
-    --seed <n>        Sweep seed [default: 42]
-    --out <path>      History JSON path [default: BENCH_sweep.json]
-    --help            Show this message
-
-EXAMPLE:
-    bitmod-cli bench --label after-matmul-fusion --out BENCH_sweep.json";
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = match argv.split_first() {
         None => {
-            println!("{ROOT_HELP}");
+            println!("{}", spec::root_help());
             return ExitCode::SUCCESS;
         }
         Some((c, r)) => (c.as_str(), r),
     };
-    match command {
-        "sweep" => cmd_sweep(rest),
-        "report" => cmd_report(rest),
-        "repro" => cmd_repro(rest),
-        "bench" => cmd_bench(rest),
-        "help" | "--help" | "-h" => {
-            match rest.first().map(String::as_str) {
-                Some("sweep") => println!("{SWEEP_HELP}"),
-                Some("report") => println!("{REPORT_HELP}"),
-                Some("repro") => println!("{REPRO_HELP}"),
-                Some("bench") => println!("{BENCH_HELP}"),
-                _ => println!("{ROOT_HELP}"),
-            }
-            ExitCode::SUCCESS
+    if matches!(command, "help" | "--help" | "-h") {
+        match rest.first().and_then(|n| spec::find(n)) {
+            Some(cmd) => println!("{}", cmd.help),
+            None => println!("{}", spec::root_help()),
         }
-        other => {
-            eprintln!("error: unknown command `{other}`\n\n{ROOT_HELP}");
-            ExitCode::from(2)
-        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(cmd) = spec::find(command) else {
+        eprintln!(
+            "error: unknown command `{command}`\n\n{}",
+            spec::root_help()
+        );
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(rest, cmd.options, cmd.switches) {
+        Ok(f) => f,
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    if flags.has("help") {
+        println!("{}", cmd.help);
+        return ExitCode::SUCCESS;
+    }
+    match cmd.name {
+        "sweep" => cmd_sweep(cmd, &flags),
+        "report" => cmd_report(cmd, &flags),
+        "serve" => cmd_serve(cmd, &flags),
+        "submit" => cmd_submit(cmd, &flags),
+        "status" => cmd_status(cmd, &flags),
+        "worker" => cmd_worker(cmd, &flags),
+        "repro" => cmd_repro(cmd, &flags),
+        "bench" => cmd_bench(cmd, &flags),
+        other => unreachable!("spec table names unknown command {other}"),
     }
 }
 
@@ -156,103 +84,47 @@ fn usage_error(message: &str, help: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn cmd_sweep(rest: &[String]) -> ExitCode {
-    let flags = match Flags::parse(
-        rest,
-        &[
-            "models",
-            "bits",
-            "dtypes",
-            "granularities",
-            "proxy",
-            "accelerator",
-            "seed",
-            "out",
-            "csv",
-        ],
-        &["quiet", "help"],
-    ) {
-        Ok(f) => f,
-        Err(e) => return usage_error(&e, SWEEP_HELP),
+/// Builds a [`SweepConfig`] from the shared grid flags (`--models`, `--bits`,
+/// `--dtypes`, `--granularities`, `--proxy`, `--accelerator`, `--seed`) —
+/// the one grid parser behind `sweep`, `submit`, and `worker`.  All
+/// validation lives in [`GridSpec::build`], which the serve protocol shares,
+/// so CLI and wire spellings cannot drift apart.
+fn parse_sweep_config(flags: &Flags) -> Result<SweepConfig, String> {
+    let strings = |items: Vec<&str>| items.into_iter().map(str::to_string).collect::<Vec<_>>();
+    let seed = match flags.get("seed") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<u64>()
+                .map_err(|_| format!("invalid seed `{s}`"))?,
+        ),
     };
-    if flags.has("help") {
-        println!("{SWEEP_HELP}");
-        return ExitCode::SUCCESS;
-    }
-
-    // --models
-    let Some(model_names) = flags.get_list("models") else {
-        return usage_error("--models is required", SWEEP_HELP);
+    let spec = GridSpec {
+        models: strings(flags.get_list("models").ok_or("--models is required")?),
+        bits: strings(flags.get_list("bits").ok_or("--bits is required")?),
+        dtypes: flags.get_list("dtypes").map(&strings),
+        granularities: flags.get_list("granularities").map(&strings),
+        proxy: flags.get("proxy").map(str::to_string),
+        accelerator: flags.get("accelerator").map(str::to_string),
+        seed,
     };
-    let mut models = Vec::new();
-    for name in model_names {
-        if name.eq_ignore_ascii_case("all") {
-            models = LlmModel::ALL.to_vec();
-            break;
-        }
-        match LlmModel::parse_cli_name(name) {
-            Some(m) => models.push(m),
-            None => return usage_error(&format!("unknown model `{name}`"), SWEEP_HELP),
-        }
-    }
-    if models.is_empty() {
-        return usage_error("--models needs at least one model", SWEEP_HELP);
-    }
+    spec.build()
+}
 
-    // --bits
-    let Some(bit_strs) = flags.get_list("bits") else {
-        return usage_error("--bits is required", SWEEP_HELP);
+/// Writes `contents` to `path`, mapping failures to a printed error.
+fn write_file(path: &str, contents: &str, what: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("error: could not write {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    eprintln!("[{what}] wrote {path}");
+    Ok(())
+}
+
+fn cmd_sweep(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
+    let cfg = match parse_sweep_config(flags) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e, cmd.help),
     };
-    let mut bits = Vec::new();
-    for b in bit_strs {
-        match b.parse::<u8>() {
-            Ok(n) if (2..=16).contains(&n) => bits.push(n),
-            _ => return usage_error(&format!("invalid bit width `{b}`"), SWEEP_HELP),
-        }
-    }
-    if bits.is_empty() {
-        return usage_error("--bits needs at least one bit width", SWEEP_HELP);
-    }
-
-    let mut cfg = SweepConfig::new(models, bits);
-
-    if let Some(dtype_strs) = flags.get_list("dtypes") {
-        let mut dtypes = Vec::new();
-        for d in dtype_strs {
-            match SweepDtype::parse(d) {
-                Some(dt) => dtypes.push(dt),
-                None => return usage_error(&format!("unknown dtype `{d}`"), SWEEP_HELP),
-            }
-        }
-        cfg = cfg.with_dtypes(dtypes);
-    }
-    if let Some(gran_strs) = flags.get_list("granularities") {
-        let mut grans = Vec::new();
-        for g in gran_strs {
-            match parse_granularity(g) {
-                Some(gr) => grans.push(gr),
-                None => return usage_error(&format!("invalid granularity `{g}`"), SWEEP_HELP),
-            }
-        }
-        cfg = cfg.with_granularities(grans);
-    }
-    match flags.get("proxy").unwrap_or("standard") {
-        "standard" => {}
-        "tiny" => cfg = cfg.with_proxy(ProxyConfig::tiny()),
-        other => return usage_error(&format!("unknown proxy size `{other}`"), SWEEP_HELP),
-    }
-    match flags.get("accelerator").unwrap_or("lossy") {
-        "lossy" => {}
-        "lossless" => cfg = cfg.with_accelerator(AcceleratorKind::BitModLossless),
-        other => return usage_error(&format!("unknown accelerator `{other}`"), SWEEP_HELP),
-    }
-    if let Some(seed) = flags.get("seed") {
-        match seed.parse::<u64>() {
-            Ok(s) => cfg = cfg.with_seed(s),
-            Err(_) => return usage_error(&format!("invalid seed `{seed}`"), SWEEP_HELP),
-        }
-    }
-
     let grid = cfg.grid().len();
     eprintln!(
         "[sweep] {} grid points ({} models) on {} threads",
@@ -269,17 +141,13 @@ fn cmd_sweep(rest: &[String]) -> ExitCode {
     );
 
     let out = flags.get("out").unwrap_or("bitmod-sweep.json");
-    if let Err(e) = std::fs::write(out, report.to_json()) {
-        eprintln!("error: could not write {out}: {e}");
-        return ExitCode::FAILURE;
+    if let Err(code) = write_file(out, &report.to_json(), "sweep") {
+        return code;
     }
-    eprintln!("[sweep] wrote {out}");
     if let Some(csv) = flags.get("csv") {
-        if let Err(e) = std::fs::write(csv, report.to_csv()) {
-            eprintln!("error: could not write {csv}: {e}");
-            return ExitCode::FAILURE;
+        if let Err(code) = write_file(csv, &report.to_csv(), "sweep") {
+            return code;
         }
-        eprintln!("[sweep] wrote {csv}");
     }
     if !flags.has("quiet") {
         print_records_table(&report, usize::MAX, false);
@@ -287,37 +155,72 @@ fn cmd_sweep(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_report(rest: &[String]) -> ExitCode {
-    let flags = match Flags::parse(rest, &["csv", "top"], &["pareto", "help"]) {
-        Ok(f) => f,
-        Err(e) => return usage_error(&e, REPORT_HELP),
-    };
-    if flags.has("help") {
-        println!("{REPORT_HELP}");
-        return ExitCode::SUCCESS;
+fn cmd_report(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
+    if flags.positional.is_empty() {
+        return usage_error("a sweep (or shard) JSON path is required", cmd.help);
     }
-    let Some(path) = flags.positional.first() else {
-        return usage_error("a sweep JSON path is required", REPORT_HELP);
-    };
-    let json = match std::fs::read_to_string(path) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("error: could not read {path}: {e}");
-            return ExitCode::FAILURE;
+    let mut inputs = Vec::new();
+    for path in &flags.positional {
+        match std::fs::read_to_string(path) {
+            Ok(text) => inputs.push((path.as_str(), text)),
+            Err(e) => {
+                eprintln!("error: could not read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // One file that parses as a sweep report: the classic summary path.
+    // Anything else (several files, or a single `worker` shard output) is
+    // treated as a complete shard set and merged first.
+    let report = if inputs.len() == 1 {
+        match SweepReport::from_json(&inputs[0].1) {
+            Ok(r) => r,
+            Err(sweep_err) => match ShardReport::from_json(&inputs[0].1) {
+                Ok(shard) => match merge_one_or_more(vec![(inputs[0].0, shard)]) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(_) => {
+                    eprintln!("error: {} is not a sweep report: {sweep_err}", inputs[0].0);
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    } else {
+        let mut shards = Vec::new();
+        for (path, text) in &inputs {
+            match ShardReport::from_json(text) {
+                Ok(s) => shards.push((*path, s)),
+                Err(e) => {
+                    eprintln!("error: {path} is not a worker shard output: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        match merge_one_or_more(shards) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    let report = match SweepReport::from_json(&json) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {path} is not a sweep report: {e}");
-            return ExitCode::FAILURE;
+
+    if let Some(path) = flags.get("merge-out") {
+        if let Err(code) = write_file(path, &report.to_json(), "report") {
+            return code;
         }
-    };
+    }
+
     let top = match flags.get("top") {
         None => usize::MAX,
         Some(t) => match t.parse() {
             Ok(n) => n,
-            Err(_) => return usage_error(&format!("invalid --top `{t}`"), REPORT_HELP),
+            Err(_) => return usage_error(&format!("invalid --top `{t}`"), cmd.help),
         },
     };
     println!(
@@ -329,24 +232,294 @@ fn cmd_report(rest: &[String]) -> ExitCode {
     );
     print_records_table(&report, top, flags.has("pareto"));
     if let Some(csv) = flags.get("csv") {
-        if let Err(e) = std::fs::write(csv, report.to_csv()) {
-            eprintln!("error: could not write {csv}: {e}");
-            return ExitCode::FAILURE;
+        if let Err(code) = write_file(csv, &report.to_csv(), "report") {
+            return code;
         }
-        eprintln!("[report] wrote {csv}");
     }
     ExitCode::SUCCESS
 }
 
-fn cmd_repro(rest: &[String]) -> ExitCode {
-    let flags = match Flags::parse(rest, &[], &["list", "help"]) {
-        Ok(f) => f,
-        Err(e) => return usage_error(&e, REPRO_HELP),
+/// Merges named shard reports, reporting how many were combined.
+fn merge_one_or_more(shards: Vec<(&str, ShardReport)>) -> Result<SweepReport, String> {
+    let n = shards.len();
+    let reports: Vec<ShardReport> = shards.into_iter().map(|(_, s)| s).collect();
+    let merged = merge_shards(&reports)?;
+    eprintln!(
+        "[report] merged {n} shard file(s) into {} records ({} skipped)",
+        merged.records.len(),
+        merged.skipped.len()
+    );
+    Ok(merged)
+}
+
+fn cmd_serve(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
+    let parse_count = |name: &str, default: usize| -> Result<usize, String> {
+        match flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or(format!("invalid --{name} `{v}`")),
+        }
     };
-    if flags.has("help") {
-        println!("{REPRO_HELP}");
+    let workers = match parse_count("workers", 2) {
+        Ok(n) => n,
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    let shards = match parse_count("shards", 1) {
+        Ok(n) => n,
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    let handle = ServeEngine::start(EngineConfig { workers, shards });
+
+    let served = match flags.get("listen") {
+        Some(addr) => match bitmod_server::serve::bind(addr) {
+            Ok(listener) => {
+                let local = listener
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| addr.to_string());
+                eprintln!(
+                    "[serve] listening on {local} ({workers} workers, {shards} shard(s)/job)"
+                );
+                bitmod_server::serve::serve_listener(Arc::clone(handle.engine()), listener)
+            }
+            Err(e) => {
+                eprintln!("error: could not bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!("[serve] reading line-JSON requests from stdin ({workers} workers)");
+            let stdin = std::io::stdin();
+            bitmod_server::serve::serve_lines(handle.engine(), stdin.lock(), std::io::stdout())
+        }
+    };
+    handle.shutdown();
+    match served {
+        Ok(()) => {
+            eprintln!("[serve] daemon stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_submit(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
+    let Some(addr) = flags.get("addr") else {
+        return usage_error(
+            "--addr is required (see `bitmod-cli serve --listen`)",
+            cmd.help,
+        );
+    };
+    let cfg = match parse_sweep_config(flags) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    let line = match proto::submit_line(&cfg) {
+        Ok(l) => l,
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    let mut client = match client::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match client.request(&line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(job) = client::field(&response, "job").and_then(Value::as_str) else {
+        eprintln!("error: daemon did not return a job id");
+        return ExitCode::FAILURE;
+    };
+    let deduped = client::field(&response, "deduped")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    eprintln!(
+        "[submit] {} grid points → {job}{}",
+        cfg.grid().len(),
+        if deduped {
+            " (deduplicated onto an existing job)"
+        } else {
+            ""
+        }
+    );
+    println!("{job}");
+    if !flags.has("wait") {
         return ExitCode::SUCCESS;
     }
+
+    // Poll to completion.
+    let status_line = format!(r#"{{"cmd":"status","job":"{job}"}}"#);
+    loop {
+        let status = match client.request(&status_line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match client::job_status(&status).as_deref() {
+            Some("done") => break,
+            Some("failed") => {
+                eprintln!("error: job {job} failed on the daemon");
+                return ExitCode::FAILURE;
+            }
+            _ => std::thread::sleep(Duration::from_millis(150)),
+        }
+    }
+
+    let result = match client.request(&format!(r#"{{"cmd":"result","job":"{job}"}}"#)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(report_value) = client::field(&result, "report") else {
+        eprintln!("error: daemon result response carried no report");
+        return ExitCode::FAILURE;
+    };
+    let report: SweepReport = match serde_json::from_value(report_value) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: daemon report did not deserialize: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[submit] {job} done: {} records, {} skipped, {:.2}s server wall",
+        report.records.len(),
+        report.skipped.len(),
+        report.wall_seconds
+    );
+    let out = flags.get("out").unwrap_or("bitmod-served.json");
+    if let Err(code) = write_file(out, &report.to_json(), "submit") {
+        return code;
+    }
+    if let Some(csv) = flags.get("csv") {
+        if let Err(code) = write_file(csv, &report.to_csv(), "submit") {
+            return code;
+        }
+    }
+    if !flags.has("quiet") {
+        print_records_table(&report, usize::MAX, false);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_status(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
+    let Some(addr) = flags.get("addr") else {
+        return usage_error(
+            "--addr is required (see `bitmod-cli serve --listen`)",
+            cmd.help,
+        );
+    };
+    let mut client = match client::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match flags.positional.first() {
+        None => match client.request(r#"{"cmd":"list"}"#) {
+            Ok(response) => {
+                let jobs = client::field(&response, "jobs")
+                    .cloned()
+                    .unwrap_or(Value::Seq(Vec::new()));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&jobs).expect("job lists serialize")
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(job) => {
+            let line = format!(r#"{{"cmd":"status","job":"{job}"}}"#);
+            loop {
+                let response = match client.request(&line) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let status = client::job_status(&response);
+                let job_value = client::field(&response, "job")
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                let terminal = matches!(status.as_deref(), Some("done") | Some("failed"));
+                if terminal || !flags.has("wait") {
+                    println!(
+                        "{}",
+                        serde_json::to_string(&job_value).expect("job views serialize")
+                    );
+                    return if status.as_deref() == Some("failed") {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    };
+                }
+                std::thread::sleep(Duration::from_millis(150));
+            }
+        }
+    }
+}
+
+fn cmd_worker(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
+    let Some(shard_str) = flags.get("shard") else {
+        return usage_error("--shard k/n is required", cmd.help);
+    };
+    let shard = match ShardSpec::parse(shard_str) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    let cfg = match parse_sweep_config(flags) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    let quiet = flags.has("quiet");
+    if !quiet {
+        eprintln!(
+            "[worker] shard {shard}: {} of {} grid points on {} threads",
+            bitmod::shard::shard_points(&cfg, shard).len(),
+            cfg.grid().len(),
+            rayon::current_num_threads()
+        );
+    }
+    let report = run_shard(&cfg, shard);
+    if !quiet {
+        eprintln!(
+            "[worker] shard {shard}: {} records, {} skipped, {:.2}s wall",
+            report.records.len(),
+            report.skipped.len(),
+            report.wall_seconds
+        );
+    }
+    let default_out = format!("bitmod-shard-{}-of-{}.json", shard.index, shard.count);
+    let out = flags.get("out").unwrap_or(&default_out);
+    match write_file(out, &report.to_json(), "worker") {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}
+
+fn cmd_repro(_cmd: &CommandSpec, flags: &Flags) -> ExitCode {
     if flags.has("list") || flags.positional.is_empty() {
         println!("available reproductions:\n");
         for r in &bitmod_bench::repro::ALL {
@@ -374,15 +547,7 @@ fn cmd_repro(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_bench(rest: &[String]) -> ExitCode {
-    let flags = match Flags::parse(rest, &["runs", "label", "seed", "out"], &["quick", "help"]) {
-        Ok(f) => f,
-        Err(e) => return usage_error(&e, BENCH_HELP),
-    };
-    if flags.has("help") {
-        println!("{BENCH_HELP}");
-        return ExitCode::SUCCESS;
-    }
+fn cmd_bench(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
     let quick = flags.has("quick");
     let runs = match flags.get("runs") {
         None => {
@@ -394,14 +559,14 @@ fn cmd_bench(rest: &[String]) -> ExitCode {
         }
         Some(r) => match r.parse::<usize>() {
             Ok(n) if n > 0 => n,
-            _ => return usage_error(&format!("invalid --runs `{r}`"), BENCH_HELP),
+            _ => return usage_error(&format!("invalid --runs `{r}`"), cmd.help),
         },
     };
     let seed = match flags.get("seed") {
         None => 42,
         Some(s) => match s.parse::<u64>() {
             Ok(n) => n,
-            Err(_) => return usage_error(&format!("invalid seed `{s}`"), BENCH_HELP),
+            Err(_) => return usage_error(&format!("invalid seed `{s}`"), cmd.help),
         },
     };
     let label = flags.get("label").unwrap_or("current");

@@ -1,0 +1,536 @@
+//! Single source of truth for the `bitmod-cli` command surface.
+//!
+//! Every subcommand is described by one [`CommandSpec`]: its help text plus
+//! the exact option/switch names the parser accepts.  The dispatcher, the
+//! per-command `--help` output, and the root help's command list all read
+//! this table, and the unit tests below audit that every flag documented in
+//! a help string is accepted by the parser and vice versa — so the help text
+//! cannot drift from the implementation again.
+
+/// One subcommand: name, help text, and the flags it accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandSpec {
+    /// The subcommand name (`sweep`, `serve`, …).
+    pub name: &'static str,
+    /// One-line summary for the root help.
+    pub summary: &'static str,
+    /// Full `--help` text.
+    pub help: &'static str,
+    /// Flags that take a value (`--out path`).
+    pub options: &'static [&'static str],
+    /// Boolean switches (`--quiet`).
+    pub switches: &'static [&'static str],
+}
+
+/// Every subcommand, in the order the root help lists them.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "sweep",
+        summary: "Run a parallel quantization/accelerator sweep and write a JSON report",
+        help: SWEEP_HELP,
+        options: &[
+            "models",
+            "bits",
+            "dtypes",
+            "granularities",
+            "proxy",
+            "accelerator",
+            "seed",
+            "out",
+            "csv",
+        ],
+        switches: &["quiet", "help"],
+    },
+    CommandSpec {
+        name: "report",
+        summary: "Summarize a sweep JSON report, or merge worker shard outputs into one",
+        help: REPORT_HELP,
+        options: &["csv", "top", "merge-out"],
+        switches: &["pareto", "help"],
+    },
+    CommandSpec {
+        name: "serve",
+        summary: "Run the long-lived sweep daemon (line-JSON over stdio or TCP)",
+        help: SERVE_HELP,
+        options: &["listen", "workers", "shards"],
+        switches: &["help"],
+    },
+    CommandSpec {
+        name: "submit",
+        summary: "Submit a sweep to a running daemon (and optionally wait for the report)",
+        help: SUBMIT_HELP,
+        options: &[
+            "addr",
+            "models",
+            "bits",
+            "dtypes",
+            "granularities",
+            "proxy",
+            "accelerator",
+            "seed",
+            "out",
+            "csv",
+        ],
+        switches: &["wait", "quiet", "help"],
+    },
+    CommandSpec {
+        name: "status",
+        summary: "Query a daemon job's status (or list all jobs)",
+        help: STATUS_HELP,
+        options: &["addr"],
+        switches: &["wait", "help"],
+    },
+    CommandSpec {
+        name: "worker",
+        summary: "Run one deterministic shard of a sweep and write a shard JSON",
+        help: WORKER_HELP,
+        options: &[
+            "shard",
+            "models",
+            "bits",
+            "dtypes",
+            "granularities",
+            "proxy",
+            "accelerator",
+            "seed",
+            "out",
+        ],
+        switches: &["quiet", "help"],
+    },
+    CommandSpec {
+        name: "repro",
+        summary: "Reproduce one of the paper's tables or figures",
+        help: REPRO_HELP,
+        options: &[],
+        switches: &["list", "help"],
+    },
+    CommandSpec {
+        name: "bench",
+        summary: "Time the default sweep grid and append to the perf history JSON",
+        help: BENCH_HELP,
+        options: &["runs", "label", "seed", "out"],
+        switches: &["quick", "help"],
+    },
+];
+
+/// Looks up a subcommand's spec.
+pub fn find(name: &str) -> Option<&'static CommandSpec> {
+    COMMANDS.iter().find(|c| c.name == name)
+}
+
+/// The root help text, generated from [`COMMANDS`] so the list cannot drift.
+pub fn root_help() -> String {
+    let mut out = String::from(
+        "bitmod-cli — BitMoD (HPCA 2025) reproduction driver\n\n\
+         USAGE:\n    bitmod-cli <COMMAND> [OPTIONS]\n\nCOMMANDS:\n",
+    );
+    for c in COMMANDS {
+        out.push_str(&format!("    {:<9} {}\n", c.name, c.summary));
+    }
+    out.push_str(
+        "    help      Show this message, or `help <command>` for command details\n\n\
+         Run `bitmod-cli <command> --help` for per-command options.\n\
+         Docs: docs/SWEEPS.md (grids/reports), docs/SERVING.md (daemon protocol),\n\
+         docs/ARCHITECTURE.md (crate map), docs/PERFORMANCE.md (bench workflow).",
+    );
+    out
+}
+
+const SWEEP_HELP: &str = "\
+bitmod-cli sweep — run a parallel configuration sweep
+
+Fans Pipeline runs out across models × dtypes × bits × granularities with
+rayon, building one evaluation harness per model and sharing it across that
+model's grid points.
+
+USAGE:
+    bitmod-cli sweep --models <a,b,..> --bits <n,n,..> [OPTIONS]
+
+OPTIONS:
+    --models <list>         Comma-separated models: opt-1.3b, phi-2, yi-6b,
+                            llama2-7b, llama2-13b, llama3-8b (spellings are
+                            forgiving; `--models all` sweeps all six)
+    --bits <list>           Comma-separated weight bit widths, e.g. 3,4
+    --dtypes <list>         Data types to sweep [default: bitmod,int-asym]
+                            (choices: bitmod, int-asym, int-sym, ant, olive,
+                            mx, fp16)
+    --granularities <list>  Granularities: tensor, channel, or group size
+                            such as 128 / g64 [default: 128]
+    --proxy <size>          Proxy model size: standard | tiny [default: standard]
+    --accelerator <kind>    Simulated accelerator: lossy | lossless
+                            [default: lossy]
+    --seed <n>              Synthesis/evaluation seed [default: 42]
+    --out <path>            JSON report path [default: bitmod-sweep.json]
+    --csv <path>            Also write a CSV of the records
+    --quiet                 Suppress the stdout summary table
+    --help                  Show this message
+
+EXAMPLE:
+    bitmod-cli sweep --models llama2-7b,phi-2 --bits 3,4 \\
+        --dtypes bitmod,int-asym,ant --out sweep.json --csv sweep.csv";
+
+const REPORT_HELP: &str = "\
+bitmod-cli report — summarize a sweep report or merge shard outputs
+
+With one path, summarizes a sweep JSON written by `sweep` or `submit`.
+With several paths, treats them as the complete set of `worker` shard
+outputs for one sweep, merges them (verifying the shards are disjoint,
+complete, and from the same configuration), and summarizes the result.
+
+USAGE:
+    bitmod-cli report <sweep.json> [OPTIONS]
+    bitmod-cli report <shard.json> <shard.json> ... [OPTIONS]
+
+OPTIONS:
+    --pareto            Print only the perplexity/effective-bits Pareto
+                        frontier (the fig09 view)
+    --csv <path>        Export the records as CSV
+    --top <n>           Show only the first n rows of the table
+    --merge-out <path>  After merging shards, also write the merged sweep
+                        JSON (it is then a normal `report` input)
+    --help              Show this message
+
+EXAMPLES:
+    bitmod-cli report bitmod-sweep.json --pareto
+    bitmod-cli report shard0.json shard1.json --merge-out merged.json";
+
+const SERVE_HELP: &str = "\
+bitmod-cli serve — long-running sweep daemon
+
+Accepts line-delimited JSON requests (submit / status / result / list /
+ping / shutdown), executes sweeps on worker threads, deduplicates jobs by
+canonicalized configuration (a completed job doubles as a result cache),
+and shares evaluation harnesses across every job it has seen.  Without
+--listen the protocol runs over stdin/stdout; with --listen it serves any
+number of concurrent TCP connections.
+
+USAGE:
+    bitmod-cli serve [OPTIONS]
+
+OPTIONS:
+    --listen <addr>   TCP listen address (e.g. 127.0.0.1:4774); without
+                      this flag the daemon speaks the same protocol over
+                      stdin/stdout and exits at EOF
+    --workers <n>     Worker threads draining the job queue [default: 2]
+    --shards <n>      Run every job as n merged in-process shards
+                      [default: 1]
+    --help            Show this message
+
+EXAMPLES:
+    bitmod-cli serve --listen 127.0.0.1:4774 --workers 2
+    echo '{\"cmd\":\"submit\",\"models\":\"phi-2\",\"bits\":\"3,4\"}' | bitmod-cli serve
+
+See docs/SERVING.md for the protocol reference.";
+
+const SUBMIT_HELP: &str = "\
+bitmod-cli submit — send a sweep to a running daemon
+
+Builds the same grid a `sweep` invocation would and submits it over TCP.
+Identical grids (however the axes are spelled) deduplicate server-side onto
+one job.  With --wait, polls until the job finishes and downloads the
+report, whose records are byte-identical to a local `sweep` run of the same
+canonicalized grid.
+
+USAGE:
+    bitmod-cli submit --addr <host:port> --models <a,b,..> --bits <n,n,..> [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>      Daemon address (see `serve --listen`)
+    --models <list>         Comma-separated models: opt-1.3b, phi-2, yi-6b,
+                            llama2-7b, llama2-13b, llama3-8b (spellings are
+                            forgiving; `--models all` sweeps all six)
+    --bits <list>           Comma-separated weight bit widths, e.g. 3,4
+    --dtypes <list>         Data types to sweep [default: bitmod,int-asym]
+                            (choices: bitmod, int-asym, int-sym, ant, olive,
+                            mx, fp16)
+    --granularities <list>  Granularities: tensor, channel, or group size
+                            such as 128 / g64 [default: 128]
+    --proxy <size>          Proxy model size: standard | tiny [default: standard]
+    --accelerator <kind>    Simulated accelerator: lossy | lossless
+                            [default: lossy]
+    --seed <n>              Synthesis/evaluation seed [default: 42]
+    --wait                  Poll until the job completes, then fetch the report
+    --out <path>            With --wait: JSON report path [default: bitmod-served.json]
+    --csv <path>            With --wait: also write a CSV of the records
+    --quiet                 With --wait: suppress the stdout summary table
+    --help                  Show this message
+
+EXAMPLE:
+    bitmod-cli submit --addr 127.0.0.1:4774 --models phi-2 --bits 3,4 --wait";
+
+const STATUS_HELP: &str = "\
+bitmod-cli status — query a daemon's jobs
+
+With a job id, prints that job's status line; with --wait, polls until the
+job reaches a terminal state (done or failed).  Without a job id, lists
+every job the daemon knows about.
+
+USAGE:
+    bitmod-cli status --addr <host:port> [<job-id>] [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>   Daemon address (see `serve --listen`)
+    --wait               Poll until the job is done or failed
+    --help               Show this message
+
+EXAMPLE:
+    bitmod-cli status --addr 127.0.0.1:4774 job-1 --wait";
+
+const WORKER_HELP: &str = "\
+bitmod-cli worker — run one shard of a sweep
+
+Partitions the grid deterministically (grid index i belongs to shard k of n
+iff i % n == k) and runs only this worker's slice, writing a shard JSON.
+Run one worker per shard — on any mix of processes or machines — then merge
+with `bitmod-cli report shard0.json shard1.json ...`; the merged report's
+records are byte-identical to an unsharded `sweep` of the same grid.
+
+USAGE:
+    bitmod-cli worker --shard <k/n> --models <a,b,..> --bits <n,n,..> [OPTIONS]
+
+OPTIONS:
+    --shard <k/n>           This worker's shard: zero-based index k of n
+                            total shards (e.g. 0/4)
+    --models <list>         Comma-separated models: opt-1.3b, phi-2, yi-6b,
+                            llama2-7b, llama2-13b, llama3-8b (spellings are
+                            forgiving; `--models all` sweeps all six)
+    --bits <list>           Comma-separated weight bit widths, e.g. 3,4
+    --dtypes <list>         Data types to sweep [default: bitmod,int-asym]
+                            (choices: bitmod, int-asym, int-sym, ant, olive,
+                            mx, fp16)
+    --granularities <list>  Granularities: tensor, channel, or group size
+                            such as 128 / g64 [default: 128]
+    --proxy <size>          Proxy model size: standard | tiny [default: standard]
+    --accelerator <kind>    Simulated accelerator: lossy | lossless
+                            [default: lossy]
+    --seed <n>              Synthesis/evaluation seed [default: 42]
+    --out <path>            Shard JSON path [default: bitmod-shard-<k>-of-<n>.json]
+    --quiet                 Suppress the stderr progress lines
+    --help                  Show this message
+
+EXAMPLE:
+    bitmod-cli worker --shard 0/2 --models phi-2 --bits 3,4 --out shard0.json";
+
+const REPRO_HELP: &str = "\
+bitmod-cli repro — reproduce a table or figure of the paper
+
+USAGE:
+    bitmod-cli repro <name>     Run one reproduction (table06, fig9, ...)
+    bitmod-cli repro all        Run every reproduction, in paper order
+    bitmod-cli repro --list     List all reproductions
+
+OPTIONS:
+    --list    List all reproductions
+    --help    Show this message
+
+Names are forgiving: table6 == table06 == table06_main_ppl.
+Set BITMOD_RESULTS_DIR=<dir> to also dump each experiment's raw numbers as
+JSON into <dir>.";
+
+const BENCH_HELP: &str = "\
+bitmod-cli bench — time the default sweep grid
+
+Runs the default sweep grid (2 models × {bitmod,int-asym} × {3,4} bits ×
+g128 at standard proxy size) several times plus a set of hot-path
+micro-benchmarks, and APPENDS the result to a JSON history file so
+before/after numbers of a performance change sit side by side.
+
+USAGE:
+    bitmod-cli bench [OPTIONS]
+
+OPTIONS:
+    --quick           Small grid (phi-2 only, tiny proxy) for CI smoke runs
+    --runs <n>        Full-sweep repetitions [default: 3, quick: 2]
+    --label <name>    History label for this entry [default: current]
+    --seed <n>        Sweep seed [default: 42]
+    --out <path>      History JSON path [default: BENCH_sweep.json]
+    --help            Show this message
+
+EXAMPLE:
+    bitmod-cli bench --label after-matmul-fusion --out BENCH_sweep.json";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Flags;
+
+    /// The sweep-grid flag docs shared by `sweep`, `submit`, and `worker` —
+    /// asserted to appear verbatim in all three help texts, so the three
+    /// commands cannot document the grid differently.
+    const GRID_OPTIONS_HELP: &str = "\
+    --models <list>         Comma-separated models: opt-1.3b, phi-2, yi-6b,
+                            llama2-7b, llama2-13b, llama3-8b (spellings are
+                            forgiving; `--models all` sweeps all six)
+    --bits <list>           Comma-separated weight bit widths, e.g. 3,4
+    --dtypes <list>         Data types to sweep [default: bitmod,int-asym]
+                            (choices: bitmod, int-asym, int-sym, ant, olive,
+                            mx, fp16)
+    --granularities <list>  Granularities: tensor, channel, or group size
+                            such as 128 / g64 [default: 128]
+    --proxy <size>          Proxy model size: standard | tiny [default: standard]
+    --accelerator <kind>    Simulated accelerator: lossy | lossless
+                            [default: lossy]
+    --seed <n>              Synthesis/evaluation seed [default: 42]";
+
+    /// The grid option names shared by `sweep`, `submit`, and `worker`.
+    const GRID_OPTIONS: [&str; 7] = [
+        "models",
+        "bits",
+        "dtypes",
+        "granularities",
+        "proxy",
+        "accelerator",
+        "seed",
+    ];
+
+    /// Every `--flag` token mentioned in a help string.
+    fn documented_flags(help: &str) -> Vec<String> {
+        let mut flags = Vec::new();
+        let bytes = help.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b'-' && bytes[i + 1] == b'-' {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && (bytes[end].is_ascii_lowercase() || bytes[end] == b'-') {
+                    end += 1;
+                }
+                if end > start {
+                    flags.push(help[start..end].to_string());
+                }
+                i = end;
+            } else {
+                i += 1;
+            }
+        }
+        flags.sort();
+        flags.dedup();
+        flags
+    }
+
+    #[test]
+    fn every_documented_flag_is_accepted_and_vice_versa() {
+        for cmd in COMMANDS {
+            let mut documented = documented_flags(cmd.help);
+            // Cross-references to other commands' flags ("see `serve
+            // --listen`") are documentation, not this command's surface.
+            if cmd.name != "serve" {
+                documented.retain(|f| f != "listen");
+            }
+            let mut accepted: Vec<String> = cmd
+                .options
+                .iter()
+                .chain(cmd.switches.iter())
+                .map(|s| s.to_string())
+                .collect();
+            accepted.sort();
+            assert_eq!(
+                documented, accepted,
+                "`{}` help text and parser flag set drifted apart",
+                cmd.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_documented_flag_parses() {
+        for cmd in COMMANDS {
+            for opt in cmd.options {
+                let args = vec![format!("--{opt}"), "value".to_string()];
+                assert!(
+                    Flags::parse(&args, cmd.options, cmd.switches).is_ok(),
+                    "`{} --{opt} value` must parse",
+                    cmd.name
+                );
+            }
+            for sw in cmd.switches {
+                let args = vec![format!("--{sw}")];
+                assert!(
+                    Flags::parse(&args, cmd.options, cmd.switches).is_ok(),
+                    "`{} --{sw}` must parse",
+                    cmd.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_commands_share_the_exact_grid_docs_and_flags() {
+        for name in ["sweep", "submit", "worker"] {
+            let cmd = find(name).unwrap();
+            assert!(
+                cmd.help.contains(GRID_OPTIONS_HELP),
+                "`{name}` help must embed the shared grid-options block verbatim"
+            );
+            for opt in GRID_OPTIONS {
+                assert!(
+                    cmd.options.contains(&opt),
+                    "`{name}` must accept the shared grid flag --{opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn documented_defaults_match_the_code() {
+        use bitmod::llm::config::LlmModel;
+        use bitmod::sweep::{SweepConfig, SweepDtype};
+        let d = SweepConfig::new(vec![LlmModel::Phi2B], vec![4]);
+        // `--dtypes [default: bitmod,int-asym]`
+        assert_eq!(d.dtypes, vec![SweepDtype::BitMod, SweepDtype::IntAsym]);
+        assert!(GRID_OPTIONS_HELP.contains("[default: bitmod,int-asym]"));
+        // `--granularities [default: 128]`
+        assert_eq!(
+            d.granularities,
+            vec![bitmod::quant::Granularity::PerGroup(128)]
+        );
+        assert!(GRID_OPTIONS_HELP.contains("such as 128 / g64 [default: 128]"));
+        // `--seed [default: 42]`
+        assert_eq!(d.seed, 42);
+        assert!(GRID_OPTIONS_HELP.contains("seed [default: 42]"));
+        // Every dtype choice listed in the help parses, and none is missing.
+        for dt in SweepDtype::ALL {
+            assert!(
+                GRID_OPTIONS_HELP.contains(dt.name()),
+                "--dtypes choices must list `{}`",
+                dt.name()
+            );
+        }
+        // Every model spelling listed in the help parses.
+        for m in [
+            "opt-1.3b",
+            "phi-2",
+            "yi-6b",
+            "llama2-7b",
+            "llama2-13b",
+            "llama3-8b",
+        ] {
+            assert!(
+                LlmModel::parse_cli_name(m).is_some(),
+                "documented model spelling `{m}` must parse"
+            );
+        }
+    }
+
+    #[test]
+    fn root_help_lists_every_command_exactly_once() {
+        let root = root_help();
+        for cmd in COMMANDS {
+            assert_eq!(
+                root.matches(&format!("\n    {:<9} ", cmd.name)).count(),
+                1,
+                "root help must list `{}` once",
+                cmd.name
+            );
+        }
+    }
+
+    #[test]
+    fn command_names_are_unique() {
+        let mut names: Vec<_> = COMMANDS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+}

@@ -33,6 +33,7 @@ pub use bitmod_llm as llm;
 pub use bitmod_quant as quant;
 pub use bitmod_tensor as tensor;
 
+pub mod shard;
 pub mod sweep;
 
 /// Convenient glob-import surface: `use bitmod::prelude::*;`.
@@ -40,13 +41,16 @@ pub mod prelude {
     pub use bitmod_accel::{simulate_model, Accelerator, AcceleratorKind, PerfResult, Workload};
     pub use bitmod_dtypes::{BitModFamily, Codebook, WeightDtype};
     pub use bitmod_llm::config::{LlmConfig, LlmModel};
-    pub use bitmod_llm::eval::{EvalHarness, PerplexityPair};
+    pub use bitmod_llm::eval::{EvalHarness, HarnessPool, PerplexityPair};
     pub use bitmod_llm::memory::TaskShape;
     pub use bitmod_llm::proxy::{ProxyConfig, ProxyTransformer};
     pub use bitmod_quant::{quantize_matrix, Granularity, QuantConfig, QuantMethod, ScaleDtype};
     pub use bitmod_tensor::{Matrix, SeededRng, F16};
 
-    pub use crate::sweep::{run_sweep, SweepConfig, SweepDtype, SweepReport};
+    pub use crate::shard::{merge_shards, run_shard, ShardReport, ShardSpec};
+    pub use crate::sweep::{
+        run_sweep, run_sweep_with_pool, GridSpec, SweepConfig, SweepDtype, SweepReport,
+    };
     pub use crate::{Pipeline, PipelineReport};
 }
 

@@ -1,0 +1,382 @@
+//! Deterministic sweep sharding: partition a grid into `n` shards, run each
+//! shard anywhere (worker thread, worker process, another machine), and merge
+//! the shard reports back into one [`SweepReport`] that is record-for-record
+//! identical to the unsharded run.
+//!
+//! A shard is described by [`ShardSpec`] `k/n` and owns every grid point
+//! whose row-major grid index `i` satisfies `i % n == k` (a strided
+//! partition, so each shard sees a balanced mix of models and dtypes rather
+//! than a contiguous block of one model).  Shard reports carry the grid index
+//! of every record, which is what lets [`merge_shards`] reassemble exact grid
+//! order without re-deriving it.
+//!
+//! `bitmod-cli worker --shard k/n` is the process-level entry point;
+//! `bitmod-cli report a.json b.json …` merges the outputs.  The serving
+//! engine uses the same partition in-process.
+//!
+//! ```
+//! use bitmod::shard::{merge_shards, run_shard, ShardSpec};
+//! use bitmod::sweep::SweepConfig;
+//! use bitmod::llm::config::LlmModel;
+//! use bitmod::llm::proxy::ProxyConfig;
+//!
+//! let cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![3, 4])
+//!     .with_proxy(ProxyConfig::tiny());
+//! let shards: Vec<_> = (0..2)
+//!     .map(|k| run_shard(&cfg, ShardSpec::new(k, 2).unwrap()))
+//!     .collect();
+//! let merged = merge_shards(&shards).unwrap();
+//! assert_eq!(merged.records.len(), cfg.run().records.len());
+//! ```
+
+use crate::sweep::{run_point, SweepConfig, SweepPoint, SweepRecord, SweepReport};
+use bitmod_llm::eval::HarnessPool;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which slice of a sharded sweep one worker owns: shard `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Zero-based shard index.
+    pub index: usize,
+    /// Total number of shards the grid is split into.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Builds the spec, rejecting `count == 0` and out-of-range indices.
+    pub fn new(index: usize, count: usize) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shards (use 0..{count})"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the CLI spelling `k/n` (e.g. `0/4`).
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (k, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("invalid shard spec `{s}` (expected k/n, e.g. 0/4)"))?;
+        let index = k
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("invalid shard index `{k}`"))?;
+        let count = n
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("invalid shard count `{n}`"))?;
+        ShardSpec::new(index, count)
+    }
+
+    /// The CLI spelling `k/n`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+
+    /// Every spec of an `n`-way sharding, in index order.
+    pub fn all(count: usize) -> Vec<ShardSpec> {
+        (0..count).map(|index| ShardSpec { index, count }).collect()
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The grid points a shard owns, as `(grid index, point)` pairs.
+///
+/// The partition is a pure function of the configuration and the spec: every
+/// worker derives its slice independently, and the `n` slices are disjoint
+/// and cover the grid exactly.
+pub fn shard_points(cfg: &SweepConfig, shard: ShardSpec) -> Vec<(usize, SweepPoint)> {
+    cfg.grid()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % shard.count == shard.index)
+        .collect()
+}
+
+/// One completed grid point of a shard, tagged with its grid index so the
+/// merge can restore exact grid order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// Row-major index of this point in the full grid.
+    pub grid_index: usize,
+    /// The completed point.
+    pub record: SweepRecord,
+}
+
+/// The output of one shard run — what `bitmod-cli worker` writes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// The full sweep configuration (every shard carries the whole grid
+    /// definition; the spec below selects this shard's slice).
+    pub config: SweepConfig,
+    /// Which slice this report covers.
+    pub shard: ShardSpec,
+    /// Completed points of this shard, in grid-index order.
+    pub records: Vec<ShardRecord>,
+    /// Invalid points of this shard, as `(grid index, point, reason)`.
+    pub skipped: Vec<(usize, SweepPoint, String)>,
+    /// Wall-clock seconds this shard took.
+    pub wall_seconds: f64,
+    /// Worker threads this shard used.
+    pub threads: usize,
+}
+
+impl ShardReport {
+    /// Serializes the shard report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("shard reports always serialize")
+    }
+
+    /// Parses a shard report back from [`ShardReport::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs one shard of `cfg` with a fresh per-run harness cache (the worker
+/// process path).  See [`run_shard_with_pool`].
+pub fn run_shard(cfg: &SweepConfig, shard: ShardSpec) -> ShardReport {
+    run_shard_with_pool(cfg, shard, &HarnessPool::new())
+}
+
+/// Runs one shard of `cfg`, drawing harnesses from `pool`.
+///
+/// Only the models that actually appear in this shard's valid points get a
+/// harness, so an `n`-way sharding of an `m`-model grid builds at most
+/// `min(n·m, m·n)` harnesses across workers rather than `n·m` always.
+/// Records are bit-identical to the same points of an unsharded
+/// [`crate::sweep::run_sweep`] because both paths run
+/// [`crate::Pipeline::run_with_harness`] against deterministically
+/// constructed harnesses.
+pub fn run_shard_with_pool(cfg: &SweepConfig, shard: ShardSpec, pool: &HarnessPool) -> ShardReport {
+    let started = std::time::Instant::now();
+
+    let mut valid = Vec::new();
+    let mut skipped = Vec::new();
+    for (i, p) in shard_points(cfg, shard) {
+        match p.quant_config() {
+            Ok(q) => valid.push((i, p, q)),
+            Err(reason) => skipped.push((i, p, reason)),
+        }
+    }
+
+    // One harness per model appearing in this shard's valid points.
+    let mut models: Vec<_> = valid.iter().map(|(_, p, _)| p.model).collect();
+    models.sort_by_key(|m| {
+        bitmod_llm::config::LlmModel::ALL
+            .iter()
+            .position(|x| x == m)
+            .unwrap_or(usize::MAX)
+    });
+    models.dedup();
+    let harnesses: Vec<_> = models
+        .par_iter()
+        .map(|&m| pool.get_or_build(m, cfg.proxy, cfg.seed))
+        .collect();
+
+    let records: Vec<ShardRecord> = valid
+        .into_par_iter()
+        .map(|(grid_index, point, quant)| {
+            let harness = harnesses
+                .iter()
+                .find(|h| h.model == point.model)
+                .expect("one harness per shard model");
+            ShardRecord {
+                grid_index,
+                record: run_point(cfg, point, quant, harness),
+            }
+        })
+        .collect();
+
+    ShardReport {
+        config: cfg.clone(),
+        shard,
+        records,
+        skipped,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        threads: rayon::current_num_threads(),
+    }
+}
+
+/// Merges a complete set of shard reports back into one [`SweepReport`].
+///
+/// Requires exactly one report per shard of a single `n`-way sharding, all
+/// produced from the same configuration.  The merged report's `records` and
+/// `skipped` are byte-for-byte what the unsharded [`SweepConfig::run`] of the
+/// same configuration produces; `wall_seconds` is the sum of shard walls
+/// (total compute, not latency) and `threads` the per-shard maximum — those
+/// two fields are execution metadata, not part of the result's identity.
+pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, String> {
+    let first = shards.first().ok_or("no shard reports to merge")?;
+    let n = first.shard.count;
+    if shards.len() != n {
+        return Err(format!(
+            "incomplete sharding: got {} reports for a {n}-way sweep",
+            shards.len()
+        ));
+    }
+    let mut seen = vec![false; n];
+    // Grid indices are positions in the *literal* (as-spelled) grid, so the
+    // configs must match literally — two spellings with the same canonical
+    // form order their grids differently, and accepting them here would
+    // silently pair indices from different grids.
+    let config_json = serde_json::to_string(&first.config).expect("sweep configs always serialize");
+    for s in shards {
+        if s.shard.count != n {
+            return Err(format!(
+                "mixed shard counts: found {} alongside {n}",
+                s.shard.count
+            ));
+        }
+        if serde_json::to_string(&s.config).expect("sweep configs always serialize") != config_json
+        {
+            return Err(format!(
+                "shard {} was produced by a different sweep configuration \
+                 (grid axes must match in the same order, not just the same set)",
+                s.shard
+            ));
+        }
+        if std::mem::replace(&mut seen[s.shard.index], true) {
+            return Err(format!("duplicate shard {}", s.shard));
+        }
+    }
+
+    let mut records: Vec<&ShardRecord> = shards.iter().flat_map(|s| &s.records).collect();
+    records.sort_by_key(|r| r.grid_index);
+    let mut skipped: Vec<&(usize, SweepPoint, String)> =
+        shards.iter().flat_map(|s| &s.skipped).collect();
+    skipped.sort_by_key(|(i, _, _)| *i);
+
+    // Every grid index must be accounted for exactly once.
+    let grid_len = first.config.grid().len();
+    let mut indices: Vec<usize> = records
+        .iter()
+        .map(|r| r.grid_index)
+        .chain(skipped.iter().map(|(i, _, _)| *i))
+        .collect();
+    indices.sort_unstable();
+    if indices != (0..grid_len).collect::<Vec<_>>() {
+        return Err(format!(
+            "shard outputs cover {} of {grid_len} grid points (corrupt or truncated shard file?)",
+            indices.len()
+        ));
+    }
+
+    Ok(SweepReport {
+        config: first.config.clone(),
+        records: records.into_iter().map(|r| r.record.clone()).collect(),
+        skipped: skipped
+            .iter()
+            .map(|(_, p, reason)| (*p, reason.clone()))
+            .collect(),
+        wall_seconds: shards.iter().map(|s| s.wall_seconds).sum(),
+        threads: shards.iter().map(|s| s.threads).max().unwrap_or(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod_llm::config::LlmModel;
+    use bitmod_llm::proxy::ProxyConfig;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig::new(vec![LlmModel::Phi2B, LlmModel::Opt1_3B], vec![3, 4])
+            .with_proxy(ProxyConfig::tiny())
+            .with_seed(9)
+    }
+
+    #[test]
+    fn spec_parsing_and_validation() {
+        assert_eq!(
+            ShardSpec::parse("0/4").unwrap(),
+            ShardSpec::new(0, 4).unwrap()
+        );
+        assert_eq!(ShardSpec::parse("3/4").unwrap().label(), "3/4");
+        assert!(ShardSpec::parse("4/4").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("x/2").is_err());
+        assert!(ShardSpec::parse("12").is_err());
+        assert_eq!(ShardSpec::all(3).len(), 3);
+    }
+
+    #[test]
+    fn strided_partition_is_disjoint_and_complete() {
+        let cfg = tiny_cfg();
+        let grid_len = cfg.grid().len();
+        let mut all: Vec<usize> = ShardSpec::all(3)
+            .into_iter()
+            .flat_map(|s| shard_points(&cfg, s).into_iter().map(|(i, _)| i))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..grid_len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_shard_merge_equals_direct_run() {
+        let cfg = tiny_cfg();
+        let merged = merge_shards(&[run_shard(&cfg, ShardSpec::new(0, 1).unwrap())]).unwrap();
+        let direct = cfg.run();
+        assert_eq!(
+            serde_json::to_string(&merged.records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap()
+        );
+        assert_eq!(merged.skipped, direct.skipped);
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_duplicate_and_mismatched_shards() {
+        let cfg = tiny_cfg();
+        let s0 = run_shard(&cfg, ShardSpec::new(0, 2).unwrap());
+        let s1 = run_shard(&cfg, ShardSpec::new(1, 2).unwrap());
+        assert!(merge_shards(&[]).is_err());
+        assert!(
+            merge_shards(std::slice::from_ref(&s0)).is_err(),
+            "missing shard 1/2"
+        );
+        assert!(
+            merge_shards(&[s0.clone(), s0.clone()]).is_err(),
+            "duplicate 0/2"
+        );
+        let other = run_shard(&cfg.clone().with_seed(10), ShardSpec::new(1, 2).unwrap());
+        assert!(
+            merge_shards(&[s0.clone(), other]).is_err(),
+            "config mismatch"
+        );
+        // Same canonical grid, different spelling: grid indices refer to
+        // differently-ordered grids, so the merge must refuse (accepting
+        // would silently duplicate one point and drop another).
+        let mut reordered = cfg.clone();
+        reordered.bits.reverse();
+        assert_eq!(reordered.cache_key(), cfg.cache_key(), "equivalent grids");
+        let s1_reordered = run_shard(&reordered, ShardSpec::new(1, 2).unwrap());
+        assert!(
+            merge_shards(&[s0.clone(), s1_reordered]).is_err(),
+            "reordered-spelling shard must be rejected"
+        );
+        assert!(merge_shards(&[s0, s1]).is_ok());
+    }
+
+    #[test]
+    fn shard_report_json_roundtrip() {
+        let cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4]).with_proxy(ProxyConfig::tiny());
+        let shard = run_shard(&cfg, ShardSpec::new(0, 2).unwrap());
+        let back = ShardReport::from_json(&shard.to_json()).unwrap();
+        assert_eq!(back.shard, shard.shard);
+        assert_eq!(back.records.len(), shard.records.len());
+        assert_eq!(
+            serde_json::to_string(&back.records).unwrap(),
+            serde_json::to_string(&shard.records).unwrap()
+        );
+    }
+}

@@ -25,12 +25,13 @@ use crate::{Pipeline, PipelineReport};
 use bitmod_accel::AcceleratorKind;
 use bitmod_dtypes::mx::MxFormat;
 use bitmod_llm::config::LlmModel;
-use bitmod_llm::eval::EvalHarness;
+use bitmod_llm::eval::{EvalHarness, HarnessPool};
 use bitmod_llm::memory::TaskShape;
 use bitmod_llm::proxy::ProxyConfig;
 use bitmod_quant::{Granularity, QuantConfig, QuantMethod, ScaleDtype};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A quantization data-type family, parameterized by bit width at grid
 /// expansion time.
@@ -288,6 +289,150 @@ impl SweepConfig {
     pub fn run(&self) -> SweepReport {
         run_sweep(self)
     }
+
+    /// The canonical form of this configuration: every grid axis sorted into
+    /// a fixed order and deduplicated.
+    ///
+    /// Two configurations with the same canonical form describe the same set
+    /// of grid points (run order aside), so the serving engine's dedup/result
+    /// cache keys on [`SweepConfig::cache_key`] — the canonical form's JSON —
+    /// and executes the canonical form itself, making cache hits return
+    /// records in a deterministic grid order.
+    ///
+    /// Sort orders: models and dtypes by their position in
+    /// [`LlmModel::ALL`] / [`SweepDtype::ALL`], bits ascending, granularities
+    /// tensor < channel < group (ascending group size).
+    pub fn canonicalized(&self) -> SweepConfig {
+        let mut out = self.clone();
+        let model_rank = |m: &LlmModel| {
+            LlmModel::ALL
+                .iter()
+                .position(|x| x == m)
+                .unwrap_or(usize::MAX)
+        };
+        let dtype_rank = |d: &SweepDtype| {
+            SweepDtype::ALL
+                .iter()
+                .position(|x| x == d)
+                .unwrap_or(usize::MAX)
+        };
+        let gran_rank = |g: &Granularity| match *g {
+            Granularity::PerTensor => (0usize, 0usize),
+            Granularity::PerChannel => (1, 0),
+            Granularity::PerGroup(n) => (2, n),
+        };
+        out.models.sort_by_key(model_rank);
+        out.models.dedup();
+        out.dtypes.sort_by_key(dtype_rank);
+        out.dtypes.dedup();
+        out.bits.sort_unstable();
+        out.bits.dedup();
+        out.granularities.sort_by_key(gran_rank);
+        out.granularities.dedup();
+        out
+    }
+
+    /// The dedup/result-cache key of this configuration: the compact JSON of
+    /// its canonical form.  Every field that influences the records (models,
+    /// dtypes, bits, granularities, proxy size, task shape, accelerator,
+    /// seed) is part of the key.
+    pub fn cache_key(&self) -> String {
+        serde_json::to_string(&self.canonicalized()).expect("sweep configs always serialize")
+    }
+}
+
+/// The string-spelled grid axes accepted by every user-facing surface — the
+/// `bitmod-cli` `sweep`/`submit`/`worker` flags and the serve protocol's
+/// `submit` request all funnel through [`GridSpec::build`], so the two
+/// surfaces cannot drift apart in spellings, ranges, or defaults.
+///
+/// `models` and `bits` are required (empty lists are errors); every other
+/// axis falls back to the [`SweepConfig::new`] defaults.
+#[derive(Debug, Clone, Default)]
+pub struct GridSpec {
+    /// Model spellings (`phi-2`, `llama2-7b`, … or `all`).
+    pub models: Vec<String>,
+    /// Bit-width spellings (`3`, `4`, …).
+    pub bits: Vec<String>,
+    /// Dtype spellings (`bitmod`, `int-asym`, …); `None` keeps the default.
+    pub dtypes: Option<Vec<String>>,
+    /// Granularity spellings (`tensor`, `channel`, `128`, `g64`); `None`
+    /// keeps the default.
+    pub granularities: Option<Vec<String>>,
+    /// Proxy size (`standard` | `tiny`); `None` means `standard`.
+    pub proxy: Option<String>,
+    /// Accelerator (`lossy` | `lossless`); `None` means `lossy`.
+    pub accelerator: Option<String>,
+    /// Seed; `None` keeps the default (callers parse their own spelling so
+    /// each surface reports the error in its own vocabulary).
+    pub seed: Option<u64>,
+}
+
+impl GridSpec {
+    /// Validates every axis and assembles the [`SweepConfig`].
+    pub fn build(&self) -> Result<SweepConfig, String> {
+        let mut models = Vec::new();
+        for name in &self.models {
+            if name.eq_ignore_ascii_case("all") {
+                models = LlmModel::ALL.to_vec();
+                break;
+            }
+            match LlmModel::parse_cli_name(name) {
+                Some(m) => models.push(m),
+                None => return Err(format!("unknown model `{name}`")),
+            }
+        }
+        if models.is_empty() {
+            return Err("at least one model is required".to_string());
+        }
+
+        let mut bits = Vec::new();
+        for b in &self.bits {
+            match b.parse::<u8>() {
+                Ok(n) if (2..=16).contains(&n) => bits.push(n),
+                _ => return Err(format!("invalid bit width `{b}`")),
+            }
+        }
+        if bits.is_empty() {
+            return Err("at least one bit width is required".to_string());
+        }
+
+        let mut cfg = SweepConfig::new(models, bits);
+        if let Some(dtype_strs) = &self.dtypes {
+            let mut dtypes = Vec::new();
+            for d in dtype_strs {
+                match SweepDtype::parse(d) {
+                    Some(dt) => dtypes.push(dt),
+                    None => return Err(format!("unknown dtype `{d}`")),
+                }
+            }
+            cfg = cfg.with_dtypes(dtypes);
+        }
+        if let Some(gran_strs) = &self.granularities {
+            let mut grans = Vec::new();
+            for g in gran_strs {
+                match parse_granularity(g) {
+                    Some(gr) => grans.push(gr),
+                    None => return Err(format!("invalid granularity `{g}`")),
+                }
+            }
+            cfg = cfg.with_granularities(grans);
+        }
+        match self.proxy.as_deref().unwrap_or("standard") {
+            "standard" => {}
+            "tiny" => cfg = cfg.with_proxy(ProxyConfig::tiny()),
+            other => return Err(format!("unknown proxy size `{other}`")),
+        }
+        match self.accelerator.as_deref().unwrap_or("lossy") {
+            "lossy" => {}
+            "lossless" => cfg = cfg.with_accelerator(AcceleratorKind::BitModLossless),
+            other => return Err(format!("unknown accelerator `{other}`")),
+        }
+        if let Some(seed) = self.seed {
+            cfg = cfg.with_seed(seed);
+        }
+        Ok(cfg)
+    }
 }
 
 /// One completed sweep point: the grid coordinates plus the full pipeline
@@ -387,13 +532,25 @@ impl SweepReport {
 /// then a rayon fan-out of [`Pipeline::run_with_harness`] across all valid
 /// grid points.
 pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    run_sweep_with_pool(cfg, &HarnessPool::new())
+}
+
+/// Runs a sweep against a shared, long-lived [`HarnessPool`].
+///
+/// This is [`run_sweep`] with the harness-per-model cache hoisted out of the
+/// call: the serving engine keeps one pool for its whole lifetime, so
+/// consecutive (or batched) jobs that touch the same `(model, proxy, seed)`
+/// skip harness synthesis entirely.  Harness construction is deterministic,
+/// so the records are bit-identical to a [`run_sweep`] call — the pool only
+/// changes *when* harnesses get built, never what they contain.
+pub fn run_sweep_with_pool(cfg: &SweepConfig, pool: &HarnessPool) -> SweepReport {
     let started = std::time::Instant::now();
 
-    // Phase 1: one harness per model, built concurrently.
-    let harnesses: Vec<EvalHarness> = cfg
+    // Phase 1: one harness per model, fetched (or built) concurrently.
+    let harnesses: Vec<Arc<EvalHarness>> = cfg
         .models
         .par_iter()
-        .map(|&m| EvalHarness::with_config(m, cfg.proxy, cfg.seed))
+        .map(|&m| pool.get_or_build(m, cfg.proxy, cfg.seed))
         .collect();
     let harness_for = |model: LlmModel| -> &EvalHarness {
         harnesses
@@ -403,27 +560,17 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
     };
 
     // Phase 2: validate the grid, then fan out the valid points.
-    let (valid, skipped): (Vec<_>, Vec<_>) = cfg
-        .grid()
-        .into_iter()
-        .map(|p| (p, p.quant_config()))
-        .partition(|(_, q)| q.is_ok());
-    let skipped = skipped
-        .into_iter()
-        .map(|(p, q)| (p, q.unwrap_err()))
-        .collect();
-
+    let mut valid = Vec::new();
+    let mut skipped = Vec::new();
+    for p in cfg.grid() {
+        match p.quant_config() {
+            Ok(q) => valid.push((p, q)),
+            Err(reason) => skipped.push((p, reason)),
+        }
+    }
     let records: Vec<SweepRecord> = valid
         .into_par_iter()
-        .map(|(point, quant)| {
-            let pipeline = Pipeline::new(point.model)
-                .with_quant_config(quant.expect("partitioned on is_ok"))
-                .with_proxy_config(cfg.proxy)
-                .with_task(cfg.task)
-                .with_accelerator(cfg.accelerator);
-            let report = pipeline.run_with_harness(harness_for(point.model));
-            SweepRecord { point, report }
-        })
+        .map(|(point, quant)| run_point(cfg, point, quant, harness_for(point.model)))
         .collect();
 
     SweepReport {
@@ -433,6 +580,22 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
         wall_seconds: started.elapsed().as_secs_f64(),
         threads: rayon::current_num_threads(),
     }
+}
+
+/// Runs one validated grid point against its model's harness.
+pub(crate) fn run_point(
+    cfg: &SweepConfig,
+    point: SweepPoint,
+    quant: QuantConfig,
+    harness: &EvalHarness,
+) -> SweepRecord {
+    let pipeline = Pipeline::new(point.model)
+        .with_quant_config(quant)
+        .with_proxy_config(cfg.proxy)
+        .with_task(cfg.task)
+        .with_accelerator(cfg.accelerator);
+    let report = pipeline.run_with_harness(harness);
+    SweepRecord { point, report }
 }
 
 #[cfg(test)]
@@ -515,6 +678,137 @@ mod tests {
         let frontier = report.pareto_frontier();
         assert!(!frontier.is_empty());
         assert!(frontier.len() <= report.records.len());
+    }
+
+    #[test]
+    fn canonicalization_sorts_dedups_and_keys_stably() {
+        let mut a = tiny_sweep();
+        a.models = vec![LlmModel::Opt1_3B, LlmModel::Phi2B, LlmModel::Opt1_3B];
+        a.dtypes = vec![SweepDtype::IntAsym, SweepDtype::BitMod];
+        a.bits = vec![4, 3, 4];
+        a.granularities = vec![Granularity::PerGroup(128), Granularity::PerChannel];
+        let mut b = tiny_sweep();
+        b.models = vec![LlmModel::Phi2B, LlmModel::Opt1_3B];
+        b.dtypes = vec![SweepDtype::BitMod, SweepDtype::IntAsym];
+        b.bits = vec![3, 4];
+        b.granularities = vec![Granularity::PerChannel, Granularity::PerGroup(128)];
+        // Same point set in different spellings: same canonical form and key.
+        assert_eq!(a.cache_key(), b.cache_key());
+        let canon = a.canonicalized();
+        assert_eq!(canon.models, vec![LlmModel::Opt1_3B, LlmModel::Phi2B]);
+        assert_eq!(canon.dtypes, vec![SweepDtype::BitMod, SweepDtype::IntAsym]);
+        assert_eq!(canon.bits, vec![3, 4]);
+        assert_eq!(
+            canon.granularities,
+            vec![Granularity::PerChannel, Granularity::PerGroup(128)]
+        );
+        // Canonicalization is idempotent.
+        assert_eq!(canon.cache_key(), canon.canonicalized().cache_key());
+        // Any record-affecting field changes the key.
+        assert_ne!(a.cache_key(), a.clone().with_seed(8).cache_key());
+        assert_ne!(
+            a.cache_key(),
+            a.clone()
+                .with_accelerator(AcceleratorKind::BitModLossless)
+                .cache_key()
+        );
+    }
+
+    #[test]
+    fn pooled_sweep_matches_fresh_sweep_and_reuses_harnesses() {
+        let cfg = tiny_sweep();
+        let direct = cfg.run();
+        let pool = HarnessPool::new();
+        let first = run_sweep_with_pool(&cfg, &pool);
+        assert_eq!(pool.len(), 2, "one harness per model");
+        let second = run_sweep_with_pool(&cfg, &pool);
+        assert_eq!(pool.len(), 2, "second job reuses the pooled harnesses");
+        let records_json =
+            |r: &SweepReport| serde_json::to_string(&r.records).expect("records serialize");
+        assert_eq!(records_json(&direct), records_json(&first));
+        assert_eq!(records_json(&direct), records_json(&second));
+    }
+
+    #[test]
+    fn grid_spec_builds_and_rejects_like_the_cli_documents() {
+        let strings = |items: &[&str]| items.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let spec = GridSpec {
+            models: strings(&["phi-2", "opt-1.3b"]),
+            bits: strings(&["3", "4"]),
+            dtypes: Some(strings(&["bitmod", "mx"])),
+            granularities: Some(strings(&["g64", "channel"])),
+            proxy: Some("tiny".to_string()),
+            accelerator: Some("lossless".to_string()),
+            seed: Some(9),
+        };
+        let cfg = spec.build().unwrap();
+        assert_eq!(cfg.models, vec![LlmModel::Phi2B, LlmModel::Opt1_3B]);
+        assert_eq!(cfg.bits, vec![3, 4]);
+        assert_eq!(cfg.dtypes, vec![SweepDtype::BitMod, SweepDtype::Mx]);
+        assert_eq!(cfg.proxy, ProxyConfig::tiny());
+        assert_eq!(cfg.accelerator, AcceleratorKind::BitModLossless);
+        assert_eq!(cfg.seed, 9);
+        // `all` expands to every model; defaults match SweepConfig::new.
+        let all = GridSpec {
+            models: strings(&["all"]),
+            bits: strings(&["4"]),
+            ..GridSpec::default()
+        }
+        .build()
+        .unwrap();
+        assert_eq!(all.models, LlmModel::ALL.to_vec());
+        assert_eq!(
+            all.cache_key(),
+            SweepConfig::new(LlmModel::ALL.to_vec(), vec![4]).cache_key()
+        );
+        // Every invalid axis is a named error.
+        for (spec, needle) in [
+            (GridSpec::default(), "at least one model"),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    ..GridSpec::default()
+                },
+                "at least one bit width",
+            ),
+            (
+                GridSpec {
+                    models: strings(&["gpt-9"]),
+                    bits: strings(&["4"]),
+                    ..GridSpec::default()
+                },
+                "unknown model",
+            ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["99"]),
+                    ..GridSpec::default()
+                },
+                "invalid bit width",
+            ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["4"]),
+                    dtypes: Some(strings(&["float8"])),
+                    ..GridSpec::default()
+                },
+                "unknown dtype",
+            ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["4"]),
+                    proxy: Some("huge".to_string()),
+                    ..GridSpec::default()
+                },
+                "unknown proxy",
+            ),
+        ] {
+            let err = spec.build().expect_err(needle);
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Property tests pinning the sharding contract: any `k/n` partition of a
+//! sweep grid, run in any order and merged, is bit-identical (records and
+//! skipped points) to the unsharded sweep of the same configuration.
+
+use bitmod::llm::config::LlmModel;
+use bitmod::llm::eval::HarnessPool;
+use bitmod::llm::proxy::ProxyConfig;
+use bitmod::quant::Granularity;
+use bitmod::shard::{merge_shards, run_shard, run_shard_with_pool, shard_points, ShardSpec};
+use bitmod::sweep::{SweepConfig, SweepDtype, SweepReport};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The fixed grid the expensive bit-identity property runs on: one model at
+/// tiny proxy size, 2 dtypes × 2 bits where `bitmod@6` is invalid — so the
+/// grid exercises records *and* skipped points (3 valid + 1 skipped).
+fn identity_cfg() -> SweepConfig {
+    let mut cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4, 6])
+        .with_proxy(ProxyConfig::tiny())
+        .with_seed(11);
+    cfg.dtypes = vec![SweepDtype::BitMod, SweepDtype::IntAsym];
+    cfg
+}
+
+/// The unsharded baseline, computed once per test binary.
+fn direct_baseline() -> &'static SweepReport {
+    static DIRECT: OnceLock<SweepReport> = OnceLock::new();
+    DIRECT.get_or_init(|| identity_cfg().run())
+}
+
+/// The pool shared by all pooled shard runs of the identity property (one
+/// harness build for the whole binary; determinism makes pooling invisible
+/// to the results, which `worker_path_fresh_harnesses_match_direct_run`
+/// verifies separately for the fresh-harness path).
+fn shared_pool() -> &'static HarnessPool {
+    static POOL: OnceLock<HarnessPool> = OnceLock::new();
+    POOL.get_or_init(HarnessPool::new)
+}
+
+/// Serialized records + skipped points: the portion of a report that defines
+/// its identity (wall seconds and thread counts are execution metadata).
+fn result_fingerprint(report: &SweepReport) -> String {
+    let records = serde_json::to_string(&report.records).expect("records serialize");
+    let skipped = serde_json::to_string(&report.skipped).expect("skipped serialize");
+    format!("{records}|{skipped}")
+}
+
+proptest! {
+    /// Structural property at full case count (cheap — no pipeline runs):
+    /// for any grid shape and shard count, the strided partition is
+    /// deterministic, disjoint, and complete, and each shard's size differs
+    /// from the ideal `len/n` by less than one.
+    #[test]
+    fn partition_is_deterministic_disjoint_and_balanced(
+        n_models in 1usize..=3,
+        n_bits in 1usize..=4,
+        n_grans in 1usize..=2,
+        count in 1usize..=9,
+    ) {
+        let cfg = SweepConfig::new(
+            LlmModel::ALL[..n_models].to_vec(),
+            (3..3 + n_bits as u8).collect(),
+        )
+        .with_granularities(
+            [Granularity::PerGroup(64), Granularity::PerChannel][..n_grans].to_vec(),
+        );
+        let grid_len = cfg.grid().len();
+        let mut seen = Vec::new();
+        for spec in ShardSpec::all(count) {
+            let points = shard_points(&cfg, spec);
+            // Deterministic: the same spec always yields the same slice.
+            prop_assert_eq!(shard_points(&cfg, spec), points.clone());
+            let ideal = grid_len as f64 / count as f64;
+            prop_assert!(
+                (points.len() as f64 - ideal).abs() < 1.0,
+                "shard {} holds {} of {} points (ideal {:.2})",
+                spec, points.len(), grid_len, ideal
+            );
+            for (i, p) in points {
+                prop_assert_eq!(cfg.grid()[i], p); // index/point pairing holds
+                seen.push(i);
+            }
+        }
+        seen.sort_unstable();
+        // Disjoint and complete: the shards tile the grid exactly.
+        prop_assert_eq!(seen, (0..grid_len).collect::<Vec<_>>());
+    }
+
+    /// Any spelling of a configuration (shuffled/duplicated axes) produces
+    /// the same cache key as the canonical form — the dedup contract of the
+    /// serving engine.
+    #[test]
+    fn cache_key_is_invariant_under_axis_reordering(
+        rot_models in 0usize..3,
+        rot_bits in 0usize..3,
+        dup in 0usize..3,
+    ) {
+        let canon = SweepConfig::new(
+            vec![LlmModel::Opt1_3B, LlmModel::Phi2B, LlmModel::Yi6B],
+            vec![3, 4, 8],
+        ).canonicalized();
+        let mut scrambled = canon.clone();
+        let m_rot = rot_models % scrambled.models.len();
+        scrambled.models.rotate_left(m_rot);
+        let b_rot = rot_bits % scrambled.bits.len();
+        scrambled.bits.rotate_left(b_rot);
+        if dup > 0 {
+            let m = scrambled.models[dup % scrambled.models.len()];
+            scrambled.models.push(m);
+            let b = scrambled.bits[dup % scrambled.bits.len()];
+            scrambled.bits.push(b);
+        }
+        prop_assert_eq!(scrambled.cache_key(), canon.cache_key());
+    }
+}
+
+/// The headline property: for every shard count (run in a rotated order, so
+/// merge input order is exercised too), the merged shard reports are
+/// bit-identical to the direct sweep.  Each case runs real pipelines, so the
+/// case count is capped; shard counts beyond the grid size (empty shards)
+/// are included via `count in 1..=6` over a 4-point grid.
+#[test]
+fn any_sharding_merges_bit_identical_to_direct_sweep() {
+    let cfg = identity_cfg();
+    let direct = direct_baseline();
+    let cases = proptest::cases().min(6);
+    let mut rng = proptest::TestRng::new(proptest::seed_for(
+        "any_sharding_merges_bit_identical_to_direct_sweep",
+    ));
+    for case in 0..cases {
+        let count = (1usize..=6).sample(&mut rng);
+        let rotation = (0usize..6).sample(&mut rng);
+        let mut shards: Vec<_> = ShardSpec::all(count)
+            .into_iter()
+            .map(|spec| run_shard_with_pool(&cfg, spec, shared_pool()))
+            .collect();
+        shards.rotate_left(rotation % count);
+        let merged = merge_shards(&shards)
+            .unwrap_or_else(|e| panic!("case {case}: merge of {count} shards failed: {e}"));
+        assert_eq!(
+            result_fingerprint(&merged),
+            result_fingerprint(direct),
+            "case {case}: {count}-way sharding diverged from the direct sweep"
+        );
+        assert_eq!(merged.config.cache_key(), direct.config.cache_key());
+    }
+}
+
+/// The worker-process path builds fresh harnesses per shard (no shared
+/// pool); determinism must make that invisible in the merged result.
+#[test]
+fn worker_path_fresh_harnesses_match_direct_run() {
+    let cfg = identity_cfg();
+    let shards: Vec<_> = ShardSpec::all(2)
+        .into_iter()
+        .map(|spec| run_shard(&cfg, spec))
+        .collect();
+    let merged = merge_shards(&shards).expect("complete sharding merges");
+    assert_eq!(
+        result_fingerprint(&merged),
+        result_fingerprint(direct_baseline())
+    );
+}

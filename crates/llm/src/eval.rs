@@ -19,6 +19,8 @@ use crate::proxy::{LinearId, ProxyConfig, ProxyTransformer};
 use bitmod_quant::QuantConfig;
 use bitmod_tensor::{Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Perplexity on the two proxy evaluation streams.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -156,6 +158,74 @@ impl EvalHarness {
 /// Seed salt so the evaluation streams never collide with weight synthesis.
 const EVAL_SEED_SALT: u64 = 0x5EED_CAFE;
 
+/// The inputs that fully determine an [`EvalHarness`]: harness construction
+/// is a pure function of `(model, proxy size, seed)`.
+pub type HarnessKey = (LlmModel, ProxyConfig, u64);
+
+/// A thread-safe cache of evaluation harnesses, shared across sweeps.
+///
+/// Harness synthesis dominates the cost of a small sweep, and two sweep
+/// requests that overlap on a model (same proxy size, same seed) need the
+/// *same* harness — construction is deterministic.  The serving engine keeps
+/// one pool for its whole lifetime so batched jobs reuse each other's
+/// harnesses; `bitmod::sweep::run_sweep_with_pool` is the consumer.
+///
+/// ```
+/// use bitmod_llm::config::LlmModel;
+/// use bitmod_llm::eval::HarnessPool;
+/// use bitmod_llm::proxy::ProxyConfig;
+///
+/// let pool = HarnessPool::new();
+/// let a = pool.get_or_build(LlmModel::Phi2B, ProxyConfig::tiny(), 1);
+/// let b = pool.get_or_build(LlmModel::Phi2B, ProxyConfig::tiny(), 1);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct HarnessPool {
+    harnesses: Mutex<HashMap<HarnessKey, Arc<EvalHarness>>>,
+}
+
+impl HarnessPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached harness for `(model, proxy, seed)`, building it
+    /// first if the pool has not seen the key yet.
+    ///
+    /// The build runs outside the pool lock so concurrent callers working on
+    /// *different* models never serialize on each other; if two threads race
+    /// on the same key the first insert wins and the loser's build is
+    /// discarded (both builds are bit-identical, so either result is
+    /// correct).
+    pub fn get_or_build(&self, model: LlmModel, proxy: ProxyConfig, seed: u64) -> Arc<EvalHarness> {
+        let key = (model, proxy, seed);
+        if let Some(h) = self.harnesses.lock().expect("pool lock").get(&key) {
+            return Arc::clone(h);
+        }
+        let built = Arc::new(EvalHarness::with_config(model, proxy, seed));
+        let mut map = self.harnesses.lock().expect("pool lock");
+        Arc::clone(map.entry(key).or_insert(built))
+    }
+
+    /// Number of distinct harnesses currently cached.
+    pub fn len(&self) -> usize {
+        self.harnesses.lock().expect("pool lock").len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached harness (the serving engine's cache-control hook).
+    pub fn clear(&self) {
+        self.harnesses.lock().expect("pool lock").clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +325,26 @@ mod tests {
             let acts = h.calibration_for(id);
             assert_eq!(acts.rows(), CALIB_LEN);
         }
+    }
+
+    #[test]
+    fn harness_pool_shares_and_distinguishes_keys() {
+        let pool = HarnessPool::new();
+        let a = pool.get_or_build(LlmModel::Phi2B, ProxyConfig::tiny(), 1);
+        let same = pool.get_or_build(LlmModel::Phi2B, ProxyConfig::tiny(), 1);
+        assert!(Arc::ptr_eq(&a, &same));
+        // Any differing key component yields a distinct harness.
+        let other_seed = pool.get_or_build(LlmModel::Phi2B, ProxyConfig::tiny(), 2);
+        let other_model = pool.get_or_build(LlmModel::Opt1_3B, ProxyConfig::tiny(), 1);
+        assert!(!Arc::ptr_eq(&a, &other_seed));
+        assert!(!Arc::ptr_eq(&a, &other_model));
+        assert_eq!(pool.len(), 3);
+        // The pooled harness is bit-identical to a fresh build.
+        let fresh = EvalHarness::with_config(LlmModel::Phi2B, ProxyConfig::tiny(), 1);
+        assert_eq!(a.wiki_stream, fresh.wiki_stream);
+        assert_eq!(a.fp16_perplexity(), fresh.fp16_perplexity());
+        pool.clear();
+        assert!(pool.is_empty());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use bitmod_tensor::{Matrix, SeededRng};
 use serde::{from_map, Deserialize, Error, Serialize, Value};
 
 /// Size parameters of the proxy model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ProxyConfig {
     /// Vocabulary size.
     pub vocab: usize,

@@ -5,6 +5,18 @@
 //! group to minimize the mean-square error between the original and quantized
 //! weights.  The search is embarrassingly parallel across groups (the paper
 //! vectorizes it on a GPU; here rayon parallelizes across rows).
+//!
+//! ```
+//! use bitmod_dtypes::bitmod::BitModFamily;
+//! use bitmod_quant::adaptive::adaptive_quantize_group;
+//!
+//! // A group with one large negative outlier: the adaptive search picks the
+//! // special value that absorbs it instead of stretching the basic grid.
+//! let group = [0.1f32, -0.2, 0.05, -1.6];
+//! let picked = adaptive_quantize_group(&group, &BitModFamily::fp3());
+//! assert_eq!(picked.quant.reconstructed.len(), group.len());
+//! assert!(picked.quant.mse.is_finite());
+//! ```
 
 use crate::slice::{
     codebook_mse, codebook_mse_pruned, codebook_scale, quantize_codebook, SliceQuant,

@@ -1,5 +1,16 @@
 //! Quantization configuration: which data type, at which granularity, with
 //! which scale-factor precision.
+//!
+//! ```
+//! use bitmod_quant::{Granularity, QuantConfig, QuantMethod, ScaleDtype};
+//!
+//! let cfg = QuantConfig::new(QuantMethod::bitmod(4), Granularity::PerGroup(128))
+//!     .with_scale_dtype(ScaleDtype::Int(8));
+//! assert_eq!(cfg.method.label(), "BitMoD-4b");
+//! // Per-group metadata costs a fraction of a bit per weight (Section III-C).
+//! let eff = cfg.effective_bits_per_weight(4096, 4096);
+//! assert!(eff > 4.0 && eff < 4.2);
+//! ```
 
 use crate::granularity::Granularity;
 use bitmod_dtypes::bitmod::BitModFamily;

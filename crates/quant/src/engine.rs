@@ -5,6 +5,17 @@
 //! the per-group metadata (selected special values, scaling factors).  The
 //! reconstruction is what the proxy-LLM evaluation consumes; the metadata is
 //! what the accelerator model consumes.
+//!
+//! ```
+//! use bitmod_quant::{quantize_matrix, Granularity, QuantConfig, QuantMethod};
+//! use bitmod_tensor::{synthetic::WeightProfile, SeededRng};
+//!
+//! let w = WeightProfile::llama_like().sample_matrix(4, 256, &mut SeededRng::new(3));
+//! let cfg = QuantConfig::new(QuantMethod::bitmod(4), Granularity::PerGroup(128));
+//! let q = quantize_matrix(&w, &cfg);
+//! assert_eq!(q.reconstructed.rows(), w.rows());
+//! assert!(q.stats.sqnr_db > 10.0, "4-bit BitMoD reconstructs well");
+//! ```
 
 use crate::adaptive::adaptive_quantize_group;
 use crate::config::{QuantConfig, QuantMethod, ScaleDtype};

@@ -5,6 +5,16 @@
 //! (row), or one per contiguous group of `G` elements within a row.  Finer
 //! granularity means smaller per-slice dynamic range and therefore smaller
 //! quantization error, at the cost of per-group metadata.
+//!
+//! ```
+//! use bitmod_quant::Granularity;
+//!
+//! // A 4×256 tensor: one scale, one per row, or one per 128-wide group.
+//! assert_eq!(Granularity::PerTensor.num_slices(4, 256), 1);
+//! assert_eq!(Granularity::PerChannel.num_slices(4, 256), 4);
+//! assert_eq!(Granularity::per_group_default().num_slices(4, 256), 8);
+//! assert_eq!(Granularity::per_group_default().label(), "PG-128");
+//! ```
 
 use serde::{Deserialize, Serialize};
 

@@ -8,6 +8,16 @@
 //! group's effective scale becomes `q · Δ_channel` with `q` a small integer
 //! that the PE can apply bit-serially.  Table V shows INT8 scale factors are
 //! lossless; this module reproduces that experiment's machinery.
+//!
+//! ```
+//! use bitmod_quant::scale_quant::{quantize_scales, scale_quantization_rel_error};
+//!
+//! let scales = [0.011f32, 0.048, 0.072, 0.030];
+//! let q = quantize_scales(&scales, 8);
+//! assert_eq!(q.codes.len(), scales.len());
+//! // Table V: INT8 second-level scales are (near-)lossless.
+//! assert!(scale_quantization_rel_error(&scales, 8) < 0.01);
+//! ```
 
 use bitmod_dtypes::int::symmetric_qmax;
 use serde::{Deserialize, Serialize};

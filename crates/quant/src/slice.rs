@@ -6,6 +6,17 @@
 //! * [`quantize_codebook`] implements the non-linear quantization used for
 //!   every float-like grid (FP3/FP4/FP6, Flint, the BitMoD extensions, the
 //!   OliVe and MX element types), with an absmax-calibrated scale.
+//!
+//! ```
+//! use bitmod_quant::slice::quantize_int_symmetric;
+//!
+//! let values = [0.9f32, -0.4, 0.1, -1.0];
+//! let q = quantize_int_symmetric(&values, 4);
+//! // Eq. 1: every element lands within half a step of its input.
+//! for (x, r) in values.iter().zip(&q.reconstructed) {
+//!     assert!((x - r).abs() <= q.scale / 2.0 + 1e-6);
+//! }
+//! ```
 
 use bitmod_dtypes::int::{asymmetric_qmax, symmetric_qmax};
 use bitmod_dtypes::Codebook;

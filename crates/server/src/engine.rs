@@ -1,0 +1,369 @@
+//! The long-running job engine: worker threads draining a [`JobQueue`],
+//! batching harness synthesis across jobs through one shared
+//! [`HarnessPool`], and (optionally) running every job as an `n`-way
+//! in-process sharded sweep.
+
+use crate::job::{JobQueue, JobStatus, JobView, SubmitOutcome};
+use bitmod::shard::{merge_shards, run_shard_with_pool, ShardSpec};
+use bitmod::sweep::{run_sweep_with_pool, SweepConfig, SweepReport};
+use bitmod_llm::eval::HarnessPool;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tunables of a serving engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue (each sweep is itself
+    /// rayon-parallel, so more than a few workers rarely helps).
+    pub workers: usize,
+    /// In-process shard count per job: `1` runs each sweep whole, `n > 1`
+    /// partitions every grid with [`ShardSpec`] and merges, exercising the
+    /// exact same partition/merge path as `bitmod-cli worker`.
+    pub shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            shards: 1,
+        }
+    }
+}
+
+/// Aggregate engine counters, reported by `ping`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Total jobs (all states).
+    pub jobs: usize,
+    /// Jobs waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs finished successfully.
+    pub done: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Submissions absorbed by dedup instead of spawning a job.
+    pub deduped_submissions: usize,
+    /// Distinct harnesses in the shared pool.
+    pub pool_harnesses: usize,
+    /// Worker thread count.
+    pub workers: usize,
+    /// In-process shards per job.
+    pub shards: usize,
+}
+
+/// The serving engine: shared state plus the harness pool that batches
+/// synthesis across jobs.
+///
+/// Construction does not spawn anything; [`ServeEngine::start`] returns a
+/// handle owning the worker threads.
+///
+/// ```
+/// use bitmod::llm::config::LlmModel;
+/// use bitmod::llm::proxy::ProxyConfig;
+/// use bitmod::sweep::SweepConfig;
+/// use bitmod_server::engine::{EngineConfig, ServeEngine};
+///
+/// let handle = ServeEngine::start(EngineConfig { workers: 1, shards: 2 });
+/// let cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+///     .with_proxy(ProxyConfig::tiny());
+/// let out = handle.engine().submit(&cfg);
+/// handle.engine().drain();
+/// let report = handle.engine().result(&out.job_id).unwrap().unwrap();
+/// assert_eq!(report.records.len(), 2);
+/// handle.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ServeEngine {
+    state: Mutex<JobQueue>,
+    /// Wakes workers when a job is queued or shutdown is requested.
+    wake: Condvar,
+    /// Wakes [`ServeEngine::drain`] waiters when a job finishes.
+    idle: Condvar,
+    pool: HarnessPool,
+    config: EngineConfig,
+}
+
+/// Owns a running engine's worker threads; dropping without
+/// [`EngineHandle::shutdown`] detaches them (they exit at process end).
+#[derive(Debug)]
+pub struct EngineHandle {
+    engine: Arc<ServeEngine>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EngineHandle {
+    /// The engine this handle controls.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Requests shutdown and joins every worker.  Workers drain the queue
+    /// before exiting, so jobs accepted before the request still complete.
+    pub fn shutdown(self) {
+        self.engine.request_shutdown();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl ServeEngine {
+    /// Spawns `config.workers` worker threads around a fresh engine.
+    pub fn start(config: EngineConfig) -> EngineHandle {
+        let engine = Arc::new(ServeEngine {
+            state: Mutex::new(JobQueue::default()),
+            wake: Condvar::new(),
+            idle: Condvar::new(),
+            pool: HarnessPool::new(),
+            config: EngineConfig {
+                workers: config.workers.max(1),
+                shards: config.shards.max(1),
+            },
+        });
+        let workers = (0..engine.config.workers)
+            .map(|_| {
+                let e = Arc::clone(&engine);
+                std::thread::spawn(move || e.worker_loop())
+            })
+            .collect();
+        EngineHandle { engine, workers }
+    }
+
+    /// Submits a sweep; returns the (possibly deduplicated) job id.
+    pub fn submit(&self, config: &SweepConfig) -> SubmitOutcome {
+        let outcome = self.state.lock().expect("engine lock").submit(config);
+        if !outcome.deduped {
+            self.wake.notify_one();
+        }
+        outcome
+    }
+
+    /// Snapshot of one job, or `None` for an unknown id.
+    pub fn status(&self, id: &str) -> Option<JobView> {
+        self.state
+            .lock()
+            .expect("engine lock")
+            .jobs
+            .get(id)
+            .map(|j| j.view())
+    }
+
+    /// The completed report of a done job.  `None` for an unknown id,
+    /// `Some(Err)` while the job is not (successfully) finished.
+    pub fn result(&self, id: &str) -> Option<Result<Arc<SweepReport>, String>> {
+        let state = self.state.lock().expect("engine lock");
+        let job = state.jobs.get(id)?;
+        Some(match (&job.report, job.status) {
+            (Some(r), _) => Ok(Arc::clone(r)),
+            (None, JobStatus::Failed) => Err(job
+                .error
+                .clone()
+                .unwrap_or_else(|| "job failed".to_string())),
+            (None, s) => Err(format!("job is {} — result not available yet", s.name())),
+        })
+    }
+
+    /// Every job, in submission order.
+    pub fn list(&self) -> Vec<JobView> {
+        self.state.lock().expect("engine lock").views()
+    }
+
+    /// Aggregate counters for `ping`.
+    pub fn stats(&self) -> EngineStats {
+        let state = self.state.lock().expect("engine lock");
+        let count = |s: JobStatus| state.jobs.values().filter(|j| j.status == s).count();
+        EngineStats {
+            jobs: state.jobs.len(),
+            queued: count(JobStatus::Queued),
+            running: count(JobStatus::Running),
+            done: count(JobStatus::Done),
+            failed: count(JobStatus::Failed),
+            deduped_submissions: state.jobs.values().map(|j| j.submissions - 1).sum(),
+            pool_harnesses: self.pool.len(),
+            workers: self.config.workers,
+            shards: self.config.shards,
+        }
+    }
+
+    /// Blocks until no job is queued or running.
+    pub fn drain(&self) {
+        let mut state = self.state.lock().expect("engine lock");
+        while state.has_live_jobs() {
+            state = self.idle.wait(state).expect("engine lock");
+        }
+    }
+
+    /// Flags shutdown and wakes every worker.
+    pub fn request_shutdown(&self) {
+        self.state.lock().expect("engine lock").shutting_down = true;
+        self.wake.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.lock().expect("engine lock").shutting_down
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let next = {
+                let mut state = self.state.lock().expect("engine lock");
+                loop {
+                    if let Some(job) = state.take_next() {
+                        break Some(job);
+                    }
+                    if state.shutting_down {
+                        break None;
+                    }
+                    state = self.wake.wait(state).expect("engine lock");
+                }
+            };
+            let Some((id, config)) = next else { return };
+            // A panicking sweep must fail its job, not kill the worker.
+            let result = catch_unwind(AssertUnwindSafe(|| self.execute(&config)))
+                .unwrap_or_else(|p| Err(panic_message(p)));
+            self.state.lock().expect("engine lock").finish(&id, result);
+            self.idle.notify_all();
+        }
+    }
+
+    /// Runs one job: whole-grid, or sharded `n` ways and merged when the
+    /// engine is configured with `shards > 1`.  Both paths share the
+    /// engine-wide harness pool, which is what batches synthesis across
+    /// overlapping jobs.
+    fn execute(&self, config: &SweepConfig) -> Result<SweepReport, String> {
+        if self.config.shards <= 1 {
+            return Ok(run_sweep_with_pool(config, &self.pool));
+        }
+        let shards: Vec<_> = ShardSpec::all(self.config.shards)
+            .into_iter()
+            .map(|spec| run_shard_with_pool(config, spec, &self.pool))
+            .collect();
+        merge_shards(&shards)
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("sweep panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("sweep panicked: {s}")
+    } else {
+        "sweep panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod::llm::config::LlmModel;
+    use bitmod::llm::proxy::ProxyConfig;
+    use bitmod::sweep::SweepDtype;
+
+    fn tiny(models: Vec<LlmModel>) -> SweepConfig {
+        SweepConfig::new(models, vec![3, 4]).with_proxy(ProxyConfig::tiny())
+    }
+
+    #[test]
+    fn engine_runs_jobs_to_completion_and_dedups() {
+        let handle = ServeEngine::start(EngineConfig {
+            workers: 2,
+            shards: 1,
+        });
+        let a = handle.engine().submit(&tiny(vec![LlmModel::Phi2B]));
+        let b = handle.engine().submit(&tiny(vec![LlmModel::Phi2B]));
+        assert_eq!(a.job_id, b.job_id);
+        assert!(b.deduped);
+        handle.engine().drain();
+        let view = handle.engine().status(&a.job_id).expect("job exists");
+        assert_eq!(view.status, JobStatus::Done);
+        assert_eq!(view.submissions, 2);
+        let report = handle.engine().result(&a.job_id).unwrap().unwrap();
+        assert_eq!(report.records.len(), 4); // 1 model × 2 dtypes × 2 bits
+        let stats = handle.engine().stats();
+        assert_eq!(stats.done, 1);
+        assert_eq!(stats.deduped_submissions, 1);
+        assert_eq!(stats.pool_harnesses, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn batched_jobs_share_harnesses_across_overlapping_grids() {
+        let handle = ServeEngine::start(EngineConfig {
+            workers: 1,
+            shards: 1,
+        });
+        // Three jobs over two distinct models → exactly two harnesses built.
+        handle.engine().submit(&tiny(vec![LlmModel::Phi2B]));
+        handle.engine().submit(&tiny(vec![LlmModel::Opt1_3B]));
+        handle
+            .engine()
+            .submit(&tiny(vec![LlmModel::Phi2B, LlmModel::Opt1_3B]));
+        handle.engine().drain();
+        let stats = handle.engine().stats();
+        assert_eq!(stats.done, 3);
+        assert_eq!(stats.pool_harnesses, 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn sharded_engine_matches_whole_grid_engine() {
+        let cfg = tiny(vec![LlmModel::Phi2B]).with_seed(5);
+        let direct = cfg.run();
+        let handle = ServeEngine::start(EngineConfig {
+            workers: 1,
+            shards: 3,
+        });
+        let out = handle.engine().submit(&cfg);
+        handle.engine().drain();
+        let served = handle.engine().result(&out.job_id).unwrap().unwrap();
+        assert_eq!(
+            serde_json::to_string(&served.records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap()
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_ids_and_unfinished_results_are_reported() {
+        let handle = ServeEngine::start(EngineConfig {
+            workers: 1,
+            shards: 1,
+        });
+        assert!(handle.engine().status("job-99").is_none());
+        assert!(handle.engine().result("job-99").is_none());
+        let out = handle.engine().submit(
+            &SweepConfig::new(vec![LlmModel::Phi2B], vec![4]).with_proxy(ProxyConfig::tiny()),
+        );
+        // Immediately after submit, the result may legitimately not be ready.
+        match handle.engine().result(&out.job_id) {
+            Some(Ok(_)) => {}
+            Some(Err(msg)) => assert!(msg.contains("not available")),
+            None => panic!("job must exist"),
+        }
+        handle.engine().drain();
+        assert!(handle.engine().result(&out.job_id).unwrap().is_ok());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dedup_distinguishes_every_grid_axis() {
+        let handle = ServeEngine::start(EngineConfig {
+            workers: 1,
+            shards: 1,
+        });
+        let base = tiny(vec![LlmModel::Phi2B]);
+        let a = handle.engine().submit(&base);
+        let b = handle
+            .engine()
+            .submit(&base.clone().with_dtypes(vec![SweepDtype::Mx]));
+        assert_ne!(a.job_id, b.job_id);
+        handle.engine().drain();
+        handle.shutdown();
+    }
+}

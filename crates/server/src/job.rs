@@ -1,0 +1,279 @@
+//! Job bookkeeping for the serving engine: identifiers, lifecycle states,
+//! and the queue/dedup-cache state machine.
+
+use bitmod::sweep::{SweepConfig, SweepReport};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Lifecycle state of a submitted sweep job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Accepted and waiting for a worker.
+    Queued,
+    /// A worker is executing the sweep.
+    Running,
+    /// Finished; the report is available.
+    Done,
+    /// Execution failed (the reason is in [`JobView::error`]).
+    Failed,
+}
+
+impl JobStatus {
+    /// The wire spelling of this status (`queued`, `running`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One job tracked by the engine.
+#[derive(Debug)]
+pub struct Job {
+    /// The job identifier (`job-1`, `job-2`, … in submission order).
+    pub id: String,
+    /// The canonicalized configuration this job executes.
+    pub config: SweepConfig,
+    /// The dedup/result-cache key ([`SweepConfig::cache_key`]).
+    pub cache_key: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// How many submissions were coalesced into this job (1 = no dedup hit).
+    pub submissions: usize,
+    /// The completed report, once `status == Done`.
+    pub report: Option<Arc<SweepReport>>,
+    /// The failure reason, once `status == Failed`.
+    pub error: Option<String>,
+}
+
+/// A read-only snapshot of a job, safe to hand to protocol handlers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobView {
+    /// The job identifier.
+    pub id: String,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// How many submissions were coalesced into this job.
+    pub submissions: usize,
+    /// Number of completed records, once done.
+    pub records: Option<usize>,
+    /// Number of skipped grid points, once done.
+    pub skipped: Option<usize>,
+    /// Sweep wall-clock seconds, once done.
+    pub wall_seconds: Option<f64>,
+    /// The failure reason, if the job failed.
+    pub error: Option<String>,
+}
+
+impl Job {
+    /// Snapshots the job for protocol responses.
+    pub fn view(&self) -> JobView {
+        JobView {
+            id: self.id.clone(),
+            status: self.status,
+            submissions: self.submissions,
+            records: self.report.as_ref().map(|r| r.records.len()),
+            skipped: self.report.as_ref().map(|r| r.skipped.len()),
+            wall_seconds: self.report.as_ref().map(|r| r.wall_seconds),
+            error: self.error.clone(),
+        }
+    }
+}
+
+/// The engine's mutable state: FIFO queue, job table, and the dedup index
+/// from canonical configuration keys to job ids.
+///
+/// The queue holds job *ids*; the job table owns the data.  A submission
+/// whose canonical key matches an existing job (whatever its state) attaches
+/// to that job instead of enqueueing a duplicate — a completed job doubles as
+/// the result cache.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    /// Jobs by id.
+    pub jobs: HashMap<String, Job>,
+    /// Queued job ids, oldest first.
+    pub pending: VecDeque<String>,
+    /// Canonical config key → job id (the dedup/result cache).
+    pub by_key: HashMap<String, String>,
+    /// Total jobs created (drives id assignment; dedup hits do not count).
+    pub submitted: usize,
+    /// True once shutdown has been requested; workers drain and exit.
+    pub shutting_down: bool,
+}
+
+/// Outcome of a submission: the job id plus whether it deduplicated onto an
+/// existing job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The job the submission attached to.
+    pub job_id: String,
+    /// True if an existing job (queued, running, or finished) absorbed the
+    /// submission.
+    pub deduped: bool,
+}
+
+impl JobQueue {
+    /// Submits a configuration: either attaches to the job already covering
+    /// its canonical form, or creates and enqueues a new job.
+    ///
+    /// A `Failed` job does not absorb new submissions — resubmitting its
+    /// grid enqueues a fresh job (the retry path), and the new job takes
+    /// over the dedup index entry.  The failed job stays queryable by id.
+    pub fn submit(&mut self, config: &SweepConfig) -> SubmitOutcome {
+        let canonical = config.canonicalized();
+        let cache_key = canonical.cache_key();
+        if let Some(id) = self.by_key.get(&cache_key) {
+            let job = self.jobs.get_mut(id).expect("dedup index points at a job");
+            if job.status != JobStatus::Failed {
+                job.submissions += 1;
+                return SubmitOutcome {
+                    job_id: id.clone(),
+                    deduped: true,
+                };
+            }
+        }
+        self.submitted += 1;
+        let id = format!("job-{}", self.submitted);
+        self.jobs.insert(
+            id.clone(),
+            Job {
+                id: id.clone(),
+                config: canonical,
+                cache_key: cache_key.clone(),
+                status: JobStatus::Queued,
+                submissions: 1,
+                report: None,
+                error: None,
+            },
+        );
+        self.by_key.insert(cache_key, id.clone());
+        self.pending.push_back(id.clone());
+        SubmitOutcome {
+            job_id: id,
+            deduped: false,
+        }
+    }
+
+    /// Pops the oldest queued job and marks it running; `None` if the queue
+    /// is empty.
+    pub fn take_next(&mut self) -> Option<(String, SweepConfig)> {
+        let id = self.pending.pop_front()?;
+        let job = self.jobs.get_mut(&id).expect("queued id exists");
+        job.status = JobStatus::Running;
+        Some((id, job.config.clone()))
+    }
+
+    /// Records a finished job.
+    pub fn finish(&mut self, id: &str, result: Result<SweepReport, String>) {
+        let job = self.jobs.get_mut(id).expect("running id exists");
+        match result {
+            Ok(report) => {
+                job.report = Some(Arc::new(report));
+                job.status = JobStatus::Done;
+            }
+            Err(e) => {
+                job.error = Some(e);
+                job.status = JobStatus::Failed;
+            }
+        }
+    }
+
+    /// Whether any job is queued or running.
+    pub fn has_live_jobs(&self) -> bool {
+        !self.pending.is_empty() || self.jobs.values().any(|j| j.status == JobStatus::Running)
+    }
+
+    /// Snapshots every job, in submission order.
+    pub fn views(&self) -> Vec<JobView> {
+        let mut views: Vec<&Job> = self.jobs.values().collect();
+        views.sort_by_key(|j| {
+            j.id.strip_prefix("job-")
+                .and_then(|n| n.parse::<usize>().ok())
+                .unwrap_or(usize::MAX)
+        });
+        views.into_iter().map(|j| j.view()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod::llm::config::LlmModel;
+    use bitmod::llm::proxy::ProxyConfig;
+    use bitmod::sweep::SweepDtype;
+
+    fn cfg() -> SweepConfig {
+        SweepConfig::new(vec![LlmModel::Phi2B], vec![4]).with_proxy(ProxyConfig::tiny())
+    }
+
+    #[test]
+    fn submit_dedups_on_canonical_form() {
+        let mut q = JobQueue::default();
+        let first = q.submit(&cfg());
+        assert!(!first.deduped);
+        // Same grid spelled differently (reversed dtype list) coalesces.
+        let mut reordered = cfg();
+        reordered.dtypes = vec![SweepDtype::IntAsym, SweepDtype::BitMod];
+        let second = q.submit(&reordered);
+        assert!(second.deduped);
+        assert_eq!(second.job_id, first.job_id);
+        assert_eq!(q.jobs[&first.job_id].submissions, 2);
+        assert_eq!(q.pending.len(), 1);
+        // A genuinely different grid gets its own job.
+        let third = q.submit(&cfg().with_seed(7));
+        assert!(!third.deduped);
+        assert_ne!(third.job_id, first.job_id);
+    }
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let mut q = JobQueue::default();
+        let out = q.submit(&cfg());
+        assert_eq!(q.jobs[&out.job_id].status, JobStatus::Queued);
+        let (id, config) = q.take_next().expect("one queued job");
+        assert_eq!(id, out.job_id);
+        assert_eq!(q.jobs[&id].status, JobStatus::Running);
+        assert!(q.has_live_jobs());
+        q.finish(&id, Ok(config.run()));
+        assert_eq!(q.jobs[&id].status, JobStatus::Done);
+        assert!(!q.has_live_jobs());
+        let view = &q.views()[0];
+        assert_eq!(view.status, JobStatus::Done);
+        assert!(view.records.unwrap() > 0);
+        // Dedup hit after completion: the done job is the result cache.
+        assert!(q.submit(&cfg()).deduped);
+    }
+
+    #[test]
+    fn failed_jobs_carry_their_reason() {
+        let mut q = JobQueue::default();
+        let out = q.submit(&cfg());
+        let (id, _) = q.take_next().unwrap();
+        q.finish(&id, Err("worker exploded".to_string()));
+        assert_eq!(q.jobs[&out.job_id].status, JobStatus::Failed);
+        assert_eq!(q.views()[0].error.as_deref(), Some("worker exploded"));
+    }
+
+    #[test]
+    fn failed_jobs_do_not_poison_the_dedup_cache() {
+        let mut q = JobQueue::default();
+        let first = q.submit(&cfg());
+        let (id, _) = q.take_next().unwrap();
+        q.finish(&id, Err("transient failure".to_string()));
+        // Resubmission of the same grid retries as a fresh job…
+        let retry = q.submit(&cfg());
+        assert!(!retry.deduped);
+        assert_ne!(retry.job_id, first.job_id);
+        assert_eq!(q.pending.len(), 1);
+        // …the failed job stays queryable, and further submissions dedup
+        // onto the retry, not the corpse.
+        assert_eq!(q.jobs[&first.job_id].status, JobStatus::Failed);
+        let third = q.submit(&cfg());
+        assert!(third.deduped);
+        assert_eq!(third.job_id, retry.job_id);
+    }
+}

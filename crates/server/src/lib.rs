@@ -1,0 +1,52 @@
+//! Serving infrastructure for BitMoD sweeps — the long-running side of
+//! `bitmod-cli`.
+//!
+//! The offline sweep flow (`bitmod-cli sweep`) pays harness synthesis and
+//! process startup on every invocation.  This crate wraps the same
+//! [`bitmod::sweep`] machinery in a daemon so heavy traffic amortizes both:
+//!
+//! * [`job`] — the [`job::JobQueue`] state machine: FIFO queue, job table,
+//!   and a dedup/result cache keyed by the canonicalized sweep configuration
+//!   ([`bitmod::sweep::SweepConfig::cache_key`]), so identical grids —
+//!   however spelled — execute once and every later submission is a cache
+//!   hit.
+//! * [`engine`] — worker threads draining the queue.  All jobs share one
+//!   [`bitmod_llm::eval::HarnessPool`], which batches the expensive
+//!   per-model harness synthesis across overlapping sweep requests; with
+//!   `shards > 1` every job runs as a deterministic `k/n`-sharded sweep
+//!   merged by [`bitmod::shard::merge_shards`].
+//! * [`proto`] — the line-delimited JSON wire protocol (`submit` / `status`
+//!   / `result` / `list` / `ping` / `shutdown`), identical over stdin/stdout
+//!   and TCP.
+//! * [`serve`] — the stdio and TCP serve loops `bitmod-cli serve` runs.
+//!
+//! No new dependencies: the protocol rides on the vendored `serde_json` shim
+//! and `std::net`, consistent with the workspace's offline policy.
+//!
+//! ```
+//! use bitmod::llm::config::LlmModel;
+//! use bitmod::llm::proxy::ProxyConfig;
+//! use bitmod::sweep::SweepConfig;
+//! use bitmod_server::engine::{EngineConfig, ServeEngine};
+//!
+//! let handle = ServeEngine::start(EngineConfig::default());
+//! let cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+//!     .with_proxy(ProxyConfig::tiny());
+//! let first = handle.engine().submit(&cfg);
+//! let second = handle.engine().submit(&cfg); // dedup: same canonical grid
+//! assert_eq!(first.job_id, second.job_id);
+//! handle.engine().drain();
+//! assert!(handle.engine().result(&first.job_id).unwrap().is_ok());
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod job;
+pub mod proto;
+pub mod serve;
+
+pub use engine::{EngineConfig, EngineHandle, ServeEngine};
+pub use job::{JobQueue, JobStatus, JobView};

@@ -1,0 +1,344 @@
+//! The `bitmod-cli serve` wire protocol: one JSON object per line, in both
+//! directions, identical over stdin/stdout and TCP.
+//!
+//! Every request carries a `cmd` field; every response carries `ok` and, on
+//! failure, `error`.  A sweep submission spells its grid exactly like the
+//! `bitmod-cli sweep` flags do (model names, dtype names, `g128`-style
+//! granularities), so a request can be written by hand:
+//!
+//! ```json
+//! {"cmd": "submit", "models": "phi-2", "bits": [3, 4], "proxy": "tiny"}
+//! {"cmd": "status", "job": "job-1"}
+//! {"cmd": "result", "job": "job-1"}
+//! {"cmd": "list"}
+//! {"cmd": "ping"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! See `docs/SERVING.md` for the full protocol reference with copy-pasteable
+//! examples.
+
+use bitmod::llm::proxy::ProxyConfig;
+use bitmod::prelude::AcceleratorKind;
+use bitmod::sweep::{GridSpec, SweepConfig};
+use serde::Value;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Submit a sweep for execution.
+    Submit(Box<SweepConfig>),
+    /// Query one job's lifecycle state.
+    Status {
+        /// The job id to query.
+        job: String,
+    },
+    /// Fetch one finished job's full report.
+    Result {
+        /// The job id to fetch.
+        job: String,
+    },
+    /// Snapshot every job.
+    List,
+    /// Liveness check; the response carries engine counters.
+    Ping,
+    /// Ask the daemon to finish running jobs and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value =
+            serde_json::parse_value(line.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+        let map = value
+            .as_map()
+            .ok_or("request must be a JSON object".to_string())?;
+        let cmd = get_str(map, "cmd").ok_or("missing `cmd` field".to_string())?;
+        match cmd {
+            "submit" => Ok(Request::Submit(Box::new(sweep_from_map(map)?))),
+            "status" => Ok(Request::Status {
+                job: required_job(map)?,
+            }),
+            "result" => Ok(Request::Result {
+                job: required_job(map)?,
+            }),
+            "list" => Ok(Request::List),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown cmd `{other}` (expected submit, status, result, list, ping, or shutdown)"
+            )),
+        }
+    }
+}
+
+fn required_job(map: &[(String, Value)]) -> Result<String, String> {
+    get_str(map, "job")
+        .map(str::to_string)
+        .ok_or_else(|| "missing `job` field".to_string())
+}
+
+fn get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+    get(map, key).and_then(Value::as_str)
+}
+
+/// Accepts either a comma-separated string (`"3,4"`, `"phi-2,yi-6b"`) or a
+/// JSON array of strings/numbers — both spellings appear in the wild.
+fn string_items(v: &Value, key: &str) -> Result<Vec<String>, String> {
+    match v {
+        Value::Str(s) => Ok(s
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()),
+        Value::Seq(items) => items
+            .iter()
+            .map(|item| match item {
+                Value::Str(s) => Ok(s.clone()),
+                Value::I64(n) => Ok(n.to_string()),
+                Value::U64(n) => Ok(n.to_string()),
+                _ => Err(format!("`{key}` items must be strings or integers")),
+            })
+            .collect(),
+        _ => Err(format!("`{key}` must be a string or an array")),
+    }
+}
+
+/// Builds a [`SweepConfig`] from a submit request's fields.  All grid
+/// validation lives in [`GridSpec::build`], which `bitmod-cli` shares, so
+/// wire and CLI spellings cannot drift apart.
+fn sweep_from_map(map: &[(String, Value)]) -> Result<SweepConfig, String> {
+    let models_value = get(map, "models").ok_or("submit requires `models`".to_string())?;
+    let bits_value = get(map, "bits").ok_or("submit requires `bits`".to_string())?;
+    let seed = match get(map, "seed") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| "`seed` must be an unsigned integer".to_string())?,
+        ),
+    };
+    let spec = GridSpec {
+        models: string_items(models_value, "models")?,
+        bits: string_items(bits_value, "bits")?,
+        dtypes: get(map, "dtypes")
+            .map(|v| string_items(v, "dtypes"))
+            .transpose()?,
+        granularities: get(map, "granularities")
+            .map(|v| string_items(v, "granularities"))
+            .transpose()?,
+        proxy: get_str(map, "proxy").map(str::to_string),
+        accelerator: get_str(map, "accelerator").map(str::to_string),
+        seed,
+    };
+    spec.build()
+}
+
+/// Builds the submit request line for a configuration — the inverse of the
+/// parsing above, used by `bitmod-cli submit`.
+///
+/// Only grids expressible through the CLI flags can be spelled on the wire:
+/// the proxy must be `standard` or `tiny` and the accelerator `lossy` or
+/// `lossless` (the protocol names CLI spellings, not arbitrary structs).
+pub fn submit_line(cfg: &SweepConfig) -> Result<String, String> {
+    let proxy = if cfg.proxy == ProxyConfig::standard() {
+        "standard"
+    } else if cfg.proxy == ProxyConfig::tiny() {
+        "tiny"
+    } else {
+        return Err("only the standard/tiny proxy sizes can be submitted over the wire".into());
+    };
+    let accelerator = match cfg.accelerator {
+        AcceleratorKind::BitModLossy => "lossy",
+        AcceleratorKind::BitModLossless => "lossless",
+        other => return Err(format!("accelerator {other:?} has no wire spelling")),
+    };
+    let join = |items: Vec<String>| items.join(",");
+    let fields = vec![
+        ("cmd".to_string(), Value::Str("submit".to_string())),
+        (
+            "models".to_string(),
+            Value::Str(join(
+                cfg.models.iter().map(|m| m.name().to_string()).collect(),
+            )),
+        ),
+        (
+            "bits".to_string(),
+            Value::Str(join(cfg.bits.iter().map(|b| b.to_string()).collect())),
+        ),
+        (
+            "dtypes".to_string(),
+            Value::Str(join(
+                cfg.dtypes.iter().map(|d| d.name().to_string()).collect(),
+            )),
+        ),
+        (
+            "granularities".to_string(),
+            Value::Str(join(
+                cfg.granularities
+                    .iter()
+                    .map(bitmod::sweep::granularity_label)
+                    .collect(),
+            )),
+        ),
+        ("proxy".to_string(), Value::Str(proxy.to_string())),
+        (
+            "accelerator".to_string(),
+            Value::Str(accelerator.to_string()),
+        ),
+        ("seed".to_string(), Value::U64(cfg.seed)),
+    ];
+    Ok(serde_json::to_string(&Value::Map(fields)).expect("requests always serialize"))
+}
+
+/// Builds one response line (no trailing newline).
+pub fn response_line(fields: Vec<(&str, Value)>) -> String {
+    let map = Value::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    serde_json::to_string(&map).expect("response values always serialize")
+}
+
+/// The standard error response for a failed request.
+pub fn error_line(message: &str) -> String {
+    response_line(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(message.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod::sweep::SweepDtype;
+    use bitmod_llm::config::LlmModel;
+
+    #[test]
+    fn parses_every_command() {
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"status","job":"job-1"}"#),
+            Ok(Request::Status { job }) if job == "job-1"
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"result","job":"job-2"}"#),
+            Ok(Request::Result { job }) if job == "job-2"
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"list"}"#),
+            Ok(Request::List)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn submit_accepts_cli_spellings_and_json_arrays() {
+        let from_strings = Request::parse(
+            r#"{"cmd":"submit","models":"phi-2,opt-1.3b","bits":"3,4","dtypes":"bitmod,int-asym","granularities":"g128","proxy":"tiny","seed":7}"#,
+        )
+        .unwrap();
+        let from_arrays = Request::parse(
+            r#"{"cmd":"submit","models":["phi-2","opt-1.3b"],"bits":[3,4],"dtypes":["bitmod","int-asym"],"granularities":["128"],"proxy":"tiny","seed":7}"#,
+        )
+        .unwrap();
+        let (Request::Submit(a), Request::Submit(b)) = (from_strings, from_arrays) else {
+            panic!("both must parse as submits");
+        };
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.models, vec![LlmModel::Phi2B, LlmModel::Opt1_3B]);
+        assert_eq!(a.bits, vec![3, 4]);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn submit_defaults_match_cli_sweep_defaults() {
+        let Ok(Request::Submit(cfg)) =
+            Request::parse(r#"{"cmd":"submit","models":"phi-2","bits":"4"}"#)
+        else {
+            panic!("must parse");
+        };
+        let default = bitmod::sweep::SweepConfig::new(vec![LlmModel::Phi2B], vec![4]);
+        assert_eq!(cfg.cache_key(), default.cache_key());
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_actionable_errors() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"x":1}"#, "missing `cmd`"),
+            (r#"{"cmd":"nope"}"#, "unknown cmd"),
+            (r#"{"cmd":"status"}"#, "missing `job`"),
+            (r#"{"cmd":"submit","bits":"4"}"#, "requires `models`"),
+            (r#"{"cmd":"submit","models":"phi-2"}"#, "requires `bits`"),
+            (
+                r#"{"cmd":"submit","models":"gpt-9","bits":"4"}"#,
+                "unknown model",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"99"}"#,
+                "invalid bit width",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4","dtypes":"float8"}"#,
+                "unknown dtype",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4","seed":"abc"}"#,
+                "`seed` must be",
+            ),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(
+                err.contains(needle),
+                "`{line}` → `{err}` (wanted `{needle}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn submit_line_roundtrips_through_the_parser() {
+        use bitmod::llm::proxy::ProxyConfig;
+        use bitmod::quant::Granularity;
+        let cfg =
+            bitmod::sweep::SweepConfig::new(vec![LlmModel::Llama2_7B, LlmModel::Phi2B], vec![3, 4])
+                .with_dtypes(vec![SweepDtype::BitMod, SweepDtype::Mx])
+                .with_granularities(vec![Granularity::PerChannel, Granularity::PerGroup(64)])
+                .with_proxy(ProxyConfig::tiny())
+                .with_accelerator(AcceleratorKind::BitModLossless)
+                .with_seed(123);
+        let line = submit_line(&cfg).unwrap();
+        let Ok(Request::Submit(back)) = Request::parse(&line) else {
+            panic!("generated line must parse as a submit");
+        };
+        assert_eq!(back.cache_key(), cfg.cache_key());
+        // Non-CLI configurations are rejected rather than mis-spelled.
+        let custom = cfg.clone().with_accelerator(AcceleratorKind::Ant);
+        assert!(submit_line(&custom).is_err());
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let line = response_line(vec![
+            ("ok", Value::Bool(true)),
+            ("job", Value::Str("job-1".to_string())),
+        ]);
+        assert_eq!(line, r#"{"ok":true,"job":"job-1"}"#);
+        assert!(error_line("boom").contains(r#""ok":false"#));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,345 @@
+//! The serve loops: line-JSON request/response over stdin/stdout or a TCP
+//! listener, backed by a [`ServeEngine`].
+
+use crate::engine::ServeEngine;
+use crate::job::JobView;
+use crate::proto::{error_line, response_line, Request};
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handles one request line; returns the response line plus whether the
+/// request asked the daemon to shut down.
+pub fn handle_line(engine: &ServeEngine, line: &str) -> (String, bool) {
+    match Request::parse(line) {
+        Err(e) => (error_line(&e), false),
+        Ok(Request::Submit(config)) => {
+            let outcome = engine.submit(&config);
+            let status = engine
+                .status(&outcome.job_id)
+                .map(|v| v.status.name())
+                .unwrap_or("queued");
+            (
+                response_line(vec![
+                    ("ok", Value::Bool(true)),
+                    ("job", Value::Str(outcome.job_id)),
+                    ("deduped", Value::Bool(outcome.deduped)),
+                    ("status", Value::Str(status.to_string())),
+                ]),
+                false,
+            )
+        }
+        Ok(Request::Status { job }) => match engine.status(&job) {
+            None => (error_line(&format!("unknown job `{job}`")), false),
+            Some(view) => (
+                response_line(vec![("ok", Value::Bool(true)), ("job", view_value(&view))]),
+                false,
+            ),
+        },
+        Ok(Request::Result { job }) => match engine.result(&job) {
+            None => (error_line(&format!("unknown job `{job}`")), false),
+            Some(Err(e)) => (error_line(&e), false),
+            Some(Ok(report)) => (
+                response_line(vec![
+                    ("ok", Value::Bool(true)),
+                    ("job", Value::Str(job)),
+                    ("report", report.to_value()),
+                ]),
+                false,
+            ),
+        },
+        Ok(Request::List) => {
+            let jobs: Vec<Value> = engine.list().iter().map(view_value).collect();
+            (
+                response_line(vec![("ok", Value::Bool(true)), ("jobs", Value::Seq(jobs))]),
+                false,
+            )
+        }
+        Ok(Request::Ping) => (
+            response_line(vec![
+                ("ok", Value::Bool(true)),
+                ("stats", engine.stats().to_value()),
+            ]),
+            false,
+        ),
+        Ok(Request::Shutdown) => {
+            // Flag the engine here, not just the calling loop: the TCP accept
+            // loop watches this flag, and any connection may order shutdown.
+            engine.request_shutdown();
+            (
+                response_line(vec![
+                    ("ok", Value::Bool(true)),
+                    ("shutting_down", Value::Bool(true)),
+                ]),
+                true,
+            )
+        }
+    }
+}
+
+fn view_value(view: &JobView) -> Value {
+    let mut fields = vec![
+        ("id".to_string(), Value::Str(view.id.clone())),
+        (
+            "status".to_string(),
+            Value::Str(view.status.name().to_string()),
+        ),
+        (
+            "submissions".to_string(),
+            Value::U64(view.submissions as u64),
+        ),
+    ];
+    if let Some(n) = view.records {
+        fields.push(("records".to_string(), Value::U64(n as u64)));
+    }
+    if let Some(n) = view.skipped {
+        fields.push(("skipped".to_string(), Value::U64(n as u64)));
+    }
+    if let Some(w) = view.wall_seconds {
+        fields.push(("wall_seconds".to_string(), Value::F64(w)));
+    }
+    if let Some(e) = &view.error {
+        fields.push(("error".to_string(), Value::Str(e.clone())));
+    }
+    Value::Map(fields)
+}
+
+/// Serves requests from `input` to `output` until EOF or a `shutdown`
+/// request, then waits for in-flight jobs to finish.  `bitmod-cli serve`
+/// (without `--listen`) wires this to stdin/stdout.
+pub fn serve_lines(
+    engine: &ServeEngine,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(engine, &line);
+        writeln!(output, "{response}")?;
+        output.flush()?;
+        if shutdown {
+            break;
+        }
+    }
+    // Finish whatever was accepted (EOF is the stdio client's "I'm done
+    // submitting", not "abandon my jobs").
+    engine.drain();
+    Ok(())
+}
+
+/// Binds `addr` and serves each connection with the line protocol until a
+/// `shutdown` request arrives (from any connection).  Returns the bound
+/// listener so callers can report the actual port before entering the loop —
+/// pass it to [`serve_listener`].
+pub fn bind(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+/// Accept loop for a bound listener: one thread per connection, all sharing
+/// `engine`.  Returns once shutdown is requested and every connection thread
+/// has exited; in-flight jobs are drained before returning.
+pub fn serve_listener(engine: Arc<ServeEngine>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut connections = Vec::new();
+    while !engine.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                connections.push(std::thread::spawn(move || {
+                    let _ = serve_connection(&engine, stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Long-lived daemons see many connections: drop the handles
+                // of finished ones instead of accreting them until exit.
+                connections.retain(|c| !c.is_finished());
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+    engine.drain();
+    Ok(())
+}
+
+/// Serves one TCP connection until its peer disconnects, requests shutdown,
+/// or another connection shuts the daemon down.
+///
+/// Reads run with a short timeout so an *idle* connection notices
+/// engine-wide shutdown instead of blocking the daemon's exit forever.
+fn serve_connection(engine: &ServeEngine, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    // One persistent buffer: a timeout may interrupt mid-line, and the
+    // partial bytes already appended must survive until the line completes.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF — peer disconnected
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let (response, shutdown) = handle_line(engine, line.trim_end());
+                    writeln!(writer, "{response}")?;
+                    writer.flush()?;
+                    if shutdown {
+                        return Ok(());
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if engine.is_shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, ServeEngine};
+    use std::io::Cursor;
+
+    fn engine() -> crate::engine::EngineHandle {
+        ServeEngine::start(EngineConfig {
+            workers: 1,
+            shards: 1,
+        })
+    }
+
+    #[test]
+    fn stdio_session_submits_polls_and_fetches() {
+        let handle = engine();
+        let script = concat!(
+            r#"{"cmd":"ping"}"#,
+            "\n",
+            r#"{"cmd":"submit","models":"phi-2","bits":"4","proxy":"tiny"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        serve_lines(handle.engine(), Cursor::new(script), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""ok":true"#) && lines[0].contains("stats"));
+        assert!(lines[1].contains(r#""job":"job-1""#));
+        // serve_lines drained on EOF, so the job is done now.
+        let (status, _) = handle_line(handle.engine(), r#"{"cmd":"status","job":"job-1"}"#);
+        assert!(status.contains(r#""status":"done""#), "{status}");
+        let (result, _) = handle_line(handle.engine(), r#"{"cmd":"result","job":"job-1"}"#);
+        assert!(result.contains(r#""records""#), "result carries the report");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_not_disconnects() {
+        let handle = engine();
+        let mut out = Vec::new();
+        serve_lines(
+            handle.engine(),
+            Cursor::new("garbage\n\n{\"cmd\":\"list\"}\n"),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "blank line skipped, two responses: {out}");
+        assert!(lines[0].contains(r#""ok":false"#));
+        assert!(lines[1].contains(r#""jobs":[]"#));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_line_stops_the_session() {
+        let handle = engine();
+        let script = concat!(r#"{"cmd":"shutdown"}"#, "\n", r#"{"cmd":"ping"}"#, "\n");
+        let mut out = Vec::new();
+        serve_lines(handle.engine(), Cursor::new(script), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(out.lines().count(), 1, "nothing served after shutdown");
+        assert!(out.contains("shutting_down"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_do_not_block_shutdown() {
+        let handle = engine();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let engine_arc = Arc::clone(handle.engine());
+        let server = std::thread::spawn(move || serve_listener(engine_arc, listener));
+
+        // Client A connects and goes silent.
+        let idle = TcpStream::connect(addr).unwrap();
+        // Client B orders shutdown.
+        let mut b = TcpStream::connect(addr).unwrap();
+        writeln!(b, r#"{{"cmd":"shutdown"}}"#).unwrap();
+        let mut response = String::new();
+        BufReader::new(b).read_line(&mut response).unwrap();
+        assert!(response.contains("shutting_down"));
+
+        // The daemon must exit despite A's open idle connection.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(server.join());
+        });
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("serve_listener must return while an idle connection is open")
+            .unwrap()
+            .unwrap();
+        drop(idle);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tcp_round_trip_over_localhost() {
+        let handle = engine();
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let engine_arc = Arc::clone(handle.engine());
+        let server = std::thread::spawn(move || serve_listener(engine_arc, listener));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut send = |line: &str| -> String {
+            writeln!(writer, "{line}").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response
+        };
+        let submitted = send(r#"{"cmd":"submit","models":"phi-2","bits":"4","proxy":"tiny"}"#);
+        assert!(submitted.contains(r#""job":"job-1""#), "{submitted}");
+        // Poll until done (the engine is fast at tiny proxy size).
+        loop {
+            let status = send(r#"{"cmd":"status","job":"job-1"}"#);
+            if status.contains(r#""status":"done""#) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let result = send(r#"{"cmd":"result","job":"job-1"}"#);
+        assert!(result.contains(r#""records""#));
+        assert!(send(r#"{"cmd":"shutdown"}"#).contains("shutting_down"));
+        server.join().unwrap().unwrap();
+        handle.shutdown();
+    }
+}

@@ -5,6 +5,18 @@
 //! cipher RNG and adds the distribution samplers the synthetic weight
 //! generator needs: uniform, Gaussian (Box–Muller) and Student-t (ratio of a
 //! normal and a chi-square), none of which require external crates.
+//!
+//! ```
+//! use bitmod_tensor::SeededRng;
+//!
+//! // Same seed, same stream — the determinism every experiment relies on.
+//! let (mut a, mut b) = (SeededRng::new(42), SeededRng::new(42));
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert_eq!(a.below(10), b.below(10));
+//! // Forked child streams are independent of the parent's continuation.
+//! let mut child = a.fork(1);
+//! assert_ne!(child.next_u64(), b.next_u64());
+//! ```
 
 /// The ChaCha-8 stream cipher core: 16 words of state producing 16-word
 /// keystream blocks.  Self-contained so the tensor crate stays

@@ -5,6 +5,17 @@
 //! standard deviation (Fig. 2), and Algorithm 1 selects special values by
 //! mean-square error.  This module provides those primitives plus a few
 //! generally useful metrics (SQNR, quantiles).
+//!
+//! ```
+//! use bitmod_tensor::stats;
+//!
+//! let xs = [1.0f32, -4.0, 2.0, 3.0];
+//! assert_eq!(stats::absmax(&xs), 4.0);
+//! assert_eq!(stats::range(&xs), 7.0);
+//! assert_eq!(stats::mse(&xs, &xs), 0.0);
+//! // A perfect reconstruction has infinite SQNR; any error makes it finite.
+//! assert!(stats::sqnr_db(&xs, &[1.0, -4.0, 2.0, 2.5]).is_finite());
+//! ```
 
 /// Absolute maximum of a slice (`max |x|`).  Returns 0 for an empty slice.
 pub fn absmax(xs: &[f32]) -> f32 {
