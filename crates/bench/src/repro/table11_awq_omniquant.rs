@@ -1,12 +1,13 @@
 //! Table XI — Composing BitMoD with software-only quantization optimizers:
 //! GPTQ / AWQ / OmniQuant with integer data types vs AWQ / OmniQuant with the
 //! BitMoD data type, on the three Llama models at 4-bit and 3-bit.
+//!
+//! Each strategy is a `(QuantConfig, CompositionMethod)` pair dispatched
+//! through [`EvalHarness::compose`] — the same entry point the sweep method
+//! axis uses (`bitmod-cli sweep --method awq,omniquant` runs the same code).
 
 use crate::{f2, print_table, write_json};
 use bitmod::prelude::*;
-use bitmod::quant::awq::awq_quantize;
-use bitmod::quant::gptq::gptq_quantize;
-use bitmod::quant::omniquant::omniquant_quantize;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -60,56 +61,19 @@ pub fn run() {
         let int_cfg = QuantConfig::new(QuantMethod::IntAsym { bits }, g);
         let bm_cfg = QuantConfig::new(QuantMethod::bitmod(bits), g);
 
-        // (label, closure producing a quantized proxy model for one harness)
-        type Quantizer<'a> = Box<dyn Fn(&EvalHarness) -> ProxyTransformer + 'a>;
-        let strategies: Vec<(String, Quantizer)> = vec![
-            (
-                "GPTQ (INT)".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference.map_linears(|id, w| {
-                        gptq_quantize(w, h.calibration_for(id), &int_cfg.method, 128).reconstructed
-                    })
-                }),
-            ),
-            (
-                "AWQ (INT)".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference.map_linears(|id, w| {
-                        awq_quantize(w, h.calibration_for(id), &int_cfg)
-                            .quantized
-                            .reconstructed
-                    })
-                }),
-            ),
-            (
-                "OmniQ (INT)".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference
-                        .map_linears(|_, w| omniquant_quantize(w, &int_cfg).reconstructed)
-                }),
-            ),
-            (
-                "BitMoD + AWQ".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference.map_linears(|id, w| {
-                        awq_quantize(w, h.calibration_for(id), &bm_cfg)
-                            .quantized
-                            .reconstructed
-                    })
-                }),
-            ),
-            (
-                "BitMoD + OmniQ".to_string(),
-                Box::new(|h: &EvalHarness| {
-                    h.reference
-                        .map_linears(|_, w| omniquant_quantize(w, &bm_cfg).reconstructed)
-                }),
-            ),
+        // (label, quantizer config, composition method) — one row per pair,
+        // all dispatched through the shared method-axis entry point.
+        let strategies: Vec<(&str, &QuantConfig, CompositionMethod)> = vec![
+            ("GPTQ (INT)", &int_cfg, CompositionMethod::Gptq),
+            ("AWQ (INT)", &int_cfg, CompositionMethod::Awq),
+            ("OmniQ (INT)", &int_cfg, CompositionMethod::OmniQuant),
+            ("BitMoD + AWQ", &bm_cfg, CompositionMethod::Awq),
+            ("BitMoD + OmniQ", &bm_cfg, CompositionMethod::OmniQuant),
         ];
 
-        for (label, quantize) in &strategies {
+        for (label, cfg, method) in &strategies {
             eprintln!("[run] {bits}-bit {label}");
-            let mut row = vec![format!("{bits}-bit"), label.clone()];
+            let mut row = vec![format!("{bits}-bit"), label.to_string()];
             let mut delta_sum = 0.0;
             // Average over the seeds of each model.
             for (chunk, fp_chunk) in hs.chunks(SEEDS.len()).zip(fp16.chunks(SEEDS.len())) {
@@ -117,7 +81,7 @@ pub fn run() {
                 let mut c4 = 0.0;
                 let mut delta = 0.0;
                 for (h, fp) in chunk.iter().zip(fp_chunk) {
-                    let model = quantize(h);
+                    let model = h.compose(cfg, *method);
                     let p = h.evaluate_model(&model);
                     wiki += p.wiki;
                     c4 += p.c4;
@@ -132,7 +96,7 @@ pub fn run() {
                 delta_sum += delta;
                 json.push(Cell {
                     precision: bits,
-                    method: label.clone(),
+                    method: label.to_string(),
                     model: chunk[0].model.name().to_string(),
                     wiki_ppl: wiki,
                     c4_ppl: c4,

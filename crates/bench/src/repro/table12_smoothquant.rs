@@ -2,9 +2,12 @@
 //! BitMoD while activations are either FP16 or quantized to INT8 after
 //! activation-outlier smoothing, on the three Llama models.
 
+//! The smoothed weights are produced by [`EvalHarness::compose`] with
+//! [`CompositionMethod::SmoothQuant`] — the same dispatch the sweep method
+//! axis uses.
+
 use crate::{f2, print_table, write_json};
 use bitmod::prelude::*;
-use bitmod::quant::smoothquant::smoothquant_quantize;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -50,29 +53,27 @@ pub fn run() {
     ];
 
     for (bits, label, method) in &settings {
+        // SmoothQuant operates per linear layer: smooth against the captured
+        // calibration activations, quantize the smoothed weights, then fold
+        // the smoothing back so the surrounding proxy network is unchanged —
+        // exactly what the shared method-axis dispatch does, so the smoothed
+        // weights are computed once per (setting, model) and reused by both
+        // activation rows.
+        let cfg = QuantConfig::new(method.clone(), g);
+        let composed: Vec<ProxyTransformer> = hs
+            .iter()
+            .map(|h| h.compose(&cfg, CompositionMethod::SmoothQuant))
+            .collect();
         for (act_label, int8_acts) in [("FP16", false), ("SQ8", true)] {
             let mut row = vec![format!("{bits}-bit"), label.clone(), act_label.to_string()];
-            for h in &hs {
-                let cfg = QuantConfig::new(method.clone(), g);
-                // SmoothQuant operates per linear layer: smooth against the
-                // captured calibration activations, quantize the smoothed
-                // weights, then fold the smoothing back so the surrounding
-                // proxy network is unchanged.  For the SQ8 column the proxy
-                // additionally quantizes every decoder-linear input to INT8
-                // during the forward pass (see EXPERIMENTS.md for the
-                // substitution note).
-                let quantized = h.reference.map_linears(|id, w| {
-                    let result = smoothquant_quantize(w, h.calibration_for(id), &cfg, int8_acts);
-                    let mut rec = result.quantized_weights.reconstructed;
-                    for (c, &s) in result.smoothing.iter().enumerate() {
-                        rec.scale_col(c, 1.0 / s);
-                    }
-                    rec
-                });
+            for (h, base) in hs.iter().zip(&composed) {
+                // For the SQ8 column the proxy additionally quantizes every
+                // decoder-linear input to INT8 during the forward pass (see
+                // EXPERIMENTS.md for the substitution note).
                 let quantized = if int8_acts {
-                    quantized.with_activation_bits(8)
+                    base.with_activation_bits(8)
                 } else {
-                    quantized
+                    base.clone()
                 };
                 let ppl = h.evaluate_model(&quantized).wiki;
                 row.push(f2(ppl));

@@ -85,10 +85,11 @@ fn usage_error(message: &str, help: &str) -> ExitCode {
 }
 
 /// Builds a [`SweepConfig`] from the shared grid flags (`--models`, `--bits`,
-/// `--dtypes`, `--granularities`, `--proxy`, `--accelerator`, `--seed`) —
-/// the one grid parser behind `sweep`, `submit`, and `worker`.  All
-/// validation lives in [`GridSpec::build`], which the serve protocol shares,
-/// so CLI and wire spellings cannot drift apart.
+/// `--dtypes`, `--granularities`, `--method`, `--task`, `--accel`,
+/// `--scale-dtype`, `--proxy`, `--seed`) — the one grid parser behind
+/// `sweep`, `submit`, and `worker`.  All validation lives in
+/// [`GridSpec::build`], which the serve protocol shares, so CLI and wire
+/// spellings cannot drift apart.
 fn parse_sweep_config(flags: &Flags) -> Result<SweepConfig, String> {
     let strings = |items: Vec<&str>| items.into_iter().map(str::to_string).collect::<Vec<_>>();
     let seed = match flags.get("seed") {
@@ -103,8 +104,11 @@ fn parse_sweep_config(flags: &Flags) -> Result<SweepConfig, String> {
         bits: strings(flags.get_list("bits").ok_or("--bits is required")?),
         dtypes: flags.get_list("dtypes").map(&strings),
         granularities: flags.get_list("granularities").map(&strings),
+        methods: flags.get_list("method").map(&strings),
+        tasks: flags.get_list("task").map(&strings),
+        accels: flags.get_list("accel").map(&strings),
+        scale_dtypes: flags.get_list("scale-dtype").map(&strings),
         proxy: flags.get("proxy").map(str::to_string),
-        accelerator: flags.get("accelerator").map(str::to_string),
         seed,
     };
     spec.build()
@@ -271,7 +275,17 @@ fn cmd_serve(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         Ok(n) => n,
         Err(e) => return usage_error(&e, cmd.help),
     };
-    let handle = ServeEngine::start(EngineConfig { workers, shards });
+    // A cap of zero would evict every report before any client could fetch
+    // it, so the flag requires at least 1 (parse_count already enforces > 0).
+    let cache_cap = match parse_count("cache-cap", usize::MAX) {
+        Ok(n) => n,
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    let handle = ServeEngine::start(EngineConfig {
+        workers,
+        shards,
+        cache_cap,
+    });
 
     let served = match flags.get("listen") {
         Some(addr) => match bitmod_server::serve::bind(addr) {
@@ -628,16 +642,28 @@ fn print_records_table(report: &SweepReport, top: usize, pareto: bool) {
         println!("Pareto frontier (proxy perplexity vs effective bits):\n");
     }
     println!(
-        "{:<12} {:<10} {:>4} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8}",
-        "model", "dtype", "bits", "gran", "wiki-ppl", "c4-ppl", "eff-bits", "speedup", "e-gain"
+        "{:<12} {:<10} {:>4} {:>8} {:>11} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "model",
+        "dtype",
+        "bits",
+        "gran",
+        "comp",
+        "accel",
+        "wiki-ppl",
+        "c4-ppl",
+        "eff-bits",
+        "speedup",
+        "e-gain"
     );
     for r in records.iter().take(top) {
         println!(
-            "{:<12} {:<10} {:>4} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>8.3} {:>8.3}",
+            "{:<12} {:<10} {:>4} {:>8} {:>11} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>8.3} {:>8.3}",
             r.report.model.name(),
             r.point.dtype.name(),
             r.point.bits,
             bitmod::sweep::granularity_label(&r.point.granularity),
+            r.point.method.name(),
+            bitmod::sweep::accelerator_label(&r.point.accelerator),
             r.report.proxy_perplexity.wiki,
             r.report.proxy_perplexity.c4,
             r.report.effective_bits_per_weight,

@@ -33,8 +33,11 @@ pub const COMMANDS: &[CommandSpec] = &[
             "bits",
             "dtypes",
             "granularities",
+            "method",
+            "task",
+            "accel",
+            "scale-dtype",
             "proxy",
-            "accelerator",
             "seed",
             "out",
             "csv",
@@ -52,7 +55,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         name: "serve",
         summary: "Run the long-lived sweep daemon (line-JSON over stdio or TCP)",
         help: SERVE_HELP,
-        options: &["listen", "workers", "shards"],
+        options: &["listen", "workers", "shards", "cache-cap"],
         switches: &["help"],
     },
     CommandSpec {
@@ -65,8 +68,11 @@ pub const COMMANDS: &[CommandSpec] = &[
             "bits",
             "dtypes",
             "granularities",
+            "method",
+            "task",
+            "accel",
+            "scale-dtype",
             "proxy",
-            "accelerator",
             "seed",
             "out",
             "csv",
@@ -90,8 +96,11 @@ pub const COMMANDS: &[CommandSpec] = &[
             "bits",
             "dtypes",
             "granularities",
+            "method",
+            "task",
+            "accel",
+            "scale-dtype",
             "proxy",
-            "accelerator",
             "seed",
             "out",
         ],
@@ -139,9 +148,11 @@ pub fn root_help() -> String {
 const SWEEP_HELP: &str = "\
 bitmod-cli sweep — run a parallel configuration sweep
 
-Fans Pipeline runs out across models × dtypes × bits × granularities with
-rayon, building one evaluation harness per model and sharing it across that
-model's grid points.
+Fans Pipeline runs out across models × dtypes × bits × granularities ×
+methods × tasks × accelerators × scale-dtypes with rayon, building one
+evaluation harness per model and sharing it across that model's grid
+points.  Within each axis, spellings that resolve to the same value are
+rejected as duplicates.
 
 USAGE:
     bitmod-cli sweep --models <a,b,..> --bits <n,n,..> [OPTIONS]
@@ -156,18 +167,30 @@ OPTIONS:
                             mx, fp16)
     --granularities <list>  Granularities: tensor, channel, or group size
                             such as 128 / g64 [default: 128]
+    --method <list>         Composition methods applied with the model's
+                            calibration activations [default: none]
+                            (choices: none, awq, gptq, smoothquant,
+                            omniquant)
+    --task <list>           Task shapes for the accelerator simulation:
+                            generative, discriminative, or <in>x<out> such
+                            as 256x64 [default: generative]
+    --accel <list>          Simulated accelerators [default: lossy]
+                            (choices: lossy, lossless, ant, olive, fp16)
+    --scale-dtype <list>    Scale-factor precisions: fp16 or int2..int16
+                            [default: int8]
     --proxy <size>          Proxy model size: standard | tiny [default: standard]
-    --accelerator <kind>    Simulated accelerator: lossy | lossless
-                            [default: lossy]
     --seed <n>              Synthesis/evaluation seed [default: 42]
     --out <path>            JSON report path [default: bitmod-sweep.json]
     --csv <path>            Also write a CSV of the records
     --quiet                 Suppress the stdout summary table
     --help                  Show this message
 
-EXAMPLE:
+EXAMPLES:
     bitmod-cli sweep --models llama2-7b,phi-2 --bits 3,4 \\
-        --dtypes bitmod,int-asym,ant --out sweep.json --csv sweep.csv";
+        --dtypes bitmod,int-asym,ant --out sweep.json --csv sweep.csv
+    # Table XI shape: BitMoD vs INT-Asym under AWQ and OmniQuant
+    bitmod-cli sweep --models llama2-7b,llama2-13b,llama3-8b --bits 3,4 \\
+        --method awq,omniquant --out table11-sweep.json";
 
 const REPORT_HELP: &str = "\
 bitmod-cli report — summarize a sweep report or merge shard outputs
@@ -208,13 +231,16 @@ USAGE:
     bitmod-cli serve [OPTIONS]
 
 OPTIONS:
-    --listen <addr>   TCP listen address (e.g. 127.0.0.1:4774); without
-                      this flag the daemon speaks the same protocol over
-                      stdin/stdout and exits at EOF
-    --workers <n>     Worker threads draining the job queue [default: 2]
-    --shards <n>      Run every job as n merged in-process shards
-                      [default: 1]
-    --help            Show this message
+    --listen <addr>    TCP listen address (e.g. 127.0.0.1:4774); without
+                       this flag the daemon speaks the same protocol over
+                       stdin/stdout and exits at EOF
+    --workers <n>      Worker threads draining the job queue [default: 2]
+    --shards <n>       Run every job as n merged in-process shards
+                       [default: 1]
+    --cache-cap <n>    Keep at most n completed reports in the dedup/result
+                       cache, evicting the oldest first (FIFO); unbounded
+                       by default
+    --help             Show this message
 
 EXAMPLES:
     bitmod-cli serve --listen 127.0.0.1:4774 --workers 2
@@ -245,9 +271,18 @@ OPTIONS:
                             mx, fp16)
     --granularities <list>  Granularities: tensor, channel, or group size
                             such as 128 / g64 [default: 128]
+    --method <list>         Composition methods applied with the model's
+                            calibration activations [default: none]
+                            (choices: none, awq, gptq, smoothquant,
+                            omniquant)
+    --task <list>           Task shapes for the accelerator simulation:
+                            generative, discriminative, or <in>x<out> such
+                            as 256x64 [default: generative]
+    --accel <list>          Simulated accelerators [default: lossy]
+                            (choices: lossy, lossless, ant, olive, fp16)
+    --scale-dtype <list>    Scale-factor precisions: fp16 or int2..int16
+                            [default: int8]
     --proxy <size>          Proxy model size: standard | tiny [default: standard]
-    --accelerator <kind>    Simulated accelerator: lossy | lossless
-                            [default: lossy]
     --seed <n>              Synthesis/evaluation seed [default: 42]
     --wait                  Poll until the job completes, then fetch the report
     --out <path>            With --wait: JSON report path [default: bitmod-served.json]
@@ -300,9 +335,18 @@ OPTIONS:
                             mx, fp16)
     --granularities <list>  Granularities: tensor, channel, or group size
                             such as 128 / g64 [default: 128]
+    --method <list>         Composition methods applied with the model's
+                            calibration activations [default: none]
+                            (choices: none, awq, gptq, smoothquant,
+                            omniquant)
+    --task <list>           Task shapes for the accelerator simulation:
+                            generative, discriminative, or <in>x<out> such
+                            as 256x64 [default: generative]
+    --accel <list>          Simulated accelerators [default: lossy]
+                            (choices: lossy, lossless, ant, olive, fp16)
+    --scale-dtype <list>    Scale-factor precisions: fp16 or int2..int16
+                            [default: int8]
     --proxy <size>          Proxy model size: standard | tiny [default: standard]
-    --accelerator <kind>    Simulated accelerator: lossy | lossless
-                            [default: lossy]
     --seed <n>              Synthesis/evaluation seed [default: 42]
     --out <path>            Shard JSON path [default: bitmod-shard-<k>-of-<n>.json]
     --quiet                 Suppress the stderr progress lines
@@ -367,19 +411,31 @@ mod tests {
                             mx, fp16)
     --granularities <list>  Granularities: tensor, channel, or group size
                             such as 128 / g64 [default: 128]
+    --method <list>         Composition methods applied with the model's
+                            calibration activations [default: none]
+                            (choices: none, awq, gptq, smoothquant,
+                            omniquant)
+    --task <list>           Task shapes for the accelerator simulation:
+                            generative, discriminative, or <in>x<out> such
+                            as 256x64 [default: generative]
+    --accel <list>          Simulated accelerators [default: lossy]
+                            (choices: lossy, lossless, ant, olive, fp16)
+    --scale-dtype <list>    Scale-factor precisions: fp16 or int2..int16
+                            [default: int8]
     --proxy <size>          Proxy model size: standard | tiny [default: standard]
-    --accelerator <kind>    Simulated accelerator: lossy | lossless
-                            [default: lossy]
     --seed <n>              Synthesis/evaluation seed [default: 42]";
 
     /// The grid option names shared by `sweep`, `submit`, and `worker`.
-    const GRID_OPTIONS: [&str; 7] = [
+    const GRID_OPTIONS: [&str; 10] = [
         "models",
         "bits",
         "dtypes",
         "granularities",
+        "method",
+        "task",
+        "accel",
+        "scale-dtype",
         "proxy",
-        "accelerator",
         "seed",
     ];
 
@@ -488,12 +544,37 @@ mod tests {
         // `--seed [default: 42]`
         assert_eq!(d.seed, 42);
         assert!(GRID_OPTIONS_HELP.contains("seed [default: 42]"));
+        // New-axis defaults match SweepConfig::new's singletons.
+        use bitmod::prelude::{AcceleratorKind, CompositionMethod, ScaleDtype, TaskShape};
+        assert_eq!(d.methods, vec![CompositionMethod::None]);
+        assert!(GRID_OPTIONS_HELP.contains("calibration activations [default: none]"));
+        assert_eq!(d.tasks, vec![TaskShape::GENERATIVE]);
+        assert!(GRID_OPTIONS_HELP.contains("as 256x64 [default: generative]"));
+        assert_eq!(d.accelerators, vec![AcceleratorKind::BitModLossy]);
+        assert!(GRID_OPTIONS_HELP.contains("Simulated accelerators [default: lossy]"));
+        assert_eq!(d.scale_dtypes, vec![ScaleDtype::Int(8)]);
+        assert!(GRID_OPTIONS_HELP.contains("[default: int8]"));
         // Every dtype choice listed in the help parses, and none is missing.
         for dt in SweepDtype::ALL {
             assert!(
                 GRID_OPTIONS_HELP.contains(dt.name()),
                 "--dtypes choices must list `{}`",
                 dt.name()
+            );
+        }
+        // Every method and accelerator choice listed in the help parses.
+        for m in CompositionMethod::ALL {
+            assert!(
+                GRID_OPTIONS_HELP.contains(m.name()),
+                "--method choices must list `{}`",
+                m.name()
+            );
+        }
+        for k in AcceleratorKind::ALL {
+            let spelling = bitmod::sweep::accelerator_label(&k);
+            assert!(
+                GRID_OPTIONS_HELP.contains(spelling),
+                "--accel choices must list `{spelling}`"
             );
         }
         // Every model spelling listed in the help parses.

@@ -44,7 +44,10 @@ pub mod prelude {
     pub use bitmod_llm::eval::{EvalHarness, HarnessPool, PerplexityPair};
     pub use bitmod_llm::memory::TaskShape;
     pub use bitmod_llm::proxy::{ProxyConfig, ProxyTransformer};
-    pub use bitmod_quant::{quantize_matrix, Granularity, QuantConfig, QuantMethod, ScaleDtype};
+    pub use bitmod_quant::{
+        compose_quantize, quantize_matrix, ComposedLayer, CompositionMethod, Granularity,
+        QuantConfig, QuantMethod, ScaleDtype,
+    };
     pub use bitmod_tensor::{Matrix, SeededRng, F16};
 
     pub use crate::shard::{merge_shards, run_shard, ShardReport, ShardSpec};
@@ -59,7 +62,7 @@ use bitmod_llm::config::LlmModel;
 use bitmod_llm::eval::{EvalHarness, PerplexityPair};
 use bitmod_llm::memory::TaskShape;
 use bitmod_llm::proxy::ProxyConfig;
-use bitmod_quant::{QuantConfig, QuantMethod};
+use bitmod_quant::{CompositionMethod, QuantConfig, QuantMethod};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -95,6 +98,7 @@ pub struct PipelineReport {
 pub struct Pipeline {
     model: LlmModel,
     quant: QuantConfig,
+    method: CompositionMethod,
     proxy: ProxyConfig,
     task: TaskShape,
     accelerator: AcceleratorKind,
@@ -102,12 +106,14 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Creates a pipeline with the paper's deployment defaults: BitMoD 4-bit
-    /// weights, per-group (G = 128) quantization, INT8 scale factors,
-    /// generative task shape, lossy BitMoD accelerator.
+    /// weights, per-group (G = 128) quantization, INT8 scale factors, plain
+    /// round-to-nearest (no composition method), generative task shape,
+    /// lossy BitMoD accelerator.
     pub fn new(model: LlmModel) -> Self {
         Self {
             model,
             quant: QuantConfig::bitmod_deployment(4),
+            method: CompositionMethod::None,
             proxy: ProxyConfig::standard(),
             task: TaskShape::GENERATIVE,
             accelerator: AcceleratorKind::BitModLossy,
@@ -127,6 +133,16 @@ impl Pipeline {
     /// Replaces the full quantization configuration (any method).
     pub fn with_quant_config(mut self, quant: QuantConfig) -> Self {
         self.quant = quant;
+        self
+    }
+
+    /// Composes the quantizer with a calibration-based software method
+    /// (AWQ, GPTQ, SmoothQuant, OmniQuant — the Tables XI/XII axis).  The
+    /// method runs against the harness's captured calibration activations;
+    /// SmoothQuant additionally evaluates with INT8 activations, its
+    /// deployment configuration.
+    pub fn with_method(mut self, method: CompositionMethod) -> Self {
+        self.method = method;
         self
     }
 
@@ -164,6 +180,24 @@ impl Pipeline {
     ///
     /// Panics if the harness was built for a different model.
     pub fn run_with_harness(&self, harness: &EvalHarness) -> PipelineReport {
+        self.run_hardware(&self.run_algorithm(harness))
+    }
+
+    /// Runs the algorithm side only: quantize (optionally through the
+    /// composition method, against the harness's calibration activations)
+    /// and measure the proxy perplexity / accuracy impact.
+    ///
+    /// The result depends on the model, quantization configuration,
+    /// composition method, proxy size and harness — **not** on the task
+    /// shape or simulated accelerator — so one [`AlgorithmSide`] can be
+    /// shared by every (task, accelerator) variant of a configuration.
+    /// That is exactly what the sweep grid runner does: the algorithm side
+    /// dominates a run's cost, the hardware simulation is cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the harness was built for a different model.
+    pub fn run_algorithm(&self, harness: &EvalHarness) -> AlgorithmSide {
         assert_eq!(
             harness.model,
             self.model,
@@ -171,39 +205,88 @@ impl Pipeline {
             harness.model.name(),
             self.model.name()
         );
-        // --- algorithm side: proxy accuracy ---
         // One quantization pass yields both the model copy and the per-linear
         // error stats (the per-group codebook search dominates a run's cost).
-        let (quantized, stats) = harness.reference.quantized_with_stats(&self.quant);
+        // With a composition method the pass runs the calibration-based
+        // optimizer per decoder linear; CompositionMethod::None takes the
+        // plain round-to-nearest path, bit-identical to the pre-method
+        // pipeline.
+        let (quantized, stats) = harness.compose_with_stats(&self.quant, self.method);
+        let quantized = match self.method.activation_bits() {
+            Some(bits) => quantized.with_activation_bits(bits),
+            None => quantized,
+        };
         let fp16_perplexity = harness.fp16_perplexity();
         let proxy_perplexity = harness.evaluate_model(&quantized);
         let proxy_accuracy_percent = harness.accuracy_percent(&quantized);
         let sqnr_sum: f64 = stats.iter().map(|(_, s)| s.sqnr_db).sum();
         let n_linears = stats.len();
 
-        // --- hardware side: full-size model simulation ---
+        let cfg = self.model.config();
+        let method_label = match self.method {
+            CompositionMethod::None => self.quant.method.label(),
+            m => format!("{}+{}", self.quant.method.label(), m.label()),
+        };
+        AlgorithmSide {
+            method: method_label,
+            effective_bits_per_weight: self.quant.effective_bits_per_weight(cfg.hidden, cfg.hidden),
+            weight_sqnr_db: sqnr_sum / n_linears.max(1) as f64,
+            fp16_perplexity,
+            proxy_perplexity,
+            proxy_accuracy_percent,
+        }
+    }
+
+    /// Completes a report from a previously computed algorithm side by
+    /// simulating this pipeline's accelerator (and the FP16 baseline) on the
+    /// full-size model at this pipeline's task shape.
+    ///
+    /// The algorithm side must have been produced by [`Pipeline::run_algorithm`]
+    /// of a pipeline sharing this one's model, quantization configuration and
+    /// composition method (only task and accelerator may differ) — this is
+    /// not checked.
+    pub fn run_hardware(&self, algorithm: &AlgorithmSide) -> PipelineReport {
         let workload = Workload {
             llm: self.model.config(),
             task: self.task,
         };
         let bitmod_perf = simulate_model(&self.accelerator.build(), &workload);
         let baseline_perf = simulate_model(&AcceleratorKind::BaselineFp16.build(), &workload);
-
-        let cfg = self.model.config();
         PipelineReport {
             model: self.model,
-            method: self.quant.method.label(),
-            effective_bits_per_weight: self.quant.effective_bits_per_weight(cfg.hidden, cfg.hidden),
-            weight_sqnr_db: sqnr_sum / n_linears.max(1) as f64,
-            fp16_perplexity,
-            proxy_perplexity,
-            proxy_accuracy_percent,
+            method: algorithm.method.clone(),
+            effective_bits_per_weight: algorithm.effective_bits_per_weight,
+            weight_sqnr_db: algorithm.weight_sqnr_db,
+            fp16_perplexity: algorithm.fp16_perplexity,
+            proxy_perplexity: algorithm.proxy_perplexity,
+            proxy_accuracy_percent: algorithm.proxy_accuracy_percent,
             speedup_over_fp16: bitmod_perf.speedup_over(&baseline_perf),
             energy_gain_over_fp16: baseline_perf.energy.total_pj() / bitmod_perf.energy.total_pj(),
             bitmod_perf,
             baseline_perf,
         }
     }
+}
+
+/// The algorithm-side half of a [`PipelineReport`]: quantization quality and
+/// proxy-model evaluation, independent of the task shape and simulated
+/// accelerator.  Produced by [`Pipeline::run_algorithm`], consumed by
+/// [`Pipeline::run_hardware`].
+#[derive(Debug, Clone)]
+pub struct AlgorithmSide {
+    /// Human-readable label of the quantization method (including the
+    /// composition, e.g. `BitMoD-3b+AWQ`).
+    pub method: String,
+    /// Effective storage bits per weight (including metadata).
+    pub effective_bits_per_weight: f64,
+    /// Mean weight-reconstruction SQNR across the proxy model's linears (dB).
+    pub weight_sqnr_db: f64,
+    /// Proxy perplexity of the FP32/FP16 reference model.
+    pub fp16_perplexity: PerplexityPair,
+    /// Proxy perplexity of the quantized model.
+    pub proxy_perplexity: PerplexityPair,
+    /// Proxy accuracy (argmax agreement with the reference, percent).
+    pub proxy_accuracy_percent: f64,
 }
 
 /// Shorthand for the common comparison: the proxy perplexity of a model under

@@ -29,7 +29,7 @@
 //! assert_eq!(merged.records.len(), cfg.run().records.len());
 //! ```
 
-use crate::sweep::{run_point, SweepConfig, SweepPoint, SweepRecord, SweepReport};
+use crate::sweep::{run_points, SweepConfig, SweepPoint, SweepRecord, SweepReport};
 use bitmod_llm::eval::HarnessPool;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -184,18 +184,15 @@ pub fn run_shard_with_pool(cfg: &SweepConfig, shard: ShardSpec, pool: &HarnessPo
         .map(|&m| pool.get_or_build(m, cfg.proxy, cfg.seed))
         .collect();
 
-    let records: Vec<ShardRecord> = valid
-        .into_par_iter()
-        .map(|(grid_index, point, quant)| {
-            let harness = harnesses
-                .iter()
-                .find(|h| h.model == point.model)
-                .expect("one harness per shard model");
-            ShardRecord {
-                grid_index,
-                record: run_point(cfg, point, quant, harness),
-            }
-        })
+    let harness_for = |model: bitmod_llm::config::LlmModel| -> &bitmod_llm::eval::EvalHarness {
+        harnesses
+            .iter()
+            .find(|h| h.model == model)
+            .expect("one harness per shard model")
+    };
+    let records: Vec<ShardRecord> = run_points(cfg, valid, &harness_for)
+        .into_iter()
+        .map(|(grid_index, record)| ShardRecord { grid_index, record })
         .collect();
 
     ShardReport {

@@ -1,5 +1,15 @@
-//! Parallel configuration sweeps: models × data types × bit widths ×
-//! granularities.
+//! Parallel configuration sweeps over every axis the paper varies:
+//!
+//! ```text
+//! models × dtypes × bits × granularities × methods × tasks × accelerators × scale dtypes
+//! ```
+//!
+//! The first four axes are the classic grid; the last four make the paper's
+//! remaining dimensions first-class: software-composition methods
+//! (AWQ / GPTQ / SmoothQuant / OmniQuant — Tables XI/XII), task shapes
+//! (Fig. 1), simulated accelerator variants (Figs. 7–9) and scale-factor
+//! precisions (Table V).  Every axis defaults to a singleton that reproduces
+//! the pre-axis grid exactly.
 //!
 //! A sweep fans [`Pipeline`] runs out across every point of a configuration
 //! grid using rayon, building **one** [`EvalHarness`] per model up front and
@@ -28,9 +38,10 @@ use bitmod_llm::config::LlmModel;
 use bitmod_llm::eval::{EvalHarness, HarnessPool};
 use bitmod_llm::memory::TaskShape;
 use bitmod_llm::proxy::ProxyConfig;
-use bitmod_quant::{Granularity, QuantConfig, QuantMethod, ScaleDtype};
+use bitmod_quant::{CompositionMethod, Granularity, QuantConfig, QuantMethod, ScaleDtype};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A quantization data-type family, parameterized by bit width at grid
@@ -138,7 +149,12 @@ impl SweepDtype {
 }
 
 /// One point of the sweep grid.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization is hand-written (not derived) so that report/shard JSON
+/// written before the method/task/accelerator/scale-dtype axes existed still
+/// parses: the missing coordinates fall back to the classic-grid defaults
+/// those files were produced with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SweepPoint {
     /// The evaluated LLM.
     pub model: LlmModel,
@@ -148,25 +164,135 @@ pub struct SweepPoint {
     pub bits: u8,
     /// The quantization granularity.
     pub granularity: Granularity,
+    /// The software-composition method applied before evaluation.
+    pub method: CompositionMethod,
+    /// The task shape driving the accelerator simulation.
+    pub task: TaskShape,
+    /// The simulated accelerator variant.
+    pub accelerator: AcceleratorKind,
+    /// The precision of the stored per-slice scaling factors.
+    pub scale_dtype: ScaleDtype,
 }
 
 impl SweepPoint {
-    /// The full quantization configuration of this point (BitMoD deployment
-    /// scales: INT8 second-level scale quantization).
+    /// The full quantization configuration of this point.
+    ///
+    /// A point is invalid (and the sweep skips it with the returned reason)
+    /// when the dtype/bits combination does not exist, or when the
+    /// composition method cannot drive the dtype's quantizer (e.g. GPTQ
+    /// over MX grids).
+    ///
+    /// GPTQ and OmniQuant re-implement their group quantizers with
+    /// full-precision scale factors, so for those methods the requested
+    /// scale dtype is replaced by [`ScaleDtype::Fp16`] — the precision the
+    /// quantizer actually realizes — keeping the reported effective bits
+    /// truthful (sweeping several scale dtypes under them yields identical
+    /// records rather than fake distinct points).
     pub fn quant_config(&self) -> Result<QuantConfig, String> {
         let method = self.dtype.method_at(self.bits)?;
-        Ok(QuantConfig::new(method, self.granularity).with_scale_dtype(ScaleDtype::Int(8)))
+        self.method.supports(&method)?;
+        let scale_dtype = match self.method {
+            CompositionMethod::Gptq | CompositionMethod::OmniQuant => ScaleDtype::Fp16,
+            _ => self.scale_dtype,
+        };
+        Ok(QuantConfig::new(method, self.granularity).with_scale_dtype(scale_dtype))
     }
 
-    /// Compact human-readable label, e.g. `Phi-2B/bitmod-4b/g128`.
+    /// Compact human-readable label, e.g. `Phi-2B/bitmod-4b/g128`.  Axes
+    /// still at the classic-grid defaults (RTN, generative task, lossy
+    /// accelerator, INT8 scales) are omitted, so four-axis labels are
+    /// unchanged.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}-{}b/{}",
             self.model.name(),
             self.dtype.name(),
             self.bits,
             granularity_label(&self.granularity)
-        )
+        );
+        if self.method != CompositionMethod::None {
+            label.push('/');
+            label.push_str(self.method.name());
+        }
+        if self.task != TaskShape::GENERATIVE {
+            label.push('/');
+            label.push_str(&task_label(&self.task));
+        }
+        if self.accelerator != AcceleratorKind::BitModLossy {
+            label.push('/');
+            label.push_str(accelerator_label(&self.accelerator));
+        }
+        if self.scale_dtype != ScaleDtype::Int(8) {
+            label.push_str("/s-");
+            label.push_str(&scale_dtype_label(&self.scale_dtype));
+        }
+        label
+    }
+}
+
+/// Looks up an optional field, falling back to `default` when absent — the
+/// schema-compatibility hook for the axes introduced after the first report
+/// format shipped.
+fn from_map_or<T: serde::Deserialize>(
+    m: &[(String, serde::Value)],
+    key: &str,
+    default: T,
+) -> Result<T, serde::Error> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(default),
+    }
+}
+
+impl serde::Deserialize for SweepPoint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("a map", "SweepPoint"))?;
+        Ok(SweepPoint {
+            model: serde::from_map(m, "model", "SweepPoint")?,
+            dtype: serde::from_map(m, "dtype", "SweepPoint")?,
+            bits: serde::from_map(m, "bits", "SweepPoint")?,
+            granularity: serde::from_map(m, "granularity", "SweepPoint")?,
+            // Pre-axis records carried none of the following coordinates;
+            // they were produced at exactly these defaults.
+            method: from_map_or(m, "method", CompositionMethod::None)?,
+            task: from_map_or(m, "task", TaskShape::GENERATIVE)?,
+            accelerator: from_map_or(m, "accelerator", AcceleratorKind::BitModLossy)?,
+            scale_dtype: from_map_or(m, "scale_dtype", ScaleDtype::Int(8))?,
+        })
+    }
+}
+
+impl serde::Deserialize for SweepConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("a map", "SweepConfig"))?;
+        // Pre-axis configurations spelled the task and accelerator as scalar
+        // `task` / `accelerator` fields; honor them as singleton axes.
+        let legacy_task: Option<TaskShape> = from_map_or(m, "task", None)?;
+        let legacy_accelerator: Option<AcceleratorKind> = from_map_or(m, "accelerator", None)?;
+        Ok(SweepConfig {
+            models: serde::from_map(m, "models", "SweepConfig")?,
+            dtypes: serde::from_map(m, "dtypes", "SweepConfig")?,
+            bits: serde::from_map(m, "bits", "SweepConfig")?,
+            granularities: serde::from_map(m, "granularities", "SweepConfig")?,
+            methods: from_map_or(m, "methods", vec![CompositionMethod::None])?,
+            tasks: from_map_or(
+                m,
+                "tasks",
+                vec![legacy_task.unwrap_or(TaskShape::GENERATIVE)],
+            )?,
+            accelerators: from_map_or(
+                m,
+                "accelerators",
+                vec![legacy_accelerator.unwrap_or(AcceleratorKind::BitModLossy)],
+            )?,
+            scale_dtypes: from_map_or(m, "scale_dtypes", vec![ScaleDtype::Int(8)])?,
+            proxy: serde::from_map(m, "proxy", "SweepConfig")?,
+            seed: serde::from_map(m, "seed", "SweepConfig")?,
+        })
     }
 }
 
@@ -197,8 +323,85 @@ pub fn parse_granularity(s: &str) -> Option<Granularity> {
     }
 }
 
+/// The CLI / report spelling of a task shape (`generative`,
+/// `discriminative`, or `<in>x<out>` for custom shapes).
+pub fn task_label(t: &TaskShape) -> String {
+    if *t == TaskShape::GENERATIVE {
+        "generative".to_string()
+    } else if *t == TaskShape::DISCRIMINATIVE {
+        "discriminative".to_string()
+    } else {
+        format!("{}x{}", t.input_tokens, t.output_tokens)
+    }
+}
+
+/// Parses a task-shape label: `generative`/`gen`, `discriminative`/`disc`,
+/// or `<in>x<out>` such as `256x64` (both counts must be positive).
+pub fn parse_task(s: &str) -> Option<TaskShape> {
+    let s = s.trim().to_ascii_lowercase();
+    match s.as_str() {
+        "generative" | "gen" => Some(TaskShape::GENERATIVE),
+        "discriminative" | "disc" => Some(TaskShape::DISCRIMINATIVE),
+        _ => {
+            let (input, output) = s.split_once('x')?;
+            let input = input.parse::<usize>().ok().filter(|&n| n > 0)?;
+            let output = output.parse::<usize>().ok().filter(|&n| n > 0)?;
+            Some(TaskShape {
+                input_tokens: input,
+                output_tokens: output,
+            })
+        }
+    }
+}
+
+/// The CLI / report spelling of an accelerator variant.
+pub fn accelerator_label(k: &AcceleratorKind) -> &'static str {
+    match k {
+        AcceleratorKind::BitModLossy => "lossy",
+        AcceleratorKind::BitModLossless => "lossless",
+        AcceleratorKind::Ant => "ant",
+        AcceleratorKind::Olive => "olive",
+        AcceleratorKind::BaselineFp16 => "fp16",
+    }
+}
+
+/// Parses an accelerator label (case-insensitive): `lossy`, `lossless`,
+/// `ant`, `olive`, or `fp16` (the FP16 baseline — its grid points report a
+/// speedup of 1.0 by construction).
+pub fn parse_accelerator(s: &str) -> Option<AcceleratorKind> {
+    let s = s.trim().to_ascii_lowercase();
+    AcceleratorKind::ALL
+        .iter()
+        .copied()
+        .find(|k| accelerator_label(k) == s)
+}
+
+/// The CLI / report spelling of a scale-factor precision (`fp16`, `int8`, …).
+pub fn scale_dtype_label(s: &ScaleDtype) -> String {
+    match *s {
+        ScaleDtype::Fp16 => "fp16".to_string(),
+        ScaleDtype::Int(b) => format!("int{b}"),
+    }
+}
+
+/// Parses a scale-dtype label: `fp16`, or `int<b>` with `b` in `2..=16`
+/// (the Table V axis).
+pub fn parse_scale_dtype(s: &str) -> Option<ScaleDtype> {
+    let s = s.trim().to_ascii_lowercase();
+    if s == "fp16" {
+        return Some(ScaleDtype::Fp16);
+    }
+    let bits = s.strip_prefix("int")?.parse::<u8>().ok()?;
+    (2..=16).contains(&bits).then_some(ScaleDtype::Int(bits))
+}
+
 /// The configuration grid of a sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Deserialization is hand-written (not derived) for schema compatibility:
+/// files from before the four new axes existed carried scalar `task` /
+/// `accelerator` fields and no `methods` / `scale_dtypes`; those parse into
+/// the equivalent singleton axes instead of failing on missing fields.
+#[derive(Debug, Clone, Serialize)]
 pub struct SweepConfig {
     /// Models to sweep.
     pub models: Vec<LlmModel>,
@@ -208,29 +411,37 @@ pub struct SweepConfig {
     pub bits: Vec<u8>,
     /// Granularities to sweep.
     pub granularities: Vec<Granularity>,
+    /// Software-composition methods to sweep (Tables XI/XII axis).
+    pub methods: Vec<CompositionMethod>,
+    /// Task shapes to sweep (Fig. 1 axis).
+    pub tasks: Vec<TaskShape>,
+    /// Simulated accelerator variants to sweep (Figs. 7–9 axis).
+    pub accelerators: Vec<AcceleratorKind>,
+    /// Scale-factor precisions to sweep (Table V axis).
+    pub scale_dtypes: Vec<ScaleDtype>,
     /// Proxy model size (use [`ProxyConfig::tiny`] for smoke tests).
     pub proxy: ProxyConfig,
-    /// Task shape driving the accelerator simulation.
-    pub task: TaskShape,
-    /// The simulated BitMoD accelerator variant.
-    pub accelerator: AcceleratorKind,
     /// Seed for proxy synthesis and evaluation streams.
     pub seed: u64,
 }
 
 impl SweepConfig {
     /// A sweep over `models` × `bits` with the paper's defaults: BitMoD vs
-    /// INT-Asym, per-group G = 128, standard proxy size, generative task,
-    /// lossy BitMoD accelerator, seed 42.
+    /// INT-Asym, per-group G = 128, plain round-to-nearest, generative task,
+    /// lossy BitMoD accelerator, INT8 scale factors, standard proxy size,
+    /// seed 42.  Every non-`models`/`bits` axis is a singleton, so the
+    /// default grid is exactly the classic four-axis grid.
     pub fn new(models: Vec<LlmModel>, bits: Vec<u8>) -> Self {
         Self {
             models,
             dtypes: vec![SweepDtype::BitMod, SweepDtype::IntAsym],
             bits,
             granularities: vec![Granularity::per_group_default()],
+            methods: vec![CompositionMethod::None],
+            tasks: vec![TaskShape::GENERATIVE],
+            accelerators: vec![AcceleratorKind::BitModLossy],
+            scale_dtypes: vec![ScaleDtype::Int(8)],
             proxy: ProxyConfig::standard(),
-            task: TaskShape::GENERATIVE,
-            accelerator: AcceleratorKind::BitModLossy,
             seed: 42,
         }
     }
@@ -247,6 +458,35 @@ impl SweepConfig {
         self
     }
 
+    /// Replaces the composition-method list.
+    pub fn with_methods(mut self, methods: Vec<CompositionMethod>) -> Self {
+        self.methods = methods;
+        self
+    }
+
+    /// Replaces the task-shape list.
+    pub fn with_tasks(mut self, tasks: Vec<TaskShape>) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// Replaces the accelerator list.
+    pub fn with_accelerators(mut self, accelerators: Vec<AcceleratorKind>) -> Self {
+        self.accelerators = accelerators;
+        self
+    }
+
+    /// Replaces the accelerator list with a single variant (the common case).
+    pub fn with_accelerator(self, accelerator: AcceleratorKind) -> Self {
+        self.with_accelerators(vec![accelerator])
+    }
+
+    /// Replaces the scale-dtype list.
+    pub fn with_scale_dtypes(mut self, scale_dtypes: Vec<ScaleDtype>) -> Self {
+        self.scale_dtypes = scale_dtypes;
+        self
+    }
+
     /// Replaces the proxy model size.
     pub fn with_proxy(mut self, proxy: ProxyConfig) -> Self {
         self.proxy = proxy;
@@ -259,25 +499,34 @@ impl SweepConfig {
         self
     }
 
-    /// Replaces the simulated accelerator.
-    pub fn with_accelerator(mut self, accelerator: AcceleratorKind) -> Self {
-        self.accelerator = accelerator;
-        self
-    }
-
-    /// Expands the grid in row-major order (model, dtype, bits, granularity).
+    /// Expands the grid in row-major order (model, dtype, bits, granularity,
+    /// method, task, accelerator, scale dtype).  The four new axes are
+    /// innermost, so grids that leave them at their singleton defaults
+    /// enumerate in exactly the classic four-axis order.
     pub fn grid(&self) -> Vec<SweepPoint> {
         let mut points = Vec::new();
         for &model in &self.models {
             for &dtype in &self.dtypes {
                 for &bits in &self.bits {
                     for &granularity in &self.granularities {
-                        points.push(SweepPoint {
-                            model,
-                            dtype,
-                            bits,
-                            granularity,
-                        });
+                        for &method in &self.methods {
+                            for &task in &self.tasks {
+                                for &accelerator in &self.accelerators {
+                                    for &scale_dtype in &self.scale_dtypes {
+                                        points.push(SweepPoint {
+                                            model,
+                                            dtype,
+                                            bits,
+                                            granularity,
+                                            method,
+                                            task,
+                                            accelerator,
+                                            scale_dtype,
+                                        });
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -299,9 +548,11 @@ impl SweepConfig {
     /// and executes the canonical form itself, making cache hits return
     /// records in a deterministic grid order.
     ///
-    /// Sort orders: models and dtypes by their position in
-    /// [`LlmModel::ALL`] / [`SweepDtype::ALL`], bits ascending, granularities
-    /// tensor < channel < group (ascending group size).
+    /// Sort orders: models, dtypes, methods and accelerators by their
+    /// position in the respective `ALL` tables, bits ascending,
+    /// granularities tensor < channel < group (ascending group size), tasks
+    /// by (input, output) token counts, scale dtypes fp16 < int (ascending
+    /// bits).
     pub fn canonicalized(&self) -> SweepConfig {
         let mut out = self.clone();
         let model_rank = |m: &LlmModel| {
@@ -321,6 +572,23 @@ impl SweepConfig {
             Granularity::PerChannel => (1, 0),
             Granularity::PerGroup(n) => (2, n),
         };
+        let method_rank = |m: &CompositionMethod| {
+            CompositionMethod::ALL
+                .iter()
+                .position(|x| x == m)
+                .unwrap_or(usize::MAX)
+        };
+        let task_rank = |t: &TaskShape| (t.input_tokens, t.output_tokens);
+        let accel_rank = |a: &AcceleratorKind| {
+            AcceleratorKind::ALL
+                .iter()
+                .position(|x| x == a)
+                .unwrap_or(usize::MAX)
+        };
+        let scale_rank = |s: &ScaleDtype| match *s {
+            ScaleDtype::Fp16 => (0usize, 0u8),
+            ScaleDtype::Int(b) => (1, b),
+        };
         out.models.sort_by_key(model_rank);
         out.models.dedup();
         out.dtypes.sort_by_key(dtype_rank);
@@ -329,13 +597,21 @@ impl SweepConfig {
         out.bits.dedup();
         out.granularities.sort_by_key(gran_rank);
         out.granularities.dedup();
+        out.methods.sort_by_key(method_rank);
+        out.methods.dedup();
+        out.tasks.sort_by_key(task_rank);
+        out.tasks.dedup();
+        out.accelerators.sort_by_key(accel_rank);
+        out.accelerators.dedup();
+        out.scale_dtypes.sort_by_key(scale_rank);
+        out.scale_dtypes.dedup();
         out
     }
 
     /// The dedup/result-cache key of this configuration: the compact JSON of
     /// its canonical form.  Every field that influences the records (models,
-    /// dtypes, bits, granularities, proxy size, task shape, accelerator,
-    /// seed) is part of the key.
+    /// dtypes, bits, granularities, methods, tasks, accelerators, scale
+    /// dtypes, proxy size, seed) is part of the key.
     pub fn cache_key(&self) -> String {
         serde_json::to_string(&self.canonicalized()).expect("sweep configs always serialize")
     }
@@ -347,7 +623,9 @@ impl SweepConfig {
 /// surfaces cannot drift apart in spellings, ranges, or defaults.
 ///
 /// `models` and `bits` are required (empty lists are errors); every other
-/// axis falls back to the [`SweepConfig::new`] defaults.
+/// axis falls back to the [`SweepConfig::new`] defaults.  Within each axis,
+/// spellings that resolve to the same value are rejected as duplicates —
+/// `--bits 3,3` would silently double the grid otherwise.
 #[derive(Debug, Clone, Default)]
 pub struct GridSpec {
     /// Model spellings (`phi-2`, `llama2-7b`, … or `all`).
@@ -359,13 +637,43 @@ pub struct GridSpec {
     /// Granularity spellings (`tensor`, `channel`, `128`, `g64`); `None`
     /// keeps the default.
     pub granularities: Option<Vec<String>>,
+    /// Composition-method spellings (`none`, `awq`, `gptq`, `smoothquant`,
+    /// `omniquant`); `None` keeps the default (`none`).
+    pub methods: Option<Vec<String>>,
+    /// Task-shape spellings (`generative`, `discriminative`, `256x64`);
+    /// `None` keeps the default (`generative`).
+    pub tasks: Option<Vec<String>>,
+    /// Accelerator spellings (`lossy`, `lossless`, `ant`, `olive`, `fp16`);
+    /// `None` keeps the default (`lossy`).
+    pub accels: Option<Vec<String>>,
+    /// Scale-dtype spellings (`fp16`, `int8`, `int6`, …); `None` keeps the
+    /// default (`int8`).
+    pub scale_dtypes: Option<Vec<String>>,
     /// Proxy size (`standard` | `tiny`); `None` means `standard`.
     pub proxy: Option<String>,
-    /// Accelerator (`lossy` | `lossless`); `None` means `lossy`.
-    pub accelerator: Option<String>,
     /// Seed; `None` keeps the default (callers parse their own spelling so
     /// each surface reports the error in its own vocabulary).
     pub seed: Option<u64>,
+}
+
+/// Parses one axis with `parse`, rejecting spellings that resolve to a value
+/// already present (`--bits 3,3` must not silently double the grid).
+fn parse_axis<T: PartialEq>(
+    items: &[String],
+    axis: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let mut out = Vec::new();
+    for s in items {
+        let v = parse(s)?;
+        if out.contains(&v) {
+            return Err(format!(
+                "duplicate {axis} `{s}` (each value of an axis may appear once)"
+            ));
+        }
+        out.push(v);
+    }
+    Ok(out)
 }
 
 impl GridSpec {
@@ -378,6 +686,11 @@ impl GridSpec {
                 break;
             }
             match LlmModel::parse_cli_name(name) {
+                Some(m) if models.contains(&m) => {
+                    return Err(format!(
+                        "duplicate model `{name}` (each value of an axis may appear once)"
+                    ))
+                }
                 Some(m) => models.push(m),
                 None => return Err(format!("unknown model `{name}`")),
             }
@@ -386,47 +699,49 @@ impl GridSpec {
             return Err("at least one model is required".to_string());
         }
 
-        let mut bits = Vec::new();
-        for b in &self.bits {
-            match b.parse::<u8>() {
-                Ok(n) if (2..=16).contains(&n) => bits.push(n),
-                _ => return Err(format!("invalid bit width `{b}`")),
-            }
-        }
+        let bits = parse_axis(&self.bits, "bit width", |b| match b.parse::<u8>() {
+            Ok(n) if (2..=16).contains(&n) => Ok(n),
+            _ => Err(format!("invalid bit width `{b}`")),
+        })?;
         if bits.is_empty() {
             return Err("at least one bit width is required".to_string());
         }
 
         let mut cfg = SweepConfig::new(models, bits);
         if let Some(dtype_strs) = &self.dtypes {
-            let mut dtypes = Vec::new();
-            for d in dtype_strs {
-                match SweepDtype::parse(d) {
-                    Some(dt) => dtypes.push(dt),
-                    None => return Err(format!("unknown dtype `{d}`")),
-                }
-            }
-            cfg = cfg.with_dtypes(dtypes);
+            cfg = cfg.with_dtypes(parse_axis(dtype_strs, "dtype", |d| {
+                SweepDtype::parse(d).ok_or_else(|| format!("unknown dtype `{d}`"))
+            })?);
         }
         if let Some(gran_strs) = &self.granularities {
-            let mut grans = Vec::new();
-            for g in gran_strs {
-                match parse_granularity(g) {
-                    Some(gr) => grans.push(gr),
-                    None => return Err(format!("invalid granularity `{g}`")),
-                }
-            }
-            cfg = cfg.with_granularities(grans);
+            cfg = cfg.with_granularities(parse_axis(gran_strs, "granularity", |g| {
+                parse_granularity(g).ok_or_else(|| format!("invalid granularity `{g}`"))
+            })?);
+        }
+        if let Some(method_strs) = &self.methods {
+            cfg = cfg.with_methods(parse_axis(method_strs, "method", |m| {
+                CompositionMethod::parse(m).ok_or_else(|| format!("unknown method `{m}`"))
+            })?);
+        }
+        if let Some(task_strs) = &self.tasks {
+            cfg = cfg.with_tasks(parse_axis(task_strs, "task", |t| {
+                parse_task(t).ok_or_else(|| format!("invalid task `{t}`"))
+            })?);
+        }
+        if let Some(accel_strs) = &self.accels {
+            cfg = cfg.with_accelerators(parse_axis(accel_strs, "accelerator", |a| {
+                parse_accelerator(a).ok_or_else(|| format!("unknown accelerator `{a}`"))
+            })?);
+        }
+        if let Some(scale_strs) = &self.scale_dtypes {
+            cfg = cfg.with_scale_dtypes(parse_axis(scale_strs, "scale dtype", |s| {
+                parse_scale_dtype(s).ok_or_else(|| format!("invalid scale dtype `{s}`"))
+            })?);
         }
         match self.proxy.as_deref().unwrap_or("standard") {
             "standard" => {}
             "tiny" => cfg = cfg.with_proxy(ProxyConfig::tiny()),
             other => return Err(format!("unknown proxy size `{other}`")),
-        }
-        match self.accelerator.as_deref().unwrap_or("lossy") {
-            "lossy" => {}
-            "lossless" => cfg = cfg.with_accelerator(AcceleratorKind::BitModLossless),
-            other => return Err(format!("unknown accelerator `{other}`")),
         }
         if let Some(seed) = self.seed {
             cfg = cfg.with_seed(seed);
@@ -475,7 +790,8 @@ impl SweepReport {
     /// Serializes the records as CSV (one flat row per record).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "model,dtype,bits,granularity,method,effective_bits,weight_sqnr_db,\
+            "model,dtype,bits,granularity,comp,task,accel,scale_dtype,method,\
+             effective_bits,weight_sqnr_db,\
              fp16_wiki_ppl,fp16_c4_ppl,wiki_ppl,c4_ppl,accuracy_pct,\
              speedup_over_fp16,energy_gain_over_fp16,total_cycles,dram_gb\n",
         );
@@ -483,11 +799,15 @@ impl SweepReport {
             let p = &r.point;
             let rep = &r.report;
             out.push_str(&format!(
-                "{},{},{},{},{},{:.4},{:.2},{:.4},{:.4},{:.4},{:.4},{:.2},{:.3},{:.3},{:.0},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{},{:.4},{:.2},{:.4},{:.4},{:.4},{:.4},{:.2},{:.3},{:.3},{:.0},{:.3}\n",
                 rep.model.name(),
                 p.dtype.name(),
                 p.bits,
                 granularity_label(&p.granularity),
+                p.method.name(),
+                task_label(&p.task),
+                accelerator_label(&p.accelerator),
+                scale_dtype_label(&p.scale_dtype),
                 rep.method,
                 rep.effective_bits_per_weight,
                 rep.weight_sqnr_db,
@@ -562,15 +882,15 @@ pub fn run_sweep_with_pool(cfg: &SweepConfig, pool: &HarnessPool) -> SweepReport
     // Phase 2: validate the grid, then fan out the valid points.
     let mut valid = Vec::new();
     let mut skipped = Vec::new();
-    for p in cfg.grid() {
+    for (i, p) in cfg.grid().into_iter().enumerate() {
         match p.quant_config() {
-            Ok(q) => valid.push((p, q)),
+            Ok(q) => valid.push((i, p, q)),
             Err(reason) => skipped.push((p, reason)),
         }
     }
-    let records: Vec<SweepRecord> = valid
-        .into_par_iter()
-        .map(|(point, quant)| run_point(cfg, point, quant, harness_for(point.model)))
+    let records: Vec<SweepRecord> = run_points(cfg, valid, &harness_for)
+        .into_iter()
+        .map(|(_, record)| record)
         .collect();
 
     SweepReport {
@@ -582,20 +902,67 @@ pub fn run_sweep_with_pool(cfg: &SweepConfig, pool: &HarnessPool) -> SweepReport
     }
 }
 
-/// Runs one validated grid point against its model's harness.
-pub(crate) fn run_point(
+/// Runs validated grid points (tagged with their grid indices) against their
+/// models' harnesses, returning records in grid-index order.
+///
+/// The algorithm side — quantization, composition, proxy perplexity and
+/// accuracy, the dominant cost of a point — depends only on `(model, dtype,
+/// bits, granularity, method, realized scale dtype)`, so it is computed
+/// **once per such group** and shared across the group's (task, accelerator)
+/// variants; only the cheap hardware simulation runs per point.  Records are
+/// bit-identical to running [`Pipeline::run_with_harness`] per point: both
+/// paths evaluate the same pure functions.
+pub(crate) fn run_points<'a>(
     cfg: &SweepConfig,
-    point: SweepPoint,
-    quant: QuantConfig,
-    harness: &EvalHarness,
-) -> SweepRecord {
-    let pipeline = Pipeline::new(point.model)
-        .with_quant_config(quant)
-        .with_proxy_config(cfg.proxy)
-        .with_task(cfg.task)
-        .with_accelerator(cfg.accelerator);
-    let report = pipeline.run_with_harness(harness);
-    SweepRecord { point, report }
+    valid: Vec<(usize, SweepPoint, QuantConfig)>,
+    harness_for: &(impl Fn(LlmModel) -> &'a EvalHarness + Sync),
+) -> Vec<(usize, SweepRecord)> {
+    // Group points sharing an algorithm side.  The key spells the realized
+    // quantization configuration (post scale-dtype normalization), so e.g.
+    // gptq points requesting different scale dtypes share one group.
+    let mut groups: Vec<(QuantConfig, Vec<(usize, SweepPoint)>)> = Vec::new();
+    let mut group_index: HashMap<String, usize> = HashMap::new();
+    for (i, p, q) in valid {
+        let key = format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{:?}",
+            p.model, p.dtype, p.bits, p.granularity, p.method, q.scale_dtype
+        );
+        match group_index.get(&key) {
+            Some(&g) => groups[g].1.push((i, p)),
+            None => {
+                group_index.insert(key, groups.len());
+                groups.push((q, vec![(i, p)]));
+            }
+        }
+    }
+
+    let mut records: Vec<(usize, SweepRecord)> = groups
+        .into_par_iter()
+        .map(|(quant, points)| {
+            let first = points[0].1;
+            let base = Pipeline::new(first.model)
+                .with_quant_config(quant)
+                .with_method(first.method)
+                .with_proxy_config(cfg.proxy);
+            let algorithm = base.run_algorithm(harness_for(first.model));
+            points
+                .into_iter()
+                .map(|(i, point)| {
+                    let report = base
+                        .clone()
+                        .with_task(point.task)
+                        .with_accelerator(point.accelerator)
+                        .run_hardware(&algorithm);
+                    (i, SweepRecord { point, report })
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect::<Vec<Vec<_>>>()
+        .into_iter()
+        .flatten()
+        .collect();
+    records.sort_unstable_by_key(|&(i, _)| i);
+    records
 }
 
 #[cfg(test)]
@@ -614,6 +981,181 @@ mod tests {
             .with_granularities(vec![Granularity::PerGroup(64), Granularity::PerChannel]);
         // 2 models × 2 dtypes × 2 bits × 2 granularities.
         assert_eq!(cfg.grid().len(), 16);
+        // Every new axis multiplies the grid: × 2 methods × 2 tasks ×
+        // 2 accelerators × 2 scale dtypes.
+        let full = cfg
+            .with_methods(vec![CompositionMethod::None, CompositionMethod::Awq])
+            .with_tasks(vec![TaskShape::GENERATIVE, TaskShape::DISCRIMINATIVE])
+            .with_accelerators(vec![
+                AcceleratorKind::BitModLossy,
+                AcceleratorKind::BitModLossless,
+            ])
+            .with_scale_dtypes(vec![ScaleDtype::Int(8), ScaleDtype::Fp16]);
+        assert_eq!(full.grid().len(), 16 * 16);
+    }
+
+    #[test]
+    fn default_axes_reproduce_the_classic_grid_order() {
+        // The four new axes default to singletons, so the grid (size and
+        // order) is exactly the classic models × dtypes × bits ×
+        // granularities enumeration with the default coordinates attached.
+        let cfg = tiny_sweep();
+        let grid = cfg.grid();
+        assert_eq!(grid.len(), 8);
+        for p in &grid {
+            assert_eq!(p.method, CompositionMethod::None);
+            assert_eq!(p.task, TaskShape::GENERATIVE);
+            assert_eq!(p.accelerator, AcceleratorKind::BitModLossy);
+            assert_eq!(p.scale_dtype, ScaleDtype::Int(8));
+        }
+        // Row-major order of the classic axes is preserved.
+        let coords: Vec<_> = grid
+            .iter()
+            .map(|p| (p.model, p.dtype, p.bits, p.granularity))
+            .collect();
+        let mut expected = Vec::new();
+        for &m in &cfg.models {
+            for &d in &cfg.dtypes {
+                for &b in &cfg.bits {
+                    for &g in &cfg.granularities {
+                        expected.push((m, d, b, g));
+                    }
+                }
+            }
+        }
+        assert_eq!(coords, expected);
+    }
+
+    #[test]
+    fn default_axes_produce_records_identical_to_the_legacy_pipeline() {
+        // The pin for the refactor: a sweep with every new axis left at its
+        // default yields records bit-identical to what the pre-axis pipeline
+        // produced — a plain Pipeline run per point with INT8 scale factors,
+        // generative task, lossy accelerator, and no composition method.
+        let cfg = tiny_sweep();
+        let report = cfg.run();
+        assert_eq!(report.records.len(), 8);
+        let pool = HarnessPool::new();
+        for r in &report.records {
+            let harness = pool.get_or_build(r.point.model, cfg.proxy, cfg.seed);
+            let legacy_quant = QuantConfig::new(
+                r.point.dtype.method_at(r.point.bits).unwrap(),
+                r.point.granularity,
+            )
+            .with_scale_dtype(ScaleDtype::Int(8));
+            let legacy = Pipeline::new(r.point.model)
+                .with_quant_config(legacy_quant)
+                .with_proxy_config(cfg.proxy)
+                .run_with_harness(&harness);
+            assert_eq!(
+                serde_json::to_string(&r.report).unwrap(),
+                serde_json::to_string(&legacy).unwrap(),
+                "{} diverged from the legacy pipeline",
+                r.point.label()
+            );
+        }
+    }
+
+    #[test]
+    fn method_axis_produces_composed_records() {
+        let mut cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![3])
+            .with_proxy(ProxyConfig::tiny())
+            .with_seed(3)
+            .with_methods(vec![CompositionMethod::None, CompositionMethod::Awq]);
+        cfg.dtypes = vec![SweepDtype::BitMod];
+        let report = cfg.run();
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[0].report.method, "BitMoD-3b");
+        assert_eq!(report.records[1].report.method, "BitMoD-3b+AWQ");
+        // The composed record really ran a different quantizer.
+        assert_ne!(
+            report.records[0].report.proxy_perplexity,
+            report.records[1].report.proxy_perplexity
+        );
+    }
+
+    #[test]
+    fn task_and_accel_variants_share_the_algorithm_side_bit_identically() {
+        // The grid runner computes the algorithm side once per quantization
+        // configuration and fans the hardware simulation out across the
+        // (task, accelerator) variants; every record must still be
+        // bit-identical to a full per-point pipeline run.
+        let mut cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+            .with_proxy(ProxyConfig::tiny())
+            .with_tasks(vec![TaskShape::GENERATIVE, TaskShape::DISCRIMINATIVE])
+            .with_accelerators(vec![AcceleratorKind::BitModLossy, AcceleratorKind::Ant]);
+        cfg.dtypes = vec![SweepDtype::BitMod];
+        let report = cfg.run();
+        assert_eq!(report.records.len(), 4);
+        let harness = EvalHarness::with_config(LlmModel::Phi2B, cfg.proxy, cfg.seed);
+        for r in &report.records {
+            let direct = Pipeline::new(r.point.model)
+                .with_quant_config(r.point.quant_config().unwrap())
+                .with_method(r.point.method)
+                .with_proxy_config(cfg.proxy)
+                .with_task(r.point.task)
+                .with_accelerator(r.point.accelerator)
+                .run_with_harness(&harness);
+            assert_eq!(
+                serde_json::to_string(&r.report).unwrap(),
+                serde_json::to_string(&direct).unwrap(),
+                "{} diverged from the per-point pipeline",
+                r.point.label()
+            );
+        }
+        // The variants really share one algorithm side…
+        let quality: Vec<_> = report
+            .records
+            .iter()
+            .map(|r| r.report.proxy_perplexity.wiki)
+            .collect();
+        assert!(quality.windows(2).all(|w| w[0] == w[1]));
+        // …while the hardware side genuinely varies across accelerators.
+        assert_ne!(
+            report.records[0].report.speedup_over_fp16,
+            report.records[1].report.speedup_over_fp16
+        );
+    }
+
+    #[test]
+    fn gptq_points_realize_fp16_scales_whatever_the_axis_says() {
+        // GPTQ's quantizer stores full-precision scales, so the scale-dtype
+        // coordinate must not produce fake distinct records (identical
+        // models labeled with different effective bits).
+        let mut cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![3])
+            .with_proxy(ProxyConfig::tiny())
+            .with_methods(vec![CompositionMethod::Gptq])
+            .with_scale_dtypes(vec![ScaleDtype::Int(4), ScaleDtype::Fp16]);
+        cfg.dtypes = vec![SweepDtype::BitMod];
+        assert_eq!(
+            cfg.grid()[0].quant_config().unwrap().scale_dtype,
+            ScaleDtype::Fp16,
+            "gptq realizes FP16 scales"
+        );
+        let report = cfg.run();
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(
+            serde_json::to_string(&report.records[0].report).unwrap(),
+            serde_json::to_string(&report.records[1].report).unwrap(),
+            "scale-dtype variants of a gptq point are the same configuration"
+        );
+    }
+
+    #[test]
+    fn unsupported_method_dtype_combinations_are_skipped_not_fatal() {
+        let mut cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+            .with_proxy(ProxyConfig::tiny())
+            .with_methods(vec![CompositionMethod::Gptq]);
+        cfg.dtypes = vec![SweepDtype::BitMod, SweepDtype::Mx];
+        let report = cfg.run();
+        // GPTQ drives the BitMoD grid but not MX.
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(
+            report.skipped[0].1.contains("gptq"),
+            "{}",
+            report.skipped[0].1
+        );
     }
 
     #[test]
@@ -715,6 +1257,73 @@ mod tests {
     }
 
     #[test]
+    fn canonicalization_sorts_and_dedups_the_new_axes() {
+        let mut a = tiny_sweep();
+        a.methods = vec![
+            CompositionMethod::OmniQuant,
+            CompositionMethod::Awq,
+            CompositionMethod::Awq,
+        ];
+        a.tasks = vec![
+            TaskShape::GENERATIVE,
+            TaskShape::DISCRIMINATIVE,
+            TaskShape::GENERATIVE,
+        ];
+        a.accelerators = vec![AcceleratorKind::BitModLossy, AcceleratorKind::Ant];
+        a.scale_dtypes = vec![ScaleDtype::Int(8), ScaleDtype::Fp16, ScaleDtype::Int(8)];
+        let canon = a.canonicalized();
+        assert_eq!(
+            canon.methods,
+            vec![CompositionMethod::Awq, CompositionMethod::OmniQuant]
+        );
+        assert_eq!(
+            canon.tasks,
+            vec![TaskShape::DISCRIMINATIVE, TaskShape::GENERATIVE]
+        );
+        assert_eq!(
+            canon.accelerators,
+            vec![AcceleratorKind::Ant, AcceleratorKind::BitModLossy]
+        );
+        assert_eq!(
+            canon.scale_dtypes,
+            vec![ScaleDtype::Fp16, ScaleDtype::Int(8)]
+        );
+        // A reordered spelling of the same axes shares the cache key…
+        let mut b = tiny_sweep();
+        b.methods = vec![CompositionMethod::Awq, CompositionMethod::OmniQuant];
+        b.tasks = vec![TaskShape::DISCRIMINATIVE, TaskShape::GENERATIVE];
+        b.accelerators = vec![AcceleratorKind::Ant, AcceleratorKind::BitModLossy];
+        b.scale_dtypes = vec![ScaleDtype::Fp16, ScaleDtype::Int(8)];
+        assert_eq!(a.cache_key(), b.cache_key());
+        // …and every new axis on its own changes the key.
+        let base = tiny_sweep();
+        assert_ne!(
+            base.cache_key(),
+            base.clone()
+                .with_methods(vec![CompositionMethod::Awq])
+                .cache_key()
+        );
+        assert_ne!(
+            base.cache_key(),
+            base.clone()
+                .with_tasks(vec![TaskShape::DISCRIMINATIVE])
+                .cache_key()
+        );
+        assert_ne!(
+            base.cache_key(),
+            base.clone()
+                .with_accelerators(vec![AcceleratorKind::Olive])
+                .cache_key()
+        );
+        assert_ne!(
+            base.cache_key(),
+            base.clone()
+                .with_scale_dtypes(vec![ScaleDtype::Fp16])
+                .cache_key()
+        );
+    }
+
+    #[test]
     fn pooled_sweep_matches_fresh_sweep_and_reuses_harnesses() {
         let cfg = tiny_sweep();
         let direct = cfg.run();
@@ -737,8 +1346,11 @@ mod tests {
             bits: strings(&["3", "4"]),
             dtypes: Some(strings(&["bitmod", "mx"])),
             granularities: Some(strings(&["g64", "channel"])),
+            methods: Some(strings(&["none", "awq", "omniquant"])),
+            tasks: Some(strings(&["generative", "disc", "256x64"])),
+            accels: Some(strings(&["lossless", "ant"])),
+            scale_dtypes: Some(strings(&["int8", "fp16"])),
             proxy: Some("tiny".to_string()),
-            accelerator: Some("lossless".to_string()),
             seed: Some(9),
         };
         let cfg = spec.build().unwrap();
@@ -746,7 +1358,30 @@ mod tests {
         assert_eq!(cfg.bits, vec![3, 4]);
         assert_eq!(cfg.dtypes, vec![SweepDtype::BitMod, SweepDtype::Mx]);
         assert_eq!(cfg.proxy, ProxyConfig::tiny());
-        assert_eq!(cfg.accelerator, AcceleratorKind::BitModLossless);
+        assert_eq!(
+            cfg.methods,
+            vec![
+                CompositionMethod::None,
+                CompositionMethod::Awq,
+                CompositionMethod::OmniQuant
+            ]
+        );
+        assert_eq!(
+            cfg.tasks,
+            vec![
+                TaskShape::GENERATIVE,
+                TaskShape::DISCRIMINATIVE,
+                TaskShape {
+                    input_tokens: 256,
+                    output_tokens: 64
+                }
+            ]
+        );
+        assert_eq!(
+            cfg.accelerators,
+            vec![AcceleratorKind::BitModLossless, AcceleratorKind::Ant]
+        );
+        assert_eq!(cfg.scale_dtypes, vec![ScaleDtype::Int(8), ScaleDtype::Fp16]);
         assert_eq!(cfg.seed, 9);
         // `all` expands to every model; defaults match SweepConfig::new.
         let all = GridSpec {
@@ -805,10 +1440,106 @@ mod tests {
                 },
                 "unknown proxy",
             ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["4"]),
+                    methods: Some(strings(&["dpo"])),
+                    ..GridSpec::default()
+                },
+                "unknown method",
+            ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["4"]),
+                    tasks: Some(strings(&["128x0"])),
+                    ..GridSpec::default()
+                },
+                "invalid task",
+            ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["4"]),
+                    accels: Some(strings(&["tpu"])),
+                    ..GridSpec::default()
+                },
+                "unknown accelerator",
+            ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["4"]),
+                    scale_dtypes: Some(strings(&["int99"])),
+                    ..GridSpec::default()
+                },
+                "invalid scale dtype",
+            ),
         ] {
             let err = spec.build().expect_err(needle);
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
         }
+    }
+
+    #[test]
+    fn grid_spec_rejects_duplicate_spellings_within_an_axis() {
+        let strings = |items: &[&str]| items.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let base = || GridSpec {
+            models: strings(&["phi-2"]),
+            bits: strings(&["4"]),
+            ..GridSpec::default()
+        };
+        // `--bits 3,3` must not silently double the grid.
+        let dup_bits = GridSpec {
+            bits: strings(&["3", "3"]),
+            ..base()
+        };
+        let err = dup_bits.build().expect_err("duplicate bits");
+        assert!(err.contains("duplicate bit width `3`"), "{err}");
+        // Different spellings resolving to the same value are duplicates too.
+        let dup_gran = GridSpec {
+            granularities: Some(strings(&["128", "g128"])),
+            ..base()
+        };
+        let err = dup_gran.build().expect_err("duplicate granularity");
+        assert!(err.contains("duplicate granularity `g128`"), "{err}");
+        for spec in [
+            GridSpec {
+                models: strings(&["phi-2", "phi2"]),
+                ..base()
+            },
+            GridSpec {
+                dtypes: Some(strings(&["bitmod", "bitmod"])),
+                ..base()
+            },
+            GridSpec {
+                methods: Some(strings(&["awq", "awq"])),
+                ..base()
+            },
+            GridSpec {
+                tasks: Some(strings(&["gen", "generative"])),
+                ..base()
+            },
+            GridSpec {
+                accels: Some(strings(&["lossy", "lossy"])),
+                ..base()
+            },
+            GridSpec {
+                scale_dtypes: Some(strings(&["int8", "int8"])),
+                ..base()
+            },
+        ] {
+            let err = spec.build().expect_err("duplicate axis value");
+            assert!(err.contains("duplicate"), "{err}");
+        }
+        // A valid multi-value spec still builds.
+        assert!(GridSpec {
+            bits: strings(&["3", "4"]),
+            ..base()
+        }
+        .build()
+        .is_ok());
     }
 
     #[test]
@@ -823,5 +1554,95 @@ mod tests {
         assert_eq!(parse_granularity("channel"), Some(Granularity::PerChannel));
         assert_eq!(parse_granularity("tensor"), Some(Granularity::PerTensor));
         assert_eq!(parse_granularity("g0"), None);
+    }
+
+    #[test]
+    fn pre_axis_json_still_deserializes_with_default_axes() {
+        // A PR 3-era SweepConfig: scalar `task`/`accelerator` fields, no
+        // method or scale-dtype axes. It must parse into the equivalent
+        // singleton axes instead of failing on missing fields.
+        let legacy_config = r#"{
+            "models": ["Phi2B"],
+            "dtypes": ["BitMod", "IntAsym"],
+            "bits": [3, 4],
+            "granularities": [{"PerGroup": 128}],
+            "proxy": {"vocab": 64, "hidden": 64, "layers": 2, "heads": 2,
+                      "intermediate": 128, "gated_mlp": true, "seq_len": 32},
+            "task": {"input_tokens": 256, "output_tokens": 1},
+            "accelerator": "BitModLossless",
+            "seed": 9
+        }"#;
+        let cfg: SweepConfig = serde_json::from_str(legacy_config).unwrap();
+        assert_eq!(cfg.methods, vec![CompositionMethod::None]);
+        assert_eq!(cfg.tasks, vec![TaskShape::DISCRIMINATIVE]);
+        assert_eq!(cfg.accelerators, vec![AcceleratorKind::BitModLossless]);
+        assert_eq!(cfg.scale_dtypes, vec![ScaleDtype::Int(8)]);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.proxy, ProxyConfig::tiny());
+        // A PR 3-era record point: the new coordinates take the defaults the
+        // point was actually produced with.
+        let legacy_point = r#"{"model": "Phi2B", "dtype": "BitMod", "bits": 3,
+                               "granularity": {"PerGroup": 128}}"#;
+        let point: SweepPoint = serde_json::from_str(legacy_point).unwrap();
+        assert_eq!(point.method, CompositionMethod::None);
+        assert_eq!(point.task, TaskShape::GENERATIVE);
+        assert_eq!(point.accelerator, AcceleratorKind::BitModLossy);
+        assert_eq!(point.scale_dtype, ScaleDtype::Int(8));
+        // The new schema round-trips through its own serialization.
+        let now = tiny_sweep().with_methods(vec![CompositionMethod::Awq]);
+        let back: SweepConfig =
+            serde_json::from_str(&serde_json::to_string(&now).unwrap()).unwrap();
+        assert_eq!(back.cache_key(), now.cache_key());
+    }
+
+    #[test]
+    fn new_axis_labels_roundtrip_through_their_parsers() {
+        for t in [
+            TaskShape::GENERATIVE,
+            TaskShape::DISCRIMINATIVE,
+            TaskShape {
+                input_tokens: 100,
+                output_tokens: 12,
+            },
+        ] {
+            assert_eq!(parse_task(&task_label(&t)), Some(t));
+        }
+        assert_eq!(parse_task("gen"), Some(TaskShape::GENERATIVE));
+        assert_eq!(parse_task("disc"), Some(TaskShape::DISCRIMINATIVE));
+        assert_eq!(parse_task("0x5"), None);
+        assert_eq!(parse_task("banana"), None);
+        for k in AcceleratorKind::ALL {
+            assert_eq!(parse_accelerator(accelerator_label(&k)), Some(k));
+        }
+        assert_eq!(
+            parse_accelerator("LOSSY"),
+            Some(AcceleratorKind::BitModLossy)
+        );
+        assert_eq!(parse_accelerator("tpu"), None);
+        for s in [ScaleDtype::Fp16, ScaleDtype::Int(8), ScaleDtype::Int(4)] {
+            assert_eq!(parse_scale_dtype(&scale_dtype_label(&s)), Some(s));
+        }
+        assert_eq!(parse_scale_dtype("int1"), None);
+        assert_eq!(parse_scale_dtype("int17"), None);
+        assert_eq!(parse_scale_dtype("bf16"), None);
+    }
+
+    #[test]
+    fn point_labels_omit_default_axes_and_name_the_rest() {
+        let mut cfg = tiny_sweep();
+        cfg.models = vec![LlmModel::Phi2B];
+        cfg.dtypes = vec![SweepDtype::BitMod];
+        cfg.bits = vec![4];
+        let default_point = cfg.grid()[0];
+        assert_eq!(default_point.label(), "Phi-2B/bitmod-4b/g128");
+        let fancy = cfg
+            .with_methods(vec![CompositionMethod::Awq])
+            .with_tasks(vec![TaskShape::DISCRIMINATIVE])
+            .with_accelerators(vec![AcceleratorKind::BitModLossless])
+            .with_scale_dtypes(vec![ScaleDtype::Fp16]);
+        assert_eq!(
+            fancy.grid()[0].label(),
+            "Phi-2B/bitmod-4b/g128/awq/discriminative/lossless/s-fp16"
+        );
     }
 }

@@ -4,7 +4,9 @@
 
 use bitmod::llm::config::LlmModel;
 use bitmod::llm::eval::HarnessPool;
+use bitmod::llm::memory::TaskShape;
 use bitmod::llm::proxy::ProxyConfig;
+use bitmod::prelude::{AcceleratorKind, CompositionMethod, ScaleDtype};
 use bitmod::quant::Granularity;
 use bitmod::shard::{merge_shards, run_shard, run_shard_with_pool, shard_points, ShardSpec};
 use bitmod::sweep::{SweepConfig, SweepDtype, SweepReport};
@@ -111,6 +113,111 @@ proptest! {
             scrambled.bits.push(b);
         }
         prop_assert_eq!(scrambled.cache_key(), canon.cache_key());
+    }
+
+    /// Injectivity of the cache key across the method / task / accelerator /
+    /// scale-dtype axes: two configurations that differ in the *set* of any
+    /// new axis must never collide, and set-equal spellings (any order) must
+    /// collide.  Runs no pipelines, so it executes at the full case count.
+    #[test]
+    fn cache_key_is_injective_across_the_new_axes(
+        method_mask_a in 1usize..32,
+        method_mask_b in 1usize..32,
+        task_mask_a in 1usize..8,
+        task_mask_b in 1usize..8,
+        accel_mask_a in 1usize..32,
+        accel_mask_b in 1usize..32,
+        scale_mask_a in 1usize..16,
+        scale_mask_b in 1usize..16,
+        shuffle in 0usize..4,
+    ) {
+        const TASKS: [TaskShape; 3] = [
+            TaskShape::GENERATIVE,
+            TaskShape::DISCRIMINATIVE,
+            TaskShape { input_tokens: 64, output_tokens: 16 },
+        ];
+        const SCALES: [ScaleDtype; 4] = [
+            ScaleDtype::Fp16,
+            ScaleDtype::Int(4),
+            ScaleDtype::Int(6),
+            ScaleDtype::Int(8),
+        ];
+        fn subset<T: Copy>(items: &[T], mask: usize) -> Vec<T> {
+            items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &x)| x)
+                .collect()
+        }
+        let build = |mm: usize, tm: usize, am: usize, sm: usize, rot: usize| {
+            let mut methods = subset(&CompositionMethod::ALL, mm);
+            let mut tasks = subset(&TASKS, tm);
+            let mut accels = subset(&AcceleratorKind::ALL, am);
+            let mut scales = subset(&SCALES, sm);
+            // Spelling order must not matter, only the set.
+            fn rotate<T>(v: &mut [T], rot: usize) {
+                let n = v.len().max(1);
+                v.rotate_left(rot % n);
+            }
+            rotate(&mut methods, rot);
+            rotate(&mut tasks, rot);
+            rotate(&mut accels, rot);
+            rotate(&mut scales, rot);
+            SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+                .with_methods(methods)
+                .with_tasks(tasks)
+                .with_accelerators(accels)
+                .with_scale_dtypes(scales)
+        };
+        let a = build(method_mask_a, task_mask_a, accel_mask_a, scale_mask_a, shuffle);
+        let b = build(method_mask_b, task_mask_b, accel_mask_b, scale_mask_b, 0);
+        let same_sets = method_mask_a == method_mask_b
+            && task_mask_a == task_mask_b
+            && accel_mask_a == accel_mask_b
+            && scale_mask_a == scale_mask_b;
+        let keys_equal = a.cache_key() == b.cache_key();
+        prop_assert!(
+            keys_equal == same_sets,
+            "keys_equal {} but same_sets {} for masks ({},{},{},{}) vs ({},{},{},{})",
+            keys_equal, same_sets,
+            method_mask_a, task_mask_a, accel_mask_a, scale_mask_a,
+            method_mask_b, task_mask_b, accel_mask_b, scale_mask_b
+        );
+    }
+}
+
+/// Shard-merge equivalence on a grid that includes a method axis (and an
+/// invalid method × dtype combination, so skipped points cross shard
+/// boundaries too): the merged records must be bit-identical to the direct
+/// sweep, exactly as on the classic four-axis grid.
+#[test]
+fn method_axis_sharding_merges_bit_identical_to_direct_sweep() {
+    let mut cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![3])
+        .with_proxy(ProxyConfig::tiny())
+        .with_seed(17)
+        .with_methods(vec![
+            CompositionMethod::None,
+            CompositionMethod::Awq,
+            CompositionMethod::Gptq,
+        ]);
+    cfg.dtypes = vec![SweepDtype::BitMod, SweepDtype::Mx];
+    let pool = HarnessPool::new();
+    let direct = cfg.run();
+    // 2 dtypes × 3 methods, minus mx+gptq (unsupported → skipped).
+    assert_eq!(direct.records.len(), 5);
+    assert_eq!(direct.skipped.len(), 1);
+    for count in [2, 3] {
+        let shards: Vec<_> = ShardSpec::all(count)
+            .into_iter()
+            .map(|spec| run_shard_with_pool(&cfg, spec, &pool))
+            .collect();
+        let merged = merge_shards(&shards).expect("complete sharding merges");
+        assert_eq!(
+            result_fingerprint(&merged),
+            result_fingerprint(&direct),
+            "{count}-way method-axis sharding diverged from the direct sweep"
+        );
     }
 }
 

@@ -16,8 +16,8 @@
 
 use crate::config::LlmModel;
 use crate::proxy::{LinearId, ProxyConfig, ProxyTransformer};
-use bitmod_quant::QuantConfig;
-use bitmod_tensor::{Matrix, SeededRng};
+use bitmod_quant::{compose_quantize, CompositionMethod, QuantConfig, QuantStats};
+use bitmod_tensor::{stats, Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -137,6 +137,59 @@ impl EvalHarness {
     /// Quantizes with `cfg` and reports the proxy accuracy (percent).
     pub fn evaluate_accuracy(&self, cfg: &QuantConfig) -> f64 {
         self.accuracy_percent(&self.reference.quantized(cfg))
+    }
+
+    /// Quantizes the reference model with `cfg`, composed with `method`
+    /// against the calibration activations captured at construction — the
+    /// harness-level face of [`bitmod_quant::compose_quantize`], and the one
+    /// entry point behind the sweep method axis and the Table XI/XII
+    /// reproductions.
+    ///
+    /// [`CompositionMethod::None`] is exactly
+    /// [`ProxyTransformer::quantized`]; the calibration-based methods run
+    /// per decoder linear.  The returned model's weights are drop-in
+    /// replacements (any internal re-scaling is folded back); activation
+    /// quantization (SmoothQuant's INT8 side) is *not* applied here — callers
+    /// that want the deployment behavior apply
+    /// [`CompositionMethod::activation_bits`] themselves, which is what the
+    /// sweep pipeline does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method` does not support `cfg.method` (see
+    /// [`CompositionMethod::supports`]).
+    pub fn compose(&self, cfg: &QuantConfig, method: CompositionMethod) -> ProxyTransformer {
+        self.compose_with_stats(cfg, method).0
+    }
+
+    /// Like [`EvalHarness::compose`], but also returns the per-linear weight
+    /// reconstruction statistics of the single pass (what the sweep pipeline
+    /// reports as `weight_sqnr_db`).
+    pub fn compose_with_stats(
+        &self,
+        cfg: &QuantConfig,
+        method: CompositionMethod,
+    ) -> (ProxyTransformer, Vec<(LinearId, QuantStats)>) {
+        if method == CompositionMethod::None {
+            // The plain-RTN fast path: identical (bit for bit) to the
+            // pre-composition pipeline, and free of the per-layer calibration
+            // matmuls the composed paths pay.
+            return self.reference.quantized_with_stats(cfg);
+        }
+        let mut stats_out = Vec::new();
+        let model = self.reference.map_linears(|id, w| {
+            let composed = compose_quantize(w, self.calibration_for(id), cfg, method);
+            stats_out.push((
+                id,
+                QuantStats {
+                    mse: stats::mse(w.as_slice(), composed.reconstructed.as_slice()),
+                    sqnr_db: stats::sqnr_db(w.as_slice(), composed.reconstructed.as_slice()),
+                    bits_per_weight: cfg.effective_bits_per_weight(w.rows(), w.cols()),
+                },
+            ));
+            composed.reconstructed
+        });
+        (model, stats_out)
     }
 
     /// The captured calibration activations for one decoder linear.
@@ -325,6 +378,33 @@ mod tests {
             let acts = h.calibration_for(id);
             assert_eq!(acts.rows(), CALIB_LEN);
         }
+    }
+
+    #[test]
+    fn compose_none_is_exactly_plain_quantization() {
+        let h = harness(LlmModel::Phi2B, 8);
+        let cfg = QuantConfig::new(QuantMethod::bitmod(4), Granularity::PerGroup(64));
+        let composed = h.compose(&cfg, CompositionMethod::None);
+        let plain = h.reference.quantized(&cfg);
+        assert_eq!(h.evaluate_model(&composed), h.evaluate_model(&plain));
+    }
+
+    #[test]
+    fn composed_models_evaluate_and_calibration_helps() {
+        // AWQ with the captured calibration activations must not lose to
+        // plain RTN in total weight-level output error, and the composed
+        // model must still evaluate to finite perplexities.
+        let h = harness(LlmModel::Phi2B, 9);
+        let cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, Granularity::PerGroup(64));
+        let (awq, stats) = h.compose_with_stats(&cfg, CompositionMethod::Awq);
+        assert_eq!(stats.len(), h.reference.linears().len());
+        assert!(stats.iter().all(|(_, s)| s.sqnr_db.is_finite()));
+        let p = h.evaluate_model(&awq);
+        assert!(p.wiki.is_finite() && p.c4.is_finite());
+        // compose() does not quantize activations — that is an evaluation-time
+        // policy the sweep applies via `activation_bits`.
+        let sq = h.compose(&cfg, CompositionMethod::SmoothQuant);
+        assert!(h.evaluate_model(&sq).wiki.is_finite());
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! One dispatch point for the software-composition methods of Tables XI/XII.
+//!
+//! The paper composes the BitMoD data type with four software-only PTQ
+//! optimizations: AWQ ([`crate::awq`]), GPTQ ([`crate::gptq`]), SmoothQuant
+//! ([`crate::smoothquant`]) and OmniQuant ([`crate::omniquant`]).  Each of
+//! those modules exposes its own entry point with its own signature; this
+//! module wraps them behind one uniform call —
+//!
+//! ```text
+//! weights + calibration activations + QuantConfig  →  quantized layer + output error
+//! ```
+//!
+//! — which is what lets a composition method be a *sweep axis*
+//! (`bitmod::sweep`) instead of a bespoke per-table code path.
+//!
+//! ```
+//! use bitmod_quant::{compose_quantize, CompositionMethod, Granularity, QuantConfig, QuantMethod};
+//! use bitmod_tensor::{synthetic::ActivationProfile, synthetic::WeightProfile, SeededRng};
+//!
+//! let mut rng = SeededRng::new(1);
+//! let w = WeightProfile::llama_like().sample_matrix(16, 128, &mut rng);
+//! let x = ActivationProfile::default().sample_matrix(32, 128, &mut rng);
+//! let cfg = QuantConfig::new(QuantMethod::bitmod(4), Granularity::PerGroup(128));
+//! let composed = compose_quantize(&w, &x, &cfg, CompositionMethod::Awq);
+//! assert_eq!(composed.reconstructed.rows(), 16);
+//! assert!(composed.output_mse.is_finite());
+//! ```
+
+use crate::awq::awq_quantize;
+use crate::config::{QuantConfig, QuantMethod};
+use crate::engine::quantize_matrix;
+use crate::gptq::gptq_quantize;
+use crate::granularity::Granularity;
+use crate::omniquant::omniquant_quantize;
+use crate::smoothquant::smoothquant_quantize;
+use bitmod_tensor::{stats, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A software-composition method applied on top of the data-type quantizer.
+///
+/// `None` is plain round-to-nearest (what [`quantize_matrix`] does); the
+/// other variants are the calibration-based optimizers of Tables XI and XII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CompositionMethod {
+    /// Plain round-to-nearest quantization (no composition).
+    #[default]
+    None,
+    /// Activation-aware weight scaling (Table XI).
+    Awq,
+    /// Error-compensating greedy column quantization (Table XI).
+    Gptq,
+    /// Activation-outlier smoothing with INT8 activations (Table XII).
+    SmoothQuant,
+    /// Learnable-clipping range search (Table XI).
+    OmniQuant,
+}
+
+impl CompositionMethod {
+    /// Every composition method, in the canonical axis order.
+    pub const ALL: [CompositionMethod; 5] = [
+        CompositionMethod::None,
+        CompositionMethod::Awq,
+        CompositionMethod::Gptq,
+        CompositionMethod::SmoothQuant,
+        CompositionMethod::OmniQuant,
+    ];
+
+    /// The CLI / report spelling of this method.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompositionMethod::None => "none",
+            CompositionMethod::Awq => "awq",
+            CompositionMethod::Gptq => "gptq",
+            CompositionMethod::SmoothQuant => "smoothquant",
+            CompositionMethod::OmniQuant => "omniquant",
+        }
+    }
+
+    /// Human-readable label matching the paper's tables ("AWQ", "GPTQ", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompositionMethod::None => "RTN",
+            CompositionMethod::Awq => "AWQ",
+            CompositionMethod::Gptq => "GPTQ",
+            CompositionMethod::SmoothQuant => "SmoothQuant",
+            CompositionMethod::OmniQuant => "OmniQuant",
+        }
+    }
+
+    /// Parses the CLI spelling (case-insensitive; `rtn`, `sq` and `omniq`
+    /// are accepted aliases).
+    pub fn parse(s: &str) -> Option<CompositionMethod> {
+        let s = s.to_ascii_lowercase();
+        match s.as_str() {
+            "rtn" => return Some(CompositionMethod::None),
+            "sq" => return Some(CompositionMethod::SmoothQuant),
+            "omniq" => return Some(CompositionMethod::OmniQuant),
+            _ => {}
+        }
+        Self::ALL.iter().copied().find(|m| m.name() == s)
+    }
+
+    /// The activation precision this method deploys with, if it quantizes
+    /// activations at all.  SmoothQuant exists to enable INT8 activations
+    /// (Table XII); every other method leaves activations at FP16.
+    pub fn activation_bits(&self) -> Option<u8> {
+        match self {
+            CompositionMethod::SmoothQuant => Some(8),
+            _ => None,
+        }
+    }
+
+    /// Whether this method can drive the given data-type quantizer, or why
+    /// not.  GPTQ and OmniQuant re-implement the per-group quantizer
+    /// internally and only support the integer, fixed-codebook and BitMoD
+    /// grids; AWQ, SmoothQuant and plain RTN go through [`quantize_matrix`]
+    /// and accept every method.
+    pub fn supports(&self, method: &QuantMethod) -> Result<(), String> {
+        match self {
+            CompositionMethod::Gptq | CompositionMethod::OmniQuant => match method {
+                QuantMethod::IntSym { .. }
+                | QuantMethod::IntAsym { .. }
+                | QuantMethod::Fixed { .. }
+                | QuantMethod::BitMod { .. } => Ok(()),
+                other => Err(format!(
+                    "{} does not support the {} data type (integer, fixed-codebook \
+                     and bitmod grids only)",
+                    self.name(),
+                    other.label()
+                )),
+            },
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The uniform result of composing one linear layer: a drop-in replacement
+/// for the original weights, plus the calibration output error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComposedLayer {
+    /// The quantized (reconstructed) weights, in the original weight domain —
+    /// any internal re-scaling (AWQ channel scales, SmoothQuant smoothing) is
+    /// already folded back out.
+    pub reconstructed: Matrix,
+    /// Mean-square error of the layer output `X · Ŵᵀ` against the FP32
+    /// reference `X · Wᵀ` on the calibration activations.
+    pub output_mse: f64,
+}
+
+/// Quantizes one linear layer (`weights`: `K × D`, rows = output channels)
+/// with the data type of `cfg`, composed with `method` against the
+/// calibration `activations` (`T × D`).
+///
+/// This is the single entry point behind the sweep method axis, the
+/// evaluation harness, and the table11/table12 reproductions.
+///
+/// # Panics
+///
+/// Panics if the weight and activation channel counts differ, or if `method`
+/// does not support `cfg.method` (check [`CompositionMethod::supports`]
+/// first; the sweep grid does, and reports such points as skipped).
+pub fn compose_quantize(
+    weights: &Matrix,
+    activations: &Matrix,
+    cfg: &QuantConfig,
+    method: CompositionMethod,
+) -> ComposedLayer {
+    assert_eq!(
+        weights.cols(),
+        activations.cols(),
+        "weights have {} input channels but activations have {}",
+        weights.cols(),
+        activations.cols()
+    );
+    match method {
+        CompositionMethod::None => {
+            let q = quantize_matrix(weights, cfg);
+            let output_mse = calibration_output_mse(weights, &q.reconstructed, activations);
+            ComposedLayer {
+                reconstructed: q.reconstructed,
+                output_mse,
+            }
+        }
+        CompositionMethod::Awq => {
+            let r = awq_quantize(weights, activations, cfg);
+            ComposedLayer {
+                reconstructed: r.quantized.reconstructed,
+                output_mse: r.output_mse,
+            }
+        }
+        CompositionMethod::Gptq => {
+            // GPTQ groups along the input dimension; per-channel and
+            // per-tensor granularities collapse to one group per row.
+            let group = match cfg.granularity {
+                Granularity::PerGroup(g) => g,
+                Granularity::PerChannel | Granularity::PerTensor => weights.cols(),
+            };
+            let r = gptq_quantize(weights, activations, &cfg.method, group);
+            ComposedLayer {
+                reconstructed: r.reconstructed,
+                output_mse: r.output_mse,
+            }
+        }
+        CompositionMethod::SmoothQuant => {
+            // Quantize in the smoothed domain, then fold the smoothing back so
+            // the result is a drop-in weight replacement (the surrounding
+            // network stays unchanged; the INT8 activation side is applied at
+            // evaluation time via `activation_bits`).
+            let r = smoothquant_quantize(weights, activations, cfg, false);
+            let mut reconstructed = r.quantized_weights.reconstructed;
+            for (c, &s) in r.smoothing.iter().enumerate() {
+                reconstructed.scale_col(c, 1.0 / s);
+            }
+            ComposedLayer {
+                reconstructed,
+                output_mse: r.output_mse,
+            }
+        }
+        CompositionMethod::OmniQuant => {
+            let r = omniquant_quantize(weights, cfg);
+            let output_mse = calibration_output_mse(weights, &r.reconstructed, activations);
+            ComposedLayer {
+                reconstructed: r.reconstructed,
+                output_mse,
+            }
+        }
+    }
+}
+
+/// Output MSE of the reconstructed weights on the calibration activations,
+/// for the methods that do not already compute it internally.
+fn calibration_output_mse(weights: &Matrix, reconstructed: &Matrix, activations: &Matrix) -> f64 {
+    let reference = activations.matmul_nt(weights);
+    let out = activations.matmul_nt(reconstructed);
+    stats::mse(reference.as_slice(), out.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod_tensor::{synthetic::ActivationProfile, synthetic::WeightProfile, SeededRng};
+
+    fn setup(seed: u64) -> (Matrix, Matrix) {
+        let mut rng = SeededRng::new(seed);
+        let w = WeightProfile::llama_like().sample_matrix(24, 256, &mut rng);
+        let x = ActivationProfile {
+            hot_channel_rate: 0.05,
+            ..ActivationProfile::default()
+        }
+        .sample_matrix(48, 256, &mut rng);
+        (w, x)
+    }
+
+    fn g128_cfg(method: QuantMethod) -> QuantConfig {
+        QuantConfig::new(method, Granularity::PerGroup(128))
+    }
+
+    #[test]
+    fn names_labels_and_parsing_roundtrip() {
+        for m in CompositionMethod::ALL {
+            assert_eq!(CompositionMethod::parse(m.name()), Some(m));
+        }
+        assert_eq!(
+            CompositionMethod::parse("AWQ"),
+            Some(CompositionMethod::Awq)
+        );
+        assert_eq!(
+            CompositionMethod::parse("rtn"),
+            Some(CompositionMethod::None)
+        );
+        assert_eq!(
+            CompositionMethod::parse("sq"),
+            Some(CompositionMethod::SmoothQuant)
+        );
+        assert_eq!(
+            CompositionMethod::parse("omniq"),
+            Some(CompositionMethod::OmniQuant)
+        );
+        assert_eq!(CompositionMethod::parse("dpo"), None);
+        assert_eq!(CompositionMethod::default(), CompositionMethod::None);
+        assert_eq!(CompositionMethod::Gptq.label(), "GPTQ");
+    }
+
+    #[test]
+    fn only_smoothquant_quantizes_activations() {
+        for m in CompositionMethod::ALL {
+            let expected = (m == CompositionMethod::SmoothQuant).then_some(8);
+            assert_eq!(m.activation_bits(), expected, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_the_direct_entry_points() {
+        let (w, x) = setup(1);
+        let cfg = g128_cfg(QuantMethod::bitmod(3));
+
+        let none = compose_quantize(&w, &x, &cfg, CompositionMethod::None);
+        assert_eq!(none.reconstructed, quantize_matrix(&w, &cfg).reconstructed);
+
+        let awq = compose_quantize(&w, &x, &cfg, CompositionMethod::Awq);
+        let awq_direct = awq_quantize(&w, &x, &cfg);
+        assert_eq!(awq.reconstructed, awq_direct.quantized.reconstructed);
+        assert_eq!(awq.output_mse, awq_direct.output_mse);
+
+        let gptq = compose_quantize(&w, &x, &cfg, CompositionMethod::Gptq);
+        let gptq_direct = gptq_quantize(&w, &x, &cfg.method, 128);
+        assert_eq!(gptq.reconstructed, gptq_direct.reconstructed);
+        assert_eq!(gptq.output_mse, gptq_direct.output_mse);
+
+        let omni = compose_quantize(&w, &x, &cfg, CompositionMethod::OmniQuant);
+        let omni_direct = omniquant_quantize(&w, &cfg);
+        assert_eq!(omni.reconstructed, omni_direct.reconstructed);
+
+        let sq = compose_quantize(&w, &x, &cfg, CompositionMethod::SmoothQuant);
+        let sq_direct = smoothquant_quantize(&w, &x, &cfg, false);
+        let mut folded = sq_direct.quantized_weights.reconstructed;
+        for (c, &s) in sq_direct.smoothing.iter().enumerate() {
+            folded.scale_col(c, 1.0 / s);
+        }
+        assert_eq!(sq.reconstructed, folded);
+        assert_eq!(sq.output_mse, sq_direct.output_mse);
+    }
+
+    #[test]
+    fn smoothquant_weights_are_drop_in_for_the_original_domain() {
+        // Folding the smoothing back means X · Ŵᵀ with the *original*
+        // activations approximates the reference (smoothing is transparent).
+        let (w, x) = setup(2);
+        let cfg = g128_cfg(QuantMethod::bitmod(4));
+        let sq = compose_quantize(&w, &x, &cfg, CompositionMethod::SmoothQuant);
+        let reference = x.matmul_nt(&w);
+        let out = x.matmul_nt(&sq.reconstructed);
+        let rel = stats::mse(reference.as_slice(), out.as_slice())
+            / stats::mse(reference.as_slice(), &vec![0.0; reference.len()]);
+        assert!(rel < 0.05, "relative output error {rel}");
+    }
+
+    #[test]
+    fn calibration_optimizers_beat_plain_rtn_on_output_error() {
+        let (w, x) = setup(3);
+        let cfg = g128_cfg(QuantMethod::IntAsym { bits: 3 });
+        let rtn = compose_quantize(&w, &x, &cfg, CompositionMethod::None);
+        for m in [
+            CompositionMethod::Awq,
+            CompositionMethod::Gptq,
+            CompositionMethod::OmniQuant,
+        ] {
+            let composed = compose_quantize(&w, &x, &cfg, m);
+            assert!(
+                composed.output_mse <= rtn.output_mse + 1e-12,
+                "{}: {} vs RTN {}",
+                m.name(),
+                composed.output_mse,
+                rtn.output_mse
+            );
+        }
+    }
+
+    #[test]
+    fn supports_gates_gptq_and_omniquant_only() {
+        let mx = QuantMethod::Mx {
+            format: bitmod_dtypes::mx::MxFormat::mxfp4(),
+        };
+        for m in CompositionMethod::ALL {
+            assert!(m.supports(&QuantMethod::bitmod(4)).is_ok());
+            assert!(m.supports(&QuantMethod::IntAsym { bits: 4 }).is_ok());
+            let gated = matches!(m, CompositionMethod::Gptq | CompositionMethod::OmniQuant);
+            for dt in [mx.clone(), QuantMethod::Fp16, QuantMethod::Ant { bits: 4 }] {
+                assert_eq!(
+                    m.supports(&dt).is_err(),
+                    gated,
+                    "{} / {}",
+                    m.name(),
+                    dt.label()
+                );
+            }
+        }
+        let err = CompositionMethod::Gptq
+            .supports(&QuantMethod::Fp16)
+            .unwrap_err();
+        assert!(err.contains("gptq"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn mismatched_channels_rejected() {
+        let (w, _) = setup(4);
+        let x = Matrix::zeros(4, 16);
+        let cfg = g128_cfg(QuantMethod::bitmod(4));
+        let _ = compose_quantize(&w, &x, &cfg, CompositionMethod::None);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`awq`], [`omniquant`], [`smoothquant`], [`gptq`] — re-implementations of
 //!   the software-only optimizations the paper composes BitMoD with
 //!   (Tables XI and XII).
+//! * [`compose`] — the uniform dispatch over those optimizers
+//!   ([`CompositionMethod`]), which is what makes them a sweep axis.
 //! * [`analysis`] — the quantization-error analyses behind Figs. 2 and 3.
 //!
 //! # Example
@@ -37,6 +39,7 @@
 pub mod adaptive;
 pub mod analysis;
 pub mod awq;
+pub mod compose;
 pub mod config;
 pub mod engine;
 pub mod gptq;
@@ -48,6 +51,7 @@ pub mod scale_quant;
 pub mod slice;
 pub mod smoothquant;
 
+pub use compose::{compose_quantize, ComposedLayer, CompositionMethod};
 pub use config::{QuantConfig, QuantMethod, ScaleDtype};
 pub use engine::{quantize_matrix, QuantStats, QuantizedMatrix};
 pub use granularity::Granularity;

@@ -22,6 +22,10 @@ pub struct EngineConfig {
     /// partitions every grid with [`ShardSpec`] and merges, exercising the
     /// exact same partition/merge path as `bitmod-cli worker`.
     pub shards: usize,
+    /// Maximum completed reports kept in the dedup/result cache; the
+    /// oldest-finished job is evicted first (`bitmod-cli serve --cache-cap`).
+    /// `usize::MAX` (the default) never evicts.
+    pub cache_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -29,6 +33,7 @@ impl Default for EngineConfig {
         Self {
             workers: 2,
             shards: 1,
+            cache_cap: usize::MAX,
         }
     }
 }
@@ -48,6 +53,9 @@ pub struct EngineStats {
     pub failed: usize,
     /// Submissions absorbed by dedup instead of spawning a job.
     pub deduped_submissions: usize,
+    /// Completed jobs evicted from the result cache (FIFO, capped engines
+    /// only).
+    pub evicted_jobs: usize,
     /// Distinct harnesses in the shared pool.
     pub pool_harnesses: usize,
     /// Worker thread count.
@@ -68,7 +76,7 @@ pub struct EngineStats {
 /// use bitmod::sweep::SweepConfig;
 /// use bitmod_server::engine::{EngineConfig, ServeEngine};
 ///
-/// let handle = ServeEngine::start(EngineConfig { workers: 1, shards: 2 });
+/// let handle = ServeEngine::start(EngineConfig { workers: 1, shards: 2, ..EngineConfig::default() });
 /// let cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
 ///     .with_proxy(ProxyConfig::tiny());
 /// let out = handle.engine().submit(&cfg);
@@ -116,13 +124,16 @@ impl ServeEngine {
     /// Spawns `config.workers` worker threads around a fresh engine.
     pub fn start(config: EngineConfig) -> EngineHandle {
         let engine = Arc::new(ServeEngine {
-            state: Mutex::new(JobQueue::default()),
+            state: Mutex::new(JobQueue::with_cache_cap(config.cache_cap.max(1))),
             wake: Condvar::new(),
             idle: Condvar::new(),
             pool: HarnessPool::new(),
             config: EngineConfig {
                 workers: config.workers.max(1),
                 shards: config.shards.max(1),
+                // A cap of zero would evict every report before any client
+                // could fetch it; clamp like workers/shards.
+                cache_cap: config.cache_cap.max(1),
             },
         });
         let workers = (0..engine.config.workers)
@@ -184,6 +195,7 @@ impl ServeEngine {
             done: count(JobStatus::Done),
             failed: count(JobStatus::Failed),
             deduped_submissions: state.jobs.values().map(|j| j.submissions - 1).sum(),
+            evicted_jobs: state.evicted,
             pool_harnesses: self.pool.len(),
             workers: self.config.workers,
             shards: self.config.shards,
@@ -274,6 +286,7 @@ mod tests {
         let handle = ServeEngine::start(EngineConfig {
             workers: 2,
             shards: 1,
+            ..EngineConfig::default()
         });
         let a = handle.engine().submit(&tiny(vec![LlmModel::Phi2B]));
         let b = handle.engine().submit(&tiny(vec![LlmModel::Phi2B]));
@@ -297,6 +310,7 @@ mod tests {
         let handle = ServeEngine::start(EngineConfig {
             workers: 1,
             shards: 1,
+            ..EngineConfig::default()
         });
         // Three jobs over two distinct models → exactly two harnesses built.
         handle.engine().submit(&tiny(vec![LlmModel::Phi2B]));
@@ -318,6 +332,7 @@ mod tests {
         let handle = ServeEngine::start(EngineConfig {
             workers: 1,
             shards: 3,
+            ..EngineConfig::default()
         });
         let out = handle.engine().submit(&cfg);
         handle.engine().drain();
@@ -334,6 +349,7 @@ mod tests {
         let handle = ServeEngine::start(EngineConfig {
             workers: 1,
             shards: 1,
+            ..EngineConfig::default()
         });
         assert!(handle.engine().status("job-99").is_none());
         assert!(handle.engine().result("job-99").is_none());
@@ -352,10 +368,39 @@ mod tests {
     }
 
     #[test]
+    fn capped_engine_evicts_oldest_reports_fifo() {
+        let handle = ServeEngine::start(EngineConfig {
+            workers: 1,
+            shards: 1,
+            cache_cap: 1,
+        });
+        let first = handle.engine().submit(&tiny(vec![LlmModel::Phi2B]));
+        handle.engine().drain();
+        assert!(handle.engine().result(&first.job_id).unwrap().is_ok());
+        // Finishing a second job evicts the first report.
+        let second = handle
+            .engine()
+            .submit(&tiny(vec![LlmModel::Phi2B]).with_seed(7));
+        handle.engine().drain();
+        assert!(handle.engine().status(&first.job_id).is_none());
+        assert!(handle.engine().result(&first.job_id).is_none());
+        assert!(handle.engine().result(&second.job_id).unwrap().is_ok());
+        let stats = handle.engine().stats();
+        assert_eq!(stats.evicted_jobs, 1);
+        assert_eq!(stats.done, 1);
+        // The evicted grid re-runs instead of hitting the cache.
+        let retry = handle.engine().submit(&tiny(vec![LlmModel::Phi2B]));
+        assert!(!retry.deduped);
+        handle.engine().drain();
+        handle.shutdown();
+    }
+
+    #[test]
     fn dedup_distinguishes_every_grid_axis() {
         let handle = ServeEngine::start(EngineConfig {
             workers: 1,
             shards: 1,
+            ..EngineConfig::default()
         });
         let base = tiny(vec![LlmModel::Phi2B]);
         let a = handle.engine().submit(&base);

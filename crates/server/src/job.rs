@@ -91,7 +91,13 @@ impl Job {
 /// whose canonical key matches an existing job (whatever its state) attaches
 /// to that job instead of enqueueing a duplicate — a completed job doubles as
 /// the result cache.
-#[derive(Debug, Default)]
+///
+/// The result cache is size-capped: at most [`JobQueue::cache_cap`] `Done`
+/// jobs are retained, and finishing a job beyond the cap evicts the
+/// oldest-finished one (FIFO) — its report is dropped, its id becomes
+/// unknown, and a resubmission of its grid runs fresh.  Queued, running and
+/// failed jobs are never evicted.
+#[derive(Debug)]
 pub struct JobQueue {
     /// Jobs by id.
     pub jobs: HashMap<String, Job>,
@@ -103,6 +109,20 @@ pub struct JobQueue {
     pub submitted: usize,
     /// True once shutdown has been requested; workers drain and exit.
     pub shutting_down: bool,
+    /// Maximum number of `Done` jobs retained as the result cache
+    /// (`usize::MAX` = unbounded, the default).
+    pub cache_cap: usize,
+    /// `Done` job ids in finish order, oldest first (the FIFO eviction
+    /// queue).
+    pub done_order: VecDeque<String>,
+    /// Total jobs evicted from the result cache so far.
+    pub evicted: usize,
+}
+
+impl Default for JobQueue {
+    fn default() -> Self {
+        Self::with_cache_cap(usize::MAX)
+    }
 }
 
 /// Outcome of a submission: the job id plus whether it deduplicated onto an
@@ -117,6 +137,20 @@ pub struct SubmitOutcome {
 }
 
 impl JobQueue {
+    /// An empty queue retaining at most `cache_cap` completed reports.
+    pub fn with_cache_cap(cache_cap: usize) -> Self {
+        Self {
+            jobs: HashMap::new(),
+            pending: VecDeque::new(),
+            by_key: HashMap::new(),
+            submitted: 0,
+            shutting_down: false,
+            cache_cap,
+            done_order: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
     /// Submits a configuration: either attaches to the job already covering
     /// its canonical form, or creates and enqueues a new job.
     ///
@@ -167,18 +201,41 @@ impl JobQueue {
         Some((id, job.config.clone()))
     }
 
-    /// Records a finished job.
+    /// Records a finished job, then enforces the result-cache cap by
+    /// evicting the oldest `Done` jobs beyond it.
     pub fn finish(&mut self, id: &str, result: Result<SweepReport, String>) {
         let job = self.jobs.get_mut(id).expect("running id exists");
         match result {
             Ok(report) => {
                 job.report = Some(Arc::new(report));
                 job.status = JobStatus::Done;
+                self.done_order.push_back(id.to_string());
+                self.evict_beyond_cap();
             }
             Err(e) => {
                 job.error = Some(e);
                 job.status = JobStatus::Failed;
             }
+        }
+    }
+
+    /// Drops the oldest-finished `Done` jobs until at most
+    /// [`JobQueue::cache_cap`] remain, removing them from the job table and
+    /// (when they still own it) the dedup index.
+    fn evict_beyond_cap(&mut self) {
+        while self.done_order.len() > self.cache_cap {
+            let old = self
+                .done_order
+                .pop_front()
+                .expect("len > cap implies non-empty");
+            if let Some(job) = self.jobs.remove(&old) {
+                // A failed-then-retried grid may have re-pointed the dedup
+                // index at a newer job; only drop the entry this job owns.
+                if self.by_key.get(&job.cache_key).is_some_and(|id| *id == old) {
+                    self.by_key.remove(&job.cache_key);
+                }
+            }
+            self.evicted += 1;
         }
     }
 
@@ -256,6 +313,57 @@ mod tests {
         q.finish(&id, Err("worker exploded".to_string()));
         assert_eq!(q.jobs[&out.job_id].status, JobStatus::Failed);
         assert_eq!(q.views()[0].error.as_deref(), Some("worker exploded"));
+    }
+
+    #[test]
+    fn result_cache_evicts_oldest_done_jobs_fifo() {
+        let mut q = JobQueue::with_cache_cap(2);
+        // Three distinct grids, finished in order.
+        let grids = [cfg(), cfg().with_seed(1), cfg().with_seed(2)];
+        let mut ids = Vec::new();
+        for g in &grids {
+            let out = q.submit(g);
+            let (id, config) = q.take_next().unwrap();
+            assert_eq!(id, out.job_id);
+            q.finish(&id, Ok(config.run()));
+            ids.push(id);
+        }
+        // The oldest-finished job is gone: unknown id, report dropped, and a
+        // resubmission of its grid runs fresh instead of hitting the cache.
+        assert_eq!(q.evicted, 1);
+        assert!(!q.jobs.contains_key(&ids[0]));
+        assert!(q.jobs.contains_key(&ids[1]) && q.jobs.contains_key(&ids[2]));
+        let resubmit = q.submit(&grids[0]);
+        assert!(!resubmit.deduped, "evicted grids re-run");
+        assert_ne!(resubmit.job_id, ids[0]);
+        // The two retained jobs still serve as the result cache.
+        assert!(q.submit(&grids[1]).deduped);
+        assert!(q.submit(&grids[2]).deduped);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_and_failed_jobs_do_not_count() {
+        let mut q = JobQueue::default();
+        assert_eq!(q.cache_cap, usize::MAX);
+        for seed in 0..4 {
+            q.submit(&cfg().with_seed(seed));
+            let (id, config) = q.take_next().unwrap();
+            let result = if seed % 2 == 0 {
+                Ok(config.run())
+            } else {
+                Err("boom".to_string())
+            };
+            q.finish(&id, result);
+        }
+        assert_eq!(q.evicted, 0);
+        assert_eq!(q.jobs.len(), 4);
+        // Failed jobs never enter the eviction queue.
+        let mut capped = JobQueue::with_cache_cap(1);
+        capped.submit(&cfg());
+        let (id, _) = capped.take_next().unwrap();
+        capped.finish(&id, Err("boom".to_string()));
+        assert_eq!(capped.done_order.len(), 0);
+        assert!(capped.jobs.contains_key(&id));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!
 //! ```json
 //! {"cmd": "submit", "models": "phi-2", "bits": [3, 4], "proxy": "tiny"}
+//! {"cmd": "submit", "models": "llama2-7b", "bits": "3,4", "method": "awq,omniquant"}
 //! {"cmd": "status", "job": "job-1"}
 //! {"cmd": "result", "job": "job-1"}
 //! {"cmd": "list"}
@@ -19,7 +20,6 @@
 //! examples.
 
 use bitmod::llm::proxy::ProxyConfig;
-use bitmod::prelude::AcceleratorKind;
 use bitmod::sweep::{GridSpec, SweepConfig};
 use serde::Value;
 
@@ -132,8 +132,19 @@ fn sweep_from_map(map: &[(String, Value)]) -> Result<SweepConfig, String> {
         granularities: get(map, "granularities")
             .map(|v| string_items(v, "granularities"))
             .transpose()?,
+        methods: get(map, "method")
+            .map(|v| string_items(v, "method"))
+            .transpose()?,
+        tasks: get(map, "task")
+            .map(|v| string_items(v, "task"))
+            .transpose()?,
+        accels: get(map, "accel")
+            .map(|v| string_items(v, "accel"))
+            .transpose()?,
+        scale_dtypes: get(map, "scale_dtype")
+            .map(|v| string_items(v, "scale_dtype"))
+            .transpose()?,
         proxy: get_str(map, "proxy").map(str::to_string),
-        accelerator: get_str(map, "accelerator").map(str::to_string),
         seed,
     };
     spec.build()
@@ -143,8 +154,10 @@ fn sweep_from_map(map: &[(String, Value)]) -> Result<SweepConfig, String> {
 /// parsing above, used by `bitmod-cli submit`.
 ///
 /// Only grids expressible through the CLI flags can be spelled on the wire:
-/// the proxy must be `standard` or `tiny` and the accelerator `lossy` or
-/// `lossless` (the protocol names CLI spellings, not arbitrary structs).
+/// the proxy must be `standard` or `tiny` (the protocol names CLI
+/// spellings, not arbitrary structs).  Every axis — including the method,
+/// task, accelerator and scale-dtype axes — has a CLI spelling, so any axis
+/// combination round-trips.
 pub fn submit_line(cfg: &SweepConfig) -> Result<String, String> {
     let proxy = if cfg.proxy == ProxyConfig::standard() {
         "standard"
@@ -152,11 +165,6 @@ pub fn submit_line(cfg: &SweepConfig) -> Result<String, String> {
         "tiny"
     } else {
         return Err("only the standard/tiny proxy sizes can be submitted over the wire".into());
-    };
-    let accelerator = match cfg.accelerator {
-        AcceleratorKind::BitModLossy => "lossy",
-        AcceleratorKind::BitModLossless => "lossless",
-        other => return Err(format!("accelerator {other:?} has no wire spelling")),
     };
     let join = |items: Vec<String>| items.join(",");
     let fields = vec![
@@ -186,11 +194,37 @@ pub fn submit_line(cfg: &SweepConfig) -> Result<String, String> {
                     .collect(),
             )),
         ),
-        ("proxy".to_string(), Value::Str(proxy.to_string())),
         (
-            "accelerator".to_string(),
-            Value::Str(accelerator.to_string()),
+            "method".to_string(),
+            Value::Str(join(
+                cfg.methods.iter().map(|m| m.name().to_string()).collect(),
+            )),
         ),
+        (
+            "task".to_string(),
+            Value::Str(join(
+                cfg.tasks.iter().map(bitmod::sweep::task_label).collect(),
+            )),
+        ),
+        (
+            "accel".to_string(),
+            Value::Str(join(
+                cfg.accelerators
+                    .iter()
+                    .map(|a| bitmod::sweep::accelerator_label(a).to_string())
+                    .collect(),
+            )),
+        ),
+        (
+            "scale_dtype".to_string(),
+            Value::Str(join(
+                cfg.scale_dtypes
+                    .iter()
+                    .map(bitmod::sweep::scale_dtype_label)
+                    .collect(),
+            )),
+        ),
+        ("proxy".to_string(), Value::Str(proxy.to_string())),
         ("seed".to_string(), Value::U64(cfg.seed)),
     ];
     Ok(serde_json::to_string(&Value::Map(fields)).expect("requests always serialize"))
@@ -312,23 +346,69 @@ mod tests {
 
     #[test]
     fn submit_line_roundtrips_through_the_parser() {
+        use bitmod::llm::memory::TaskShape;
         use bitmod::llm::proxy::ProxyConfig;
+        use bitmod::prelude::{AcceleratorKind, CompositionMethod, ScaleDtype};
         use bitmod::quant::Granularity;
         let cfg =
             bitmod::sweep::SweepConfig::new(vec![LlmModel::Llama2_7B, LlmModel::Phi2B], vec![3, 4])
                 .with_dtypes(vec![SweepDtype::BitMod, SweepDtype::Mx])
                 .with_granularities(vec![Granularity::PerChannel, Granularity::PerGroup(64)])
+                .with_methods(vec![CompositionMethod::Awq, CompositionMethod::SmoothQuant])
+                .with_tasks(vec![
+                    TaskShape::DISCRIMINATIVE,
+                    TaskShape {
+                        input_tokens: 100,
+                        output_tokens: 7,
+                    },
+                ])
+                .with_accelerators(vec![AcceleratorKind::Ant, AcceleratorKind::BaselineFp16])
+                .with_scale_dtypes(vec![ScaleDtype::Fp16, ScaleDtype::Int(6)])
                 .with_proxy(ProxyConfig::tiny())
-                .with_accelerator(AcceleratorKind::BitModLossless)
                 .with_seed(123);
         let line = submit_line(&cfg).unwrap();
         let Ok(Request::Submit(back)) = Request::parse(&line) else {
             panic!("generated line must parse as a submit");
         };
         assert_eq!(back.cache_key(), cfg.cache_key());
+        assert_eq!(back.methods, cfg.methods);
+        assert_eq!(back.tasks, cfg.tasks);
+        assert_eq!(back.accelerators, cfg.accelerators);
+        assert_eq!(back.scale_dtypes, cfg.scale_dtypes);
         // Non-CLI configurations are rejected rather than mis-spelled.
-        let custom = cfg.clone().with_accelerator(AcceleratorKind::Ant);
-        assert!(submit_line(&custom).is_err());
+        let mut custom = cfg.clone();
+        custom.proxy.hidden *= 2;
+        let err = submit_line(&custom).unwrap_err();
+        assert!(err.contains("proxy"), "{err}");
+    }
+
+    #[test]
+    fn submit_rejects_bad_new_axis_spellings() {
+        for (line, needle) in [
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4","method":"dpo"}"#,
+                "unknown method",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4","task":"0x9"}"#,
+                "invalid task",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4","accel":"tpu"}"#,
+                "unknown accelerator",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4","scale_dtype":"bf16"}"#,
+                "invalid scale dtype",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4,4"}"#,
+                "duplicate bit width",
+            ),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(needle), "`{line}` → `{err}`");
+        }
     }
 
     #[test]

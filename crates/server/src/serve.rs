@@ -222,6 +222,7 @@ mod tests {
         ServeEngine::start(EngineConfig {
             workers: 1,
             shards: 1,
+            ..EngineConfig::default()
         })
     }
 
