@@ -14,8 +14,13 @@ use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_group_r
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// One micro-benchmark measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// One micro-benchmark measurement, summarized with the same
+/// [`criterion::SampleStats`] the vendored bench harness reports.
+///
+/// `max_ms`/`stddev_ms` are optional because history files written before
+/// the statistics upgrade carry only mean/best; old entries parse with
+/// `None` there rather than invalidating the committed history.
+#[derive(Debug, Clone, Serialize)]
 pub struct MicroBench {
     /// What was measured.
     pub name: String,
@@ -23,8 +28,35 @@ pub struct MicroBench {
     pub mean_ms: f64,
     /// Best (minimum) milliseconds per iteration.
     pub best_ms: f64,
+    /// Worst (maximum) milliseconds per iteration.
+    pub max_ms: Option<f64>,
+    /// Sample standard deviation, milliseconds.
+    pub stddev_ms: Option<f64>,
     /// Iterations measured.
     pub iters: usize,
+}
+
+impl serde::Deserialize for MicroBench {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("a map", "MicroBench"))?;
+        let opt = |key: &str| -> Result<Option<f64>, serde::Error> {
+            match m.iter().find(|(k, _)| k == key) {
+                None => Ok(None),
+                Some((_, v)) => Option::<f64>::from_value(v),
+            }
+        };
+        Ok(MicroBench {
+            name: serde::from_map(m, "name", "MicroBench")?,
+            mean_ms: serde::from_map(m, "mean_ms", "MicroBench")?,
+            best_ms: serde::from_map(m, "best_ms", "MicroBench")?,
+            // Pre-statistics history entries lack these two fields.
+            max_ms: opt("max_ms")?,
+            stddev_ms: opt("stddev_ms")?,
+            iters: serde::from_map(m, "iters", "MicroBench")?,
+        })
+    }
 }
 
 /// One benchmark run of the default sweep grid.
@@ -82,7 +114,9 @@ pub fn bench_config(quick: bool, seed: u64) -> SweepConfig {
     }
 }
 
-/// Times `f` for `iters` iterations and returns a [`MicroBench`].
+/// Times `f` for `iters` iterations and returns a [`MicroBench`], summarized
+/// through [`criterion::SampleStats`] (the same statistics the vendored
+/// bench harness prints).
 fn micro<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> MicroBench {
     let _ = std::hint::black_box(f()); // warm-up
     let mut samples = Vec::with_capacity(iters);
@@ -91,13 +125,14 @@ fn micro<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> MicroBench {
         let _ = std::hint::black_box(f());
         samples.push(t0.elapsed().as_secs_f64() * 1e3);
     }
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let stats = criterion::SampleStats::from_values(&samples);
     MicroBench {
         name: name.to_string(),
-        mean_ms: mean,
-        best_ms: best,
-        iters,
+        mean_ms: stats.mean,
+        best_ms: stats.min,
+        max_ms: Some(stats.max),
+        stddev_ms: Some(stats.stddev),
+        iters: stats.iters,
     }
 }
 
@@ -167,8 +202,12 @@ pub fn run_bench(label: &str, quick: bool, runs: usize, seed: u64) -> BenchEntry
     let micro = run_micro_benches(quick);
     for m in &micro {
         eprintln!(
-            "[bench]   {:<40} mean {:>9.3} ms / best {:>9.3} ms",
-            m.name, m.mean_ms, m.best_ms
+            "[bench]   {:<40} mean {:>9.3} / min {:>9.3} / max {:>9.3} / stddev {:>8.3} ms",
+            m.name,
+            m.mean_ms,
+            m.best_ms,
+            m.max_ms.unwrap_or(f64::NAN),
+            m.stddev_ms.unwrap_or(f64::NAN)
         );
     }
     BenchEntry {
@@ -216,6 +255,8 @@ mod tests {
                 name: "m".into(),
                 mean_ms: 1.0,
                 best_ms: 0.9,
+                max_ms: Some(1.2),
+                stddev_ms: Some(0.1),
                 iters: 3,
             }],
         };
@@ -224,7 +265,30 @@ mod tests {
         let appended = append_entry(Some(&json), entry).unwrap();
         assert_eq!(appended.history.len(), 2);
         assert_eq!(appended.history[0].label, "t");
+        assert_eq!(appended.history[0].micro[0].max_ms, Some(1.2));
         assert!(append_entry(Some("not json"), appended.history[0].clone()).is_err());
+    }
+
+    #[test]
+    fn pre_statistics_history_entries_still_parse() {
+        // A MicroBench written before the max/stddev upgrade (the committed
+        // BENCH_sweep.json is full of these) must parse with `None` there.
+        let legacy = r#"{
+            "history": [{
+                "label": "old", "quick": true, "grid_points": 4, "records": 4,
+                "runs_seconds": [0.5], "mean_seconds": 0.5, "best_seconds": 0.5,
+                "threads": 2,
+                "micro": [{"name": "m", "mean_ms": 1.5, "best_ms": 1.0, "iters": 3}]
+            }]
+        }"#;
+        let report = BenchReport::from_json(legacy).expect("legacy history parses");
+        let m = &report.history[0].micro[0];
+        assert_eq!(m.mean_ms, 1.5);
+        assert_eq!(m.max_ms, None);
+        assert_eq!(m.stddev_ms, None);
+        // And it round-trips (None serializes as null, which parses back).
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.history[0].micro[0].stddev_ms, None);
     }
 
     #[test]

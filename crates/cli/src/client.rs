@@ -1,73 +1,53 @@
-//! Tiny line-JSON TCP client for the `submit` and `status` subcommands.
+//! Line-JSON TCP client for the `submit` and `status` subcommands — a thin
+//! wrapper over [`bitmod_server::executor::WireClient`], the workspace's one
+//! protocol-client implementation (the remote executor loop uses the same
+//! type, so CLI and worker framing cannot drift apart).
 //!
-//! One request line out, one response line back (see
-//! `bitmod_server::proto`); responses are returned as the parsed top-level
-//! JSON object, with `ok: false` responses turned into `Err` carrying the
-//! daemon's error message.
+//! Connecting retries connection-refused failures with short exponential
+//! backoff, so scripts that start a daemon and immediately submit do not
+//! race its bind.  The streaming `watch` verb is driven with
+//! [`Client::send`] + repeated [`Client::read_response`].
 
+use bitmod_server::executor::WireClient;
 use serde::Value;
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 
 /// A connected daemon client.
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-    addr: String,
+    wire: WireClient,
 }
 
 impl Client {
-    /// Connects to a `bitmod-cli serve --listen` daemon.
+    /// Connects to a `bitmod-cli serve --listen` daemon, retrying briefly
+    /// if the daemon is still starting.
     pub fn connect(addr: &str) -> Result<Client, String> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| format!("could not connect to daemon at {addr}: {e}"))?;
-        let reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| format!("could not clone connection: {e}"))?,
-        );
         Ok(Client {
-            reader,
-            writer: stream,
-            addr: addr.to_string(),
+            wire: WireClient::connect(addr)?,
         })
+    }
+
+    /// Sends one request line without waiting for a response (the streaming
+    /// half of `watch`; pair with [`Client::read_response`]).
+    pub fn send(&mut self, line: &str) -> Result<(), String> {
+        self.wire.send(line)
+    }
+
+    /// Reads and parses one response line; `ok: false` becomes `Err` with
+    /// the daemon's message.
+    pub fn read_response(&mut self) -> Result<Vec<(String, Value)>, String> {
+        self.wire.read_response()
     }
 
     /// Sends one request line and returns the parsed response object, or the
     /// daemon's error message for `ok: false` responses.
     pub fn request(&mut self, line: &str) -> Result<Vec<(String, Value)>, String> {
-        writeln!(self.writer, "{line}").map_err(|e| format!("send failed: {e}"))?;
-        self.writer
-            .flush()
-            .map_err(|e| format!("send failed: {e}"))?;
-        let mut response = String::new();
-        let n = self
-            .reader
-            .read_line(&mut response)
-            .map_err(|e| format!("receive failed: {e}"))?;
-        if n == 0 {
-            return Err(format!("daemon at {} closed the connection", self.addr));
-        }
-        let value = serde_json::parse_value(response.trim())
-            .map_err(|e| format!("daemon sent invalid JSON: {e}"))?;
-        let map = value
-            .as_map()
-            .ok_or("daemon response was not a JSON object")?
-            .to_vec();
-        match field(&map, "ok").and_then(Value::as_bool) {
-            Some(true) => Ok(map),
-            _ => Err(field(&map, "error")
-                .and_then(Value::as_str)
-                .unwrap_or("daemon reported an unspecified error")
-                .to_string()),
-        }
+        self.wire.request(line)
     }
 }
 
 /// Looks up a top-level field of a response object.
 pub fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
-    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    bitmod_server::executor::field(map, key)
 }
 
 /// The `status` string of a job object nested in a response (the `job` field

@@ -4,10 +4,14 @@
 //!   granularities) writing JSON/CSV reports;
 //! * `report` — post-process a sweep JSON (summary table, CSV export, Pareto
 //!   frontier) or merge `worker` shard outputs into one report;
-//! * `serve`  — the long-running sweep daemon: line-JSON protocol over
-//!   stdin/stdout or TCP, job dedup/result cache, batched harness reuse;
-//! * `submit` / `status` — clients for a running daemon;
-//! * `worker` — run one deterministic `k/n` shard of a sweep;
+//! * `serve`  — the long-running sweep coordinator: line-JSON protocol over
+//!   stdin/stdout or TCP, job dedup/result cache, batched harness reuse,
+//!   shard dispatch to in-process and remote executors, and (with
+//!   `--state-dir`) a crash-surviving job journal;
+//! * `submit` / `status` — clients for a running daemon (`submit --watch`
+//!   streams shard progress instead of polling);
+//! * `worker` — run one deterministic `k/n` shard of a sweep, or attach to
+//!   a daemon as a remote executor (`--attach`);
 //! * `repro`  — rerun any of the 17 table/figure reproductions of the paper;
 //! * `bench`  — time the default sweep grid and hot-path micro-benchmarks,
 //!   appending to the `BENCH_sweep.json` perf history.
@@ -26,7 +30,8 @@ mod spec;
 use args::Flags;
 use bitmod::shard::{merge_shards, run_shard, ShardReport, ShardSpec};
 use bitmod::sweep::{GridSpec, SweepConfig, SweepReport};
-use bitmod_server::engine::{EngineConfig, ServeEngine};
+use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
+use bitmod_server::executor::{attach_and_run, AttachOptions};
 use bitmod_server::proto;
 use serde::Value;
 use spec::CommandSpec;
@@ -86,8 +91,8 @@ fn usage_error(message: &str, help: &str) -> ExitCode {
 
 /// Builds a [`SweepConfig`] from the shared grid flags (`--models`, `--bits`,
 /// `--dtypes`, `--granularities`, `--method`, `--task`, `--accel`,
-/// `--scale-dtype`, `--proxy`, `--seed`) — the one grid parser behind
-/// `sweep`, `submit`, and `worker`.  All validation lives in
+/// `--scale-dtype`, `--calib-size`, `--proxy`, `--seed`) — the one grid
+/// parser behind `sweep`, `submit`, and `worker`.  All validation lives in
 /// [`GridSpec::build`], which the serve protocol shares, so CLI and wire
 /// spellings cannot drift apart.
 fn parse_sweep_config(flags: &Flags) -> Result<SweepConfig, String> {
@@ -108,6 +113,7 @@ fn parse_sweep_config(flags: &Flags) -> Result<SweepConfig, String> {
         tasks: flags.get_list("task").map(&strings),
         accels: flags.get_list("accel").map(&strings),
         scale_dtypes: flags.get_list("scale-dtype").map(&strings),
+        calib_sizes: flags.get_list("calib-size").map(&strings),
         proxy: flags.get("proxy").map(str::to_string),
         seed,
     };
@@ -267,9 +273,14 @@ fn cmd_serve(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
                 .ok_or(format!("invalid --{name} `{v}`")),
         }
     };
-    let workers = match parse_count("workers", 2) {
-        Ok(n) => n,
-        Err(e) => return usage_error(&e, cmd.help),
+    // `--workers 0` is legal *with* --listen: a pure coordinator that farms
+    // every shard out to remote attached executors.
+    let workers = match flags.get("workers") {
+        None => 2,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return usage_error(&format!("invalid --workers `{v}`"), cmd.help),
+        },
     };
     let shards = match parse_count("shards", 1) {
         Ok(n) => n,
@@ -281,11 +292,38 @@ fn cmd_serve(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         Ok(n) => n,
         Err(e) => return usage_error(&e, cmd.help),
     };
-    let handle = ServeEngine::start(EngineConfig {
+    let lease_timeout = match parse_count("lease-ms", 10_000) {
+        Ok(n) => Duration::from_millis(n as u64),
+        Err(e) => return usage_error(&e, cmd.help),
+    };
+    let state_dir = flags.get("state-dir").map(std::path::PathBuf::from);
+    if workers == 0 && flags.get("listen").is_none() {
+        return usage_error(
+            "--workers 0 needs --listen (a stdio coordinator with no executors could never \
+             finish a job)",
+            cmd.help,
+        );
+    }
+    let handle = Coordinator::start(CoordinatorConfig {
         workers,
         shards,
         cache_cap,
+        lease_timeout,
+        state_dir: state_dir.clone(),
     });
+    // Report the journal the coordinator actually opened — an unusable
+    // state dir falls back to memory-only (announced on stderr by the
+    // coordinator), and claiming durability then would mislead operators.
+    if let Some(journal) = handle.coordinator().journal_path() {
+        let stats = handle.coordinator().stats();
+        eprintln!(
+            "[serve] journal at {} ({} job(s) replayed: {} done, {} queued)",
+            journal.display(),
+            stats.jobs,
+            stats.done,
+            stats.queued
+        );
+    }
 
     let served = match flags.get("listen") {
         Some(addr) => match bitmod_server::serve::bind(addr) {
@@ -295,9 +333,11 @@ fn cmd_serve(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
                     .map(|a| a.to_string())
                     .unwrap_or_else(|_| addr.to_string());
                 eprintln!(
-                    "[serve] listening on {local} ({workers} workers, {shards} shard(s)/job)"
+                    "[serve] listening on {local} ({workers} in-process executor(s), \
+                     {shards} shard(s)/job, lease {} ms)",
+                    lease_timeout.as_millis()
                 );
-                bitmod_server::serve::serve_listener(Arc::clone(handle.engine()), listener)
+                bitmod_server::serve::serve_listener(Arc::clone(handle.coordinator()), listener)
             }
             Err(e) => {
                 eprintln!("error: could not bind {addr}: {e}");
@@ -307,7 +347,7 @@ fn cmd_serve(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         None => {
             eprintln!("[serve] reading line-JSON requests from stdin ({workers} workers)");
             let stdin = std::io::stdin();
-            bitmod_server::serve::serve_lines(handle.engine(), stdin.lock(), std::io::stdout())
+            bitmod_server::serve::serve_lines(handle.coordinator(), stdin.lock(), std::io::stdout())
         }
     };
     handle.shutdown();
@@ -369,46 +409,57 @@ fn cmd_submit(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         }
     );
     println!("{job}");
-    if !flags.has("wait") {
+    if !flags.has("wait") && !flags.has("watch") {
         return ExitCode::SUCCESS;
     }
 
-    // Poll to completion.
-    let status_line = format!(r#"{{"cmd":"status","job":"{job}"}}"#);
-    loop {
-        let status = match client.request(&status_line) {
+    let report = if flags.has("watch") {
+        // Streaming delivery: the daemon pushes shard-progress events and
+        // the final report over the held connection.
+        match watch_to_report(&mut client, job) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // Poll to completion, then fetch.
+        let status_line = format!(r#"{{"cmd":"status","job":"{job}"}}"#);
+        loop {
+            let status = match client.request(&status_line) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client::job_status(&status).as_deref() {
+                Some("done") => break,
+                Some("failed") => {
+                    eprintln!("error: job {job} failed on the daemon");
+                    return ExitCode::FAILURE;
+                }
+                _ => std::thread::sleep(Duration::from_millis(150)),
+            }
+        }
+        let result = match client.request(&format!(r#"{{"cmd":"result","job":"{job}"}}"#)) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        match client::job_status(&status).as_deref() {
-            Some("done") => break,
-            Some("failed") => {
-                eprintln!("error: job {job} failed on the daemon");
+        let Some(report_value) = client::field(&result, "report") else {
+            eprintln!("error: daemon result response carried no report");
+            return ExitCode::FAILURE;
+        };
+        match serde_json::from_value(report_value) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: daemon report did not deserialize: {e}");
                 return ExitCode::FAILURE;
             }
-            _ => std::thread::sleep(Duration::from_millis(150)),
-        }
-    }
-
-    let result = match client.request(&format!(r#"{{"cmd":"result","job":"{job}"}}"#)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let Some(report_value) = client::field(&result, "report") else {
-        eprintln!("error: daemon result response carried no report");
-        return ExitCode::FAILURE;
-    };
-    let report: SweepReport = match serde_json::from_value(report_value) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: daemon report did not deserialize: {e}");
-            return ExitCode::FAILURE;
         }
     };
     eprintln!(
@@ -430,6 +481,46 @@ fn cmd_submit(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         print_records_table(&report, usize::MAX, false);
     }
     ExitCode::SUCCESS
+}
+
+/// Drives one `watch` stream to completion: progress events echo to stderr,
+/// the final `done` event yields the report (`failed`/`interrupted` events
+/// become errors).
+fn watch_to_report(client: &mut client::Client, job: &str) -> Result<SweepReport, String> {
+    client.send(&format!(r#"{{"cmd":"watch","job":"{job}"}}"#))?;
+    loop {
+        let event = client.read_response()?;
+        let kind = client::field(&event, "event")
+            .and_then(Value::as_str)
+            .unwrap_or("");
+        match kind {
+            "progress" => {
+                let done = client::field(&event, "shards_done")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                let total = client::field(&event, "shards_total")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0);
+                let status = client::field(&event, "status")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?");
+                eprintln!("[watch] {job}: {status}, {done}/{total} shard(s) done");
+            }
+            "done" => {
+                let report_value = client::field(&event, "report")
+                    .ok_or("daemon's done event carried no report")?;
+                return serde_json::from_value(report_value)
+                    .map_err(|e| format!("daemon report did not deserialize: {e}"));
+            }
+            "failed" | "interrupted" => {
+                return Err(client::field(&event, "error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("job failed on the daemon")
+                    .to_string());
+            }
+            other => return Err(format!("unexpected watch event `{other}`")),
+        }
+    }
 }
 
 fn cmd_status(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
@@ -496,8 +587,14 @@ fn cmd_status(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
 }
 
 fn cmd_worker(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
+    if let Some(addr) = flags.get("attach") {
+        if flags.get("shard").is_some() {
+            return usage_error("--attach and --shard are mutually exclusive", cmd.help);
+        }
+        return cmd_worker_attach(cmd, flags, addr);
+    }
     let Some(shard_str) = flags.get("shard") else {
-        return usage_error("--shard k/n is required", cmd.help);
+        return usage_error("--shard k/n (or --attach <addr>) is required", cmd.help);
     };
     let shard = match ShardSpec::parse(shard_str) {
         Ok(s) => s,
@@ -530,6 +627,40 @@ fn cmd_worker(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
     match write_file(out, &report.to_json(), "worker") {
         Ok(()) => ExitCode::SUCCESS,
         Err(code) => code,
+    }
+}
+
+/// `worker --attach`: run as a remote executor of a serve daemon — lease
+/// shards over TCP, heartbeat while running, return the reports, repeat
+/// until the daemon shuts down.
+fn cmd_worker_attach(cmd: &CommandSpec, flags: &Flags, addr: &str) -> ExitCode {
+    let default_name = format!("worker-{}", std::process::id());
+    let name = flags.get("name").unwrap_or(&default_name);
+    let poll = match flags.get("poll-ms") {
+        None => Duration::from_millis(300),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => Duration::from_millis(n),
+            _ => return usage_error(&format!("invalid --poll-ms `{v}`"), cmd.help),
+        },
+    };
+    let opts = AttachOptions {
+        addr: addr.to_string(),
+        name: name.to_string(),
+        poll,
+        quiet: flags.has("quiet"),
+    };
+    match attach_and_run(&opts) {
+        Ok(outcome) => {
+            eprintln!(
+                "[worker] daemon shut down; {} ran {} shard(s) ({} failed)",
+                outcome.executor, outcome.shards_run, outcome.shards_failed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -593,12 +724,17 @@ fn cmd_bench(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         runs
     );
     let entry = bench::run_bench(label, quick, runs, seed);
+    // Summarize the sweep runs with the same statistics the micro-benches
+    // (and the vendored criterion harness) report.
+    let sweep_stats = criterion::SampleStats::from_values(&entry.runs_seconds);
     eprintln!(
-        "[bench] `{}`: mean {:.2}s / best {:.2}s over {} runs",
+        "[bench] `{}`: mean {:.2}s / min {:.2}s / max {:.2}s / stddev {:.3}s over {} runs",
         entry.label,
-        entry.mean_seconds,
-        entry.best_seconds,
-        entry.runs_seconds.len()
+        sweep_stats.mean,
+        sweep_stats.min,
+        sweep_stats.max,
+        sweep_stats.stddev,
+        sweep_stats.iters
     );
 
     // Only a missing file means "no history yet" — any other read failure

@@ -37,6 +37,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "task",
             "accel",
             "scale-dtype",
+            "calib-size",
             "proxy",
             "seed",
             "out",
@@ -53,9 +54,16 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "serve",
-        summary: "Run the long-lived sweep daemon (line-JSON over stdio or TCP)",
+        summary: "Run the long-lived sweep coordinator (line-JSON over stdio or TCP)",
         help: SERVE_HELP,
-        options: &["listen", "workers", "shards", "cache-cap"],
+        options: &[
+            "listen",
+            "workers",
+            "shards",
+            "cache-cap",
+            "state-dir",
+            "lease-ms",
+        ],
         switches: &["help"],
     },
     CommandSpec {
@@ -72,12 +80,13 @@ pub const COMMANDS: &[CommandSpec] = &[
             "task",
             "accel",
             "scale-dtype",
+            "calib-size",
             "proxy",
             "seed",
             "out",
             "csv",
         ],
-        switches: &["wait", "quiet", "help"],
+        switches: &["wait", "watch", "quiet", "help"],
     },
     CommandSpec {
         name: "status",
@@ -88,10 +97,13 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "worker",
-        summary: "Run one deterministic shard of a sweep and write a shard JSON",
+        summary: "Run one shard of a sweep, or attach to a daemon as a remote executor",
         help: WORKER_HELP,
         options: &[
             "shard",
+            "attach",
+            "name",
+            "poll-ms",
             "models",
             "bits",
             "dtypes",
@@ -100,6 +112,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "task",
             "accel",
             "scale-dtype",
+            "calib-size",
             "proxy",
             "seed",
             "out",
@@ -178,6 +191,8 @@ OPTIONS:
                             (choices: lossy, lossless, ant, olive, fp16)
     --scale-dtype <list>    Scale-factor precisions: fp16 or int2..int16
                             [default: int8]
+    --calib-size <list>     Calibration-set sizes (tokens) the composition
+                            methods run on, each 1..=48 [default: 48]
     --proxy <size>          Proxy model size: standard | tiny [default: standard]
     --seed <n>              Synthesis/evaluation seed [default: 42]
     --out <path>            JSON report path [default: bitmod-sweep.json]
@@ -218,35 +233,51 @@ EXAMPLES:
     bitmod-cli report shard0.json shard1.json --merge-out merged.json";
 
 const SERVE_HELP: &str = "\
-bitmod-cli serve — long-running sweep daemon
+bitmod-cli serve — long-running sweep coordinator
 
-Accepts line-delimited JSON requests (submit / status / result / list /
-ping / shutdown), executes sweeps on worker threads, deduplicates jobs by
-canonicalized configuration (a completed job doubles as a result cache),
-and shares evaluation harnesses across every job it has seen.  Without
---listen the protocol runs over stdin/stdout; with --listen it serves any
-number of concurrent TCP connections.
+Accepts line-delimited JSON requests (submit / status / result / watch /
+list / ping / shutdown), decomposes every job into shard work units, and
+leases them to executors: in-process worker threads by default, plus any
+number of remotely attached `bitmod-cli worker` processes (attach / lease /
+heartbeat / shard_result verbs).  Jobs deduplicate by canonicalized
+configuration (a completed job doubles as a result cache), evaluation
+harnesses are shared across every in-process job, and shard reports merge
+bit-identically to an unsharded sweep.  Without --listen the protocol runs
+over stdin/stdout; with --listen it serves any number of concurrent TCP
+connections.
 
 USAGE:
     bitmod-cli serve [OPTIONS]
 
 OPTIONS:
-    --listen <addr>    TCP listen address (e.g. 127.0.0.1:4774); without
-                       this flag the daemon speaks the same protocol over
-                       stdin/stdout and exits at EOF
-    --workers <n>      Worker threads draining the job queue [default: 2]
-    --shards <n>       Run every job as n merged in-process shards
-                       [default: 1]
-    --cache-cap <n>    Keep at most n completed reports in the dedup/result
-                       cache, evicting the oldest first (FIFO); unbounded
-                       by default
-    --help             Show this message
+    --listen <addr>     TCP listen address (e.g. 127.0.0.1:4774); without
+                        this flag the daemon speaks the same protocol over
+                        stdin/stdout and exits at EOF
+    --workers <n>       In-process executor threads [default: 2]; 0 (with
+                        --listen) runs a pure coordinator that depends
+                        entirely on remote attached workers
+    --shards <n>        Decompose every job into n shard work units
+                        [default: 1]; with remote workers attached, one
+                        job's shards run on several machines at once
+    --cache-cap <n>     Keep at most n completed reports in the dedup/result
+                        cache, evicting the oldest first (FIFO); unbounded
+                        by default
+    --state-dir <dir>   Append every job transition to <dir>/journal.jsonl
+                        and replay it on startup: queued and in-flight jobs
+                        resume, completed jobs keep serving from the rebuilt
+                        result cache
+    --lease-ms <n>      Requeue a remote executor's shard if it misses
+                        heartbeats for n milliseconds [default: 10000]
+    --help              Show this message
 
 EXAMPLES:
     bitmod-cli serve --listen 127.0.0.1:4774 --workers 2
+    bitmod-cli serve --listen 0.0.0.0:4774 --workers 0 --shards 4 \\
+        --state-dir /var/lib/bitmod   # coordinator for remote workers
     echo '{\"cmd\":\"submit\",\"models\":\"phi-2\",\"bits\":\"3,4\"}' | bitmod-cli serve
 
-See docs/SERVING.md for the protocol reference.";
+See docs/SERVING.md for the protocol reference and the distributed
+deployment walkthrough.";
 
 const SUBMIT_HELP: &str = "\
 bitmod-cli submit — send a sweep to a running daemon
@@ -254,7 +285,9 @@ bitmod-cli submit — send a sweep to a running daemon
 Builds the same grid a `sweep` invocation would and submits it over TCP.
 Identical grids (however the axes are spelled) deduplicate server-side onto
 one job.  With --wait, polls until the job finishes and downloads the
-report, whose records are byte-identical to a local `sweep` run of the same
+report; with --watch, holds the connection instead and the daemon streams
+shard-progress events followed by the final report (no polling).  Either
+way the records are byte-identical to a local `sweep` run of the same
 canonicalized grid.
 
 USAGE:
@@ -282,16 +315,22 @@ OPTIONS:
                             (choices: lossy, lossless, ant, olive, fp16)
     --scale-dtype <list>    Scale-factor precisions: fp16 or int2..int16
                             [default: int8]
+    --calib-size <list>     Calibration-set sizes (tokens) the composition
+                            methods run on, each 1..=48 [default: 48]
     --proxy <size>          Proxy model size: standard | tiny [default: standard]
     --seed <n>              Synthesis/evaluation seed [default: 42]
     --wait                  Poll until the job completes, then fetch the report
-    --out <path>            With --wait: JSON report path [default: bitmod-served.json]
-    --csv <path>            With --wait: also write a CSV of the records
-    --quiet                 With --wait: suppress the stdout summary table
+    --watch                 Stream shard progress + the final report over one
+                            held connection (the push alternative to --wait)
+    --out <path>            With --wait/--watch: JSON report path
+                            [default: bitmod-served.json]
+    --csv <path>            With --wait/--watch: also write a CSV of the records
+    --quiet                 With --wait/--watch: suppress the stdout summary table
     --help                  Show this message
 
-EXAMPLE:
-    bitmod-cli submit --addr 127.0.0.1:4774 --models phi-2 --bits 3,4 --wait";
+EXAMPLES:
+    bitmod-cli submit --addr 127.0.0.1:4774 --models phi-2 --bits 3,4 --wait
+    bitmod-cli submit --addr 127.0.0.1:4774 --models llama2-7b --bits 3 --watch";
 
 const STATUS_HELP: &str = "\
 bitmod-cli status — query a daemon's jobs
@@ -312,20 +351,35 @@ EXAMPLE:
     bitmod-cli status --addr 127.0.0.1:4774 job-1 --wait";
 
 const WORKER_HELP: &str = "\
-bitmod-cli worker — run one shard of a sweep
+bitmod-cli worker — run one shard of a sweep, or attach to a daemon
 
-Partitions the grid deterministically (grid index i belongs to shard k of n
-iff i % n == k) and runs only this worker's slice, writing a shard JSON.
-Run one worker per shard — on any mix of processes or machines — then merge
-with `bitmod-cli report shard0.json shard1.json ...`; the merged report's
-records are byte-identical to an unsharded `sweep` of the same grid.
+Two modes share one binary:
+
+* --shard k/n: partition the grid deterministically (grid index i belongs
+  to shard k of n iff i % n == k), run only this worker's slice, and write
+  a shard JSON.  Run one worker per shard — on any mix of processes or
+  machines — then merge with `bitmod-cli report shard0.json shard1.json
+  ...`; the merged records are byte-identical to an unsharded `sweep`.
+* --attach addr: register with a `serve` daemon as a remote executor and
+  stay attached: lease shard work units over TCP, heartbeat while running
+  each one, return the reports, and repeat until the daemon shuts down.
+  Grid flags are not given — the daemon sends each work unit's full
+  configuration.  If the worker dies mid-shard, its lease expires and the
+  daemon requeues the shard elsewhere.
 
 USAGE:
     bitmod-cli worker --shard <k/n> --models <a,b,..> --bits <n,n,..> [OPTIONS]
+    bitmod-cli worker --attach <host:port> [--name <name>] [OPTIONS]
 
 OPTIONS:
     --shard <k/n>           This worker's shard: zero-based index k of n
                             total shards (e.g. 0/4)
+    --attach <host:port>    Daemon address to attach to (see `serve
+                            --listen`); mutually exclusive with --shard
+    --name <name>           Self-reported executor name for the daemon's
+                            journal [default: worker-<pid>]
+    --poll-ms <n>           Idle poll interval while the daemon has no work
+                            [default: 300]
     --models <list>         Comma-separated models: opt-1.3b, phi-2, yi-6b,
                             llama2-7b, llama2-13b, llama3-8b (spellings are
                             forgiving; `--models all` sweeps all six)
@@ -346,14 +400,17 @@ OPTIONS:
                             (choices: lossy, lossless, ant, olive, fp16)
     --scale-dtype <list>    Scale-factor precisions: fp16 or int2..int16
                             [default: int8]
+    --calib-size <list>     Calibration-set sizes (tokens) the composition
+                            methods run on, each 1..=48 [default: 48]
     --proxy <size>          Proxy model size: standard | tiny [default: standard]
     --seed <n>              Synthesis/evaluation seed [default: 42]
     --out <path>            Shard JSON path [default: bitmod-shard-<k>-of-<n>.json]
     --quiet                 Suppress the stderr progress lines
     --help                  Show this message
 
-EXAMPLE:
-    bitmod-cli worker --shard 0/2 --models phi-2 --bits 3,4 --out shard0.json";
+EXAMPLES:
+    bitmod-cli worker --shard 0/2 --models phi-2 --bits 3,4 --out shard0.json
+    bitmod-cli worker --attach 127.0.0.1:4774 --name gpu-box-1";
 
 const REPRO_HELP: &str = "\
 bitmod-cli repro — reproduce a table or figure of the paper
@@ -422,11 +479,13 @@ mod tests {
                             (choices: lossy, lossless, ant, olive, fp16)
     --scale-dtype <list>    Scale-factor precisions: fp16 or int2..int16
                             [default: int8]
+    --calib-size <list>     Calibration-set sizes (tokens) the composition
+                            methods run on, each 1..=48 [default: 48]
     --proxy <size>          Proxy model size: standard | tiny [default: standard]
     --seed <n>              Synthesis/evaluation seed [default: 42]";
 
     /// The grid option names shared by `sweep`, `submit`, and `worker`.
-    const GRID_OPTIONS: [&str; 10] = [
+    const GRID_OPTIONS: [&str; 11] = [
         "models",
         "bits",
         "dtypes",
@@ -435,6 +494,7 @@ mod tests {
         "task",
         "accel",
         "scale-dtype",
+        "calib-size",
         "proxy",
         "seed",
     ];
@@ -554,6 +614,10 @@ mod tests {
         assert!(GRID_OPTIONS_HELP.contains("Simulated accelerators [default: lossy]"));
         assert_eq!(d.scale_dtypes, vec![ScaleDtype::Int(8)]);
         assert!(GRID_OPTIONS_HELP.contains("[default: int8]"));
+        // `--calib-size [default: 48]` — the full captured calibration set.
+        assert_eq!(d.calib_sizes, vec![bitmod::llm::eval::CALIB_LEN]);
+        assert_eq!(bitmod::llm::eval::CALIB_LEN, 48);
+        assert!(GRID_OPTIONS_HELP.contains("each 1..=48 [default: 48]"));
         // Every dtype choice listed in the help parses, and none is missing.
         for dt in SweepDtype::ALL {
             assert!(

@@ -99,6 +99,7 @@ pub struct Pipeline {
     model: LlmModel,
     quant: QuantConfig,
     method: CompositionMethod,
+    calib_size: usize,
     proxy: ProxyConfig,
     task: TaskShape,
     accelerator: AcceleratorKind,
@@ -114,6 +115,7 @@ impl Pipeline {
             model,
             quant: QuantConfig::bitmod_deployment(4),
             method: CompositionMethod::None,
+            calib_size: bitmod_llm::eval::CALIB_LEN,
             proxy: ProxyConfig::standard(),
             task: TaskShape::GENERATIVE,
             accelerator: AcceleratorKind::BitModLossy,
@@ -143,6 +145,16 @@ impl Pipeline {
     /// deployment configuration.
     pub fn with_method(mut self, method: CompositionMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Restricts the composition method to the first `calib_size` tokens of
+    /// the harness's captured calibration prompt (the sweep `calib_size`
+    /// axis; default: the full [`bitmod_llm::eval::CALIB_LEN`] tokens).
+    /// Ignored by [`CompositionMethod::None`], which uses no calibration
+    /// data.
+    pub fn with_calib_size(mut self, calib_size: usize) -> Self {
+        self.calib_size = calib_size;
         self
     }
 
@@ -211,7 +223,8 @@ impl Pipeline {
         // optimizer per decoder linear; CompositionMethod::None takes the
         // plain round-to-nearest path, bit-identical to the pre-method
         // pipeline.
-        let (quantized, stats) = harness.compose_with_stats(&self.quant, self.method);
+        let (quantized, stats) =
+            harness.compose_with_stats_sized(&self.quant, self.method, self.calib_size);
         let quantized = match self.method.activation_bits() {
             Some(bits) => quantized.with_activation_bits(bits),
             None => quantized,

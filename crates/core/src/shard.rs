@@ -103,6 +103,35 @@ pub fn shard_points(cfg: &SweepConfig, shard: ShardSpec) -> Vec<(usize, SweepPoi
         .collect()
 }
 
+/// The number of grid points shard `spec` of `cfg` owns — the work-unit
+/// granularity the serving coordinator budgets dispatch by, computed without
+/// cloning any points.
+pub fn shard_len(cfg: &SweepConfig, shard: ShardSpec) -> usize {
+    let grid_len = cfg.grid().len();
+    // Points with grid index ≡ shard.index (mod shard.count).
+    grid_len / shard.count + usize::from(grid_len % shard.count > shard.index)
+}
+
+/// Per-shard progress summary: what one completed work unit contributes to
+/// its job.  The serving coordinator attaches one of these to every shard
+/// landing — the `shard_result` wire response and the journal's
+/// `shard-done` events both carry its counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardProgress {
+    /// Zero-based index of the completed shard.
+    pub shard_index: usize,
+    /// Total shards of the job.
+    pub shard_count: usize,
+    /// Grid points this shard owned.
+    pub grid_points: usize,
+    /// Completed records the shard produced.
+    pub records: usize,
+    /// Invalid points the shard skipped.
+    pub skipped: usize,
+    /// Wall-clock seconds the shard took.
+    pub wall_seconds: f64,
+}
+
 /// One completed grid point of a shard, tagged with its grid index so the
 /// merge can restore exact grid order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -140,6 +169,18 @@ impl ShardReport {
     /// Parses a shard report back from [`ShardReport::to_json`] output.
     pub fn from_json(s: &str) -> Result<Self, String> {
         serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// The progress summary of this shard run.
+    pub fn progress(&self) -> ShardProgress {
+        ShardProgress {
+            shard_index: self.shard.index,
+            shard_count: self.shard.count,
+            grid_points: self.records.len() + self.skipped.len(),
+            records: self.records.len(),
+            skipped: self.skipped.len(),
+            wall_seconds: self.wall_seconds,
+        }
     }
 }
 
@@ -362,6 +403,34 @@ mod tests {
             "reordered-spelling shard must be rejected"
         );
         assert!(merge_shards(&[s0, s1]).is_ok());
+    }
+
+    #[test]
+    fn shard_len_counts_without_materializing() {
+        let cfg = tiny_cfg();
+        for count in [1, 2, 3, 5, 11] {
+            for spec in ShardSpec::all(count) {
+                assert_eq!(
+                    shard_len(&cfg, spec),
+                    shard_points(&cfg, spec).len(),
+                    "shard {spec} of {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn progress_summarizes_a_shard_run() {
+        let mut cfg = tiny_cfg();
+        cfg.bits = vec![4, 6]; // bitmod@6 skipped, so progress counts both kinds
+        let report = run_shard(&cfg, ShardSpec::new(0, 2).unwrap());
+        let progress = report.progress();
+        assert_eq!(progress.shard_index, 0);
+        assert_eq!(progress.shard_count, 2);
+        assert_eq!(progress.records, report.records.len());
+        assert_eq!(progress.skipped, report.skipped.len());
+        assert_eq!(progress.grid_points, shard_len(&cfg, report.shard));
+        assert!(progress.wall_seconds > 0.0);
     }
 
     #[test]

@@ -1,15 +1,17 @@
 //! Parallel configuration sweeps over every axis the paper varies:
 //!
 //! ```text
-//! models × dtypes × bits × granularities × methods × tasks × accelerators × scale dtypes
+//! models × dtypes × bits × granularities × methods × tasks × accelerators
+//!        × scale dtypes × calibration sizes
 //! ```
 //!
-//! The first four axes are the classic grid; the last four make the paper's
+//! The first four axes are the classic grid; the rest make the paper's
 //! remaining dimensions first-class: software-composition methods
 //! (AWQ / GPTQ / SmoothQuant / OmniQuant — Tables XI/XII), task shapes
-//! (Fig. 1), simulated accelerator variants (Figs. 7–9) and scale-factor
-//! precisions (Table V).  Every axis defaults to a singleton that reproduces
-//! the pre-axis grid exactly.
+//! (Fig. 1), simulated accelerator variants (Figs. 7–9), scale-factor
+//! precisions (Table V) and calibration-set sizes (the token budget the
+//! composition methods calibrate on).  Every axis defaults to a singleton
+//! that reproduces the pre-axis grid exactly.
 //!
 //! A sweep fans [`Pipeline`] runs out across every point of a configuration
 //! grid using rayon, building **one** [`EvalHarness`] per model up front and
@@ -35,7 +37,7 @@ use crate::{Pipeline, PipelineReport};
 use bitmod_accel::AcceleratorKind;
 use bitmod_dtypes::mx::MxFormat;
 use bitmod_llm::config::LlmModel;
-use bitmod_llm::eval::{EvalHarness, HarnessPool};
+use bitmod_llm::eval::{EvalHarness, HarnessPool, CALIB_LEN};
 use bitmod_llm::memory::TaskShape;
 use bitmod_llm::proxy::ProxyConfig;
 use bitmod_quant::{CompositionMethod, Granularity, QuantConfig, QuantMethod, ScaleDtype};
@@ -172,6 +174,8 @@ pub struct SweepPoint {
     pub accelerator: AcceleratorKind,
     /// The precision of the stored per-slice scaling factors.
     pub scale_dtype: ScaleDtype,
+    /// Calibration-set size (tokens) the composition method runs against.
+    pub calib_size: usize,
 }
 
 impl SweepPoint {
@@ -196,6 +200,21 @@ impl SweepPoint {
             _ => self.scale_dtype,
         };
         Ok(QuantConfig::new(method, self.granularity).with_scale_dtype(scale_dtype))
+    }
+
+    /// The calibration-set size this point actually uses.
+    ///
+    /// Plain round-to-nearest ([`CompositionMethod::None`]) consumes no
+    /// calibration data at all, so for it the requested size is replaced by
+    /// the default — sweeping several calibration sizes under RTN yields
+    /// identical records rather than fake distinct points (the same
+    /// normalization [`SweepPoint::quant_config`] applies to scale dtypes
+    /// under GPTQ/OmniQuant).
+    pub fn realized_calib_size(&self) -> usize {
+        match self.method {
+            CompositionMethod::None => CALIB_LEN,
+            _ => self.calib_size,
+        }
     }
 
     /// Compact human-readable label, e.g. `Phi-2B/bitmod-4b/g128`.  Axes
@@ -225,6 +244,9 @@ impl SweepPoint {
         if self.scale_dtype != ScaleDtype::Int(8) {
             label.push_str("/s-");
             label.push_str(&scale_dtype_label(&self.scale_dtype));
+        }
+        if self.calib_size != CALIB_LEN {
+            label.push_str(&format!("/c{}", self.calib_size));
         }
         label
     }
@@ -260,6 +282,7 @@ impl serde::Deserialize for SweepPoint {
             task: from_map_or(m, "task", TaskShape::GENERATIVE)?,
             accelerator: from_map_or(m, "accelerator", AcceleratorKind::BitModLossy)?,
             scale_dtype: from_map_or(m, "scale_dtype", ScaleDtype::Int(8))?,
+            calib_size: from_map_or(m, "calib_size", CALIB_LEN)?,
         })
     }
 }
@@ -290,6 +313,7 @@ impl serde::Deserialize for SweepConfig {
                 vec![legacy_accelerator.unwrap_or(AcceleratorKind::BitModLossy)],
             )?,
             scale_dtypes: from_map_or(m, "scale_dtypes", vec![ScaleDtype::Int(8)])?,
+            calib_sizes: from_map_or(m, "calib_sizes", vec![CALIB_LEN])?,
             proxy: serde::from_map(m, "proxy", "SweepConfig")?,
             seed: serde::from_map(m, "seed", "SweepConfig")?,
         })
@@ -419,6 +443,10 @@ pub struct SweepConfig {
     pub accelerators: Vec<AcceleratorKind>,
     /// Scale-factor precisions to sweep (Table V axis).
     pub scale_dtypes: Vec<ScaleDtype>,
+    /// Calibration-set sizes (tokens) to sweep; each must be in
+    /// `1..=CALIB_LEN` (the harness captures `CALIB_LEN` calibration tokens
+    /// and a point uses a prefix of them).
+    pub calib_sizes: Vec<usize>,
     /// Proxy model size (use [`ProxyConfig::tiny`] for smoke tests).
     pub proxy: ProxyConfig,
     /// Seed for proxy synthesis and evaluation streams.
@@ -441,6 +469,7 @@ impl SweepConfig {
             tasks: vec![TaskShape::GENERATIVE],
             accelerators: vec![AcceleratorKind::BitModLossy],
             scale_dtypes: vec![ScaleDtype::Int(8)],
+            calib_sizes: vec![CALIB_LEN],
             proxy: ProxyConfig::standard(),
             seed: 42,
         }
@@ -487,6 +516,12 @@ impl SweepConfig {
         self
     }
 
+    /// Replaces the calibration-set-size list (each in `1..=CALIB_LEN`).
+    pub fn with_calib_sizes(mut self, calib_sizes: Vec<usize>) -> Self {
+        self.calib_sizes = calib_sizes;
+        self
+    }
+
     /// Replaces the proxy model size.
     pub fn with_proxy(mut self, proxy: ProxyConfig) -> Self {
         self.proxy = proxy;
@@ -500,9 +535,9 @@ impl SweepConfig {
     }
 
     /// Expands the grid in row-major order (model, dtype, bits, granularity,
-    /// method, task, accelerator, scale dtype).  The four new axes are
-    /// innermost, so grids that leave them at their singleton defaults
-    /// enumerate in exactly the classic four-axis order.
+    /// method, task, accelerator, scale dtype, calibration size).  The five
+    /// post-classic axes are innermost, so grids that leave them at their
+    /// singleton defaults enumerate in exactly the classic four-axis order.
     pub fn grid(&self) -> Vec<SweepPoint> {
         let mut points = Vec::new();
         for &model in &self.models {
@@ -513,16 +548,19 @@ impl SweepConfig {
                             for &task in &self.tasks {
                                 for &accelerator in &self.accelerators {
                                     for &scale_dtype in &self.scale_dtypes {
-                                        points.push(SweepPoint {
-                                            model,
-                                            dtype,
-                                            bits,
-                                            granularity,
-                                            method,
-                                            task,
-                                            accelerator,
-                                            scale_dtype,
-                                        });
+                                        for &calib_size in &self.calib_sizes {
+                                            points.push(SweepPoint {
+                                                model,
+                                                dtype,
+                                                bits,
+                                                granularity,
+                                                method,
+                                                task,
+                                                accelerator,
+                                                scale_dtype,
+                                                calib_size,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -552,7 +590,7 @@ impl SweepConfig {
     /// position in the respective `ALL` tables, bits ascending,
     /// granularities tensor < channel < group (ascending group size), tasks
     /// by (input, output) token counts, scale dtypes fp16 < int (ascending
-    /// bits).
+    /// bits), calibration sizes ascending.
     pub fn canonicalized(&self) -> SweepConfig {
         let mut out = self.clone();
         let model_rank = |m: &LlmModel| {
@@ -605,13 +643,15 @@ impl SweepConfig {
         out.accelerators.dedup();
         out.scale_dtypes.sort_by_key(scale_rank);
         out.scale_dtypes.dedup();
+        out.calib_sizes.sort_unstable();
+        out.calib_sizes.dedup();
         out
     }
 
     /// The dedup/result-cache key of this configuration: the compact JSON of
     /// its canonical form.  Every field that influences the records (models,
     /// dtypes, bits, granularities, methods, tasks, accelerators, scale
-    /// dtypes, proxy size, seed) is part of the key.
+    /// dtypes, calibration sizes, proxy size, seed) is part of the key.
     pub fn cache_key(&self) -> String {
         serde_json::to_string(&self.canonicalized()).expect("sweep configs always serialize")
     }
@@ -649,6 +689,9 @@ pub struct GridSpec {
     /// Scale-dtype spellings (`fp16`, `int8`, `int6`, …); `None` keeps the
     /// default (`int8`).
     pub scale_dtypes: Option<Vec<String>>,
+    /// Calibration-set-size spellings (`1`..=`48`); `None` keeps the default
+    /// (`48`, the full captured calibration prompt).
+    pub calib_sizes: Option<Vec<String>>,
     /// Proxy size (`standard` | `tiny`); `None` means `standard`.
     pub proxy: Option<String>,
     /// Seed; `None` keeps the default (callers parse their own spelling so
@@ -738,6 +781,15 @@ impl GridSpec {
                 parse_scale_dtype(s).ok_or_else(|| format!("invalid scale dtype `{s}`"))
             })?);
         }
+        if let Some(calib_strs) = &self.calib_sizes {
+            cfg = cfg.with_calib_sizes(parse_axis(calib_strs, "calib size", |c| {
+                c.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| (1..=CALIB_LEN).contains(n))
+                    .ok_or_else(|| format!("invalid calib size `{c}` (expected 1..={CALIB_LEN})"))
+            })?);
+        }
         match self.proxy.as_deref().unwrap_or("standard") {
             "standard" => {}
             "tiny" => cfg = cfg.with_proxy(ProxyConfig::tiny()),
@@ -790,7 +842,7 @@ impl SweepReport {
     /// Serializes the records as CSV (one flat row per record).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "model,dtype,bits,granularity,comp,task,accel,scale_dtype,method,\
+            "model,dtype,bits,granularity,comp,task,accel,scale_dtype,calib_size,method,\
              effective_bits,weight_sqnr_db,\
              fp16_wiki_ppl,fp16_c4_ppl,wiki_ppl,c4_ppl,accuracy_pct,\
              speedup_over_fp16,energy_gain_over_fp16,total_cycles,dram_gb\n",
@@ -799,7 +851,7 @@ impl SweepReport {
             let p = &r.point;
             let rep = &r.report;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{:.4},{:.2},{:.4},{:.4},{:.4},{:.4},{:.2},{:.3},{:.3},{:.0},{:.3}\n",
+                "{},{},{},{},{},{},{},{},{},{},{:.4},{:.2},{:.4},{:.4},{:.4},{:.4},{:.2},{:.3},{:.3},{:.0},{:.3}\n",
                 rep.model.name(),
                 p.dtype.name(),
                 p.bits,
@@ -808,6 +860,7 @@ impl SweepReport {
                 task_label(&p.task),
                 accelerator_label(&p.accelerator),
                 scale_dtype_label(&p.scale_dtype),
+                p.calib_size,
                 rep.method,
                 rep.effective_bits_per_weight,
                 rep.weight_sqnr_db,
@@ -918,14 +971,22 @@ pub(crate) fn run_points<'a>(
     harness_for: &(impl Fn(LlmModel) -> &'a EvalHarness + Sync),
 ) -> Vec<(usize, SweepRecord)> {
     // Group points sharing an algorithm side.  The key spells the realized
-    // quantization configuration (post scale-dtype normalization), so e.g.
-    // gptq points requesting different scale dtypes share one group.
+    // quantization configuration (post scale-dtype and calib-size
+    // normalization), so e.g. gptq points requesting different scale dtypes
+    // — or RTN points requesting different calibration sizes — share one
+    // group.
     let mut groups: Vec<(QuantConfig, Vec<(usize, SweepPoint)>)> = Vec::new();
     let mut group_index: HashMap<String, usize> = HashMap::new();
     for (i, p, q) in valid {
         let key = format!(
-            "{:?}|{:?}|{}|{:?}|{:?}|{:?}",
-            p.model, p.dtype, p.bits, p.granularity, p.method, q.scale_dtype
+            "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}",
+            p.model,
+            p.dtype,
+            p.bits,
+            p.granularity,
+            p.method,
+            q.scale_dtype,
+            p.realized_calib_size()
         );
         match group_index.get(&key) {
             Some(&g) => groups[g].1.push((i, p)),
@@ -943,6 +1004,7 @@ pub(crate) fn run_points<'a>(
             let base = Pipeline::new(first.model)
                 .with_quant_config(quant)
                 .with_method(first.method)
+                .with_calib_size(first.realized_calib_size())
                 .with_proxy_config(cfg.proxy);
             let algorithm = base.run_algorithm(harness_for(first.model));
             points
@@ -1139,6 +1201,59 @@ mod tests {
             serde_json::to_string(&report.records[1].report).unwrap(),
             "scale-dtype variants of a gptq point are the same configuration"
         );
+    }
+
+    #[test]
+    fn calib_size_axis_changes_composed_records_but_not_rtn_ones() {
+        // Under a calibration-based method, the calibration budget is a real
+        // coordinate: a smaller set gives the optimizer less signal, so the
+        // records differ.  Under plain RTN no calibration data is consumed,
+        // so the axis is normalized away and the records are identical.
+        let mut cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![3])
+            .with_proxy(ProxyConfig::tiny())
+            .with_seed(4)
+            .with_methods(vec![CompositionMethod::Awq])
+            .with_calib_sizes(vec![4, 48]);
+        cfg.dtypes = vec![SweepDtype::IntAsym];
+        let composed = cfg.run();
+        assert_eq!(composed.records.len(), 2);
+        assert_ne!(
+            serde_json::to_string(&composed.records[0].report).unwrap(),
+            serde_json::to_string(&composed.records[1].report).unwrap(),
+            "calibration budget must matter to AWQ"
+        );
+        // The full-size point is bit-identical to not spelling the axis.
+        let baseline = cfg.clone().with_calib_sizes(vec![48]).run();
+        assert_eq!(
+            serde_json::to_string(&composed.records[1].report).unwrap(),
+            serde_json::to_string(&baseline.records[0].report).unwrap()
+        );
+        // RTN: same two sizes, identical reports (one shared algorithm run).
+        let rtn = cfg.with_methods(vec![CompositionMethod::None]).run();
+        assert_eq!(rtn.records.len(), 2);
+        assert_eq!(rtn.records[0].point.realized_calib_size(), 48);
+        assert_eq!(
+            serde_json::to_string(&rtn.records[0].report).unwrap(),
+            serde_json::to_string(&rtn.records[1].report).unwrap(),
+            "calib sizes under RTN are the same configuration"
+        );
+    }
+
+    #[test]
+    fn calib_axis_canonicalizes_and_keys_like_every_other_axis() {
+        let base = tiny_sweep();
+        let mut a = base.clone().with_calib_sizes(vec![48, 16, 16]);
+        assert_eq!(a.canonicalized().calib_sizes, vec![16, 48]);
+        let b = base.clone().with_calib_sizes(vec![16, 48]);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(base.cache_key(), b.cache_key());
+        // The point label names non-default sizes and omits the default.
+        a.models = vec![LlmModel::Phi2B];
+        a.dtypes = vec![SweepDtype::BitMod];
+        a.bits = vec![4];
+        let labels: Vec<String> = a.canonicalized().grid().iter().map(|p| p.label()).collect();
+        assert_eq!(labels[0], "Phi-2B/bitmod-4b/g128/c16");
+        assert_eq!(labels[1], "Phi-2B/bitmod-4b/g128");
     }
 
     #[test]
@@ -1350,6 +1465,7 @@ mod tests {
             tasks: Some(strings(&["generative", "disc", "256x64"])),
             accels: Some(strings(&["lossless", "ant"])),
             scale_dtypes: Some(strings(&["int8", "fp16"])),
+            calib_sizes: Some(strings(&["16", "48"])),
             proxy: Some("tiny".to_string()),
             seed: Some(9),
         };
@@ -1382,6 +1498,7 @@ mod tests {
             vec![AcceleratorKind::BitModLossless, AcceleratorKind::Ant]
         );
         assert_eq!(cfg.scale_dtypes, vec![ScaleDtype::Int(8), ScaleDtype::Fp16]);
+        assert_eq!(cfg.calib_sizes, vec![16, 48]);
         assert_eq!(cfg.seed, 9);
         // `all` expands to every model; defaults match SweepConfig::new.
         let all = GridSpec {
@@ -1476,6 +1593,24 @@ mod tests {
                 },
                 "invalid scale dtype",
             ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["4"]),
+                    calib_sizes: Some(strings(&["0"])),
+                    ..GridSpec::default()
+                },
+                "invalid calib size",
+            ),
+            (
+                GridSpec {
+                    models: strings(&["phi-2"]),
+                    bits: strings(&["4"]),
+                    calib_sizes: Some(strings(&["49"])),
+                    ..GridSpec::default()
+                },
+                "invalid calib size",
+            ),
         ] {
             let err = spec.build().expect_err(needle);
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
@@ -1527,6 +1662,10 @@ mod tests {
             },
             GridSpec {
                 scale_dtypes: Some(strings(&["int8", "int8"])),
+                ..base()
+            },
+            GridSpec {
+                calib_sizes: Some(strings(&["32", "32"])),
                 ..base()
             },
         ] {

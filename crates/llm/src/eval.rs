@@ -67,8 +67,10 @@ pub struct EvalHarness {
 
 /// Length of each generated evaluation stream.
 const STREAM_LEN: usize = 144;
-/// Length of the calibration prompt.
-const CALIB_LEN: usize = 48;
+/// Length of the calibration prompt captured at harness construction — the
+/// maximum (and default) calibration-set size a sweep point can request via
+/// the `calib_size` axis.
+pub const CALIB_LEN: usize = 48;
 
 impl EvalHarness {
     /// Builds the harness for `model` with the standard proxy size.
@@ -170,6 +172,30 @@ impl EvalHarness {
         cfg: &QuantConfig,
         method: CompositionMethod,
     ) -> (ProxyTransformer, Vec<(LinearId, QuantStats)>) {
+        self.compose_with_stats_sized(cfg, method, CALIB_LEN)
+    }
+
+    /// Like [`EvalHarness::compose_with_stats`], but restricts the
+    /// calibration-based methods to the first `calib_size` tokens of the
+    /// captured calibration prompt (the sweep `calib_size` axis).  With
+    /// `calib_size == CALIB_LEN` this is exactly
+    /// [`EvalHarness::compose_with_stats`]; [`CompositionMethod::None`]
+    /// ignores the size entirely (it uses no calibration data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib_size` is zero or exceeds [`CALIB_LEN`], or if
+    /// `method` does not support `cfg.method`.
+    pub fn compose_with_stats_sized(
+        &self,
+        cfg: &QuantConfig,
+        method: CompositionMethod,
+        calib_size: usize,
+    ) -> (ProxyTransformer, Vec<(LinearId, QuantStats)>) {
+        assert!(
+            calib_size > 0 && calib_size <= CALIB_LEN,
+            "calib_size = {calib_size} out of range 1..={CALIB_LEN}"
+        );
         if method == CompositionMethod::None {
             // The plain-RTN fast path: identical (bit for bit) to the
             // pre-composition pipeline, and free of the per-layer calibration
@@ -178,7 +204,18 @@ impl EvalHarness {
         }
         let mut stats_out = Vec::new();
         let model = self.reference.map_linears(|id, w| {
-            let composed = compose_quantize(w, self.calibration_for(id), cfg, method);
+            let full = self.calibration_for(id);
+            // The prefix of the captured activations is exactly what a
+            // shorter calibration prompt would have produced (the proxy's
+            // attention is causal), so slicing realizes the smaller set.
+            let sliced;
+            let acts = if calib_size == CALIB_LEN {
+                full
+            } else {
+                sliced = full.top_rows(calib_size);
+                &sliced
+            };
+            let composed = compose_quantize(w, acts, cfg, method);
             stats_out.push((
                 id,
                 QuantStats {
@@ -405,6 +442,35 @@ mod tests {
         // policy the sweep applies via `activation_bits`.
         let sq = h.compose(&cfg, CompositionMethod::SmoothQuant);
         assert!(h.evaluate_model(&sq).wiki.is_finite());
+    }
+
+    #[test]
+    fn sized_composition_slices_the_calibration_prefix() {
+        let h = harness(LlmModel::Phi2B, 11);
+        let cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 3 }, Granularity::PerGroup(64));
+        // The full size is exactly the unsized entry point.
+        let (full, _) = h.compose_with_stats(&cfg, bitmod_quant::CompositionMethod::Awq);
+        let (sized_full, _) =
+            h.compose_with_stats_sized(&cfg, bitmod_quant::CompositionMethod::Awq, CALIB_LEN);
+        assert_eq!(h.evaluate_model(&full), h.evaluate_model(&sized_full));
+        // A smaller calibration budget really changes the optimizer's input
+        // (and therefore, in general, its output)…
+        let (small, _) = h.compose_with_stats_sized(&cfg, bitmod_quant::CompositionMethod::Awq, 4);
+        assert_ne!(h.evaluate_model(&full), h.evaluate_model(&small));
+        // …while RTN ignores the size entirely.
+        let (rtn_small, _) =
+            h.compose_with_stats_sized(&cfg, bitmod_quant::CompositionMethod::None, 4);
+        let plain = h.reference.quantized(&cfg);
+        assert_eq!(h.evaluate_model(&rtn_small), h.evaluate_model(&plain));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sized_composition_rejects_oversized_budgets() {
+        let h = harness(LlmModel::Phi2B, 12);
+        let cfg = QuantConfig::new(QuantMethod::IntAsym { bits: 4 }, Granularity::PerGroup(64));
+        let _ =
+            h.compose_with_stats_sized(&cfg, bitmod_quant::CompositionMethod::Awq, CALIB_LEN + 1);
     }
 
     #[test]

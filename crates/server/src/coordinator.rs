@@ -1,0 +1,923 @@
+//! The serving coordinator: accepts jobs, decomposes them into
+//! [`bitmod::shard::ShardSpec`] work units, leases the units to executors (in-process
+//! threads and remote `bitmod-cli worker --attach` processes alike), merges
+//! the returned [`ShardReport`]s bit-identically via
+//! [`bitmod::shard::merge_shards`], and journals every transition to an
+//! optional state directory so queued and in-flight jobs survive restarts.
+//!
+//! This is the supervisory half of the coordinator/executor split;
+//! [`crate::executor`] holds both executor kinds.  The coordinator never
+//! runs a sweep itself — it only hands out work, collects results, requeues
+//! the shards of expired leases, and wakes `watch` streams on progress.
+
+use crate::executor;
+use crate::job::{JobQueue, JobStatus, JobView, ShardLanding, SubmitOutcome, WorkAssignment};
+use crate::journal::{Journal, JournalEvent};
+use bitmod::shard::ShardReport;
+use bitmod::sweep::{SweepConfig, SweepReport};
+use bitmod_llm::eval::HarnessPool;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a serving coordinator.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// In-process executor threads (each shard run is itself rayon-parallel,
+    /// so more than a few rarely helps).  `0` runs a pure coordinator that
+    /// depends entirely on remote attached executors.
+    pub workers: usize,
+    /// Work units per job: `1` dispatches each sweep whole, `n > 1`
+    /// partitions every grid with [`bitmod::shard::ShardSpec`] so several executors can
+    /// share one job; the merge is bit-identical either way.
+    pub shards: usize,
+    /// Maximum completed reports kept in the dedup/result cache; the
+    /// oldest-finished job is evicted first (`bitmod-cli serve --cache-cap`).
+    /// `usize::MAX` (the default) never evicts.
+    pub cache_cap: usize,
+    /// How long a remote executor's lease survives without a heartbeat
+    /// before its shard is requeued (`bitmod-cli serve --lease-ms`).
+    pub lease_timeout: Duration,
+    /// Journal directory (`bitmod-cli serve --state-dir`); `None` keeps all
+    /// state in memory, exactly as before the journal existed.
+    pub state_dir: Option<PathBuf>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            shards: 1,
+            cache_cap: usize::MAX,
+            lease_timeout: Duration::from_millis(10_000),
+            state_dir: None,
+        }
+    }
+}
+
+/// Aggregate coordinator counters, reported by `ping`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoordinatorStats {
+    /// Total jobs (all states).
+    pub jobs: usize,
+    /// Jobs waiting for an executor.
+    pub queued: usize,
+    /// Jobs with at least one shard leased or completed.
+    pub running: usize,
+    /// Jobs finished successfully.
+    pub done: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Submissions absorbed by dedup instead of spawning a job.
+    pub deduped_submissions: usize,
+    /// Completed jobs evicted from the result cache (FIFO, capped
+    /// coordinators only).
+    pub evicted_jobs: usize,
+    /// Distinct harnesses in the shared pool.
+    pub pool_harnesses: usize,
+    /// In-process executor threads.
+    pub workers: usize,
+    /// Work units per job.
+    pub shards: usize,
+    /// Registered executors (in-process + remote).
+    pub executors: usize,
+    /// Remote executors among them.
+    pub remote_executors: usize,
+    /// Outstanding leases.
+    pub active_leases: usize,
+    /// Shards requeued after a lease expired.
+    pub requeued_shards: usize,
+}
+
+/// Interior state guarded by one lock: the job/lease queue plus the journal
+/// appender (journaling under the lock keeps the event order identical to
+/// the state-transition order).
+#[derive(Debug)]
+struct State {
+    queue: JobQueue,
+    journal: Option<Journal>,
+}
+
+impl State {
+    fn journal(&mut self, event: JournalEvent) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&event);
+        }
+    }
+}
+
+/// The serving coordinator: shared state plus the harness pool in-process
+/// executors batch synthesis through.
+///
+/// Construction does not spawn anything; [`Coordinator::start`] replays the
+/// journal (when a state directory is configured) and returns a handle
+/// owning the in-process executor threads.
+///
+/// ```
+/// use bitmod::llm::config::LlmModel;
+/// use bitmod::llm::proxy::ProxyConfig;
+/// use bitmod::sweep::SweepConfig;
+/// use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
+///
+/// let handle = Coordinator::start(CoordinatorConfig {
+///     workers: 1,
+///     shards: 2,
+///     ..CoordinatorConfig::default()
+/// });
+/// let cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+///     .with_proxy(ProxyConfig::tiny());
+/// let out = handle.coordinator().submit(&cfg);
+/// handle.coordinator().drain();
+/// let report = handle.coordinator().result(&out.job_id).unwrap().unwrap();
+/// assert_eq!(report.records.len(), 2);
+/// handle.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct Coordinator {
+    state: Mutex<State>,
+    /// Wakes executors when work is queued or shutdown is requested.
+    wake: Condvar,
+    /// Wakes `watch` streams and [`Coordinator::drain`] on any progress.
+    progress: Condvar,
+    /// Set by [`CoordinatorHandle::halt`]: executors stop leasing
+    /// immediately instead of draining the queue (the crash-test hook).
+    abort: AtomicBool,
+    pool: HarnessPool,
+    config: CoordinatorConfig,
+}
+
+/// Owns a running coordinator's in-process executor threads; dropping
+/// without [`CoordinatorHandle::shutdown`] detaches them (they exit at
+/// process end).
+#[derive(Debug)]
+pub struct CoordinatorHandle {
+    coordinator: Arc<Coordinator>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CoordinatorHandle {
+    /// The coordinator this handle controls.
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coordinator
+    }
+
+    /// Requests shutdown and joins every in-process executor.  Executors
+    /// drain the queue before exiting, so jobs accepted before the request
+    /// still complete (remote executors observe `shutting_down` on their
+    /// next lease poll).
+    pub fn shutdown(self) {
+        self.coordinator.request_shutdown();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops in-process executors *without* draining: they finish (at most)
+    /// the shard they hold and exit, leaving queued work units and the
+    /// journal exactly as they are.  This is the closest a test can get to
+    /// `kill -9` without actually killing the process — crash-recovery
+    /// tests restart from the state directory afterwards.
+    pub fn halt(self) {
+        self.coordinator.abort.store(true, Ordering::SeqCst);
+        {
+            // Also flag shutdown so blocking waits wake immediately.
+            let mut state = self.coordinator.lock();
+            state.queue.shutting_down = true;
+        }
+        self.coordinator.wake.notify_all();
+        self.coordinator.progress.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Coordinator {
+    /// Builds the coordinator — replaying `state_dir`'s journal when
+    /// configured — and spawns `config.workers` in-process executors.
+    pub fn start(config: CoordinatorConfig) -> CoordinatorHandle {
+        let config = CoordinatorConfig {
+            workers: config.workers,
+            shards: config.shards.max(1),
+            // A cap of zero would evict every report before any client could
+            // fetch it; clamp like shards.
+            cache_cap: config.cache_cap.max(1),
+            lease_timeout: config.lease_timeout.max(Duration::from_millis(100)),
+            state_dir: config.state_dir,
+        };
+        let mut queue = JobQueue::new(config.cache_cap, config.shards);
+        let journal = match &config.state_dir {
+            None => None,
+            Some(dir) => match Journal::open(dir) {
+                Ok((journal, replay)) => {
+                    if replay.skipped_lines > 0 {
+                        eprintln!(
+                            "[serve] journal {}: skipped {} unparseable line(s) (torn tail?)",
+                            journal.path().display(),
+                            replay.skipped_lines
+                        );
+                    }
+                    replay_events(&mut queue, replay.events);
+                    Some(journal)
+                }
+                Err(e) => {
+                    // Refusing to serve is worse than serving memory-only;
+                    // say so loudly and continue.
+                    eprintln!("[serve] state dir unusable, running memory-only: {e}");
+                    None
+                }
+            },
+        };
+        let coordinator = Arc::new(Coordinator {
+            state: Mutex::new(State { queue, journal }),
+            wake: Condvar::new(),
+            progress: Condvar::new(),
+            abort: AtomicBool::new(false),
+            pool: HarnessPool::new(),
+            config,
+        });
+        let workers = (0..coordinator.config.workers)
+            .map(|i| {
+                let c = Arc::clone(&coordinator);
+                std::thread::spawn(move || executor::run_local(&c, i))
+            })
+            .collect();
+        CoordinatorHandle {
+            coordinator,
+            workers,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("coordinator lock")
+    }
+
+    /// The harness pool shared by every in-process executor.
+    pub fn pool(&self) -> &HarnessPool {
+        &self.pool
+    }
+
+    /// The coordinator's configuration.
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.config
+    }
+
+    /// The journal file actually in use — `None` when no state dir was
+    /// configured *or* when opening it failed and the coordinator fell back
+    /// to memory-only (callers reporting durability must check this, not
+    /// the configured path).
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        self.lock().journal.as_ref().map(|j| j.path().to_path_buf())
+    }
+
+    /// Submits a sweep; returns the (possibly deduplicated) job id.
+    pub fn submit(&self, config: &SweepConfig) -> SubmitOutcome {
+        let mut state = self.lock();
+        let outcome = state.queue.submit(config);
+        if !outcome.deduped {
+            let job = &state.queue.jobs[&outcome.job_id];
+            let event = JournalEvent::Submit {
+                job: job.id.clone(),
+                config: Box::new(job.config.clone()),
+            };
+            state.journal(event);
+        }
+        drop(state);
+        if !outcome.deduped {
+            self.wake.notify_all();
+            self.progress.notify_all();
+        }
+        outcome
+    }
+
+    /// Snapshot of one job, or `None` for an unknown id.
+    pub fn status(&self, id: &str) -> Option<JobView> {
+        self.lock().queue.jobs.get(id).map(|j| j.view())
+    }
+
+    /// The completed report of a done job.  `None` for an unknown id,
+    /// `Some(Err)` while the job is not (successfully) finished.
+    pub fn result(&self, id: &str) -> Option<Result<Arc<SweepReport>, String>> {
+        let state = self.lock();
+        let job = state.queue.jobs.get(id)?;
+        Some(match (&job.report, job.status) {
+            (Some(r), _) => Ok(Arc::clone(r)),
+            (None, JobStatus::Failed) => Err(job
+                .error
+                .clone()
+                .unwrap_or_else(|| "job failed".to_string())),
+            (None, s) => Err(format!("job is {} — result not available yet", s.name())),
+        })
+    }
+
+    /// Every job, in submission order.
+    pub fn list(&self) -> Vec<JobView> {
+        self.lock().queue.views()
+    }
+
+    /// Atomic snapshot of one job's view *and* its report (when done) under
+    /// a single lock acquisition.  `watch` streams use this instead of
+    /// separate `status`/`result` calls: with a capped result cache, a job
+    /// can be evicted between the two, which would make a watcher report a
+    /// successfully completed job as unknown or emit a `done` event with no
+    /// report.
+    pub fn snapshot(&self, id: &str) -> Option<(JobView, Option<Arc<SweepReport>>)> {
+        let state = self.lock();
+        let job = state.queue.jobs.get(id)?;
+        Some((job.view(), job.report.clone()))
+    }
+
+    /// Aggregate counters for `ping`.
+    pub fn stats(&self) -> CoordinatorStats {
+        let state = self.lock();
+        let q = &state.queue;
+        let count = |s: JobStatus| q.jobs.values().filter(|j| j.status == s).count();
+        CoordinatorStats {
+            jobs: q.jobs.len(),
+            queued: count(JobStatus::Queued),
+            running: count(JobStatus::Running),
+            done: count(JobStatus::Done),
+            failed: count(JobStatus::Failed),
+            deduped_submissions: q.jobs.values().map(|j| j.submissions - 1).sum(),
+            evicted_jobs: q.evicted,
+            pool_harnesses: self.pool.len(),
+            workers: self.config.workers,
+            shards: self.config.shards,
+            executors: q.executors.len(),
+            remote_executors: q.executors.values().filter(|e| e.remote).count(),
+            active_leases: q.leases.len(),
+            requeued_shards: q.requeued,
+        }
+    }
+
+    /// Blocks until no job is queued or running.
+    ///
+    /// Once shutdown is pending, queued work can strand: a pure coordinator
+    /// (`workers == 0`) has nobody to run it, and even with in-process
+    /// executors a job submitted *after* they drained and exited has nobody
+    /// left either.  If no executor touches the queue for three lease
+    /// timeouts while shutdown is pending, the remaining jobs are failed
+    /// (`abandoned at shutdown`, journaled) rather than hanging the
+    /// daemon's exit forever.
+    pub fn drain(&self) {
+        let mut state = self.lock();
+        while state.queue.has_live_jobs() && !self.is_aborted() {
+            self.abandon_if_stranded(&mut state);
+            if !state.queue.has_live_jobs() {
+                break;
+            }
+            state = self
+                .progress
+                .wait_timeout(state, Duration::from_millis(200))
+                .expect("coordinator lock")
+                .0;
+            self.reap_locked(&mut state);
+        }
+    }
+
+    /// Public face of the stranded-work escape hatch, safe to call from any
+    /// wait loop (the `watch` streams use it: their connection threads are
+    /// joined before [`Coordinator::drain`] ever runs, so they must be able
+    /// to trigger the abandonment themselves).
+    pub fn abandon_stranded_work(&self) {
+        let mut state = self.lock();
+        self.abandon_if_stranded(&mut state);
+    }
+
+    /// The shutdown-hang escape hatch: fails every still-live job once
+    /// shutdown is pending, no lease is outstanding, and no executor has
+    /// touched the queue for three lease timeouts.  (Not gated on the
+    /// worker count: in-process executors exit once shutdown finds the
+    /// queue empty, so a submit accepted on a still-open connection after
+    /// that strands exactly like work on a pure coordinator.)
+    fn abandon_if_stranded(&self, state: &mut State) {
+        let stranded = state.queue.shutting_down
+            && state.queue.leases.is_empty()
+            && state.queue.last_executor_activity.elapsed() > self.config.lease_timeout * 3;
+        if !stranded {
+            return;
+        }
+        let live: Vec<String> = state
+            .queue
+            .jobs
+            .values()
+            .filter(|j| matches!(j.status, JobStatus::Queued | JobStatus::Running))
+            .map(|j| j.id.clone())
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        eprintln!(
+            "[serve] shutting down with {} job(s) queued and no executor left to run them — abandoning",
+            live.len()
+        );
+        state.queue.pending.clear();
+        for id in live {
+            state.queue.finish(
+                &id,
+                Err("abandoned at shutdown: no executor available".into()),
+            );
+            let event = JournalEvent::Failed {
+                job: id,
+                error: "abandoned at shutdown: no executor available".into(),
+            };
+            state.journal(event);
+        }
+        self.progress.notify_all();
+    }
+
+    /// Flags shutdown and wakes every executor and watcher.
+    pub fn request_shutdown(&self) {
+        self.lock().queue.shutting_down = true;
+        self.wake.notify_all();
+        self.progress.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.lock().queue.shutting_down
+    }
+
+    /// Whether [`CoordinatorHandle::halt`] aborted execution (queued work
+    /// will not be drained in this process).
+    pub fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    /// The current progress epoch; changes whenever any job or shard state
+    /// changes.  `watch` streams poll with [`Coordinator::wait_progress`].
+    pub fn epoch(&self) -> u64 {
+        self.lock().queue.epoch
+    }
+
+    /// Blocks until the progress epoch differs from `seen` (or `timeout`
+    /// elapses); returns the current epoch either way.
+    pub fn wait_progress(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if state.queue.epoch != seen || self.is_aborted() {
+                return state.queue.epoch;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return state.queue.epoch;
+            }
+            state = self
+                .progress
+                .wait_timeout(state, deadline - now)
+                .expect("coordinator lock")
+                .0;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Executor-facing API (shared by in-process threads and the wire verbs)
+    // ------------------------------------------------------------------
+
+    /// Registers an executor and returns its id (`exec-1`, …).
+    pub fn register_executor(&self, name: &str, remote: bool) -> String {
+        self.lock().queue.register_executor(name, remote)
+    }
+
+    /// The remote lease timeout (what attach/heartbeat responses report).
+    pub fn lease_timeout(&self) -> Duration {
+        self.config.lease_timeout
+    }
+
+    /// Non-blocking lease attempt for a *remote* executor: requeues any
+    /// expired leases first, then hands out the oldest work unit, if any.
+    /// The boolean is the shutting-down flag, so pollers learn they can
+    /// exit.
+    pub fn try_lease(&self, executor: &str) -> (Option<WorkAssignment>, bool) {
+        let mut state = self.lock();
+        self.reap_locked(&mut state);
+        let work = state
+            .queue
+            .lease_next(executor, Some(self.config.lease_timeout));
+        if let Some(w) = &work {
+            let event = JournalEvent::Dispatch {
+                job: w.job.clone(),
+                shard: w.shard,
+                executor: executor.to_string(),
+            };
+            state.journal(event);
+        }
+        (work, state.queue.shutting_down)
+    }
+
+    /// Blocking lease for an *in-process* executor: waits for work, returns
+    /// `None` once the queue is drained and shutdown was requested (or
+    /// immediately after [`CoordinatorHandle::halt`]).
+    pub fn lease_blocking(&self, executor: &str) -> Option<WorkAssignment> {
+        let mut state = self.lock();
+        loop {
+            if self.is_aborted() {
+                return None;
+            }
+            self.reap_locked(&mut state);
+            if let Some(w) = state.queue.lease_next(executor, None) {
+                let event = JournalEvent::Dispatch {
+                    job: w.job.clone(),
+                    shard: w.shard,
+                    executor: executor.to_string(),
+                };
+                state.journal(event);
+                return Some(w);
+            }
+            if state.queue.shutting_down {
+                return None;
+            }
+            // A timeout (rather than an untimed wait) doubles as the lease
+            // reaper: expired remote leases requeue even when no other
+            // event fires.
+            state = self
+                .wake
+                .wait_timeout(state, Duration::from_millis(200))
+                .expect("coordinator lock")
+                .0;
+        }
+    }
+
+    /// Extends a remote lease; returns the refreshed timeout.
+    pub fn heartbeat(&self, executor: &str, lease: u64) -> Result<Duration, String> {
+        let mut state = self.lock();
+        self.reap_locked(&mut state);
+        state
+            .queue
+            .heartbeat(executor, lease, self.config.lease_timeout)?;
+        Ok(self.config.lease_timeout)
+    }
+
+    /// Accepts a completed shard report from an executor, journals the
+    /// landing, and — when it was the job's last shard — the merged result.
+    pub fn complete_shard(
+        &self,
+        executor: &str,
+        lease: u64,
+        report: ShardReport,
+    ) -> Result<ShardLanding, String> {
+        let mut state = self.lock();
+        let landing = state.queue.complete_shard(executor, lease, report)?;
+        if !landing.ignored {
+            let event = JournalEvent::ShardDone {
+                job: landing.job.clone(),
+                shard: landing.shard,
+                executor: executor.to_string(),
+                progress: landing.shard_progress,
+            };
+            state.journal(event);
+            self.journal_transition(&mut state, &landing);
+        }
+        drop(state);
+        self.progress.notify_all();
+        Ok(landing)
+    }
+
+    /// Fails the job owning `lease` (executor panic or refused work unit).
+    pub fn fail_shard(
+        &self,
+        executor: &str,
+        lease: u64,
+        error: String,
+    ) -> Result<ShardLanding, String> {
+        let mut state = self.lock();
+        let landing = state.queue.fail_shard(executor, lease, error.clone())?;
+        if !landing.ignored {
+            let event = JournalEvent::Failed {
+                job: landing.job.clone(),
+                error,
+            };
+            state.journal(event);
+        }
+        drop(state);
+        self.progress.notify_all();
+        Ok(landing)
+    }
+
+    /// Journals a job reaching `Done`/`Failed` through a shard landing, plus
+    /// any evictions the finish triggered.
+    fn journal_transition(&self, state: &mut State, landing: &ShardLanding) {
+        match landing.status {
+            JobStatus::Done => {
+                let report = state.queue.jobs[&landing.job].report.clone();
+                if let Some(report) = report {
+                    let event = JournalEvent::Done {
+                        job: landing.job.clone(),
+                        report,
+                    };
+                    state.journal(event);
+                }
+            }
+            JobStatus::Failed => {
+                let error = state.queue.jobs[&landing.job]
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| "job failed".to_string());
+                let event = JournalEvent::Failed {
+                    job: landing.job.clone(),
+                    error,
+                };
+                state.journal(event);
+            }
+            _ => {}
+        }
+        for evicted in &landing.evicted {
+            let event = JournalEvent::Evict {
+                job: evicted.clone(),
+            };
+            state.journal(event);
+        }
+    }
+
+    /// Requeues expired leases and journals the requeues; called with the
+    /// state lock held on every lease/heartbeat/drain touch point, so no
+    /// dedicated reaper thread is needed.
+    fn reap_locked(&self, state: &mut State) {
+        let reaped = state
+            .queue
+            .reap_expired(Instant::now(), self.config.lease_timeout * 10);
+        for (job, shard, executor) in reaped {
+            eprintln!(
+                "[serve] lease on {job} shard {shard} (executor {executor}) expired — requeued"
+            );
+            let event = JournalEvent::Requeue {
+                job,
+                shard,
+                executor,
+            };
+            state.journal(event);
+        }
+    }
+}
+
+/// Applies replayed journal events to a fresh queue: completed jobs rebuild
+/// the result cache, failed jobs stay queryable, and everything else is
+/// re-enqueued (a job mid-flight at the crash restarts from its journaled
+/// configuration — shard grids are deterministic, so nothing is lost).
+fn replay_events(queue: &mut JobQueue, events: Vec<JournalEvent>) {
+    for event in events {
+        match event {
+            JournalEvent::Submit { job, config } => {
+                // The journal records canonical configs; trust but re-derive
+                // the key (it is a pure function of the config).
+                let key = config.cache_key();
+                if let Some(n) = job
+                    .strip_prefix("job-")
+                    .and_then(|n| n.parse::<usize>().ok())
+                {
+                    queue.submitted = queue.submitted.max(n);
+                }
+                queue.insert_queued_job(job, *config, key);
+            }
+            JournalEvent::Done { job, report } => {
+                if queue.jobs.contains_key(&job) {
+                    // Drop the job's queued work units before finishing it.
+                    queue.pending.retain(|w| w.job != job);
+                    // The replay owns the sole Arc, so this never clones.
+                    let report = Arc::try_unwrap(report).unwrap_or_else(|shared| (*shared).clone());
+                    queue.finish(&job, Ok(report));
+                }
+            }
+            JournalEvent::Failed { job, error } => {
+                if queue.jobs.contains_key(&job) {
+                    queue.pending.retain(|w| w.job != job);
+                    queue.finish(&job, Err(error));
+                }
+            }
+            // Dispatch/shard-done/requeue are an audit trail: the shards of
+            // unfinished jobs re-run from scratch (bit-identical), and
+            // evictions are re-derived from the Done order and the current
+            // cache cap (which may legitimately differ across restarts).
+            JournalEvent::Dispatch { .. }
+            | JournalEvent::ShardDone { .. }
+            | JournalEvent::Requeue { .. }
+            | JournalEvent::Evict { .. } => {}
+        }
+    }
+    // Replayed evictions counted during finish() are history, not news.
+    queue.epoch = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod::llm::config::LlmModel;
+    use bitmod::llm::proxy::ProxyConfig;
+    use bitmod::sweep::SweepDtype;
+
+    fn tiny(models: Vec<LlmModel>) -> SweepConfig {
+        SweepConfig::new(models, vec![3, 4]).with_proxy(ProxyConfig::tiny())
+    }
+
+    fn start(workers: usize, shards: usize) -> CoordinatorHandle {
+        Coordinator::start(CoordinatorConfig {
+            workers,
+            shards,
+            ..CoordinatorConfig::default()
+        })
+    }
+
+    #[test]
+    fn coordinator_runs_jobs_to_completion_and_dedups() {
+        let handle = start(2, 1);
+        let a = handle.coordinator().submit(&tiny(vec![LlmModel::Phi2B]));
+        let b = handle.coordinator().submit(&tiny(vec![LlmModel::Phi2B]));
+        assert_eq!(a.job_id, b.job_id);
+        assert!(b.deduped);
+        handle.coordinator().drain();
+        let view = handle.coordinator().status(&a.job_id).expect("job exists");
+        assert_eq!(view.status, JobStatus::Done);
+        assert_eq!(view.submissions, 2);
+        let report = handle.coordinator().result(&a.job_id).unwrap().unwrap();
+        assert_eq!(report.records.len(), 4); // 1 model × 2 dtypes × 2 bits
+        let stats = handle.coordinator().stats();
+        assert_eq!(stats.done, 1);
+        assert_eq!(stats.deduped_submissions, 1);
+        assert_eq!(stats.pool_harnesses, 1);
+        assert_eq!(stats.executors, 2, "both local executors registered");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn batched_jobs_share_harnesses_across_overlapping_grids() {
+        let handle = start(1, 1);
+        // Three jobs over two distinct models → exactly two harnesses built.
+        handle.coordinator().submit(&tiny(vec![LlmModel::Phi2B]));
+        handle.coordinator().submit(&tiny(vec![LlmModel::Opt1_3B]));
+        handle
+            .coordinator()
+            .submit(&tiny(vec![LlmModel::Phi2B, LlmModel::Opt1_3B]));
+        handle.coordinator().drain();
+        let stats = handle.coordinator().stats();
+        assert_eq!(stats.done, 3);
+        assert_eq!(stats.pool_harnesses, 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn sharded_coordinator_matches_whole_grid_run() {
+        let cfg = tiny(vec![LlmModel::Phi2B]).with_seed(5);
+        let direct = cfg.run();
+        let handle = start(2, 3);
+        let out = handle.coordinator().submit(&cfg);
+        handle.coordinator().drain();
+        let served = handle.coordinator().result(&out.job_id).unwrap().unwrap();
+        assert_eq!(
+            serde_json::to_string(&served.records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap()
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_ids_and_unfinished_results_are_reported() {
+        let handle = start(1, 1);
+        assert!(handle.coordinator().status("job-99").is_none());
+        assert!(handle.coordinator().result("job-99").is_none());
+        let out = handle.coordinator().submit(
+            &SweepConfig::new(vec![LlmModel::Phi2B], vec![4]).with_proxy(ProxyConfig::tiny()),
+        );
+        // Immediately after submit, the result may legitimately not be ready.
+        match handle.coordinator().result(&out.job_id) {
+            Some(Ok(_)) => {}
+            Some(Err(msg)) => assert!(msg.contains("not available")),
+            None => panic!("job must exist"),
+        }
+        handle.coordinator().drain();
+        assert!(handle.coordinator().result(&out.job_id).unwrap().is_ok());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn capped_coordinator_evicts_oldest_reports_fifo() {
+        let handle = Coordinator::start(CoordinatorConfig {
+            workers: 1,
+            cache_cap: 1,
+            ..CoordinatorConfig::default()
+        });
+        let first = handle.coordinator().submit(&tiny(vec![LlmModel::Phi2B]));
+        handle.coordinator().drain();
+        assert!(handle.coordinator().result(&first.job_id).unwrap().is_ok());
+        // Finishing a second job evicts the first report.
+        let second = handle
+            .coordinator()
+            .submit(&tiny(vec![LlmModel::Phi2B]).with_seed(7));
+        handle.coordinator().drain();
+        assert!(handle.coordinator().status(&first.job_id).is_none());
+        assert!(handle.coordinator().result(&first.job_id).is_none());
+        assert!(handle.coordinator().result(&second.job_id).unwrap().is_ok());
+        let stats = handle.coordinator().stats();
+        assert_eq!(stats.evicted_jobs, 1);
+        assert_eq!(stats.done, 1);
+        // The evicted grid re-runs instead of hitting the cache.
+        let retry = handle.coordinator().submit(&tiny(vec![LlmModel::Phi2B]));
+        assert!(!retry.deduped);
+        handle.coordinator().drain();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dedup_distinguishes_every_grid_axis() {
+        let handle = start(1, 1);
+        let base = tiny(vec![LlmModel::Phi2B]);
+        let a = handle.coordinator().submit(&base);
+        let b = handle
+            .coordinator()
+            .submit(&base.clone().with_dtypes(vec![SweepDtype::Mx]));
+        assert_ne!(a.job_id, b.job_id);
+        handle.coordinator().drain();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn executor_less_shutdown_abandons_stranded_work_instead_of_hanging() {
+        // A pure coordinator with no attached executors must not hang its
+        // own shutdown on queued work nobody can run: after the grace
+        // period the jobs fail with a named reason and drain() returns.
+        let handle = Coordinator::start(CoordinatorConfig {
+            workers: 0,
+            lease_timeout: Duration::from_millis(100),
+            ..CoordinatorConfig::default()
+        });
+        let out = handle.coordinator().submit(&tiny(vec![LlmModel::Phi2B]));
+        handle.coordinator().request_shutdown();
+        std::thread::sleep(Duration::from_millis(350)); // > 3× lease timeout
+        let started = Instant::now();
+        handle.coordinator().drain();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drain must not hang on stranded work"
+        );
+        let view = handle.coordinator().status(&out.job_id).unwrap();
+        assert_eq!(view.status, JobStatus::Failed);
+        assert!(
+            view.error.unwrap().contains("abandoned at shutdown"),
+            "the abandonment is a named failure"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn journal_restores_queued_and_completed_jobs_across_restarts() {
+        let dir =
+            std::env::temp_dir().join(format!("bitmod-coordinator-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let with_state = || CoordinatorConfig {
+            workers: 1,
+            shards: 2,
+            state_dir: Some(dir.clone()),
+            ..CoordinatorConfig::default()
+        };
+        let done_cfg = tiny(vec![LlmModel::Phi2B]);
+        let queued_cfg = tiny(vec![LlmModel::Phi2B]).with_seed(9);
+
+        // First life: one job completes, a second is accepted but never runs
+        // (the coordinator is halted abruptly).
+        let (done_id, queued_id) = {
+            let handle = Coordinator::start(with_state());
+            let done = handle.coordinator().submit(&done_cfg);
+            handle.coordinator().drain();
+            handle.halt();
+            // Submitting after halt still journals (the accept path is
+            // independent of executors) — this is the "queued at crash" job.
+            let handle = Coordinator::start(CoordinatorConfig {
+                workers: 0,
+                ..with_state()
+            });
+            let queued = handle.coordinator().submit(&queued_cfg);
+            assert_eq!(
+                handle.coordinator().status(&queued.job_id).unwrap().status,
+                JobStatus::Queued
+            );
+            handle.halt();
+            (done.job_id, queued.job_id)
+        };
+
+        // Second life: the done job serves from the rebuilt cache, the
+        // queued job resumes and completes.
+        let handle = Coordinator::start(with_state());
+        let c = handle.coordinator();
+        assert_eq!(c.status(&done_id).unwrap().status, JobStatus::Done);
+        assert!(c.submit(&done_cfg).deduped, "result cache rebuilt");
+        c.drain();
+        assert_eq!(c.status(&queued_id).unwrap().status, JobStatus::Done);
+        let resumed = c.result(&queued_id).unwrap().unwrap();
+        let direct = queued_cfg.canonicalized().run();
+        assert_eq!(
+            serde_json::to_string(&resumed.records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap(),
+            "resumed job is bit-identical to an uninterrupted run"
+        );
+        // Job ids continue past the replayed ones.
+        let fresh = c.submit(&tiny(vec![LlmModel::Opt1_3B]));
+        assert_ne!(fresh.job_id, done_id);
+        assert_ne!(fresh.job_id, queued_id);
+        c.drain();
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,400 @@
+//! The executor half of the coordinator/executor split.
+//!
+//! Two kinds of executor lease work units from a [`Coordinator`] and return
+//! [`bitmod::shard::ShardReport`]s:
+//!
+//! * **in-process** — threads spawned by [`Coordinator::start`], calling
+//!   the coordinator directly and sharing its [`HarnessPool`].  This is
+//!   the default, behavior-preserving path.
+//! * **remote** ([`attach_and_run`]) — `bitmod-cli worker --attach <addr>`
+//!   processes that register over TCP with the `attach` verb, poll `lease`,
+//!   heartbeat while running, and return results with `shard_result`.  A
+//!   remote executor that dies mid-shard simply stops heart-beating; the
+//!   coordinator requeues the shard for someone else.
+//!
+//! Both kinds run the exact same [`run_shard_with_pool`] the offline
+//! `bitmod-cli worker --shard k/n` path uses, so records are bit-identical
+//! wherever a shard lands.
+
+use crate::coordinator::Coordinator;
+use bitmod::shard::{run_shard_with_pool, ShardSpec};
+use bitmod::sweep::SweepConfig;
+use bitmod_llm::eval::HarnessPool;
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The in-process executor loop: lease → run → report, until the
+/// coordinator drains and shuts down (or halts).
+pub(crate) fn run_local(coordinator: &Coordinator, index: usize) {
+    let exec = coordinator.register_executor(&format!("local-{index}"), false);
+    while let Some(work) = coordinator.lease_blocking(&exec) {
+        // A panicking shard must fail its job, not kill the executor.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_shard_with_pool(&work.config, work.shard, coordinator.pool())
+        }));
+        let _ = match result {
+            Ok(report) => coordinator.complete_shard(&exec, work.lease, report),
+            Err(p) => coordinator.fail_shard(&exec, work.lease, panic_message(p)),
+        };
+    }
+}
+
+/// Turns a caught panic payload into a job-failure message.
+pub(crate) fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("sweep panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("sweep panicked: {s}")
+    } else {
+        "sweep panicked".to_string()
+    }
+}
+
+/// Connects to `addr`, retrying connection-refused/reset failures with short
+/// exponential backoff (50 ms doubling to 1.6 s, ~3 s total) — the
+/// daemon-still-starting race every client and attaching worker hits in CI
+/// and scripts.  Permanent failures (an unresolvable host, a malformed
+/// address) surface immediately instead of burning the whole backoff budget.
+pub fn connect_with_backoff(addr: &str) -> Result<TcpStream, String> {
+    let mut delay = Duration::from_millis(50);
+    let mut last_error = String::new();
+    for attempt in 0..7 {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay *= 2;
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                let transient = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::AddrNotAvailable
+                );
+                if !transient {
+                    return Err(format!("could not connect to daemon at {addr}: {e}"));
+                }
+                last_error = e.to_string();
+            }
+        }
+    }
+    Err(format!(
+        "could not connect to daemon at {addr}: {last_error}"
+    ))
+}
+
+/// A line-JSON protocol client: one request line out, one response line
+/// back, with `ok: false` responses turned into `Err` carrying the daemon's
+/// message.  This is the one client implementation in the workspace — the
+/// executor loop uses it directly and `bitmod-cli`'s `submit`/`status`
+/// client wraps it, so protocol framing cannot drift between the two.
+///
+/// The streaming `watch` verb is driven with [`WireClient::send`] plus
+/// repeated [`WireClient::read_response`].
+#[derive(Debug)]
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: String,
+}
+
+impl WireClient {
+    /// Connects to a `bitmod-cli serve --listen` daemon, retrying briefly
+    /// if the daemon is still starting (see [`connect_with_backoff`]).
+    pub fn connect(addr: &str) -> Result<WireClient, String> {
+        let stream = connect_with_backoff(addr)?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("could not clone connection: {e}"))?,
+        );
+        Ok(WireClient {
+            reader,
+            writer: stream,
+            addr: addr.to_string(),
+        })
+    }
+
+    /// Sends one request line without waiting for a response (the streaming
+    /// half of `watch`; pair with [`WireClient::read_response`]).
+    pub fn send(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send failed: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send failed: {e}"))
+    }
+
+    /// Reads and parses one response line; `ok: false` becomes `Err` with
+    /// the daemon's message.
+    pub fn read_response(&mut self) -> Result<Vec<(String, Value)>, String> {
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive failed: {e}"))?;
+        if n == 0 {
+            return Err(format!("daemon at {} closed the connection", self.addr));
+        }
+        let value = serde_json::parse_value(response.trim())
+            .map_err(|e| format!("daemon sent invalid JSON: {e}"))?;
+        let map = value
+            .as_map()
+            .ok_or("daemon response was not a JSON object")?
+            .to_vec();
+        match field(&map, "ok").and_then(Value::as_bool) {
+            Some(true) => Ok(map),
+            _ => Err(field(&map, "error")
+                .and_then(Value::as_str)
+                .unwrap_or("daemon reported an unspecified error")
+                .to_string()),
+        }
+    }
+
+    /// Sends one request line and returns the parsed response object.
+    pub fn request(&mut self, line: &str) -> Result<Vec<(String, Value)>, String> {
+        self.send(line)?;
+        self.read_response()
+    }
+}
+
+/// Looks up a top-level field of a response object.
+pub fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Options for a remote executor session.
+#[derive(Debug, Clone)]
+pub struct AttachOptions {
+    /// Daemon address (`host:port`, see `bitmod-cli serve --listen`).
+    pub addr: String,
+    /// Self-reported executor name (shows up in the daemon's journal).
+    pub name: String,
+    /// Idle poll interval between `lease` attempts when the queue is empty.
+    pub poll: Duration,
+    /// Suppress per-shard progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl AttachOptions {
+    /// Defaults: 300 ms idle poll, chatty.
+    pub fn new(addr: &str, name: &str) -> Self {
+        Self {
+            addr: addr.to_string(),
+            name: name.to_string(),
+            poll: Duration::from_millis(300),
+            quiet: false,
+        }
+    }
+}
+
+/// What a remote executor session accomplished before the daemon shut down.
+#[derive(Debug, Clone)]
+pub struct AttachOutcome {
+    /// The executor id the daemon assigned (last one, if re-attached).
+    pub executor: String,
+    /// Shards run to completion.
+    pub shards_run: usize,
+    /// Shards that panicked (reported as failures to the daemon).
+    pub shards_failed: usize,
+}
+
+/// The remote executor loop: attach to a daemon, lease shards, heartbeat
+/// while running, return reports, repeat until the daemon reports
+/// `shutting_down`.  A dropped connection triggers one full re-attach (the
+/// daemon may have restarted from its journal); leases lost that way are
+/// requeued server-side by the lease timeout.
+pub fn attach_and_run(opts: &AttachOptions) -> Result<AttachOutcome, String> {
+    let mut session = attach(opts)?;
+    let pool = HarnessPool::new();
+    let mut shards_run = 0usize;
+    let mut shards_failed = 0usize;
+    let mut reconnects = 0usize;
+    loop {
+        let lease_line = format!(r#"{{"cmd":"lease","executor":"{}"}}"#, session.executor);
+        let response = match session.wire.request(&lease_line) {
+            Ok(r) => {
+                reconnects = 0;
+                r
+            }
+            Err(e) => {
+                // One re-attach per failure, with backoff inside connect:
+                // the daemon may be restarting from its journal.
+                reconnects += 1;
+                if reconnects > 2 {
+                    return Err(format!("lost the daemon at {}: {e}", opts.addr));
+                }
+                if !opts.quiet {
+                    eprintln!("[worker] connection lost ({e}); re-attaching");
+                }
+                session = attach(opts)?;
+                continue;
+            }
+        };
+        let shutting_down = field(&response, "shutting_down")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let work = match field(&response, "work") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(v),
+        };
+        let Some(work) = work else {
+            if shutting_down {
+                return Ok(AttachOutcome {
+                    executor: session.executor,
+                    shards_run,
+                    shards_failed,
+                });
+            }
+            std::thread::sleep(opts.poll);
+            continue;
+        };
+        let (lease, job, shard, config) = parse_work(work)?;
+        if !opts.quiet {
+            eprintln!(
+                "[worker] {} leased {job} shard {shard} ({} grid points)",
+                session.executor,
+                bitmod::shard::shard_len(&config, shard)
+            );
+        }
+
+        // Heartbeat from a second connection while the shard runs, so a
+        // long shard does not hit the lease timeout.
+        let stop = Arc::new(AtomicBool::new(false));
+        let beat = spawn_heartbeat(
+            &opts.addr,
+            &session.executor,
+            lease,
+            session.lease_timeout / 3,
+            Arc::clone(&stop),
+        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_shard_with_pool(&config, shard, &pool)
+        }))
+        .map_err(panic_message);
+        stop.store(true, Ordering::SeqCst);
+        let _ = beat.join();
+
+        let mut fields = vec![
+            ("cmd".to_string(), Value::Str("shard_result".into())),
+            ("executor".to_string(), Value::Str(session.executor.clone())),
+            ("lease".to_string(), Value::U64(lease)),
+        ];
+        fields.push(match &outcome {
+            Ok(report) => ("report".to_string(), report.to_value()),
+            Err(e) => ("error".to_string(), Value::Str(e.clone())),
+        });
+        let result_line =
+            serde_json::to_string(&Value::Map(fields)).expect("shard results serialize");
+        match session.wire.request(&result_line) {
+            Ok(_) => match outcome {
+                Ok(_) => shards_run += 1,
+                Err(_) => shards_failed += 1,
+            },
+            // An expired/unknown lease (we heart-beat too late, the shard
+            // was requeued) is the protocol working, not a worker error.
+            Err(e) => {
+                if !opts.quiet {
+                    eprintln!("[worker] result for lease {lease} rejected: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// One attached session: the persistent connection plus the identity and
+/// lease timeout the daemon assigned.
+#[derive(Debug)]
+struct Session {
+    wire: WireClient,
+    executor: String,
+    lease_timeout: Duration,
+}
+
+fn attach(opts: &AttachOptions) -> Result<Session, String> {
+    let mut wire = WireClient::connect(&opts.addr)?;
+    let fields = vec![
+        ("cmd".to_string(), Value::Str("attach".into())),
+        ("name".to_string(), Value::Str(opts.name.clone())),
+    ];
+    let line = serde_json::to_string(&Value::Map(fields)).expect("attach serializes");
+    let response = wire.request(&line)?;
+    let executor = field(&response, "executor")
+        .and_then(Value::as_str)
+        .ok_or("attach response carried no executor id")?
+        .to_string();
+    let lease_ms = field(&response, "lease_ms")
+        .and_then(Value::as_u64)
+        .unwrap_or(10_000);
+    if !opts.quiet {
+        eprintln!(
+            "[worker] attached to {} as {executor} (lease {lease_ms} ms)",
+            opts.addr
+        );
+    }
+    Ok(Session {
+        wire,
+        executor,
+        lease_timeout: Duration::from_millis(lease_ms.max(100)),
+    })
+}
+
+/// Parses a `lease` response's `work` object.
+fn parse_work(work: &Value) -> Result<(u64, String, ShardSpec, SweepConfig), String> {
+    let map = work.as_map().ok_or("`work` must be an object")?;
+    let lease = field(map, "lease")
+        .and_then(Value::as_u64)
+        .ok_or("work carried no lease id")?;
+    let job = field(map, "job")
+        .and_then(Value::as_str)
+        .ok_or("work carried no job id")?
+        .to_string();
+    let shard = ShardSpec::parse(
+        field(map, "shard")
+            .and_then(Value::as_str)
+            .ok_or("work carried no shard spec")?,
+    )?;
+    let config_value = field(map, "config").ok_or("work carried no config")?;
+    let config: SweepConfig =
+        serde_json::from_value(config_value).map_err(|e| format!("bad work config: {e}"))?;
+    Ok((lease, job, shard, config))
+}
+
+/// Heartbeats `lease` every `interval` from its own connection until `stop`
+/// is set.  Failures are deliberately ignored: a missed heartbeat at worst
+/// expires the lease, and the coordinator requeues the shard — the exact
+/// recovery path a dead worker takes.
+fn spawn_heartbeat(
+    addr: &str,
+    executor: &str,
+    lease: u64,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    let addr = addr.to_string();
+    let line = format!(r#"{{"cmd":"heartbeat","executor":"{executor}","lease":{lease}}}"#);
+    let interval = interval.max(Duration::from_millis(50));
+    std::thread::spawn(move || {
+        let mut wire = match WireClient::connect(&addr) {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        while !stop.load(Ordering::SeqCst) {
+            if wire.request(&line).is_err() {
+                return;
+            }
+            // Sleep in small steps so `stop` is honored promptly.
+            let mut slept = Duration::ZERO;
+            while slept < interval && !stop.load(Ordering::SeqCst) {
+                let step = Duration::from_millis(25).min(interval - slept);
+                std::thread::sleep(step);
+                slept += step;
+            }
+        }
+    })
+}

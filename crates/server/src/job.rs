@@ -1,17 +1,29 @@
-//! Job bookkeeping for the serving engine: identifiers, lifecycle states,
-//! and the queue/dedup-cache state machine.
+//! Job bookkeeping for the serving coordinator: identifiers, lifecycle
+//! states, shard-level work units, executor leases, and the queue/dedup-cache
+//! state machine.
+//!
+//! A submitted job is decomposed into [`bitmod::shard::ShardSpec`] work units
+//! at accept time.  Executors — in-process threads or remote
+//! `bitmod-cli worker --attach` processes — *lease* work units one at a
+//! time; a lease either completes (the executor returns the
+//! [`ShardReport`]) or expires (missed heartbeats), in which case the work
+//! unit is requeued for another executor.  When the last shard of a job
+//! lands, the coordinator merges the reports with
+//! [`bitmod::shard::merge_shards`], bit-identically to an unsharded run.
 
+use bitmod::shard::{merge_shards, ShardProgress, ShardReport, ShardSpec};
 use bitmod::sweep::{SweepConfig, SweepReport};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Lifecycle state of a submitted sweep job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobStatus {
-    /// Accepted and waiting for a worker.
+    /// Accepted and waiting for an executor (no shard leased yet).
     Queued,
-    /// A worker is executing the sweep.
+    /// At least one shard is leased or completed.
     Running,
     /// Finished; the report is available.
     Done,
@@ -31,7 +43,7 @@ impl JobStatus {
     }
 }
 
-/// One job tracked by the engine.
+/// One job tracked by the coordinator.
 #[derive(Debug)]
 pub struct Job {
     /// The job identifier (`job-1`, `job-2`, … in submission order).
@@ -44,7 +56,10 @@ pub struct Job {
     pub status: JobStatus,
     /// How many submissions were coalesced into this job (1 = no dedup hit).
     pub submissions: usize,
-    /// The completed report, once `status == Done`.
+    /// Completed shard reports, indexed by shard index (`None` = not yet
+    /// returned by any executor).
+    pub shard_reports: Vec<Option<ShardReport>>,
+    /// The completed (merged) report, once `status == Done`.
     pub report: Option<Arc<SweepReport>>,
     /// The failure reason, once `status == Failed`.
     pub error: Option<String>,
@@ -59,6 +74,10 @@ pub struct JobView {
     pub status: JobStatus,
     /// How many submissions were coalesced into this job.
     pub submissions: usize,
+    /// Shards the job was decomposed into.
+    pub shards_total: usize,
+    /// Shards completed so far.
+    pub shards_done: usize,
     /// Number of completed records, once done.
     pub records: Option<usize>,
     /// Number of skipped grid points, once done.
@@ -76,21 +95,93 @@ impl Job {
             id: self.id.clone(),
             status: self.status,
             submissions: self.submissions,
+            shards_total: self.shard_reports.len(),
+            shards_done: self.shards_done(),
             records: self.report.as_ref().map(|r| r.records.len()),
             skipped: self.report.as_ref().map(|r| r.skipped.len()),
             wall_seconds: self.report.as_ref().map(|r| r.wall_seconds),
             error: self.error.clone(),
         }
     }
+
+    /// Number of shard reports that have landed.  (The merge consumes the
+    /// per-shard reports when the job finishes, so a `Done` job reports all
+    /// of its shards as done rather than re-counting the drained slots.)
+    pub fn shards_done(&self) -> usize {
+        if self.status == JobStatus::Done {
+            self.shard_reports.len()
+        } else {
+            self.shard_reports.iter().filter(|r| r.is_some()).count()
+        }
+    }
 }
 
-/// The engine's mutable state: FIFO queue, job table, and the dedup index
-/// from canonical configuration keys to job ids.
+/// One dispatchable work unit: a shard of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkItem {
+    /// The owning job.
+    pub job: String,
+    /// The shard of the job's grid this unit covers.
+    pub shard: ShardSpec,
+}
+
+/// A work unit handed to an executor, together with everything needed to run
+/// it: the lease identifier (echoed on completion/heartbeat) and the job's
+/// canonical configuration.
+#[derive(Debug, Clone)]
+pub struct WorkAssignment {
+    /// Lease identifier; completing or heart-beating quotes it.
+    pub lease: u64,
+    /// The owning job.
+    pub job: String,
+    /// The shard to run.
+    pub shard: ShardSpec,
+    /// The job's (canonicalized) sweep configuration.
+    pub config: SweepConfig,
+}
+
+/// An outstanding lease: which executor holds which work unit, and when the
+/// lease expires without a heartbeat (`None` = never, the in-process case).
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// The owning job.
+    pub job: String,
+    /// The leased shard.
+    pub shard: ShardSpec,
+    /// The executor holding the lease.
+    pub executor: String,
+    /// Expiry deadline; `None` for in-process executors (a thread cannot
+    /// silently vanish — a panic fails the shard explicitly).
+    pub expires: Option<Instant>,
+}
+
+/// A registered executor.
+#[derive(Debug, Clone)]
+pub struct ExecutorInfo {
+    /// The executor identifier (`exec-1`, …).
+    pub id: String,
+    /// Self-reported name (`worker@host`, or `local-0` for threads).
+    pub name: String,
+    /// Whether the executor attached over the wire (leases expire) rather
+    /// than running in-process (leases do not).
+    pub remote: bool,
+    /// Shards this executor has completed.
+    pub shards_done: usize,
+    /// Last time this executor touched the coordinator (attach, lease,
+    /// heartbeat, or landing).  Remote executors idle past a TTL are pruned
+    /// from the registry — re-attaching workers would otherwise grow it (and
+    /// `ping`'s executor counts) forever.
+    pub last_seen: Instant,
+}
+
+/// The coordinator's mutable state: shard-level FIFO dispatch queue, job
+/// table, lease table, executor registry, and the dedup index from canonical
+/// configuration keys to job ids.
 ///
-/// The queue holds job *ids*; the job table owns the data.  A submission
-/// whose canonical key matches an existing job (whatever its state) attaches
-/// to that job instead of enqueueing a duplicate — a completed job doubles as
-/// the result cache.
+/// The dispatch queue holds [`WorkItem`]s; the job table owns the data.  A
+/// submission whose canonical key matches an existing job (whatever its
+/// state) attaches to that job instead of enqueueing a duplicate — a
+/// completed job doubles as the result cache.
 ///
 /// The result cache is size-capped: at most [`JobQueue::cache_cap`] `Done`
 /// jobs are retained, and finishing a job beyond the cap evicts the
@@ -101,14 +192,26 @@ impl Job {
 pub struct JobQueue {
     /// Jobs by id.
     pub jobs: HashMap<String, Job>,
-    /// Queued job ids, oldest first.
-    pub pending: VecDeque<String>,
+    /// Queued work units, oldest job first.
+    pub pending: VecDeque<WorkItem>,
+    /// Outstanding leases by lease id.
+    pub leases: HashMap<u64, Lease>,
+    /// Registered executors by id.
+    pub executors: HashMap<String, ExecutorInfo>,
     /// Canonical config key → job id (the dedup/result cache).
     pub by_key: HashMap<String, String>,
     /// Total jobs created (drives id assignment; dedup hits do not count).
     pub submitted: usize,
-    /// True once shutdown has been requested; workers drain and exit.
+    /// Total leases issued (drives lease-id assignment).
+    pub leased: u64,
+    /// Total executors registered (drives executor-id assignment).
+    pub registered: usize,
+    /// Work units requeued after a lease expired.
+    pub requeued: usize,
+    /// True once shutdown has been requested; executors drain and exit.
     pub shutting_down: bool,
+    /// Shards each job is decomposed into at submit time.
+    pub shards_per_job: usize,
     /// Maximum number of `Done` jobs retained as the result cache
     /// (`usize::MAX` = unbounded, the default).
     pub cache_cap: usize,
@@ -117,11 +220,18 @@ pub struct JobQueue {
     pub done_order: VecDeque<String>,
     /// Total jobs evicted from the result cache so far.
     pub evicted: usize,
+    /// Monotone progress counter, bumped on every observable state change
+    /// (shard completion, job transition) — what `watch` streams key off.
+    pub epoch: u64,
+    /// Last executor touch (registration, lease, heartbeat, or landing).
+    /// A shutting-down pure coordinator uses this to decide its queued work
+    /// is stranded — no executor exists to drain it — instead of hanging.
+    pub last_executor_activity: Instant,
 }
 
 impl Default for JobQueue {
     fn default() -> Self {
-        Self::with_cache_cap(usize::MAX)
+        Self::new(usize::MAX, 1)
     }
 }
 
@@ -136,23 +246,90 @@ pub struct SubmitOutcome {
     pub deduped: bool,
 }
 
+/// What landed when a shard report was accepted: the job's new state, plus
+/// the ids of any jobs the result cache evicted as a consequence.
+#[derive(Debug, Clone)]
+pub struct ShardLanding {
+    /// The owning job.
+    pub job: String,
+    /// The completed shard.
+    pub shard: ShardSpec,
+    /// Shards done / total after this landing.
+    pub progress: (usize, usize),
+    /// What the completed shard itself contributed (records/skipped/wall),
+    /// when a report actually landed — `None` for failures and ignored
+    /// duplicates.
+    pub shard_progress: Option<ShardProgress>,
+    /// The job's status after this landing (`Done` when this was the last
+    /// shard and the merge succeeded, `Failed` if the merge refused).
+    pub status: JobStatus,
+    /// Jobs evicted from the result cache by this job finishing.
+    pub evicted: Vec<String>,
+    /// True when the report was silently dropped (the job had already
+    /// failed or finished — e.g. a late report after a lease expired and
+    /// the requeued copy completed first).
+    pub ignored: bool,
+}
+
 impl JobQueue {
-    /// An empty queue retaining at most `cache_cap` completed reports.
-    pub fn with_cache_cap(cache_cap: usize) -> Self {
+    /// An empty queue retaining at most `cache_cap` completed reports and
+    /// decomposing each job into `shards_per_job` work units.
+    pub fn new(cache_cap: usize, shards_per_job: usize) -> Self {
         Self {
             jobs: HashMap::new(),
             pending: VecDeque::new(),
+            leases: HashMap::new(),
+            executors: HashMap::new(),
             by_key: HashMap::new(),
             submitted: 0,
+            leased: 0,
+            registered: 0,
+            requeued: 0,
             shutting_down: false,
+            shards_per_job: shards_per_job.max(1),
             cache_cap,
             done_order: VecDeque::new(),
             evicted: 0,
+            epoch: 0,
+            last_executor_activity: Instant::now(),
+        }
+    }
+
+    /// An empty queue retaining at most `cache_cap` completed reports (one
+    /// work unit per job).
+    pub fn with_cache_cap(cache_cap: usize) -> Self {
+        Self::new(cache_cap, 1)
+    }
+
+    /// Registers an executor and returns its id.
+    pub fn register_executor(&mut self, name: &str, remote: bool) -> String {
+        self.last_executor_activity = Instant::now();
+        self.registered += 1;
+        let id = format!("exec-{}", self.registered);
+        self.executors.insert(
+            id.clone(),
+            ExecutorInfo {
+                id: id.clone(),
+                name: name.to_string(),
+                remote,
+                shards_done: 0,
+                last_seen: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Marks an executor as alive (its registry entry survives pruning).
+    fn touch_executor(&mut self, executor: &str) {
+        self.last_executor_activity = Instant::now();
+        if let Some(e) = self.executors.get_mut(executor) {
+            e.last_seen = Instant::now();
         }
     }
 
     /// Submits a configuration: either attaches to the job already covering
-    /// its canonical form, or creates and enqueues a new job.
+    /// its canonical form, or creates a job and enqueues its shard work
+    /// units.
     ///
     /// A `Failed` job does not absorb new submissions — resubmitting its
     /// grid enqueues a fresh job (the retry path), and the new job takes
@@ -172,49 +349,280 @@ impl JobQueue {
         }
         self.submitted += 1;
         let id = format!("job-{}", self.submitted);
-        self.jobs.insert(
-            id.clone(),
-            Job {
-                id: id.clone(),
-                config: canonical,
-                cache_key: cache_key.clone(),
-                status: JobStatus::Queued,
-                submissions: 1,
-                report: None,
-                error: None,
-            },
-        );
-        self.by_key.insert(cache_key, id.clone());
-        self.pending.push_back(id.clone());
+        self.insert_queued_job(id.clone(), canonical, cache_key);
         SubmitOutcome {
             job_id: id,
             deduped: false,
         }
     }
 
-    /// Pops the oldest queued job and marks it running; `None` if the queue
-    /// is empty.
-    pub fn take_next(&mut self) -> Option<(String, SweepConfig)> {
-        let id = self.pending.pop_front()?;
-        let job = self.jobs.get_mut(&id).expect("queued id exists");
-        job.status = JobStatus::Running;
-        Some((id, job.config.clone()))
+    /// Creates a `Queued` job with the given id and enqueues its work units
+    /// — the shared tail of [`JobQueue::submit`] and journal replay.
+    pub(crate) fn insert_queued_job(&mut self, id: String, canonical: SweepConfig, key: String) {
+        self.jobs.insert(
+            id.clone(),
+            Job {
+                id: id.clone(),
+                config: canonical,
+                cache_key: key.clone(),
+                status: JobStatus::Queued,
+                submissions: 1,
+                shard_reports: vec![None; self.shards_per_job],
+                report: None,
+                error: None,
+            },
+        );
+        self.by_key.insert(key, id.clone());
+        for shard in ShardSpec::all(self.shards_per_job) {
+            self.pending.push_back(WorkItem {
+                job: id.clone(),
+                shard,
+            });
+        }
+        self.epoch += 1;
     }
 
-    /// Records a finished job, then enforces the result-cache cap by
-    /// evicting the oldest `Done` jobs beyond it.
-    pub fn finish(&mut self, id: &str, result: Result<SweepReport, String>) {
-        let job = self.jobs.get_mut(id).expect("running id exists");
+    /// Leases the oldest queued work unit to `executor`; `None` if the queue
+    /// is empty.  Remote leases expire `timeout` from now unless extended by
+    /// [`JobQueue::heartbeat`]; in-process leases (`timeout == None`) never
+    /// expire.
+    pub fn lease_next(
+        &mut self,
+        executor: &str,
+        timeout: Option<Duration>,
+    ) -> Option<WorkAssignment> {
+        self.touch_executor(executor);
+        let item = self.pending.pop_front()?;
+        let job = self.jobs.get_mut(&item.job).expect("queued id exists");
+        if job.status == JobStatus::Queued {
+            job.status = JobStatus::Running;
+            self.epoch += 1;
+        }
+        self.leased += 1;
+        let lease = self.leased;
+        self.leases.insert(
+            lease,
+            Lease {
+                job: item.job.clone(),
+                shard: item.shard,
+                executor: executor.to_string(),
+                expires: timeout.map(|t| Instant::now() + t),
+            },
+        );
+        Some(WorkAssignment {
+            lease,
+            job: item.job,
+            shard: item.shard,
+            config: job.config.clone(),
+        })
+    }
+
+    /// Extends a remote lease's deadline to `timeout` from now.
+    pub fn heartbeat(
+        &mut self,
+        executor: &str,
+        lease: u64,
+        timeout: Duration,
+    ) -> Result<(), String> {
+        self.touch_executor(executor);
+        let l = self
+            .leases
+            .get_mut(&lease)
+            .ok_or_else(|| format!("unknown or expired lease {lease}"))?;
+        if l.executor != executor {
+            return Err(format!("lease {lease} is held by {}", l.executor));
+        }
+        if l.expires.is_some() {
+            l.expires = Some(Instant::now() + timeout);
+        }
+        Ok(())
+    }
+
+    /// Requeues every lease that expired before `now` (front of the queue,
+    /// so recovered shards run before fresh work) and returns the affected
+    /// `(job, shard, executor)` triples.  Also prunes *remote* executors
+    /// with no outstanding lease that have not touched the coordinator for
+    /// `executor_ttl` — re-attaching workers get a fresh id on every attach,
+    /// and without pruning the registry (and `ping`'s executor counts) would
+    /// grow forever.
+    pub fn reap_expired(
+        &mut self,
+        now: Instant,
+        executor_ttl: Duration,
+    ) -> Vec<(String, ShardSpec, String)> {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.expires.is_some_and(|e| e <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut reaped = Vec::new();
+        for id in expired {
+            let lease = self.leases.remove(&id).expect("listed above");
+            // A failed job's pending items were dropped; don't resurrect it.
+            if self
+                .jobs
+                .get(&lease.job)
+                .is_some_and(|j| matches!(j.status, JobStatus::Queued | JobStatus::Running))
+            {
+                self.pending.push_front(WorkItem {
+                    job: lease.job.clone(),
+                    shard: lease.shard,
+                });
+                self.requeued += 1;
+            }
+            reaped.push((lease.job, lease.shard, lease.executor));
+        }
+        if !reaped.is_empty() {
+            self.epoch += 1;
+        }
+        let leased: std::collections::HashSet<&str> =
+            self.leases.values().map(|l| l.executor.as_str()).collect();
+        self.executors.retain(|id, e| {
+            !e.remote || leased.contains(id.as_str()) || e.last_seen + executor_ttl > now
+        });
+        reaped
+    }
+
+    /// Accepts a completed shard report for `lease`.  When it is the job's
+    /// last outstanding shard, merges the reports and finishes the job
+    /// (enforcing the result-cache cap).
+    pub fn complete_shard(
+        &mut self,
+        executor: &str,
+        lease: u64,
+        report: ShardReport,
+    ) -> Result<ShardLanding, String> {
+        self.touch_executor(executor);
+        let l = self
+            .leases
+            .get(&lease)
+            .ok_or_else(|| format!("unknown or expired lease {lease}"))?;
+        if l.executor != executor {
+            return Err(format!("lease {lease} is held by {}", l.executor));
+        }
+        if report.shard != l.shard {
+            return Err(format!(
+                "lease {lease} covers shard {} but the report is for {}",
+                l.shard, report.shard
+            ));
+        }
+        let lease = self.leases.remove(&lease).expect("validated above");
+        if let Some(e) = self.executors.get_mut(executor) {
+            e.shards_done += 1;
+        }
+        let job = self
+            .jobs
+            .get_mut(&lease.job)
+            .ok_or_else(|| format!("job {} no longer exists", lease.job))?;
+        let shard = lease.shard;
+        // A late report for a job that already failed (or finished via a
+        // requeued copy of this very shard) is dropped, not an error.
+        if job.status != JobStatus::Running || job.shard_reports[shard.index].is_some() {
+            return Ok(ShardLanding {
+                job: lease.job,
+                shard,
+                progress: (job.shards_done(), job.shard_reports.len()),
+                shard_progress: None,
+                status: job.status,
+                evicted: Vec::new(),
+                ignored: true,
+            });
+        }
+        let shard_progress = Some(report.progress());
+        job.shard_reports[shard.index] = Some(report);
+        let done = job.shards_done();
+        let total = job.shard_reports.len();
+        self.epoch += 1;
+        if done < total {
+            return Ok(ShardLanding {
+                job: lease.job,
+                shard,
+                progress: (done, total),
+                shard_progress,
+                status: JobStatus::Running,
+                evicted: Vec::new(),
+                ignored: false,
+            });
+        }
+        // Last shard: merge and finish.
+        let shards: Vec<ShardReport> = job
+            .shard_reports
+            .iter_mut()
+            .map(|r| r.take().expect("all shards present"))
+            .collect();
+        let result = merge_shards(&shards);
+        let (status, evicted) = self.finish(&lease.job, result);
+        Ok(ShardLanding {
+            job: lease.job,
+            shard,
+            progress: (done, total),
+            shard_progress,
+            status,
+            evicted,
+            ignored: false,
+        })
+    }
+
+    /// Fails the job owning `lease` (an executor hit a panic running its
+    /// shard).  The job's queued work units are dropped; reports from its
+    /// other outstanding leases will be ignored when they arrive.
+    pub fn fail_shard(
+        &mut self,
+        executor: &str,
+        lease: u64,
+        error: String,
+    ) -> Result<ShardLanding, String> {
+        self.touch_executor(executor);
+        let l = self
+            .leases
+            .get(&lease)
+            .ok_or_else(|| format!("unknown or expired lease {lease}"))?;
+        if l.executor != executor {
+            return Err(format!("lease {lease} is held by {}", l.executor));
+        }
+        let lease = self.leases.remove(&lease).expect("validated above");
+        let job_id = lease.job.clone();
+        let already_terminal = self
+            .jobs
+            .get(&job_id)
+            .is_some_and(|j| !matches!(j.status, JobStatus::Queued | JobStatus::Running));
+        if !already_terminal {
+            self.pending.retain(|w| w.job != job_id);
+            self.finish(&job_id, Err(error));
+        }
+        let job = self.jobs.get(&job_id).expect("failed job stays queryable");
+        Ok(ShardLanding {
+            job: job_id.clone(),
+            shard: lease.shard,
+            progress: (job.shards_done(), job.shard_reports.len()),
+            shard_progress: None,
+            status: job.status,
+            evicted: Vec::new(),
+            ignored: already_terminal,
+        })
+    }
+
+    /// Records a finished job, then enforces the result-cache cap; returns
+    /// the job's new status and any evicted job ids.
+    pub fn finish(
+        &mut self,
+        id: &str,
+        result: Result<SweepReport, String>,
+    ) -> (JobStatus, Vec<String>) {
+        let job = self.jobs.get_mut(id).expect("finishing id exists");
+        self.epoch += 1;
         match result {
             Ok(report) => {
                 job.report = Some(Arc::new(report));
                 job.status = JobStatus::Done;
                 self.done_order.push_back(id.to_string());
-                self.evict_beyond_cap();
+                (JobStatus::Done, self.evict_beyond_cap())
             }
             Err(e) => {
                 job.error = Some(e);
                 job.status = JobStatus::Failed;
+                (JobStatus::Failed, Vec::new())
             }
         }
     }
@@ -222,7 +630,8 @@ impl JobQueue {
     /// Drops the oldest-finished `Done` jobs until at most
     /// [`JobQueue::cache_cap`] remain, removing them from the job table and
     /// (when they still own it) the dedup index.
-    fn evict_beyond_cap(&mut self) {
+    fn evict_beyond_cap(&mut self) -> Vec<String> {
+        let mut evicted = Vec::new();
         while self.done_order.len() > self.cache_cap {
             let old = self
                 .done_order
@@ -236,12 +645,20 @@ impl JobQueue {
                 }
             }
             self.evicted += 1;
+            evicted.push(old);
         }
+        evicted
     }
 
-    /// Whether any job is queued or running.
+    /// Whether any job is queued or running (work pending or leases
+    /// outstanding).
     pub fn has_live_jobs(&self) -> bool {
-        !self.pending.is_empty() || self.jobs.values().any(|j| j.status == JobStatus::Running)
+        !self.pending.is_empty()
+            || !self.leases.is_empty()
+            || self
+                .jobs
+                .values()
+                .any(|j| matches!(j.status, JobStatus::Queued | JobStatus::Running))
     }
 
     /// Snapshots every job, in submission order.
@@ -261,10 +678,20 @@ mod tests {
     use super::*;
     use bitmod::llm::config::LlmModel;
     use bitmod::llm::proxy::ProxyConfig;
+    use bitmod::shard::run_shard;
     use bitmod::sweep::SweepDtype;
 
     fn cfg() -> SweepConfig {
         SweepConfig::new(vec![LlmModel::Phi2B], vec![4]).with_proxy(ProxyConfig::tiny())
+    }
+
+    /// Lease + run + complete every pending shard of the queue in order.
+    fn run_all(q: &mut JobQueue, executor: &str) {
+        while let Some(work) = q.lease_next(executor, None) {
+            let report = run_shard(&work.config, work.shard);
+            q.complete_shard(executor, work.lease, report)
+                .expect("live lease completes");
+        }
     }
 
     #[test]
@@ -287,46 +714,152 @@ mod tests {
     }
 
     #[test]
-    fn lifecycle_queued_running_done() {
+    fn lifecycle_queued_leased_done() {
         let mut q = JobQueue::default();
+        let exec = q.register_executor("local-0", false);
         let out = q.submit(&cfg());
         assert_eq!(q.jobs[&out.job_id].status, JobStatus::Queued);
-        let (id, config) = q.take_next().expect("one queued job");
-        assert_eq!(id, out.job_id);
-        assert_eq!(q.jobs[&id].status, JobStatus::Running);
+        let work = q.lease_next(&exec, None).expect("one queued work unit");
+        assert_eq!(work.job, out.job_id);
+        assert_eq!(work.shard, ShardSpec::new(0, 1).unwrap());
+        assert_eq!(q.jobs[&out.job_id].status, JobStatus::Running);
         assert!(q.has_live_jobs());
-        q.finish(&id, Ok(config.run()));
-        assert_eq!(q.jobs[&id].status, JobStatus::Done);
+        let report = run_shard(&work.config, work.shard);
+        let landing = q.complete_shard(&exec, work.lease, report).unwrap();
+        assert_eq!(landing.status, JobStatus::Done);
+        assert_eq!(landing.progress, (1, 1));
         assert!(!q.has_live_jobs());
         let view = &q.views()[0];
         assert_eq!(view.status, JobStatus::Done);
+        assert_eq!((view.shards_done, view.shards_total), (1, 1));
         assert!(view.records.unwrap() > 0);
+        assert_eq!(q.executors[&exec].shards_done, 1);
         // Dedup hit after completion: the done job is the result cache.
         assert!(q.submit(&cfg()).deduped);
     }
 
     #[test]
-    fn failed_jobs_carry_their_reason() {
-        let mut q = JobQueue::default();
+    fn multi_shard_jobs_merge_bit_identically() {
+        let mut q = JobQueue::new(usize::MAX, 3);
+        let exec = q.register_executor("local-0", false);
+        let out = q.submit(&cfg().with_seed(5));
+        assert_eq!(q.pending.len(), 3);
+        run_all(&mut q, &exec);
+        let job = &q.jobs[&out.job_id];
+        assert_eq!(job.status, JobStatus::Done);
+        let direct = cfg().with_seed(5).canonicalized().run();
+        assert_eq!(
+            serde_json::to_string(&job.report.as_ref().unwrap().records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap()
+        );
+    }
+
+    #[test]
+    fn expired_leases_requeue_for_another_executor() {
+        let mut q = JobQueue::new(usize::MAX, 2);
+        let flaky = q.register_executor("remote-flaky", true);
+        let steady = q.register_executor("remote-steady", true);
         let out = q.submit(&cfg());
-        let (id, _) = q.take_next().unwrap();
-        q.finish(&id, Err("worker exploded".to_string()));
+        let work = q
+            .lease_next(&flaky, Some(Duration::from_millis(1)))
+            .unwrap();
+        // Nothing expired yet at the moment of leasing…
+        assert!(q
+            .reap_expired(
+                Instant::now() - Duration::from_secs(1),
+                Duration::from_secs(3600),
+            )
+            .is_empty());
+        // …but once the deadline passes the shard goes back to the front.
+        std::thread::sleep(Duration::from_millis(2));
+        let reaped = q.reap_expired(Instant::now(), Duration::from_secs(3600));
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].0, out.job_id);
+        assert_eq!(reaped[0].2, flaky);
+        assert_eq!(q.requeued, 1);
+        assert_eq!(q.pending.front().unwrap().shard, work.shard);
+        // The steady executor picks everything up and the job completes.
+        run_all(&mut q, &steady);
+        assert_eq!(q.jobs[&out.job_id].status, JobStatus::Done);
+        // The flaky executor's late report is ignored, not an error — but
+        // its lease is long gone, so the completion is rejected.
+        let report = run_shard(&work.config, work.shard);
+        assert!(q.complete_shard(&flaky, work.lease, report).is_err());
+    }
+
+    #[test]
+    fn heartbeats_extend_remote_leases() {
+        let mut q = JobQueue::new(usize::MAX, 1);
+        let exec = q.register_executor("remote", true);
+        q.submit(&cfg());
+        let work = q
+            .lease_next(&exec, Some(Duration::from_millis(50)))
+            .unwrap();
+        q.heartbeat(&exec, work.lease, Duration::from_secs(60))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(
+            q.reap_expired(Instant::now(), Duration::from_secs(3600))
+                .is_empty(),
+            "heartbeat extended"
+        );
+        // Foreign executors cannot touch the lease.
+        assert!(q
+            .heartbeat("exec-99", work.lease, Duration::from_secs(1))
+            .is_err());
+        assert!(q.heartbeat(&exec, 999, Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn idle_remote_executors_are_pruned_but_local_and_leased_ones_are_not() {
+        let mut q = JobQueue::new(usize::MAX, 2);
+        let local = q.register_executor("local-0", false);
+        let idle = q.register_executor("remote-idle", true);
+        let busy = q.register_executor("remote-busy", true);
+        q.submit(&cfg());
+        let _held = q
+            .lease_next(&busy, Some(Duration::from_secs(60)))
+            .expect("busy leases a shard");
+        std::thread::sleep(Duration::from_millis(5));
+        // TTL shorter than the sleep: the idle remote is pruned, the local
+        // thread and the lease-holding remote survive.
+        q.reap_expired(Instant::now(), Duration::from_millis(1));
+        assert!(!q.executors.contains_key(&idle), "idle remote pruned");
+        assert!(q.executors.contains_key(&local), "locals never pruned");
+        assert!(q.executors.contains_key(&busy), "leased remotes survive");
+        // Touching an executor refreshes its TTL.
+        q.heartbeat(&busy, 1, Duration::from_secs(60)).unwrap();
+        q.reap_expired(Instant::now(), Duration::from_secs(3600));
+        assert!(q.executors.contains_key(&busy));
+    }
+
+    #[test]
+    fn failed_shards_fail_the_job_and_drop_its_pending_units() {
+        let mut q = JobQueue::new(usize::MAX, 3);
+        let exec = q.register_executor("local-0", false);
+        let out = q.submit(&cfg());
+        let work = q.lease_next(&exec, None).unwrap();
+        let landing = q
+            .fail_shard(&exec, work.lease, "worker exploded".to_string())
+            .unwrap();
+        assert_eq!(landing.status, JobStatus::Failed);
         assert_eq!(q.jobs[&out.job_id].status, JobStatus::Failed);
         assert_eq!(q.views()[0].error.as_deref(), Some("worker exploded"));
+        assert!(q.pending.is_empty(), "remaining work units dropped");
+        assert!(!q.has_live_jobs());
     }
 
     #[test]
     fn result_cache_evicts_oldest_done_jobs_fifo() {
         let mut q = JobQueue::with_cache_cap(2);
+        let exec = q.register_executor("local-0", false);
         // Three distinct grids, finished in order.
         let grids = [cfg(), cfg().with_seed(1), cfg().with_seed(2)];
         let mut ids = Vec::new();
         for g in &grids {
             let out = q.submit(g);
-            let (id, config) = q.take_next().unwrap();
-            assert_eq!(id, out.job_id);
-            q.finish(&id, Ok(config.run()));
-            ids.push(id);
+            run_all(&mut q, &exec);
+            ids.push(out.job_id);
         }
         // The oldest-finished job is gone: unknown id, report dropped, and a
         // resubmission of its grid runs fresh instead of hitting the cache.
@@ -344,34 +877,32 @@ mod tests {
     #[test]
     fn unbounded_cache_never_evicts_and_failed_jobs_do_not_count() {
         let mut q = JobQueue::default();
+        let exec = q.register_executor("local-0", false);
         assert_eq!(q.cache_cap, usize::MAX);
         for seed in 0..4 {
             q.submit(&cfg().with_seed(seed));
-            let (id, config) = q.take_next().unwrap();
-            let result = if seed % 2 == 0 {
-                Ok(config.run())
+            let work = q.lease_next(&exec, None).unwrap();
+            if seed % 2 == 0 {
+                let report = run_shard(&work.config, work.shard);
+                q.complete_shard(&exec, work.lease, report).unwrap();
             } else {
-                Err("boom".to_string())
-            };
-            q.finish(&id, result);
+                q.fail_shard(&exec, work.lease, "boom".to_string()).unwrap();
+            }
         }
         assert_eq!(q.evicted, 0);
         assert_eq!(q.jobs.len(), 4);
         // Failed jobs never enter the eviction queue.
-        let mut capped = JobQueue::with_cache_cap(1);
-        capped.submit(&cfg());
-        let (id, _) = capped.take_next().unwrap();
-        capped.finish(&id, Err("boom".to_string()));
-        assert_eq!(capped.done_order.len(), 0);
-        assert!(capped.jobs.contains_key(&id));
+        assert_eq!(q.done_order.len(), 2);
     }
 
     #[test]
     fn failed_jobs_do_not_poison_the_dedup_cache() {
         let mut q = JobQueue::default();
+        let exec = q.register_executor("local-0", false);
         let first = q.submit(&cfg());
-        let (id, _) = q.take_next().unwrap();
-        q.finish(&id, Err("transient failure".to_string()));
+        let work = q.lease_next(&exec, None).unwrap();
+        q.fail_shard(&exec, work.lease, "transient failure".to_string())
+            .unwrap();
         // Resubmission of the same grid retries as a fresh job…
         let retry = q.submit(&cfg());
         assert!(!retry.deduped);
@@ -383,5 +914,19 @@ mod tests {
         let third = q.submit(&cfg());
         assert!(third.deduped);
         assert_eq!(third.job_id, retry.job_id);
+    }
+
+    #[test]
+    fn epoch_advances_on_observable_progress() {
+        let mut q = JobQueue::new(usize::MAX, 2);
+        let exec = q.register_executor("local-0", false);
+        let e0 = q.epoch;
+        q.submit(&cfg());
+        assert!(q.epoch > e0, "submit bumps the epoch");
+        let before = q.epoch;
+        let work = q.lease_next(&exec, None).unwrap();
+        let report = run_shard(&work.config, work.shard);
+        q.complete_shard(&exec, work.lease, report).unwrap();
+        assert!(q.epoch > before, "shard completion bumps the epoch");
     }
 }

@@ -1,0 +1,444 @@
+//! Durable job state: an append-only JSON journal under `serve --state-dir`.
+//!
+//! Every observable job transition is appended as one JSON object per line
+//! to `<state-dir>/journal.jsonl` — `submit` (with the full canonical
+//! configuration), `dispatch`, `shard-done`, `requeue`, `done` (with the
+//! full merged report), `failed`, and `evict`.  On startup the coordinator
+//! replays the journal: completed jobs rebuild the dedup/result cache
+//! (cache-cap eviction re-applied), failed jobs stay queryable, and every
+//! job that was queued or in flight at the crash is re-enqueued from its
+//! journaled configuration.
+//!
+//! Replay is tolerant of a torn tail: a crash mid-append leaves a partial
+//! final line, which is skipped (and counted) rather than refusing to start.
+//! The journal then keeps growing in place — restart after restart appends
+//! to the same file, so the full submit/dispatch/complete history of a
+//! deployment is one greppable artifact.
+
+use bitmod::shard::{ShardProgress, ShardSpec};
+use bitmod::sweep::{SweepConfig, SweepReport};
+use serde::{Serialize, Value};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One journal line, in coordinator life-cycle order.
+#[derive(Debug, Clone)]
+pub enum JournalEvent {
+    /// A new (non-deduplicated) job was accepted.
+    Submit {
+        /// The job id.
+        job: String,
+        /// The canonicalized configuration the job executes.
+        config: Box<SweepConfig>,
+    },
+    /// A shard was leased to an executor.
+    Dispatch {
+        /// The job id.
+        job: String,
+        /// The leased shard (`k/n`).
+        shard: ShardSpec,
+        /// The executor holding the lease.
+        executor: String,
+    },
+    /// A shard report landed.
+    ShardDone {
+        /// The job id.
+        job: String,
+        /// The completed shard (`k/n`).
+        shard: ShardSpec,
+        /// The executor that ran it.
+        executor: String,
+        /// What the shard contributed (records/skipped/wall), when known.
+        progress: Option<ShardProgress>,
+    },
+    /// A lease expired and its shard went back on the queue.
+    Requeue {
+        /// The job id.
+        job: String,
+        /// The requeued shard (`k/n`).
+        shard: ShardSpec,
+        /// The executor whose lease expired.
+        executor: String,
+    },
+    /// A job finished; the merged report is recorded in full so the result
+    /// cache can be rebuilt on replay.  (An `Arc`, not an owned copy: the
+    /// coordinator journals the very report it caches, without cloning a
+    /// potentially large record set under its state lock.)
+    Done {
+        /// The job id.
+        job: String,
+        /// The merged sweep report.
+        report: Arc<SweepReport>,
+    },
+    /// A job failed.
+    Failed {
+        /// The job id.
+        job: String,
+        /// The failure reason.
+        error: String,
+    },
+    /// A completed job was evicted from the result cache.
+    Evict {
+        /// The job id.
+        job: String,
+    },
+}
+
+impl JournalEvent {
+    /// The event's line spelling (single-line JSON, `ev`-tagged).
+    pub fn to_line(&self) -> String {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        let mut push = |k: &str, v: Value| fields.push((k.to_string(), v));
+        match self {
+            JournalEvent::Submit { job, config } => {
+                push("ev", Value::Str("submit".into()));
+                push("job", Value::Str(job.clone()));
+                push("config", config.to_value());
+            }
+            JournalEvent::Dispatch {
+                job,
+                shard,
+                executor,
+            } => {
+                push("ev", Value::Str("dispatch".into()));
+                push("job", Value::Str(job.clone()));
+                push("shard", Value::Str(shard.label()));
+                push("executor", Value::Str(executor.clone()));
+            }
+            JournalEvent::ShardDone {
+                job,
+                shard,
+                executor,
+                progress,
+            } => {
+                push("ev", Value::Str("shard-done".into()));
+                push("job", Value::Str(job.clone()));
+                push("shard", Value::Str(shard.label()));
+                push("executor", Value::Str(executor.clone()));
+                if let Some(p) = progress {
+                    push("records", Value::U64(p.records as u64));
+                    push("skipped", Value::U64(p.skipped as u64));
+                    push("wall_seconds", Value::F64(p.wall_seconds));
+                }
+            }
+            JournalEvent::Requeue {
+                job,
+                shard,
+                executor,
+            } => {
+                push("ev", Value::Str("requeue".into()));
+                push("job", Value::Str(job.clone()));
+                push("shard", Value::Str(shard.label()));
+                push("executor", Value::Str(executor.clone()));
+            }
+            JournalEvent::Done { job, report } => {
+                push("ev", Value::Str("done".into()));
+                push("job", Value::Str(job.clone()));
+                push("report", report.to_value());
+            }
+            JournalEvent::Failed { job, error } => {
+                push("ev", Value::Str("failed".into()));
+                push("job", Value::Str(job.clone()));
+                push("error", Value::Str(error.clone()));
+            }
+            JournalEvent::Evict { job } => {
+                push("ev", Value::Str("evict".into()));
+                push("job", Value::Str(job.clone()));
+            }
+        }
+        serde_json::to_string(&Value::Map(fields)).expect("journal events always serialize")
+    }
+
+    /// Parses one journal line back into an event.
+    pub fn parse(line: &str) -> Result<JournalEvent, String> {
+        let value =
+            serde_json::parse_value(line.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+        let map = value
+            .as_map()
+            .ok_or("journal line must be a JSON object".to_string())?;
+        let get = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let str_field = |key: &str| -> Result<String, String> {
+            get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing `{key}` field"))
+        };
+        let ev = str_field("ev")?;
+        let job = str_field("job")?;
+        let shard = || -> Result<ShardSpec, String> { ShardSpec::parse(&str_field("shard")?) };
+        match ev.as_str() {
+            "submit" => {
+                let config = get("config").ok_or("missing `config` field".to_string())?;
+                let config: SweepConfig =
+                    serde_json::from_value(config).map_err(|e| format!("bad config: {e}"))?;
+                Ok(JournalEvent::Submit {
+                    job,
+                    config: Box::new(config),
+                })
+            }
+            "dispatch" => Ok(JournalEvent::Dispatch {
+                job,
+                shard: shard()?,
+                executor: str_field("executor")?,
+            }),
+            "shard-done" => {
+                let shard = shard()?;
+                let counts = (
+                    get("records").and_then(Value::as_u64),
+                    get("skipped").and_then(Value::as_u64),
+                    get("wall_seconds").and_then(Value::as_f64),
+                );
+                let progress = match counts {
+                    (Some(records), Some(skipped), Some(wall_seconds)) => Some(ShardProgress {
+                        shard_index: shard.index,
+                        shard_count: shard.count,
+                        grid_points: (records + skipped) as usize,
+                        records: records as usize,
+                        skipped: skipped as usize,
+                        wall_seconds,
+                    }),
+                    _ => None,
+                };
+                Ok(JournalEvent::ShardDone {
+                    job,
+                    shard,
+                    executor: str_field("executor")?,
+                    progress,
+                })
+            }
+            "requeue" => Ok(JournalEvent::Requeue {
+                job,
+                shard: shard()?,
+                executor: str_field("executor")?,
+            }),
+            "done" => {
+                let report = get("report").ok_or("missing `report` field".to_string())?;
+                let report: SweepReport =
+                    serde_json::from_value(report).map_err(|e| format!("bad report: {e}"))?;
+                Ok(JournalEvent::Done {
+                    job,
+                    report: Arc::new(report),
+                })
+            }
+            "failed" => Ok(JournalEvent::Failed {
+                job,
+                error: str_field("error")?,
+            }),
+            "evict" => Ok(JournalEvent::Evict { job }),
+            other => Err(format!("unknown journal event `{other}`")),
+        }
+    }
+}
+
+/// What replaying an existing journal found.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every parseable event, in append order.
+    pub events: Vec<JournalEvent>,
+    /// Lines that did not parse (a torn tail from a crash mid-append, or
+    /// hand-editing damage) — skipped, not fatal.
+    pub skipped_lines: usize,
+}
+
+/// The append handle for a state directory's journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    /// Whether an append failure has been reported yet (warn once, not per
+    /// event — a full disk would otherwise flood stderr).
+    write_failure_reported: bool,
+}
+
+impl Journal {
+    /// Opens (creating if needed) `<dir>/journal.jsonl` for appending, first
+    /// replaying whatever it already contains.
+    pub fn open(dir: &Path) -> Result<(Journal, Replay), String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("could not create state dir {}: {e}", dir.display()))?;
+        let path = dir.join("journal.jsonl");
+        let mut events = Vec::new();
+        let mut skipped_lines = 0;
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    match JournalEvent::parse(line) {
+                        Ok(ev) => events.push(ev),
+                        Err(_) => skipped_lines += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("could not read {}: {e}", path.display())),
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("could not open {}: {e}", path.display()))?;
+        Ok((
+            Journal {
+                path,
+                file,
+                write_failure_reported: false,
+            },
+            Replay {
+                events,
+                skipped_lines,
+            },
+        ))
+    }
+
+    /// Appends one event (line-buffered; flushed before returning so a
+    /// `kill -9` loses at most the event being written).
+    pub fn append(&mut self, event: &JournalEvent) {
+        // A full disk or yanked volume must not take the daemon down with a
+        // panic; the in-memory state stays authoritative for this process.
+        // But silence would let durability lapse unnoticed — say so once.
+        let result = writeln!(self.file, "{}", event.to_line()).and_then(|_| self.file.flush());
+        if let Err(e) = result {
+            if !self.write_failure_reported {
+                self.write_failure_reported = true;
+                eprintln!(
+                    "[serve] journal write to {} failed ({e}) — durability is lapsing; \
+                     jobs finished from here on will NOT survive a restart",
+                    self.path.display()
+                );
+            }
+        } else {
+            self.write_failure_reported = false;
+        }
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod::llm::config::LlmModel;
+    use bitmod::llm::proxy::ProxyConfig;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bitmod-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg() -> SweepConfig {
+        SweepConfig::new(vec![LlmModel::Phi2B], vec![4]).with_proxy(ProxyConfig::tiny())
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips_through_its_line() {
+        let report = cfg().run();
+        let shard = ShardSpec::new(1, 3).unwrap();
+        let events = [
+            JournalEvent::Submit {
+                job: "job-1".into(),
+                config: Box::new(cfg().canonicalized()),
+            },
+            JournalEvent::Dispatch {
+                job: "job-1".into(),
+                shard,
+                executor: "exec-1".into(),
+            },
+            JournalEvent::ShardDone {
+                job: "job-1".into(),
+                shard,
+                executor: "exec-1".into(),
+                progress: Some(ShardProgress {
+                    shard_index: 1,
+                    shard_count: 3,
+                    grid_points: 2,
+                    records: 1,
+                    skipped: 1,
+                    wall_seconds: 0.25,
+                }),
+            },
+            JournalEvent::ShardDone {
+                job: "job-1".into(),
+                shard,
+                executor: "exec-1".into(),
+                progress: None,
+            },
+            JournalEvent::Requeue {
+                job: "job-1".into(),
+                shard,
+                executor: "exec-1".into(),
+            },
+            JournalEvent::Done {
+                job: "job-1".into(),
+                report: Arc::new(report),
+            },
+            JournalEvent::Failed {
+                job: "job-2".into(),
+                error: "boom".into(),
+            },
+            JournalEvent::Evict {
+                job: "job-1".into(),
+            },
+        ];
+        for ev in &events {
+            let line = ev.to_line();
+            assert!(!line.contains('\n'), "journal lines are single lines");
+            let back = JournalEvent::parse(&line).expect("journal lines parse back");
+            assert_eq!(back.to_line(), line, "roundtrip is stable");
+        }
+    }
+
+    #[test]
+    fn open_replays_appends_and_tolerates_a_torn_tail() {
+        let dir = tmp_dir("torn");
+        {
+            let (mut journal, replay) = Journal::open(&dir).unwrap();
+            assert!(replay.events.is_empty());
+            journal.append(&JournalEvent::Submit {
+                job: "job-1".into(),
+                config: Box::new(cfg().canonicalized()),
+            });
+            journal.append(&JournalEvent::Failed {
+                job: "job-1".into(),
+                error: "boom".into(),
+            });
+        }
+        // Simulate a crash mid-append: a truncated final line.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join("journal.jsonl"))
+                .unwrap();
+            write!(f, "{{\"ev\":\"done\",\"job\":\"jo").unwrap();
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.events.len(), 2);
+        assert_eq!(replay.skipped_lines, 1, "the torn tail is skipped");
+        assert!(matches!(&replay.events[0], JournalEvent::Submit { job, .. } if job == "job-1"));
+        assert!(matches!(&replay.events[1], JournalEvent::Failed { job, .. } if job == "job-1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_are_named_errors() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1]", "must be a JSON object"),
+            (r#"{"job":"job-1"}"#, "missing `ev`"),
+            (r#"{"ev":"nope","job":"job-1"}"#, "unknown journal event"),
+            (r#"{"ev":"submit","job":"job-1"}"#, "missing `config`"),
+            (
+                r#"{"ev":"dispatch","job":"job-1","executor":"e"}"#,
+                "missing `shard`",
+            ),
+        ] {
+            let err = JournalEvent::parse(line).expect_err(line);
+            assert!(err.contains(needle), "`{line}` → `{err}`");
+        }
+    }
+}

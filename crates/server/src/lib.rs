@@ -3,22 +3,35 @@
 //!
 //! The offline sweep flow (`bitmod-cli sweep`) pays harness synthesis and
 //! process startup on every invocation.  This crate wraps the same
-//! [`bitmod::sweep`] machinery in a daemon so heavy traffic amortizes both:
+//! [`bitmod::sweep`] machinery in a **coordinator/executor** daemon so heavy
+//! traffic amortizes both and scales past one machine:
 //!
-//! * [`job`] — the [`job::JobQueue`] state machine: FIFO queue, job table,
-//!   and a dedup/result cache keyed by the canonicalized sweep configuration
+//! * [`job`] — the [`job::JobQueue`] state machine: jobs decomposed into
+//!   [`bitmod::shard::ShardSpec`] work units, a shard-level dispatch queue,
+//!   executor leases with expiry, and a dedup/result cache keyed by the
+//!   canonicalized sweep configuration
 //!   ([`bitmod::sweep::SweepConfig::cache_key`]), so identical grids —
 //!   however spelled — execute once and every later submission is a cache
 //!   hit.
-//! * [`engine`] — worker threads draining the queue.  All jobs share one
-//!   [`bitmod_llm::eval::HarnessPool`], which batches the expensive
-//!   per-model harness synthesis across overlapping sweep requests; with
-//!   `shards > 1` every job runs as a deterministic `k/n`-sharded sweep
-//!   merged by [`bitmod::shard::merge_shards`].
-//! * [`proto`] — the line-delimited JSON wire protocol (`submit` / `status`
-//!   / `result` / `list` / `ping` / `shutdown`), identical over stdin/stdout
-//!   and TCP.
-//! * [`serve`] — the stdio and TCP serve loops `bitmod-cli serve` runs.
+//! * [`coordinator`] — the supervisory half: accepts jobs, leases work
+//!   units, requeues the shards of expired leases, merges the returned
+//!   [`bitmod::shard::ShardReport`]s bit-identically via
+//!   [`bitmod::shard::merge_shards`], and journals every transition when a
+//!   state directory is configured.
+//! * [`executor`] — the autonomous half, in both flavors: in-process
+//!   threads sharing one [`bitmod_llm::eval::HarnessPool`] (the default,
+//!   behavior-preserving path) and remote `bitmod-cli worker --attach`
+//!   processes that register over TCP, lease, heartbeat, and return shard
+//!   reports.
+//! * [`journal`] — the append-only JSON journal under `serve --state-dir`:
+//!   replayed on startup so queued and in-flight jobs resume and completed
+//!   jobs keep serving from the rebuilt result cache.
+//! * [`proto`] — the line-delimited JSON wire protocol (`submit` /
+//!   `status` / `result` / `watch` / `list` / `ping` / `shutdown` plus the
+//!   executor verbs `attach` / `lease` / `heartbeat` / `shard_result`),
+//!   identical over stdin/stdout and TCP.
+//! * [`serve`] — the stdio and TCP serve loops `bitmod-cli serve` runs,
+//!   including the streaming `watch` handler.
 //!
 //! No new dependencies: the protocol rides on the vendored `serde_json` shim
 //! and `std::net`, consistent with the workspace's offline policy.
@@ -27,26 +40,28 @@
 //! use bitmod::llm::config::LlmModel;
 //! use bitmod::llm::proxy::ProxyConfig;
 //! use bitmod::sweep::SweepConfig;
-//! use bitmod_server::engine::{EngineConfig, ServeEngine};
+//! use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
 //!
-//! let handle = ServeEngine::start(EngineConfig::default());
+//! let handle = Coordinator::start(CoordinatorConfig::default());
 //! let cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
 //!     .with_proxy(ProxyConfig::tiny());
-//! let first = handle.engine().submit(&cfg);
-//! let second = handle.engine().submit(&cfg); // dedup: same canonical grid
+//! let first = handle.coordinator().submit(&cfg);
+//! let second = handle.coordinator().submit(&cfg); // dedup: same canonical grid
 //! assert_eq!(first.job_id, second.job_id);
-//! handle.engine().drain();
-//! assert!(handle.engine().result(&first.job_id).unwrap().is_ok());
+//! handle.coordinator().drain();
+//! assert!(handle.coordinator().result(&first.job_id).unwrap().is_ok());
 //! handle.shutdown();
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod engine;
+pub mod coordinator;
+pub mod executor;
 pub mod job;
+pub mod journal;
 pub mod proto;
 pub mod serve;
 
-pub use engine::{EngineConfig, EngineHandle, ServeEngine};
+pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, CoordinatorStats};
 pub use job::{JobQueue, JobStatus, JobView};

@@ -11,15 +11,22 @@
 //! {"cmd": "submit", "models": "llama2-7b", "bits": "3,4", "method": "awq,omniquant"}
 //! {"cmd": "status", "job": "job-1"}
 //! {"cmd": "result", "job": "job-1"}
+//! {"cmd": "watch", "job": "job-1"}
 //! {"cmd": "list"}
 //! {"cmd": "ping"}
 //! {"cmd": "shutdown"}
 //! ```
 //!
+//! Remote executors (`bitmod-cli worker --attach`) speak four more verbs —
+//! `attach`, `lease`, `heartbeat`, and `shard_result` — over the same
+//! line protocol, and `watch` is the one *streaming* verb: the daemon holds
+//! the connection and pushes `event` lines as shards land.
+//!
 //! See `docs/SERVING.md` for the full protocol reference with copy-pasteable
 //! examples.
 
 use bitmod::llm::proxy::ProxyConfig;
+use bitmod::shard::ShardReport;
 use bitmod::sweep::{GridSpec, SweepConfig};
 use serde::Value;
 
@@ -38,12 +45,44 @@ pub enum Request {
         /// The job id to fetch.
         job: String,
     },
+    /// Hold the connection and stream progress events until the job is
+    /// terminal (the push alternative to polling `status`).
+    Watch {
+        /// The job id to watch.
+        job: String,
+    },
     /// Snapshot every job.
     List,
-    /// Liveness check; the response carries engine counters.
+    /// Liveness check; the response carries coordinator counters.
     Ping,
     /// Ask the daemon to finish running jobs and exit.
     Shutdown,
+    /// Register a remote executor.
+    Attach {
+        /// Self-reported executor name.
+        name: String,
+    },
+    /// Ask for a work unit (remote executors poll this).
+    Lease {
+        /// The executor id assigned by `attach`.
+        executor: String,
+    },
+    /// Extend a running shard's lease.
+    Heartbeat {
+        /// The executor id.
+        executor: String,
+        /// The lease being extended.
+        lease: u64,
+    },
+    /// Return a completed (or failed) shard.
+    ShardResult {
+        /// The executor id.
+        executor: String,
+        /// The lease being completed.
+        lease: u64,
+        /// The shard report, or the failure reason.
+        outcome: Result<Box<ShardReport>, String>,
+    },
 }
 
 impl Request {
@@ -63,14 +102,59 @@ impl Request {
             "result" => Ok(Request::Result {
                 job: required_job(map)?,
             }),
+            "watch" => Ok(Request::Watch {
+                job: required_job(map)?,
+            }),
             "list" => Ok(Request::List),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
+            "attach" => Ok(Request::Attach {
+                name: get_str(map, "name").unwrap_or("worker").to_string(),
+            }),
+            "lease" => Ok(Request::Lease {
+                executor: required_str(map, "executor")?,
+            }),
+            "heartbeat" => Ok(Request::Heartbeat {
+                executor: required_str(map, "executor")?,
+                lease: required_lease(map)?,
+            }),
+            "shard_result" => {
+                let executor = required_str(map, "executor")?;
+                let lease = required_lease(map)?;
+                let outcome = match (get(map, "report"), get_str(map, "error")) {
+                    (Some(report), _) => Ok(Box::new(
+                        serde_json::from_value::<ShardReport>(report)
+                            .map_err(|e| format!("bad shard report: {e}"))?,
+                    )),
+                    (None, Some(error)) => Err(error.to_string()),
+                    (None, None) => {
+                        return Err("shard_result requires `report` or `error`".to_string())
+                    }
+                };
+                Ok(Request::ShardResult {
+                    executor,
+                    lease,
+                    outcome,
+                })
+            }
             other => Err(format!(
-                "unknown cmd `{other}` (expected submit, status, result, list, ping, or shutdown)"
+                "unknown cmd `{other}` (expected submit, status, result, watch, list, ping, \
+                 shutdown, attach, lease, heartbeat, or shard_result)"
             )),
         }
     }
+}
+
+fn required_str(map: &[(String, Value)], key: &str) -> Result<String, String> {
+    get_str(map, key)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing `{key}` field"))
+}
+
+fn required_lease(map: &[(String, Value)]) -> Result<u64, String> {
+    get(map, "lease")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "missing or non-integer `lease` field".to_string())
 }
 
 fn required_job(map: &[(String, Value)]) -> Result<String, String> {
@@ -144,6 +228,9 @@ fn sweep_from_map(map: &[(String, Value)]) -> Result<SweepConfig, String> {
         scale_dtypes: get(map, "scale_dtype")
             .map(|v| string_items(v, "scale_dtype"))
             .transpose()?,
+        calib_sizes: get(map, "calib_size")
+            .map(|v| string_items(v, "calib_size"))
+            .transpose()?,
         proxy: get_str(map, "proxy").map(str::to_string),
         seed,
     };
@@ -156,8 +243,8 @@ fn sweep_from_map(map: &[(String, Value)]) -> Result<SweepConfig, String> {
 /// Only grids expressible through the CLI flags can be spelled on the wire:
 /// the proxy must be `standard` or `tiny` (the protocol names CLI
 /// spellings, not arbitrary structs).  Every axis — including the method,
-/// task, accelerator and scale-dtype axes — has a CLI spelling, so any axis
-/// combination round-trips.
+/// task, accelerator, scale-dtype and calib-size axes — has a CLI spelling,
+/// so any axis combination round-trips.
 pub fn submit_line(cfg: &SweepConfig) -> Result<String, String> {
     let proxy = if cfg.proxy == ProxyConfig::standard() {
         "standard"
@@ -224,6 +311,12 @@ pub fn submit_line(cfg: &SweepConfig) -> Result<String, String> {
                     .collect(),
             )),
         ),
+        (
+            "calib_size".to_string(),
+            Value::Str(join(
+                cfg.calib_sizes.iter().map(|c| c.to_string()).collect(),
+            )),
+        ),
         ("proxy".to_string(), Value::Str(proxy.to_string())),
         ("seed".to_string(), Value::U64(cfg.seed)),
     ];
@@ -266,6 +359,10 @@ mod tests {
             Ok(Request::Result { job }) if job == "job-2"
         ));
         assert!(matches!(
+            Request::parse(r#"{"cmd":"watch","job":"job-3"}"#),
+            Ok(Request::Watch { job }) if job == "job-3"
+        ));
+        assert!(matches!(
             Request::parse(r#"{"cmd":"list"}"#),
             Ok(Request::List)
         ));
@@ -276,6 +373,53 @@ mod tests {
         assert!(matches!(
             Request::parse(r#"{"cmd":"shutdown"}"#),
             Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn parses_the_executor_verbs() {
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"attach","name":"w1"}"#),
+            Ok(Request::Attach { name }) if name == "w1"
+        ));
+        // `name` is optional on attach.
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"attach"}"#),
+            Ok(Request::Attach { name }) if name == "worker"
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"lease","executor":"exec-1"}"#),
+            Ok(Request::Lease { executor }) if executor == "exec-1"
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"heartbeat","executor":"exec-1","lease":7}"#),
+            Ok(Request::Heartbeat { executor, lease: 7 }) if executor == "exec-1"
+        ));
+        // shard_result carries either a full report…
+        let report = bitmod::shard::run_shard(
+            &bitmod::sweep::SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+                .with_proxy(bitmod::llm::proxy::ProxyConfig::tiny()),
+            bitmod::shard::ShardSpec::new(0, 2).unwrap(),
+        );
+        let line = format!(
+            r#"{{"cmd":"shard_result","executor":"exec-1","lease":3,"report":{}}}"#,
+            serde_json::to_string(&report).unwrap()
+        );
+        let Ok(Request::ShardResult {
+            lease: 3,
+            outcome: Ok(back),
+            ..
+        }) = Request::parse(&line)
+        else {
+            panic!("shard_result with a report must parse");
+        };
+        assert_eq!(back.records.len(), report.records.len());
+        // …or an error.
+        assert!(matches!(
+            Request::parse(
+                r#"{"cmd":"shard_result","executor":"exec-1","lease":4,"error":"boom"}"#
+            ),
+            Ok(Request::ShardResult { outcome: Err(e), .. }) if e == "boom"
         ));
     }
 
@@ -317,6 +461,13 @@ mod tests {
             (r#"{"x":1}"#, "missing `cmd`"),
             (r#"{"cmd":"nope"}"#, "unknown cmd"),
             (r#"{"cmd":"status"}"#, "missing `job`"),
+            (r#"{"cmd":"watch"}"#, "missing `job`"),
+            (r#"{"cmd":"lease"}"#, "missing `executor`"),
+            (r#"{"cmd":"heartbeat","executor":"e"}"#, "`lease`"),
+            (
+                r#"{"cmd":"shard_result","executor":"e","lease":1}"#,
+                "requires `report` or `error`",
+            ),
             (r#"{"cmd":"submit","bits":"4"}"#, "requires `models`"),
             (r#"{"cmd":"submit","models":"phi-2"}"#, "requires `bits`"),
             (
@@ -364,6 +515,7 @@ mod tests {
                 ])
                 .with_accelerators(vec![AcceleratorKind::Ant, AcceleratorKind::BaselineFp16])
                 .with_scale_dtypes(vec![ScaleDtype::Fp16, ScaleDtype::Int(6)])
+                .with_calib_sizes(vec![16, 48])
                 .with_proxy(ProxyConfig::tiny())
                 .with_seed(123);
         let line = submit_line(&cfg).unwrap();
@@ -375,6 +527,7 @@ mod tests {
         assert_eq!(back.tasks, cfg.tasks);
         assert_eq!(back.accelerators, cfg.accelerators);
         assert_eq!(back.scale_dtypes, cfg.scale_dtypes);
+        assert_eq!(back.calib_sizes, cfg.calib_sizes);
         // Non-CLI configurations are rejected rather than mis-spelled.
         let mut custom = cfg.clone();
         custom.proxy.hidden *= 2;
@@ -400,6 +553,14 @@ mod tests {
             (
                 r#"{"cmd":"submit","models":"phi-2","bits":"4","scale_dtype":"bf16"}"#,
                 "invalid scale dtype",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4","calib_size":"99"}"#,
+                "invalid calib size",
+            ),
+            (
+                r#"{"cmd":"submit","models":"phi-2","bits":"4","calib_size":"0"}"#,
+                "invalid calib size",
             ),
             (
                 r#"{"cmd":"submit","models":"phi-2","bits":"4,4"}"#,

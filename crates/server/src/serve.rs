@@ -1,8 +1,12 @@
 //! The serve loops: line-JSON request/response over stdin/stdout or a TCP
-//! listener, backed by a [`ServeEngine`].
+//! listener, backed by a [`Coordinator`].
+//!
+//! Every verb except `watch` is strict request/response; `watch` holds the
+//! connection and streams `event` lines (shard progress, then the final
+//! result) as they land — see [`stream_watch`].
 
-use crate::engine::ServeEngine;
-use crate::job::JobView;
+use crate::coordinator::Coordinator;
+use crate::job::{JobStatus, JobView};
 use crate::proto::{error_line, response_line, Request};
 use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -10,14 +14,28 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Handles one request line; returns the response line plus whether the
-/// request asked the daemon to shut down.
-pub fn handle_line(engine: &ServeEngine, line: &str) -> (String, bool) {
+/// Handles one *non-streaming* request line; returns the response line plus
+/// whether the request asked the daemon to shut down.  `watch` is answered
+/// with an error pointing at the streaming entry point ([`respond`] routes
+/// it properly; this function exists for strict one-in/one-out callers and
+/// tests).
+pub fn handle_line(coordinator: &Coordinator, line: &str) -> (String, bool) {
     match Request::parse(line) {
         Err(e) => (error_line(&e), false),
-        Ok(Request::Submit(config)) => {
-            let outcome = engine.submit(&config);
-            let status = engine
+        Ok(Request::Watch { .. }) => (
+            error_line("watch is a streaming request; use a streaming-capable connection"),
+            false,
+        ),
+        Ok(request) => handle_request(coordinator, request),
+    }
+}
+
+fn handle_request(coordinator: &Coordinator, request: Request) -> (String, bool) {
+    match request {
+        Request::Watch { .. } => unreachable!("watch is routed by respond()"),
+        Request::Submit(config) => {
+            let outcome = coordinator.submit(&config);
+            let status = coordinator
                 .status(&outcome.job_id)
                 .map(|v| v.status.name())
                 .unwrap_or("queued");
@@ -31,14 +49,14 @@ pub fn handle_line(engine: &ServeEngine, line: &str) -> (String, bool) {
                 false,
             )
         }
-        Ok(Request::Status { job }) => match engine.status(&job) {
+        Request::Status { job } => match coordinator.status(&job) {
             None => (error_line(&format!("unknown job `{job}`")), false),
             Some(view) => (
                 response_line(vec![("ok", Value::Bool(true)), ("job", view_value(&view))]),
                 false,
             ),
         },
-        Ok(Request::Result { job }) => match engine.result(&job) {
+        Request::Result { job } => match coordinator.result(&job) {
             None => (error_line(&format!("unknown job `{job}`")), false),
             Some(Err(e)) => (error_line(&e), false),
             Some(Ok(report)) => (
@@ -50,24 +68,25 @@ pub fn handle_line(engine: &ServeEngine, line: &str) -> (String, bool) {
                 false,
             ),
         },
-        Ok(Request::List) => {
-            let jobs: Vec<Value> = engine.list().iter().map(view_value).collect();
+        Request::List => {
+            let jobs: Vec<Value> = coordinator.list().iter().map(view_value).collect();
             (
                 response_line(vec![("ok", Value::Bool(true)), ("jobs", Value::Seq(jobs))]),
                 false,
             )
         }
-        Ok(Request::Ping) => (
+        Request::Ping => (
             response_line(vec![
                 ("ok", Value::Bool(true)),
-                ("stats", engine.stats().to_value()),
+                ("stats", coordinator.stats().to_value()),
             ]),
             false,
         ),
-        Ok(Request::Shutdown) => {
-            // Flag the engine here, not just the calling loop: the TCP accept
-            // loop watches this flag, and any connection may order shutdown.
-            engine.request_shutdown();
+        Request::Shutdown => {
+            // Flag the coordinator here, not just the calling loop: the TCP
+            // accept loop watches this flag, and any connection may order
+            // shutdown.
+            coordinator.request_shutdown();
             (
                 response_line(vec![
                     ("ok", Value::Bool(true)),
@@ -76,6 +95,205 @@ pub fn handle_line(engine: &ServeEngine, line: &str) -> (String, bool) {
                 true,
             )
         }
+        Request::Attach { name } => {
+            let executor = coordinator.register_executor(&name, true);
+            (
+                response_line(vec![
+                    ("ok", Value::Bool(true)),
+                    ("executor", Value::Str(executor)),
+                    (
+                        "lease_ms",
+                        Value::U64(coordinator.lease_timeout().as_millis() as u64),
+                    ),
+                ]),
+                false,
+            )
+        }
+        Request::Lease { executor } => {
+            let (work, shutting_down) = coordinator.try_lease(&executor);
+            let work_value = match work {
+                None => Value::Null,
+                Some(w) => Value::Map(vec![
+                    ("lease".to_string(), Value::U64(w.lease)),
+                    ("job".to_string(), Value::Str(w.job)),
+                    ("shard".to_string(), Value::Str(w.shard.label())),
+                    ("config".to_string(), w.config.to_value()),
+                ]),
+            };
+            (
+                response_line(vec![
+                    ("ok", Value::Bool(true)),
+                    ("work", work_value),
+                    ("shutting_down", Value::Bool(shutting_down)),
+                ]),
+                false,
+            )
+        }
+        Request::Heartbeat { executor, lease } => match coordinator.heartbeat(&executor, lease) {
+            Err(e) => (error_line(&e), false),
+            Ok(timeout) => (
+                response_line(vec![
+                    ("ok", Value::Bool(true)),
+                    ("lease_ms", Value::U64(timeout.as_millis() as u64)),
+                ]),
+                false,
+            ),
+        },
+        Request::ShardResult {
+            executor,
+            lease,
+            outcome,
+        } => {
+            let landed = match outcome {
+                Ok(report) => coordinator.complete_shard(&executor, lease, *report),
+                Err(error) => coordinator.fail_shard(&executor, lease, error),
+            };
+            match landed {
+                Err(e) => (error_line(&e), false),
+                Ok(landing) => {
+                    let mut fields = vec![
+                        ("ok", Value::Bool(true)),
+                        ("job", Value::Str(landing.job)),
+                        ("status", Value::Str(landing.status.name().to_string())),
+                        ("shards_done", Value::U64(landing.progress.0 as u64)),
+                        ("shards_total", Value::U64(landing.progress.1 as u64)),
+                    ];
+                    // What the shard itself contributed, for the worker's logs.
+                    if let Some(p) = landing.shard_progress {
+                        fields.push(("records", Value::U64(p.records as u64)));
+                        fields.push(("skipped", Value::U64(p.skipped as u64)));
+                        fields.push(("wall_seconds", Value::F64(p.wall_seconds)));
+                    }
+                    (response_line(fields), false)
+                }
+            }
+        }
+    }
+}
+
+/// Handles one request line against `out`, streaming when the verb streams
+/// (`watch`); returns whether the daemon was asked to shut down.
+pub fn respond(
+    coordinator: &Coordinator,
+    line: &str,
+    out: &mut impl Write,
+) -> std::io::Result<bool> {
+    match Request::parse(line) {
+        Ok(Request::Watch { job }) => {
+            stream_watch(coordinator, &job, out)?;
+            Ok(false)
+        }
+        Ok(request) => {
+            let (response, shutdown) = handle_request(coordinator, request);
+            writeln!(out, "{response}")?;
+            out.flush()?;
+            Ok(shutdown)
+        }
+        Err(e) => {
+            writeln!(out, "{}", error_line(&e))?;
+            out.flush()?;
+            Ok(false)
+        }
+    }
+}
+
+/// Streams a job's life to `out`: one `progress` event per observable change
+/// (status transitions, shards landing), then a final `done` event carrying
+/// the full report (or a `failed` event carrying the error).  Every line is
+/// `ok: true` with an `event` discriminator, so streaming clients switch on
+/// `event` alone.
+pub fn stream_watch(
+    coordinator: &Coordinator,
+    job: &str,
+    out: &mut impl Write,
+) -> std::io::Result<()> {
+    let mut last_emitted: Option<(JobStatus, usize)> = None;
+    let mut epoch = coordinator.epoch();
+    loop {
+        // View and report are snapshotted under one lock: with a capped
+        // result cache the job could otherwise be evicted between a status
+        // poll and the result fetch, mislabeling a completed job.
+        let Some((view, report)) = coordinator.snapshot(job) else {
+            writeln!(out, "{}", error_line(&format!("unknown job `{job}`")))?;
+            out.flush()?;
+            return Ok(());
+        };
+        let key = (view.status, view.shards_done);
+        if last_emitted != Some(key) {
+            last_emitted = Some(key);
+            writeln!(
+                out,
+                "{}",
+                response_line(vec![
+                    ("ok", Value::Bool(true)),
+                    ("event", Value::Str("progress".to_string())),
+                    ("job", Value::Str(view.id.clone())),
+                    ("status", Value::Str(view.status.name().to_string())),
+                    ("shards_done", Value::U64(view.shards_done as u64)),
+                    ("shards_total", Value::U64(view.shards_total as u64)),
+                ])
+            )?;
+            out.flush()?;
+        }
+        match view.status {
+            JobStatus::Done => {
+                let report = report.map(|r| r.to_value()).unwrap_or(Value::Null);
+                writeln!(
+                    out,
+                    "{}",
+                    response_line(vec![
+                        ("ok", Value::Bool(true)),
+                        ("event", Value::Str("done".to_string())),
+                        ("job", Value::Str(view.id)),
+                        ("report", report),
+                    ])
+                )?;
+                out.flush()?;
+                return Ok(());
+            }
+            JobStatus::Failed => {
+                writeln!(
+                    out,
+                    "{}",
+                    response_line(vec![
+                        ("ok", Value::Bool(true)),
+                        ("event", Value::Str("failed".to_string())),
+                        ("job", Value::Str(view.id)),
+                        (
+                            "error",
+                            Value::Str(view.error.unwrap_or_else(|| "job failed".to_string())),
+                        ),
+                    ])
+                )?;
+                out.flush()?;
+                return Ok(());
+            }
+            JobStatus::Queued | JobStatus::Running => {
+                // A shutting-down coordinator with no executor left can
+                // never finish this job; trigger the stranded-work check so
+                // the job fails (emitting the final event) instead of this
+                // stream pinning the daemon's exit forever.
+                coordinator.abandon_stranded_work();
+                if coordinator.is_aborted() {
+                    writeln!(
+                        out,
+                        "{}",
+                        response_line(vec![
+                            ("ok", Value::Bool(true)),
+                            ("event", Value::Str("interrupted".to_string())),
+                            ("job", Value::Str(view.id)),
+                            (
+                                "error",
+                                Value::Str("daemon halted before the job finished".to_string()),
+                            ),
+                        ])
+                    )?;
+                    out.flush()?;
+                    return Ok(());
+                }
+            }
+        }
+        epoch = coordinator.wait_progress(epoch, Duration::from_millis(250));
     }
 }
 
@@ -89,6 +307,14 @@ fn view_value(view: &JobView) -> Value {
         (
             "submissions".to_string(),
             Value::U64(view.submissions as u64),
+        ),
+        (
+            "shards_done".to_string(),
+            Value::U64(view.shards_done as u64),
+        ),
+        (
+            "shards_total".to_string(),
+            Value::U64(view.shards_total as u64),
         ),
     ];
     if let Some(n) = view.records {
@@ -110,7 +336,7 @@ fn view_value(view: &JobView) -> Value {
 /// request, then waits for in-flight jobs to finish.  `bitmod-cli serve`
 /// (without `--listen`) wires this to stdin/stdout.
 pub fn serve_lines(
-    engine: &ServeEngine,
+    coordinator: &Coordinator,
     input: impl BufRead,
     mut output: impl Write,
 ) -> std::io::Result<()> {
@@ -119,16 +345,13 @@ pub fn serve_lines(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = handle_line(engine, &line);
-        writeln!(output, "{response}")?;
-        output.flush()?;
-        if shutdown {
+        if respond(coordinator, &line, &mut output)? {
             break;
         }
     }
     // Finish whatever was accepted (EOF is the stdio client's "I'm done
     // submitting", not "abandon my jobs").
-    engine.drain();
+    coordinator.drain();
     Ok(())
 }
 
@@ -141,17 +364,17 @@ pub fn bind(addr: &str) -> std::io::Result<TcpListener> {
 }
 
 /// Accept loop for a bound listener: one thread per connection, all sharing
-/// `engine`.  Returns once shutdown is requested and every connection thread
-/// has exited; in-flight jobs are drained before returning.
-pub fn serve_listener(engine: Arc<ServeEngine>, listener: TcpListener) -> std::io::Result<()> {
+/// `coordinator`.  Returns once shutdown is requested and every connection
+/// thread has exited; in-flight jobs are drained before returning.
+pub fn serve_listener(coordinator: Arc<Coordinator>, listener: TcpListener) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let mut connections = Vec::new();
-    while !engine.is_shutting_down() {
+    while !coordinator.is_shutting_down() {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let engine = Arc::clone(&engine);
+                let coordinator = Arc::clone(&coordinator);
                 connections.push(std::thread::spawn(move || {
-                    let _ = serve_connection(&engine, stream);
+                    let _ = serve_connection(&coordinator, stream);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -166,7 +389,7 @@ pub fn serve_listener(engine: Arc<ServeEngine>, listener: TcpListener) -> std::i
     for c in connections {
         let _ = c.join();
     }
-    engine.drain();
+    coordinator.drain();
     Ok(())
 }
 
@@ -174,8 +397,8 @@ pub fn serve_listener(engine: Arc<ServeEngine>, listener: TcpListener) -> std::i
 /// or another connection shuts the daemon down.
 ///
 /// Reads run with a short timeout so an *idle* connection notices
-/// engine-wide shutdown instead of blocking the daemon's exit forever.
-fn serve_connection(engine: &ServeEngine, stream: TcpStream) -> std::io::Result<()> {
+/// coordinator-wide shutdown instead of blocking the daemon's exit forever.
+fn serve_connection(coordinator: &Coordinator, stream: TcpStream) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -187,13 +410,8 @@ fn serve_connection(engine: &ServeEngine, stream: TcpStream) -> std::io::Result<
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // EOF — peer disconnected
             Ok(_) => {
-                if !line.trim().is_empty() {
-                    let (response, shutdown) = handle_line(engine, line.trim_end());
-                    writeln!(writer, "{response}")?;
-                    writer.flush()?;
-                    if shutdown {
-                        return Ok(());
-                    }
+                if !line.trim().is_empty() && respond(coordinator, line.trim_end(), &mut writer)? {
+                    return Ok(());
                 }
                 line.clear();
             }
@@ -203,7 +421,7 @@ fn serve_connection(engine: &ServeEngine, stream: TcpStream) -> std::io::Result<
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                if engine.is_shutting_down() {
+                if coordinator.is_shutting_down() {
                     return Ok(());
                 }
             }
@@ -215,20 +433,19 @@ fn serve_connection(engine: &ServeEngine, stream: TcpStream) -> std::io::Result<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{EngineConfig, ServeEngine};
+    use crate::coordinator::{CoordinatorConfig, CoordinatorHandle};
     use std::io::Cursor;
 
-    fn engine() -> crate::engine::EngineHandle {
-        ServeEngine::start(EngineConfig {
+    fn coordinator() -> CoordinatorHandle {
+        Coordinator::start(CoordinatorConfig {
             workers: 1,
-            shards: 1,
-            ..EngineConfig::default()
+            ..CoordinatorConfig::default()
         })
     }
 
     #[test]
     fn stdio_session_submits_polls_and_fetches() {
-        let handle = engine();
+        let handle = coordinator();
         let script = concat!(
             r#"{"cmd":"ping"}"#,
             "\n",
@@ -236,26 +453,27 @@ mod tests {
             "\n",
         );
         let mut out = Vec::new();
-        serve_lines(handle.engine(), Cursor::new(script), &mut out).unwrap();
+        serve_lines(handle.coordinator(), Cursor::new(script), &mut out).unwrap();
         let out = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains(r#""ok":true"#) && lines[0].contains("stats"));
         assert!(lines[1].contains(r#""job":"job-1""#));
         // serve_lines drained on EOF, so the job is done now.
-        let (status, _) = handle_line(handle.engine(), r#"{"cmd":"status","job":"job-1"}"#);
+        let (status, _) = handle_line(handle.coordinator(), r#"{"cmd":"status","job":"job-1"}"#);
         assert!(status.contains(r#""status":"done""#), "{status}");
-        let (result, _) = handle_line(handle.engine(), r#"{"cmd":"result","job":"job-1"}"#);
+        assert!(status.contains(r#""shards_done":1"#), "{status}");
+        let (result, _) = handle_line(handle.coordinator(), r#"{"cmd":"result","job":"job-1"}"#);
         assert!(result.contains(r#""records""#), "result carries the report");
         handle.shutdown();
     }
 
     #[test]
     fn malformed_lines_get_error_responses_not_disconnects() {
-        let handle = engine();
+        let handle = coordinator();
         let mut out = Vec::new();
         serve_lines(
-            handle.engine(),
+            handle.coordinator(),
             Cursor::new("garbage\n\n{\"cmd\":\"list\"}\n"),
             &mut out,
         )
@@ -270,10 +488,10 @@ mod tests {
 
     #[test]
     fn shutdown_line_stops_the_session() {
-        let handle = engine();
+        let handle = coordinator();
         let script = concat!(r#"{"cmd":"shutdown"}"#, "\n", r#"{"cmd":"ping"}"#, "\n");
         let mut out = Vec::new();
-        serve_lines(handle.engine(), Cursor::new(script), &mut out).unwrap();
+        serve_lines(handle.coordinator(), Cursor::new(script), &mut out).unwrap();
         let out = String::from_utf8(out).unwrap();
         assert_eq!(out.lines().count(), 1, "nothing served after shutdown");
         assert!(out.contains("shutting_down"));
@@ -281,12 +499,98 @@ mod tests {
     }
 
     #[test]
+    fn watch_streams_progress_then_the_final_report() {
+        let handle = Coordinator::start(CoordinatorConfig {
+            workers: 2,
+            shards: 3,
+            ..CoordinatorConfig::default()
+        });
+        let out = handle.coordinator().submit(
+            &bitmod::sweep::SweepConfig::new(
+                vec![bitmod::llm::config::LlmModel::Phi2B],
+                vec![3, 4],
+            )
+            .with_proxy(bitmod::llm::proxy::ProxyConfig::tiny()),
+        );
+        let mut stream = Vec::new();
+        stream_watch(handle.coordinator(), &out.job_id, &mut stream).unwrap();
+        let text = String::from_utf8(stream).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.len() >= 2,
+            "at least one progress + the final: {text}"
+        );
+        assert!(lines[0].contains(r#""event":"progress""#));
+        assert!(lines
+            .iter()
+            .all(|l| l.contains(r#""ok":true"#) && l.contains(r#""event":"#)));
+        let last = lines.last().unwrap();
+        assert!(last.contains(r#""event":"done""#), "{last}");
+        assert!(
+            last.contains(r#""records""#),
+            "final event carries the report"
+        );
+        // Unknown jobs answer with an error line instead of hanging.
+        let mut err = Vec::new();
+        stream_watch(handle.coordinator(), "job-99", &mut err).unwrap();
+        assert!(String::from_utf8(err).unwrap().contains("unknown job"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn attach_lease_result_round_trip_over_handle_line() {
+        // The remote-executor verbs, driven synchronously: a coordinator
+        // with no in-process executors hands its single work unit to a
+        // "remote" caller, which runs the shard locally and returns it.
+        let handle = Coordinator::start(CoordinatorConfig {
+            workers: 0,
+            ..CoordinatorConfig::default()
+        });
+        let c = handle.coordinator();
+        let (attach, _) = handle_line(c, r#"{"cmd":"attach","name":"test-worker"}"#);
+        assert!(attach.contains(r#""executor":"exec-1""#), "{attach}");
+        let submit = handle_line(
+            c,
+            r#"{"cmd":"submit","models":"phi-2","bits":"4","proxy":"tiny"}"#,
+        );
+        assert!(submit.0.contains(r#""job":"job-1""#));
+        let (lease, _) = handle_line(c, r#"{"cmd":"lease","executor":"exec-1"}"#);
+        assert!(
+            lease.contains(r#""lease":1"#) && lease.contains(r#""shard":"0/1""#),
+            "{lease}"
+        );
+        // Heartbeat works while the lease is held.
+        let (beat, _) = handle_line(c, r#"{"cmd":"heartbeat","executor":"exec-1","lease":1}"#);
+        assert!(beat.contains("lease_ms"), "{beat}");
+        // Run the shard out-of-band and return it.
+        let job_config =
+            bitmod::sweep::SweepConfig::new(vec![bitmod::llm::config::LlmModel::Phi2B], vec![4])
+                .with_proxy(bitmod::llm::proxy::ProxyConfig::tiny())
+                .canonicalized();
+        let report =
+            bitmod::shard::run_shard(&job_config, bitmod::shard::ShardSpec::new(0, 1).unwrap());
+        let line = format!(
+            r#"{{"cmd":"shard_result","executor":"exec-1","lease":1,"report":{}}}"#,
+            serde_json::to_string(&report).unwrap()
+        );
+        let (landed, _) = handle_line(c, &line);
+        assert!(landed.contains(r#""status":"done""#), "{landed}");
+        let (result, _) = handle_line(c, r#"{"cmd":"result","job":"job-1"}"#);
+        assert!(result.contains(r#""records""#), "{result}");
+        // An empty lease queue answers work:null (and no shutdown yet).
+        let (idle, _) = handle_line(c, r#"{"cmd":"lease","executor":"exec-1"}"#);
+        assert!(idle.contains(r#""work":null"#), "{idle}");
+        assert!(idle.contains(r#""shutting_down":false"#), "{idle}");
+        handle.shutdown();
+    }
+
+    #[test]
     fn idle_connections_do_not_block_shutdown() {
-        let handle = engine();
+        let handle = coordinator();
         let listener = bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let engine_arc = Arc::clone(handle.engine());
-        let server = std::thread::spawn(move || serve_listener(engine_arc, listener));
+        let coordinator_arc = Arc::clone(handle.coordinator());
+        let server = std::thread::spawn(move || serve_listener(coordinator_arc, listener));
 
         // Client A connects and goes silent.
         let idle = TcpStream::connect(addr).unwrap();
@@ -312,11 +616,11 @@ mod tests {
 
     #[test]
     fn tcp_round_trip_over_localhost() {
-        let handle = engine();
+        let handle = coordinator();
         let listener = bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let engine_arc = Arc::clone(handle.engine());
-        let server = std::thread::spawn(move || serve_listener(engine_arc, listener));
+        let coordinator_arc = Arc::clone(handle.coordinator());
+        let server = std::thread::spawn(move || serve_listener(coordinator_arc, listener));
 
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
@@ -329,7 +633,7 @@ mod tests {
         };
         let submitted = send(r#"{"cmd":"submit","models":"phi-2","bits":"4","proxy":"tiny"}"#);
         assert!(submitted.contains(r#""job":"job-1""#), "{submitted}");
-        // Poll until done (the engine is fast at tiny proxy size).
+        // Poll until done (the coordinator is fast at tiny proxy size).
         loop {
             let status = send(r#"{"cmd":"status","job":"job-1"}"#);
             if status.contains(r#""status":"done""#) {
@@ -340,6 +644,53 @@ mod tests {
         let result = send(r#"{"cmd":"result","job":"job-1"}"#);
         assert!(result.contains(r#""records""#));
         assert!(send(r#"{"cmd":"shutdown"}"#).contains("shutting_down"));
+        server.join().unwrap().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn watch_streams_over_tcp_while_the_job_runs() {
+        let handle = Coordinator::start(CoordinatorConfig {
+            workers: 1,
+            shards: 2,
+            ..CoordinatorConfig::default()
+        });
+        let listener = bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let coordinator_arc = Arc::clone(handle.coordinator());
+        let server = std::thread::spawn(move || serve_listener(coordinator_arc, listener));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writeln!(
+            writer,
+            r#"{{"cmd":"submit","models":"phi-2","bits":"3,4","proxy":"tiny"}}"#
+        )
+        .unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains(r#""job":"job-1""#));
+        // Watch on the same connection: read until the done event.
+        writeln!(writer, r#"{{"cmd":"watch","job":"job-1"}}"#).unwrap();
+        let mut saw_progress = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.contains(r#""event":"progress""#) {
+                saw_progress = true;
+            }
+            if line.contains(r#""event":"done""#) {
+                assert!(line.contains(r#""records""#));
+                break;
+            }
+        }
+        assert!(saw_progress, "watch pushed at least one progress event");
+        // The connection is still usable for request/response afterwards.
+        writeln!(writer, r#"{{"cmd":"shutdown"}}"#).unwrap();
+        let mut last = String::new();
+        reader.read_line(&mut last).unwrap();
+        assert!(last.contains("shutting_down"));
         server.join().unwrap().unwrap();
         handle.shutdown();
     }

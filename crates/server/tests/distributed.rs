@@ -1,0 +1,128 @@
+//! End-to-end distributed serving: a pure coordinator (no in-process
+//! executors) with real `attach_and_run` remote workers over localhost TCP.
+//! The merged report must be bit-identical (CSV and records) to a direct
+//! sweep, a vanished worker's shard must requeue via the lease timeout, and
+//! shutdown must release every attached worker.
+
+use bitmod::llm::config::LlmModel;
+use bitmod::llm::proxy::ProxyConfig;
+use bitmod::sweep::SweepConfig;
+use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
+use bitmod_server::executor::{attach_and_run, AttachOptions};
+use bitmod_server::job::JobStatus;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_cfg() -> SweepConfig {
+    SweepConfig::new(vec![LlmModel::Phi2B], vec![3, 4]).with_proxy(ProxyConfig::tiny())
+}
+
+/// Starts a listener for `coordinator` on an ephemeral port; returns the
+/// address and the serve thread.
+fn listen(
+    coordinator: &Arc<Coordinator>,
+) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let listener = bitmod_server::serve::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap().to_string();
+    let c = Arc::clone(coordinator);
+    let server = std::thread::spawn(move || bitmod_server::serve::serve_listener(c, listener));
+    (addr, server)
+}
+
+fn attach_worker(
+    addr: &str,
+    name: &str,
+) -> std::thread::JoinHandle<Result<bitmod_server::executor::AttachOutcome, String>> {
+    let opts = AttachOptions {
+        poll: Duration::from_millis(25),
+        quiet: true,
+        ..AttachOptions::new(addr, name)
+    };
+    std::thread::spawn(move || attach_and_run(&opts))
+}
+
+#[test]
+fn two_remote_workers_merge_bit_identically_to_a_direct_sweep() {
+    let cfg = tiny_cfg();
+    let direct = cfg.canonicalized().run();
+
+    let handle = Coordinator::start(CoordinatorConfig {
+        workers: 0, // every shard must travel over TCP
+        shards: 4,
+        ..CoordinatorConfig::default()
+    });
+    let (addr, server) = listen(handle.coordinator());
+    let w1 = attach_worker(&addr, "w1");
+    let w2 = attach_worker(&addr, "w2");
+
+    let out = handle.coordinator().submit(&cfg);
+    handle.coordinator().drain();
+    let served = handle.coordinator().result(&out.job_id).unwrap().unwrap();
+    assert_eq!(
+        serde_json::to_string(&served.records).unwrap(),
+        serde_json::to_string(&direct.records).unwrap(),
+        "remote merge must be bit-identical to the direct sweep"
+    );
+    assert_eq!(served.to_csv(), direct.to_csv(), "CSV identical too");
+
+    let stats = handle.coordinator().stats();
+    assert_eq!(stats.remote_executors, 2);
+    assert_eq!(stats.done, 1);
+
+    // Shutdown propagates to the workers through their lease polls.
+    handle.coordinator().request_shutdown();
+    let o1 = w1.join().unwrap().expect("worker 1 exits cleanly");
+    let o2 = w2.join().unwrap().expect("worker 2 exits cleanly");
+    assert_eq!(
+        o1.shards_run + o2.shards_run,
+        4,
+        "the four shards were split across the attached workers"
+    );
+    server.join().unwrap().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn vanished_worker_leases_requeue_and_the_job_still_completes() {
+    let cfg = tiny_cfg().with_seed(23);
+    let direct = cfg.canonicalized().run();
+
+    let handle = Coordinator::start(CoordinatorConfig {
+        workers: 0,
+        shards: 2,
+        lease_timeout: Duration::from_millis(300),
+        ..CoordinatorConfig::default()
+    });
+    let c = handle.coordinator();
+    let out = c.submit(&cfg);
+
+    // A "worker" that leases a shard and then dies: no heartbeat, no
+    // result.  (This is exactly what `kill -9` on a worker process leaves.)
+    let ghost = c.register_executor("ghost", true);
+    let (work, _) = c.try_lease(&ghost);
+    assert!(work.is_some(), "the ghost really held a shard");
+
+    // A healthy worker attaches afterwards; once the ghost's lease expires
+    // its shard requeues and the healthy worker finishes the whole job.
+    let (addr, server) = listen(c);
+    let w = attach_worker(&addr, "healthy");
+
+    c.drain();
+    assert_eq!(c.status(&out.job_id).unwrap().status, JobStatus::Done);
+    let served = c.result(&out.job_id).unwrap().unwrap();
+    assert_eq!(
+        serde_json::to_string(&served.records).unwrap(),
+        serde_json::to_string(&direct.records).unwrap(),
+        "requeued shard must not change the merged result"
+    );
+    assert!(
+        c.stats().requeued_shards >= 1,
+        "the ghost's lease expired and requeued"
+    );
+
+    c.request_shutdown();
+    let outcome = w.join().unwrap().expect("healthy worker exits cleanly");
+    assert_eq!(outcome.shards_run, 2, "healthy worker ran both shards");
+    server.join().unwrap().unwrap();
+    handle.shutdown();
+}

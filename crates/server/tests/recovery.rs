@@ -1,0 +1,170 @@
+//! Crash-recovery property test: kill the coordinator mid-queue, restart it
+//! from `--state-dir`, and assert the merged results are bit-identical to an
+//! uninterrupted run.
+//!
+//! The "kill" is [`CoordinatorHandle::halt`] — executors abandon the queue
+//! immediately (finishing at most the shard in hand) and the process-local
+//! state is dropped, leaving only the journal, exactly what a `kill -9`
+//! leaves behind.  Each case draws how many jobs to submit, how many to let
+//! finish before the crash, and the shard decomposition; real pipelines run
+//! per case, so the case count is capped (and the suite belongs under
+//! `cargo test --release`, per the repo's test-speed notes).
+
+use bitmod::llm::config::LlmModel;
+use bitmod::llm::proxy::ProxyConfig;
+use bitmod::sweep::{SweepConfig, SweepReport};
+use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
+use bitmod_server::job::JobStatus;
+use proptest::prelude::Strategy;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The candidate jobs a case can submit: tiny single-model grids varying
+/// only by seed, so their uninterrupted baselines are cheap to cache.
+/// (Deliberately small — one bit width, tiny proxy — so the debug-mode
+/// tier-1 run stays bounded; the shard/merge machinery under test is
+/// grid-size-independent.)
+fn job_cfg(seed: u64) -> SweepConfig {
+    SweepConfig::new(vec![LlmModel::Phi2B], vec![4])
+        .with_proxy(ProxyConfig::tiny())
+        .with_seed(seed)
+}
+
+/// Uninterrupted baselines, one per seed, computed once per test binary.
+fn baseline(seed: u64) -> &'static SweepReport {
+    static BASELINES: OnceLock<Vec<SweepReport>> = OnceLock::new();
+    // Cases draw at most three jobs, so only seeds 0..3 ever need baselines.
+    let all = BASELINES.get_or_init(|| (0..3).map(|s| job_cfg(s).canonicalized().run()).collect());
+    &all[seed as usize]
+}
+
+fn records_json(report: &SweepReport) -> String {
+    serde_json::to_string(&report.records).expect("records serialize")
+}
+
+fn fresh_state_dir(case: u64) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("bitmod-recovery-{}-case{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Waits (bounded) until at least `want` of the given jobs are done.
+fn wait_for_done(coordinator: &Coordinator, jobs: &[String], want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let done = jobs
+            .iter()
+            .filter(|id| {
+                coordinator
+                    .status(id)
+                    .is_some_and(|v| v.status == JobStatus::Done)
+            })
+            .count();
+        if done >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {want} done job(s)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn killed_coordinator_resumes_from_the_journal_bit_identically() {
+    // Real pipelines per case: cap well below the global PROPTEST_CASES.
+    let cases = proptest::cases().min(3);
+    let mut rng = proptest::TestRng::new(proptest::seed_for(
+        "killed_coordinator_resumes_from_the_journal_bit_identically",
+    ));
+    for case in 0..cases {
+        let n_jobs = (1usize..=3).sample(&mut rng);
+        let finish_before_crash = (0usize..=n_jobs).sample(&mut rng);
+        let shards = (1usize..=3).sample(&mut rng);
+        let dir = fresh_state_dir(case);
+        let config = || CoordinatorConfig {
+            workers: 1,
+            shards,
+            state_dir: Some(dir.clone()),
+            ..CoordinatorConfig::default()
+        };
+
+        // First life: submit everything, let `finish_before_crash` jobs
+        // complete, then halt mid-queue.
+        let handle = Coordinator::start(config());
+        let jobs: Vec<String> = (0..n_jobs as u64)
+            .map(|seed| handle.coordinator().submit(&job_cfg(seed)).job_id)
+            .collect();
+        wait_for_done(handle.coordinator(), &jobs, finish_before_crash);
+        handle.halt();
+
+        // Second life: replay, resume, drain.
+        let handle = Coordinator::start(config());
+        let c = handle.coordinator();
+        c.drain();
+        for (seed, id) in jobs.iter().enumerate() {
+            let view = c
+                .status(id)
+                .unwrap_or_else(|| panic!("case {case}: job {id} lost across the restart"));
+            assert_eq!(
+                view.status,
+                JobStatus::Done,
+                "case {case}: job {id} did not resume"
+            );
+            let served = c.result(id).unwrap().unwrap();
+            assert_eq!(
+                records_json(&served),
+                records_json(baseline(seed as u64)),
+                "case {case}: job {id} diverged from the uninterrupted run \
+                 ({n_jobs} jobs, {finish_before_crash} finished pre-crash, {shards} shards)"
+            );
+            // Completed jobs keep serving the dedup/result cache.
+            assert!(
+                c.submit(&job_cfg(seed as u64)).deduped,
+                "case {case}: job {id} fell out of the rebuilt cache"
+            );
+        }
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn cache_cap_is_respected_when_the_journal_replays() {
+    // Three completed jobs journaled, cap of one on restart: only the most
+    // recently finished survives as the result cache (eviction re-derived
+    // from the Done order, exactly as if the daemon had never died).
+    let dir = fresh_state_dir(999);
+    let handle = Coordinator::start(CoordinatorConfig {
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        ..CoordinatorConfig::default()
+    });
+    let ids: Vec<String> = (0..3)
+        .map(|seed| handle.coordinator().submit(&job_cfg(seed)).job_id)
+        .collect();
+    handle.coordinator().drain();
+    handle.halt();
+
+    let handle = Coordinator::start(CoordinatorConfig {
+        workers: 1,
+        cache_cap: 1,
+        state_dir: Some(dir.clone()),
+        ..CoordinatorConfig::default()
+    });
+    let c = handle.coordinator();
+    assert!(c.status(&ids[0]).is_none(), "oldest done job evicted");
+    assert!(
+        c.status(&ids[1]).is_none(),
+        "second-oldest done job evicted"
+    );
+    assert_eq!(c.status(&ids[2]).unwrap().status, JobStatus::Done);
+    assert!(c.submit(&job_cfg(2)).deduped, "newest job still cached");
+    assert!(!c.submit(&job_cfg(0)).deduped, "evicted grids re-run");
+    c.drain();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -249,6 +249,20 @@ impl Matrix {
         self.cols.div_ceil(group_size)
     }
 
+    /// Returns a copy of the first `k` rows (the row-major prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the row count.
+    pub fn top_rows(&self, k: usize) -> Matrix {
+        assert!(
+            k > 0 && k <= self.rows,
+            "top_rows: k = {k} out of range for a {}-row matrix",
+            self.rows
+        );
+        Matrix::from_vec(k, self.cols, self.data[..k * self.cols].to_vec())
+    }
+
     /// Returns the transpose of this matrix.
     pub fn transposed(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

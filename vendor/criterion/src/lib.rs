@@ -3,10 +3,13 @@
 //! Implements the benchmarking surface the workspace's `benches/` use:
 //! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
 //! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
-//! [`criterion_group!`] / [`criterion_main!`] macros.  Instead of rigorous
-//! statistics it reports the mean and best wall-clock time over a short
-//! time-boxed measurement window, which is enough to compare hot paths and
-//! catch order-of-magnitude regressions.
+//! [`criterion_group!`] / [`criterion_main!`] macros.  Each benchmark runs
+//! inside a short time-boxed measurement window and reports summary
+//! statistics over its iterations — mean, min, max, and (sample) standard
+//! deviation, via [`SampleStats`] — which is enough to compare hot paths,
+//! judge run-to-run noise, and catch order-of-magnitude regressions
+//! (`bitmod-cli bench` reuses [`SampleStats`] for its micro-benchmarks so
+//! both surfaces summarize identically).
 //!
 //! Tuning knobs (environment variables):
 //!
@@ -165,6 +168,65 @@ impl Bencher {
     }
 }
 
+/// Summary statistics over a set of benchmark iterations, in seconds.
+///
+/// This is the one statistics implementation both the bench harness and
+/// `bitmod-cli bench` report through, so their numbers cannot disagree in
+/// method.  The standard deviation is the *sample* standard deviation
+/// (`n - 1` denominator), 0 for fewer than two samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Mean seconds per iteration.
+    pub mean: f64,
+    /// Fastest iteration (seconds).
+    pub min: f64,
+    /// Slowest iteration (seconds).
+    pub max: f64,
+    /// Sample standard deviation (seconds).
+    pub stddev: f64,
+    /// Number of iterations measured.
+    pub iters: usize,
+}
+
+impl SampleStats {
+    /// Computes the statistics of raw per-iteration values (any unit; the
+    /// output is in the same unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_values(samples: &[f64]) -> SampleStats {
+        assert!(!samples.is_empty(), "no samples to summarize");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        SampleStats {
+            mean,
+            min,
+            max,
+            stddev,
+            iters: n,
+        }
+    }
+
+    /// Computes the statistics of timed iterations, in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_durations(samples: &[Duration]) -> SampleStats {
+        let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        SampleStats::from_values(&secs)
+    }
+}
+
 fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher::default();
     f(&mut bencher);
@@ -172,14 +234,14 @@ fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         println!("{label}: no samples (Bencher::iter was not called)");
         return;
     }
-    let total: Duration = bencher.samples.iter().sum();
-    let mean = total / bencher.samples.len() as u32;
-    let best = bencher.samples.iter().min().copied().unwrap_or_default();
+    let stats = SampleStats::from_durations(&bencher.samples);
     println!(
-        "{label}: mean {} / best {} over {} iters",
-        fmt_duration(mean),
-        fmt_duration(best),
-        bencher.samples.len()
+        "{label}: mean {} / min {} / max {} / stddev {} over {} iters",
+        fmt_duration(Duration::from_secs_f64(stats.mean)),
+        fmt_duration(Duration::from_secs_f64(stats.min)),
+        fmt_duration(Duration::from_secs_f64(stats.max)),
+        fmt_duration(Duration::from_secs_f64(stats.stddev)),
+        stats.iters
     );
 }
 
@@ -221,6 +283,25 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sample_stats_summarize_mean_min_max_stddev() {
+        let stats = SampleStats::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.mean, 2.5);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 4.0);
+        assert_eq!(stats.iters, 4);
+        // Sample stddev of 1..4 is sqrt(5/3).
+        assert!((stats.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // A single sample has zero spread, not NaN.
+        let single = SampleStats::from_values(&[7.0]);
+        assert_eq!(single.stddev, 0.0);
+        assert_eq!((single.min, single.max), (7.0, 7.0));
+        // Durations convert to seconds.
+        let d =
+            SampleStats::from_durations(&[Duration::from_millis(10), Duration::from_millis(30)]);
+        assert!((d.mean - 0.020).abs() < 1e-12);
+    }
 
     #[test]
     fn bench_function_records_samples() {
