@@ -317,11 +317,13 @@ fn cmd_serve(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
     if let Some(journal) = handle.coordinator().journal_path() {
         let stats = handle.coordinator().stats();
         eprintln!(
-            "[serve] journal at {} ({} job(s) replayed: {} done, {} queued)",
+            "[serve] journal at {} ({} job(s) replayed: {} done, {} queued; \
+             {} point(s) in the result cache)",
             journal.display(),
             stats.jobs,
             stats.done,
-            stats.queued
+            stats.queued,
+            stats.points_cached
         );
     }
 

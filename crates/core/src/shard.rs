@@ -12,7 +12,12 @@
 //!
 //! `bitmod-cli worker --shard k/n` is the process-level entry point;
 //! `bitmod-cli report a.json b.json …` merges the outputs.  The serving
-//! engine uses the same partition in-process.
+//! engine uses the same partition in-process — and, since it caches results
+//! per point, also the *partial-grid* variants: [`run_partial_shard`] runs
+//! an explicit index list (a work unit over the uncached remainder of a
+//! grid) and [`assemble_report`] interleaves cached outcomes
+//! ([`CachedPoint`]) with fresh shard reports back into one bit-identical
+//! [`SweepReport`].
 //!
 //! ```
 //! use bitmod::shard::{merge_shards, run_shard, ShardSpec};
@@ -200,11 +205,41 @@ pub fn run_shard(cfg: &SweepConfig, shard: ShardSpec) -> ShardReport {
 /// [`crate::Pipeline::run_with_harness`] against deterministically
 /// constructed harnesses.
 pub fn run_shard_with_pool(cfg: &SweepConfig, shard: ShardSpec, pool: &HarnessPool) -> ShardReport {
+    let indices: Vec<usize> = (0..cfg.grid().len())
+        .filter(|i| i % shard.count == shard.index)
+        .collect();
+    run_partial_shard_with_pool(cfg, shard, &indices, pool)
+}
+
+/// Runs the grid points at `indices` with a fresh per-run harness cache.
+/// See [`run_partial_shard_with_pool`].
+pub fn run_partial_shard(cfg: &SweepConfig, shard: ShardSpec, indices: &[usize]) -> ShardReport {
+    run_partial_shard_with_pool(cfg, shard, indices, &HarnessPool::new())
+}
+
+/// Runs exactly the grid points of `cfg` at `indices` — a partial-grid work
+/// unit.  `shard` identifies the unit within its job and is carried through
+/// into the report; unlike [`run_shard_with_pool`] it does not select the
+/// points (the caller already did, e.g. the serving coordinator after
+/// subtracting a grid against its point-level result cache).
+///
+/// Records keep their *full-grid* indices, so the output assembles with
+/// [`assemble_report`] exactly like classic shards merge: each record is
+/// bit-identical to the same point of an unsharded run.  Out-of-range
+/// indices are dropped here and surface as a coverage error at assembly.
+pub fn run_partial_shard_with_pool(
+    cfg: &SweepConfig,
+    shard: ShardSpec,
+    indices: &[usize],
+    pool: &HarnessPool,
+) -> ShardReport {
     let started = std::time::Instant::now();
 
+    let grid = cfg.grid();
     let mut valid = Vec::new();
     let mut skipped = Vec::new();
-    for (i, p) in shard_points(cfg, shard) {
+    for &i in indices {
+        let Some(&p) = grid.get(i) else { continue };
         match p.quant_config() {
             Ok(q) => valid.push((i, p, q)),
             Err(reason) => skipped.push((i, p, reason)),
@@ -322,6 +357,131 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<SweepReport, String> {
     })
 }
 
+/// One point-level result-cache outcome, keyed by
+/// [`SweepPoint::cache_key`](crate::sweep::SweepPoint::cache_key).
+///
+/// Skips are cached alongside real records: a skip reason is a pure function
+/// of the point (e.g. "GPTQ cannot drive MX grids"), so overlapping grids
+/// must not re-validate invalid points any more than they recompute valid
+/// ones — and a skipped point must never be served back as a record, which
+/// the typed split here and the point check in [`assemble_report`] enforce.
+#[derive(Debug, Clone)]
+pub enum CachedPoint {
+    /// The point completed; the record is byte-identical to what a fresh run
+    /// of the same point produces (records are bit-deterministic).  Boxed:
+    /// a record dwarfs a skip reason, and stores hold many of these.
+    Record(Box<SweepRecord>),
+    /// The point is invalid; every sweep over it skips with this reason.
+    Skipped(String),
+}
+
+/// Assembles a full [`SweepReport`] from point-cache hits (`cached`, as
+/// `(grid index, outcome)` pairs) plus the shard reports of the freshly
+/// computed remainder — the partial-grid analog of [`merge_shards`].
+///
+/// Requires the fresh reports to form one complete `n`-way work-unit set
+/// over `cfg` (same literal configuration, one report per unit, no
+/// duplicates; an empty slice is a fully-cached assembly), and the cached
+/// and fresh grid indices together to cover `0..grid_len` exactly once.
+/// `records`/`skipped` come out in grid order, byte-identical to the
+/// unsharded [`SweepConfig::run`]; `wall_seconds` sums the fresh shard walls
+/// (cached points cost nothing) and `threads` is the fresh-shard maximum.
+pub fn assemble_report<S: std::borrow::Borrow<ShardReport>>(
+    cfg: &SweepConfig,
+    cached: &[(usize, CachedPoint)],
+    shards: &[S],
+) -> Result<SweepReport, String> {
+    let grid = cfg.grid();
+    let grid_len = grid.len();
+    // Grid indices are positions in the literal grid, exactly as in
+    // `merge_shards`: the fresh reports must carry this spelling.
+    let config_json = serde_json::to_string(cfg).expect("sweep configs always serialize");
+    if let Some(first) = shards.first() {
+        let n = first.borrow().shard.count;
+        if shards.len() != n {
+            return Err(format!(
+                "incomplete work-unit set: got {} reports for {n} units",
+                shards.len()
+            ));
+        }
+        let mut seen = vec![false; n];
+        for s in shards {
+            let s = s.borrow();
+            if s.shard.count != n {
+                return Err(format!(
+                    "mixed work-unit counts: found {} alongside {n}",
+                    s.shard.count
+                ));
+            }
+            if serde_json::to_string(&s.config).expect("sweep configs always serialize")
+                != config_json
+            {
+                return Err(format!(
+                    "work unit {} was produced by a different sweep configuration",
+                    s.shard
+                ));
+            }
+            if std::mem::replace(&mut seen[s.shard.index], true) {
+                return Err(format!("duplicate work unit {}", s.shard));
+            }
+        }
+    }
+
+    let mut records: Vec<(usize, &SweepRecord)> = Vec::new();
+    let mut skipped: Vec<(usize, SweepPoint, &String)> = Vec::new();
+    for (i, outcome) in cached {
+        let point = *grid.get(*i).ok_or_else(|| {
+            format!("cached point index {i} out of range for a {grid_len}-point grid")
+        })?;
+        match outcome {
+            CachedPoint::Record(r) => {
+                if r.point != point {
+                    return Err(format!(
+                        "cached record at grid index {i} does not match the grid point \
+                         (stale or mis-keyed point cache entry)"
+                    ));
+                }
+                records.push((*i, r.as_ref()));
+            }
+            CachedPoint::Skipped(reason) => skipped.push((*i, point, reason)),
+        }
+    }
+    for s in shards {
+        let s = s.borrow();
+        records.extend(s.records.iter().map(|r| (r.grid_index, &r.record)));
+        skipped.extend(s.skipped.iter().map(|(i, p, reason)| (*i, *p, reason)));
+    }
+    records.sort_by_key(|(i, _)| *i);
+    skipped.sort_by_key(|(i, _, _)| *i);
+
+    // Every grid index must be accounted for exactly once, whether it came
+    // from the cache or from a fresh work unit.
+    let mut indices: Vec<usize> = records
+        .iter()
+        .map(|(i, _)| *i)
+        .chain(skipped.iter().map(|(i, _, _)| *i))
+        .collect();
+    indices.sort_unstable();
+    if indices != (0..grid_len).collect::<Vec<_>>() {
+        return Err(format!(
+            "cached + fresh outputs cover {} of {grid_len} grid points \
+             (incomplete subtraction or truncated work unit?)",
+            indices.len()
+        ));
+    }
+
+    Ok(SweepReport {
+        config: cfg.clone(),
+        records: records.into_iter().map(|(_, r)| r.clone()).collect(),
+        skipped: skipped
+            .into_iter()
+            .map(|(_, p, reason)| (p, reason.clone()))
+            .collect(),
+        wall_seconds: shards.iter().map(|s| s.borrow().wall_seconds).sum(),
+        threads: shards.iter().map(|s| s.borrow().threads).max().unwrap_or(1),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +591,118 @@ mod tests {
         assert_eq!(progress.skipped, report.skipped.len());
         assert_eq!(progress.grid_points, shard_len(&cfg, report.shard));
         assert!(progress.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn partial_shards_plus_cached_points_assemble_bit_identically() {
+        let cfg = tiny_cfg();
+        let direct = cfg.run();
+        let grid_len = cfg.grid().len();
+
+        // Pretend the even grid indices are already cached (from a previous
+        // overlapping sweep) and only the odd remainder runs fresh, split
+        // into two work units.
+        let cached: Vec<(usize, CachedPoint)> = direct
+            .records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(i, r)| (i, CachedPoint::Record(Box::new(r.clone()))))
+            .collect();
+        let remainder: Vec<usize> = (0..grid_len).filter(|i| i % 2 == 1).collect();
+        let units: Vec<ShardReport> = ShardSpec::all(2)
+            .into_iter()
+            .map(|spec| {
+                let own: Vec<usize> = remainder
+                    .iter()
+                    .enumerate()
+                    .filter(|(p, _)| p % spec.count == spec.index)
+                    .map(|(_, &i)| i)
+                    .collect();
+                run_partial_shard(&cfg, spec, &own)
+            })
+            .collect();
+        let assembled = assemble_report(&cfg, &cached, &units).unwrap();
+        assert_eq!(
+            serde_json::to_string(&assembled.records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap(),
+            "cached + fresh interleave must be bit-identical"
+        );
+        assert_eq!(assembled.skipped, direct.skipped);
+        assert_eq!(assembled.to_csv(), direct.to_csv());
+    }
+
+    #[test]
+    fn fully_cached_assembly_needs_no_shards_and_caches_skips() {
+        let mut cfg = tiny_cfg();
+        cfg.bits = vec![4, 6]; // bitmod@6 is invalid, so the cache holds skips too
+        let direct = cfg.run();
+        let grid = cfg.grid();
+        let mut cached: Vec<(usize, CachedPoint)> = Vec::new();
+        for (i, p) in grid.iter().enumerate() {
+            match p.quant_config() {
+                Ok(_) => {
+                    let r = direct.records.iter().find(|r| r.point == *p).unwrap();
+                    cached.push((i, CachedPoint::Record(Box::new(r.clone()))));
+                }
+                Err(reason) => cached.push((i, CachedPoint::Skipped(reason))),
+            }
+        }
+        let assembled = assemble_report(&cfg, &cached, &Vec::<ShardReport>::new()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&assembled.records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap()
+        );
+        assert_eq!(
+            assembled.skipped, direct.skipped,
+            "skip reasons replay from cache"
+        );
+        assert_eq!(
+            assembled.wall_seconds, 0.0,
+            "cached points cost no wall time"
+        );
+    }
+
+    #[test]
+    fn assembly_rejects_gaps_overlaps_and_mismatched_records() {
+        let cfg = tiny_cfg();
+        let direct = cfg.run();
+        let grid = cfg.grid();
+        let all_cached: Vec<(usize, CachedPoint)> = direct
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, CachedPoint::Record(Box::new(r.clone()))))
+            .collect();
+        let no_shards = Vec::<ShardReport>::new();
+
+        // A gap (missing point) is a coverage error, not a silent hole.
+        let gappy = &all_cached[1..];
+        assert!(assemble_report(&cfg, gappy, &no_shards).is_err());
+
+        // A cached point also covered by a fresh unit is an overlap error.
+        let full_unit = run_partial_shard(
+            &cfg,
+            ShardSpec::new(0, 1).unwrap(),
+            &(0..grid.len()).collect::<Vec<_>>(),
+        );
+        assert!(assemble_report(&cfg, &all_cached[..1], std::slice::from_ref(&full_unit)).is_err());
+
+        // A record filed under the wrong grid index must be caught: serving
+        // it would return the wrong point's numbers.
+        let mut mislabeled = all_cached.clone();
+        mislabeled.swap(0, 1);
+        let swapped: Vec<(usize, CachedPoint)> = mislabeled
+            .iter()
+            .enumerate()
+            .map(|(i, (_, o))| (i, o.clone()))
+            .collect();
+        assert!(
+            assemble_report(&cfg, &swapped, &no_shards).is_err(),
+            "mis-keyed cache entries must not assemble"
+        );
+
+        assert!(assemble_report(&cfg, &all_cached, &no_shards).is_ok());
     }
 
     #[test]

@@ -217,6 +217,27 @@ impl SweepPoint {
         }
     }
 
+    /// The point-level result-cache key: the compact JSON of this point plus
+    /// the evaluation context (`proxy`, `seed`) — every input a record
+    /// depends on.  The whole-grid analog is [`SweepConfig::cache_key`]; the
+    /// serving coordinator's point store uses this key to reuse individual
+    /// records across overlapping grids.
+    ///
+    /// The key deliberately uses the *requested* coordinates, not the
+    /// realized ones: [`SweepPoint::quant_config`] normalizes scale dtypes
+    /// under GPTQ/OmniQuant and [`SweepPoint::realized_calib_size`]
+    /// normalizes calibration sizes under RTN, but records embed the
+    /// requested point, so two points with the same realized algorithm still
+    /// produce byte-distinct records and must not share a cache slot.
+    pub fn cache_key(&self, proxy: &ProxyConfig, seed: u64) -> String {
+        let keyed = serde::Value::Map(vec![
+            ("point".to_string(), self.to_value()),
+            ("proxy".to_string(), proxy.to_value()),
+            ("seed".to_string(), serde::Value::U64(seed)),
+        ]);
+        serde_json::to_string(&keyed).expect("sweep points always serialize")
+    }
+
     /// Compact human-readable label, e.g. `Phi-2B/bitmod-4b/g128`.  Axes
     /// still at the classic-grid defaults (RTN, generative task, lossy
     /// accelerator, INT8 scales) are omitted, so four-axis labels are
@@ -1035,6 +1056,63 @@ mod tests {
         SweepConfig::new(vec![LlmModel::Phi2B, LlmModel::Opt1_3B], vec![3, 4])
             .with_proxy(ProxyConfig::tiny())
             .with_seed(7)
+    }
+
+    #[test]
+    fn point_cache_keys_are_stable_and_separate_every_record_input() {
+        let cfg = tiny_sweep();
+        let grid = cfg.grid();
+        let keys: Vec<String> = grid
+            .iter()
+            .map(|p| p.cache_key(&cfg.proxy, cfg.seed))
+            .collect();
+        // Stable: recomputing any key yields the same string.
+        for (p, key) in grid.iter().zip(&keys) {
+            assert_eq!(&p.cache_key(&cfg.proxy, cfg.seed), key);
+        }
+        // Distinct across grid coordinates.
+        let unique: std::collections::HashSet<&String> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "every grid point keys uniquely");
+        // Distinct across the evaluation context too: same point, different
+        // proxy or seed, different records — so different keys.
+        let p = grid[0];
+        assert_ne!(
+            p.cache_key(&cfg.proxy, cfg.seed),
+            p.cache_key(&cfg.proxy, cfg.seed + 1)
+        );
+        assert_ne!(
+            p.cache_key(&cfg.proxy, cfg.seed),
+            p.cache_key(&ProxyConfig::standard(), cfg.seed)
+        );
+    }
+
+    #[test]
+    fn point_cache_keys_use_requested_not_realized_coordinates() {
+        // GPTQ realizes FP16 scales whatever scale dtype the point requests,
+        // but the records embed the requested point — so two requests that
+        // realize the same algorithm must still key separately.
+        let base = SweepPoint {
+            model: LlmModel::Phi2B,
+            dtype: SweepDtype::IntAsym,
+            bits: 4,
+            granularity: Granularity::PerGroup(128),
+            method: CompositionMethod::Gptq,
+            task: TaskShape::GENERATIVE,
+            accelerator: AcceleratorKind::BitModLossy,
+            scale_dtype: ScaleDtype::Int(8),
+            calib_size: CALIB_LEN,
+        };
+        let fp16 = SweepPoint {
+            scale_dtype: ScaleDtype::Fp16,
+            ..base
+        };
+        assert_eq!(
+            base.quant_config().unwrap().scale_dtype,
+            fp16.quant_config().unwrap().scale_dtype,
+            "precondition: both realize FP16 scales"
+        );
+        let proxy = ProxyConfig::tiny();
+        assert_ne!(base.cache_key(&proxy, 42), fp16.cache_key(&proxy, 42));
     }
 
     #[test]

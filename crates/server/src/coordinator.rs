@@ -1,9 +1,12 @@
-//! The serving coordinator: accepts jobs, decomposes them into
-//! [`bitmod::shard::ShardSpec`] work units, leases the units to executors (in-process
-//! threads and remote `bitmod-cli worker --attach` processes alike), merges
-//! the returned [`ShardReport`]s bit-identically via
-//! [`bitmod::shard::merge_shards`], and journals every transition to an
-//! optional state directory so queued and in-flight jobs survive restarts.
+//! The serving coordinator: accepts jobs, subtracts each grid against the
+//! point-level result cache ([`crate::points::PointStore`]), decomposes the
+//! uncached remainder into [`bitmod::shard::ShardSpec`] work units, leases
+//! the units to executors (in-process threads and remote
+//! `bitmod-cli worker --attach` processes alike), assembles cached and
+//! freshly returned [`ShardReport`]s bit-identically via
+//! [`bitmod::shard::assemble_report`], and journals every transition to an
+//! optional state directory so queued and in-flight jobs — and every
+//! already-computed point — survive restarts.
 //!
 //! This is the supervisory half of the coordinator/executor split;
 //! [`crate::executor`] holds both executor kinds.  The coordinator never
@@ -90,6 +93,12 @@ pub struct CoordinatorStats {
     pub active_leases: usize,
     /// Shards requeued after a lease expired.
     pub requeued_shards: usize,
+    /// Points currently held by the point-level result cache.
+    pub points_cached: usize,
+    /// Point-store lookups served from cache since startup.
+    pub point_hits: usize,
+    /// Point-store lookups that required computation since startup.
+    pub point_misses: usize,
 }
 
 /// Interior state guarded by one lock: the job/lease queue plus the journal
@@ -279,11 +288,28 @@ impl Coordinator {
         let outcome = state.queue.submit(config);
         if !outcome.deduped {
             let job = &state.queue.jobs[&outcome.job_id];
-            let event = JournalEvent::Submit {
-                job: job.id.clone(),
-                config: Box::new(job.config.clone()),
-            };
-            state.journal(event);
+            let config = Box::new(job.config.clone());
+            // A fully-cached grid finished inside submit(): journal the
+            // completion (and the cap evictions it triggered) right behind
+            // the submit event, so replay rebuilds the identical state.
+            let report = (job.status == JobStatus::Done)
+                .then(|| job.report.clone())
+                .flatten();
+            state.journal(JournalEvent::Submit {
+                job: outcome.job_id.clone(),
+                config,
+            });
+            if let Some(report) = report {
+                state.journal(JournalEvent::Done {
+                    job: outcome.job_id.clone(),
+                    report,
+                });
+            }
+            for evicted in &outcome.evicted {
+                state.journal(JournalEvent::Evict {
+                    job: evicted.clone(),
+                });
+            }
         }
         drop(state);
         if !outcome.deduped {
@@ -350,6 +376,9 @@ impl Coordinator {
             remote_executors: q.executors.values().filter(|e| e.remote).count(),
             active_leases: q.leases.len(),
             requeued_shards: q.requeued,
+            points_cached: q.points.len(),
+            point_hits: q.points.hits(),
+            point_misses: q.points.misses(),
         }
     }
 
@@ -568,6 +597,12 @@ impl Coordinator {
                 shard: landing.shard,
                 executor: executor.to_string(),
                 progress: landing.shard_progress,
+                // Mid-job landings persist their full report so replay can
+                // re-seed the point store; the final landing's points travel
+                // in the `done` event journaled right below instead.
+                report: (landing.status == JobStatus::Running)
+                    .then(|| landing.report.clone())
+                    .flatten(),
             };
             state.journal(event);
             self.journal_transition(&mut state, &landing);
@@ -654,10 +689,16 @@ impl Coordinator {
     }
 }
 
-/// Applies replayed journal events to a fresh queue: completed jobs rebuild
-/// the result cache, failed jobs stay queryable, and everything else is
-/// re-enqueued (a job mid-flight at the crash restarts from its journaled
-/// configuration — shard grids are deterministic, so nothing is lost).
+/// Applies replayed journal events to a fresh queue, in two passes.
+///
+/// Pass one walks the events in append order: submits insert their jobs
+/// *without* decomposing them yet, every journaled shard report (and every
+/// completed job's final report) re-seeds the point store, and done/failed
+/// events finish their jobs — re-deriving result-cache evictions, and the
+/// point drops they imply, under the *current* cap (which may legitimately
+/// differ across restarts).  Pass two decomposes the jobs still queued at
+/// the crash against the fully re-seeded store, so only their
+/// not-yet-landed points re-dispatch.
 fn replay_events(queue: &mut JobQueue, events: Vec<JournalEvent>) {
     for event in events {
         match event {
@@ -671,12 +712,28 @@ fn replay_events(queue: &mut JobQueue, events: Vec<JournalEvent>) {
                 {
                     queue.submitted = queue.submitted.max(n);
                 }
-                queue.insert_queued_job(job, *config, key);
+                queue.insert_job(job, *config, key);
+            }
+            JournalEvent::ShardDone {
+                job,
+                report: Some(report),
+                ..
+            } => {
+                // A mid-job landing that beat the crash: its points are
+                // computed property, whatever became of the job.
+                if let Some(j) = queue.jobs.get(&job) {
+                    let (proxy, seed) = (j.config.proxy, j.config.seed);
+                    queue.seed_points(&job, proxy, seed, &report);
+                }
             }
             JournalEvent::Done { job, report } => {
-                if queue.jobs.contains_key(&job) {
-                    // Drop the job's queued work units before finishing it.
-                    queue.pending.retain(|w| w.job != job);
+                if let Some(j) = queue.jobs.get(&job) {
+                    let (proxy, seed) = (j.config.proxy, j.config.seed);
+                    // The assembled report is the landing of record: every
+                    // point of a completed job enters the store, which also
+                    // re-derives co-ownership of points the job originally
+                    // served from cache.
+                    queue.seed_sweep_points(&job, proxy, seed, &report);
                     // The replay owns the sole Arc, so this never clones.
                     let report = Arc::try_unwrap(report).unwrap_or_else(|shared| (*shared).clone());
                     queue.finish(&job, Ok(report));
@@ -684,19 +741,37 @@ fn replay_events(queue: &mut JobQueue, events: Vec<JournalEvent>) {
             }
             JournalEvent::Failed { job, error } => {
                 if queue.jobs.contains_key(&job) {
-                    queue.pending.retain(|w| w.job != job);
                     queue.finish(&job, Err(error));
                 }
             }
-            // Dispatch/shard-done/requeue are an audit trail: the shards of
-            // unfinished jobs re-run from scratch (bit-identical), and
-            // evictions are re-derived from the Done order and the current
-            // cache cap (which may legitimately differ across restarts).
+            // Dispatch/requeue/evict and report-less shard-dones are an
+            // audit trail: the uncached shards of unfinished jobs re-run
+            // from scratch (bit-identical), and evictions are re-derived
+            // from the Done order and the current cache cap.
             JournalEvent::Dispatch { .. }
             | JournalEvent::ShardDone { .. }
             | JournalEvent::Requeue { .. }
             | JournalEvent::Evict { .. } => {}
         }
+    }
+    // With the store fully re-seeded, decompose the jobs that were queued or
+    // in flight at the crash (in submission order, matching their original
+    // dispatch order).  A job the store now covers entirely finishes right
+    // here — replayed completions need no journaling, the next replay
+    // re-derives them the same way.
+    let mut unfinished: Vec<String> = queue
+        .jobs
+        .values()
+        .filter(|j| j.status == JobStatus::Queued)
+        .map(|j| j.id.clone())
+        .collect();
+    unfinished.sort_by_key(|id| {
+        id.strip_prefix("job-")
+            .and_then(|n| n.parse::<usize>().ok())
+            .unwrap_or(usize::MAX)
+    });
+    for id in unfinished {
+        queue.decompose_job(&id);
     }
     // Replayed evictions counted during finish() are history, not news.
     queue.epoch = 0;

@@ -12,12 +12,14 @@
 //!   remote executor that dies mid-shard simply stops heart-beating; the
 //!   coordinator requeues the shard for someone else.
 //!
-//! Both kinds run the exact same [`run_shard_with_pool`] the offline
-//! `bitmod-cli worker --shard k/n` path uses, so records are bit-identical
-//! wherever a shard lands.
+//! Both kinds run the exact same partial-shard runner
+//! ([`bitmod::shard::run_partial_shard_with_pool`]) over the exact grid
+//! indices the coordinator assigned — the unit's stride of the job's
+//! uncached remainder — so records are bit-identical wherever a shard
+//! lands, and points another job already computed are never re-run.
 
 use crate::coordinator::Coordinator;
-use bitmod::shard::{run_shard_with_pool, ShardSpec};
+use bitmod::shard::{run_partial_shard_with_pool, ShardSpec};
 use bitmod::sweep::SweepConfig;
 use bitmod_llm::eval::HarnessPool;
 use serde::{Serialize, Value};
@@ -35,7 +37,7 @@ pub(crate) fn run_local(coordinator: &Coordinator, index: usize) {
     while let Some(work) = coordinator.lease_blocking(&exec) {
         // A panicking shard must fail its job, not kill the executor.
         let result = catch_unwind(AssertUnwindSafe(|| {
-            run_shard_with_pool(&work.config, work.shard, coordinator.pool())
+            run_partial_shard_with_pool(&work.config, work.shard, &work.indices, coordinator.pool())
         }));
         let _ = match result {
             Ok(report) => coordinator.complete_shard(&exec, work.lease, report),
@@ -254,12 +256,12 @@ pub fn attach_and_run(opts: &AttachOptions) -> Result<AttachOutcome, String> {
             std::thread::sleep(opts.poll);
             continue;
         };
-        let (lease, job, shard, config) = parse_work(work)?;
+        let (lease, job, shard, config, indices) = parse_work(work)?;
         if !opts.quiet {
             eprintln!(
                 "[worker] {} leased {job} shard {shard} ({} grid points)",
                 session.executor,
-                bitmod::shard::shard_len(&config, shard)
+                indices.len()
             );
         }
 
@@ -274,7 +276,7 @@ pub fn attach_and_run(opts: &AttachOptions) -> Result<AttachOutcome, String> {
             Arc::clone(&stop),
         );
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_shard_with_pool(&config, shard, &pool)
+            run_partial_shard_with_pool(&config, shard, &indices, &pool)
         }))
         .map_err(panic_message);
         stop.store(true, Ordering::SeqCst);
@@ -344,8 +346,12 @@ fn attach(opts: &AttachOptions) -> Result<Session, String> {
     })
 }
 
-/// Parses a `lease` response's `work` object.
-fn parse_work(work: &Value) -> Result<(u64, String, ShardSpec, SweepConfig), String> {
+/// Parses a `lease` response's `work` object.  The `indices` field carries
+/// the exact grid indices the unit computes; a daemon predating the point
+/// cache omits it, in which case the worker falls back to the classic
+/// stride over the whole grid (the two are identical when nothing was
+/// cached).
+fn parse_work(work: &Value) -> Result<(u64, String, ShardSpec, SweepConfig, Vec<usize>), String> {
     let map = work.as_map().ok_or("`work` must be an object")?;
     let lease = field(map, "lease")
         .and_then(Value::as_u64)
@@ -362,7 +368,20 @@ fn parse_work(work: &Value) -> Result<(u64, String, ShardSpec, SweepConfig), Str
     let config_value = field(map, "config").ok_or("work carried no config")?;
     let config: SweepConfig =
         serde_json::from_value(config_value).map_err(|e| format!("bad work config: {e}"))?;
-    Ok((lease, job, shard, config))
+    let indices = match field(map, "indices").and_then(Value::as_seq) {
+        Some(seq) => seq
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|n| n as usize)
+                    .ok_or("work indices must be integers".to_string())
+            })
+            .collect::<Result<Vec<usize>, String>>()?,
+        None => (0..config.grid().len())
+            .filter(|i| i % shard.count == shard.index)
+            .collect(),
+    };
+    Ok((lease, job, shard, config, indices))
 }
 
 /// Heartbeats `lease` every `interval` from its own connection until `stop`

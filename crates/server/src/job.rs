@@ -2,21 +2,28 @@
 //! states, shard-level work units, executor leases, and the queue/dedup-cache
 //! state machine.
 //!
-//! A submitted job is decomposed into [`bitmod::shard::ShardSpec`] work units
-//! at accept time.  Executors — in-process threads or remote
+//! A submitted job's canonical grid is first **subtracted** against the
+//! [`crate::points::PointStore`] — every point some previous job already
+//! computed (record or skip) is served from cache — and only the remainder
+//! is decomposed into [`bitmod::shard::ShardSpec`] work units at accept
+//! time.  Executors — in-process threads or remote
 //! `bitmod-cli worker --attach` processes — *lease* work units one at a
 //! time; a lease either completes (the executor returns the
-//! [`ShardReport`]) or expires (missed heartbeats), in which case the work
-//! unit is requeued for another executor.  When the last shard of a job
-//! lands, the coordinator merges the reports with
-//! [`bitmod::shard::merge_shards`], bit-identically to an unsharded run.
+//! [`ShardReport`], whose points feed back into the store) or expires
+//! (missed heartbeats), in which case the work unit is requeued for another
+//! executor.  When the last unit of a job lands, the coordinator assembles
+//! cached and fresh outcomes with [`bitmod::shard::assemble_report`],
+//! bit-identically to an unsharded run.  A fully-cached submission finishes
+//! at accept time without dispatching anything.
 
-use bitmod::shard::{merge_shards, ShardProgress, ShardReport, ShardSpec};
+use bitmod::shard::{assemble_report, CachedPoint, ShardProgress, ShardReport, ShardSpec};
 use bitmod::sweep::{SweepConfig, SweepReport};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::points::PointStore;
 
 /// Lifecycle state of a submitted sweep job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,10 +63,19 @@ pub struct Job {
     pub status: JobStatus,
     /// How many submissions were coalesced into this job (1 = no dedup hit).
     pub submissions: usize,
-    /// Completed shard reports, indexed by shard index (`None` = not yet
+    /// Total points of the canonical grid.
+    pub points_total: usize,
+    /// Outcomes served from the point store at decompose time, as
+    /// `(grid index, outcome)` pairs — the cached half of the final report.
+    pub cached: Vec<(usize, CachedPoint)>,
+    /// The grid indices this job actually computes (ascending): the grid
+    /// minus the cached points.  Work unit `k/n` owns the remainder
+    /// positions `p` with `p % n == k`.
+    pub remainder: Arc<Vec<usize>>,
+    /// Completed work-unit reports, indexed by unit index (`None` = not yet
     /// returned by any executor).
-    pub shard_reports: Vec<Option<ShardReport>>,
-    /// The completed (merged) report, once `status == Done`.
+    pub shard_reports: Vec<Option<Arc<ShardReport>>>,
+    /// The completed (assembled) report, once `status == Done`.
     pub report: Option<Arc<SweepReport>>,
     /// The failure reason, once `status == Failed`.
     pub error: Option<String>,
@@ -74,10 +90,15 @@ pub struct JobView {
     pub status: JobStatus,
     /// How many submissions were coalesced into this job.
     pub submissions: usize,
-    /// Shards the job was decomposed into.
+    /// Work units the job's uncached remainder was decomposed into (0 when
+    /// the point store covered the whole grid at submit).
     pub shards_total: usize,
-    /// Shards completed so far.
+    /// Work units completed so far.
     pub shards_done: usize,
+    /// Total points of the canonical grid.
+    pub points_total: usize,
+    /// Grid points served from the point store at submit.
+    pub points_cached: usize,
     /// Number of completed records, once done.
     pub records: Option<usize>,
     /// Number of skipped grid points, once done.
@@ -97,6 +118,8 @@ impl Job {
             submissions: self.submissions,
             shards_total: self.shard_reports.len(),
             shards_done: self.shards_done(),
+            points_total: self.points_total,
+            points_cached: self.cached.len(),
             records: self.report.as_ref().map(|r| r.records.len()),
             skipped: self.report.as_ref().map(|r| r.skipped.len()),
             wall_seconds: self.report.as_ref().map(|r| r.wall_seconds),
@@ -134,10 +157,13 @@ pub struct WorkAssignment {
     pub lease: u64,
     /// The owning job.
     pub job: String,
-    /// The shard to run.
+    /// The work unit to run (unit `k` of the job's `n`).
     pub shard: ShardSpec,
     /// The job's (canonicalized) sweep configuration.
     pub config: SweepConfig,
+    /// The exact grid indices this unit computes — the unit's stride of the
+    /// job's uncached remainder, not of the whole grid.
+    pub indices: Vec<usize>,
 }
 
 /// An outstanding lease: which executor holds which work unit, and when the
@@ -200,6 +226,10 @@ pub struct JobQueue {
     pub executors: HashMap<String, ExecutorInfo>,
     /// Canonical config key → job id (the dedup/result cache).
     pub by_key: HashMap<String, String>,
+    /// The point-level result cache every accepted grid is subtracted
+    /// against.  Fed by shard landings (and journal replay); entries are
+    /// dropped when the last job covering them is evicted.
+    pub points: PointStore,
     /// Total jobs created (drives id assignment; dedup hits do not count).
     pub submitted: usize,
     /// Total leases issued (drives lease-id assignment).
@@ -244,6 +274,10 @@ pub struct SubmitOutcome {
     /// True if an existing job (queued, running, or finished) absorbed the
     /// submission.
     pub deduped: bool,
+    /// Jobs the result-cache cap evicted because this submission completed
+    /// instantly from the point store (empty otherwise — jobs that dispatch
+    /// work evict on their *landing*, not at submit).
+    pub evicted: Vec<String>,
 }
 
 /// What landed when a shard report was accepted: the job's new state, plus
@@ -260,6 +294,10 @@ pub struct ShardLanding {
     /// when a report actually landed — `None` for failures and ignored
     /// duplicates.
     pub shard_progress: Option<ShardProgress>,
+    /// The accepted shard report itself, when one landed (`None` for
+    /// failures and ignored duplicates) — what the journal's `shard-done`
+    /// event persists so replay can re-seed the point store.
+    pub report: Option<Arc<ShardReport>>,
     /// The job's status after this landing (`Done` when this was the last
     /// shard and the merge succeeded, `Failed` if the merge refused).
     pub status: JobStatus,
@@ -281,6 +319,7 @@ impl JobQueue {
             leases: HashMap::new(),
             executors: HashMap::new(),
             by_key: HashMap::new(),
+            points: PointStore::new(),
             submitted: 0,
             leased: 0,
             registered: 0,
@@ -328,8 +367,10 @@ impl JobQueue {
     }
 
     /// Submits a configuration: either attaches to the job already covering
-    /// its canonical form, or creates a job and enqueues its shard work
-    /// units.
+    /// its canonical form (the whole-job dedup fast path), or creates a job,
+    /// subtracts its grid against the point store, and enqueues work units
+    /// over the uncached remainder.  A fully-cached grid finishes right
+    /// here, without dispatching anything.
     ///
     /// A `Failed` job does not absorb new submissions — resubmitting its
     /// grid enqueues a fresh job (the retry path), and the new job takes
@@ -344,21 +385,27 @@ impl JobQueue {
                 return SubmitOutcome {
                     job_id: id.clone(),
                     deduped: true,
+                    evicted: Vec::new(),
                 };
             }
         }
         self.submitted += 1;
         let id = format!("job-{}", self.submitted);
-        self.insert_queued_job(id.clone(), canonical, cache_key);
+        self.insert_job(id.clone(), canonical, cache_key);
+        let evicted = self.decompose_job(&id);
         SubmitOutcome {
             job_id: id,
             deduped: false,
+            evicted,
         }
     }
 
-    /// Creates a `Queued` job with the given id and enqueues its work units
-    /// — the shared tail of [`JobQueue::submit`] and journal replay.
-    pub(crate) fn insert_queued_job(&mut self, id: String, canonical: SweepConfig, key: String) {
+    /// Creates a `Queued` job with the given id, without work units yet —
+    /// the shared head of [`JobQueue::submit`] and journal replay (replay
+    /// defers [`JobQueue::decompose_job`] until the point store is fully
+    /// re-seeded).
+    pub(crate) fn insert_job(&mut self, id: String, canonical: SweepConfig, key: String) {
+        let points_total = canonical.grid().len();
         self.jobs.insert(
             id.clone(),
             Job {
@@ -367,19 +414,67 @@ impl JobQueue {
                 cache_key: key.clone(),
                 status: JobStatus::Queued,
                 submissions: 1,
-                shard_reports: vec![None; self.shards_per_job],
+                points_total,
+                cached: Vec::new(),
+                remainder: Arc::new(Vec::new()),
+                shard_reports: Vec::new(),
                 report: None,
                 error: None,
             },
         );
         self.by_key.insert(key, id.clone());
-        for shard in ShardSpec::all(self.shards_per_job) {
+        self.epoch += 1;
+    }
+
+    /// Subtracts the job's canonical grid against the point store and
+    /// enqueues work units over the remainder: `min(shards_per_job,
+    /// remainder)` units, so no unit is ever empty.  A job whose grid the
+    /// store covers entirely is assembled and finished on the spot; the ids
+    /// of any jobs that finishing evicted are returned (empty otherwise).
+    ///
+    /// Every cache hit registers the job as a co-owner of the point, so the
+    /// cached half of its grid cannot be evicted out from under it.
+    pub(crate) fn decompose_job(&mut self, id: &str) -> Vec<String> {
+        let config = self.jobs[id].config.clone();
+        let grid = config.grid();
+        let mut cached = Vec::new();
+        let mut remainder = Vec::new();
+        for (i, point) in grid.iter().enumerate() {
+            match self
+                .points
+                .hit(&point.cache_key(&config.proxy, config.seed), id)
+            {
+                Some(outcome) => cached.push((i, outcome)),
+                None => remainder.push(i),
+            }
+        }
+        let units = if remainder.is_empty() {
+            0
+        } else {
+            remainder.len().min(self.shards_per_job)
+        };
+        {
+            let job = self.jobs.get_mut(id).expect("decomposing id exists");
+            job.cached = cached;
+            job.remainder = Arc::new(remainder);
+            job.shard_reports = vec![None; units];
+        }
+        self.epoch += 1;
+        if units == 0 {
+            // Fully cached: assemble from the store alone and finish now.
+            let result = {
+                let job = &self.jobs[id];
+                assemble_report(&job.config, &job.cached, &Vec::<Arc<ShardReport>>::new())
+            };
+            return self.finish(id, result).1;
+        }
+        for shard in ShardSpec::all(units) {
             self.pending.push_back(WorkItem {
-                job: id.clone(),
+                job: id.to_string(),
                 shard,
             });
         }
-        self.epoch += 1;
+        Vec::new()
     }
 
     /// Leases the oldest queued work unit to `executor`; `None` if the queue
@@ -409,11 +504,22 @@ impl JobQueue {
                 expires: timeout.map(|t| Instant::now() + t),
             },
         );
+        // Unit k/n owns the remainder positions ≡ k (mod n) — the same
+        // strided rule as classic sharding, applied to the uncached
+        // remainder instead of the whole grid.
+        let indices: Vec<usize> = job
+            .remainder
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| p % item.shard.count == item.shard.index)
+            .map(|(_, &i)| i)
+            .collect();
         Some(WorkAssignment {
             lease,
             job: item.job,
             shard: item.shard,
             config: job.config.clone(),
+            indices,
         })
     }
 
@@ -484,9 +590,10 @@ impl JobQueue {
         reaped
     }
 
-    /// Accepts a completed shard report for `lease`.  When it is the job's
-    /// last outstanding shard, merges the reports and finishes the job
-    /// (enforcing the result-cache cap).
+    /// Accepts a completed shard report for `lease`, feeding every landed
+    /// point (record *and* skip) into the point store.  When it is the
+    /// job's last outstanding unit, assembles the cached and fresh outcomes
+    /// and finishes the job (enforcing the result-cache cap).
     pub fn complete_shard(
         &mut self,
         executor: &str,
@@ -524,15 +631,19 @@ impl JobQueue {
                 shard,
                 progress: (job.shards_done(), job.shard_reports.len()),
                 shard_progress: None,
+                report: None,
                 status: job.status,
                 evicted: Vec::new(),
                 ignored: true,
             });
         }
         let shard_progress = Some(report.progress());
-        job.shard_reports[shard.index] = Some(report);
+        let (proxy, seed) = (job.config.proxy, job.config.seed);
+        let report = Arc::new(report);
+        job.shard_reports[shard.index] = Some(Arc::clone(&report));
         let done = job.shards_done();
         let total = job.shard_reports.len();
+        self.seed_points(&lease.job, proxy, seed, &report);
         self.epoch += 1;
         if done < total {
             return Ok(ShardLanding {
@@ -540,28 +651,86 @@ impl JobQueue {
                 shard,
                 progress: (done, total),
                 shard_progress,
+                report: Some(report),
                 status: JobStatus::Running,
                 evicted: Vec::new(),
                 ignored: false,
             });
         }
-        // Last shard: merge and finish.
-        let shards: Vec<ShardReport> = job
-            .shard_reports
-            .iter_mut()
-            .map(|r| r.take().expect("all shards present"))
-            .collect();
-        let result = merge_shards(&shards);
+        // Last unit: assemble the cached points with the fresh reports.
+        let result = {
+            let job = self.jobs.get_mut(&lease.job).expect("job checked above");
+            let shards: Vec<Arc<ShardReport>> = job
+                .shard_reports
+                .iter_mut()
+                .map(|r| r.take().expect("all units present"))
+                .collect();
+            assemble_report(&job.config, &job.cached, &shards)
+        };
         let (status, evicted) = self.finish(&lease.job, result);
         Ok(ShardLanding {
             job: lease.job,
             shard,
             progress: (done, total),
             shard_progress,
+            report: Some(report),
             status,
             evicted,
             ignored: false,
         })
+    }
+
+    /// Feeds every point of a landed shard report into the point store,
+    /// owned by `job`.  Skips are cached as skips — the typed
+    /// [`CachedPoint`] split keeps them from ever serving as records.
+    pub(crate) fn seed_points(
+        &mut self,
+        job: &str,
+        proxy: bitmod::llm::proxy::ProxyConfig,
+        seed: u64,
+        report: &ShardReport,
+    ) {
+        for r in &report.records {
+            self.points.insert(
+                r.record.point.cache_key(&proxy, seed),
+                CachedPoint::Record(Box::new(r.record.clone())),
+                job,
+            );
+        }
+        for (_, point, reason) in &report.skipped {
+            self.points.insert(
+                point.cache_key(&proxy, seed),
+                CachedPoint::Skipped(reason.clone()),
+                job,
+            );
+        }
+    }
+
+    /// Feeds every point of a completed job's final report into the point
+    /// store, owned by `job` — the journal-replay twin of
+    /// [`JobQueue::seed_points`] (a `done` event carries the assembled
+    /// [`SweepReport`], not per-shard reports).
+    pub(crate) fn seed_sweep_points(
+        &mut self,
+        job: &str,
+        proxy: bitmod::llm::proxy::ProxyConfig,
+        seed: u64,
+        report: &SweepReport,
+    ) {
+        for r in &report.records {
+            self.points.insert(
+                r.point.cache_key(&proxy, seed),
+                CachedPoint::Record(Box::new(r.clone())),
+                job,
+            );
+        }
+        for (point, reason) in &report.skipped {
+            self.points.insert(
+                point.cache_key(&proxy, seed),
+                CachedPoint::Skipped(reason.clone()),
+                job,
+            );
+        }
     }
 
     /// Fails the job owning `lease` (an executor hit a panic running its
@@ -597,6 +766,7 @@ impl JobQueue {
             shard: lease.shard,
             progress: (job.shards_done(), job.shard_reports.len()),
             shard_progress: None,
+            report: None,
             status: job.status,
             evicted: Vec::new(),
             ignored: already_terminal,
@@ -628,8 +798,10 @@ impl JobQueue {
     }
 
     /// Drops the oldest-finished `Done` jobs until at most
-    /// [`JobQueue::cache_cap`] remain, removing them from the job table and
-    /// (when they still own it) the dedup index.
+    /// [`JobQueue::cache_cap`] remain, removing them from the job table,
+    /// (when they still own it) the dedup index, and the point store —
+    /// which keeps every point some *surviving* job still covers, so shared
+    /// points outlive the job that first computed them.
     fn evict_beyond_cap(&mut self) -> Vec<String> {
         let mut evicted = Vec::new();
         while self.done_order.len() > self.cache_cap {
@@ -644,6 +816,7 @@ impl JobQueue {
                     self.by_key.remove(&job.cache_key);
                 }
             }
+            self.points.evict_job(&old);
             self.evicted += 1;
             evicted.push(old);
         }
@@ -678,17 +851,17 @@ mod tests {
     use super::*;
     use bitmod::llm::config::LlmModel;
     use bitmod::llm::proxy::ProxyConfig;
-    use bitmod::shard::run_shard;
+    use bitmod::shard::{run_partial_shard, run_shard};
     use bitmod::sweep::SweepDtype;
 
     fn cfg() -> SweepConfig {
         SweepConfig::new(vec![LlmModel::Phi2B], vec![4]).with_proxy(ProxyConfig::tiny())
     }
 
-    /// Lease + run + complete every pending shard of the queue in order.
+    /// Lease + run + complete every pending work unit of the queue in order.
     fn run_all(q: &mut JobQueue, executor: &str) {
         while let Some(work) = q.lease_next(executor, None) {
-            let report = run_shard(&work.config, work.shard);
+            let report = run_partial_shard(&work.config, work.shard, &work.indices);
             q.complete_shard(executor, work.lease, report)
                 .expect("live lease completes");
         }
@@ -743,7 +916,9 @@ mod tests {
         let mut q = JobQueue::new(usize::MAX, 3);
         let exec = q.register_executor("local-0", false);
         let out = q.submit(&cfg().with_seed(5));
-        assert_eq!(q.pending.len(), 3);
+        // The 2-point grid needs at most 2 of the 3 configured units: empty
+        // work units are never enqueued.
+        assert_eq!(q.pending.len(), 2);
         run_all(&mut q, &exec);
         let job = &q.jobs[&out.job_id];
         assert_eq!(job.status, JobStatus::Done);
@@ -914,6 +1089,147 @@ mod tests {
         let third = q.submit(&cfg());
         assert!(third.deduped);
         assert_eq!(third.job_id, retry.job_id);
+    }
+
+    fn grid_cfg(bits: Vec<u8>) -> SweepConfig {
+        SweepConfig::new(vec![LlmModel::Phi2B], bits).with_proxy(ProxyConfig::tiny())
+    }
+
+    #[test]
+    fn overlapping_grids_dispatch_only_the_set_difference() {
+        let mut q = JobQueue::new(usize::MAX, 4);
+        let exec = q.register_executor("local-0", false);
+        q.submit(&grid_cfg(vec![3]));
+        run_all(&mut q, &exec);
+
+        // The superset grid: 4 points, 2 already computed by the first job.
+        let (hits0, misses0) = (q.points.hits(), q.points.misses());
+        let out = q.submit(&grid_cfg(vec![3, 4]));
+        assert!(!out.deduped, "different canonical grid, no whole-job dedup");
+        assert_eq!(
+            q.points.hits() - hits0,
+            2,
+            "the overlap is served from cache"
+        );
+        assert_eq!(
+            q.points.misses() - misses0,
+            2,
+            "only the set-difference misses"
+        );
+        let view = q.jobs[&out.job_id].view();
+        assert_eq!((view.points_total, view.points_cached), (4, 2));
+        // 4 configured units, but only the 2-point remainder to cover.
+        assert_eq!(view.shards_total, 2);
+        assert_eq!(q.pending.len(), 2);
+
+        run_all(&mut q, &exec);
+        let direct = grid_cfg(vec![3, 4]).canonicalized().run();
+        let served = q.jobs[&out.job_id].report.as_ref().unwrap();
+        assert_eq!(
+            serde_json::to_string(&served.records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap(),
+            "cached + fresh assembly must be bit-identical to a direct sweep"
+        );
+        assert_eq!(served.to_csv(), direct.to_csv());
+    }
+
+    #[test]
+    fn fully_cached_submissions_finish_at_submit_without_dispatch() {
+        let mut q = JobQueue::new(usize::MAX, 2);
+        let exec = q.register_executor("local-0", false);
+        q.submit(&grid_cfg(vec![3, 4]));
+        run_all(&mut q, &exec);
+
+        // A strict subset grid is not a whole-job dedup hit, but every one
+        // of its points is cached: it completes with zero work units.
+        let out = q.submit(&grid_cfg(vec![4]));
+        assert!(!out.deduped);
+        let job = &q.jobs[&out.job_id];
+        assert_eq!(job.status, JobStatus::Done);
+        let view = job.view();
+        assert_eq!((view.shards_total, view.shards_done), (0, 0));
+        assert_eq!((view.points_total, view.points_cached), (2, 2));
+        assert!(q.pending.is_empty(), "nothing dispatched");
+        let direct = grid_cfg(vec![4]).canonicalized().run();
+        assert_eq!(
+            serde_json::to_string(&job.report.as_ref().unwrap().records).unwrap(),
+            serde_json::to_string(&direct.records).unwrap()
+        );
+    }
+
+    #[test]
+    fn skipped_points_cache_as_skips_and_never_become_records() {
+        let mut q = JobQueue::default();
+        let exec = q.register_executor("local-0", false);
+        // bitmod@6 is invalid, so this grid lands both records and skips.
+        q.submit(&grid_cfg(vec![4, 6]));
+        run_all(&mut q, &exec);
+
+        // The regression pin: the skipped point sits in the store as a
+        // *skip*, not as a record.
+        let canonical = grid_cfg(vec![4, 6]).canonicalized();
+        let direct = canonical.run();
+        assert!(
+            !direct.skipped.is_empty(),
+            "precondition: the grid has skips"
+        );
+        for (point, reason) in &direct.skipped {
+            let key = point.cache_key(&canonical.proxy, canonical.seed);
+            match q.points.hit(&key, "probe") {
+                Some(CachedPoint::Skipped(cached_reason)) => {
+                    assert_eq!(&cached_reason, reason)
+                }
+                other => panic!("skipped point cached as {other:?}"),
+            }
+        }
+
+        // An overlapping grid of only the invalid points completes from
+        // cache with the identical skip list and zero records.
+        let out = q.submit(&grid_cfg(vec![6]));
+        assert!(!out.deduped);
+        let job = &q.jobs[&out.job_id];
+        assert_eq!(job.status, JobStatus::Done, "skips replay without dispatch");
+        let served = job.report.as_ref().unwrap();
+        let direct6 = grid_cfg(vec![6]).canonicalized().run();
+        assert_eq!(served.skipped, direct6.skipped);
+        assert_eq!(
+            serde_json::to_string(&served.records).unwrap(),
+            serde_json::to_string(&direct6.records).unwrap()
+        );
+    }
+
+    #[test]
+    fn evicting_a_job_drops_only_its_exclusive_points() {
+        let mut q = JobQueue::with_cache_cap(1);
+        let exec = q.register_executor("local-0", false);
+        q.submit(&grid_cfg(vec![3]));
+        run_all(&mut q, &exec);
+        // The superset job reuses (and co-owns) the bits-3 points; when it
+        // finishes, the cap evicts the first job — but not those points.
+        let b = q.submit(&grid_cfg(vec![3, 4]));
+        run_all(&mut q, &exec);
+        assert_eq!(q.evicted, 1, "cap of one evicted the first job");
+
+        // bits-3 points survive through the superset job's ownership…
+        let c = q.submit(&grid_cfg(vec![3]));
+        assert!(!c.deduped, "the evicted job no longer dedups");
+        assert_eq!(q.jobs[&c.job_id].status, JobStatus::Done);
+        assert_eq!(q.jobs[&c.job_id].view().points_cached, 2);
+        // …and finishing instantly evicted the superset job in turn (cap 1),
+        // whose bits-4 points nobody else covers: they stop serving hits.
+        assert!(!q.jobs.contains_key(&b.job_id));
+        let d = q.submit(&grid_cfg(vec![4]));
+        assert!(!d.deduped);
+        assert_eq!(
+            q.jobs[&d.job_id].view().points_cached,
+            0,
+            "exclusive points dropped"
+        );
+        assert_eq!(
+            q.jobs[&d.job_id].status,
+            JobStatus::Queued,
+            "recompute required"
+        );
     }
 
     #[test]

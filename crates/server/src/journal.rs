@@ -2,20 +2,25 @@
 //!
 //! Every observable job transition is appended as one JSON object per line
 //! to `<state-dir>/journal.jsonl` — `submit` (with the full canonical
-//! configuration), `dispatch`, `shard-done`, `requeue`, `done` (with the
-//! full merged report), `failed`, and `evict`.  On startup the coordinator
-//! replays the journal: completed jobs rebuild the dedup/result cache
-//! (cache-cap eviction re-applied), failed jobs stay queryable, and every
-//! job that was queued or in flight at the crash is re-enqueued from its
-//! journaled configuration.
+//! configuration), `dispatch`, `shard-done` (with the full shard report, so
+//! every point computed before a crash survives it), `requeue`, `done`
+//! (with the full assembled report), `failed`, and `evict`.  On startup the
+//! coordinator replays the journal: completed jobs rebuild the dedup/result
+//! cache (cache-cap eviction re-applied), failed jobs stay queryable, every
+//! point recorded by a `shard-done` or `done` event re-seeds the
+//! point-level result cache, and every job that was queued or in flight at
+//! the crash is re-decomposed against that re-seeded cache — so only its
+//! not-yet-landed points re-dispatch.
 //!
 //! Replay is tolerant of a torn tail: a crash mid-append leaves a partial
-//! final line, which is skipped (and counted) rather than refusing to start.
+//! final line, which is skipped (and counted) rather than refusing to start,
+//! and healed with a newline so post-recovery appends land on their own
+//! lines instead of concatenating onto the damage.
 //! The journal then keeps growing in place — restart after restart appends
 //! to the same file, so the full submit/dispatch/complete history of a
 //! deployment is one greppable artifact.
 
-use bitmod::shard::{ShardProgress, ShardSpec};
+use bitmod::shard::{ShardProgress, ShardReport, ShardSpec};
 use bitmod::sweep::{SweepConfig, SweepReport};
 use serde::{Serialize, Value};
 use std::fs::{File, OpenOptions};
@@ -52,6 +57,11 @@ pub enum JournalEvent {
         executor: String,
         /// What the shard contributed (records/skipped/wall), when known.
         progress: Option<ShardProgress>,
+        /// The full shard report, when journaled — lets replay re-seed the
+        /// point store with mid-job landings.  `None` on a job's final
+        /// landing (the `done` event that follows carries every point) and
+        /// in journals written before the point cache existed.
+        report: Option<Arc<ShardReport>>,
     },
     /// A lease expired and its shard went back on the queue.
     Requeue {
@@ -112,6 +122,7 @@ impl JournalEvent {
                 shard,
                 executor,
                 progress,
+                report,
             } => {
                 push("ev", Value::Str("shard-done".into()));
                 push("job", Value::Str(job.clone()));
@@ -121,6 +132,9 @@ impl JournalEvent {
                     push("records", Value::U64(p.records as u64));
                     push("skipped", Value::U64(p.skipped as u64));
                     push("wall_seconds", Value::F64(p.wall_seconds));
+                }
+                if let Some(r) = report {
+                    push("report", r.to_value());
                 }
             }
             JournalEvent::Requeue {
@@ -201,11 +215,19 @@ impl JournalEvent {
                     }),
                     _ => None,
                 };
+                let report = match get("report") {
+                    Some(v) => Some(Arc::new(
+                        serde_json::from_value::<ShardReport>(v)
+                            .map_err(|e| format!("bad report: {e}"))?,
+                    )),
+                    None => None,
+                };
                 Ok(JournalEvent::ShardDone {
                     job,
                     shard,
                     executor: str_field("executor")?,
                     progress,
+                    report,
                 })
             }
             "requeue" => Ok(JournalEvent::Requeue {
@@ -254,15 +276,20 @@ pub struct Journal {
 
 impl Journal {
     /// Opens (creating if needed) `<dir>/journal.jsonl` for appending, first
-    /// replaying whatever it already contains.
+    /// replaying whatever it already contains.  A torn tail (a crash
+    /// mid-append) is *healed* with a newline before anything else is
+    /// written — otherwise the first post-recovery event would concatenate
+    /// onto the partial line and corrupt itself along with it.
     pub fn open(dir: &Path) -> Result<(Journal, Replay), String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("could not create state dir {}: {e}", dir.display()))?;
         let path = dir.join("journal.jsonl");
         let mut events = Vec::new();
         let mut skipped_lines = 0;
+        let mut torn_tail = false;
         match std::fs::read_to_string(&path) {
             Ok(text) => {
+                torn_tail = !text.is_empty() && !text.ends_with('\n');
                 for line in text.lines().filter(|l| !l.trim().is_empty()) {
                     match JournalEvent::parse(line) {
                         Ok(ev) => events.push(ev),
@@ -273,11 +300,16 @@ impl Journal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(format!("could not read {}: {e}", path.display())),
         }
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
             .map_err(|e| format!("could not open {}: {e}", path.display()))?;
+        if torn_tail {
+            writeln!(file)
+                .and_then(|_| file.flush())
+                .map_err(|e| format!("could not heal {}: {e}", path.display()))?;
+        }
         Ok((
             Journal {
                 path,
@@ -338,6 +370,7 @@ mod tests {
     fn every_event_kind_roundtrips_through_its_line() {
         let report = cfg().run();
         let shard = ShardSpec::new(1, 3).unwrap();
+        let shard_report = bitmod::shard::run_shard(&cfg().canonicalized(), shard);
         let events = [
             JournalEvent::Submit {
                 job: "job-1".into(),
@@ -360,12 +393,14 @@ mod tests {
                     skipped: 1,
                     wall_seconds: 0.25,
                 }),
+                report: Some(Arc::new(shard_report)),
             },
             JournalEvent::ShardDone {
                 job: "job-1".into(),
                 shard,
                 executor: "exec-1".into(),
                 progress: None,
+                report: None,
             },
             JournalEvent::Requeue {
                 job: "job-1".into(),
@@ -416,11 +451,22 @@ mod tests {
                 .unwrap();
             write!(f, "{{\"ev\":\"done\",\"job\":\"jo").unwrap();
         }
-        let (_, replay) = Journal::open(&dir).unwrap();
+        let (mut journal, replay) = Journal::open(&dir).unwrap();
         assert_eq!(replay.events.len(), 2);
         assert_eq!(replay.skipped_lines, 1, "the torn tail is skipped");
         assert!(matches!(&replay.events[0], JournalEvent::Submit { job, .. } if job == "job-1"));
         assert!(matches!(&replay.events[1], JournalEvent::Failed { job, .. } if job == "job-1"));
+        // The torn tail was healed on open: an event appended after recovery
+        // lands on its own line instead of concatenating onto the partial one
+        // (which would corrupt both).
+        journal.append(&JournalEvent::Evict {
+            job: "job-1".into(),
+        });
+        drop(journal);
+        let (_, replay) = Journal::open(&dir).unwrap();
+        assert_eq!(replay.events.len(), 3, "post-recovery appends replay");
+        assert_eq!(replay.skipped_lines, 1, "still just the one torn line");
+        assert!(matches!(&replay.events[2], JournalEvent::Evict { job } if job == "job-1"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

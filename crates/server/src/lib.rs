@@ -6,26 +6,32 @@
 //! [`bitmod::sweep`] machinery in a **coordinator/executor** daemon so heavy
 //! traffic amortizes both and scales past one machine:
 //!
-//! * [`job`] — the [`job::JobQueue`] state machine: jobs decomposed into
-//!   [`bitmod::shard::ShardSpec`] work units, a shard-level dispatch queue,
-//!   executor leases with expiry, and a dedup/result cache keyed by the
-//!   canonicalized sweep configuration
+//! * [`job`] — the [`job::JobQueue`] state machine: each accepted grid is
+//!   subtracted against the point-level result cache and only the remainder
+//!   is decomposed into [`bitmod::shard::ShardSpec`] work units; a
+//!   shard-level dispatch queue, executor leases with expiry, and a
+//!   dedup/result cache keyed by the canonicalized sweep configuration
 //!   ([`bitmod::sweep::SweepConfig::cache_key`]), so identical grids —
 //!   however spelled — execute once and every later submission is a cache
 //!   hit.
+//! * [`points`] — the [`points::PointStore`] behind that subtraction: one
+//!   entry per computed [`bitmod::sweep::SweepPoint`] (records *and* skip
+//!   reasons), fed by every shard landing and evicted together with the
+//!   jobs that cover it.
 //! * [`coordinator`] — the supervisory half: accepts jobs, leases work
-//!   units, requeues the shards of expired leases, merges the returned
-//!   [`bitmod::shard::ShardReport`]s bit-identically via
-//!   [`bitmod::shard::merge_shards`], and journals every transition when a
-//!   state directory is configured.
+//!   units, requeues the shards of expired leases, assembles cached and
+//!   freshly returned [`bitmod::shard::ShardReport`]s bit-identically via
+//!   [`bitmod::shard::assemble_report`], and journals every transition when
+//!   a state directory is configured.
 //! * [`executor`] — the autonomous half, in both flavors: in-process
 //!   threads sharing one [`bitmod_llm::eval::HarnessPool`] (the default,
 //!   behavior-preserving path) and remote `bitmod-cli worker --attach`
 //!   processes that register over TCP, lease, heartbeat, and return shard
 //!   reports.
 //! * [`journal`] — the append-only JSON journal under `serve --state-dir`:
-//!   replayed on startup so queued and in-flight jobs resume and completed
-//!   jobs keep serving from the rebuilt result cache.
+//!   replayed on startup so queued and in-flight jobs resume, completed
+//!   jobs keep serving from the rebuilt result cache, and every journaled
+//!   point (from `shard-done` and `done` events) re-seeds the point store.
 //! * [`proto`] — the line-delimited JSON wire protocol (`submit` /
 //!   `status` / `result` / `watch` / `list` / `ping` / `shutdown` plus the
 //!   executor verbs `attach` / `lease` / `heartbeat` / `shard_result`),
@@ -60,8 +66,10 @@ pub mod coordinator;
 pub mod executor;
 pub mod job;
 pub mod journal;
+pub mod points;
 pub mod proto;
 pub mod serve;
 
 pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, CoordinatorStats};
 pub use job::{JobQueue, JobStatus, JobView};
+pub use points::PointStore;

@@ -1,0 +1,173 @@
+//! The point-level result cache: the coordinator's incremental sweep
+//! database.
+//!
+//! Whole-job dedup (the `cache_key → job id` index in
+//! [`crate::job::JobQueue`]) only helps when two grids are *exactly* equal
+//! after canonicalization.  The [`PointStore`] re-keys caching at the finest
+//! deterministic unit — one [`bitmod::sweep::SweepPoint`] under one
+//! `(proxy, seed)` context, keyed by
+//! [`bitmod::sweep::SweepPoint::cache_key`] — so a submitted grid is
+//! *subtracted* against everything any previous job computed and only the
+//! remainder is dispatched.  Records are bit-deterministic, which is what
+//! makes serving a cached record indistinguishable from recomputing it.
+//!
+//! Skips are first-class outcomes ([`CachedPoint::Skipped`]): a skip reason
+//! is a pure function of the point, so overlapping grids do not re-validate
+//! invalid combinations, and the typed split guarantees a skipped point can
+//! never be served back as a real record.
+//!
+//! Eviction piggybacks on the job cache cap: every entry tracks the set of
+//! jobs whose coverage includes it (the job that computed it plus every job
+//! that later reused it), and evicting a job drops only the points **no
+//! other job still covers** — a point shared with a surviving job keeps
+//! serving hits.
+
+use bitmod::shard::CachedPoint;
+use std::collections::{HashMap, HashSet};
+
+/// One cached outcome plus the jobs whose coverage includes it.
+#[derive(Debug)]
+struct Entry {
+    outcome: CachedPoint,
+    /// Jobs (by id) that computed or reused this point.  The entry lives as
+    /// long as at least one of them does.
+    owners: HashSet<String>,
+}
+
+/// The coordinator's point-level result cache.  See the module docs.
+#[derive(Debug, Default)]
+pub struct PointStore {
+    entries: HashMap<String, Entry>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of points currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that found a cached outcome, since startup.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that missed, since startup.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Looks up `key` on behalf of `job`, counting a hit or a miss.  A hit
+    /// registers `job` as a co-owner, so the point outlives the eviction of
+    /// the job that originally computed it for as long as any job covering
+    /// it survives.
+    pub fn hit(&mut self, key: &str, job: &str) -> Option<CachedPoint> {
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.owners.insert(job.to_string());
+                self.hits += 1;
+                Some(entry.outcome.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records an outcome for `key`, owned (at least) by `job`.  The first
+    /// writer wins: outcomes are bit-deterministic, so any duplicate insert
+    /// carries an identical value and only extends the owner set.
+    pub fn insert(&mut self, key: String, outcome: CachedPoint, job: &str) {
+        let entry = self.entries.entry(key).or_insert_with(|| Entry {
+            outcome,
+            owners: HashSet::new(),
+        });
+        entry.owners.insert(job.to_string());
+    }
+
+    /// Removes `job` from every owner set and drops the points no remaining
+    /// job covers.  Called when the job cache cap evicts a job: its
+    /// exclusively-owned points must stop serving hits, while points a
+    /// surviving job also covers stay.
+    pub fn evict_job(&mut self, job: &str) {
+        self.entries.retain(|_, entry| {
+            entry.owners.remove(job);
+            !entry.owners.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitmod::llm::config::LlmModel;
+    use bitmod::llm::proxy::ProxyConfig;
+    use bitmod::sweep::SweepConfig;
+
+    fn keys() -> Vec<String> {
+        let cfg = SweepConfig::new(vec![LlmModel::Phi2B], vec![3, 4])
+            .with_proxy(ProxyConfig::tiny())
+            .canonicalized();
+        cfg.grid()
+            .iter()
+            .map(|p| p.cache_key(&cfg.proxy, cfg.seed))
+            .collect()
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_and_skips_stay_skips() {
+        let mut store = PointStore::new();
+        let keys = keys();
+        assert!(store.hit(&keys[0], "job-1").is_none());
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+
+        // A skip cached for job-1 comes back as a skip — never as a record.
+        store.insert(
+            keys[0].clone(),
+            CachedPoint::Skipped("invalid".into()),
+            "job-1",
+        );
+        match store.hit(&keys[0], "job-2") {
+            Some(CachedPoint::Skipped(reason)) => assert_eq!(reason, "invalid"),
+            other => panic!("skip served as {other:?}"),
+        }
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn eviction_drops_only_points_no_surviving_job_covers() {
+        let mut store = PointStore::new();
+        let keys = keys();
+        // job-1 computed points 0 and 1; job-2 later reused point 0 only.
+        store.insert(keys[0].clone(), CachedPoint::Skipped("a".into()), "job-1");
+        store.insert(keys[1].clone(), CachedPoint::Skipped("b".into()), "job-1");
+        assert!(store.hit(&keys[0], "job-2").is_some());
+
+        store.evict_job("job-1");
+        assert!(
+            store.hit(&keys[0], "job-3").is_some(),
+            "co-owned point survives"
+        );
+        assert!(
+            store.hit(&keys[1], "job-3").is_none(),
+            "exclusive point dropped"
+        );
+
+        store.evict_job("job-2");
+        store.evict_job("job-3");
+        assert!(store.is_empty(), "last owner gone, point gone");
+    }
+}

@@ -20,7 +20,12 @@
 //! Remote executors (`bitmod-cli worker --attach`) speak four more verbs —
 //! `attach`, `lease`, `heartbeat`, and `shard_result` — over the same
 //! line protocol, and `watch` is the one *streaming* verb: the daemon holds
-//! the connection and pushes `event` lines as shards land.
+//! the connection and pushes `event` lines as shards land.  A `lease`
+//! response's `work.indices` array names the exact grid indices the unit
+//! computes (the coordinator's point-level result cache may have covered
+//! the rest), `status`/`list` views carry `points_total`/`points_cached`,
+//! and `ping` stats include the cache's `points_cached`, `point_hits`, and
+//! `point_misses` counters.
 //!
 //! See `docs/SERVING.md` for the full protocol reference with copy-pasteable
 //! examples.

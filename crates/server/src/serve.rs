@@ -118,6 +118,12 @@ fn handle_request(coordinator: &Coordinator, request: Request) -> (String, bool)
                     ("job".to_string(), Value::Str(w.job)),
                     ("shard".to_string(), Value::Str(w.shard.label())),
                     ("config".to_string(), w.config.to_value()),
+                    // The exact grid indices this unit computes — the
+                    // unit's stride of the job's uncached remainder.
+                    (
+                        "indices".to_string(),
+                        Value::Seq(w.indices.iter().map(|&i| Value::U64(i as u64)).collect()),
+                    ),
                 ]),
             };
             (
@@ -315,6 +321,14 @@ fn view_value(view: &JobView) -> Value {
         (
             "shards_total".to_string(),
             Value::U64(view.shards_total as u64),
+        ),
+        (
+            "points_total".to_string(),
+            Value::U64(view.points_total as u64),
+        ),
+        (
+            "points_cached".to_string(),
+            Value::U64(view.points_cached as u64),
         ),
     ];
     if let Some(n) = view.records {

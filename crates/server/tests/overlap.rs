@@ -1,0 +1,153 @@
+//! Overlap property test: the point-level result cache must make any pair
+//! of overlapping grids behave as one incremental sweep database.
+//!
+//! Each case draws two overlapping bit-width grids over the same model,
+//! proxy, and seed, submits them sequentially, and asserts that the second
+//! job (a) dispatched work units over *exactly* the set-difference of the
+//! two expanded grids — the overlap is served from the point store — and
+//! (b) produced a report bit-identical (records JSON *and* CSV rendering)
+//! to a direct, cache-free sweep of its grid.  Real pipelines run per case,
+//! so the case count is capped like the recovery suite's (and the suite
+//! belongs under `cargo test --release`, per the repo's test-speed notes).
+
+use bitmod::llm::config::LlmModel;
+use bitmod::llm::proxy::ProxyConfig;
+use bitmod::sweep::{SweepConfig, SweepReport};
+use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
+use bitmod_server::job::JobStatus;
+use proptest::prelude::Strategy;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Mutex, OnceLock};
+
+/// One candidate grid: a non-empty, sorted set of bit widths over Phi-2 at
+/// tiny proxy size.  The 2..=5 span deliberately straddles validity — BitMoD
+/// covers only 3–4 bits, so drawn grids exercise skip caching too.
+fn grid_cfg(bits: &[u8]) -> SweepConfig {
+    SweepConfig::new(vec![LlmModel::Phi2B], bits.to_vec()).with_proxy(ProxyConfig::tiny())
+}
+
+/// Uninterrupted direct baselines, one per distinct bits set, computed once
+/// per test binary (cases frequently re-draw the same small sets).
+fn baseline(bits: &[u8]) -> SweepReport {
+    static CACHE: OnceLock<Mutex<HashMap<Vec<u8>, SweepReport>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("baseline cache lock");
+    cache
+        .entry(bits.to_vec())
+        .or_insert_with(|| grid_cfg(bits).canonicalized().run())
+        .clone()
+}
+
+fn records_json(report: &SweepReport) -> String {
+    serde_json::to_string(&report.records).expect("records serialize")
+}
+
+/// The point cache keys of a grid's canonical expansion.
+fn point_keys(bits: &[u8]) -> Vec<String> {
+    let cfg = grid_cfg(bits).canonicalized();
+    cfg.grid()
+        .iter()
+        .map(|p| p.cache_key(&cfg.proxy, cfg.seed))
+        .collect()
+}
+
+/// Draws a non-empty sorted subset of the 2..=5 bit widths.
+fn draw_bits(rng: &mut proptest::TestRng) -> Vec<u8> {
+    let mut bits: Vec<u8> = (2u8..=5).filter(|_| (0u8..=1).sample(rng) == 1).collect();
+    if bits.is_empty() {
+        bits.push((3u8..=4).sample(rng));
+    }
+    bits
+}
+
+#[test]
+fn overlapping_grids_reuse_cached_points_and_stay_bit_identical() {
+    // Real pipelines per case: cap well below the global PROPTEST_CASES.
+    let cases = proptest::cases().min(3);
+    let mut rng = proptest::TestRng::new(proptest::seed_for(
+        "overlapping_grids_reuse_cached_points_and_stay_bit_identical",
+    ));
+    for case in 0..cases {
+        let bits_a = draw_bits(&mut rng);
+        let bits_b = draw_bits(&mut rng);
+        let shards = (1usize..=4).sample(&mut rng);
+
+        // The ground truth the coordinator must reproduce: the exact
+        // set-difference of the two expanded grids.
+        let keys_a: HashSet<String> = point_keys(&bits_a).into_iter().collect();
+        let keys_b = point_keys(&bits_b);
+        let expected_cached = keys_b.iter().filter(|k| keys_a.contains(*k)).count();
+        let expected_fresh = keys_b.len() - expected_cached;
+
+        let handle = Coordinator::start(CoordinatorConfig {
+            workers: 2,
+            shards,
+            ..CoordinatorConfig::default()
+        });
+        let c = handle.coordinator();
+        c.submit(&grid_cfg(&bits_a));
+        c.drain();
+
+        let before = c.stats();
+        let out = c.submit(&grid_cfg(&bits_b));
+        c.drain();
+        let after = c.stats();
+
+        if out.deduped {
+            // Identical canonical grids are the whole-job dedup fast path;
+            // nothing touches the point store on the second submit.
+            assert_eq!(
+                expected_fresh, 0,
+                "case {case}: dedup implies a fully overlapping grid"
+            );
+            assert_eq!(after.point_hits, before.point_hits);
+        } else {
+            let view = c.status(&out.job_id).expect("job exists");
+            assert_eq!(view.status, JobStatus::Done, "case {case}");
+            assert_eq!(
+                (view.points_total, view.points_cached),
+                (keys_b.len(), expected_cached),
+                "case {case} (bits {bits_a:?} then {bits_b:?}): the overlap must be cached"
+            );
+            // The dispatched work covers exactly the set-difference: no unit
+            // is empty, so the unit count is the remainder clamped by the
+            // configured shards (zero when everything was cached).
+            assert_eq!(
+                view.shards_total,
+                shards.min(expected_fresh),
+                "case {case}: work units must cover only the {expected_fresh} uncached point(s)"
+            );
+            assert_eq!(
+                after.point_hits - before.point_hits,
+                expected_cached,
+                "case {case}: every overlap point is a store hit"
+            );
+            assert_eq!(
+                after.point_misses - before.point_misses,
+                expected_fresh,
+                "case {case}: every set-difference point is a store miss"
+            );
+        }
+
+        // Bit-identity against a cache-free direct sweep, in both the
+        // records JSON and the rendered CSV.
+        let served = c.result(&out.job_id).unwrap().unwrap();
+        let direct = baseline(&bits_b);
+        assert_eq!(
+            records_json(&served),
+            records_json(&direct),
+            "case {case} (bits {bits_a:?} then {bits_b:?}, {shards} shards): \
+             cached + fresh assembly diverged from the direct sweep"
+        );
+        assert_eq!(
+            served.to_csv(),
+            direct.to_csv(),
+            "case {case}: CSV rendering diverged"
+        );
+        assert_eq!(
+            served.skipped, direct.skipped,
+            "case {case}: skip list diverged"
+        );
+        handle.shutdown();
+    }
+}

@@ -132,6 +132,176 @@ fn killed_coordinator_resumes_from_the_journal_bit_identically() {
     }
 }
 
+/// Satellite of the point-cache work: a `kill -9` mid-second-overlapping-job
+/// must not lose the points the first job (or the crashed job's own landed
+/// shards) already computed.  Replay re-seeds the point store from the
+/// journaled `done` and `shard-done` reports, the interrupted job
+/// re-decomposes against it, and only the not-yet-landed points re-dispatch.
+#[test]
+fn overlapping_job_resumes_from_replayed_points_after_a_kill() {
+    let dir = fresh_state_dir(777);
+    let cfg_a = SweepConfig::new(vec![LlmModel::Phi2B], vec![3]).with_proxy(ProxyConfig::tiny());
+    let cfg_b = SweepConfig::new(vec![LlmModel::Phi2B], vec![3, 4]).with_proxy(ProxyConfig::tiny());
+    let config = |workers| CoordinatorConfig {
+        workers,
+        shards: 2,
+        state_dir: Some(dir.clone()),
+        ..CoordinatorConfig::default()
+    };
+
+    // First life, driven by hand through the remote-executor verbs so the
+    // kill lands at an exact instant: the bits-3 job completes, then exactly
+    // one of the bits-3,4 job's two single-point work units lands (its
+    // journaled `shard-done` carries the full report) before the halt.
+    let (a_id, b_id) = {
+        let handle = Coordinator::start(config(0));
+        let c = handle.coordinator();
+        let exec = c.register_executor("hand", true);
+        let a = c.submit(&cfg_a);
+        while let (Some(w), _) = c.try_lease(&exec) {
+            let report = bitmod::shard::run_partial_shard(&w.config, w.shard, &w.indices);
+            c.complete_shard(&exec, w.lease, report).expect("landing");
+        }
+        assert_eq!(c.status(&a.job_id).unwrap().status, JobStatus::Done);
+        let b = c.submit(&cfg_b);
+        let (w, _) = c.try_lease(&exec);
+        let w = w.expect("job B queued two uncached units");
+        assert_eq!(w.job, b.job_id);
+        let report = bitmod::shard::run_partial_shard(&w.config, w.shard, &w.indices);
+        c.complete_shard(&exec, w.lease, report).expect("landing");
+        assert_eq!(c.status(&b.job_id).unwrap().status, JobStatus::Running);
+        handle.halt();
+        (a.job_id, b.job_id)
+    };
+
+    // Second life, frozen (no executors): inspect what replay rebuilt
+    // before anything re-runs.
+    {
+        let handle = Coordinator::start(config(0));
+        let c = handle.coordinator();
+        assert_eq!(c.status(&a_id).unwrap().status, JobStatus::Done);
+        let stats = c.stats();
+        assert!(
+            stats.points_cached >= 3,
+            "replay must seed A's two points plus B's landed one, got {}",
+            stats.points_cached
+        );
+        // B re-decomposed against the replayed store: the overlap with A
+        // (2 points) plus its own pre-crash landing (1 point) are cached;
+        // only the one not-yet-landed point became a work unit again.
+        let view = c.status(&b_id).expect("job B survived the crash");
+        assert_eq!(
+            (view.points_total, view.points_cached),
+            (4, 3),
+            "A's points and B's landed shard must serve B from the store"
+        );
+        assert_eq!(
+            (view.status, view.shards_total),
+            (JobStatus::Queued, 1),
+            "only the not-yet-landed point re-dispatches"
+        );
+        handle.halt();
+    }
+
+    // Third life: the interrupted job completes, bit-identical to a direct
+    // run, and the result cache still dedups job A's grid.
+    let handle = Coordinator::start(config(1));
+    let c = handle.coordinator();
+    c.drain();
+    assert_eq!(c.status(&b_id).unwrap().status, JobStatus::Done);
+    let served = c.result(&b_id).unwrap().unwrap();
+    let direct = cfg_b.canonicalized().run();
+    assert_eq!(
+        records_json(&served),
+        records_json(&direct),
+        "resumed overlapping job diverged from the uninterrupted run"
+    );
+    assert_eq!(served.to_csv(), direct.to_csv());
+    assert!(
+        c.submit(&cfg_a).deduped,
+        "job A fell out of the result cache"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite of the point-cache work: a torn journal tail plus cap-driven
+/// evictions must never leave stale points serving hits.  Evicting a job
+/// drops only the points no other completed job still covers — co-owned
+/// points keep serving, exclusively-owned ones stop.
+#[test]
+fn torn_tail_and_evictions_leave_no_stale_points() {
+    let dir = fresh_state_dir(778);
+    let bits =
+        |b: Vec<u8>| SweepConfig::new(vec![LlmModel::Phi2B], b).with_proxy(ProxyConfig::tiny());
+    let config = |workers| CoordinatorConfig {
+        workers,
+        cache_cap: 1,
+        state_dir: Some(dir.clone()),
+        ..CoordinatorConfig::default()
+    };
+
+    // First life, cap 1: the bits-3 job completes, then the overlapping
+    // bits-3,4 job completes and evicts it.
+    {
+        let handle = Coordinator::start(config(1));
+        let c = handle.coordinator();
+        c.submit(&bits(vec![3]));
+        c.drain();
+        c.submit(&bits(vec![3, 4]));
+        c.drain();
+        assert_eq!(c.stats().evicted_jobs, 1);
+        handle.halt();
+    }
+
+    // Crash mid-append: a truncated final line in the journal.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("journal.jsonl"))
+            .expect("journal exists");
+        write!(f, "{{\"ev\":\"shard-done\",\"job\":\"jo").unwrap();
+    }
+
+    // Second life: the torn tail is skipped, the eviction is re-derived,
+    // and the store serves exactly what the surviving job covers.
+    let (c_id, d_id) = {
+        let handle = Coordinator::start(config(0));
+        let c = handle.coordinator();
+        // A bits-3 submission completes instantly from the surviving job's
+        // points — co-owned coverage survived the eviction…
+        let covered = c.submit(&bits(vec![3]));
+        assert!(!covered.deduped, "the evicted job must not dedup");
+        let view = c.status(&covered.job_id).unwrap();
+        assert_eq!((view.status, view.points_cached), (JobStatus::Done, 2));
+        // …which, at cap 1, evicted the bits-3,4 job in turn.  Its bits-4
+        // points have no surviving owner: they must stop serving hits
+        // rather than linger as stale cache.
+        let fresh = c.submit(&bits(vec![4]));
+        assert!(!fresh.deduped);
+        let view = c.status(&fresh.job_id).unwrap();
+        assert_eq!((view.status, view.points_cached), (JobStatus::Queued, 0));
+        handle.halt();
+        (covered.job_id, fresh.job_id)
+    };
+
+    // Third life: the queued bits-4 job recomputes its points from scratch
+    // and still matches a direct run — nothing stale leaked into it.  (The
+    // instant bits-3 job replays as done; check it before the drain, since
+    // finishing the bits-4 job evicts it at cap 1.)
+    let handle = Coordinator::start(config(1));
+    let c = handle.coordinator();
+    assert_eq!(c.status(&c_id).unwrap().status, JobStatus::Done);
+    c.drain();
+    assert_eq!(c.status(&d_id).unwrap().status, JobStatus::Done);
+    let served = c.result(&d_id).unwrap().unwrap();
+    let direct = bits(vec![4]).canonicalized().run();
+    assert_eq!(records_json(&served), records_json(&direct));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cache_cap_is_respected_when_the_journal_replays() {
     // Three completed jobs journaled, cap of one on restart: only the most
