@@ -1,18 +1,27 @@
 //! Criterion benchmarks of the dense matmul kernels: the fused
 //! transpose-free `matmul_nt` against the naive `matmul(&b.transposed())`
-//! formulation it replaced in the proxy-transformer forward pass.
+//! formulation it replaced in the proxy-transformer forward pass, plus the
+//! batched multi-window forward against the per-window loop it replaced.
 
-use bitmod_bench::workloads::matmul_operands;
+use bitmod_bench::workloads::{
+    matmul_operands, proxy_model, token_stream, PROXY_BATCHED_LM_HEAD_SHAPE, PROXY_LM_HEAD_SHAPE,
+    PROXY_STREAM_LEN,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// The proxy forward pass's exact shapes: activations `seq × hidden` against
-/// weights `out × hidden` (attention projections and the MLP down-projection
-/// of the standard proxy), plus one larger square case.  Operands come from
-/// `bitmod_bench::workloads`, shared with `bitmod-cli bench`.
+/// weights `out × hidden` (attention projections, the MLP down-projection,
+/// and the lm-head of the standard proxy — windowed and batched), plus one
+/// larger square case.  Operands come from `bitmod_bench::workloads`, shared
+/// with `bitmod-cli bench`.
 fn bench_matmul_nt_vs_transposed(c: &mut Criterion) {
+    let (lm_m, lm_k, lm_n) = PROXY_LM_HEAD_SHAPE;
+    let (bat_m, bat_k, bat_n) = PROXY_BATCHED_LM_HEAD_SHAPE;
     let shapes: &[(usize, usize, usize, &str)] = &[
         (64, 128, 128, "attn_64x128x128"),
         (64, 256, 128, "mlp_down_64x256x128"),
+        (lm_m, lm_k, lm_n, "lm_head_64x128x256"),
+        (bat_m, bat_k, bat_n, "lm_head_batched_144x128x256"),
         (128, 512, 512, "square_128x512x512"),
     ];
     let mut group = c.benchmark_group("matmul");
@@ -28,5 +37,26 @@ fn bench_matmul_nt_vs_transposed(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul_nt_vs_transposed);
+/// The eval hot path before and after batching: one `forward_batch` over all
+/// windows of the harness-length stream against the per-window `forward`
+/// loop it replaced (both produce bit-identical logits).
+fn bench_batched_vs_windowed_forward(c: &mut Criterion) {
+    let model = proxy_model();
+    let stream = token_stream(PROXY_STREAM_LEN, model.config.vocab);
+    let windows: Vec<&[usize]> = stream.chunks(model.config.seq_len).collect();
+    let mut group = c.benchmark_group("proxy_forward");
+    group.bench_function("batched_144tok", |bench| {
+        bench.iter(|| model.forward_batch(&windows))
+    });
+    group.bench_function("windowed_144tok", |bench| {
+        bench.iter(|| windows.iter().map(|w| model.forward(w)).collect::<Vec<_>>())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_nt_vs_transposed,
+    bench_batched_vs_windowed_forward
+);
 criterion_main!(benches);

@@ -44,3 +44,30 @@ pub fn matmul_operands(m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
 /// The headline fused-matmul shape reported by `bitmod-cli bench`:
 /// `(m, k, n) = (64, 512, 512)`.
 pub const MATMUL_SHAPE: (usize, usize, usize) = (64, 512, 512);
+
+/// Seed of the proxy-forward workload model (matches the harness default).
+const PROXY_SEED: u64 = 42;
+
+/// The standard proxy's lm-head shape `(seq_len, hidden, vocab)` — the single
+/// largest matmul of one windowed forward pass.
+pub const PROXY_LM_HEAD_SHAPE: (usize, usize, usize) = (64, 128, 256);
+
+/// The lm-head shape once every window of the [`PROXY_STREAM_LEN`]-token
+/// eval stream is stacked into one batched forward.
+pub const PROXY_BATCHED_LM_HEAD_SHAPE: (usize, usize, usize) = (144, 128, 256);
+
+/// Length of the eval stream used by the batched-vs-windowed forward
+/// workload: the experiment harness's stream length, which splits into three
+/// windows (64 + 64 + 16 tokens) at the standard proxy's `seq_len`.
+pub const PROXY_STREAM_LEN: usize = 144;
+
+/// The proxy-forward workload model: the standard-size Phi-2-profile proxy
+/// transformer, synthesized with the harness's default seed.
+pub fn proxy_model() -> ProxyTransformer {
+    ProxyTransformer::synthesize(LlmModel::Phi2B, ProxyConfig::standard(), PROXY_SEED)
+}
+
+/// A deterministic token stream for the forward-pass workloads.
+pub fn token_stream(len: usize, vocab: usize) -> Vec<usize> {
+    (0..len).map(|t| (t * 7) % vocab).collect()
+}

@@ -8,7 +8,7 @@
 //! live side by side in the repository.
 
 use bitmod::llm::config::LlmModel;
-use bitmod::llm::proxy::{ProxyConfig, ProxyTransformer};
+use bitmod::llm::proxy::ProxyConfig;
 use bitmod::prelude::*;
 use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_group_reference};
 use serde::{Deserialize, Serialize};
@@ -143,7 +143,10 @@ fn micro<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> MicroBench {
 /// Workloads come from `bitmod_bench::workloads`, shared with the Criterion
 /// suites so both measure the same thing.
 pub fn run_micro_benches(quick: bool) -> Vec<MicroBench> {
-    use bitmod_bench::workloads::{adaptive_channel, matmul_operands, CHANNEL_GROUP, MATMUL_SHAPE};
+    use bitmod_bench::workloads::{
+        adaptive_channel, matmul_operands, proxy_model, token_stream, CHANNEL_GROUP, MATMUL_SHAPE,
+        PROXY_STREAM_LEN,
+    };
 
     let iters = if quick { 3 } else { 10 };
     let (channel, family) = adaptive_channel();
@@ -167,13 +170,32 @@ pub fn run_micro_benches(quick: bool) -> Vec<MicroBench> {
         a.matmul(&b.transposed())
     });
 
-    let model = ProxyTransformer::synthesize(LlmModel::Phi2B, ProxyConfig::standard(), 42);
-    let tokens: Vec<usize> = (0..64).map(|t| (t * 7) % model.config.vocab).collect();
+    let model = proxy_model();
+    let tokens = token_stream(64, model.config.vocab);
     let forward = micro("proxy_forward_standard_64tok", iters, || {
         model.forward(&tokens)
     });
 
-    vec![adaptive, adaptive_ref, fused, naive, forward]
+    // The eval hot path before/after batching: one stacked forward over the
+    // harness-length stream against the per-window loop it replaced.
+    let stream = token_stream(PROXY_STREAM_LEN, model.config.vocab);
+    let windows: Vec<&[usize]> = stream.chunks(model.config.seq_len).collect();
+    let batched = micro("proxy_forward_batched_144tok", iters, || {
+        model.forward_batch(&windows)
+    });
+    let windowed = micro("proxy_forward_windowed_144tok", iters, || {
+        windows.iter().map(|w| model.forward(w)).collect::<Vec<_>>()
+    });
+
+    vec![
+        adaptive,
+        adaptive_ref,
+        fused,
+        naive,
+        forward,
+        batched,
+        windowed,
+    ]
 }
 
 /// Runs the sweep benchmark `runs` times and assembles a [`BenchEntry`].
@@ -221,6 +243,68 @@ pub fn run_bench(label: &str, quick: bool, runs: usize, seed: u64) -> BenchEntry
         threads,
         micro,
     }
+}
+
+/// A fresh run is flagged as a regression when a metric lands more than 20%
+/// above (slower than) the committed baseline.
+pub const REGRESSION_RATIO: f64 = 1.2;
+
+/// One metric's before/after delta from [`compare_entries`].
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Metric name (`sweep mean_seconds`, `micro:… mean_ms`, …).
+    pub name: String,
+    /// Baseline value (seconds or milliseconds, per the name).
+    pub before: f64,
+    /// Fresh value, same unit as `before`.
+    pub after: f64,
+    /// `after / before`: < 1 is a speedup, > 1 a slowdown.
+    pub ratio: f64,
+    /// Whether `ratio` exceeds [`REGRESSION_RATIO`].
+    pub regression: bool,
+}
+
+/// The baseline `--compare` diffs against: the *last* committed entry that
+/// ran the same grid (`quick` flag) — full and quick timings are not
+/// comparable to each other.
+pub fn find_baseline(history: &[BenchEntry], quick: bool) -> Option<&BenchEntry> {
+    history.iter().rev().find(|e| e.quick == quick)
+}
+
+/// Per-metric deltas of a fresh run against a committed baseline entry: the
+/// sweep wall-clock mean/best plus every micro-benchmark present in both
+/// entries (matched by name).  Metrics with a non-positive or non-finite
+/// baseline are skipped rather than producing infinite ratios.
+pub fn compare_entries(baseline: &BenchEntry, fresh: &BenchEntry) -> Vec<MetricDelta> {
+    let mut deltas = Vec::new();
+    let mut push = |name: String, before: f64, after: f64| {
+        if before > 0.0 && before.is_finite() && after.is_finite() {
+            let ratio = after / before;
+            deltas.push(MetricDelta {
+                name,
+                before,
+                after,
+                ratio,
+                regression: ratio > REGRESSION_RATIO,
+            });
+        }
+    };
+    push(
+        "sweep mean_seconds".to_string(),
+        baseline.mean_seconds,
+        fresh.mean_seconds,
+    );
+    push(
+        "sweep best_seconds".to_string(),
+        baseline.best_seconds,
+        fresh.best_seconds,
+    );
+    for m in &fresh.micro {
+        if let Some(b) = baseline.micro.iter().find(|x| x.name == m.name) {
+            push(format!("micro:{} mean_ms", m.name), b.mean_ms, m.mean_ms);
+        }
+    }
+    deltas
 }
 
 /// Loads `path` if it exists (must parse as a [`BenchReport`]), appends
@@ -295,5 +379,63 @@ mod tests {
     fn quick_config_is_small() {
         assert_eq!(bench_config(true, 42).grid().len(), 4);
         assert_eq!(bench_config(false, 42).grid().len(), 8);
+    }
+
+    fn entry(label: &str, quick: bool, mean: f64, best: f64, micro_mean: f64) -> BenchEntry {
+        BenchEntry {
+            label: label.into(),
+            quick,
+            grid_points: 4,
+            records: 4,
+            runs_seconds: vec![mean],
+            mean_seconds: mean,
+            best_seconds: best,
+            threads: 1,
+            micro: vec![MicroBench {
+                name: "m".into(),
+                mean_ms: micro_mean,
+                best_ms: micro_mean,
+                max_ms: None,
+                stddev_ms: None,
+                iters: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn baseline_is_last_entry_with_matching_grid() {
+        let history = vec![
+            entry("full-old", false, 2.0, 1.9, 1.0),
+            entry("quick", true, 0.5, 0.4, 1.0),
+            entry("full-new", false, 1.8, 1.7, 1.0),
+        ];
+        assert_eq!(find_baseline(&history, false).unwrap().label, "full-new");
+        assert_eq!(find_baseline(&history, true).unwrap().label, "quick");
+        assert!(find_baseline(&history[..0], false).is_none());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_past_threshold() {
+        let baseline = entry("base", false, 2.0, 1.9, 10.0);
+        // Sweep mean 25% slower (regression), best improved, micro within 20%.
+        let fresh = entry("fresh", false, 2.5, 1.5, 11.0);
+        let deltas = compare_entries(&baseline, &fresh);
+        assert_eq!(deltas.len(), 3);
+        let mean = &deltas[0];
+        assert_eq!(mean.name, "sweep mean_seconds");
+        assert!(mean.regression && mean.ratio > 1.24 && mean.ratio < 1.26);
+        assert!(!deltas[1].regression, "speedup is not a regression");
+        assert!(!deltas[2].regression, "11/10 is under the 1.2 threshold");
+    }
+
+    #[test]
+    fn compare_skips_unmatched_and_degenerate_metrics() {
+        let mut baseline = entry("base", true, 0.0, 0.5, 7.0);
+        baseline.micro[0].name = "other".into();
+        let fresh = entry("fresh", true, 0.6, 0.6, 7.0);
+        let deltas = compare_entries(&baseline, &fresh);
+        // mean_seconds baseline is 0 (skipped); micro names differ (skipped).
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].name, "sweep best_seconds");
     }
 }

@@ -718,6 +718,11 @@ fn cmd_bench(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
     };
     let label = flags.get("label").unwrap_or("current");
     let out = flags.get("out").unwrap_or("BENCH_sweep.json");
+    let compare = flags.has("compare");
+    let strict = flags.has("strict");
+    if strict && !compare {
+        return usage_error("--strict requires --compare", cmd.help);
+    }
 
     eprintln!(
         "[bench] {} grid on {} threads, {} runs",
@@ -765,6 +770,52 @@ fn cmd_bench(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         "[bench] appended to {out} ({} entries)",
         report.history.len()
     );
+
+    if compare {
+        // Diff the fresh entry (just appended, last) against the most recent
+        // *previously committed* entry that ran the same grid.
+        let fresh = report.history.last().expect("entry was just appended");
+        let committed = &report.history[..report.history.len() - 1];
+        match bench::find_baseline(committed, quick) {
+            None => {
+                eprintln!(
+                    "[bench] --compare: no committed {} baseline in {out}; nothing to diff",
+                    if quick { "quick" } else { "default-grid" }
+                );
+            }
+            Some(baseline) => {
+                let deltas = bench::compare_entries(baseline, fresh);
+                eprintln!(
+                    "[bench] comparing `{}` against baseline `{}`:",
+                    fresh.label, baseline.label
+                );
+                let mut regressions = 0usize;
+                for d in &deltas {
+                    let verdict = if d.regression {
+                        regressions += 1;
+                        "REGRESSION"
+                    } else if d.ratio < 1.0 {
+                        "speedup"
+                    } else {
+                        "ok"
+                    };
+                    eprintln!(
+                        "[bench]   {:<40} {:>10.4} -> {:>10.4}  ({:.2}x)  {}",
+                        d.name, d.before, d.after, d.ratio, verdict
+                    );
+                }
+                if regressions > 0 {
+                    eprintln!(
+                        "[bench] {regressions} metric(s) regressed by more than {:.0}%",
+                        (bench::REGRESSION_RATIO - 1.0) * 100.0
+                    );
+                    if strict {
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 

@@ -131,7 +131,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "Time the default sweep grid and append to the perf history JSON",
         help: BENCH_HELP,
         options: &["runs", "label", "seed", "out"],
-        switches: &["quick", "help"],
+        switches: &["quick", "compare", "strict", "help"],
     },
 ];
 
@@ -445,6 +445,10 @@ OPTIONS:
     --label <name>    History label for this entry [default: current]
     --seed <n>        Sweep seed [default: 42]
     --out <path>      History JSON path [default: BENCH_sweep.json]
+    --compare         Diff this run against the last committed entry with the
+                      same grid and print per-metric deltas; slowdowns past
+                      20% are flagged as regressions
+    --strict          With --compare: exit non-zero if any metric regressed
     --help            Show this message
 
 EXAMPLE:

@@ -118,4 +118,163 @@ proptest! {
         prop_assert_eq!(q.scale.to_bits(), scale.to_bits());
         prop_assert_eq!(q.zero_point.to_bits(), (-lo / scale).round().to_bits());
     }
+
+    /// The SIMD `matmul_nt` dispatch (AVX2/NEON when the host supports it,
+    /// scalar otherwise — and always scalar under `BITMOD_NO_SIMD=1`) is
+    /// bit-identical to the retained scalar kernel.  The shape ranges cross
+    /// every kernel boundary: ragged panel tails (`n % 8 != 0`), the 4-row
+    /// register-blocking remainder (`m % 4 != 0`), the `m ≤ ROW_BLOCK`
+    /// inline path and the block-parallel path above it.
+    #[test]
+    fn simd_matmul_matches_scalar_kernel(
+        m in 1usize..40,
+        k in 1usize..32,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed ^ 0x51D);
+        let mut a = Matrix::zeros(m, k);
+        rng.fill_normal(a.as_mut_slice(), 0.0, 1.0);
+        let mut b = Matrix::zeros(n, k);
+        rng.fill_normal(b.as_mut_slice(), 0.0, 1.0);
+        let fast = a.matmul_nt(&b);
+        let reference = a.matmul_nt_scalar(&b);
+        for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// NaN/∞ propagation parity: with NaN, ±∞ and -0.0 sprinkled into both
+    /// operands, the SIMD kernels agree with the scalar kernel on every
+    /// non-NaN result bit for bit (±∞ propagation, signed zeros), and are
+    /// NaN exactly where the scalar kernel is NaN.  The NaN *payload* is
+    /// deliberately not compared: IEEE 754 leaves it unspecified, and the
+    /// compiler may legally commute a scalar `fmul`/`fadd` while x86/NEON
+    /// hardware picks the first operand's payload — so e.g. `-qNaN + qNaN`
+    /// can surface either sign bit depending on compiled operand order.
+    #[test]
+    fn simd_matmul_nan_inf_parity(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SeededRng::new(seed ^ 0xF1F);
+        let mut a = Matrix::zeros(m, k);
+        rng.fill_normal(a.as_mut_slice(), 0.0, 1.0);
+        let mut b = Matrix::zeros(n, k);
+        rng.fill_normal(b.as_mut_slice(), 0.0, 1.0);
+        let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0f32, 0.0f32];
+        for _ in 0..=(m * k).div_ceil(4) {
+            let i = rng.below(m * k);
+            a.as_mut_slice()[i] = specials[rng.below(specials.len())];
+        }
+        for _ in 0..=(n * k).div_ceil(4) {
+            let i = rng.below(n * k);
+            b.as_mut_slice()[i] = specials[rng.below(specials.len())];
+        }
+        let fast = a.matmul_nt(&b);
+        let reference = a.matmul_nt_scalar(&b);
+        for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+            if x.is_nan() || y.is_nan() {
+                prop_assert!(x.is_nan() && y.is_nan());
+            } else {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// A batched forward over several stacked windows is bit-identical to
+    /// running each window through `forward` separately — including with
+    /// per-tensor activation quantization enabled, which forces the batched
+    /// path to segment its absmax per window.
+    #[test]
+    fn batched_forward_matches_per_window(
+        seed in 0u64..500,
+        lens in proptest::collection::vec(1usize..20, 1..5),
+        quantize_acts in prop_oneof![Just(false), Just(true)],
+    ) {
+        let mut model =
+            ProxyTransformer::synthesize(LlmModel::Phi2B, ProxyConfig::tiny(), seed);
+        if quantize_acts {
+            model = model.with_activation_bits(8);
+        }
+        let mut rng = SeededRng::new(seed ^ 0xBA7C);
+        let windows: Vec<Vec<usize>> = lens
+            .iter()
+            .map(|&l| (0..l).map(|_| rng.below(model.config.vocab)).collect())
+            .collect();
+        let refs: Vec<&[usize]> = windows.iter().map(|w| w.as_slice()).collect();
+        let batched = model.forward_batch(&refs);
+        prop_assert_eq!(batched.rows(), lens.iter().sum::<usize>());
+        let mut base = 0;
+        for w in &refs {
+            let single = model.forward(w);
+            for t in 0..w.len() {
+                for (x, y) in batched.row(base + t).iter().zip(single.row(t)) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            base += w.len();
+        }
+    }
+
+    /// The batched stream metrics (`perplexity`, `greedy_predictions`, and
+    /// through the latter `argmax_agreement`) equal their retained
+    /// per-window reference implementations bit for bit, across stream
+    /// lengths that produce full windows, ragged final windows, and
+    /// filtered-out length-1 tails.
+    #[test]
+    fn batched_stream_metrics_match_reference(
+        seed in 0u64..500,
+        stream_len in 2usize..120,
+    ) {
+        let model =
+            ProxyTransformer::synthesize(LlmModel::Llama2_7B, ProxyConfig::tiny(), seed);
+        let mut rng = SeededRng::new(seed.wrapping_add(17));
+        let stream: Vec<usize> = (0..stream_len)
+            .map(|_| rng.below(model.config.vocab))
+            .collect();
+        prop_assert_eq!(
+            model.perplexity(&stream).to_bits(),
+            model.perplexity_reference(&stream).to_bits()
+        );
+        prop_assert_eq!(
+            model.greedy_predictions(&stream),
+            model.greedy_predictions_reference(&stream)
+        );
+    }
+}
+
+/// Explicit kernel edge shapes, checked outside the random sweep so they can
+/// never rotate out of coverage: 1×1 products, single-lane tails, exact
+/// panel/register-block multiples and off-by-ones around `ROW_BLOCK = 16`
+/// and the 8-lane panel width.
+#[test]
+fn simd_matmul_edge_shapes_match_scalar_kernel() {
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (1, 1, 8),
+        (1, 1, 9),
+        (2, 3, 7),
+        (3, 5, 1),
+        (4, 8, 8),
+        (5, 2, 16),
+        (8, 8, 24),
+        (15, 7, 17),
+        (16, 16, 16),
+        (17, 3, 23),
+        (33, 12, 40),
+    ] {
+        let mut rng = SeededRng::new((m * 1009 + k * 31 + n) as u64);
+        let mut a = Matrix::zeros(m, k);
+        rng.fill_normal(a.as_mut_slice(), 0.0, 1.0);
+        let mut b = Matrix::zeros(n, k);
+        rng.fill_normal(b.as_mut_slice(), 0.0, 1.0);
+        let fast = a.matmul_nt(&b);
+        let reference = a.matmul_nt_scalar(&b);
+        for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "shape ({m},{k},{n})");
+        }
+    }
 }

@@ -377,41 +377,109 @@ impl ProxyTransformer {
         (logits, captured)
     }
 
+    /// Forward pass over several *independent* windows stacked into one
+    /// batch, returning the vertically stacked logits (`Σ window lengths ×
+    /// vocab`): row block `i` is bit-identical to `forward(windows[i])`.
+    ///
+    /// Stacking turns the per-window matmuls of a stream evaluation into one
+    /// `matmul_nt` per layer stage with a much larger `m`, which both
+    /// engages the parallel row split on small models and amortizes every
+    /// per-call overhead (panel interleave, allocations).  The two
+    /// window-coupled stages stay window-local: attention masks are block
+    /// diagonal (positions restart at 0 in every window) and per-tensor
+    /// activation quantization computes its absmax per window segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is empty, any window is empty, or any token id is
+    /// outside the vocabulary.
+    pub fn forward_batch(&self, windows: &[&[usize]]) -> Matrix {
+        self.forward_windows_impl(windows, None)
+    }
+
     fn forward_impl(
         &self,
         tokens: &[usize],
+        capture: Option<&mut Vec<(LinearId, Matrix)>>,
+    ) -> Matrix {
+        self.forward_windows_impl(&[tokens], capture)
+    }
+
+    fn forward_windows_impl(
+        &self,
+        windows: &[&[usize]],
+        capture: Option<&mut Vec<(LinearId, Matrix)>>,
+    ) -> Matrix {
+        let x = self.hidden_states(windows, capture);
+        rms_norm(&x).matmul_nt(&self.lm_head)
+    }
+
+    /// Logits of the *last* position of `tokens` only.
+    ///
+    /// Bit-identical to `self.forward(tokens)`'s final row — every logits row
+    /// is an independent dot-product chain accumulating in ascending-`k`
+    /// order in both [`Matrix::matmul_nt`] and [`Matrix::matvec`] — but skips
+    /// the `seq × vocab` LM-head product and final norm for every other
+    /// position.  Autoregressive generation discards all rows but the last,
+    /// so [`ProxyTransformer::generate`] runs on this path.
+    pub fn forward_last_logits(&self, tokens: &[usize]) -> Vec<f32> {
+        let x = self.hidden_states(&[tokens], None);
+        let normed = rms_norm_row(x.row(x.rows() - 1));
+        self.lm_head.matvec(&normed)
+    }
+
+    /// Runs embedding and every decoder layer over the stacked `windows`,
+    /// returning the final hidden states (before the last norm + LM head).
+    fn hidden_states(
+        &self,
+        windows: &[&[usize]],
         mut capture: Option<&mut Vec<(LinearId, Matrix)>>,
     ) -> Matrix {
-        assert!(!tokens.is_empty(), "cannot run a forward pass on no tokens");
-        let seq = tokens.len();
+        assert!(
+            !windows.is_empty(),
+            "forward batch needs at least one window"
+        );
+        for w in windows {
+            assert!(!w.is_empty(), "cannot run a forward pass on no tokens");
+        }
+        let lens: Vec<usize> = windows.iter().map(|w| w.len()).collect();
+        let seq: usize = lens.iter().sum();
         let h = self.config.hidden;
         // Embed tokens (+ a simple sinusoidal position signal so attention has
         // positional information).  The signal is read from the table
         // precomputed at synthesis; positions beyond the table (sequences
         // longer than `seq_len`) fall back to the inline expressions.
+        // Positions restart at 0 in every window.
         let mut x = Matrix::zeros(seq, h);
-        for (t, &tok) in tokens.iter().enumerate() {
-            assert!(tok < self.config.vocab, "token id {tok} out of vocabulary");
-            let emb = self.embedding.row(tok);
-            let row = x.row_mut(t);
-            if t < self.positional.rows() {
-                let pos_row = self.positional.row(t);
-                for (i, v) in row.iter_mut().enumerate() {
-                    *v = emb[i] + 0.1 * pos_row[i];
-                }
-            } else {
-                for (i, v) in row.iter_mut().enumerate() {
-                    let angle = t as f32 / 10_000f32.powf(2.0 * (i / 2) as f32 / h as f32);
-                    let pos = if i % 2 == 0 { angle.sin() } else { angle.cos() };
-                    *v = emb[i] + 0.1 * pos;
+        let mut base = 0;
+        for w in windows {
+            for (t, &tok) in w.iter().enumerate() {
+                assert!(tok < self.config.vocab, "token id {tok} out of vocabulary");
+                let emb = self.embedding.row(tok);
+                let row = x.row_mut(base + t);
+                if t < self.positional.rows() {
+                    let pos_row = self.positional.row(t);
+                    for (i, v) in row.iter_mut().enumerate() {
+                        *v = emb[i] + 0.1 * pos_row[i];
+                    }
+                } else {
+                    for (i, v) in row.iter_mut().enumerate() {
+                        let angle = t as f32 / 10_000f32.powf(2.0 * (i / 2) as f32 / h as f32);
+                        let pos = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+                        *v = emb[i] + 0.1 * pos;
+                    }
                 }
             }
+            base += w.len();
         }
 
+        // Per-tensor activation quantization is per *window* tensor: the
+        // absmax is taken over each window's segment, exactly as if the
+        // windows ran separately.
         let act_q = |m: Matrix| -> Matrix {
             match self.activation_bits {
                 None => m,
-                Some(bits) => quantize_activation(&m, bits),
+                Some(bits) => quantize_activation_segmented(&m, bits, &lens),
             }
         };
 
@@ -432,7 +500,13 @@ impl ProxyTransformer {
             let q = normed.matmul_nt(&lw.wq);
             let k = normed.matmul_nt(&lw.wk);
             let v = normed.matmul_nt(&lw.wv);
-            let attn = act_q(causal_attention(&q, &k, &v, self.config.heads));
+            let attn = act_q(causal_attention_segmented(
+                &q,
+                &k,
+                &v,
+                self.config.heads,
+                &lens,
+            ));
             if let Some(cap) = capture.as_deref_mut() {
                 cap.push((
                     LinearId {
@@ -486,7 +560,7 @@ impl ProxyTransformer {
             }
         }
 
-        rms_norm(&x).matmul_nt(&self.lm_head)
+        x
     }
 
     /// Autoregressively samples `len` tokens after `prompt` at the given
@@ -507,23 +581,61 @@ impl ProxyTransformer {
         let mut tokens = prompt.to_vec();
         for _ in 0..len {
             let window_start = tokens.len().saturating_sub(self.config.seq_len);
-            let logits = self.forward(&tokens[window_start..]);
-            let last = logits.row(logits.rows() - 1);
-            let probs = softmax_with_temperature(last, temperature);
+            let logits = self.forward_last_logits(&tokens[window_start..]);
+            let probs = softmax_with_temperature(&logits, temperature);
             let next = sample_from(&probs, rng);
             tokens.push(next);
         }
         tokens
     }
 
+    /// The `seq_len` windows a stream evaluation runs on: every chunk of
+    /// `config.seq_len` tokens with at least two tokens (only the final chunk
+    /// can be shorter).
+    fn eval_windows<'a>(&self, stream: &'a [usize]) -> Vec<&'a [usize]> {
+        stream
+            .chunks(self.config.seq_len)
+            .filter(|w| w.len() >= 2)
+            .collect()
+    }
+
     /// Perplexity of the model on a token stream: `exp(mean cross-entropy)` of
     /// predicting token `t+1` from tokens `..=t`, evaluated in windows of
     /// `config.seq_len`.
+    ///
+    /// All windows run as one [`ProxyTransformer::forward_batch`]; the result
+    /// is bit-identical to the per-window
+    /// [`ProxyTransformer::perplexity_reference`].
     ///
     /// # Panics
     ///
     /// Panics if the stream has fewer than two tokens.
     pub fn perplexity(&self, stream: &[usize]) -> f64 {
+        assert!(stream.len() >= 2, "perplexity needs at least two tokens");
+        let windows = self.eval_windows(stream);
+        let mut total_nll = 0.0;
+        let mut count = 0usize;
+        if !windows.is_empty() {
+            let logits = self.forward_batch(&windows);
+            let mut base = 0;
+            for window in &windows {
+                for t in 0..window.len() - 1 {
+                    let probs = softmax_with_temperature(logits.row(base + t), 1.0);
+                    let target = window[t + 1];
+                    total_nll -= probs[target].max(1e-12).ln();
+                    count += 1;
+                }
+                base += window.len();
+            }
+        }
+        (total_nll / count.max(1) as f64).exp()
+    }
+
+    /// Per-window reference implementation of
+    /// [`ProxyTransformer::perplexity`]: one `forward` call per window, the
+    /// pre-batching formulation.  Kept (and exercised by the equivalence
+    /// tests) as the bit-identity anchor for the batched path.
+    pub fn perplexity_reference(&self, stream: &[usize]) -> f64 {
         assert!(stream.len() >= 2, "perplexity needs at least two tokens");
         let mut total_nll = 0.0;
         let mut count = 0usize;
@@ -549,8 +661,31 @@ impl ProxyTransformer {
     /// Computing these once for a reference model and comparing many
     /// quantized models against the cached result (via
     /// [`ProxyTransformer::argmax_agreement_with`]) halves the forward-pass
-    /// cost of an accuracy evaluation.
+    /// cost of an accuracy evaluation.  Like
+    /// [`ProxyTransformer::perplexity`], all windows run as one batched
+    /// forward, bit-identical to the per-window
+    /// [`ProxyTransformer::greedy_predictions_reference`].
     pub fn greedy_predictions(&self, stream: &[usize]) -> Vec<usize> {
+        let windows = self.eval_windows(stream);
+        let mut preds = Vec::new();
+        if windows.is_empty() {
+            return preds;
+        }
+        let logits = self.forward_batch(&windows);
+        let mut base = 0;
+        for window in &windows {
+            for t in 0..window.len() - 1 {
+                preds.push(argmax(logits.row(base + t)));
+            }
+            base += window.len();
+        }
+        preds
+    }
+
+    /// Per-window reference implementation of
+    /// [`ProxyTransformer::greedy_predictions`] (one `forward` per window),
+    /// kept as the bit-identity anchor for the batched path.
+    pub fn greedy_predictions_reference(&self, stream: &[usize]) -> Vec<usize> {
         let mut preds = Vec::new();
         for window in stream.chunks(self.config.seq_len) {
             if window.len() < 2 {
@@ -596,16 +731,43 @@ impl ProxyTransformer {
     }
 }
 
-/// Per-tensor symmetric integer quantization of an activation tensor, used to
-/// model INT8 activations in the SmoothQuant experiments.
-fn quantize_activation(m: &Matrix, bits: u8) -> Matrix {
+/// Per-tensor symmetric integer quantization of one activation tensor's
+/// elements, in place.  The absmax fold and the per-element map run in the
+/// same element order as the historical whole-matrix formulation.
+fn quantize_activation_slice(seg: &mut [f32], bits: u8) {
     let qmax = ((1i32 << (bits - 1)) - 1) as f32;
-    let absmax = m.as_slice().iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+    let absmax = seg.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
     if absmax == 0.0 {
-        return m.clone();
+        return;
     }
     let scale = absmax / qmax;
-    m.map(|x| (x / scale).round().clamp(-qmax, qmax) * scale)
+    for x in seg {
+        *x = (*x / scale).round().clamp(-qmax, qmax) * scale;
+    }
+}
+
+/// Per-tensor symmetric integer quantization of an activation tensor, used to
+/// model INT8 activations in the SmoothQuant experiments.
+#[cfg(test)]
+fn quantize_activation(m: &Matrix, bits: u8) -> Matrix {
+    quantize_activation_segmented(m, bits, &[m.rows()])
+}
+
+/// [`quantize_activation`] applied independently to each window segment of a
+/// stacked batch: rows `start..start + len` form one activation *tensor* with
+/// its own absmax, exactly as if the windows ran as separate forwards.
+fn quantize_activation_segmented(m: &Matrix, bits: u8, lens: &[usize]) -> Matrix {
+    let mut out = m.clone();
+    let cols = m.cols();
+    let mut start = 0;
+    for &len in lens {
+        quantize_activation_slice(
+            &mut out.as_mut_slice()[start * cols..(start + len) * cols],
+            bits,
+        );
+        start += len;
+    }
+    out
 }
 
 /// RMS normalization over the last dimension (no learned scale).
@@ -623,62 +785,110 @@ fn rms_norm(x: &Matrix) -> Matrix {
     out
 }
 
+/// [`rms_norm`] of a single row (same accumulation order and arithmetic),
+/// for the last-position-only generation path.
+fn rms_norm_row(row: &[f32]) -> Vec<f32> {
+    let ms = row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / row.len() as f64;
+    let inv = 1.0 / (ms + 1e-6).sqrt();
+    row.iter().map(|&v| (v as f64 * inv) as f32).collect()
+}
+
 /// SiLU activation.
 fn silu(x: f32) -> f32 {
     x / (1.0 + (-x).exp())
 }
 
-/// Multi-head causal self-attention.
+/// Multi-head causal self-attention over one window.
+#[cfg(test)]
+fn causal_attention(q: &Matrix, k: &Matrix, v: &Matrix, heads: usize) -> Matrix {
+    causal_attention_segmented(q, k, v, heads, &[q.rows()])
+}
+
+/// Multi-head causal self-attention with a block-diagonal mask: each window
+/// segment of a stacked batch attends only within itself, with positions
+/// restarting at the segment start — equivalent to (and bit-identical with)
+/// running [`causal_attention`] on every window separately.
 ///
 /// Works on borrowed row slices throughout (no per-element bounds-checked
 /// `get` calls) and reuses the score/weight/accumulator buffers across
 /// positions and heads.  Accumulation orders are unchanged from the naive
 /// formulation: scores sum over `d` ascending, outputs sum over `s`
-/// ascending per dimension — the results are bit-identical.
-fn causal_attention(q: &Matrix, k: &Matrix, v: &Matrix, heads: usize) -> Matrix {
-    let seq = q.rows();
+/// ascending per dimension — the results are bit-identical.  The score loop
+/// computes four `s` positions' dots concurrently for instruction-level
+/// parallelism; each dot keeps its own accumulator fed in ascending-`d`
+/// order, so this interleaving reorders nothing within any one reduction.
+fn causal_attention_segmented(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    heads: usize,
+    lens: &[usize],
+) -> Matrix {
     let hidden = q.cols();
     let head_dim = hidden / heads;
     let scale = 1.0 / (head_dim as f64).sqrt();
-    let mut out = Matrix::zeros(seq, hidden);
-    let mut weights: Vec<f64> = Vec::with_capacity(seq);
+    let mut out = Matrix::zeros(q.rows(), hidden);
+    let mut weights: Vec<f64> = Vec::new();
     let mut acc: Vec<f64> = vec![0.0; head_dim];
-    for h in 0..heads {
-        let off = h * head_dim;
-        for t in 0..seq {
-            let q_head = &q.row(t)[off..off + head_dim];
-            // Scores against positions 0..=t (reusing the weights buffer).
-            weights.clear();
-            for s in 0..=t {
-                let k_head = &k.row(s)[off..off + head_dim];
-                let mut dot = 0.0f64;
-                for (&qd, &kd) in q_head.iter().zip(k_head) {
-                    dot += qd as f64 * kd as f64;
+    let mut base = 0;
+    for &seq in lens {
+        for h in 0..heads {
+            let off = h * head_dim;
+            for t in 0..seq {
+                let q_head = &q.row(base + t)[off..off + head_dim];
+                // Scores against the window's own positions 0..=t (reusing
+                // the weights buffer), four independent dots at a time.
+                weights.clear();
+                let mut s = 0;
+                while s + 4 <= t + 1 {
+                    let k0 = &k.row(base + s)[off..off + head_dim];
+                    let k1 = &k.row(base + s + 1)[off..off + head_dim];
+                    let k2 = &k.row(base + s + 2)[off..off + head_dim];
+                    let k3 = &k.row(base + s + 3)[off..off + head_dim];
+                    let (mut d0, mut d1, mut d2, mut d3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                    for (i, &qd) in q_head.iter().enumerate() {
+                        let qv = qd as f64;
+                        d0 += qv * k0[i] as f64;
+                        d1 += qv * k1[i] as f64;
+                        d2 += qv * k2[i] as f64;
+                        d3 += qv * k3[i] as f64;
+                    }
+                    weights.extend_from_slice(&[d0 * scale, d1 * scale, d2 * scale, d3 * scale]);
+                    s += 4;
                 }
-                weights.push(dot * scale);
-            }
-            let maxs = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            for w in &mut weights {
-                *w = (*w - maxs).exp();
-            }
-            let sum: f64 = weights.iter().sum();
-            for w in &mut weights {
-                *w /= sum;
-            }
-            // Weighted value sum: s-major loops with one f64 accumulator per
-            // dimension, each accumulating in ascending-s order.
-            acc.fill(0.0);
-            for (s, &w) in weights.iter().enumerate() {
-                let v_head = &v.row(s)[off..off + head_dim];
-                for (a, &vd) in acc.iter_mut().zip(v_head) {
-                    *a += w * vd as f64;
+                while s <= t {
+                    let k_head = &k.row(base + s)[off..off + head_dim];
+                    let mut dot = 0.0f64;
+                    for (&qd, &kd) in q_head.iter().zip(k_head) {
+                        dot += qd as f64 * kd as f64;
+                    }
+                    weights.push(dot * scale);
+                    s += 1;
                 }
-            }
-            let out_head = &mut out.row_mut(t)[off..off + head_dim];
-            for (o, &a) in out_head.iter_mut().zip(acc.iter()) {
-                *o = a as f32;
+                let maxs = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                for w in &mut weights {
+                    *w = (*w - maxs).exp();
+                }
+                let sum: f64 = weights.iter().sum();
+                for w in &mut weights {
+                    *w /= sum;
+                }
+                // Weighted value sum: s-major loops with one f64 accumulator
+                // per dimension, each accumulating in ascending-s order.
+                acc.fill(0.0);
+                for (s, &w) in weights.iter().enumerate() {
+                    let v_head = &v.row(base + s)[off..off + head_dim];
+                    for (a, &vd) in acc.iter_mut().zip(v_head) {
+                        *a += w * vd as f64;
+                    }
+                }
+                let out_head = &mut out.row_mut(base + t)[off..off + head_dim];
+                for (o, &a) in out_head.iter_mut().zip(acc.iter()) {
+                    *o = a as f32;
+                }
             }
         }
+        base += seq;
     }
     out
 }
@@ -876,6 +1086,136 @@ mod tests {
         let d4 = diff(&m.with_activation_bits(4));
         assert!(d8 < 0.05, "INT8 activation relative error {d8}");
         assert!(d8 < d4, "INT8 ({d8}) should beat INT4 ({d4})");
+    }
+
+    #[test]
+    fn forward_batch_stacks_windows_bit_identically() {
+        // With activation quantization on, this also exercises the
+        // per-segment absmax and the block-diagonal attention mask.
+        for model in [tiny_model(30), tiny_model(30).with_activation_bits(8)] {
+            let w1: Vec<usize> = (0..32).map(|i| (i * 5) % model.config.vocab).collect();
+            let w2: Vec<usize> = (0..17).map(|i| (i * 11 + 3) % model.config.vocab).collect();
+            let w3 = vec![7usize, 3, 1];
+            let windows: Vec<&[usize]> = vec![&w1, &w2, &w3];
+            let batched = model.forward_batch(&windows);
+            assert_eq!(batched.rows(), w1.len() + w2.len() + w3.len());
+            let mut base = 0;
+            for w in &windows {
+                let single = model.forward(w);
+                for t in 0..w.len() {
+                    for (a, b) in batched.row(base + t).iter().zip(single.row(t)) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                base += w.len();
+            }
+        }
+    }
+
+    #[test]
+    fn last_logits_fast_path_matches_full_forward() {
+        let m = tiny_model(31);
+        let tokens: Vec<usize> = (0..19).map(|i| (i * 7 + 2) % m.config.vocab).collect();
+        let full = m.forward(&tokens);
+        let last = m.forward_last_logits(&tokens);
+        assert_eq!(last.len(), m.config.vocab);
+        for (a, b) in last.iter().zip(full.row(full.rows() - 1)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn segmented_activation_quant_matches_per_tensor_on_each_segment() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, -8.0, 3.0],
+            vec![0.5, 0.25, -0.125],
+            vec![100.0, -50.0, 25.0],
+        ]);
+        let seg = quantize_activation_segmented(&m, 4, &[2, 1]);
+        let top = quantize_activation(&m.top_rows(2), 4);
+        let bottom = quantize_activation(&Matrix::from_rows(&[m.row(2).to_vec()]), 4);
+        assert_eq!(&seg.as_slice()[..6], top.as_slice());
+        assert_eq!(&seg.as_slice()[6..], bottom.as_slice());
+        // A single full-length segment is exactly the per-tensor behavior.
+        assert_eq!(
+            quantize_activation_segmented(&m, 4, &[3]),
+            quantize_activation(&m, 4)
+        );
+    }
+
+    #[test]
+    fn segmented_attention_is_block_diagonal() {
+        let q = Matrix::from_rows(&[
+            vec![0.3, -0.7, 1.1, 0.2],
+            vec![-0.4, 0.9, 0.0, -1.2],
+            vec![0.8, 0.1, -0.5, 0.6],
+        ]);
+        let k = q.map(|x| x * 0.5 + 0.1);
+        let v = q.map(|x| -x + 0.2);
+        let seg = causal_attention_segmented(&q, &k, &v, 2, &[2, 1]);
+        // First segment: rows 0..2 attend among themselves…
+        let first = causal_attention(&q.top_rows(2), &k.top_rows(2), &v.top_rows(2), 2);
+        assert_eq!(&seg.as_slice()[..8], first.as_slice());
+        // …second segment restarts: a lone row only attends to itself, so its
+        // output is exactly its value row.
+        assert_eq!(&seg.as_slice()[8..], v.row(2));
+    }
+
+    /// The textbook formulation of causal attention: one score dot at a
+    /// time, single accumulator each, ascending-`d` then ascending-`s` — the
+    /// exact operation order the production kernel's 4-way score interleave
+    /// must reproduce bit for bit.
+    fn causal_attention_naive(q: &Matrix, k: &Matrix, v: &Matrix, heads: usize) -> Matrix {
+        let hidden = q.cols();
+        let head_dim = hidden / heads;
+        let scale = 1.0 / (head_dim as f64).sqrt();
+        let mut out = Matrix::zeros(q.rows(), hidden);
+        for h in 0..heads {
+            let off = h * head_dim;
+            for t in 0..q.rows() {
+                let mut weights = Vec::new();
+                for s in 0..=t {
+                    let mut dot = 0.0f64;
+                    for d in 0..head_dim {
+                        dot += q.row(t)[off + d] as f64 * k.row(s)[off + d] as f64;
+                    }
+                    weights.push(dot * scale);
+                }
+                let maxs = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                for w in &mut weights {
+                    *w = (*w - maxs).exp();
+                }
+                let sum: f64 = weights.iter().sum();
+                for d in 0..head_dim {
+                    let mut acc = 0.0f64;
+                    for (s, &w) in weights.iter().enumerate() {
+                        acc += w / sum * v.row(s)[off + d] as f64;
+                    }
+                    out.row_mut(t)[off + d] = acc as f32;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn interleaved_attention_matches_naive_formulation() {
+        // Sequence lengths straddling the 4-way interleave boundary (tails
+        // of 0..=3 leftover dots) all match the one-dot-at-a-time reference.
+        for seq in [1, 2, 4, 5, 7, 8, 11] {
+            let mut rng = SeededRng::new(900 + seq as u64);
+            let mut q = Matrix::zeros(seq, 8);
+            let mut k = Matrix::zeros(seq, 8);
+            let mut v = Matrix::zeros(seq, 8);
+            rng.fill_normal(q.as_mut_slice(), 0.0, 1.0);
+            rng.fill_normal(k.as_mut_slice(), 0.0, 1.0);
+            rng.fill_normal(v.as_mut_slice(), 0.0, 1.0);
+            let fast = causal_attention(&q, &k, &v, 2);
+            let naive = causal_attention_naive(&q, &k, &v, 2);
+            for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "seq {seq}");
+            }
+        }
     }
 
     #[test]

@@ -41,5 +41,5 @@ pub mod stats;
 pub mod synthetic;
 
 pub use f16::F16;
-pub use matrix::Matrix;
+pub use matrix::{active_simd_backend, Matrix};
 pub use rng::SeededRng;

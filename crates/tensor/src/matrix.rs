@@ -8,12 +8,80 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Panel width of the fused [`Matrix::matmul_nt`] kernel: how many rows of
 /// the transposed operand are interleaved and advanced together.  Eight
 /// independent `f32` accumulators fill a 256-bit SIMD register and hide
 /// FMA latency without spilling.
 const NT_PANEL: usize = 8;
+
+/// Which kernel implementation [`Matrix::matmul_nt`] dispatches to.
+///
+/// Detected once per process (see [`simd_backend`]); the scalar kernel is
+/// always compiled and is the fallback on every architecture.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SimdBackend {
+    /// Portable scalar panel kernel — the reference implementation.
+    Scalar,
+    /// AVX2 256-bit kernel (x86_64, runtime-detected).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// NEON 128-bit kernel (aarch64, runtime-detected).
+    #[cfg(target_arch = "aarch64")]
+    Neon,
+}
+
+/// `BITMOD_NO_SIMD` escape hatch: any non-empty value other than `"0"`
+/// forces the scalar kernel, independent of what the CPU supports.
+fn simd_disabled_by_env() -> bool {
+    match std::env::var("BITMOD_NO_SIMD") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Runtime kernel selection, decided once per process and cached.
+///
+/// The environment variable is read on first use, so `BITMOD_NO_SIMD` must
+/// be set before the first `matmul_nt` call to take effect.
+fn simd_backend() -> SimdBackend {
+    static BACKEND: OnceLock<SimdBackend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if simd_disabled_by_env() {
+            return SimdBackend::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdBackend::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return SimdBackend::Neon;
+            }
+        }
+        SimdBackend::Scalar
+    })
+}
+
+/// Human-readable name of the matmul kernel the process dispatches to:
+/// `"avx2"`, `"neon"` or `"scalar"`.
+///
+/// Useful for logging benchmark provenance.  The answer is fixed after the
+/// first matrix multiplication (runtime detection is cached), and honours
+/// the `BITMOD_NO_SIMD` escape hatch.
+pub fn active_simd_backend() -> &'static str {
+    match simd_backend() {
+        SimdBackend::Scalar => "scalar",
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => "avx2",
+        #[cfg(target_arch = "aarch64")]
+        SimdBackend::Neon => "neon",
+    }
+}
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -363,11 +431,48 @@ impl Matrix {
         out
     }
 
+    /// Reference `matmul_nt`: always the scalar panel kernel, always
+    /// single-threaded, bypassing both the SIMD dispatch and the rayon row
+    /// split.  Equivalence tests pin `matmul_nt` bit-identical to this; it is
+    /// also what `matmul_nt` itself runs when no SIMD backend is available or
+    /// `BITMOD_NO_SIMD` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions (`self.cols` vs `rhs.cols`) differ.
+    pub fn matmul_nt_scalar(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        Self::matmul_nt_block_scalar(&self.data, self.cols, rhs, &mut out.data);
+        out
+    }
+
     /// Multiplies a block of `a` rows (flat, `k`-wide) against `rhsᵀ` into
-    /// `out` (flat, `rhs.rows`-wide rows).  For every eight-row (`NT_PANEL`)
-    /// panel of `rhs` rows, the panel is interleaved once into a lane-major scratch
-    /// buffer and then streamed against every `a` row of the block.
+    /// `out` (flat, `rhs.rows`-wide rows), dispatching to the SIMD kernel
+    /// selected by [`simd_backend`] with the scalar kernel as fallback.
+    /// Every implementation produces bit-identical output (see the kernel
+    /// comments for why).
     fn matmul_nt_block(a: &[f32], k: usize, rhs: &Matrix, out: &mut [f32]) {
+        match simd_backend() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: dispatched only after `is_x86_feature_detected!("avx2")`.
+            SimdBackend::Avx2 => unsafe { Self::matmul_nt_block_avx2(a, k, rhs, out) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: dispatched only after `is_aarch64_feature_detected!("neon")`.
+            SimdBackend::Neon => unsafe { Self::matmul_nt_block_neon(a, k, rhs, out) },
+            SimdBackend::Scalar => Self::matmul_nt_block_scalar(a, k, rhs, out),
+        }
+    }
+
+    /// Scalar panel kernel: for every eight-row (`NT_PANEL`) panel of `rhs`
+    /// rows, the panel is interleaved once into a lane-major scratch buffer
+    /// and then streamed against every `a` row of the block.  This is the
+    /// always-compiled reference the SIMD kernels must match bit for bit.
+    fn matmul_nt_block_scalar(a: &[f32], k: usize, rhs: &Matrix, out: &mut [f32]) {
         const NB: usize = NT_PANEL;
         let n = rhs.rows;
         let mut panel = vec![0.0f32; k * NB];
@@ -404,6 +509,192 @@ impl Matrix {
                         }
                     }
                     out_lanes.copy_from_slice(&acc[..nb]);
+                }
+            }
+            j0 += nb;
+        }
+    }
+
+    /// AVX2 panel kernel.  Bit-identical to [`Matrix::matmul_nt_block_scalar`]:
+    ///
+    /// * The panel scratch is already interleaved lane-major, so one
+    ///   `_mm256_loadu_ps` per `k` step reads the same eight lanes the scalar
+    ///   kernel walks with its fixed-width array loop.
+    /// * Each output lane keeps a single accumulator fed in ascending-`k`
+    ///   order with separate `_mm256_mul_ps` + `_mm256_add_ps` — **not**
+    ///   `_mm256_fmadd_ps`, whose skipped intermediate rounding would break
+    ///   bit-identity.  Vector lanes are independent, so an 8-wide mul/add is
+    ///   IEEE-identical to eight scalar mul/adds for every non-NaN result
+    ///   (including ±∞ propagation and signed zeros, which x86
+    ///   `mulps`/`addps` share with `mulss`/`addss`).  NaN *payloads* are the
+    ///   one exception: IEEE leaves them unspecified and the compiler may
+    ///   commute a scalar mul/add while hardware picks the first operand's
+    ///   payload, so NaN outputs match NaN-for-NaN, not bit-for-bit.
+    /// * ILP comes from register-blocking four `a` rows (four independent
+    ///   accumulator vectors), never from splitting one row's `k` loop into
+    ///   multiple partial sums, which would reassociate the reduction.
+    ///
+    /// Ragged tail panels (fewer than eight lanes) reuse the scalar lane loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn matmul_nt_block_avx2(a: &[f32], k: usize, rhs: &Matrix, out: &mut [f32]) {
+        use std::arch::x86_64::*;
+        const NB: usize = NT_PANEL;
+        let n = rhs.rows;
+        if k == 0 || n == 0 {
+            // Degenerate shapes take the scalar path so panic behavior (from
+            // zero-size `chunks_exact`) stays identical.
+            return Self::matmul_nt_block_scalar(a, k, rhs, out);
+        }
+        let m = a.len() / k;
+        let mut panel = vec![0.0f32; k * NB];
+        let mut j0 = 0;
+        while j0 < n {
+            let nb = (n - j0).min(NB);
+            for l in 0..nb {
+                let b_row = rhs.row(j0 + l);
+                for (i, &v) in b_row.iter().enumerate() {
+                    panel[i * nb + l] = v;
+                }
+            }
+            if nb == NB {
+                let p = panel.as_ptr();
+                let mut r = 0;
+                while r + 4 <= m {
+                    let a0 = a.as_ptr().add(r * k);
+                    let a1 = a0.add(k);
+                    let a2 = a1.add(k);
+                    let a3 = a2.add(k);
+                    let mut acc0 = _mm256_setzero_ps();
+                    let mut acc1 = _mm256_setzero_ps();
+                    let mut acc2 = _mm256_setzero_ps();
+                    let mut acc3 = _mm256_setzero_ps();
+                    for i in 0..k {
+                        let lanes = _mm256_loadu_ps(p.add(i * NB));
+                        acc0 =
+                            _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(*a0.add(i)), lanes));
+                        acc1 =
+                            _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(*a1.add(i)), lanes));
+                        acc2 =
+                            _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(*a2.add(i)), lanes));
+                        acc3 =
+                            _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(*a3.add(i)), lanes));
+                    }
+                    let o = out.as_mut_ptr().add(r * n + j0);
+                    _mm256_storeu_ps(o, acc0);
+                    _mm256_storeu_ps(o.add(n), acc1);
+                    _mm256_storeu_ps(o.add(2 * n), acc2);
+                    _mm256_storeu_ps(o.add(3 * n), acc3);
+                    r += 4;
+                }
+                while r < m {
+                    let ar = a.as_ptr().add(r * k);
+                    let mut acc = _mm256_setzero_ps();
+                    for i in 0..k {
+                        let lanes = _mm256_loadu_ps(p.add(i * NB));
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(*ar.add(i)), lanes));
+                    }
+                    _mm256_storeu_ps(out.as_mut_ptr().add(r * n + j0), acc);
+                    r += 1;
+                }
+            } else {
+                // Ragged tail panel: identical to the scalar kernel.
+                for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+                    let mut acc = [0.0f32; NB];
+                    for (&ai, lanes) in a_row.iter().zip(panel.chunks_exact(nb)) {
+                        for l in 0..nb {
+                            acc[l] += ai * lanes[l];
+                        }
+                    }
+                    out_row[j0..j0 + nb].copy_from_slice(&acc[..nb]);
+                }
+            }
+            j0 += nb;
+        }
+    }
+
+    /// NEON panel kernel.  Same bit-identity reasoning as the AVX2 kernel:
+    /// the eight panel lanes become two `float32x4_t` vectors per `k` step,
+    /// accumulated with separate `vmulq_f32` + `vaddq_f32` (explicitly not
+    /// the fused `vfmaq_f32`), register-blocked across four `a` rows for ILP.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports NEON.
+    #[cfg(target_arch = "aarch64")]
+    #[target_feature(enable = "neon")]
+    unsafe fn matmul_nt_block_neon(a: &[f32], k: usize, rhs: &Matrix, out: &mut [f32]) {
+        use std::arch::aarch64::*;
+        const NB: usize = NT_PANEL;
+        let n = rhs.rows;
+        if k == 0 || n == 0 {
+            return Self::matmul_nt_block_scalar(a, k, rhs, out);
+        }
+        let m = a.len() / k;
+        let mut panel = vec![0.0f32; k * NB];
+        let mut j0 = 0;
+        while j0 < n {
+            let nb = (n - j0).min(NB);
+            for l in 0..nb {
+                let b_row = rhs.row(j0 + l);
+                for (i, &v) in b_row.iter().enumerate() {
+                    panel[i * nb + l] = v;
+                }
+            }
+            if nb == NB {
+                let p = panel.as_ptr();
+                let mut r = 0;
+                while r + 2 <= m {
+                    let a0 = a.as_ptr().add(r * k);
+                    let a1 = a0.add(k);
+                    let mut acc0lo = vdupq_n_f32(0.0);
+                    let mut acc0hi = vdupq_n_f32(0.0);
+                    let mut acc1lo = vdupq_n_f32(0.0);
+                    let mut acc1hi = vdupq_n_f32(0.0);
+                    for i in 0..k {
+                        let lo = vld1q_f32(p.add(i * NB));
+                        let hi = vld1q_f32(p.add(i * NB + 4));
+                        let s0 = vdupq_n_f32(*a0.add(i));
+                        let s1 = vdupq_n_f32(*a1.add(i));
+                        acc0lo = vaddq_f32(acc0lo, vmulq_f32(s0, lo));
+                        acc0hi = vaddq_f32(acc0hi, vmulq_f32(s0, hi));
+                        acc1lo = vaddq_f32(acc1lo, vmulq_f32(s1, lo));
+                        acc1hi = vaddq_f32(acc1hi, vmulq_f32(s1, hi));
+                    }
+                    let o = out.as_mut_ptr().add(r * n + j0);
+                    vst1q_f32(o, acc0lo);
+                    vst1q_f32(o.add(4), acc0hi);
+                    vst1q_f32(o.add(n), acc1lo);
+                    vst1q_f32(o.add(n + 4), acc1hi);
+                    r += 2;
+                }
+                while r < m {
+                    let ar = a.as_ptr().add(r * k);
+                    let mut acc_lo = vdupq_n_f32(0.0);
+                    let mut acc_hi = vdupq_n_f32(0.0);
+                    for i in 0..k {
+                        let s = vdupq_n_f32(*ar.add(i));
+                        acc_lo = vaddq_f32(acc_lo, vmulq_f32(s, vld1q_f32(p.add(i * NB))));
+                        acc_hi = vaddq_f32(acc_hi, vmulq_f32(s, vld1q_f32(p.add(i * NB + 4))));
+                    }
+                    let o = out.as_mut_ptr().add(r * n + j0);
+                    vst1q_f32(o, acc_lo);
+                    vst1q_f32(o.add(4), acc_hi);
+                    r += 1;
+                }
+            } else {
+                for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+                    let mut acc = [0.0f32; NB];
+                    for (&ai, lanes) in a_row.iter().zip(panel.chunks_exact(nb)) {
+                        for l in 0..nb {
+                            acc[l] += ai * lanes[l];
+                        }
+                    }
+                    out_row[j0..j0 + nb].copy_from_slice(&acc[..nb]);
                 }
             }
             j0 += nb;
@@ -604,5 +895,47 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, -2.0]]);
         let b = a.map(f32::abs);
         assert_eq!(b.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn simd_backend_name_is_reported() {
+        // Whatever the host supports, the name must be one of the known
+        // kernels and stable across calls (detection is cached).
+        let name = active_simd_backend();
+        assert!(matches!(name, "scalar" | "avx2" | "neon"));
+        assert_eq!(name, active_simd_backend());
+    }
+
+    /// Deterministic but irregular test values (no RNG dependency here).
+    fn lcg_matrix(rows: usize, cols: usize, mut state: u32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = ((state >> 8) as f32 / (1 << 24) as f32) * 4.0 - 2.0;
+        }
+        m
+    }
+
+    #[test]
+    fn matmul_nt_dispatch_matches_scalar_reference() {
+        // Covers full panels, ragged tails, the single-row remainder of the
+        // 4-row register blocking, and m > ROW_BLOCK in one sweep.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 3, 9),
+            (4, 8, 8),
+            (5, 7, 8),
+            (6, 16, 11),
+            (17, 5, 23),
+            (33, 12, 40),
+        ] {
+            let a = lcg_matrix(m, k, (m * 31 + k * 7 + n) as u32);
+            let b = lcg_matrix(n, k, (m + k + n * 13) as u32);
+            let fast = a.matmul_nt(&b);
+            let reference = a.matmul_nt_scalar(&b);
+            for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "shape ({m},{k},{n})");
+            }
+        }
     }
 }

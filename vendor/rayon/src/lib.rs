@@ -3,15 +3,18 @@
 //! Provides the small slice/range data-parallel surface this workspace uses:
 //! `par_iter()` / `into_par_iter()` producing a [`ParIter`] whose adapters
 //! (`map`, `filter`, `for_each`, …) run eagerly across OS threads via
-//! `std::thread::scope`, preserving input order.  Unlike real rayon there is
-//! no work-stealing between started tasks, but scheduling is *dynamic*: the
-//! items are pre-split into several small blocks per worker and an atomic
-//! counter hands the next unclaimed block to whichever worker finishes first,
-//! so uneven per-item costs (e.g. ragged quantization rows) no longer
-//! serialize on the slowest contiguous chunk.
+//! `std::thread::scope`, preserving input order.  Scheduling is
+//! *work-stealing*, like real rayon: the items are pre-split into several
+//! small blocks per worker, every worker gets its own deque seeded with a
+//! contiguous range of block ids, and a worker that drains its deque steals
+//! the back half of the first non-empty victim deque it finds — so uneven
+//! per-item costs (e.g. an adaptive-search sweep point next to cheap RTN
+//! points) rebalance instead of serializing on a straggler.
 //!
 //! Thread count comes from `std::thread::available_parallelism`, overridable
-//! with the familiar `RAYON_NUM_THREADS` environment variable.
+//! with the familiar `RAYON_NUM_THREADS` environment variable; the
+//! workspace-specific `BITMOD_THREADS` takes precedence over both, so perf
+//! runs can pin the worker count regardless of the ambient environment.
 //!
 //! ```
 //! use rayon::prelude::*;
@@ -28,11 +31,17 @@ pub mod prelude {
 }
 
 /// Number of worker threads a parallel adapter will use.
+///
+/// Resolution order: `BITMOD_THREADS`, then `RAYON_NUM_THREADS` (both must
+/// parse as a positive integer to apply), then
+/// `std::thread::available_parallelism`.
 pub fn current_num_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
+    for var in ["BITMOD_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
             }
         }
     }
@@ -194,25 +203,31 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 static ACTIVE_PARALLEL_REGIONS: std::sync::atomic::AtomicUsize =
     std::sync::atomic::AtomicUsize::new(0);
 
-/// Number of work blocks handed out per worker thread.  More blocks give the
-/// dynamic scheduler finer grain to balance uneven per-item costs; each block
-/// claim is one atomic increment plus one uncontended mutex lock, so the
-/// overhead stays negligible at this granularity.
+/// Number of work blocks seeded per worker thread.  More blocks give the
+/// work-stealing scheduler finer grain to balance uneven per-item costs;
+/// each block transfer is one uncontended mutex lock, so the overhead stays
+/// negligible at this granularity.
 const BLOCKS_PER_THREAD: usize = 8;
 
-/// Ordered parallel map with dynamic scheduling: the items are pre-split into
-/// `BLOCKS_PER_THREAD ×` threads contiguous blocks, and every worker claims
-/// the next unprocessed block off a shared atomic counter until none remain —
-/// a worker that drew cheap items simply claims more blocks instead of going
-/// idle behind a slow static chunk.  Results are reassembled in input order.
-/// Nested calls run sequentially (see [`ACTIVE_PARALLEL_REGIONS`]).
+/// Ordered parallel map with work-stealing: the items are pre-split into
+/// `BLOCKS_PER_THREAD × threads` contiguous blocks, and every worker owns a
+/// deque seeded with a contiguous range of block ids.  Workers pop their own
+/// deque from the front (input order, cache-warm); a worker whose deque runs
+/// dry scans the others and steals the *back half* of the first non-empty
+/// victim — the victim keeps the front it is about to work on, the thief
+/// takes the half the victim would reach last.  A worker exits when its own
+/// deque and every victim deque are empty; any block it can no longer see
+/// has already been claimed by a live worker, so no work is lost.  Results
+/// are reassembled in input order.  Nested calls run sequentially (see
+/// [`ACTIVE_PARALLEL_REGIONS`]).
 fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::collections::VecDeque;
+    use std::sync::atomic::Ordering;
     use std::sync::Mutex;
 
     let n = items.len();
@@ -231,23 +246,65 @@ where
         blocks.push(Mutex::new(Some(std::mem::replace(&mut items, rest))));
     }
     let outputs: Vec<Mutex<Option<Vec<R>>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
-    let next_block = AtomicUsize::new(0);
+    // Per-worker block-id deques, seeded with contiguous, near-equal ranges.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| {
+            let lo = w * blocks.len() / threads;
+            let hi = (w + 1) * blocks.len() / threads;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+    let run_block = |b: usize| {
+        let block = blocks[b]
+            .lock()
+            .expect("rayon shim: block mutex poisoned")
+            .take()
+            .expect("rayon shim: block claimed twice");
+        let mapped: Vec<R> = block.into_iter().map(f).collect();
+        *outputs[b]
+            .lock()
+            .expect("rayon shim: output mutex poisoned") = Some(mapped);
+    };
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let b = next_block.fetch_add(1, Ordering::Relaxed);
-                if b >= blocks.len() {
-                    break;
+        for w in 0..threads {
+            let deques = &deques;
+            let run_block = &run_block;
+            s.spawn(move || 'work: loop {
+                let own = deques[w]
+                    .lock()
+                    .expect("rayon shim: deque mutex poisoned")
+                    .pop_front();
+                if let Some(b) = own {
+                    run_block(b);
+                    continue;
                 }
-                let block = blocks[b]
-                    .lock()
-                    .expect("rayon shim: block mutex poisoned")
-                    .take()
-                    .expect("rayon shim: block claimed twice");
-                let mapped: Vec<R> = block.into_iter().map(f).collect();
-                *outputs[b]
-                    .lock()
-                    .expect("rayon shim: output mutex poisoned") = Some(mapped);
+                // Local deque dry: steal half from the first non-empty
+                // victim.  At most one deque lock is held at a time, so
+                // there is no lock-ordering hazard.
+                for offset in 1..threads {
+                    let victim = (w + offset) % threads;
+                    let mut vd = deques[victim]
+                        .lock()
+                        .expect("rayon shim: deque mutex poisoned");
+                    let len = vd.len();
+                    if len == 0 {
+                        continue;
+                    }
+                    let mut taken = vd.split_off(len / 2);
+                    drop(vd);
+                    let first = taken.pop_front().expect("stole at least one block");
+                    if !taken.is_empty() {
+                        deques[w]
+                            .lock()
+                            .expect("rayon shim: deque mutex poisoned")
+                            .extend(taken);
+                    }
+                    run_block(first);
+                    continue 'work;
+                }
+                // Everything visible is empty; remaining blocks (if any) are
+                // already executing on other workers.
+                break;
             });
         }
     });
@@ -324,5 +381,45 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    /// Serializes the tests that mutate thread-count environment variables.
+    fn env_lock() -> &'static std::sync::Mutex<()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        &LOCK
+    }
+
+    #[test]
+    fn bitmod_threads_overrides_rayon_num_threads() {
+        let _guard = env_lock().lock().expect("env lock");
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+        std::env::set_var("BITMOD_THREADS", "5");
+        assert_eq!(crate::current_num_threads(), 5);
+        // Unparseable/zero values fall through to the next source.
+        std::env::set_var("BITMOD_THREADS", "0");
+        assert_eq!(crate::current_num_threads(), 2);
+        std::env::remove_var("BITMOD_THREADS");
+        assert_eq!(crate::current_num_threads(), 2);
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+
+    #[test]
+    fn work_stealing_rebalances_front_loaded_costs() {
+        // Pin four workers (even on a single-core runner) and make worker
+        // 0's entire seeded range ~slow: the other workers must steal from
+        // it for the map to finish, and the output must still be ordered.
+        let _guard = env_lock().lock().expect("env lock");
+        std::env::set_var("BITMOD_THREADS", "4");
+        let out: Vec<u64> = (0..256u64)
+            .into_par_iter()
+            .map(|i| {
+                if i < 64 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                i + 1000
+            })
+            .collect();
+        std::env::remove_var("BITMOD_THREADS");
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1000));
     }
 }
