@@ -307,6 +307,34 @@ pub fn compare_entries(baseline: &BenchEntry, fresh: &BenchEntry) -> Vec<MetricD
     deltas
 }
 
+/// Prints a delta table to stderr (the `--compare` output, shared by
+/// `bench` and `loadgen`) and returns how many metrics regressed past
+/// [`REGRESSION_RATIO`].
+pub fn print_deltas(prefix: &str, deltas: &[MetricDelta]) -> usize {
+    let mut regressions = 0usize;
+    for d in deltas {
+        let verdict = if d.regression {
+            regressions += 1;
+            "REGRESSION"
+        } else if d.ratio < 1.0 {
+            "speedup"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "[{prefix}]   {:<40} {:>10.4} -> {:>10.4}  ({:.2}x)  {}",
+            d.name, d.before, d.after, d.ratio, verdict
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "[{prefix}] {regressions} metric(s) regressed by more than {:.0}%",
+            (REGRESSION_RATIO - 1.0) * 100.0
+        );
+    }
+    regressions
+}
+
 /// Loads `path` if it exists (must parse as a [`BenchReport`]), appends
 /// `entry`, and returns the updated report.
 pub fn append_entry(existing_json: Option<&str>, entry: BenchEntry) -> Result<BenchReport, String> {

@@ -8,6 +8,7 @@
 //! race its bind.  The streaming `watch` verb is driven with
 //! [`Client::send`] + repeated [`Client::read_response`].
 
+use bitmod::sweep::SweepReport;
 use bitmod_server::executor::WireClient;
 use serde::Value;
 
@@ -43,6 +44,74 @@ impl Client {
     pub fn request(&mut self, line: &str) -> Result<Vec<(String, Value)>, String> {
         self.wire.request(line)
     }
+}
+
+/// One shard-progress event of a `watch` stream, as delivered to the
+/// [`watch`] callback.
+#[derive(Debug, Clone)]
+pub struct WatchProgress {
+    /// The job's lifecycle state (`queued` / `running`).
+    pub status: String,
+    /// Shards completed so far.
+    pub shards_done: u64,
+    /// Total shard work units of the job.
+    pub shards_total: u64,
+}
+
+/// Drives one `watch` stream to completion: every progress event is handed
+/// to `on_progress`, the final `done` event yields the report, and
+/// `failed`/`interrupted` events become errors.  This is the one watch-loop
+/// implementation — `submit --watch` and `loadgen` both sit on it, so the
+/// interactive and load-testing paths cannot drift apart.
+pub fn watch(
+    client: &mut Client,
+    job: &str,
+    mut on_progress: impl FnMut(&WatchProgress),
+) -> Result<SweepReport, String> {
+    client.send(&format!(r#"{{"cmd":"watch","job":"{job}"}}"#))?;
+    loop {
+        let event = client.read_response()?;
+        let kind = field(&event, "event").and_then(Value::as_str).unwrap_or("");
+        match kind {
+            "progress" => {
+                on_progress(&WatchProgress {
+                    status: field(&event, "status")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    shards_done: field(&event, "shards_done")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                    shards_total: field(&event, "shards_total")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0),
+                });
+            }
+            "done" => {
+                let report_value =
+                    field(&event, "report").ok_or("daemon's done event carried no report")?;
+                return serde_json::from_value(report_value)
+                    .map_err(|e| format!("daemon report did not deserialize: {e}"));
+            }
+            "failed" | "interrupted" => {
+                return Err(field(&event, "error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("job failed on the daemon")
+                    .to_string());
+            }
+            other => return Err(format!("unexpected watch event `{other}`")),
+        }
+    }
+}
+
+/// [`watch`] with progress echoed to stderr — the `submit --watch` spelling.
+pub fn watch_to_report(client: &mut Client, job: &str) -> Result<SweepReport, String> {
+    watch(client, job, |p| {
+        eprintln!(
+            "[watch] {job}: {}, {}/{} shard(s) done",
+            p.status, p.shards_done, p.shards_total
+        );
+    })
 }
 
 /// Looks up a top-level field of a response object.

@@ -1,0 +1,18 @@
+//! The library half of `bitmod-cli`: everything the binary's subcommands
+//! share with tests and with other crates' test suites.
+//!
+//! * [`client`] — the line-JSON daemon client (submit/status/result plus the
+//!   streaming `watch` driver) used by `submit`, `status`, and `loadgen`;
+//! * [`mod@bench`] — the appendable `BENCH_sweep.json` performance history and
+//!   its `--compare` regression diffing;
+//! * [`loadgen`] — the open-loop daemon load generator: deterministic
+//!   arrival schedules, job-mix planning, per-client workers, the exact
+//!   mergeable latency recorder, and the `BENCH_serve.json` trajectory.
+//!
+//! The binary-only pieces (flag parsing, the command spec table, the
+//! subcommand dispatchers) stay in `src/main.rs` — this crate is the
+//! unit-testable seam under them.
+
+pub mod bench;
+pub mod client;
+pub mod loadgen;

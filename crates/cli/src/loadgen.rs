@@ -1,0 +1,1196 @@
+//! `bitmod-cli loadgen` — an open-loop load generator for the serve daemon.
+//!
+//! The generator plans a *deterministic* workload up front — arrival
+//! offsets, job sizes, and overlap membership are all drawn from the
+//! in-tree seeded ChaCha RNG before the first connection opens, never from
+//! the wall clock — then replays it against a live daemon over N concurrent
+//! TCP clients, watching every job to completion.  Three seams are plain
+//! library code so the test suites can pin them without a daemon:
+//!
+//! * [`LatencyRecorder`] — a bounded-staging reservoir with *exact*
+//!   percentiles: samples land in a small unsorted staging buffer (the
+//!   bound) that amortizes into one sorted vector, so every sample is
+//!   retained and `percentile` equals a naive sort-the-whole-sample
+//!   reference for any input, while per-client recorders [`LatencyRecorder::merge`]
+//!   losslessly into one global recorder.
+//! * [`plan`] — the arrival schedule plus job templates: exponential
+//!   inter-arrival gaps with a configurable mean, a weighted
+//!   small/medium/large grid mix, and an overlap ratio.  Overlapping jobs
+//!   share one sweep seed and draw subsets of a single "prime" grid that
+//!   [`run`] completes before the storm starts, so every overlap submission
+//!   is served by the daemon's point cache or whole-job dedup — which makes
+//!   the hit/dedup counts of a run against a fresh daemon an exact function
+//!   of the plan ([`LoadPlan::expected`]).
+//! * [`run`] — the per-client worker loops (submit at the scheduled offset,
+//!   stream `watch`, record job/shard latency and per-job cache accounting)
+//!   plus a sampler thread that polls `ping` for the daemon's `queue_depth`
+//!   / `in_flight_shards` gauges.
+//!
+//! Results append to `BENCH_serve.json` (the serving twin of
+//! `BENCH_sweep.json`) with the same `--compare`/`--strict` regression
+//! diffing the sweep bench history uses.
+
+use crate::client::{self, Client};
+use bitmod::llm::config::LlmModel;
+use bitmod::llm::proxy::ProxyConfig;
+use bitmod::sweep::SweepConfig;
+use bitmod::tensor::SeededRng;
+use bitmod_server::proto;
+use serde::{Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Staging-buffer capacity of [`LatencyRecorder::new`]: how many samples may
+/// sit unsorted before they amortize into the sorted reservoir.
+pub const DEFAULT_STAGING: usize = 4096;
+
+/// Latency samples (nanoseconds) with exact percentiles.
+///
+/// The "reservoir bound" here is the staging buffer, not sample retention:
+/// recording appends to a bounded unsorted staging vector, and whenever the
+/// staging fills it is sorted once and merged into the main sorted vector.
+/// Every sample is kept, which is what makes the percentiles *exact* — for
+/// any input (empty, single-element, duplicate-heavy, or far larger than
+/// the staging capacity) `percentile` returns precisely what sorting the
+/// whole sample and taking the nearest-rank element would, and merging
+/// per-client recorders is equivalent to one global recorder because the
+/// underlying multiset is preserved.
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    sorted: Vec<u64>,
+    staging: Vec<u64>,
+    staging_cap: usize,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyRecorder {
+    /// A recorder with the default staging capacity.
+    pub fn new() -> Self {
+        Self::with_staging(DEFAULT_STAGING)
+    }
+
+    /// A recorder whose staging buffer holds at most `cap` unsorted samples
+    /// (clamped to at least 1); tests use tiny capacities to exercise the
+    /// amortized merge path.
+    pub fn with_staging(cap: usize) -> Self {
+        LatencyRecorder {
+            sorted: Vec::new(),
+            staging: Vec::new(),
+            staging_cap: cap.max(1),
+        }
+    }
+
+    /// Records one latency sample, in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        self.staging.push(nanos);
+        if self.staging.len() >= self.staging_cap {
+            self.flush();
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn len(&self) -> usize {
+        self.sorted.len() + self.staging.len()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Absorbs every sample of `other`; the result is indistinguishable from
+    /// having recorded both sample streams into one recorder.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.staging.extend_from_slice(&other.sorted);
+        self.staging.extend_from_slice(&other.staging);
+        self.flush();
+    }
+
+    /// Sorts the staging buffer and merges it into the sorted reservoir.
+    fn flush(&mut self) {
+        if self.staging.is_empty() {
+            return;
+        }
+        self.staging.sort_unstable();
+        if self.sorted.is_empty() {
+            std::mem::swap(&mut self.sorted, &mut self.staging);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.sorted.len() + self.staging.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() && j < self.staging.len() {
+            if self.sorted[i] <= self.staging[j] {
+                merged.push(self.sorted[i]);
+                i += 1;
+            } else {
+                merged.push(self.staging[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.sorted[i..]);
+        merged.extend_from_slice(&self.staging[j..]);
+        self.sorted = merged;
+        self.staging.clear();
+    }
+
+    /// The exact nearest-rank percentile: for `n` samples the rank is
+    /// `ceil(p/100 · n)` clamped to `1..=n`, and the value is the rank-th
+    /// smallest sample.  `None` only for an empty recorder.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        self.flush();
+        let n = self.sorted.len();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0 * n as f64).ceil() as i64).clamp(1, n as i64) as usize;
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Summarizes the recorder through the shared [`criterion::SampleStats`]
+    /// machinery plus the exact p50/p95/p99.  `None` for an empty recorder.
+    pub fn summary(&mut self) -> Option<LatencySummary> {
+        self.flush();
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let ms: Vec<f64> = self.sorted.iter().map(|&n| n as f64 / 1e6).collect();
+        let stats = criterion::SampleStats::from_values(&ms);
+        Some(LatencySummary {
+            p50_ms: self.percentile(50.0)? as f64 / 1e6,
+            p95_ms: self.percentile(95.0)? as f64 / 1e6,
+            p99_ms: self.percentile(99.0)? as f64 / 1e6,
+            mean_ms: stats.mean,
+            min_ms: stats.min,
+            max_ms: stats.max,
+            stddev_ms: stats.stddev,
+            samples: stats.iters,
+        })
+    }
+}
+
+/// One latency distribution, summarized for reports and the bench history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Exact 50th-percentile latency, milliseconds.
+    pub p50_ms: f64,
+    /// Exact 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// Exact 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Minimum latency, milliseconds.
+    pub min_ms: f64,
+    /// Maximum latency, milliseconds.
+    pub max_ms: f64,
+    /// Sample standard deviation, milliseconds.
+    pub stddev_ms: f64,
+    /// Samples summarized.
+    pub samples: usize,
+}
+
+/// The three grid templates of the job-size mix.  All three share the
+/// default dtype/granularity/method axes and differ only in models × bits,
+/// and each smaller template's grid is a strict subset of the next larger
+/// one at equal proxy and seed — which is what lets one primed large grid
+/// serve every overlapping submission from the point cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSize {
+    /// One model × one bit width (2 grid points).
+    Small,
+    /// One model × two bit widths (4 grid points).
+    Medium,
+    /// Two models × two bit widths (8 grid points).
+    Large,
+}
+
+impl JobSize {
+    /// Position in mix-weight arrays.
+    pub fn index(self) -> usize {
+        match self {
+            JobSize::Small => 0,
+            JobSize::Medium => 1,
+            JobSize::Large => 2,
+        }
+    }
+
+    /// Human label (`small` / `medium` / `large`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobSize::Small => "small",
+            JobSize::Medium => "medium",
+            JobSize::Large => "large",
+        }
+    }
+
+    /// This template's sweep grid at the given proxy size and seed.
+    pub fn grid_config(self, tiny_proxy: bool, seed: u64) -> SweepConfig {
+        let (models, bits) = match self {
+            JobSize::Small => (vec![LlmModel::Phi2B], vec![4]),
+            JobSize::Medium => (vec![LlmModel::Phi2B], vec![3, 4]),
+            JobSize::Large => (vec![LlmModel::Phi2B, LlmModel::Opt1_3B], vec![3, 4]),
+        };
+        let cfg = SweepConfig::new(models, bits).with_seed(seed);
+        if tiny_proxy {
+            cfg.with_proxy(ProxyConfig::tiny())
+        } else {
+            cfg
+        }
+    }
+}
+
+/// Everything a load run needs, fully determined before it starts.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Concurrent TCP clients; planned jobs are dealt round-robin.
+    pub clients: usize,
+    /// Jobs in the schedule (the priming job is extra).
+    pub jobs: usize,
+    /// Schedule seed; also the sweep seed of the shared overlap grid.
+    pub seed: u64,
+    /// Mean of the exponential inter-arrival gap, milliseconds (0 = storm).
+    pub mean_gap_ms: f64,
+    /// Relative weights of the small/medium/large templates.
+    pub mix: [usize; 3],
+    /// Fraction of jobs drawn into the overlap group, `0.0..=1.0`.
+    pub overlap: f64,
+    /// Run the grids at tiny proxy size (the load-test default; standard
+    /// size measures real sweep latencies instead).
+    pub tiny_proxy: bool,
+    /// How often the sampler thread polls the daemon's `ping` gauges.
+    pub ping_every: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            clients: 4,
+            jobs: 24,
+            seed: 42,
+            mean_gap_ms: 150.0,
+            mix: [6, 3, 1],
+            overlap: 0.5,
+            tiny_proxy: true,
+            ping_every: Duration::from_millis(100),
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The mix weights as their CLI spelling (`6,3,1`).
+    pub fn mix_label(&self) -> String {
+        format!("{},{},{}", self.mix[0], self.mix[1], self.mix[2])
+    }
+}
+
+/// One planned job: when it arrives and what it submits.
+#[derive(Debug, Clone)]
+pub struct PlannedJob {
+    /// Schedule position (also the round-robin client assignment key).
+    pub index: usize,
+    /// Arrival offset from the start of the storm.
+    pub offset: Duration,
+    /// Which grid template the job drew.
+    pub size: JobSize,
+    /// Whether the job is in the overlap group (shared sweep seed).
+    pub overlap: bool,
+    /// The exact grid the job submits.
+    pub config: SweepConfig,
+}
+
+/// A fully planned load run.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// The large overlap grid [`run`] completes before the storm, so every
+    /// overlap job finds its points cached; `None` when no job overlaps.
+    pub prime: Option<SweepConfig>,
+    /// The scheduled jobs, in arrival order.
+    pub jobs: Vec<PlannedJob>,
+}
+
+/// What a fresh daemon must report for a plan: because overlap grids are
+/// subsets of the completed prime grid, dedup and cache-hit counts are an
+/// exact function of the schedule, independent of client interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ExpectedSummary {
+    /// Scheduled jobs (the priming job is extra).
+    pub jobs: usize,
+    /// Submissions absorbed by whole-job dedup: every large overlap job
+    /// (the prime already owns that grid) plus all-but-the-first overlap
+    /// job of each smaller template.
+    pub deduped: usize,
+    /// Grid points of all non-deduped submissions, priming job included.
+    pub points_total: usize,
+    /// Points served from the point cache: one grid's worth for each
+    /// smaller template present in the overlap group.
+    pub points_cached: usize,
+}
+
+/// Draws the whole workload from `cfg.seed`: sizes, overlap membership, and
+/// exponential arrival gaps come from independent forks of one seeded
+/// ChaCha stream, so the plan is a pure function of the config.
+pub fn plan(cfg: &LoadConfig) -> LoadPlan {
+    let total: usize = cfg.mix.iter().sum();
+    assert!(total > 0, "job mix weights must not all be zero");
+    let mut root = SeededRng::new(cfg.seed);
+    let mut size_rng = root.fork(1);
+    let mut overlap_rng = root.fork(2);
+    let mut gap_rng = root.fork(3);
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    let mut offset_ms = 0.0f64;
+    for index in 0..cfg.jobs {
+        let draw = size_rng.below(total);
+        let size = if draw < cfg.mix[0] {
+            JobSize::Small
+        } else if draw < cfg.mix[0] + cfg.mix[1] {
+            JobSize::Medium
+        } else {
+            JobSize::Large
+        };
+        let overlap = overlap_rng.uniform() < cfg.overlap;
+        // Inverse-CDF exponential gap; uniform() < 1 keeps the log finite.
+        offset_ms += -cfg.mean_gap_ms * (1.0 - gap_rng.uniform()).ln();
+        let sweep_seed = if overlap {
+            cfg.seed
+        } else {
+            cfg.seed.wrapping_add(1 + index as u64)
+        };
+        jobs.push(PlannedJob {
+            index,
+            offset: Duration::from_secs_f64(offset_ms / 1e3),
+            size,
+            overlap,
+            config: size.grid_config(cfg.tiny_proxy, sweep_seed),
+        });
+    }
+    let prime = jobs
+        .iter()
+        .any(|j| j.overlap)
+        .then(|| JobSize::Large.grid_config(cfg.tiny_proxy, cfg.seed));
+    LoadPlan { prime, jobs }
+}
+
+impl LoadPlan {
+    /// The exact dedup/cache accounting a fresh daemon must produce for
+    /// this plan (see [`ExpectedSummary`]).  Unique-seed jobs always miss;
+    /// overlap jobs always hit the primed points or dedup — and because
+    /// identical submissions race to *one* creator under the coordinator
+    /// lock, the counts do not depend on client timing.
+    pub fn expected(&self) -> ExpectedSummary {
+        let mut deduped = 0;
+        let mut points_total = 0;
+        let mut points_cached = 0;
+        let mut seen = [0usize; 3];
+        for j in &self.jobs {
+            let g = j.config.grid().len();
+            if !j.overlap {
+                points_total += g;
+                continue;
+            }
+            seen[j.size.index()] += 1;
+            if j.size == JobSize::Large {
+                // The priming job already owns this exact grid.
+                deduped += 1;
+            } else if seen[j.size.index()] == 1 {
+                // The creator submission: a fresh job, fully point-cached.
+                points_total += g;
+                points_cached += g;
+            } else {
+                deduped += 1;
+            }
+        }
+        if let Some(p) = &self.prime {
+            points_total += p.grid().len();
+        }
+        ExpectedSummary {
+            jobs: self.jobs.len(),
+            deduped,
+            points_total,
+            points_cached,
+        }
+    }
+}
+
+/// One submitted job's observed outcome.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Schedule position.
+    pub index: usize,
+    /// The daemon's job id (possibly an earlier job's, when deduped).
+    pub job_id: String,
+    /// Template the job drew.
+    pub size: JobSize,
+    /// Whether the job was in the overlap group.
+    pub overlap: bool,
+    /// Whether the submission deduplicated onto an existing job.
+    pub deduped: bool,
+    /// Grid points of the job (0 for deduped submissions — they never
+    /// touch the point store).
+    pub points_total: usize,
+    /// Points served from the point cache.
+    pub points_cached: usize,
+    /// Shard work units the job dispatched.
+    pub shards_total: usize,
+    /// Submit-to-report latency, nanoseconds.
+    pub latency_ns: u64,
+    /// FNV-1a hash of the returned report's records JSON (the bit-identity
+    /// fingerprint; execution-dependent fields are excluded).
+    pub records_hash: u64,
+    /// The failure, if the job did not complete.
+    pub error: Option<String>,
+}
+
+/// Everything one load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Scheduled jobs.
+    pub jobs: usize,
+    /// Jobs that completed with a report.
+    pub completed: usize,
+    /// Jobs that failed (watch error / daemon failure).
+    pub failed: usize,
+    /// Completed jobs that deduplicated onto an existing job.
+    pub deduped: usize,
+    /// Whether a priming job ran before the storm.
+    pub primed: bool,
+    /// Grid points over all non-deduped submissions (priming job included).
+    pub points_total: usize,
+    /// Points served from the daemon's point cache.
+    pub points_cached: usize,
+    /// `points_cached / points_total` (0 when nothing was submitted).
+    pub hit_rate: f64,
+    /// The daemon's own `point_hits / (point_hits + point_misses)` over the
+    /// run, from `ping` counter deltas; `None` if the store was untouched.
+    pub daemon_hit_rate: Option<f64>,
+    /// What the schedule says a fresh daemon must report.
+    pub expected: ExpectedSummary,
+    /// Submit-to-report latency distribution (`None` when nothing completed).
+    pub job_latency: Option<LatencySummary>,
+    /// Time between observed shard completions within a job's watch stream
+    /// (`None` when no job dispatched shards).
+    pub shard_latency: Option<LatencySummary>,
+    /// Whole run, priming included, seconds.
+    pub wall_seconds: f64,
+    /// Completed jobs per second of the storm phase.
+    pub throughput_jps: f64,
+    /// Highest `queue_depth` any ping sample saw.
+    pub peak_queue_depth: usize,
+    /// Highest `in_flight_shards` any ping sample saw.
+    pub peak_in_flight: usize,
+    /// Mean of `in_flight_shards / executors` over the ping samples.
+    pub executor_utilization: f64,
+    /// Order-stable FNV-1a fold of every job's `records_hash` — two runs of
+    /// one plan against fresh daemons must produce equal hashes.
+    pub report_hash: u64,
+    /// The priming job's outcome, if one ran.
+    pub prime: Option<JobOutcome>,
+    /// Per-job outcomes, in schedule order.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+fn fnv_fold(h: u64, word: u64) -> u64 {
+    word.to_le_bytes()
+        .iter()
+        .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Gauge peaks and utilization samples collected by the ping sampler.
+#[derive(Debug, Default)]
+struct Gauges {
+    peak_queue_depth: usize,
+    peak_in_flight: usize,
+    util_sum: f64,
+    util_samples: usize,
+}
+
+/// Reads `(point_hits, point_misses)` from one ping.
+fn ping_counters(client: &mut Client) -> Result<(u64, u64), String> {
+    let resp = client.request(r#"{"cmd":"ping"}"#)?;
+    let stats = client::field(&resp, "stats")
+        .and_then(Value::as_map)
+        .ok_or("ping response carried no stats")?;
+    let get = |k: &str| client::field(stats, k).and_then(Value::as_u64).unwrap_or(0);
+    Ok((get("point_hits"), get("point_misses")))
+}
+
+fn spawn_pinger(
+    addr: String,
+    every: Duration,
+    stop: Arc<AtomicBool>,
+    gauges: Arc<Mutex<Gauges>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let Ok(mut client) = Client::connect(&addr) else {
+            return;
+        };
+        while !stop.load(Ordering::Relaxed) {
+            let Ok(resp) = client.request(r#"{"cmd":"ping"}"#) else {
+                return;
+            };
+            if let Some(stats) = client::field(&resp, "stats").and_then(Value::as_map) {
+                let get =
+                    |k: &str| client::field(stats, k).and_then(Value::as_u64).unwrap_or(0) as usize;
+                let (depth, in_flight, executors) = (
+                    get("queue_depth"),
+                    get("in_flight_shards"),
+                    get("executors"),
+                );
+                let mut g = gauges.lock().expect("gauge lock");
+                g.peak_queue_depth = g.peak_queue_depth.max(depth);
+                g.peak_in_flight = g.peak_in_flight.max(in_flight);
+                g.util_sum += in_flight as f64 / executors.max(1) as f64;
+                g.util_samples += 1;
+            }
+            // Sleep in short slices so the stop flag stays responsive.
+            let mut slept = Duration::ZERO;
+            while slept < every && !stop.load(Ordering::Relaxed) {
+                let step = Duration::from_millis(5).min(every - slept);
+                std::thread::sleep(step);
+                slept += step;
+            }
+        }
+    })
+}
+
+/// Submits one planned job and drives it to completion: request, streaming
+/// watch (recording a shard-latency sample per observed completion), then a
+/// status fetch for the cache accounting of non-deduped submissions.
+fn run_job(
+    client: &mut Client,
+    job: &PlannedJob,
+    shard_latency: &mut LatencyRecorder,
+) -> Result<JobOutcome, String> {
+    let line = proto::submit_line(&job.config)?;
+    let t_submit = Instant::now();
+    let resp = client.request(&line)?;
+    let job_id = client::field(&resp, "job")
+        .and_then(Value::as_str)
+        .ok_or("daemon did not return a job id")?
+        .to_string();
+    let deduped = client::field(&resp, "deduped")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+
+    let mut last_tick = t_submit;
+    let mut shards_seen = 0u64;
+    let report = client::watch(client, &job_id, |p| {
+        if p.shards_done > shards_seen {
+            shards_seen = p.shards_done;
+            let now = Instant::now();
+            shard_latency.record(now.duration_since(last_tick).as_nanos() as u64);
+            last_tick = now;
+        }
+    })?;
+    let latency_ns = t_submit.elapsed().as_nanos() as u64;
+    let records_json = serde_json::to_string(&report.records).map_err(|e| e.to_string())?;
+    let records_hash = fnv1a(records_json.as_bytes());
+
+    let (points_total, points_cached, shards_total) = if deduped {
+        (0, 0, 0)
+    } else {
+        let status = client.request(&format!(r#"{{"cmd":"status","job":"{job_id}"}}"#))?;
+        let view = client::field(&status, "job")
+            .and_then(Value::as_map)
+            .ok_or("status response carried no job view")?;
+        let get = |k: &str| client::field(view, k).and_then(Value::as_u64).unwrap_or(0) as usize;
+        (
+            get("points_total"),
+            get("points_cached"),
+            get("shards_total"),
+        )
+    };
+    Ok(JobOutcome {
+        index: job.index,
+        job_id,
+        size: job.size,
+        overlap: job.overlap,
+        deduped,
+        points_total,
+        points_cached,
+        shards_total,
+        latency_ns,
+        records_hash,
+        error: None,
+    })
+}
+
+fn failed_outcome(job: &PlannedJob, error: String) -> JobOutcome {
+    JobOutcome {
+        index: job.index,
+        job_id: String::new(),
+        size: job.size,
+        overlap: job.overlap,
+        deduped: false,
+        points_total: 0,
+        points_cached: 0,
+        shards_total: 0,
+        latency_ns: 0,
+        records_hash: 0,
+        error: Some(error),
+    }
+}
+
+/// What one client thread hands back.
+struct ClientResult {
+    outcomes: Vec<JobOutcome>,
+    job_latency: LatencyRecorder,
+    shard_latency: LatencyRecorder,
+}
+
+/// One client's worker loop: open-loop submission at the planned offsets,
+/// each job watched to completion on this client's own connection.  A
+/// per-job failure is recorded (and the connection reopened — the watch
+/// stream may be mid-frame); only a connection that cannot be reopened
+/// aborts the client.
+fn run_client(addr: &str, jobs: &[PlannedJob], start: Instant) -> Result<ClientResult, String> {
+    let mut client = Client::connect(addr)?;
+    let mut result = ClientResult {
+        outcomes: Vec::with_capacity(jobs.len()),
+        job_latency: LatencyRecorder::new(),
+        shard_latency: LatencyRecorder::new(),
+    };
+    for job in jobs {
+        let target = start + job.offset;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        match run_job(&mut client, job, &mut result.shard_latency) {
+            Ok(outcome) => {
+                result.job_latency.record(outcome.latency_ns);
+                result.outcomes.push(outcome);
+            }
+            Err(e) => {
+                result.outcomes.push(failed_outcome(job, e));
+                client = Client::connect(addr)?;
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Runs the full load: plan, prime the overlap grid, storm the daemon from
+/// `cfg.clients` concurrent connections, and assemble the report.
+pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
+    if cfg.clients == 0 {
+        return Err("loadgen needs at least one client".to_string());
+    }
+    if cfg.jobs == 0 {
+        return Err("loadgen needs at least one job".to_string());
+    }
+    let plan = plan(cfg);
+
+    // The control connection: baseline counters, the priming job, and the
+    // final counter fetch all run on it, strictly ordered around the storm.
+    let mut ctl = Client::connect(&cfg.addr)?;
+    let baseline = ping_counters(&mut ctl)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let gauges = Arc::new(Mutex::new(Gauges::default()));
+    let pinger = spawn_pinger(
+        cfg.addr.clone(),
+        cfg.ping_every,
+        Arc::clone(&stop),
+        Arc::clone(&gauges),
+    );
+
+    let t_run = Instant::now();
+    let mut prime_outcome = None;
+    if let Some(prime_cfg) = &plan.prime {
+        let prime_job = PlannedJob {
+            index: 0,
+            offset: Duration::ZERO,
+            size: JobSize::Large,
+            overlap: true,
+            config: prime_cfg.clone(),
+        };
+        let mut scratch = LatencyRecorder::new();
+        prime_outcome = Some(run_job(&mut ctl, &prime_job, &mut scratch)?);
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..cfg.clients {
+        let mine: Vec<PlannedJob> = plan
+            .jobs
+            .iter()
+            .filter(|j| j.index % cfg.clients == c)
+            .cloned()
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let addr = cfg.addr.clone();
+        handles.push(std::thread::spawn(move || run_client(&addr, &mine, start)));
+    }
+    let mut outcomes = Vec::new();
+    let mut job_rec = LatencyRecorder::new();
+    let mut shard_rec = LatencyRecorder::new();
+    let mut client_error = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(mut r)) => {
+                job_rec.merge(&r.job_latency);
+                shard_rec.merge(&r.shard_latency);
+                outcomes.append(&mut r.outcomes);
+            }
+            Ok(Err(e)) => client_error = Some(e),
+            Err(_) => client_error = Some("a load client panicked".to_string()),
+        }
+    }
+    let storm_seconds = start.elapsed().as_secs_f64();
+    let wall_seconds = t_run.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let _ = pinger.join();
+    if let Some(e) = client_error {
+        return Err(e);
+    }
+    let end = ping_counters(&mut ctl)?;
+
+    outcomes.sort_by_key(|o| o.index);
+    let completed = outcomes.iter().filter(|o| o.error.is_none()).count();
+    let failed = outcomes.len() - completed;
+    let deduped = outcomes
+        .iter()
+        .filter(|o| o.deduped && o.error.is_none())
+        .count();
+    let mut points_total: usize = outcomes.iter().map(|o| o.points_total).sum();
+    let mut points_cached: usize = outcomes.iter().map(|o| o.points_cached).sum();
+    if let Some(p) = &prime_outcome {
+        points_total += p.points_total;
+        points_cached += p.points_cached;
+    }
+    let mut report_hash = FNV_OFFSET;
+    for o in &outcomes {
+        report_hash = fnv_fold(report_hash, o.index as u64);
+        report_hash = fnv_fold(report_hash, o.records_hash);
+    }
+    let hits = end.0.saturating_sub(baseline.0);
+    let misses = end.1.saturating_sub(baseline.1);
+    let daemon_hit_rate = (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64);
+    let g = gauges.lock().expect("gauge lock");
+    Ok(LoadReport {
+        jobs: plan.jobs.len(),
+        completed,
+        failed,
+        deduped,
+        primed: prime_outcome.is_some(),
+        points_total,
+        points_cached,
+        hit_rate: points_cached as f64 / points_total.max(1) as f64,
+        daemon_hit_rate,
+        expected: plan.expected(),
+        job_latency: job_rec.summary(),
+        shard_latency: shard_rec.summary(),
+        wall_seconds,
+        throughput_jps: completed as f64 / storm_seconds.max(1e-9),
+        peak_queue_depth: g.peak_queue_depth,
+        peak_in_flight: g.peak_in_flight,
+        executor_utilization: if g.util_samples > 0 {
+            g.util_sum / g.util_samples as f64
+        } else {
+            0.0
+        },
+        report_hash,
+        prime: prime_outcome,
+        outcomes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The BENCH_serve.json trajectory.
+
+/// One load run in the serving-performance history (`BENCH_serve.json`),
+/// the daemon-side twin of the sweep bench's `BenchEntry`.  Latency fields
+/// are 0 when the run produced no such samples (e.g. no dispatched shards).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchEntry {
+    /// Free-form label (`--label`).
+    pub label: String,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Scheduled jobs.
+    pub jobs: usize,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Mean inter-arrival gap, milliseconds.
+    pub mean_gap_ms: f64,
+    /// Overlap ratio.
+    pub overlap: f64,
+    /// Mix weights as their CLI spelling (`6,3,1`).
+    pub mix: String,
+    /// Proxy size (`tiny` / `standard`).
+    pub proxy: String,
+    /// Jobs completed / failed / deduped.
+    pub completed: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Completed jobs absorbed by dedup.
+    pub deduped: usize,
+    /// Points over non-deduped submissions.
+    pub points_total: usize,
+    /// Points served from the cache.
+    pub points_cached: usize,
+    /// `points_cached / points_total`.
+    pub hit_rate: f64,
+    /// Exact job-latency percentiles and mean, milliseconds.
+    pub job_p50_ms: f64,
+    /// 95th percentile job latency, milliseconds.
+    pub job_p95_ms: f64,
+    /// 99th percentile job latency, milliseconds.
+    pub job_p99_ms: f64,
+    /// Mean job latency, milliseconds.
+    pub job_mean_ms: f64,
+    /// Median shard latency, milliseconds.
+    pub shard_p50_ms: f64,
+    /// 95th percentile shard latency, milliseconds.
+    pub shard_p95_ms: f64,
+    /// 99th percentile shard latency, milliseconds.
+    pub shard_p99_ms: f64,
+    /// Completed jobs per second of the storm phase.
+    pub throughput_jps: f64,
+    /// Peak `queue_depth` gauge over the run.
+    pub peak_queue_depth: usize,
+    /// Mean `in_flight_shards / executors` over the ping samples.
+    pub executor_utilization: f64,
+    /// Whole run, seconds.
+    pub wall_seconds: f64,
+}
+
+/// The appendable serving-performance history (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// All recorded entries, oldest first.
+    pub history: Vec<ServeBenchEntry>,
+}
+
+impl ServeBenchReport {
+    /// Parses a history file.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Serializes the history as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serve bench reports always serialize")
+    }
+}
+
+/// Builds the history entry for one load run.
+pub fn serve_entry(label: &str, cfg: &LoadConfig, report: &LoadReport) -> ServeBenchEntry {
+    let job = report.job_latency.clone();
+    let shard = report.shard_latency.clone();
+    let p = |s: &Option<LatencySummary>, f: fn(&LatencySummary) -> f64| {
+        s.as_ref().map(f).unwrap_or(0.0)
+    };
+    ServeBenchEntry {
+        label: label.to_string(),
+        clients: cfg.clients,
+        jobs: cfg.jobs,
+        seed: cfg.seed,
+        mean_gap_ms: cfg.mean_gap_ms,
+        overlap: cfg.overlap,
+        mix: cfg.mix_label(),
+        proxy: if cfg.tiny_proxy { "tiny" } else { "standard" }.to_string(),
+        completed: report.completed,
+        failed: report.failed,
+        deduped: report.deduped,
+        points_total: report.points_total,
+        points_cached: report.points_cached,
+        hit_rate: report.hit_rate,
+        job_p50_ms: p(&job, |l| l.p50_ms),
+        job_p95_ms: p(&job, |l| l.p95_ms),
+        job_p99_ms: p(&job, |l| l.p99_ms),
+        job_mean_ms: p(&job, |l| l.mean_ms),
+        shard_p50_ms: p(&shard, |l| l.p50_ms),
+        shard_p95_ms: p(&shard, |l| l.p95_ms),
+        shard_p99_ms: p(&shard, |l| l.p99_ms),
+        throughput_jps: report.throughput_jps,
+        peak_queue_depth: report.peak_queue_depth,
+        executor_utilization: report.executor_utilization,
+        wall_seconds: report.wall_seconds,
+    }
+}
+
+/// Loads an existing history (if any), appends `entry`, and returns the
+/// updated report — the serve twin of the sweep bench's `append_entry`.
+pub fn append_serve_entry(
+    existing_json: Option<&str>,
+    entry: ServeBenchEntry,
+) -> Result<ServeBenchReport, String> {
+    let mut report = match existing_json {
+        Some(s) => ServeBenchReport::from_json(s)?,
+        None => ServeBenchReport {
+            history: Vec::new(),
+        },
+    };
+    report.history.push(entry);
+    Ok(report)
+}
+
+/// Whether two entries measured the same workload shape — only then are
+/// their latencies comparable.
+fn same_workload(a: &ServeBenchEntry, b: &ServeBenchEntry) -> bool {
+    a.clients == b.clients
+        && a.jobs == b.jobs
+        && a.seed == b.seed
+        && a.mean_gap_ms == b.mean_gap_ms
+        && a.overlap == b.overlap
+        && a.mix == b.mix
+        && a.proxy == b.proxy
+}
+
+/// The baseline `--compare` diffs against: the last committed entry with
+/// the same workload shape as `fresh`.
+pub fn find_serve_baseline<'a>(
+    history: &'a [ServeBenchEntry],
+    fresh: &ServeBenchEntry,
+) -> Option<&'a ServeBenchEntry> {
+    history.iter().rev().find(|e| same_workload(e, fresh))
+}
+
+/// Per-metric deltas of a fresh load run against a committed baseline,
+/// using the sweep bench's [`crate::bench::MetricDelta`] and 20% regression
+/// threshold.  Latencies compare directly; throughput compares as seconds
+/// per job so that "bigger ratio = slower" holds for every metric.  Metrics
+/// with a non-positive or non-finite baseline are skipped.
+pub fn compare_serve_entries(
+    baseline: &ServeBenchEntry,
+    fresh: &ServeBenchEntry,
+) -> Vec<crate::bench::MetricDelta> {
+    let mut deltas = Vec::new();
+    let mut push = |name: &str, before: f64, after: f64| {
+        if before > 0.0 && before.is_finite() && after.is_finite() {
+            let ratio = after / before;
+            deltas.push(crate::bench::MetricDelta {
+                name: name.to_string(),
+                before,
+                after,
+                ratio,
+                regression: ratio > crate::bench::REGRESSION_RATIO,
+            });
+        }
+    };
+    push("job p50_ms", baseline.job_p50_ms, fresh.job_p50_ms);
+    push("job p95_ms", baseline.job_p95_ms, fresh.job_p95_ms);
+    push("job p99_ms", baseline.job_p99_ms, fresh.job_p99_ms);
+    push("job mean_ms", baseline.job_mean_ms, fresh.job_mean_ms);
+    push("shard p50_ms", baseline.shard_p50_ms, fresh.shard_p50_ms);
+    let spj = |e: &ServeBenchEntry| {
+        if e.throughput_jps > 0.0 {
+            1.0 / e.throughput_jps
+        } else {
+            0.0
+        }
+    };
+    push("seconds_per_job", spj(baseline), spj(fresh));
+    deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(jobs: usize, overlap: f64, mix: [usize; 3]) -> LoadConfig {
+        LoadConfig {
+            jobs,
+            overlap,
+            mix,
+            mean_gap_ms: 10.0,
+            seed: 7,
+            ..LoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let c = cfg(16, 0.5, [6, 3, 1]);
+        let (a, b) = (plan(&c), plan(&c));
+        assert_eq!(a.jobs.len(), 16);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.offset, y.offset);
+            assert_eq!(x.size, y.size);
+            assert_eq!(x.overlap, y.overlap);
+            assert_eq!(x.config.cache_key(), y.config.cache_key());
+        }
+        assert_eq!(
+            a.prime.as_ref().map(|p| p.cache_key()),
+            b.prime.as_ref().map(|p| p.cache_key())
+        );
+        assert_eq!(a.expected(), b.expected());
+    }
+
+    #[test]
+    fn offsets_are_nondecreasing_and_zero_gap_means_storm() {
+        let c = cfg(12, 0.0, [1, 1, 1]);
+        let p = plan(&c);
+        for w in p.jobs.windows(2) {
+            assert!(w[0].offset <= w[1].offset);
+        }
+        let storm = plan(&LoadConfig {
+            mean_gap_ms: 0.0,
+            ..c
+        });
+        assert!(storm.jobs.iter().all(|j| j.offset == Duration::ZERO));
+    }
+
+    #[test]
+    fn mix_and_overlap_extremes_shape_the_plan() {
+        // All-small mix: every job draws the 2-point template.
+        let all_small = plan(&cfg(10, 0.0, [1, 0, 0]));
+        assert!(all_small.jobs.iter().all(|j| j.size == JobSize::Small));
+        assert!(all_small.prime.is_none(), "no overlap, no priming job");
+        // Full overlap: every job shares the seed and a prime exists.
+        let all_overlap = plan(&cfg(10, 1.0, [0, 0, 1]));
+        assert!(all_overlap.jobs.iter().all(|j| j.overlap));
+        assert!(all_overlap.prime.is_some());
+        // With everything large and overlapping, every job dedups onto the
+        // prime: zero fresh points beyond the prime grid itself.
+        let e = all_overlap.expected();
+        assert_eq!(e.deduped, 10);
+        assert_eq!(e.points_cached, 0);
+        assert_eq!(
+            e.points_total,
+            all_overlap.prime.as_ref().unwrap().grid().len()
+        );
+    }
+
+    #[test]
+    fn expected_accounts_creators_dedups_and_unique_jobs() {
+        // Hand-built plan: small overlap twice, medium overlap once, one
+        // unique medium job — no RNG involved.
+        let mk = |index, size: JobSize, overlap| PlannedJob {
+            index,
+            offset: Duration::ZERO,
+            size,
+            overlap,
+            config: size.grid_config(true, if overlap { 7 } else { 100 + index as u64 }),
+        };
+        let p = LoadPlan {
+            prime: Some(JobSize::Large.grid_config(true, 7)),
+            jobs: vec![
+                mk(0, JobSize::Small, true),
+                mk(1, JobSize::Small, true),
+                mk(2, JobSize::Medium, true),
+                mk(3, JobSize::Medium, false),
+            ],
+        };
+        let e = p.expected();
+        assert_eq!(e.jobs, 4);
+        // Second small overlap job dedups onto the first.
+        assert_eq!(e.deduped, 1);
+        // Creators: small (2 points) + medium (4 points), both fully cached.
+        assert_eq!(e.points_cached, 2 + 4);
+        // Total: prime (8) + creators (6) + unique medium (4).
+        assert_eq!(e.points_total, 8 + 6 + 4);
+    }
+
+    #[test]
+    fn templates_nest_within_the_prime_grid() {
+        // The overlap argument rests on small ⊂ medium ⊂ large point-wise;
+        // pin it with the actual cache keys.
+        let keys = |s: JobSize| {
+            let c = s.grid_config(true, 7).canonicalized();
+            c.grid()
+                .iter()
+                .map(|p| p.cache_key(&c.proxy, c.seed))
+                .collect::<std::collections::HashSet<String>>()
+        };
+        let (s, m, l) = (
+            keys(JobSize::Small),
+            keys(JobSize::Medium),
+            keys(JobSize::Large),
+        );
+        assert_eq!((s.len(), m.len(), l.len()), (2, 4, 8));
+        assert!(s.is_subset(&m) && m.is_subset(&l));
+    }
+
+    #[test]
+    fn serve_history_roundtrips_baselines_and_compares() {
+        let mut entry = serve_entry("first", &LoadConfig::default(), &empty_report());
+        entry.job_p50_ms = 10.0;
+        entry.throughput_jps = 5.0;
+        let report = append_serve_entry(None, entry.clone()).unwrap();
+        let json = report.to_json();
+        let mut fresh = entry.clone();
+        fresh.label = "second".into();
+        fresh.job_p50_ms = 13.0; // 30% slower: a regression
+        fresh.throughput_jps = 10.0; // 2x faster: a speedup
+        let appended = append_serve_entry(Some(&json), fresh.clone()).unwrap();
+        assert_eq!(appended.history.len(), 2);
+        assert!(append_serve_entry(Some("nope"), fresh.clone()).is_err());
+
+        let baseline = find_serve_baseline(&appended.history[..1], &fresh).unwrap();
+        assert_eq!(baseline.label, "first");
+        let mut other_shape = fresh.clone();
+        other_shape.clients += 1;
+        assert!(find_serve_baseline(&appended.history[..1], &other_shape).is_none());
+
+        let deltas = compare_serve_entries(baseline, &fresh);
+        let p50 = deltas.iter().find(|d| d.name == "job p50_ms").unwrap();
+        assert!(p50.regression && (p50.ratio - 1.3).abs() < 1e-9);
+        let spj = deltas.iter().find(|d| d.name == "seconds_per_job").unwrap();
+        assert!(
+            !spj.regression && spj.ratio < 1.0,
+            "faster is not a regression"
+        );
+        // Zero-valued baseline metrics (no shard samples) are skipped.
+        assert!(deltas.iter().all(|d| d.name != "shard p50_ms"));
+    }
+
+    fn empty_report() -> LoadReport {
+        LoadReport {
+            jobs: 0,
+            completed: 0,
+            failed: 0,
+            deduped: 0,
+            primed: false,
+            points_total: 0,
+            points_cached: 0,
+            hit_rate: 0.0,
+            daemon_hit_rate: None,
+            expected: ExpectedSummary {
+                jobs: 0,
+                deduped: 0,
+                points_total: 0,
+                points_cached: 0,
+            },
+            job_latency: None,
+            shard_latency: None,
+            wall_seconds: 0.0,
+            throughput_jps: 0.0,
+            peak_queue_depth: 0,
+            peak_in_flight: 0,
+            executor_utilization: 0.0,
+            report_hash: 0,
+            prime: None,
+            outcomes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // The report hash is committed to test expectations; pin the
+        // primitive so a refactor cannot silently change every fingerprint.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

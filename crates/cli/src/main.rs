@@ -14,7 +14,11 @@
 //!   a daemon as a remote executor (`--attach`);
 //! * `repro`  — rerun any of the 17 table/figure reproductions of the paper;
 //! * `bench`  — time the default sweep grid and hot-path micro-benchmarks,
-//!   appending to the `BENCH_sweep.json` perf history.
+//!   appending to the `BENCH_sweep.json` perf history;
+//! * `loadgen` — open-loop load generator for a running daemon: seeded
+//!   deterministic arrival schedule, small/medium/large job mix with a
+//!   configurable grid-overlap ratio, exact latency percentiles, and the
+//!   `BENCH_serve.json` serving-performance history.
 //!
 //! See `docs/SWEEPS.md` for the report schema, `docs/SERVING.md` for the
 //! daemon protocol, `docs/ARCHITECTURE.md` for the crate map, and
@@ -23,13 +27,12 @@
 //! against the parser so the two cannot drift.
 
 mod args;
-mod bench;
-mod client;
 mod spec;
 
 use args::Flags;
 use bitmod::shard::{merge_shards, run_shard, ShardReport, ShardSpec};
 use bitmod::sweep::{GridSpec, SweepConfig, SweepReport};
+use bitmod_cli::{bench, client, loadgen};
 use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
 use bitmod_server::executor::{attach_and_run, AttachOptions};
 use bitmod_server::proto;
@@ -79,6 +82,7 @@ fn main() -> ExitCode {
         "worker" => cmd_worker(cmd, &flags),
         "repro" => cmd_repro(cmd, &flags),
         "bench" => cmd_bench(cmd, &flags),
+        "loadgen" => cmd_loadgen(cmd, &flags),
         other => unreachable!("spec table names unknown command {other}"),
     }
 }
@@ -418,7 +422,7 @@ fn cmd_submit(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
     let report = if flags.has("watch") {
         // Streaming delivery: the daemon pushes shard-progress events and
         // the final report over the held connection.
-        match watch_to_report(&mut client, job) {
+        match client::watch_to_report(&mut client, job) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -483,46 +487,6 @@ fn cmd_submit(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         print_records_table(&report, usize::MAX, false);
     }
     ExitCode::SUCCESS
-}
-
-/// Drives one `watch` stream to completion: progress events echo to stderr,
-/// the final `done` event yields the report (`failed`/`interrupted` events
-/// become errors).
-fn watch_to_report(client: &mut client::Client, job: &str) -> Result<SweepReport, String> {
-    client.send(&format!(r#"{{"cmd":"watch","job":"{job}"}}"#))?;
-    loop {
-        let event = client.read_response()?;
-        let kind = client::field(&event, "event")
-            .and_then(Value::as_str)
-            .unwrap_or("");
-        match kind {
-            "progress" => {
-                let done = client::field(&event, "shards_done")
-                    .and_then(Value::as_u64)
-                    .unwrap_or(0);
-                let total = client::field(&event, "shards_total")
-                    .and_then(Value::as_u64)
-                    .unwrap_or(0);
-                let status = client::field(&event, "status")
-                    .and_then(Value::as_str)
-                    .unwrap_or("?");
-                eprintln!("[watch] {job}: {status}, {done}/{total} shard(s) done");
-            }
-            "done" => {
-                let report_value = client::field(&event, "report")
-                    .ok_or("daemon's done event carried no report")?;
-                return serde_json::from_value(report_value)
-                    .map_err(|e| format!("daemon report did not deserialize: {e}"));
-            }
-            "failed" | "interrupted" => {
-                return Err(client::field(&event, "error")
-                    .and_then(Value::as_str)
-                    .unwrap_or("job failed on the daemon")
-                    .to_string());
-            }
-            other => return Err(format!("unexpected watch event `{other}`")),
-        }
-    }
 }
 
 fn cmd_status(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
@@ -789,32 +753,189 @@ fn cmd_bench(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
                     "[bench] comparing `{}` against baseline `{}`:",
                     fresh.label, baseline.label
                 );
-                let mut regressions = 0usize;
-                for d in &deltas {
-                    let verdict = if d.regression {
-                        regressions += 1;
-                        "REGRESSION"
-                    } else if d.ratio < 1.0 {
-                        "speedup"
-                    } else {
-                        "ok"
-                    };
-                    eprintln!(
-                        "[bench]   {:<40} {:>10.4} -> {:>10.4}  ({:.2}x)  {}",
-                        d.name, d.before, d.after, d.ratio, verdict
-                    );
-                }
-                if regressions > 0 {
-                    eprintln!(
-                        "[bench] {regressions} metric(s) regressed by more than {:.0}%",
-                        (bench::REGRESSION_RATIO - 1.0) * 100.0
-                    );
-                    if strict {
-                        return ExitCode::FAILURE;
-                    }
+                if bench::print_deltas("bench", &deltas) > 0 && strict {
+                    return ExitCode::FAILURE;
                 }
             }
         }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_loadgen(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
+    let Some(addr) = flags.get("addr") else {
+        return usage_error(
+            "--addr is required (see `bitmod-cli serve --listen`)",
+            cmd.help,
+        );
+    };
+    macro_rules! parse_flag {
+        ($name:literal, $default:expr, $ty:ty) => {
+            match flags.get($name) {
+                None => $default,
+                Some(s) => match s.parse::<$ty>() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        return usage_error(
+                            &format!(concat!("invalid --", $name, " `{}`"), s),
+                            cmd.help,
+                        )
+                    }
+                },
+            }
+        };
+    }
+    let clients = parse_flag!("clients", 4usize, usize);
+    let jobs = parse_flag!("jobs", 24usize, usize);
+    let seed = parse_flag!("seed", 42u64, u64);
+    let mean_gap_ms = parse_flag!("gap-ms", 150.0f64, f64);
+    let overlap = parse_flag!("overlap", 0.5f64, f64);
+    if clients == 0 || jobs == 0 {
+        return usage_error("--clients and --jobs must be positive", cmd.help);
+    }
+    if !(0.0..=1.0).contains(&overlap) || !mean_gap_ms.is_finite() || mean_gap_ms < 0.0 {
+        return usage_error(
+            "--overlap must be in [0, 1] and --gap-ms non-negative",
+            cmd.help,
+        );
+    }
+    let mix_text = flags.get("mix").unwrap_or("6,3,1");
+    let mix_parts: Vec<usize> = mix_text
+        .split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .collect();
+    let mix = match <[usize; 3]>::try_from(mix_parts) {
+        Ok(m) if m.iter().sum::<usize>() > 0 => m,
+        _ => {
+            return usage_error(
+                &format!("invalid --mix `{mix_text}` (need three weights, e.g. 6,3,1)"),
+                cmd.help,
+            )
+        }
+    };
+    let tiny_proxy = match flags.get("proxy").unwrap_or("tiny") {
+        "tiny" => true,
+        "standard" => false,
+        other => return usage_error(&format!("invalid --proxy `{other}`"), cmd.help),
+    };
+    let label = flags.get("label").unwrap_or("current");
+    let out = flags.get("out").unwrap_or("BENCH_serve.json");
+    let compare = flags.has("compare");
+    let strict = flags.has("strict");
+    if strict && !compare {
+        return usage_error("--strict requires --compare", cmd.help);
+    }
+
+    let cfg = loadgen::LoadConfig {
+        addr: addr.to_string(),
+        clients,
+        jobs,
+        seed,
+        mean_gap_ms,
+        mix,
+        overlap,
+        tiny_proxy,
+        ..loadgen::LoadConfig::default()
+    };
+    eprintln!(
+        "[loadgen] {jobs} jobs over {clients} client(s) against {addr}: mix {}, overlap {overlap}, mean gap {mean_gap_ms}ms, seed {seed}",
+        cfg.mix_label()
+    );
+    let report = match loadgen::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[loadgen] {} completed / {} failed / {} deduped in {:.2}s ({:.2} jobs/s)",
+        report.completed, report.failed, report.deduped, report.wall_seconds, report.throughput_jps
+    );
+    if let Some(l) = &report.job_latency {
+        eprintln!(
+            "[loadgen] job latency: p50 {:.1}ms / p95 {:.1}ms / p99 {:.1}ms / mean {:.1}ms over {} jobs",
+            l.p50_ms, l.p95_ms, l.p99_ms, l.mean_ms, l.samples
+        );
+    }
+    if let Some(l) = &report.shard_latency {
+        eprintln!(
+            "[loadgen] shard latency: p50 {:.1}ms / p95 {:.1}ms / p99 {:.1}ms over {} completions",
+            l.p50_ms, l.p95_ms, l.p99_ms, l.samples
+        );
+    }
+    eprintln!(
+        "[loadgen] point cache: {}/{} points cached ({:.0}% hit rate{}); peak queue depth {}, peak in-flight {}, executor utilization {:.0}%",
+        report.points_cached,
+        report.points_total,
+        report.hit_rate * 100.0,
+        match report.daemon_hit_rate {
+            Some(r) => format!(", daemon-side {:.0}%", r * 100.0),
+            None => String::new(),
+        },
+        report.peak_queue_depth,
+        report.peak_in_flight,
+        report.executor_utilization * 100.0
+    );
+    for o in report.outcomes.iter().filter(|o| o.error.is_some()) {
+        eprintln!(
+            "[loadgen] job {} ({}) failed: {}",
+            o.index,
+            o.size.label(),
+            o.error.as_deref().unwrap_or("?")
+        );
+    }
+
+    let entry = loadgen::serve_entry(label, &cfg, &report);
+    // Only a missing file means "no history yet" — any other read failure
+    // must not silently replace the committed history.
+    let existing = match std::fs::read_to_string(out) {
+        Ok(s) => Some(s),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            eprintln!("error: could not read {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let history = match loadgen::append_serve_entry(existing.as_deref(), entry) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {out} exists but is not a serve bench history: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out, history.to_json()) {
+        eprintln!("error: could not write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[loadgen] appended to {out} ({} entries)",
+        history.history.len()
+    );
+
+    if compare {
+        let fresh = history.history.last().expect("entry was just appended");
+        let committed = &history.history[..history.history.len() - 1];
+        match loadgen::find_serve_baseline(committed, fresh) {
+            None => {
+                eprintln!(
+                    "[loadgen] --compare: no committed baseline with this workload shape in {out}; nothing to diff"
+                );
+            }
+            Some(baseline) => {
+                let deltas = loadgen::compare_serve_entries(baseline, fresh);
+                eprintln!(
+                    "[loadgen] comparing `{}` against baseline `{}`:",
+                    fresh.label, baseline.label
+                );
+                if bench::print_deltas("loadgen", &deltas) > 0 && strict {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if report.failed > 0 {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -133,6 +133,15 @@ pub const COMMANDS: &[CommandSpec] = &[
         options: &["runs", "label", "seed", "out"],
         switches: &["quick", "compare", "strict", "help"],
     },
+    CommandSpec {
+        name: "loadgen",
+        summary: "Load-test a running daemon and append to the serving perf history",
+        help: LOADGEN_HELP,
+        options: &[
+            "addr", "clients", "jobs", "gap-ms", "mix", "overlap", "proxy", "seed", "label", "out",
+        ],
+        switches: &["compare", "strict", "help"],
+    },
 ];
 
 /// Looks up a subcommand's spec.
@@ -453,6 +462,59 @@ OPTIONS:
 
 EXAMPLE:
     bitmod-cli bench --label after-matmul-fusion --out BENCH_sweep.json";
+
+const LOADGEN_HELP: &str = "\
+bitmod-cli loadgen — open-loop load generator for a running daemon
+
+Plans a deterministic workload from one seed — exponential inter-arrival
+offsets, a weighted small/medium/large sweep-grid mix, and which jobs draw
+overlapping grids — then replays it against the daemon from N concurrent
+TCP connections, watching every job to completion.  Overlapping jobs share
+one seed and draw subsets of a single large grid the generator primes
+before the storm, so they exercise the daemon's point cache and whole-job
+dedup; unique jobs always compute fresh.  The run APPENDS one entry to a
+serving-performance history JSON (the daemon-side twin of `bench`'s
+BENCH_sweep.json) with exact p50/p95/p99 job and shard latencies, cache
+hit rates, throughput, and the daemon's peak queue-depth and in-flight
+gauges sampled over the run.
+
+USAGE:
+    bitmod-cli loadgen --addr <host:port> [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>  Daemon address (see `bitmod-cli serve --listen`)
+    --clients <n>       Concurrent client connections [default: 4]; planned
+                        jobs are dealt round-robin across them
+    --jobs <n>          Jobs in the schedule [default: 24] (the priming job
+                        is extra)
+    --gap-ms <ms>       Mean of the exponential inter-arrival gap
+                        [default: 150]; 0 submits every job immediately
+    --mix <s,m,l>       Relative weights of the small (2-point), medium
+                        (4-point), and large (8-point) grid templates
+                        [default: 6,3,1]
+    --overlap <ratio>   Fraction of jobs drawing the shared overlapping
+                        grids, 0..=1 [default: 0.5]
+    --proxy <size>      Proxy model size: tiny | standard [default: tiny]
+    --seed <n>          Schedule seed; also the sweep seed of the shared
+                        overlap grids [default: 42]
+    --label <name>      History label for this entry [default: current]
+    --out <path>        History JSON path [default: BENCH_serve.json]
+    --compare           Diff this run against the last committed entry with
+                        the same workload shape and print per-metric deltas;
+                        slowdowns past 20% are flagged as regressions
+    --strict            With --compare: exit non-zero if any metric regressed
+    --help              Show this message
+
+Exits non-zero if any job fails.  The schedule is a pure function of the
+flags: two runs with one seed against fresh daemons submit identical grids
+at identical planned offsets and must report identical job counts, dedup
+counts, and cache hit rates.
+
+EXAMPLES:
+    bitmod-cli serve --listen 127.0.0.1:4774 &   # the daemon under test
+    bitmod-cli loadgen --addr 127.0.0.1:4774 --jobs 24 --clients 4
+    bitmod-cli loadgen --addr 127.0.0.1:4774 --label after-cache-tuning \\
+        --compare --strict";
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,160 @@
+//! Property tests for the load generator's latency recorder: against a
+//! naive sort-the-whole-sample reference, the recorder's nearest-rank
+//! percentiles must be *exactly* equal — not approximately — for any input
+//! (empty, single-element, duplicate-heavy, or far larger than the staging
+//! capacity), and merging per-client recorders must be indistinguishable
+//! from recording everything into one global recorder.
+
+use bitmod_cli::loadgen::LatencyRecorder;
+use proptest::prelude::Strategy;
+
+/// The reference implementation the recorder is audited against: sort the
+/// full sample, take the nearest-rank element (`ceil(p/100 · n)` clamped to
+/// `1..=n`).
+fn naive_percentile(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let rank = ((p / 100.0 * n as f64).ceil() as i64).clamp(1, n as i64) as usize;
+    Some(sorted[rank - 1])
+}
+
+/// The percentiles every case checks: the report's p50/p95/p99 plus the
+/// clamping edges (0 and 100) and a few awkward interior ranks.
+const PERCENTILES: [f64; 8] = [0.0, 1.0, 33.3, 50.0, 75.0, 95.0, 99.0, 100.0];
+
+fn assert_matches_naive(samples: &[u64], staging_cap: usize) {
+    let mut rec = LatencyRecorder::with_staging(staging_cap);
+    for &s in samples {
+        rec.record(s);
+    }
+    assert_eq!(rec.len(), samples.len());
+    assert_eq!(rec.is_empty(), samples.is_empty());
+    for p in PERCENTILES {
+        assert_eq!(
+            rec.percentile(p),
+            naive_percentile(samples, p),
+            "p{p} drifted from the sort-everything reference \
+             (n = {}, staging = {staging_cap})",
+            samples.len()
+        );
+    }
+}
+
+#[test]
+fn empty_recorder_has_no_percentiles() {
+    assert_matches_naive(&[], 4);
+    let mut rec = LatencyRecorder::new();
+    assert!(rec.percentile(50.0).is_none());
+    assert!(rec.summary().is_none());
+}
+
+#[test]
+fn single_element_is_every_percentile() {
+    assert_matches_naive(&[1_234_567], 4);
+    let mut rec = LatencyRecorder::new();
+    rec.record(777);
+    for p in PERCENTILES {
+        assert_eq!(rec.percentile(p), Some(777));
+    }
+}
+
+#[test]
+fn duplicate_heavy_input_is_exact() {
+    // 97 copies of one value with a couple of outliers: nearest-rank must
+    // land on the duplicated value everywhere except the extreme tails.
+    let mut samples = vec![500u64; 97];
+    samples.push(1);
+    samples.push(9_999);
+    assert_matches_naive(&samples, 8);
+}
+
+#[test]
+fn input_much_larger_than_staging_is_exact() {
+    // A deterministic awkward stream (descending runs + duplicates) at 50x
+    // the staging capacity, so the amortized merge path runs dozens of
+    // times mid-stream.
+    let cap = 16;
+    let samples: Vec<u64> = (0..cap as u64 * 50).map(|i| (i * 7919) % 1000).collect();
+    assert_matches_naive(&samples, cap);
+}
+
+#[test]
+fn percentiles_match_naive_reference_on_random_streams() {
+    let cases = proptest::cases();
+    let mut rng = proptest::TestRng::new(proptest::seed_for(
+        "percentiles_match_naive_reference_on_random_streams",
+    ));
+    for _ in 0..cases {
+        let len = (0usize..=300).sample(&mut rng);
+        // A small value range keeps the streams duplicate-heavy.
+        let samples: Vec<u64> = (0..len).map(|_| (0u64..=50).sample(&mut rng)).collect();
+        let staging = (1usize..=32).sample(&mut rng);
+        assert_matches_naive(&samples, staging);
+    }
+}
+
+#[test]
+fn merged_recorders_equal_one_global_recorder() {
+    let cases = proptest::cases();
+    let mut rng = proptest::TestRng::new(proptest::seed_for(
+        "merged_recorders_equal_one_global_recorder",
+    ));
+    for _ in 0..cases {
+        let clients = (1usize..=6).sample(&mut rng);
+        let len = (0usize..=200).sample(&mut rng);
+        let samples: Vec<u64> = (0..len).map(|_| (0u64..=1000).sample(&mut rng)).collect();
+
+        // Global recorder: every sample in arrival order.
+        let mut global = LatencyRecorder::with_staging(7);
+        for &s in &samples {
+            global.record(s);
+        }
+        // Per-client recorders: samples dealt round-robin (the loadgen
+        // job-assignment scheme), then merged into one.
+        let mut per_client: Vec<LatencyRecorder> = (0..clients)
+            .map(|_| LatencyRecorder::with_staging(3))
+            .collect();
+        for (i, &s) in samples.iter().enumerate() {
+            per_client[i % clients].record(s);
+        }
+        let mut merged = LatencyRecorder::with_staging(5);
+        for rec in &per_client {
+            merged.merge(rec);
+        }
+
+        assert_eq!(merged.len(), global.len());
+        for p in PERCENTILES {
+            assert_eq!(
+                merged.percentile(p),
+                global.percentile(p),
+                "merged p{p} drifted from the global recorder \
+                 (n = {len}, clients = {clients})"
+            );
+        }
+        // Both must also agree with the from-scratch reference.
+        for p in PERCENTILES {
+            assert_eq!(merged.percentile(p), naive_percentile(&samples, p));
+        }
+    }
+}
+
+#[test]
+fn summary_reports_exact_percentiles_and_sample_count() {
+    let mut rec = LatencyRecorder::with_staging(4);
+    let samples: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect(); // 1..=100 ms
+    for &s in &samples {
+        rec.record(s);
+    }
+    let s = rec.summary().expect("non-empty recorder summarizes");
+    assert_eq!(s.samples, 100);
+    assert!((s.p50_ms - 50.0).abs() < 1e-9);
+    assert!((s.p95_ms - 95.0).abs() < 1e-9);
+    assert!((s.p99_ms - 99.0).abs() < 1e-9);
+    assert!((s.min_ms - 1.0).abs() < 1e-9);
+    assert!((s.max_ms - 100.0).abs() < 1e-9);
+    assert!((s.mean_ms - 50.5).abs() < 1e-9);
+}

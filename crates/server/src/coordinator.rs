@@ -91,6 +91,13 @@ pub struct CoordinatorStats {
     pub remote_executors: usize,
     /// Outstanding leases.
     pub active_leases: usize,
+    /// Shard work units waiting for an executor (the dispatch backlog a
+    /// load generator watches for saturation).
+    pub queue_depth: usize,
+    /// Shard work units currently leased to an executor.  Equal to
+    /// `active_leases` today, but named for what it gauges: with
+    /// `queue_depth` it makes `ping` a complete work-unit census.
+    pub in_flight_shards: usize,
     /// Shards requeued after a lease expired.
     pub requeued_shards: usize,
     /// Points currently held by the point-level result cache.
@@ -375,6 +382,8 @@ impl Coordinator {
             executors: q.executors.len(),
             remote_executors: q.executors.values().filter(|e| e.remote).count(),
             active_leases: q.leases.len(),
+            queue_depth: q.pending.len(),
+            in_flight_shards: q.leases.len(),
             requeued_shards: q.requeued,
             points_cached: q.points.len(),
             point_hits: q.points.hits(),

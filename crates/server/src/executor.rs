@@ -57,18 +57,29 @@ pub(crate) fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The sleep before each connection attempt of [`connect_with_backoff`]:
+/// the first attempt is immediate, then 50 ms doubling to 1.6 s — seven
+/// attempts and ~3.15 s of sleep in total.  Exposed as data (rather than
+/// being buried in the retry loop) so the schedule itself is unit-testable.
+pub fn backoff_schedule() -> Vec<Duration> {
+    (0..7)
+        .map(|attempt: u32| match attempt {
+            0 => Duration::ZERO,
+            _ => Duration::from_millis(50) * (1 << (attempt - 1)),
+        })
+        .collect()
+}
+
 /// Connects to `addr`, retrying connection-refused/reset failures with short
-/// exponential backoff (50 ms doubling to 1.6 s, ~3 s total) — the
-/// daemon-still-starting race every client and attaching worker hits in CI
-/// and scripts.  Permanent failures (an unresolvable host, a malformed
-/// address) surface immediately instead of burning the whole backoff budget.
+/// exponential backoff (the [`backoff_schedule`]) — the daemon-still-starting
+/// race every client and attaching worker hits in CI and scripts.  Permanent
+/// failures (an unresolvable host, a malformed address) surface immediately
+/// instead of burning the whole backoff budget.
 pub fn connect_with_backoff(addr: &str) -> Result<TcpStream, String> {
-    let mut delay = Duration::from_millis(50);
     let mut last_error = String::new();
-    for attempt in 0..7 {
-        if attempt > 0 {
+    for delay in backoff_schedule() {
+        if !delay.is_zero() {
             std::thread::sleep(delay);
-            delay *= 2;
         }
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),

@@ -25,7 +25,9 @@
 //! computes (the coordinator's point-level result cache may have covered
 //! the rest), `status`/`list` views carry `points_total`/`points_cached`,
 //! and `ping` stats include the cache's `points_cached`, `point_hits`, and
-//! `point_misses` counters.
+//! `point_misses` counters plus the live dispatch gauges `queue_depth`
+//! (work units awaiting an executor) and `in_flight_shards` (work units
+//! currently leased) that `bitmod-cli loadgen` samples.
 //!
 //! See `docs/SERVING.md` for the full protocol reference with copy-pasteable
 //! examples.

@@ -472,6 +472,10 @@ mod tests {
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains(r#""ok":true"#) && lines[0].contains("stats"));
+        // The dispatch gauges loadgen samples must be in every ping (an idle
+        // daemon reports both as zero).
+        assert!(lines[0].contains(r#""queue_depth":0"#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""in_flight_shards":0"#), "{}", lines[0]);
         assert!(lines[1].contains(r#""job":"job-1""#));
         // serve_lines drained on EOF, so the job is done now.
         let (status, _) = handle_line(handle.coordinator(), r#"{"cmd":"status","job":"job-1"}"#);

@@ -1,0 +1,252 @@
+//! Deterministic end-to-end load tests: the CLI's open-loop load generator
+//! against a real TCP daemon, in-process.
+//!
+//! The generator's schedule is a pure function of its seed, and its overlap
+//! design (every overlapping grid is a subset of a large grid primed before
+//! the storm) makes the daemon's dedup and point-cache accounting an exact
+//! function of the plan — so these tests assert *equalities*, not bounds:
+//! every job completes, the job count and cache hit rate match the schedule
+//! exactly, every returned report is bit-identical to a direct in-process
+//! sweep of the same grid, and two consecutive runs against fresh daemons
+//! produce identical summaries.  A second test kills a worker mid-load and
+//! still requires zero failed jobs (the lease requeue path), and a third
+//! starts the daemon *after* the load generator to pin the client's
+//! connect backoff.
+
+use bitmod_cli::loadgen::{self, LoadConfig};
+use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
+use bitmod_server::executor::{attach_and_run, backoff_schedule, AttachOptions};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Starts a listener for `coordinator` on an ephemeral port; returns the
+/// address and the serve thread.
+fn listen(
+    coordinator: &Arc<Coordinator>,
+) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let listener = bitmod_server::serve::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap().to_string();
+    let c = Arc::clone(coordinator);
+    let server = std::thread::spawn(move || bitmod_server::serve::serve_listener(c, listener));
+    (addr, server)
+}
+
+/// The fixed-seed workload both deterministic runs replay.
+fn load_cfg(addr: String) -> LoadConfig {
+    LoadConfig {
+        addr,
+        clients: 3,
+        jobs: 6,
+        seed: 1234,
+        mean_gap_ms: 2.0,
+        mix: [3, 2, 1],
+        overlap: 0.5,
+        tiny_proxy: true,
+        ping_every: Duration::from_millis(20),
+    }
+}
+
+/// One full load run against a fresh two-worker daemon.
+fn run_once() -> loadgen::LoadReport {
+    let handle = Coordinator::start(CoordinatorConfig {
+        workers: 2,
+        shards: 2,
+        ..CoordinatorConfig::default()
+    });
+    let (addr, server) = listen(handle.coordinator());
+    let report = loadgen::run(&load_cfg(addr)).expect("load run succeeds");
+    handle.coordinator().request_shutdown();
+    server.join().unwrap().unwrap();
+    handle.shutdown();
+    report
+}
+
+#[test]
+fn fixed_seed_load_is_deterministic_and_bit_identical() {
+    let cfg = load_cfg(String::new());
+    let plan = loadgen::plan(&cfg);
+    let expected = plan.expected();
+    // The seed draws a non-trivial schedule: some overlap, some unique.
+    assert!(expected.deduped > 0, "seed 1234 must exercise dedup");
+    assert!(expected.points_cached > 0, "and the point-cache hit path");
+
+    let report = run_once();
+
+    // Every job completes; nothing fails.
+    assert_eq!(report.completed, cfg.jobs);
+    assert_eq!(report.failed, 0);
+    assert!(report.primed, "an overlapping schedule primes");
+
+    // Dedup and point-cache accounting match the schedule *exactly*.
+    assert_eq!(report.deduped, expected.deduped);
+    assert_eq!(report.points_total, expected.points_total);
+    assert_eq!(report.points_cached, expected.points_cached);
+    let want_rate = expected.points_cached as f64 / expected.points_total as f64;
+    assert!((report.hit_rate - want_rate).abs() < 1e-12);
+    // The daemon's own hit/miss counters agree: a fresh daemon's deltas
+    // over the run are exactly the plan's accounting.
+    assert_eq!(report.daemon_hit_rate, Some(want_rate));
+
+    // Bit-identity: every job's report (deduped ones included — they share
+    // the creator's) hashes identically to a direct in-process sweep of the
+    // same canonicalized grid.
+    let mut direct_hashes: HashMap<String, u64> = HashMap::new();
+    let mut hash_for = |cfg: &bitmod::sweep::SweepConfig| {
+        *direct_hashes.entry(cfg.cache_key()).or_insert_with(|| {
+            let direct = cfg.canonicalized().run();
+            let json = serde_json::to_string(&direct.records).unwrap();
+            loadgen::fnv1a(json.as_bytes())
+        })
+    };
+    for (planned, outcome) in plan.jobs.iter().zip(&report.outcomes) {
+        assert_eq!(planned.index, outcome.index);
+        assert_eq!(
+            outcome.records_hash,
+            hash_for(&planned.config),
+            "job {} must return records bit-identical to a direct sweep",
+            planned.index
+        );
+    }
+    let prime = report.prime.as_ref().expect("priming job ran");
+    assert_eq!(prime.records_hash, hash_for(plan.prime.as_ref().unwrap()));
+
+    // Latency distributions exist and are internally consistent.
+    let lat = report.job_latency.as_ref().expect("jobs completed");
+    assert_eq!(lat.samples, cfg.jobs);
+    assert!(lat.p50_ms <= lat.p95_ms && lat.p95_ms <= lat.p99_ms);
+
+    // A second run against a fresh daemon reproduces the summary verbatim.
+    let again = run_once();
+    assert_eq!(
+        (
+            again.completed,
+            again.failed,
+            again.deduped,
+            again.points_total,
+            again.points_cached,
+            again.report_hash,
+        ),
+        (
+            report.completed,
+            report.failed,
+            report.deduped,
+            report.points_total,
+            report.points_cached,
+            report.report_hash,
+        ),
+        "two fixed-seed runs must produce identical summaries"
+    );
+}
+
+#[test]
+fn killed_worker_mid_load_still_completes_every_job() {
+    // A pure coordinator whose only real executor attaches remotely, with a
+    // short lease so the saboteur's abandoned shard requeues mid-run.
+    let handle = Coordinator::start(CoordinatorConfig {
+        workers: 0,
+        shards: 4,
+        lease_timeout: Duration::from_millis(300),
+        ..CoordinatorConfig::default()
+    });
+    let c = handle.coordinator();
+
+    // Seed one job, then lease a shard to a "worker" that immediately dies
+    // (no heartbeat, no result) — what `kill -9` leaves behind.
+    let seed_cfg = loadgen::JobSize::Medium.grid_config(true, 999);
+    let seed_job = c.submit(&seed_cfg);
+    let ghost = c.register_executor("ghost", true);
+    let (work, _) = c.try_lease(&ghost);
+    assert!(work.is_some(), "the ghost really held a shard");
+
+    // The healthy worker attaches, then the storm runs over it.
+    let (addr, server) = listen(c);
+    let worker_opts = AttachOptions {
+        poll: Duration::from_millis(25),
+        quiet: true,
+        ..AttachOptions::new(&addr, "healthy")
+    };
+    let worker = std::thread::spawn(move || attach_and_run(&worker_opts));
+
+    let cfg = LoadConfig {
+        jobs: 6,
+        clients: 2,
+        mean_gap_ms: 2.0,
+        ..load_cfg(addr)
+    };
+    let report = loadgen::run(&cfg).expect("load run succeeds despite the dead worker");
+
+    // Zero failed jobs: the ghost's lease expired and its shard requeued
+    // onto the healthy worker.
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.completed, cfg.jobs);
+    assert!(c.stats().requeued_shards >= 1, "the dead lease requeued");
+    // The seeded job the ghost abandoned completed too.
+    assert!(c.result(&seed_job.job_id).unwrap().is_ok());
+
+    c.request_shutdown();
+    worker
+        .join()
+        .unwrap()
+        .expect("healthy worker exits cleanly");
+    server.join().unwrap().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn clients_launched_before_the_daemon_connect_via_backoff() {
+    // Reserve an ephemeral port, then release it so the load generator
+    // targets an address nothing is listening on yet.
+    let addr = {
+        let probe = bitmod_server::serve::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+
+    // Launch the load first: its connect must survive the refused attempts.
+    let cfg = LoadConfig {
+        jobs: 2,
+        clients: 1,
+        mean_gap_ms: 0.0,
+        overlap: 0.0,
+        ..load_cfg(addr.clone())
+    };
+    let load = std::thread::spawn(move || loadgen::run(&cfg));
+
+    // Start the daemon well inside the client's ~3s backoff budget.
+    std::thread::sleep(Duration::from_millis(300));
+    let handle = Coordinator::start(CoordinatorConfig {
+        workers: 1,
+        ..CoordinatorConfig::default()
+    });
+    let listener = bitmod_server::serve::bind(&addr).expect("rebind the reserved port");
+    let c = Arc::clone(handle.coordinator());
+    let server = std::thread::spawn(move || bitmod_server::serve::serve_listener(c, listener));
+
+    let report = load
+        .join()
+        .unwrap()
+        .expect("clients outlive the daemon's late start");
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.failed, 0);
+
+    handle.coordinator().request_shutdown();
+    server.join().unwrap().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn backoff_schedule_is_bounded_and_doubles() {
+    let schedule = backoff_schedule();
+    assert_eq!(schedule.len(), 7, "seven connection attempts");
+    assert_eq!(schedule[0], Duration::ZERO, "first attempt is immediate");
+    assert_eq!(schedule[1], Duration::from_millis(50));
+    for w in schedule[1..].windows(2) {
+        assert_eq!(w[1], w[0] * 2, "delays double");
+    }
+    let total: Duration = schedule.iter().sum();
+    assert_eq!(
+        total,
+        Duration::from_millis(3150),
+        "a late daemon has ~3s to come up"
+    );
+}
