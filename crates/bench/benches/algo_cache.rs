@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the daemon-wide algorithm cache: a strided
+//! hardware-axis work unit run cold (computing every algorithm side) versus
+//! warm (every side served from the cache), plus the cache lookup itself.
+//!
+//! The warm/cold gap is the per-shard reuse win `bitmod-cli bench --grid
+//! hardware` measures end to end; this suite isolates it at the work-unit
+//! level with a tiny proxy so it runs in CI.
+
+use bitmod::prelude::*;
+use bitmod::shard::run_partial_shard_cached;
+use bitmod::sweep::SweepAlgoCache;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// One model's hardware-axis grid at tiny proxy size: 4 algorithm groups
+/// fanned out over 3 accelerators × 2 task shapes (24 points).
+fn hardware_grid() -> SweepConfig {
+    SweepConfig::new(vec![LlmModel::Phi2B], vec![3, 4])
+        .with_tasks(vec![TaskShape::GENERATIVE, TaskShape::DISCRIMINATIVE])
+        .with_accelerators(vec![
+            AcceleratorKind::BitModLossy,
+            AcceleratorKind::Ant,
+            AcceleratorKind::BaselineFp16,
+        ])
+        .with_proxy(ProxyConfig::tiny())
+}
+
+fn bench_shard_with_algo_cache(c: &mut Criterion) {
+    let cfg = hardware_grid();
+    let indices: Vec<usize> = (0..cfg.grid().len()).collect();
+    let spec = ShardSpec::new(0, 1).expect("in-range spec");
+    let pool = HarnessPool::new();
+    // Build the harness outside the timed region: both variants share it,
+    // so the cold/warm gap is pure algorithm-side work.
+    pool.get_or_build(LlmModel::Phi2B, cfg.proxy, cfg.seed);
+
+    c.bench_function("hardware_shard_24pt_cold_algo_cache", |b| {
+        b.iter(|| {
+            let algos = SweepAlgoCache::new();
+            run_partial_shard_cached(&cfg, spec, &indices, &pool, &algos, "bench")
+        })
+    });
+
+    let warm = SweepAlgoCache::new();
+    run_partial_shard_cached(&cfg, spec, &indices, &pool, &warm, "warmup");
+    c.bench_function("hardware_shard_24pt_warm_algo_cache", |b| {
+        b.iter(|| run_partial_shard_cached(&cfg, spec, &indices, &pool, &warm, "bench"))
+    });
+}
+
+fn bench_cache_lookup(c: &mut Criterion) {
+    let cfg = hardware_grid();
+    let algos = SweepAlgoCache::new();
+    let pool = HarnessPool::new();
+    let spec = ShardSpec::new(0, 1).expect("in-range spec");
+    let indices: Vec<usize> = (0..cfg.grid().len()).collect();
+    run_partial_shard_cached(&cfg, spec, &indices, &pool, &algos, "seed");
+    let keys: Vec<_> = cfg
+        .grid()
+        .iter()
+        .filter_map(|p| p.algo_key().ok())
+        .map(|k| (k, cfg.proxy, cfg.seed))
+        .collect();
+
+    c.bench_function("algo_cache_get_4_groups", |b| {
+        b.iter(|| {
+            keys.iter()
+                .filter(|k| algos.get(k, "bench").is_some())
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_shard_with_algo_cache, bench_cache_lookup);
+criterion_main!(benches);

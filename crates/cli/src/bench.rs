@@ -11,6 +11,8 @@ use bitmod::llm::config::LlmModel;
 use bitmod::llm::proxy::ProxyConfig;
 use bitmod::prelude::*;
 use bitmod::quant::adaptive::{adaptive_quantize_group, adaptive_quantize_group_reference};
+use bitmod::shard::{assemble_report, run_partial_shard_cached, run_partial_shard_with_pool};
+use bitmod::sweep::SweepAlgoCache;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -59,13 +61,22 @@ impl serde::Deserialize for MicroBench {
     }
 }
 
-/// One benchmark run of the default sweep grid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// One benchmark run of a sweep grid.
+///
+/// `grid`/`notes` are optional because history files written before the
+/// hardware-axis grid existed carry neither; old entries parse with `None`
+/// there (meaning: the default grid, no notes) rather than invalidating the
+/// committed history.
+#[derive(Debug, Clone, Serialize)]
 pub struct BenchEntry {
     /// Free-form label (`--label`), e.g. `pre-PR2-baseline` or `current`.
     pub label: String,
     /// Whether this was the `--quick` grid (tiny proxy, one model).
     pub quick: bool,
+    /// Which grid was timed: `None` (legacy entries — the default
+    /// algorithm-axis grid) or `Some("hardware")` for the hardware-axis
+    /// grid `--grid hardware` times.
+    pub grid: Option<String>,
     /// Grid points attempted.
     pub grid_points: usize,
     /// Records produced (grid points minus skipped).
@@ -80,7 +91,53 @@ pub struct BenchEntry {
     pub threads: usize,
     /// Hot-path micro-benchmarks taken alongside the sweep timing.
     pub micro: Vec<MicroBench>,
+    /// Free-form context, e.g. the cache-disabled control run the hardware
+    /// grid's speedup claim is measured against.
+    pub notes: Option<String>,
 }
+
+impl BenchEntry {
+    /// The grid this entry timed — entries written before the field existed
+    /// all ran the default grid.
+    pub fn grid_name(&self) -> &str {
+        self.grid.as_deref().unwrap_or(DEFAULT_GRID)
+    }
+}
+
+impl serde::Deserialize for BenchEntry {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("a map", "BenchEntry"))?;
+        let opt = |key: &str| -> Result<Option<String>, serde::Error> {
+            match m.iter().find(|(k, _)| k == key) {
+                None => Ok(None),
+                Some((_, v)) => Option::<String>::from_value(v),
+            }
+        };
+        Ok(BenchEntry {
+            label: serde::from_map(m, "label", "BenchEntry")?,
+            quick: serde::from_map(m, "quick", "BenchEntry")?,
+            // Pre-hardware-grid history entries lack these two fields.
+            grid: opt("grid")?,
+            grid_points: serde::from_map(m, "grid_points", "BenchEntry")?,
+            records: serde::from_map(m, "records", "BenchEntry")?,
+            runs_seconds: serde::from_map(m, "runs_seconds", "BenchEntry")?,
+            mean_seconds: serde::from_map(m, "mean_seconds", "BenchEntry")?,
+            best_seconds: serde::from_map(m, "best_seconds", "BenchEntry")?,
+            threads: serde::from_map(m, "threads", "BenchEntry")?,
+            micro: serde::from_map(m, "micro", "BenchEntry")?,
+            notes: opt("notes")?,
+        })
+    }
+}
+
+/// The grid name of the classic algorithm-axis benchmark (and of every
+/// history entry written before `--grid` existed).
+pub const DEFAULT_GRID: &str = "default";
+
+/// The grid name of the hardware-axis-heavy benchmark (`--grid hardware`).
+pub const HARDWARE_GRID: &str = "hardware";
 
 /// The appendable benchmark history (`BENCH_sweep.json`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -111,6 +168,135 @@ pub fn bench_config(quick: bool, seed: u64) -> SweepConfig {
             .with_seed(seed)
     } else {
         SweepConfig::new(vec![LlmModel::Phi2B, LlmModel::Opt1_3B], vec![3, 4]).with_seed(seed)
+    }
+}
+
+/// Work units the hardware-grid benchmark splits the sweep into.  The split
+/// is deliberately *strided* — the pre-group-aware partition that scatters
+/// an algorithm group's points across every unit — because that is the
+/// worst case the daemon-wide algorithm cache exists to absorb.
+pub const HARDWARE_SHARDS: usize = 4;
+
+/// The hardware-axis-heavy grid (`--grid hardware`): the default models ×
+/// dtypes × {3,4} bits crossed with three accelerators and both task
+/// shapes.  The hardware axes multiply *points* twelvefold but leave the
+/// set of algorithm sides unchanged, so cross-shard algorithm reuse — not
+/// per-point throughput — dominates its wall-clock.
+pub fn hardware_config(quick: bool, seed: u64) -> SweepConfig {
+    let models = if quick {
+        vec![LlmModel::Phi2B]
+    } else {
+        vec![LlmModel::Phi2B, LlmModel::Opt1_3B]
+    };
+    let mut cfg = SweepConfig::new(models, vec![3, 4])
+        .with_tasks(vec![TaskShape::GENERATIVE, TaskShape::DISCRIMINATIVE])
+        .with_accelerators(vec![
+            AcceleratorKind::BitModLossy,
+            AcceleratorKind::Ant,
+            AcceleratorKind::BaselineFp16,
+        ])
+        .with_seed(seed);
+    if quick {
+        cfg = cfg.with_proxy(ProxyConfig::tiny());
+    }
+    cfg
+}
+
+/// Runs the grid as [`HARDWARE_SHARDS`] sequential strided work units
+/// sharing one harness pool — with a shared algorithm cache when `cached` —
+/// and returns the wall-clock seconds plus the assembled report.
+fn run_hardware_shards(cfg: &SweepConfig, cached: bool) -> (f64, SweepReport) {
+    let grid_len = cfg.grid().len();
+    let pool = HarnessPool::new();
+    let algos = SweepAlgoCache::new();
+    let t0 = Instant::now();
+    let reports: Vec<bitmod::shard::ShardReport> = (0..HARDWARE_SHARDS)
+        .map(|k| {
+            let spec = ShardSpec::new(k, HARDWARE_SHARDS).expect("in-range spec");
+            let indices: Vec<usize> = (k..grid_len).step_by(HARDWARE_SHARDS).collect();
+            if cached {
+                run_partial_shard_cached(cfg, spec, &indices, &pool, &algos, "bench")
+            } else {
+                run_partial_shard_with_pool(cfg, spec, &indices, &pool)
+            }
+        })
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let report = assemble_report(cfg, &[], &reports).expect("complete work-unit set");
+    (wall, report)
+}
+
+/// Runs the hardware-grid benchmark `runs` times with the shared algorithm
+/// cache, the same number of times without it (the control), verifies both
+/// assemble bit-identically to the unsharded direct sweep, and assembles a
+/// [`BenchEntry`] whose timings are the *cached* runs — the control mean
+/// and the resulting speedup go into `notes`.
+pub fn run_hardware_bench(label: &str, quick: bool, runs: usize, seed: u64) -> BenchEntry {
+    let cfg = hardware_config(quick, seed);
+    let grid_points = cfg.grid().len();
+    let mut runs_seconds = Vec::with_capacity(runs);
+    let mut control_seconds = Vec::with_capacity(runs);
+    let mut records = 0;
+    for i in 0..runs {
+        let (cached_wall, cached_report) = run_hardware_shards(&cfg, true);
+        let (control_wall, control_report) = run_hardware_shards(&cfg, false);
+        eprintln!(
+            "[bench] run {}/{}: {:.2}s with algo cache vs {:.2}s without, {} records",
+            i + 1,
+            runs,
+            cached_wall,
+            control_wall,
+            cached_report.records.len()
+        );
+        if i == 0 {
+            // The speedup claim is only meaningful if the cache is invisible
+            // in the output: both sharded paths must reproduce the direct
+            // sweep bit-for-bit.
+            let direct = cfg.run();
+            let json = |r: &SweepReport| {
+                serde_json::to_string(&r.records).expect("records always serialize")
+            };
+            assert_eq!(
+                json(&cached_report),
+                json(&direct),
+                "cached shards diverged from the direct sweep"
+            );
+            assert_eq!(
+                json(&control_report),
+                json(&direct),
+                "control shards diverged from the direct sweep"
+            );
+            assert_eq!(cached_report.skipped, direct.skipped, "skip list diverged");
+        }
+        records = cached_report.records.len();
+        runs_seconds.push(cached_wall);
+        control_seconds.push(control_wall);
+    }
+    let mean_seconds = runs_seconds.iter().sum::<f64>() / runs_seconds.len().max(1) as f64;
+    let best_seconds = runs_seconds.iter().copied().fold(f64::INFINITY, f64::min);
+    let control_mean = control_seconds.iter().sum::<f64>() / control_seconds.len().max(1) as f64;
+    let notes = format!(
+        "{HARDWARE_SHARDS} sequential strided shards sharing a harness pool; \
+         algorithm cache enabled: {mean_seconds:.2}s mean, disabled (control): \
+         {control_mean:.2}s mean over {runs} run(s) — {:.2}x speedup; \
+         reports bit-identical to the direct sweep",
+        control_mean / mean_seconds
+    );
+    eprintln!("[bench] {notes}");
+    BenchEntry {
+        label: label.to_string(),
+        quick,
+        grid: Some(HARDWARE_GRID.to_string()),
+        grid_points,
+        records,
+        runs_seconds,
+        mean_seconds,
+        best_seconds,
+        threads: rayon::current_num_threads(),
+        // The micro suite times per-point hot paths, which this grid does
+        // not change; the entry stands on the sweep timings alone.
+        micro: Vec::new(),
+        notes: Some(notes),
     }
 }
 
@@ -235,6 +421,7 @@ pub fn run_bench(label: &str, quick: bool, runs: usize, seed: u64) -> BenchEntry
     BenchEntry {
         label: label.to_string(),
         quick,
+        grid: None,
         grid_points,
         records,
         runs_seconds,
@@ -242,6 +429,7 @@ pub fn run_bench(label: &str, quick: bool, runs: usize, seed: u64) -> BenchEntry
         best_seconds,
         threads,
         micro,
+        notes: None,
     }
 }
 
@@ -265,10 +453,18 @@ pub struct MetricDelta {
 }
 
 /// The baseline `--compare` diffs against: the *last* committed entry that
-/// ran the same grid (`quick` flag) — full and quick timings are not
-/// comparable to each other.
-pub fn find_baseline(history: &[BenchEntry], quick: bool) -> Option<&BenchEntry> {
-    history.iter().rev().find(|e| e.quick == quick)
+/// ran the same grid — both the grid name (`--grid`; legacy entries count
+/// as [`DEFAULT_GRID`]) and the `quick` flag must match, because timings of
+/// different grids are not comparable to each other.
+pub fn find_baseline<'a>(
+    history: &'a [BenchEntry],
+    quick: bool,
+    grid: &str,
+) -> Option<&'a BenchEntry> {
+    history
+        .iter()
+        .rev()
+        .find(|e| e.quick == quick && e.grid_name() == grid)
 }
 
 /// Per-metric deltas of a fresh run against a committed baseline entry: the
@@ -357,6 +553,7 @@ mod tests {
         let entry = BenchEntry {
             label: "t".into(),
             quick: true,
+            grid: Some(HARDWARE_GRID.into()),
             grid_points: 4,
             records: 4,
             runs_seconds: vec![0.5, 0.4],
@@ -371,6 +568,7 @@ mod tests {
                 stddev_ms: Some(0.1),
                 iters: 3,
             }],
+            notes: Some("control 0.9s".into()),
         };
         let report = append_entry(None, entry.clone()).unwrap();
         let json = report.to_json();
@@ -378,6 +576,8 @@ mod tests {
         assert_eq!(appended.history.len(), 2);
         assert_eq!(appended.history[0].label, "t");
         assert_eq!(appended.history[0].micro[0].max_ms, Some(1.2));
+        assert_eq!(appended.history[0].grid_name(), HARDWARE_GRID);
+        assert_eq!(appended.history[0].notes.as_deref(), Some("control 0.9s"));
         assert!(append_entry(Some("not json"), appended.history[0].clone()).is_err());
     }
 
@@ -398,6 +598,9 @@ mod tests {
         assert_eq!(m.mean_ms, 1.5);
         assert_eq!(m.max_ms, None);
         assert_eq!(m.stddev_ms, None);
+        // Entries written before `--grid` existed ran the default grid.
+        assert_eq!(report.history[0].grid_name(), DEFAULT_GRID);
+        assert_eq!(report.history[0].notes, None);
         // And it round-trips (None serializes as null, which parses back).
         let back = BenchReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.history[0].micro[0].stddev_ms, None);
@@ -409,10 +612,31 @@ mod tests {
         assert_eq!(bench_config(false, 42).grid().len(), 8);
     }
 
+    #[test]
+    fn hardware_config_multiplies_points_but_not_algorithm_groups() {
+        for quick in [true, false] {
+            let base = bench_config(quick, 42);
+            let hw = hardware_config(quick, 42);
+            // 3 accelerators × 2 task shapes on top of the default axes.
+            assert_eq!(hw.grid().len(), base.grid().len() * 6);
+            // ...while the set of algorithm sides stays exactly the default
+            // grid's — that gap is what the benchmark measures.
+            let groups: std::collections::HashSet<_> =
+                hw.grid().iter().filter_map(|p| p.algo_key().ok()).collect();
+            let base_groups: std::collections::HashSet<_> = base
+                .grid()
+                .iter()
+                .filter_map(|p| p.algo_key().ok())
+                .collect();
+            assert_eq!(groups, base_groups);
+        }
+    }
+
     fn entry(label: &str, quick: bool, mean: f64, best: f64, micro_mean: f64) -> BenchEntry {
         BenchEntry {
             label: label.into(),
             quick,
+            grid: None,
             grid_points: 4,
             records: 4,
             runs_seconds: vec![mean],
@@ -427,19 +651,25 @@ mod tests {
                 stddev_ms: None,
                 iters: 3,
             }],
+            notes: None,
         }
     }
 
     #[test]
     fn baseline_is_last_entry_with_matching_grid() {
-        let history = vec![
+        let mut history = vec![
             entry("full-old", false, 2.0, 1.9, 1.0),
             entry("quick", true, 0.5, 0.4, 1.0),
             entry("full-new", false, 1.8, 1.7, 1.0),
+            entry("hw", false, 3.0, 2.9, 1.0),
         ];
-        assert_eq!(find_baseline(&history, false).unwrap().label, "full-new");
-        assert_eq!(find_baseline(&history, true).unwrap().label, "quick");
-        assert!(find_baseline(&history[..0], false).is_none());
+        history[3].grid = Some(HARDWARE_GRID.into());
+        let base = |quick, grid| find_baseline(&history, quick, grid);
+        assert_eq!(base(false, DEFAULT_GRID).unwrap().label, "full-new");
+        assert_eq!(base(true, DEFAULT_GRID).unwrap().label, "quick");
+        assert_eq!(base(false, HARDWARE_GRID).unwrap().label, "hw");
+        assert!(base(true, HARDWARE_GRID).is_none());
+        assert!(find_baseline(&history[..0], false, DEFAULT_GRID).is_none());
     }
 
     #[test]

@@ -471,6 +471,14 @@ pub struct LoadReport {
     /// The daemon's own `point_hits / (point_hits + point_misses)` over the
     /// run, from `ping` counter deltas; `None` if the store was untouched.
     pub daemon_hit_rate: Option<f64>,
+    /// Daemon algorithm-cache hits over the run (`ping` counter delta):
+    /// algorithm sides reused across shards and jobs instead of recomputed.
+    pub algo_hits: u64,
+    /// Daemon algorithm-cache misses over the run (sides computed fresh).
+    pub algo_misses: u64,
+    /// `algo_hits / (algo_hits + algo_misses)` over the run; `None` if the
+    /// algorithm cache was untouched.
+    pub daemon_algo_hit_rate: Option<f64>,
     /// What the schedule says a fresh daemon must report.
     pub expected: ExpectedSummary,
     /// Submit-to-report latency distribution (`None` when nothing completed).
@@ -522,14 +530,29 @@ struct Gauges {
     util_samples: usize,
 }
 
-/// Reads `(point_hits, point_misses)` from one ping.
-fn ping_counters(client: &mut Client) -> Result<(u64, u64), String> {
+/// Cache counters read from one ping: point-store and algorithm-cache hits
+/// and misses.
+#[derive(Debug, Clone, Copy)]
+struct PingCounters {
+    point_hits: u64,
+    point_misses: u64,
+    algo_hits: u64,
+    algo_misses: u64,
+}
+
+/// Reads the cache counters from one ping.
+fn ping_counters(client: &mut Client) -> Result<PingCounters, String> {
     let resp = client.request(r#"{"cmd":"ping"}"#)?;
     let stats = client::field(&resp, "stats")
         .and_then(Value::as_map)
         .ok_or("ping response carried no stats")?;
     let get = |k: &str| client::field(stats, k).and_then(Value::as_u64).unwrap_or(0);
-    Ok((get("point_hits"), get("point_misses")))
+    Ok(PingCounters {
+        point_hits: get("point_hits"),
+        point_misses: get("point_misses"),
+        algo_hits: get("algo_hits"),
+        algo_misses: get("algo_misses"),
+    })
 }
 
 fn spawn_pinger(
@@ -783,9 +806,13 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         report_hash = fnv_fold(report_hash, o.index as u64);
         report_hash = fnv_fold(report_hash, o.records_hash);
     }
-    let hits = end.0.saturating_sub(baseline.0);
-    let misses = end.1.saturating_sub(baseline.1);
+    let hits = end.point_hits.saturating_sub(baseline.point_hits);
+    let misses = end.point_misses.saturating_sub(baseline.point_misses);
     let daemon_hit_rate = (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64);
+    let algo_hits = end.algo_hits.saturating_sub(baseline.algo_hits);
+    let algo_misses = end.algo_misses.saturating_sub(baseline.algo_misses);
+    let daemon_algo_hit_rate =
+        (algo_hits + algo_misses > 0).then(|| algo_hits as f64 / (algo_hits + algo_misses) as f64);
     let g = gauges.lock().expect("gauge lock");
     Ok(LoadReport {
         jobs: plan.jobs.len(),
@@ -797,6 +824,9 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
         points_cached,
         hit_rate: points_cached as f64 / points_total.max(1) as f64,
         daemon_hit_rate,
+        algo_hits,
+        algo_misses,
+        daemon_algo_hit_rate,
         expected: plan.expected(),
         job_latency: job_rec.summary(),
         shard_latency: shard_rec.summary(),
@@ -1167,6 +1197,9 @@ mod tests {
             points_cached: 0,
             hit_rate: 0.0,
             daemon_hit_rate: None,
+            algo_hits: 0,
+            algo_misses: 0,
+            daemon_algo_hit_rate: None,
             expected: ExpectedSummary {
                 jobs: 0,
                 deduped: 0,

@@ -687,14 +687,26 @@ fn cmd_bench(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
     if strict && !compare {
         return usage_error("--strict requires --compare", cmd.help);
     }
+    let grid = flags.get("grid").unwrap_or(bench::DEFAULT_GRID);
+    if grid != bench::DEFAULT_GRID && grid != bench::HARDWARE_GRID {
+        return usage_error(
+            &format!("invalid --grid `{grid}` (expected `default` or `hardware`)"),
+            cmd.help,
+        );
+    }
 
     eprintln!(
-        "[bench] {} grid on {} threads, {} runs",
-        if quick { "quick" } else { "default" },
+        "[bench] {}{} grid on {} threads, {} runs",
+        if quick { "quick " } else { "" },
+        grid,
         rayon::current_num_threads(),
         runs
     );
-    let entry = bench::run_bench(label, quick, runs, seed);
+    let entry = if grid == bench::HARDWARE_GRID {
+        bench::run_hardware_bench(label, quick, runs, seed)
+    } else {
+        bench::run_bench(label, quick, runs, seed)
+    };
     // Summarize the sweep runs with the same statistics the micro-benches
     // (and the vendored criterion harness) report.
     let sweep_stats = criterion::SampleStats::from_values(&entry.runs_seconds);
@@ -740,11 +752,12 @@ fn cmd_bench(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         // *previously committed* entry that ran the same grid.
         let fresh = report.history.last().expect("entry was just appended");
         let committed = &report.history[..report.history.len() - 1];
-        match bench::find_baseline(committed, quick) {
+        match bench::find_baseline(committed, quick, grid) {
             None => {
                 eprintln!(
-                    "[bench] --compare: no committed {} baseline in {out}; nothing to diff",
-                    if quick { "quick" } else { "default-grid" }
+                    "[bench] --compare: no committed {}{grid}-grid baseline in {out}; \
+                     nothing to diff",
+                    if quick { "quick " } else { "" }
                 );
             }
             Some(baseline) => {
@@ -876,6 +889,15 @@ fn cmd_loadgen(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         report.peak_queue_depth,
         report.peak_in_flight,
         report.executor_utilization * 100.0
+    );
+    eprintln!(
+        "[loadgen] algo cache: {} hits / {} misses{}",
+        report.algo_hits,
+        report.algo_misses,
+        match report.daemon_algo_hit_rate {
+            Some(r) => format!(" ({:.0}% of algorithm sides reused)", r * 100.0),
+            None => String::new(),
+        }
     );
     for o in report.outcomes.iter().filter(|o| o.error.is_some()) {
         eprintln!(

@@ -128,9 +128,9 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "bench",
-        summary: "Time the default sweep grid and append to the perf history JSON",
+        summary: "Time a sweep grid and append to the perf history JSON",
         help: BENCH_HELP,
-        options: &["runs", "label", "seed", "out"],
+        options: &["grid", "runs", "label", "seed", "out"],
         switches: &["quick", "compare", "strict", "help"],
     },
     CommandSpec {
@@ -438,17 +438,21 @@ Set BITMOD_RESULTS_DIR=<dir> to also dump each experiment's raw numbers as
 JSON into <dir>.";
 
 const BENCH_HELP: &str = "\
-bitmod-cli bench — time the default sweep grid
+bitmod-cli bench — time a sweep grid
 
-Runs the default sweep grid (2 models × {bitmod,int-asym} × {3,4} bits ×
-g128 at standard proxy size) several times plus a set of hot-path
-micro-benchmarks, and APPENDS the result to a JSON history file so
-before/after numbers of a performance change sit side by side.
+Runs a sweep grid several times and APPENDS the result to a JSON history
+file so before/after numbers of a performance change sit side by side.
+The `default` grid (2 models × {bitmod,int-asym} × {3,4} bits × g128 at
+standard proxy size) also takes a set of hot-path micro-benchmarks; the
+`hardware` grid crosses the same axes with 3 accelerators × 2 task shapes
+and times 4 sequential strided work units sharing the daemon's algorithm
+cache against a cache-disabled control (recorded in the entry's notes).
 
 USAGE:
     bitmod-cli bench [OPTIONS]
 
 OPTIONS:
+    --grid <which>    Grid to time: default | hardware [default: default]
     --quick           Small grid (phi-2 only, tiny proxy) for CI smoke runs
     --runs <n>        Full-sweep repetitions [default: 3, quick: 2]
     --label <name>    History label for this entry [default: current]
@@ -461,7 +465,8 @@ OPTIONS:
     --help            Show this message
 
 EXAMPLE:
-    bitmod-cli bench --label after-matmul-fusion --out BENCH_sweep.json";
+    bitmod-cli bench --label after-matmul-fusion --out BENCH_sweep.json
+    bitmod-cli bench --grid hardware --label post-algo-cache";
 
 const LOADGEN_HELP: &str = "\
 bitmod-cli loadgen — open-loop load generator for a running daemon

@@ -34,10 +34,14 @@
 //! assert_eq!(merged.records.len(), cfg.run().records.len());
 //! ```
 
-use crate::sweep::{run_points, SweepConfig, SweepPoint, SweepRecord, SweepReport};
+use crate::sweep::{
+    from_map_or, run_points, AlgoKey, SweepAlgoCache, SweepConfig, SweepPoint, SweepRecord,
+    SweepReport,
+};
 use bitmod_llm::eval::HarnessPool;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Which slice of a sharded sweep one worker owns: shard `index` of `count`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -117,6 +121,72 @@ pub fn shard_len(cfg: &SweepConfig, shard: ShardSpec) -> usize {
     grid_len / shard.count + usize::from(grid_len % shard.count > shard.index)
 }
 
+/// Partitions the grid indices of `remainder` into at most `max_units`
+/// work-unit index lists, **group-aware**: points sharing an [`AlgoKey`]
+/// always land in the same unit, so distributed executors never recompute an
+/// algorithm side another unit of the same job already owns (they cannot
+/// share a process-local cache).
+///
+/// Groups are packed whole — never split — onto `min(max_units, #groups)`
+/// units by longest-processing-time-first: groups in descending point count
+/// (first grid appearance breaks ties) each go to the least-loaded unit.
+/// Invalid points (no quantization configuration, hence no algorithm work)
+/// form singleton groups, so a grid of `g` algorithm groups plus `s` skips
+/// still spreads over up to `g + s` units.  Each unit's indices come back
+/// ascending and units are ordered by their first index, making the
+/// partition a pure function of `(cfg, remainder, max_units)` — the serving
+/// coordinator relies on that to replay its journal deterministically.
+///
+/// With every point its own group (e.g. the classic grids, which vary only
+/// algorithm axes), this degenerates to the strided `i % n == k` partition
+/// [`shard_points`] uses.
+pub fn plan_units(cfg: &SweepConfig, remainder: &[usize], max_units: usize) -> Vec<Vec<usize>> {
+    if remainder.is_empty() {
+        return Vec::new();
+    }
+    let grid = cfg.grid();
+
+    // Group the remainder by algorithm key, in first-appearance order.
+    // `None` keys (invalid or out-of-range points) are singleton groups:
+    // they carry no algorithm work, so binding them to any unit is free.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_index: HashMap<AlgoKey, usize> = HashMap::new();
+    for &i in remainder {
+        match grid.get(i).and_then(|p| p.algo_key().ok()) {
+            Some(key) => match group_index.get(&key) {
+                Some(&g) => groups[g].push(i),
+                None => {
+                    group_index.insert(key, groups.len());
+                    groups.push(vec![i]);
+                }
+            },
+            None => groups.push(vec![i]),
+        }
+    }
+
+    let unit_count = max_units.max(1).min(groups.len());
+    // Longest-processing-time-first: biggest groups placed first, each onto
+    // the least-loaded unit (ties to the lowest unit), for balanced units
+    // without ever splitting a group.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&g| (std::cmp::Reverse(groups[g].len()), g));
+    let mut units: Vec<Vec<usize>> = vec![Vec::new(); unit_count];
+    let mut loads = vec![0usize; unit_count];
+    for g in order {
+        let target = (0..unit_count)
+            .min_by_key(|&u| (loads[u], u))
+            .expect("unit_count >= 1");
+        loads[target] += groups[g].len();
+        units[target].extend(&groups[g]);
+    }
+
+    for unit in &mut units {
+        unit.sort_unstable();
+    }
+    units.sort_by_key(|unit| unit.first().copied());
+    units
+}
+
 /// Per-shard progress summary: what one completed work unit contributes to
 /// its job.  The serving coordinator attaches one of these to every shard
 /// landing — the `shard_result` wire response and the journal's
@@ -148,7 +218,11 @@ pub struct ShardRecord {
 }
 
 /// The output of one shard run — what `bitmod-cli worker` writes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Deserialization is hand-written (not derived) so shard JSON written
+/// before the algorithm-cache counters existed still parses: the missing
+/// counters fall back to zero (those runs consulted no cache).
+#[derive(Debug, Clone, Serialize)]
 pub struct ShardReport {
     /// The full sweep configuration (every shard carries the whole grid
     /// definition; the spec below selects this shard's slice).
@@ -163,6 +237,31 @@ pub struct ShardReport {
     pub wall_seconds: f64,
     /// Worker threads this shard used.
     pub threads: usize,
+    /// Algorithm groups this shard served from the algorithm cache.
+    /// Execution metadata, like `wall_seconds` — not part of the result's
+    /// identity (a hit and a recomputation produce identical records).
+    pub algo_hits: usize,
+    /// Algorithm groups this shard computed fresh.
+    pub algo_misses: usize,
+}
+
+impl serde::Deserialize for ShardReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("a map", "ShardReport"))?;
+        Ok(ShardReport {
+            config: serde::from_map(m, "config", "ShardReport")?,
+            shard: serde::from_map(m, "shard", "ShardReport")?,
+            records: serde::from_map(m, "records", "ShardReport")?,
+            skipped: serde::from_map(m, "skipped", "ShardReport")?,
+            wall_seconds: serde::from_map(m, "wall_seconds", "ShardReport")?,
+            threads: serde::from_map(m, "threads", "ShardReport")?,
+            // Pre-cache shard reports carried no counters.
+            algo_hits: from_map_or(m, "algo_hits", 0)?,
+            algo_misses: from_map_or(m, "algo_misses", 0)?,
+        })
+    }
 }
 
 impl ShardReport {
@@ -233,6 +332,37 @@ pub fn run_partial_shard_with_pool(
     indices: &[usize],
     pool: &HarnessPool,
 ) -> ShardReport {
+    run_partial_shard_inner(cfg, shard, indices, pool, None)
+}
+
+/// [`run_partial_shard_with_pool`] consulting a daemon-wide algorithm cache:
+/// each algorithm group of the work unit is looked up in `algos` (on behalf
+/// of `owner`, typically the job id) before [`crate::Pipeline::run_algorithm`]
+/// runs, and fresh results are published back — so every job and shard
+/// served by the same process reuses prior algorithm work.  The report's
+/// `algo_hits`/`algo_misses` count this unit's consultations.
+///
+/// Records stay bit-identical to the cache-free path: an algorithm side is a
+/// pure function of its cache key, so the cache only changes *when* it was
+/// computed, never its value.
+pub fn run_partial_shard_cached(
+    cfg: &SweepConfig,
+    shard: ShardSpec,
+    indices: &[usize],
+    pool: &HarnessPool,
+    algos: &SweepAlgoCache,
+    owner: &str,
+) -> ShardReport {
+    run_partial_shard_inner(cfg, shard, indices, pool, Some((algos, owner)))
+}
+
+fn run_partial_shard_inner(
+    cfg: &SweepConfig,
+    shard: ShardSpec,
+    indices: &[usize],
+    pool: &HarnessPool,
+    algos: Option<(&SweepAlgoCache, &str)>,
+) -> ShardReport {
     let started = std::time::Instant::now();
 
     let grid = cfg.grid();
@@ -246,7 +376,8 @@ pub fn run_partial_shard_with_pool(
         }
     }
 
-    // One harness per model appearing in this shard's valid points.
+    // One harness per model appearing in this shard's valid points, indexed
+    // by model for O(1) lookup from the grid fan-out.
     let mut models: Vec<_> = valid.iter().map(|(_, p, _)| p.model).collect();
     models.sort_by_key(|m| {
         bitmod_llm::config::LlmModel::ALL
@@ -255,18 +386,19 @@ pub fn run_partial_shard_with_pool(
             .unwrap_or(usize::MAX)
     });
     models.dedup();
-    let harnesses: Vec<_> = models
+    let harnesses: HashMap<_, _> = models
         .par_iter()
         .map(|&m| pool.get_or_build(m, cfg.proxy, cfg.seed))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| (h.model, h))
         .collect();
 
     let harness_for = |model: bitmod_llm::config::LlmModel| -> &bitmod_llm::eval::EvalHarness {
-        harnesses
-            .iter()
-            .find(|h| h.model == model)
-            .expect("one harness per shard model")
+        harnesses.get(&model).expect("one harness per shard model")
     };
-    let records: Vec<ShardRecord> = run_points(cfg, valid, &harness_for)
+    let (records, tally) = run_points(cfg, valid, &harness_for, algos);
+    let records: Vec<ShardRecord> = records
         .into_iter()
         .map(|(grid_index, record)| ShardRecord { grid_index, record })
         .collect();
@@ -278,6 +410,8 @@ pub fn run_partial_shard_with_pool(
         skipped,
         wall_seconds: started.elapsed().as_secs_f64(),
         threads: rayon::current_num_threads(),
+        algo_hits: tally.hits,
+        algo_misses: tally.misses,
     }
 }
 

@@ -271,12 +271,92 @@ impl SweepPoint {
         }
         label
     }
+
+    /// The algorithm-group key of this point, or the reason the point is
+    /// invalid (the same reason the sweep records as a skip).
+    pub fn algo_key(&self) -> Result<AlgoKey, String> {
+        let q = self.quant_config()?;
+        Ok(AlgoKey::of(self, &q))
+    }
+}
+
+/// The coordinates that determine a point's *algorithm side* — the quantized
+/// model and its proxy perplexity/accuracy, produced by
+/// [`Pipeline::run_algorithm`].  Every (task, accelerator) hardware variant
+/// of these coordinates shares one algorithm side bit-identically.
+///
+/// The key spells the **realized** quantization configuration: the scale
+/// dtype after [`SweepPoint::quant_config`]'s GPTQ/OmniQuant normalization
+/// and the calibration size after [`SweepPoint::realized_calib_size`]'s RTN
+/// normalization — so points whose requested coordinates differ only in ways
+/// the quantizer ignores still share a group.  (Point-level *result* caching
+/// is the opposite: [`SweepPoint::cache_key`] uses the requested
+/// coordinates, because records embed the requested point.)
+///
+/// This is the typed replacement for the `format!("{:?}|…")` string key
+/// `run_points` originally grouped by, and the unit of reuse for the
+/// daemon-wide algorithm cache ([`SweepAlgoCache`]) and the coordinator's
+/// group-aware work partitioning ([`crate::shard::plan_units`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AlgoKey {
+    /// The evaluated LLM.
+    pub model: LlmModel,
+    /// The data-type family.
+    pub dtype: SweepDtype,
+    /// The weight bit width.
+    pub bits: u8,
+    /// The quantization granularity.
+    pub granularity: Granularity,
+    /// The software-composition method.
+    pub method: CompositionMethod,
+    /// The realized scale-factor precision (post normalization).
+    pub scale_dtype: ScaleDtype,
+    /// The realized calibration-set size (post normalization).
+    pub calib_size: usize,
+}
+
+impl AlgoKey {
+    /// The key of `point` under its already-computed (realized) quantization
+    /// configuration.  `quant` must be `point.quant_config()?` — callers that
+    /// have not validated the point should use [`SweepPoint::algo_key`].
+    pub fn of(point: &SweepPoint, quant: &QuantConfig) -> AlgoKey {
+        AlgoKey {
+            model: point.model,
+            dtype: point.dtype,
+            bits: point.bits,
+            granularity: point.granularity,
+            method: point.method,
+            scale_dtype: quant.scale_dtype,
+            calib_size: point.realized_calib_size(),
+        }
+    }
+}
+
+/// The full algorithm-cache key: the group plus the evaluation context — a
+/// group's algorithm side also depends on the proxy size and seed through
+/// the harness it is computed against.
+pub type AlgoCacheKey = (AlgoKey, ProxyConfig, u64);
+
+/// The daemon-wide algorithm cache: completed algorithm sides keyed by
+/// [`AlgoCacheKey`], shared across shards and jobs exactly like the
+/// [`HarnessPool`] it lives beside.  See [`bitmod_llm::eval::AlgoCache`] for
+/// the eviction semantics.
+pub type SweepAlgoCache = bitmod_llm::eval::AlgoCache<AlgoCacheKey, Arc<crate::AlgorithmSide>>;
+
+/// Per-call algorithm-cache accounting: how many of a run's algorithm groups
+/// were served from the cache vs computed (and inserted) fresh.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgoTally {
+    /// Groups served from the cache.
+    pub hits: usize,
+    /// Groups computed fresh (a cache-less run counts every group here).
+    pub misses: usize,
 }
 
 /// Looks up an optional field, falling back to `default` when absent — the
 /// schema-compatibility hook for the axes introduced after the first report
 /// format shipped.
-fn from_map_or<T: serde::Deserialize>(
+pub(crate) fn from_map_or<T: serde::Deserialize>(
     m: &[(String, serde::Value)],
     key: &str,
     default: T,
@@ -940,16 +1020,19 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
 pub fn run_sweep_with_pool(cfg: &SweepConfig, pool: &HarnessPool) -> SweepReport {
     let started = std::time::Instant::now();
 
-    // Phase 1: one harness per model, fetched (or built) concurrently.
-    let harnesses: Vec<Arc<EvalHarness>> = cfg
+    // Phase 1: one harness per model, fetched (or built) concurrently, then
+    // indexed by model for O(1) lookup from the grid fan-out.
+    let harnesses: HashMap<LlmModel, Arc<EvalHarness>> = cfg
         .models
         .par_iter()
         .map(|&m| pool.get_or_build(m, cfg.proxy, cfg.seed))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| (h.model, h))
         .collect();
     let harness_for = |model: LlmModel| -> &EvalHarness {
         harnesses
-            .iter()
-            .find(|h| h.model == model)
+            .get(&model)
             .expect("one harness built per sweep model")
     };
 
@@ -962,10 +1045,8 @@ pub fn run_sweep_with_pool(cfg: &SweepConfig, pool: &HarnessPool) -> SweepReport
             Err(reason) => skipped.push((p, reason)),
         }
     }
-    let records: Vec<SweepRecord> = run_points(cfg, valid, &harness_for)
-        .into_iter()
-        .map(|(_, record)| record)
-        .collect();
+    let (records, _) = run_points(cfg, valid, &harness_for, None);
+    let records: Vec<SweepRecord> = records.into_iter().map(|(_, record)| record).collect();
 
     SweepReport {
         config: cfg.clone(),
@@ -977,58 +1058,69 @@ pub fn run_sweep_with_pool(cfg: &SweepConfig, pool: &HarnessPool) -> SweepReport
 }
 
 /// Runs validated grid points (tagged with their grid indices) against their
-/// models' harnesses, returning records in grid-index order.
+/// models' harnesses, returning records in grid-index order plus the
+/// algorithm-cache accounting of the call.
 ///
 /// The algorithm side — quantization, composition, proxy perplexity and
-/// accuracy, the dominant cost of a point — depends only on `(model, dtype,
-/// bits, granularity, method, realized scale dtype)`, so it is computed
-/// **once per such group** and shared across the group's (task, accelerator)
-/// variants; only the cheap hardware simulation runs per point.  Records are
-/// bit-identical to running [`Pipeline::run_with_harness`] per point: both
-/// paths evaluate the same pure functions.
+/// accuracy, the dominant cost of a point — depends only on the [`AlgoKey`]
+/// coordinates, so it is computed **once per such group** and shared across
+/// the group's (task, accelerator) variants; only the cheap hardware
+/// simulation runs per point.  With `algos`, each group first consults the
+/// daemon-wide cache on behalf of `owner` and publishes fresh results back,
+/// extending the reuse across shards and jobs.  Records are bit-identical to
+/// running [`Pipeline::run_with_harness`] per point, cache or no cache: an
+/// algorithm side is a pure function of its cache key, so a hit only changes
+/// *when* it was computed.
 pub(crate) fn run_points<'a>(
     cfg: &SweepConfig,
     valid: Vec<(usize, SweepPoint, QuantConfig)>,
     harness_for: &(impl Fn(LlmModel) -> &'a EvalHarness + Sync),
-) -> Vec<(usize, SweepRecord)> {
-    // Group points sharing an algorithm side.  The key spells the realized
-    // quantization configuration (post scale-dtype and calib-size
-    // normalization), so e.g. gptq points requesting different scale dtypes
-    // — or RTN points requesting different calibration sizes — share one
-    // group.
-    let mut groups: Vec<(QuantConfig, Vec<(usize, SweepPoint)>)> = Vec::new();
-    let mut group_index: HashMap<String, usize> = HashMap::new();
+    algos: Option<(&SweepAlgoCache, &str)>,
+) -> (Vec<(usize, SweepRecord)>, AlgoTally) {
+    /// One algorithm group: its key, the shared quant config, and the
+    /// (grid index, point) members.
+    type AlgoGroup = (AlgoKey, QuantConfig, Vec<(usize, SweepPoint)>);
+    // Group points sharing an algorithm side, in first-appearance order.
+    let mut groups: Vec<AlgoGroup> = Vec::new();
+    let mut group_index: HashMap<AlgoKey, usize> = HashMap::new();
     for (i, p, q) in valid {
-        let key = format!(
-            "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{}",
-            p.model,
-            p.dtype,
-            p.bits,
-            p.granularity,
-            p.method,
-            q.scale_dtype,
-            p.realized_calib_size()
-        );
+        let key = AlgoKey::of(&p, &q);
         match group_index.get(&key) {
-            Some(&g) => groups[g].1.push((i, p)),
+            Some(&g) => groups[g].2.push((i, p)),
             None => {
                 group_index.insert(key, groups.len());
-                groups.push((q, vec![(i, p)]));
+                groups.push((key, q, vec![(i, p)]));
             }
         }
     }
 
-    let mut records: Vec<(usize, SweepRecord)> = groups
+    let group_runs: Vec<(Vec<(usize, SweepRecord)>, bool)> = groups
         .into_par_iter()
-        .map(|(quant, points)| {
+        .map(|(key, quant, points)| {
             let first = points[0].1;
             let base = Pipeline::new(first.model)
                 .with_quant_config(quant)
                 .with_method(first.method)
                 .with_calib_size(first.realized_calib_size())
                 .with_proxy_config(cfg.proxy);
-            let algorithm = base.run_algorithm(harness_for(first.model));
-            points
+            let (algorithm, hit) = match algos {
+                None => (
+                    Arc::new(base.run_algorithm(harness_for(first.model))),
+                    false,
+                ),
+                Some((cache, owner)) => {
+                    let cache_key = (key, cfg.proxy, cfg.seed);
+                    match cache.get(&cache_key, owner) {
+                        Some(algorithm) => (algorithm, true),
+                        None => {
+                            let fresh = Arc::new(base.run_algorithm(harness_for(first.model)));
+                            cache.insert(cache_key, Arc::clone(&fresh), owner);
+                            (fresh, false)
+                        }
+                    }
+                }
+            };
+            let records = points
                 .into_iter()
                 .map(|(i, point)| {
                     let report = base
@@ -1038,14 +1130,23 @@ pub(crate) fn run_points<'a>(
                         .run_hardware(&algorithm);
                     (i, SweepRecord { point, report })
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            (records, hit)
         })
-        .collect::<Vec<Vec<_>>>()
-        .into_iter()
-        .flatten()
         .collect();
+
+    let mut tally = AlgoTally::default();
+    let mut records: Vec<(usize, SweepRecord)> = Vec::new();
+    for (group_records, hit) in group_runs {
+        if hit {
+            tally.hits += 1;
+        } else {
+            tally.misses += 1;
+        }
+        records.extend(group_records);
+    }
     records.sort_unstable_by_key(|&(i, _)| i);
-    records
+    (records, tally)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use crate::proxy::{LinearId, ProxyConfig, ProxyTransformer};
 use bitmod_quant::{compose_quantize, CompositionMethod, QuantConfig, QuantStats};
 use bitmod_tensor::{stats, Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// Perplexity on the two proxy evaluation streams.
@@ -316,6 +316,179 @@ impl HarnessPool {
     }
 }
 
+/// One cached value plus its bookkeeping: the owners whose lifetime it is
+/// tied to and a recency tick for the capacity bound.
+#[derive(Debug)]
+struct AlgoEntry<V> {
+    value: V,
+    /// Owners (job ids) that computed or reused this entry.  Ownership
+    /// eviction ([`AlgoCache::evict_owner`]) drops an entry once no owner
+    /// survives, mirroring the coordinator's point-store semantics.
+    owners: HashSet<String>,
+    /// Tick of the most recent `get`/`insert`, for LRU capacity eviction.
+    last_used: u64,
+}
+
+/// Interior state of an [`AlgoCache`], behind one mutex.
+#[derive(Debug)]
+struct AlgoCacheState<K, V> {
+    entries: HashMap<K, AlgoEntry<V>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded, ownership-evicted cache of completed algorithm sides, living
+/// alongside [`HarnessPool`] with the same lifetime (the daemon, not the
+/// shard).
+///
+/// The cache is generic over its key and value so this crate stays free of
+/// sweep-level types: `bitmod::sweep` instantiates it with the typed
+/// `AlgoKey` (plus proxy and seed) and an `Arc` of the completed algorithm
+/// side.  Values must be cheap to clone — store `Arc<T>`, not `T`.
+///
+/// Two eviction mechanisms compose:
+///
+/// * **ownership** — every `get`/`insert` registers an owner (a job id);
+///   [`AlgoCache::evict_owner`] drops the entries no surviving owner covers,
+///   so the cache tracks the coordinator's result-cache cap exactly;
+/// * **capacity** — a hard entry bound (least-recently-used first) protects
+///   processes with no eviction driver, e.g. a remote executor that serves
+///   many short-lived jobs.
+///
+/// Cached values are bit-deterministic functions of their key, so the first
+/// writer wins on a racing insert and a hit is indistinguishable from a
+/// recomputation — the cache changes *when* work happens, never its result.
+///
+/// ```
+/// use bitmod_llm::eval::AlgoCache;
+///
+/// let cache: AlgoCache<&'static str, u32> = AlgoCache::with_cap(8);
+/// assert_eq!(cache.get(&"k", "job-1"), None);
+/// cache.insert("k", 7, "job-1");
+/// assert_eq!(cache.get(&"k", "job-2"), Some(7));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// cache.evict_owner("job-1");
+/// assert_eq!(cache.len(), 1, "job-2 still covers the entry");
+/// cache.evict_owner("job-2");
+/// assert!(cache.is_empty(), "last owner gone, entry gone");
+/// ```
+#[derive(Debug)]
+pub struct AlgoCache<K, V> {
+    state: Mutex<AlgoCacheState<K, V>>,
+    cap: usize,
+}
+
+impl<K: Eq + std::hash::Hash + Clone, V: Clone> AlgoCache<K, V> {
+    /// An unbounded cache (ownership eviction only).
+    pub fn new() -> Self {
+        Self::with_cap(usize::MAX)
+    }
+
+    /// A cache holding at most `cap` entries; inserting past the bound
+    /// evicts least-recently-used entries first, regardless of owners.
+    pub fn with_cap(cap: usize) -> Self {
+        AlgoCache {
+            state: Mutex::new(AlgoCacheState {
+                entries: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Looks up `key` on behalf of `owner`, counting a hit or a miss.  A hit
+    /// registers `owner` as a co-owner, so the value outlives the eviction
+    /// of the owner that originally computed it for as long as any owner
+    /// covering it survives.
+    pub fn get(&self, key: &K, owner: &str) -> Option<V> {
+        let mut state = self.state.lock().expect("algo cache lock");
+        state.tick += 1;
+        let tick = state.tick;
+        let found = match state.entries.get_mut(key) {
+            Some(entry) => {
+                entry.owners.insert(owner.to_string());
+                entry.last_used = tick;
+                Some(entry.value.clone())
+            }
+            None => None,
+        };
+        match found {
+            Some(_) => state.hits += 1,
+            None => state.misses += 1,
+        }
+        found
+    }
+
+    /// Records a value for `key`, owned (at least) by `owner`.  The first
+    /// writer wins: values are bit-deterministic, so a racing duplicate
+    /// insert carries an identical value and only extends the owner set.
+    pub fn insert(&self, key: K, value: V, owner: &str) {
+        let mut state = self.state.lock().expect("algo cache lock");
+        state.tick += 1;
+        let tick = state.tick;
+        let entry = state.entries.entry(key).or_insert_with(|| AlgoEntry {
+            value,
+            owners: HashSet::new(),
+            last_used: tick,
+        });
+        entry.owners.insert(owner.to_string());
+        entry.last_used = tick;
+        while state.entries.len() > self.cap {
+            let oldest = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over-cap cache is non-empty");
+            state.entries.remove(&oldest);
+        }
+    }
+
+    /// Removes `owner` from every owner set and drops the entries no
+    /// remaining owner covers.
+    pub fn evict_owner(&self, owner: &str) {
+        let mut state = self.state.lock().expect("algo cache lock");
+        state.entries.retain(|_, entry| {
+            entry.owners.remove(owner);
+            !entry.owners.is_empty()
+        });
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("algo cache lock").entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a cached value, since construction.
+    pub fn hits(&self) -> u64 {
+        self.state.lock().expect("algo cache lock").hits
+    }
+
+    /// Lookups that missed, since construction.
+    pub fn misses(&self) -> u64 {
+        self.state.lock().expect("algo cache lock").misses
+    }
+
+    /// Drops every entry and resets nothing else (counters keep counting).
+    pub fn clear(&self) {
+        self.state.lock().expect("algo cache lock").entries.clear();
+    }
+}
+
+impl<K: Eq + std::hash::Hash + Clone, V: Clone> Default for AlgoCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,5 +673,47 @@ mod tests {
         let h = harness(LlmModel::Llama2_13B, 6);
         let p = h.fp16_perplexity();
         assert!(p.c4 > p.wiki);
+    }
+
+    #[test]
+    fn algo_cache_counts_hits_and_first_writer_wins() {
+        let cache: AlgoCache<u32, &'static str> = AlgoCache::new();
+        assert_eq!(cache.get(&1, "a"), None);
+        cache.insert(1, "first", "a");
+        // A racing duplicate insert never replaces the stored value.
+        cache.insert(1, "second", "b");
+        assert_eq!(cache.get(&1, "c"), Some("first"));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn algo_cache_ownership_eviction_mirrors_the_point_store() {
+        let cache: AlgoCache<u32, u32> = AlgoCache::new();
+        cache.insert(1, 10, "job-1");
+        cache.insert(2, 20, "job-1");
+        assert!(cache.get(&1, "job-2").is_some());
+
+        cache.evict_owner("job-1");
+        assert!(cache.get(&1, "job-3").is_some(), "co-owned entry survives");
+        assert!(cache.get(&2, "job-3").is_none(), "exclusive entry dropped");
+
+        cache.evict_owner("job-2");
+        cache.evict_owner("job-3");
+        assert!(cache.is_empty(), "last owner gone, entry gone");
+    }
+
+    #[test]
+    fn algo_cache_capacity_evicts_least_recently_used() {
+        let cache: AlgoCache<u32, u32> = AlgoCache::with_cap(2);
+        cache.insert(1, 10, "j");
+        cache.insert(2, 20, "j");
+        // Touch key 1 so key 2 is the LRU entry when 3 arrives.
+        assert!(cache.get(&1, "j").is_some());
+        cache.insert(3, 30, "j");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&1, "j").is_some(), "recently-used entry kept");
+        assert!(cache.get(&2, "j").is_none(), "LRU entry evicted at cap");
+        assert!(cache.get(&3, "j").is_some());
     }
 }

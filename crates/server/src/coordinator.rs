@@ -15,9 +15,9 @@
 
 use crate::executor;
 use crate::job::{JobQueue, JobStatus, JobView, ShardLanding, SubmitOutcome, WorkAssignment};
-use crate::journal::{Journal, JournalEvent};
+use crate::journal::{Journal, JournalEvent, JournalFlush};
 use bitmod::shard::ShardReport;
-use bitmod::sweep::{SweepConfig, SweepReport};
+use bitmod::sweep::{SweepAlgoCache, SweepConfig, SweepReport};
 use bitmod_llm::eval::HarnessPool;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -106,11 +106,20 @@ pub struct CoordinatorStats {
     pub point_hits: usize,
     /// Point-store lookups that required computation since startup.
     pub point_misses: usize,
+    /// Algorithm sides currently held by the algorithm-group cache.
+    pub algo_cached: usize,
+    /// Algorithm-cache lookups served from cache since startup (in-process
+    /// executors only; remote workers keep their own per-process cache).
+    pub algo_hits: u64,
+    /// Algorithm sides computed fresh since startup (in-process executors).
+    pub algo_misses: u64,
 }
 
 /// Interior state guarded by one lock: the job/lease queue plus the journal
-/// appender (journaling under the lock keeps the event order identical to
-/// the state-transition order).
+/// appender.  Appending under the lock only *sequences* the event (the
+/// writer thread serializes and flushes it off-lock), which keeps the
+/// on-disk event order identical to the state-transition order without
+/// paying report-serialization time inside the lock.
 #[derive(Debug)]
 struct State {
     queue: JobQueue,
@@ -118,9 +127,14 @@ struct State {
 }
 
 impl State {
-    fn journal(&mut self, event: JournalEvent) {
-        if let Some(j) = self.journal.as_mut() {
-            j.append(&event);
+    /// Sequences `event` for the journal writer; returns its sequence
+    /// number (0 when no journal is configured).  Callers that must not
+    /// return before the event is durable pass the number to
+    /// [`Coordinator::await_journal`] *after* releasing the state lock.
+    fn journal(&mut self, event: JournalEvent) -> u64 {
+        match self.journal.as_mut() {
+            Some(j) => j.append(&event),
+            None => 0,
         }
     }
 }
@@ -162,8 +176,24 @@ pub struct Coordinator {
     /// immediately instead of draining the queue (the crash-test hook).
     abort: AtomicBool,
     pool: HarnessPool,
+    /// Daemon-lifetime algorithm-side cache shared by every in-process
+    /// executor: one completed quant/eval per algorithm group, keyed by
+    /// [`bitmod::sweep::AlgoKey`] (+ proxy + seed).  Ownership-evicted in
+    /// lockstep with the point store when a job leaves the result cache.
+    algos: SweepAlgoCache,
+    /// The journal writer's flush tracker (when a journal is in use):
+    /// blocking on it after releasing the state lock restores
+    /// durability-at-return for submit/complete/fail without serializing
+    /// reports under the lock.
+    journal_flush: Option<Arc<JournalFlush>>,
     config: CoordinatorConfig,
 }
+
+/// Upper bound on cached algorithm sides.  Each entry holds per-layer
+/// statistics and scalar metrics (a few hundred bytes), so this caps memory
+/// in the single-digit-MB range while comfortably covering every distinct
+/// algorithm group a realistic multi-job workload cycles through.
+pub const ALGO_CACHE_CAP: usize = 1024;
 
 /// Owns a running coordinator's in-process executor threads; dropping
 /// without [`CoordinatorHandle::shutdown`] detaches them (they exit at
@@ -189,6 +219,7 @@ impl CoordinatorHandle {
         for w in self.workers {
             let _ = w.join();
         }
+        self.coordinator.sync_journal();
     }
 
     /// Stops in-process executors *without* draining: they finish (at most)
@@ -208,6 +239,9 @@ impl CoordinatorHandle {
         for w in self.workers {
             let _ = w.join();
         }
+        // Everything journaled before the halt must be on disk before the
+        // state dir can be reopened (the crash-recovery tests restart here).
+        self.coordinator.sync_journal();
     }
 }
 
@@ -247,12 +281,15 @@ impl Coordinator {
                 }
             },
         };
+        let journal_flush = journal.as_ref().map(Journal::flush_handle);
         let coordinator = Arc::new(Coordinator {
             state: Mutex::new(State { queue, journal }),
             wake: Condvar::new(),
             progress: Condvar::new(),
             abort: AtomicBool::new(false),
             pool: HarnessPool::new(),
+            algos: SweepAlgoCache::with_cap(ALGO_CACHE_CAP),
+            journal_flush,
             config,
         });
         let workers = (0..coordinator.config.workers)
@@ -276,6 +313,11 @@ impl Coordinator {
         &self.pool
     }
 
+    /// The algorithm-side cache shared by every in-process executor.
+    pub fn algos(&self) -> &SweepAlgoCache {
+        &self.algos
+    }
+
     /// The coordinator's configuration.
     pub fn config(&self) -> &CoordinatorConfig {
         &self.config
@@ -289,10 +331,33 @@ impl Coordinator {
         self.lock().journal.as_ref().map(|j| j.path().to_path_buf())
     }
 
+    /// Blocks until the journal event with sequence number `seq` is durably
+    /// flushed; a no-op for `seq == 0` or a journal-less coordinator.  Call
+    /// *after* releasing the state lock — this is what keeps
+    /// durability-at-return while the writer thread does the I/O.
+    fn await_journal(&self, seq: u64) {
+        if seq == 0 {
+            return;
+        }
+        if let Some(flush) = &self.journal_flush {
+            flush.wait_for(seq);
+        }
+    }
+
+    /// Blocks until everything journaled so far is durably flushed.
+    pub fn sync_journal(&self) {
+        let seq = {
+            let state = self.lock();
+            state.journal.as_ref().map_or(0, Journal::seq)
+        };
+        self.await_journal(seq);
+    }
+
     /// Submits a sweep; returns the (possibly deduplicated) job id.
     pub fn submit(&self, config: &SweepConfig) -> SubmitOutcome {
         let mut state = self.lock();
         let outcome = state.queue.submit(config);
+        let mut journal_seq = 0;
         if !outcome.deduped {
             let job = &state.queue.jobs[&outcome.job_id];
             let config = Box::new(job.config.clone());
@@ -302,23 +367,29 @@ impl Coordinator {
             let report = (job.status == JobStatus::Done)
                 .then(|| job.report.clone())
                 .flatten();
-            state.journal(JournalEvent::Submit {
+            journal_seq = state.journal(JournalEvent::Submit {
                 job: outcome.job_id.clone(),
                 config,
             });
             if let Some(report) = report {
-                state.journal(JournalEvent::Done {
+                journal_seq = state.journal(JournalEvent::Done {
                     job: outcome.job_id.clone(),
                     report,
                 });
             }
             for evicted in &outcome.evicted {
-                state.journal(JournalEvent::Evict {
+                journal_seq = state.journal(JournalEvent::Evict {
                     job: evicted.clone(),
                 });
             }
         }
         drop(state);
+        self.await_journal(journal_seq);
+        // Keep the algorithm cache in lockstep with the point store: a job
+        // evicted from the result cache releases its algorithm sides too.
+        for evicted in &outcome.evicted {
+            self.algos.evict_owner(evicted);
+        }
         if !outcome.deduped {
             self.wake.notify_all();
             self.progress.notify_all();
@@ -388,6 +459,9 @@ impl Coordinator {
             points_cached: q.points.len(),
             point_hits: q.points.hits(),
             point_misses: q.points.misses(),
+            algo_cached: self.algos.len(),
+            algo_hits: self.algos.hits(),
+            algo_misses: self.algos.misses(),
         }
     }
 
@@ -600,6 +674,7 @@ impl Coordinator {
     ) -> Result<ShardLanding, String> {
         let mut state = self.lock();
         let landing = state.queue.complete_shard(executor, lease, report)?;
+        let mut journal_seq = 0;
         if !landing.ignored {
             let event = JournalEvent::ShardDone {
                 job: landing.job.clone(),
@@ -613,10 +688,14 @@ impl Coordinator {
                     .then(|| landing.report.clone())
                     .flatten(),
             };
-            state.journal(event);
-            self.journal_transition(&mut state, &landing);
+            journal_seq = state.journal(event);
+            journal_seq = journal_seq.max(self.journal_transition(&mut state, &landing));
         }
         drop(state);
+        self.await_journal(journal_seq);
+        for evicted in &landing.evicted {
+            self.algos.evict_owner(evicted);
+        }
         self.progress.notify_all();
         Ok(landing)
     }
@@ -630,21 +709,25 @@ impl Coordinator {
     ) -> Result<ShardLanding, String> {
         let mut state = self.lock();
         let landing = state.queue.fail_shard(executor, lease, error.clone())?;
+        let mut journal_seq = 0;
         if !landing.ignored {
             let event = JournalEvent::Failed {
                 job: landing.job.clone(),
                 error,
             };
-            state.journal(event);
+            journal_seq = state.journal(event);
         }
         drop(state);
+        self.await_journal(journal_seq);
         self.progress.notify_all();
         Ok(landing)
     }
 
     /// Journals a job reaching `Done`/`Failed` through a shard landing, plus
-    /// any evictions the finish triggered.
-    fn journal_transition(&self, state: &mut State, landing: &ShardLanding) {
+    /// any evictions the finish triggered; returns the last sequence number
+    /// journaled (0 if nothing was).
+    fn journal_transition(&self, state: &mut State, landing: &ShardLanding) -> u64 {
+        let mut seq = 0;
         match landing.status {
             JobStatus::Done => {
                 let report = state.queue.jobs[&landing.job].report.clone();
@@ -653,7 +736,7 @@ impl Coordinator {
                         job: landing.job.clone(),
                         report,
                     };
-                    state.journal(event);
+                    seq = state.journal(event);
                 }
             }
             JobStatus::Failed => {
@@ -665,7 +748,7 @@ impl Coordinator {
                     job: landing.job.clone(),
                     error,
                 };
-                state.journal(event);
+                seq = state.journal(event);
             }
             _ => {}
         }
@@ -673,8 +756,9 @@ impl Coordinator {
             let event = JournalEvent::Evict {
                 job: evicted.clone(),
             };
-            state.journal(event);
+            seq = state.journal(event);
         }
+        seq
     }
 
     /// Requeues expired leases and journals the requeues; called with the

@@ -13,14 +13,17 @@
 //!   coordinator requeues the shard for someone else.
 //!
 //! Both kinds run the exact same partial-shard runner
-//! ([`bitmod::shard::run_partial_shard_with_pool`]) over the exact grid
-//! indices the coordinator assigned — the unit's stride of the job's
-//! uncached remainder — so records are bit-identical wherever a shard
+//! ([`bitmod::shard::run_partial_shard_cached`]) over the exact grid
+//! indices the coordinator assigned — the unit's group-aware share of the
+//! job's uncached remainder — so records are bit-identical wherever a shard
 //! lands, and points another job already computed are never re-run.
+//! In-process executors consult the coordinator's daemon-lifetime
+//! [`bitmod::sweep::SweepAlgoCache`]; each remote worker process keeps its
+//! own, so algorithm sides are computed once per process either way.
 
 use crate::coordinator::Coordinator;
-use bitmod::shard::{run_partial_shard_with_pool, ShardSpec};
-use bitmod::sweep::SweepConfig;
+use bitmod::shard::{run_partial_shard_cached, ShardSpec};
+use bitmod::sweep::{SweepAlgoCache, SweepConfig};
 use bitmod_llm::eval::HarnessPool;
 use serde::{Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -37,7 +40,14 @@ pub(crate) fn run_local(coordinator: &Coordinator, index: usize) {
     while let Some(work) = coordinator.lease_blocking(&exec) {
         // A panicking shard must fail its job, not kill the executor.
         let result = catch_unwind(AssertUnwindSafe(|| {
-            run_partial_shard_with_pool(&work.config, work.shard, &work.indices, coordinator.pool())
+            run_partial_shard_cached(
+                &work.config,
+                work.shard,
+                &work.indices,
+                coordinator.pool(),
+                coordinator.algos(),
+                &work.job,
+            )
         }));
         let _ = match result {
             Ok(report) => coordinator.complete_shard(&exec, work.lease, report),
@@ -217,6 +227,11 @@ pub struct AttachOutcome {
     pub shards_failed: usize,
 }
 
+/// Upper bound on a remote worker's process-local algorithm cache.  Unlike
+/// the coordinator's cache, a worker never hears about job evictions, so a
+/// plain LRU cap is the only thing bounding it.
+const WORKER_ALGO_CACHE_CAP: usize = 256;
+
 /// The remote executor loop: attach to a daemon, lease shards, heartbeat
 /// while running, return reports, repeat until the daemon reports
 /// `shutting_down`.  A dropped connection triggers one full re-attach (the
@@ -225,6 +240,7 @@ pub struct AttachOutcome {
 pub fn attach_and_run(opts: &AttachOptions) -> Result<AttachOutcome, String> {
     let mut session = attach(opts)?;
     let pool = HarnessPool::new();
+    let algos = SweepAlgoCache::with_cap(WORKER_ALGO_CACHE_CAP);
     let mut shards_run = 0usize;
     let mut shards_failed = 0usize;
     let mut reconnects = 0usize;
@@ -287,7 +303,7 @@ pub fn attach_and_run(opts: &AttachOptions) -> Result<AttachOutcome, String> {
             Arc::clone(&stop),
         );
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_partial_shard_with_pool(&config, shard, &indices, &pool)
+            run_partial_shard_cached(&config, shard, &indices, &pool, &algos, &job)
         }))
         .map_err(panic_message);
         stop.store(true, Ordering::SeqCst);

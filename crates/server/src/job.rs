@@ -6,7 +6,8 @@
 //! [`crate::points::PointStore`] — every point some previous job already
 //! computed (record or skip) is served from cache — and only the remainder
 //! is decomposed into [`bitmod::shard::ShardSpec`] work units at accept
-//! time.  Executors — in-process threads or remote
+//! time, partitioned group-aware by [`bitmod::shard::plan_units`] so points
+//! sharing an algorithm side land on the same executor.  Executors — in-process threads or remote
 //! `bitmod-cli worker --attach` processes — *lease* work units one at a
 //! time; a lease either completes (the executor returns the
 //! [`ShardReport`], whose points feed back into the store) or expires
@@ -69,12 +70,21 @@ pub struct Job {
     /// `(grid index, outcome)` pairs — the cached half of the final report.
     pub cached: Vec<(usize, CachedPoint)>,
     /// The grid indices this job actually computes (ascending): the grid
-    /// minus the cached points.  Work unit `k/n` owns the remainder
-    /// positions `p` with `p % n == k`.
+    /// minus the cached points.  [`bitmod::shard::plan_units`] partitions it
+    /// group-aware into [`Job::units`] at decompose time.
     pub remainder: Arc<Vec<usize>>,
+    /// The exact grid indices each work unit computes, indexed by unit
+    /// index — the group-aware partition of [`Job::remainder`]: points
+    /// sharing an algorithm side land in the same unit whenever the unit
+    /// count allows, so one executor process computes each side once.
+    pub units: Vec<Vec<usize>>,
     /// Completed work-unit reports, indexed by unit index (`None` = not yet
     /// returned by any executor).
     pub shard_reports: Vec<Option<Arc<ShardReport>>>,
+    /// Algorithm-cache hits accumulated across this job's landed shards.
+    pub algo_hits: usize,
+    /// Algorithm sides this job's landed shards computed fresh.
+    pub algo_misses: usize,
     /// The completed (assembled) report, once `status == Done`.
     pub report: Option<Arc<SweepReport>>,
     /// The failure reason, once `status == Failed`.
@@ -105,6 +115,12 @@ pub struct JobView {
     pub skipped: Option<usize>,
     /// Sweep wall-clock seconds, once done.
     pub wall_seconds: Option<f64>,
+    /// Algorithm-cache hits across the job's landed shards (live execution
+    /// only — a journal-replayed job reports 0).
+    pub algo_hits: usize,
+    /// Algorithm sides the job's landed shards computed fresh (live
+    /// execution only — a journal-replayed job reports 0).
+    pub algo_misses: usize,
     /// The failure reason, if the job failed.
     pub error: Option<String>,
 }
@@ -123,6 +139,8 @@ impl Job {
             records: self.report.as_ref().map(|r| r.records.len()),
             skipped: self.report.as_ref().map(|r| r.skipped.len()),
             wall_seconds: self.report.as_ref().map(|r| r.wall_seconds),
+            algo_hits: self.algo_hits,
+            algo_misses: self.algo_misses,
             error: self.error.clone(),
         }
     }
@@ -161,8 +179,8 @@ pub struct WorkAssignment {
     pub shard: ShardSpec,
     /// The job's (canonicalized) sweep configuration.
     pub config: SweepConfig,
-    /// The exact grid indices this unit computes — the unit's stride of the
-    /// job's uncached remainder, not of the whole grid.
+    /// The exact grid indices this unit computes — its group-aware share of
+    /// the job's uncached remainder, not of the whole grid.
     pub indices: Vec<usize>,
 }
 
@@ -417,7 +435,10 @@ impl JobQueue {
                 points_total,
                 cached: Vec::new(),
                 remainder: Arc::new(Vec::new()),
+                units: Vec::new(),
                 shard_reports: Vec::new(),
+                algo_hits: 0,
+                algo_misses: 0,
                 report: None,
                 error: None,
             },
@@ -427,10 +448,13 @@ impl JobQueue {
     }
 
     /// Subtracts the job's canonical grid against the point store and
-    /// enqueues work units over the remainder: `min(shards_per_job,
-    /// remainder)` units, so no unit is ever empty.  A job whose grid the
-    /// store covers entirely is assembled and finished on the spot; the ids
-    /// of any jobs that finishing evicted are returned (empty otherwise).
+    /// enqueues work units over the remainder, partitioned **group-aware**
+    /// by [`bitmod::shard::plan_units`]: at most `min(shards_per_job,
+    /// algorithm groups)` units, each non-empty, with no algorithm group
+    /// ever split across units — so one executor process computes each
+    /// expensive algorithm side exactly once.  A job whose grid the store
+    /// covers entirely is assembled and finished on the spot; the ids of
+    /// any jobs that finishing evicted are returned (empty otherwise).
     ///
     /// Every cache hit registers the job as a co-owner of the point, so the
     /// cached half of its grid cannot be evicted out from under it.
@@ -448,15 +472,13 @@ impl JobQueue {
                 None => remainder.push(i),
             }
         }
-        let units = if remainder.is_empty() {
-            0
-        } else {
-            remainder.len().min(self.shards_per_job)
-        };
+        let unit_indices = bitmod::shard::plan_units(&config, &remainder, self.shards_per_job);
+        let units = unit_indices.len();
         {
             let job = self.jobs.get_mut(id).expect("decomposing id exists");
             job.cached = cached;
             job.remainder = Arc::new(remainder);
+            job.units = unit_indices;
             job.shard_reports = vec![None; units];
         }
         self.epoch += 1;
@@ -504,16 +526,10 @@ impl JobQueue {
                 expires: timeout.map(|t| Instant::now() + t),
             },
         );
-        // Unit k/n owns the remainder positions ≡ k (mod n) — the same
-        // strided rule as classic sharding, applied to the uncached
-        // remainder instead of the whole grid.
-        let indices: Vec<usize> = job
-            .remainder
-            .iter()
-            .enumerate()
-            .filter(|(p, _)| p % item.shard.count == item.shard.index)
-            .map(|(_, &i)| i)
-            .collect();
+        // Unit k owns the k-th group-aware partition of the uncached
+        // remainder, precomputed at decompose time by
+        // [`bitmod::shard::plan_units`].
+        let indices: Vec<usize> = job.units.get(item.shard.index).cloned().unwrap_or_default();
         Some(WorkAssignment {
             lease,
             job: item.job,
@@ -639,6 +655,8 @@ impl JobQueue {
         }
         let shard_progress = Some(report.progress());
         let (proxy, seed) = (job.config.proxy, job.config.seed);
+        job.algo_hits += report.algo_hits;
+        job.algo_misses += report.algo_misses;
         let report = Arc::new(report);
         job.shard_reports[shard.index] = Some(Arc::clone(&report));
         let done = job.shards_done();

@@ -19,14 +19,26 @@
 //! The journal then keeps growing in place — restart after restart appends
 //! to the same file, so the full submit/dispatch/complete history of a
 //! deployment is one greppable artifact.
+//!
+//! Appends are **sequenced, not synchronous**: [`Journal::append`] assigns
+//! the event a sequence number and hands it to a dedicated writer thread,
+//! which serializes, writes, and flushes off the caller's lock — so the
+//! coordinator no longer serializes a `done` event's full report while
+//! holding its state lock.  Event order is still bit-identical to the
+//! state-transition order (sequence numbers are assigned under that lock,
+//! and the channel preserves them), and durability-at-return is restored
+//! where it matters by blocking on [`JournalFlush::wait_for`] *after* the
+//! lock is released.  Dropping the journal drains and joins the writer, so
+//! every appended event is on disk before the file can be reopened.
 
 use bitmod::shard::{ShardProgress, ShardReport, ShardSpec};
 use bitmod::sweep::{SweepConfig, SweepReport};
 use serde::{Serialize, Value};
-use std::fs::{File, OpenOptions};
+use std::fs::OpenOptions;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// One journal line, in coordinator life-cycle order.
 #[derive(Debug, Clone)]
@@ -264,14 +276,44 @@ pub struct Replay {
     pub skipped_lines: usize,
 }
 
-/// The append handle for a state directory's journal.
+/// Flush progress shared between [`Journal::append`] callers and the writer
+/// thread: the highest sequence number durably on disk, plus a condvar to
+/// wait on it.  Obtained via [`Journal::flush_handle`] so callers can block
+/// on durability *without* holding whatever lock guards the journal itself.
+#[derive(Debug, Default)]
+pub struct JournalFlush {
+    flushed: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl JournalFlush {
+    /// Blocks until the event with sequence number `seq` has been written
+    /// and flushed (or its write failed — a full disk must degrade
+    /// durability, not deadlock the daemon; the writer warns on stderr).
+    pub fn wait_for(&self, seq: u64) {
+        let mut flushed = self.flushed.lock().expect("journal flush lock");
+        while *flushed < seq {
+            flushed = self.cond.wait(flushed).expect("journal flush lock");
+        }
+    }
+
+    fn advance(&self, seq: u64) {
+        let mut flushed = self.flushed.lock().expect("journal flush lock");
+        *flushed = (*flushed).max(seq);
+        self.cond.notify_all();
+    }
+}
+
+/// The append handle for a state directory's journal.  Serialization and
+/// I/O happen on a dedicated writer thread (see the module docs); dropping
+/// the handle drains and joins it.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: File,
-    /// Whether an append failure has been reported yet (warn once, not per
-    /// event — a full disk would otherwise flood stderr).
-    write_failure_reported: bool,
+    sender: Option<mpsc::Sender<(u64, JournalEvent)>>,
+    writer: Option<JoinHandle<()>>,
+    seq: u64,
+    flush: Arc<JournalFlush>,
 }
 
 impl Journal {
@@ -310,11 +352,46 @@ impl Journal {
                 .and_then(|_| file.flush())
                 .map_err(|e| format!("could not heal {}: {e}", path.display()))?;
         }
+        let flush = Arc::new(JournalFlush::default());
+        let (sender, receiver) = mpsc::channel::<(u64, JournalEvent)>();
+        let writer = {
+            let flush = Arc::clone(&flush);
+            let path = path.clone();
+            std::thread::spawn(move || {
+                // A full disk or yanked volume must not take the daemon down
+                // with a panic; the in-memory state stays authoritative for
+                // this process.  But silence would let durability lapse
+                // unnoticed — say so once, not per event.
+                let mut write_failure_reported = false;
+                for (seq, event) in receiver {
+                    let result = writeln!(file, "{}", event.to_line()).and_then(|_| file.flush());
+                    match result {
+                        Err(e) => {
+                            if !write_failure_reported {
+                                write_failure_reported = true;
+                                eprintln!(
+                                    "[serve] journal write to {} failed ({e}) — durability is \
+                                     lapsing; jobs finished from here on will NOT survive a \
+                                     restart",
+                                    path.display()
+                                );
+                            }
+                        }
+                        Ok(()) => write_failure_reported = false,
+                    }
+                    // Advance even on failure: durability degrades, waiters
+                    // must not deadlock.
+                    flush.advance(seq);
+                }
+            })
+        };
         Ok((
             Journal {
                 path,
-                file,
-                write_failure_reported: false,
+                sender: Some(sender),
+                writer: Some(writer),
+                seq: 0,
+                flush,
             },
             Replay {
                 events,
@@ -323,30 +400,54 @@ impl Journal {
         ))
     }
 
-    /// Appends one event (line-buffered; flushed before returning so a
-    /// `kill -9` loses at most the event being written).
-    pub fn append(&mut self, event: &JournalEvent) {
-        // A full disk or yanked volume must not take the daemon down with a
-        // panic; the in-memory state stays authoritative for this process.
-        // But silence would let durability lapse unnoticed — say so once.
-        let result = writeln!(self.file, "{}", event.to_line()).and_then(|_| self.file.flush());
-        if let Err(e) = result {
-            if !self.write_failure_reported {
-                self.write_failure_reported = true;
-                eprintln!(
-                    "[serve] journal write to {} failed ({e}) — durability is lapsing; \
-                     jobs finished from here on will NOT survive a restart",
-                    self.path.display()
-                );
-            }
-        } else {
-            self.write_failure_reported = false;
+    /// Queues one event for the writer thread and returns its sequence
+    /// number.  Call under whatever lock orders the events — sequence
+    /// numbers (and the channel) preserve exactly that order on disk — then
+    /// release the lock and pass the number to [`JournalFlush::wait_for`]
+    /// when the caller must not return before the event is durable.
+    pub fn append(&mut self, event: &JournalEvent) -> u64 {
+        self.seq += 1;
+        let seq = self.seq;
+        // Cloning is cheap by construction: the bulky payloads (shard and
+        // sweep reports) live behind `Arc`s.
+        let undeliverable = match &self.sender {
+            Some(sender) => sender.send((seq, event.clone())).is_err(),
+            None => true,
+        };
+        if undeliverable {
+            // The writer is gone (only possible once teardown began);
+            // unblock any waiter rather than stranding it.
+            self.flush.advance(seq);
         }
+        seq
+    }
+
+    /// The highest sequence number assigned so far (0 = nothing appended).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The flush tracker, for blocking on durability without holding the
+    /// lock that guards this `Journal`.
+    pub fn flush_handle(&self) -> Arc<JournalFlush> {
+        Arc::clone(&self.flush)
     }
 
     /// The journal file's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+impl Drop for Journal {
+    /// Drains and joins the writer thread: every appended event is written
+    /// and flushed before the handle is gone, so a drop-then-reopen sees
+    /// the complete journal.
+    fn drop(&mut self) {
+        self.sender.take(); // hang up: the writer's receive loop ends
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
     }
 }
 

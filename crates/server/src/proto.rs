@@ -23,9 +23,12 @@
 //! the connection and pushes `event` lines as shards land.  A `lease`
 //! response's `work.indices` array names the exact grid indices the unit
 //! computes (the coordinator's point-level result cache may have covered
-//! the rest), `status`/`list` views carry `points_total`/`points_cached`,
-//! and `ping` stats include the cache's `points_cached`, `point_hits`, and
-//! `point_misses` counters plus the live dispatch gauges `queue_depth`
+//! the rest), `status`/`list` views carry `points_total`/`points_cached`
+//! plus the job's `algo_hits`/`algo_misses` (algorithm sides reused vs
+//! computed fresh across its landed shards), and `ping` stats include the
+//! point cache's `points_cached`, `point_hits`, and `point_misses`
+//! counters, the algorithm-group cache's `algo_cached`, `algo_hits`, and
+//! `algo_misses` counters, plus the live dispatch gauges `queue_depth`
 //! (work units awaiting an executor) and `in_flight_shards` (work units
 //! currently leased) that `bitmod-cli loadgen` samples.
 //!

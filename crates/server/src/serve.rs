@@ -118,8 +118,8 @@ fn handle_request(coordinator: &Coordinator, request: Request) -> (String, bool)
                     ("job".to_string(), Value::Str(w.job)),
                     ("shard".to_string(), Value::Str(w.shard.label())),
                     ("config".to_string(), w.config.to_value()),
-                    // The exact grid indices this unit computes — the
-                    // unit's stride of the job's uncached remainder.
+                    // The exact grid indices this unit computes — its
+                    // group-aware share of the job's uncached remainder.
                     (
                         "indices".to_string(),
                         Value::Seq(w.indices.iter().map(|&i| Value::U64(i as u64)).collect()),
@@ -329,6 +329,11 @@ fn view_value(view: &JobView) -> Value {
         (
             "points_cached".to_string(),
             Value::U64(view.points_cached as u64),
+        ),
+        ("algo_hits".to_string(), Value::U64(view.algo_hits as u64)),
+        (
+            "algo_misses".to_string(),
+            Value::U64(view.algo_misses as u64),
         ),
     ];
     if let Some(n) = view.records {

@@ -1,0 +1,367 @@
+//! Algorithm-group reuse property test: the daemon-wide algorithm cache and
+//! the group-aware work partitioning must be invisible in results and
+//! exactly predictable in their accounting.
+//!
+//! Each case draws two grids that vary the *hardware* axes (task shape,
+//! accelerator, scale dtype) on top of the classic bit-width axis, submits
+//! them sequentially through a multi-shard daemon, and asserts that
+//!
+//! 1. every report is bit-identical (records JSON, CSV rendering, and skip
+//!    list) to a direct, cache-free sweep of the same grid, and
+//! 2. the daemon's `algo_hits` / `algo_misses` counters land exactly on the
+//!    plan-derived prediction: a cold job misses once per distinct
+//!    [`AlgoKey`] of its uncached remainder (group-aware units never split a
+//!    group, so no group is computed twice), and a second overlapping job
+//!    hits once per remainder group the first job already published.
+//!
+//! Real pipelines run per case, so the case count is capped like the
+//! recovery suite's.  A separate pipeline-free property test pins the
+//! [`plan_units`] partition itself: units cover the remainder disjointly,
+//! never split an algorithm group, and number `min(max_units, groups)`.
+
+use bitmod::accel::AcceleratorKind;
+use bitmod::llm::config::LlmModel;
+use bitmod::llm::memory::TaskShape;
+use bitmod::llm::proxy::ProxyConfig;
+use bitmod::quant::ScaleDtype;
+use bitmod::shard::plan_units;
+use bitmod::sweep::{AlgoKey, SweepConfig, SweepReport};
+use bitmod_server::coordinator::{Coordinator, CoordinatorConfig};
+use bitmod_server::job::JobStatus;
+use proptest::prelude::Strategy;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Mutex, OnceLock};
+
+/// One drawn grid: bit widths (straddling validity, as in the overlap
+/// suite) crossed with hardware axes that multiply points *without*
+/// multiplying algorithm groups — task shapes and accelerators — plus an
+/// optional second scale dtype, which does multiply groups.
+#[derive(Debug, Clone, PartialEq)]
+struct GridSpec {
+    bits: Vec<u8>,
+    tasks: Vec<TaskShape>,
+    accelerators: Vec<AcceleratorKind>,
+    scale_fp16: bool,
+}
+
+fn grid_cfg(spec: &GridSpec) -> SweepConfig {
+    let mut cfg = SweepConfig::new(vec![LlmModel::Phi2B], spec.bits.clone())
+        .with_proxy(ProxyConfig::tiny())
+        .with_tasks(spec.tasks.clone())
+        .with_accelerators(spec.accelerators.clone());
+    if spec.scale_fp16 {
+        cfg = cfg.with_scale_dtypes(vec![ScaleDtype::Int(8), ScaleDtype::Fp16]);
+    }
+    cfg
+}
+
+/// Uninterrupted direct baselines, one per distinct spec, computed once per
+/// test binary (cases frequently re-draw the same small grids).
+fn baseline(spec: &GridSpec) -> SweepReport {
+    static CACHE: OnceLock<Mutex<HashMap<String, SweepReport>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("baseline cache lock");
+    cache
+        .entry(format!("{spec:?}"))
+        .or_insert_with(|| grid_cfg(spec).canonicalized().run())
+        .clone()
+}
+
+fn records_json(report: &SweepReport) -> String {
+    serde_json::to_string(&report.records).expect("records serialize")
+}
+
+/// The canonical expansion of a spec: per point, its point-store cache key
+/// and its algorithm group (`None` for invalid points, which the sweep
+/// skips and [`plan_units`] treats as singleton groups).
+fn expansion(spec: &GridSpec) -> Vec<(String, Option<AlgoKey>)> {
+    let cfg = grid_cfg(spec).canonicalized();
+    cfg.grid()
+        .iter()
+        .map(|p| (p.cache_key(&cfg.proxy, cfg.seed), p.algo_key().ok()))
+        .collect()
+}
+
+/// Draws a non-empty sorted subset of the 2..=5 bit widths (BitMoD covers
+/// only 3–4, so drawn grids exercise skip handling too).
+fn draw_bits(rng: &mut proptest::TestRng) -> Vec<u8> {
+    let mut bits: Vec<u8> = (2u8..=5).filter(|_| (0u8..=1).sample(rng) == 1).collect();
+    if bits.is_empty() {
+        bits.push((3u8..=4).sample(rng));
+    }
+    bits
+}
+
+fn draw_spec(rng: &mut proptest::TestRng) -> GridSpec {
+    let tasks = match (0u8..=2).sample(rng) {
+        0 => vec![TaskShape::GENERATIVE],
+        1 => vec![TaskShape::DISCRIMINATIVE],
+        _ => vec![TaskShape::GENERATIVE, TaskShape::DISCRIMINATIVE],
+    };
+    const ACCELS: [AcceleratorKind; 3] = [
+        AcceleratorKind::BitModLossy,
+        AcceleratorKind::Ant,
+        AcceleratorKind::BaselineFp16,
+    ];
+    let mut accelerators: Vec<AcceleratorKind> = ACCELS
+        .into_iter()
+        .filter(|_| (0u8..=1).sample(rng) == 1)
+        .collect();
+    if accelerators.is_empty() {
+        accelerators.push(AcceleratorKind::BitModLossy);
+    }
+    GridSpec {
+        bits: draw_bits(rng),
+        tasks,
+        accelerators,
+        scale_fp16: (0u8..=1).sample(rng) == 1,
+    }
+}
+
+/// What the daemon must report for one job: derived purely from the two
+/// expansions, before anything runs.
+struct Prediction {
+    /// Remainder after point-store subtraction (grid indices don't matter
+    /// here, only counts and groups).
+    remainder_points: usize,
+    /// Invalid remainder points (singleton groups, no algorithm work).
+    remainder_invalid: usize,
+    /// Distinct algorithm groups of the valid remainder.
+    groups: Vec<AlgoKey>,
+    /// Remainder groups already published by the previous job.
+    hits: usize,
+}
+
+impl Prediction {
+    /// The job's remainder against the point keys already in the store and
+    /// the algorithm groups already in the cache.
+    fn of(spec: &GridSpec, stored: &HashSet<String>, cached: &HashSet<AlgoKey>) -> Prediction {
+        let mut groups = Vec::new();
+        let mut remainder_points = 0;
+        let mut remainder_invalid = 0;
+        for (key, algo) in expansion(spec) {
+            if stored.contains(&key) {
+                continue;
+            }
+            remainder_points += 1;
+            match algo {
+                Some(k) if !groups.contains(&k) => groups.push(k),
+                Some(_) => {}
+                None => remainder_invalid += 1,
+            }
+        }
+        let hits = groups.iter().filter(|k| cached.contains(k)).count();
+        Prediction {
+            remainder_points,
+            remainder_invalid,
+            groups,
+            hits,
+        }
+    }
+
+    fn misses(&self) -> usize {
+        self.groups.len() - self.hits
+    }
+
+    /// Work units the coordinator must dispatch: `plan_units` packs the
+    /// valid groups plus one singleton per invalid point into
+    /// `min(shards, groups)` units.
+    fn units(&self, shards: usize) -> usize {
+        shards.min(self.groups.len() + self.remainder_invalid)
+    }
+}
+
+#[test]
+fn overlapping_grids_reuse_algorithm_groups_and_stay_bit_identical() {
+    // Real pipelines per case: cap well below the global PROPTEST_CASES.
+    let cases = proptest::cases().min(2);
+    let mut rng = proptest::TestRng::new(proptest::seed_for(
+        "overlapping_grids_reuse_algorithm_groups_and_stay_bit_identical",
+    ));
+    for case in 0..cases {
+        let spec_a = draw_spec(&mut rng);
+        let spec_b = draw_spec(&mut rng);
+        let shards = (1usize..=4).sample(&mut rng);
+
+        // Plan-derived ground truth.  Job A starts against an empty daemon;
+        // job B starts against A's point store and algorithm cache.
+        let empty_store = HashSet::new();
+        let empty_cache = HashSet::new();
+        let predict_a = Prediction::of(&spec_a, &empty_store, &empty_cache);
+        let stored_a: HashSet<String> = expansion(&spec_a).into_iter().map(|(k, _)| k).collect();
+        let cached_a: HashSet<AlgoKey> = predict_a.groups.iter().copied().collect();
+        let predict_b = Prediction::of(&spec_b, &stored_a, &cached_a);
+
+        let handle = Coordinator::start(CoordinatorConfig {
+            workers: 2,
+            shards,
+            ..CoordinatorConfig::default()
+        });
+        let c = handle.coordinator();
+
+        // Job A: everything is a remainder, every group a cold miss.
+        let out_a = c.submit(&grid_cfg(&spec_a));
+        c.drain();
+        let stats_a = c.stats();
+        let view_a = c.status(&out_a.job_id).expect("job A exists");
+        assert_eq!(view_a.status, JobStatus::Done, "case {case}");
+        assert_eq!(
+            (view_a.algo_hits, view_a.algo_misses),
+            (0, predict_a.groups.len()),
+            "case {case} ({spec_a:?}): a cold job computes each group exactly once"
+        );
+        assert_eq!(
+            view_a.shards_total,
+            predict_a.units(shards),
+            "case {case}: group-aware units for the cold grid"
+        );
+        assert_eq!(
+            (stats_a.algo_hits, stats_a.algo_misses, stats_a.algo_cached),
+            (0, predict_a.groups.len() as u64, predict_a.groups.len()),
+            "case {case}: daemon cache accounting after the cold job"
+        );
+
+        // Job B: the point-store overlap never reaches the executors; the
+        // algorithm overlap of what remains is served from the cache.
+        let out_b = c.submit(&grid_cfg(&spec_b));
+        c.drain();
+        let stats_b = c.stats();
+
+        if out_b.deduped {
+            // Identical canonical grids take the whole-job dedup fast path.
+            assert_eq!(
+                predict_b.remainder_points, 0,
+                "case {case}: dedup implies a fully overlapping grid"
+            );
+            assert_eq!(stats_b.algo_hits, stats_a.algo_hits);
+            assert_eq!(stats_b.algo_misses, stats_a.algo_misses);
+        } else {
+            let view_b = c.status(&out_b.job_id).expect("job B exists");
+            assert_eq!(view_b.status, JobStatus::Done, "case {case}");
+            assert_eq!(
+                (view_b.algo_hits, view_b.algo_misses),
+                (predict_b.hits, predict_b.misses()),
+                "case {case} ({spec_a:?} then {spec_b:?}): remainder groups split \
+                 exactly into cached vs fresh"
+            );
+            assert_eq!(
+                view_b.shards_total,
+                predict_b.units(shards),
+                "case {case}: group-aware units for the remainder"
+            );
+            assert_eq!(
+                stats_b.algo_hits - stats_a.algo_hits,
+                predict_b.hits as u64,
+                "case {case}: every reused group is a cache hit"
+            );
+            assert_eq!(
+                stats_b.algo_misses - stats_a.algo_misses,
+                predict_b.misses() as u64,
+                "case {case}: every fresh group is a cache miss"
+            );
+        }
+
+        // Bit-identity against cache-free direct sweeps, in the records
+        // JSON, the rendered CSV, and the skip list — for both jobs.
+        for (label, spec, out) in [("A", &spec_a, &out_a), ("B", &spec_b, &out_b)] {
+            let served = c.result(&out.job_id).unwrap().unwrap();
+            let direct = baseline(spec);
+            assert_eq!(
+                records_json(&served),
+                records_json(&direct),
+                "case {case} job {label} ({spec:?}, {shards} shards): cached + \
+                 fresh assembly diverged from the direct sweep"
+            );
+            assert_eq!(
+                served.to_csv(),
+                direct.to_csv(),
+                "case {case} job {label}: CSV rendering diverged"
+            );
+            assert_eq!(
+                served.skipped, direct.skipped,
+                "case {case} job {label}: skip list diverged"
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn plan_units_covers_the_remainder_without_splitting_groups() {
+    // No pipelines run here — partitioning is pure planning — so this can
+    // afford the full configured case count.
+    let cases = proptest::cases();
+    let mut rng = proptest::TestRng::new(proptest::seed_for(
+        "plan_units_covers_the_remainder_without_splitting_groups",
+    ));
+    for case in 0..cases {
+        let spec = draw_spec(&mut rng);
+        let cfg = grid_cfg(&spec).canonicalized();
+        let grid = cfg.grid();
+        let remainder: Vec<usize> = (0..grid.len())
+            .filter(|_| (0u8..=1).sample(&mut rng) == 1)
+            .collect();
+        let max_units = (1usize..=6).sample(&mut rng);
+
+        let units = plan_units(&cfg, &remainder, max_units);
+
+        // Disjoint cover: the units' indices are exactly the remainder.
+        let mut covered: Vec<usize> = units.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        let mut expected = remainder.clone();
+        expected.sort_unstable();
+        assert_eq!(
+            covered, expected,
+            "case {case} ({spec:?}): units must partition the remainder"
+        );
+
+        // Unit count: min(max_units, groups), where invalid points are
+        // singleton groups; no unit is empty.
+        let mut group_keys: Vec<AlgoKey> = Vec::new();
+        let mut invalid = 0usize;
+        for &i in &remainder {
+            match grid[i].algo_key().ok() {
+                Some(k) if !group_keys.contains(&k) => group_keys.push(k),
+                Some(_) => {}
+                None => invalid += 1,
+            }
+        }
+        let groups = group_keys.len() + invalid;
+        let expected_units = if remainder.is_empty() {
+            0
+        } else {
+            max_units.min(groups)
+        };
+        assert_eq!(
+            units.len(),
+            expected_units,
+            "case {case}: units must number min(max_units, groups)"
+        );
+        assert!(
+            units.iter().all(|u| !u.is_empty()),
+            "case {case}: no unit may be empty"
+        );
+
+        // Never split: each algorithm group lands in exactly one unit, even
+        // when units are scarce (groups ≥ units) and packing is tight.
+        let mut owner: HashMap<AlgoKey, usize> = HashMap::new();
+        for (u, unit) in units.iter().enumerate() {
+            for &i in unit {
+                if let Ok(key) = grid[i].algo_key() {
+                    let claimed = *owner.entry(key).or_insert(u);
+                    assert_eq!(
+                        claimed, u,
+                        "case {case}: group {key:?} split across units {claimed} and {u}"
+                    );
+                }
+            }
+        }
+
+        // Deterministic: the partition is a pure function of its inputs.
+        assert_eq!(
+            units,
+            plan_units(&cfg, &remainder, max_units),
+            "case {case}: plan_units must be deterministic"
+        );
+    }
+}
