@@ -36,6 +36,11 @@ pub struct MicroBench {
     pub stddev_ms: Option<f64>,
     /// Iterations measured.
     pub iters: usize,
+    /// Mean heap allocations per iteration, measured by the counting
+    /// allocator registered in the `bitmod-cli` binary.  `None` for history
+    /// entries written before the allocation probe existed (and in builds
+    /// where the probe is not the global allocator).
+    pub allocs: Option<u64>,
 }
 
 impl serde::Deserialize for MicroBench {
@@ -49,6 +54,12 @@ impl serde::Deserialize for MicroBench {
                 Some((_, v)) => Option::<f64>::from_value(v),
             }
         };
+        let opt_u64 = |key: &str| -> Result<Option<u64>, serde::Error> {
+            match m.iter().find(|(k, _)| k == key) {
+                None => Ok(None),
+                Some((_, v)) => Option::<u64>::from_value(v),
+            }
+        };
         Ok(MicroBench {
             name: serde::from_map(m, "name", "MicroBench")?,
             mean_ms: serde::from_map(m, "mean_ms", "MicroBench")?,
@@ -57,6 +68,8 @@ impl serde::Deserialize for MicroBench {
             max_ms: opt("max_ms")?,
             stddev_ms: opt("stddev_ms")?,
             iters: serde::from_map(m, "iters", "MicroBench")?,
+            // And pre-allocation-probe entries lack this one.
+            allocs: opt_u64("allocs")?,
         })
     }
 }
@@ -304,13 +317,21 @@ pub fn run_hardware_bench(label: &str, quick: bool, runs: usize, seed: u64) -> B
 /// through [`criterion::SampleStats`] (the same statistics the vendored
 /// bench harness prints).
 fn micro<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> MicroBench {
+    use bitmod::tensor::alloc_probe;
+
     let _ = std::hint::black_box(f()); // warm-up
     let mut samples = Vec::with_capacity(iters);
+    let allocs_before = alloc_probe::alloc_count();
     for _ in 0..iters {
         let t0 = Instant::now();
         let _ = std::hint::black_box(f());
         samples.push(t0.elapsed().as_secs_f64() * 1e3);
     }
+    let alloc_delta = alloc_probe::alloc_count() - allocs_before;
+    // Mean allocations per iteration — only meaningful when the binary
+    // registered the counting allocator (bitmod-cli does); elsewhere the
+    // counters stay at zero and the field stays `None`.
+    let allocs = alloc_probe::probe_active().then(|| alloc_delta / iters.max(1) as u64);
     let stats = criterion::SampleStats::from_values(&samples);
     MicroBench {
         name: name.to_string(),
@@ -319,6 +340,7 @@ fn micro<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> MicroBench {
         max_ms: Some(stats.max),
         stddev_ms: Some(stats.stddev),
         iters: stats.iters,
+        allocs,
     }
 }
 
@@ -373,6 +395,21 @@ pub fn run_micro_benches(quick: bool) -> Vec<MicroBench> {
         windows.iter().map(|w| model.forward(w)).collect::<Vec<_>>()
     });
 
+    // The steady-state point evaluation on a warm harness: with the pooled
+    // scratch arenas this is the entry whose `allocs` must read 0 (the
+    // alloc_audit test gates it; this measurement puts the number in the
+    // committed history).
+    let harness = EvalHarness::with_config(LlmModel::Phi2B, ProxyConfig::tiny(), 42);
+    let quantized = harness.reference.quantized(&QuantConfig::new(
+        QuantMethod::bitmod(4),
+        Granularity::PerGroup(64),
+    ));
+    let warm_eval = micro("harness_evaluate_warm_tiny", iters, || {
+        let p = harness.evaluate_model(&quantized);
+        let a = harness.accuracy_percent(&quantized);
+        (p, a)
+    });
+
     vec![
         adaptive,
         adaptive_ref,
@@ -381,6 +418,7 @@ pub fn run_micro_benches(quick: bool) -> Vec<MicroBench> {
         forward,
         batched,
         windowed,
+        warm_eval,
     ]
 }
 
@@ -409,13 +447,18 @@ pub fn run_bench(label: &str, quick: bool, runs: usize, seed: u64) -> BenchEntry
     eprintln!("[bench] micro-benchmarks...");
     let micro = run_micro_benches(quick);
     for m in &micro {
+        let allocs = m
+            .allocs
+            .map(|a| format!(" / {a} allocs"))
+            .unwrap_or_default();
         eprintln!(
-            "[bench]   {:<40} mean {:>9.3} / min {:>9.3} / max {:>9.3} / stddev {:>8.3} ms",
+            "[bench]   {:<40} mean {:>9.3} / min {:>9.3} / max {:>9.3} / stddev {:>8.3} ms{}",
             m.name,
             m.mean_ms,
             m.best_ms,
             m.max_ms.unwrap_or(f64::NAN),
-            m.stddev_ms.unwrap_or(f64::NAN)
+            m.stddev_ms.unwrap_or(f64::NAN),
+            allocs
         );
     }
     BenchEntry {
@@ -567,6 +610,7 @@ mod tests {
                 max_ms: Some(1.2),
                 stddev_ms: Some(0.1),
                 iters: 3,
+                allocs: Some(12),
             }],
             notes: Some("control 0.9s".into()),
         };
@@ -576,6 +620,7 @@ mod tests {
         assert_eq!(appended.history.len(), 2);
         assert_eq!(appended.history[0].label, "t");
         assert_eq!(appended.history[0].micro[0].max_ms, Some(1.2));
+        assert_eq!(appended.history[0].micro[0].allocs, Some(12));
         assert_eq!(appended.history[0].grid_name(), HARDWARE_GRID);
         assert_eq!(appended.history[0].notes.as_deref(), Some("control 0.9s"));
         assert!(append_entry(Some("not json"), appended.history[0].clone()).is_err());
@@ -598,6 +643,7 @@ mod tests {
         assert_eq!(m.mean_ms, 1.5);
         assert_eq!(m.max_ms, None);
         assert_eq!(m.stddev_ms, None);
+        assert_eq!(m.allocs, None, "pre-probe entries parse with no allocs");
         // Entries written before `--grid` existed ran the default grid.
         assert_eq!(report.history[0].grid_name(), DEFAULT_GRID);
         assert_eq!(report.history[0].notes, None);
@@ -650,6 +696,7 @@ mod tests {
                 max_ms: None,
                 stddev_ms: None,
                 iters: 3,
+                allocs: None,
             }],
             notes: None,
         }

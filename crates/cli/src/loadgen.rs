@@ -1,11 +1,20 @@
-//! `bitmod-cli loadgen` — an open-loop load generator for the serve daemon.
+//! `bitmod-cli loadgen` — an open- or closed-loop load generator for the
+//! serve daemon.
 //!
 //! The generator plans a *deterministic* workload up front — arrival
 //! offsets, job sizes, and overlap membership are all drawn from the
 //! in-tree seeded ChaCha RNG before the first connection opens, never from
 //! the wall clock — then replays it against a live daemon over N concurrent
-//! TCP clients, watching every job to completion.  Three seams are plain
-//! library code so the test suites can pin them without a daemon:
+//! TCP clients, watching every job to completion.  Two replay disciplines
+//! share that one plan: the open-loop default submits each job at its
+//! planned arrival offset regardless of how the daemon is keeping up (the
+//! honest way to measure latency under offered load), while
+//! `--closed-loop <K>` ignores the offsets and keeps exactly K jobs in
+//! flight — each of K workers pulls the next planned job the moment its
+//! previous one completes (the honest way to measure capacity).  Both
+//! modes submit the identical grids, so their per-job report hashes match
+//! bit for bit.  Three seams are plain library code so the test suites can
+//! pin them without a daemon:
 //!
 //! * [`LatencyRecorder`] — a bounded-staging reservoir with *exact*
 //!   percentiles: samples land in a small unsorted staging buffer (the
@@ -37,7 +46,7 @@ use bitmod::sweep::SweepConfig;
 use bitmod::tensor::SeededRng;
 use bitmod_server::proto;
 use serde::{Deserialize, Serialize, Value};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -265,6 +274,10 @@ pub struct LoadConfig {
     /// Run the grids at tiny proxy size (the load-test default; standard
     /// size measures real sweep latencies instead).
     pub tiny_proxy: bool,
+    /// `Some(k)`: closed-loop replay — k workers keep exactly k jobs in
+    /// flight, each submitting its next planned job on completion; arrival
+    /// offsets (and `clients`) are ignored.  `None`: the open-loop default.
+    pub closed_loop: Option<usize>,
     /// How often the sampler thread polls the daemon's `ping` gauges.
     pub ping_every: Duration,
 }
@@ -280,6 +293,7 @@ impl Default for LoadConfig {
             mix: [6, 3, 1],
             overlap: 0.5,
             tiny_proxy: true,
+            closed_loop: None,
             ping_every: Duration::from_millis(100),
         }
     }
@@ -711,14 +725,52 @@ fn run_client(addr: &str, jobs: &[PlannedJob], start: Instant) -> Result<ClientR
     Ok(result)
 }
 
-/// Runs the full load: plan, prime the overlap grid, storm the daemon from
-/// `cfg.clients` concurrent connections, and assemble the report.
+/// One closed-loop worker: pull the next planned job off the shared cursor
+/// the moment the previous one completes, keeping exactly one job of the
+/// fixed-concurrency window in flight per worker.  Failure handling matches
+/// [`run_client`]: a per-job failure is recorded and the connection
+/// reopened; only a connection that cannot be reopened aborts the worker.
+fn run_closed_worker(
+    addr: &str,
+    jobs: &[PlannedJob],
+    next: &AtomicUsize,
+) -> Result<ClientResult, String> {
+    let mut client = Client::connect(addr)?;
+    let mut result = ClientResult {
+        outcomes: Vec::new(),
+        job_latency: LatencyRecorder::new(),
+        shard_latency: LatencyRecorder::new(),
+    };
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(job) = jobs.get(i) else {
+            return Ok(result);
+        };
+        match run_job(&mut client, job, &mut result.shard_latency) {
+            Ok(outcome) => {
+                result.job_latency.record(outcome.latency_ns);
+                result.outcomes.push(outcome);
+            }
+            Err(e) => {
+                result.outcomes.push(failed_outcome(job, e));
+                client = Client::connect(addr)?;
+            }
+        }
+    }
+}
+
+/// Runs the full load: plan, prime the overlap grid, storm the daemon —
+/// open-loop from `cfg.clients` connections at the planned offsets, or
+/// closed-loop from `cfg.closed_loop` workers — and assemble the report.
 pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
     if cfg.clients == 0 {
         return Err("loadgen needs at least one client".to_string());
     }
     if cfg.jobs == 0 {
         return Err("loadgen needs at least one job".to_string());
+    }
+    if cfg.closed_loop == Some(0) {
+        return Err("--closed-loop needs at least one worker".to_string());
     }
     let plan = plan(cfg);
 
@@ -751,18 +803,36 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
 
     let start = Instant::now();
     let mut handles = Vec::new();
-    for c in 0..cfg.clients {
-        let mine: Vec<PlannedJob> = plan
-            .jobs
-            .iter()
-            .filter(|j| j.index % cfg.clients == c)
-            .cloned()
-            .collect();
-        if mine.is_empty() {
-            continue;
+    match cfg.closed_loop {
+        Some(k) => {
+            // Fixed concurrency: k workers share one cursor over the plan,
+            // so exactly min(k, remaining) jobs are in flight at all times.
+            let shared: Arc<Vec<PlannedJob>> = Arc::new(plan.jobs.clone());
+            let next = Arc::new(AtomicUsize::new(0));
+            for _ in 0..k.min(plan.jobs.len()) {
+                let addr = cfg.addr.clone();
+                let jobs = Arc::clone(&shared);
+                let next = Arc::clone(&next);
+                handles.push(std::thread::spawn(move || {
+                    run_closed_worker(&addr, &jobs, &next)
+                }));
+            }
         }
-        let addr = cfg.addr.clone();
-        handles.push(std::thread::spawn(move || run_client(&addr, &mine, start)));
+        None => {
+            for c in 0..cfg.clients {
+                let mine: Vec<PlannedJob> = plan
+                    .jobs
+                    .iter()
+                    .filter(|j| j.index % cfg.clients == c)
+                    .cloned()
+                    .collect();
+                if mine.is_empty() {
+                    continue;
+                }
+                let addr = cfg.addr.clone();
+                handles.push(std::thread::spawn(move || run_client(&addr, &mine, start)));
+            }
+        }
     }
     let mut outcomes = Vec::new();
     let mut job_rec = LatencyRecorder::new();
@@ -851,11 +921,16 @@ pub fn run(cfg: &LoadConfig) -> Result<LoadReport, String> {
 /// One load run in the serving-performance history (`BENCH_serve.json`),
 /// the daemon-side twin of the sweep bench's `BenchEntry`.  Latency fields
 /// are 0 when the run produced no such samples (e.g. no dispatched shards).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `closed_loop` is optional because history files written before the
+/// fixed-concurrency mode existed carry no such field; old entries parse
+/// with `None` (meaning: an open-loop run) rather than invalidating the
+/// committed history.
+#[derive(Debug, Clone, Serialize)]
 pub struct ServeBenchEntry {
     /// Free-form label (`--label`).
     pub label: String,
-    /// Concurrent clients.
+    /// Concurrent clients (open loop) — ignored by closed-loop runs.
     pub clients: usize,
     /// Scheduled jobs.
     pub jobs: usize,
@@ -869,6 +944,9 @@ pub struct ServeBenchEntry {
     pub mix: String,
     /// Proxy size (`tiny` / `standard`).
     pub proxy: String,
+    /// `Some(k)`: a closed-loop run with k fixed-concurrency workers;
+    /// `None`: the open-loop arrival schedule (and every legacy entry).
+    pub closed_loop: Option<usize>,
     /// Jobs completed / failed / deduped.
     pub completed: usize,
     /// Jobs that failed.
@@ -903,6 +981,48 @@ pub struct ServeBenchEntry {
     pub executor_utilization: f64,
     /// Whole run, seconds.
     pub wall_seconds: f64,
+}
+
+impl serde::Deserialize for ServeBenchEntry {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("a map", "ServeBenchEntry"))?;
+        const WHO: &str = "ServeBenchEntry";
+        Ok(ServeBenchEntry {
+            label: serde::from_map(m, "label", WHO)?,
+            clients: serde::from_map(m, "clients", WHO)?,
+            jobs: serde::from_map(m, "jobs", WHO)?,
+            seed: serde::from_map(m, "seed", WHO)?,
+            mean_gap_ms: serde::from_map(m, "mean_gap_ms", WHO)?,
+            overlap: serde::from_map(m, "overlap", WHO)?,
+            mix: serde::from_map(m, "mix", WHO)?,
+            proxy: serde::from_map(m, "proxy", WHO)?,
+            // Pre-closed-loop history entries lack this field: they were
+            // all open-loop runs.
+            closed_loop: match m.iter().find(|(k, _)| k == "closed_loop") {
+                None => None,
+                Some((_, v)) => Option::<usize>::from_value(v)?,
+            },
+            completed: serde::from_map(m, "completed", WHO)?,
+            failed: serde::from_map(m, "failed", WHO)?,
+            deduped: serde::from_map(m, "deduped", WHO)?,
+            points_total: serde::from_map(m, "points_total", WHO)?,
+            points_cached: serde::from_map(m, "points_cached", WHO)?,
+            hit_rate: serde::from_map(m, "hit_rate", WHO)?,
+            job_p50_ms: serde::from_map(m, "job_p50_ms", WHO)?,
+            job_p95_ms: serde::from_map(m, "job_p95_ms", WHO)?,
+            job_p99_ms: serde::from_map(m, "job_p99_ms", WHO)?,
+            job_mean_ms: serde::from_map(m, "job_mean_ms", WHO)?,
+            shard_p50_ms: serde::from_map(m, "shard_p50_ms", WHO)?,
+            shard_p95_ms: serde::from_map(m, "shard_p95_ms", WHO)?,
+            shard_p99_ms: serde::from_map(m, "shard_p99_ms", WHO)?,
+            throughput_jps: serde::from_map(m, "throughput_jps", WHO)?,
+            peak_queue_depth: serde::from_map(m, "peak_queue_depth", WHO)?,
+            executor_utilization: serde::from_map(m, "executor_utilization", WHO)?,
+            wall_seconds: serde::from_map(m, "wall_seconds", WHO)?,
+        })
+    }
 }
 
 /// The appendable serving-performance history (`BENCH_serve.json`).
@@ -940,6 +1060,7 @@ pub fn serve_entry(label: &str, cfg: &LoadConfig, report: &LoadReport) -> ServeB
         overlap: cfg.overlap,
         mix: cfg.mix_label(),
         proxy: if cfg.tiny_proxy { "tiny" } else { "standard" }.to_string(),
+        closed_loop: cfg.closed_loop,
         completed: report.completed,
         failed: report.failed,
         deduped: report.deduped,
@@ -977,7 +1098,8 @@ pub fn append_serve_entry(
 }
 
 /// Whether two entries measured the same workload shape — only then are
-/// their latencies comparable.
+/// their latencies comparable.  Replay discipline is part of the shape: an
+/// open-loop run's latencies say nothing about a closed-loop run's.
 fn same_workload(a: &ServeBenchEntry, b: &ServeBenchEntry) -> bool {
     a.clients == b.clients
         && a.jobs == b.jobs
@@ -986,6 +1108,7 @@ fn same_workload(a: &ServeBenchEntry, b: &ServeBenchEntry) -> bool {
         && a.overlap == b.overlap
         && a.mix == b.mix
         && a.proxy == b.proxy
+        && a.closed_loop == b.closed_loop
 }
 
 /// The baseline `--compare` diffs against: the last committed entry with
@@ -1184,6 +1307,45 @@ mod tests {
         );
         // Zero-valued baseline metrics (no shard samples) are skipped.
         assert!(deltas.iter().all(|d| d.name != "shard p50_ms"));
+    }
+
+    #[test]
+    fn closed_loop_entries_roundtrip_and_baseline_separately() {
+        let open = serve_entry("open", &LoadConfig::default(), &empty_report());
+        let closed_cfg = LoadConfig {
+            closed_loop: Some(8),
+            ..LoadConfig::default()
+        };
+        let closed = serve_entry("closed", &closed_cfg, &empty_report());
+        assert_eq!(closed.closed_loop, Some(8));
+
+        // The two replay disciplines never baseline against each other.
+        let history = [open.clone(), closed.clone()];
+        assert!(find_serve_baseline(&history[..1], &closed).is_none());
+        assert_eq!(
+            find_serve_baseline(&history, &closed).map(|e| e.label.as_str()),
+            Some("closed")
+        );
+        assert_eq!(
+            find_serve_baseline(&history, &open).map(|e| e.label.as_str()),
+            Some("open")
+        );
+
+        // The worker count survives a JSON round trip.
+        let json = append_serve_entry(None, closed).unwrap().to_json();
+        let parsed = ServeBenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed.history[0].closed_loop, Some(8));
+
+        // A legacy entry — written before the field existed, so the key is
+        // absent entirely — parses as an open-loop run.
+        let open_json = append_serve_entry(None, open).unwrap().to_json();
+        let legacy: String = open_json
+            .lines()
+            .filter(|l| !l.contains("closed_loop"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = ServeBenchReport::from_json(&legacy).unwrap();
+        assert_eq!(parsed.history[0].closed_loop, None);
     }
 
     fn empty_report() -> LoadReport {

@@ -42,6 +42,14 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// The binary opts into the counting allocator so `bench` micro entries can
+/// report `allocs` alongside wall time.  The probe forwards straight to the
+/// system allocator — two relaxed atomic increments per allocation — so every
+/// other subcommand pays a negligible cost for it.
+#[global_allocator]
+static ALLOC: bitmod::tensor::alloc_probe::CountingAlloc =
+    bitmod::tensor::alloc_probe::CountingAlloc;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (command, rest) = match argv.split_first() {
@@ -826,6 +834,13 @@ fn cmd_loadgen(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
             )
         }
     };
+    let closed_loop = match flags.get("closed-loop") {
+        None => None,
+        Some(s) => match s.parse::<usize>() {
+            Ok(k) if k > 0 => Some(k),
+            _ => return usage_error(&format!("invalid --closed-loop `{s}`"), cmd.help),
+        },
+    };
     let tiny_proxy = match flags.get("proxy").unwrap_or("tiny") {
         "tiny" => true,
         "standard" => false,
@@ -848,12 +863,19 @@ fn cmd_loadgen(cmd: &CommandSpec, flags: &Flags) -> ExitCode {
         mix,
         overlap,
         tiny_proxy,
+        closed_loop,
         ..loadgen::LoadConfig::default()
     };
-    eprintln!(
-        "[loadgen] {jobs} jobs over {clients} client(s) against {addr}: mix {}, overlap {overlap}, mean gap {mean_gap_ms}ms, seed {seed}",
-        cfg.mix_label()
-    );
+    match closed_loop {
+        Some(k) => eprintln!(
+            "[loadgen] {jobs} jobs closed-loop over {k} worker(s) against {addr}: mix {}, overlap {overlap}, seed {seed}",
+            cfg.mix_label()
+        ),
+        None => eprintln!(
+            "[loadgen] {jobs} jobs over {clients} client(s) against {addr}: mix {}, overlap {overlap}, mean gap {mean_gap_ms}ms, seed {seed}",
+            cfg.mix_label()
+        ),
+    }
     let report = match loadgen::run(&cfg) {
         Ok(r) => r,
         Err(e) => {

@@ -138,7 +138,17 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "Load-test a running daemon and append to the serving perf history",
         help: LOADGEN_HELP,
         options: &[
-            "addr", "clients", "jobs", "gap-ms", "mix", "overlap", "proxy", "seed", "label", "out",
+            "addr",
+            "clients",
+            "jobs",
+            "gap-ms",
+            "mix",
+            "overlap",
+            "proxy",
+            "seed",
+            "closed-loop",
+            "label",
+            "out",
         ],
         switches: &["compare", "strict", "help"],
     },
@@ -469,19 +479,24 @@ EXAMPLE:
     bitmod-cli bench --grid hardware --label post-algo-cache";
 
 const LOADGEN_HELP: &str = "\
-bitmod-cli loadgen — open-loop load generator for a running daemon
+bitmod-cli loadgen — open- or closed-loop load generator for a running daemon
 
 Plans a deterministic workload from one seed — exponential inter-arrival
 offsets, a weighted small/medium/large sweep-grid mix, and which jobs draw
-overlapping grids — then replays it against the daemon from N concurrent
-TCP connections, watching every job to completion.  Overlapping jobs share
-one seed and draw subsets of a single large grid the generator primes
-before the storm, so they exercise the daemon's point cache and whole-job
-dedup; unique jobs always compute fresh.  The run APPENDS one entry to a
-serving-performance history JSON (the daemon-side twin of `bench`'s
-BENCH_sweep.json) with exact p50/p95/p99 job and shard latencies, cache
-hit rates, throughput, and the daemon's peak queue-depth and in-flight
-gauges sampled over the run.
+overlapping grids — then replays it against the daemon, watching every job
+to completion.  By default the replay is open loop: N concurrent TCP
+connections submit each job at its planned offset regardless of how the
+daemon keeps up (latency under offered load).  With --closed-loop <k> the
+offsets are ignored and exactly k jobs stay in flight — each of k workers
+submits its next planned job the moment the previous one completes
+(capacity at fixed concurrency).  Both modes submit identical grids.
+Overlapping jobs share one seed and draw subsets of a single large grid
+the generator primes before the storm, so they exercise the daemon's point
+cache and whole-job dedup; unique jobs always compute fresh.  The run
+APPENDS one entry to a serving-performance history JSON (the daemon-side
+twin of `bench`'s BENCH_sweep.json) with exact p50/p95/p99 job and shard
+latencies, cache hit rates, throughput, and the daemon's peak queue-depth
+and in-flight gauges sampled over the run.
 
 USAGE:
     bitmod-cli loadgen --addr <host:port> [OPTIONS]
@@ -502,6 +517,9 @@ OPTIONS:
     --proxy <size>      Proxy model size: tiny | standard [default: tiny]
     --seed <n>          Schedule seed; also the sweep seed of the shared
                         overlap grids [default: 42]
+    --closed-loop <k>   Closed-loop replay: keep exactly k jobs in flight,
+                        ignoring arrival offsets, --clients and --gap-ms
+                        (default: open-loop replay at the planned offsets)
     --label <name>      History label for this entry [default: current]
     --out <path>        History JSON path [default: BENCH_serve.json]
     --compare           Diff this run against the last committed entry with
@@ -518,6 +536,7 @@ counts, and cache hit rates.
 EXAMPLES:
     bitmod-cli serve --listen 127.0.0.1:4774 &   # the daemon under test
     bitmod-cli loadgen --addr 127.0.0.1:4774 --jobs 24 --clients 4
+    bitmod-cli loadgen --addr 127.0.0.1:4774 --closed-loop 8 --label capacity
     bitmod-cli loadgen --addr 127.0.0.1:4774 --label after-cache-tuning \\
         --compare --strict";
 

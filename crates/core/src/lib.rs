@@ -223,12 +223,13 @@ impl Pipeline {
         // optimizer per decoder linear; CompositionMethod::None takes the
         // plain round-to-nearest path, bit-identical to the pre-method
         // pipeline.
-        let (quantized, stats) =
+        let (mut quantized, stats) =
             harness.compose_with_stats_sized(&self.quant, self.method, self.calib_size);
-        let quantized = match self.method.activation_bits() {
-            Some(bits) => quantized.with_activation_bits(bits),
-            None => quantized,
-        };
+        // Deployment-time activation quantization is a field flip on the
+        // freshly quantized copy — no second full-model clone.
+        if let Some(bits) = self.method.activation_bits() {
+            quantized.activation_bits = Some(bits);
+        }
         let fp16_perplexity = harness.fp16_perplexity();
         let proxy_perplexity = harness.evaluate_model(&quantized);
         let proxy_accuracy_percent = harness.accuracy_percent(&quantized);

@@ -1,0 +1,63 @@
+//! The steady-state zero-allocation gate.
+//!
+//! PR 10's contract: once an [`EvalHarness`] is warm (its pooled
+//! `ForwardScratch` arenas have grown to the workload's shapes and the
+//! thread-local matmul panel is sized), evaluating a point — both
+//! perplexities plus the argmax-agreement accuracy — performs **zero** heap
+//! allocations.  This test registers the counting allocator from
+//! `bitmod_tensor::alloc_probe` as the process-global allocator and asserts
+//! the claim as an exact `delta == 0`, not a bound.
+//!
+//! The test lives in its own integration-test binary so no sibling test
+//! thread can allocate concurrently and pollute the process-wide counters.
+//! CI runs it under both SIMD legs (default dispatch and `BITMOD_NO_SIMD=1`),
+//! so the scalar, AVX2 and NEON `matmul_nt_into` kernels are all covered on
+//! their respective hosts.
+
+use bitmod::prelude::*;
+use bitmod::tensor::alloc_probe::{alloc_count, probe_active, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_harness_steady_state_evaluation_is_allocation_free() {
+    let harness = EvalHarness::with_config(LlmModel::Phi2B, ProxyConfig::tiny(), 9);
+    let cfg = QuantConfig::new(QuantMethod::bitmod(4), Granularity::PerGroup(64));
+    let quantized = harness.reference.quantized(&cfg);
+    assert!(probe_active(), "the counting allocator must be registered");
+
+    // Warm-up evaluations: the pooled scratch grows monotonically to the
+    // largest shapes this workload needs; the second pass double-checks the
+    // first one really reached steady state before we start asserting.
+    let warm = harness.evaluate_model(&quantized);
+    let warm_acc = harness.accuracy_percent(&quantized);
+    let _ = harness.evaluate_model(&quantized);
+    let _ = harness.accuracy_percent(&quantized);
+
+    // The N-th evaluation: an exact zero, measured around each entry point
+    // separately so a regression names the offender.
+    let before = alloc_count();
+    let ppl = harness.evaluate_model(&quantized);
+    let ppl_allocs = alloc_count() - before;
+
+    let before = alloc_count();
+    let acc = harness.accuracy_percent(&quantized);
+    let acc_allocs = alloc_count() - before;
+
+    assert_eq!(
+        ppl_allocs, 0,
+        "warm evaluate_model (perplexity forwards) performed {ppl_allocs} heap allocations"
+    );
+    assert_eq!(
+        acc_allocs, 0,
+        "warm accuracy_percent (greedy predictions) performed {acc_allocs} heap allocations"
+    );
+
+    // The allocation-free passes still compute the real thing.
+    assert_eq!(ppl.wiki.to_bits(), warm.wiki.to_bits());
+    assert_eq!(ppl.c4.to_bits(), warm.c4.to_bits());
+    assert_eq!(acc.to_bits(), warm_acc.to_bits());
+    assert!(ppl.wiki.is_finite() && ppl.c4.is_finite());
+    assert!((0.0..=100.0).contains(&acc));
+}

@@ -219,6 +219,100 @@ proptest! {
         }
     }
 
+    /// `matmul_nt_into` equals the allocating `matmul_nt` bit for bit while
+    /// one `out` buffer is reused across a whole sequence of shapes — so the
+    /// buffer arrives oversized, undersized and exactly-sized, and any stale
+    /// element leaking through `reset` would surface immediately.
+    #[test]
+    fn matmul_nt_into_matches_allocating_with_reused_out(
+        n_shapes in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SeededRng::new(seed ^ 0x1470);
+        let mut out = Matrix::zeros(0, 0);
+        // Start from a deliberately oversized buffer.
+        out.reset(40, 40);
+        for _ in 0..n_shapes {
+            let (m, k, n) = (1 + rng.below(24), 1 + rng.below(20), 1 + rng.below(24));
+            let mut a = Matrix::zeros(m, k);
+            rng.fill_normal(a.as_mut_slice(), 0.0, 1.0);
+            let mut b = Matrix::zeros(n, k);
+            rng.fill_normal(b.as_mut_slice(), 0.0, 1.0);
+            a.matmul_nt_into(&b, &mut out);
+            let reference = a.matmul_nt(&b);
+            prop_assert_eq!(out.rows(), reference.rows());
+            prop_assert_eq!(out.cols(), reference.cols());
+            for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// `matmul_nt_into` with NaN, ±∞ and -0.0 sprinkled into both operands is
+    /// bit-identical to the allocating wrapper — both run the same dispatched
+    /// kernel on the same inputs, so even NaN payloads must agree — and the
+    /// in-place path keeps NaN-for-NaN parity with the scalar reference.
+    #[test]
+    fn matmul_nt_into_nan_inf_parity(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SeededRng::new(seed ^ 0xF1F0);
+        let mut a = Matrix::zeros(m, k);
+        rng.fill_normal(a.as_mut_slice(), 0.0, 1.0);
+        let mut b = Matrix::zeros(n, k);
+        rng.fill_normal(b.as_mut_slice(), 0.0, 1.0);
+        let specials = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0f32, 0.0f32];
+        for _ in 0..=(m * k).div_ceil(4) {
+            let i = rng.below(m * k);
+            a.as_mut_slice()[i] = specials[rng.below(specials.len())];
+        }
+        for _ in 0..=(n * k).div_ceil(4) {
+            let i = rng.below(n * k);
+            b.as_mut_slice()[i] = specials[rng.below(specials.len())];
+        }
+        let mut out = Matrix::zeros(0, 0);
+        out.reset(24, 24);
+        a.matmul_nt_into(&b, &mut out);
+        let wrapper = a.matmul_nt(&b);
+        for (x, y) in out.as_slice().iter().zip(wrapper.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let reference = a.matmul_nt_scalar(&b);
+        for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+            if x.is_nan() || y.is_nan() {
+                prop_assert!(x.is_nan() && y.is_nan());
+            } else {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Scratch-arena reuse is order-independent: evaluating the fixed point
+    /// set in any shuffled order on one shared (warm) harness produces
+    /// records bit-identical to each point evaluated on its own fresh
+    /// harness.  Any state leaking between consecutive evaluations through
+    /// the pooled `ForwardScratch` buffers would break this.
+    #[test]
+    fn scratch_reuse_is_order_independent(seed in 0u64..32) {
+        let h = shared_tiny_harness();
+        let baseline = baseline_point_records();
+        let mut order: Vec<usize> = (0..POINT_METHODS.len()).collect();
+        let mut rng = SeededRng::new(seed ^ 0x5C1A);
+        for i in (1..order.len()).rev() {
+            let j = rng.below(i + 1);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            let (wiki, c4, acc) = evaluate_point(h, i);
+            prop_assert_eq!(wiki.to_bits(), baseline[i].0.to_bits());
+            prop_assert_eq!(c4.to_bits(), baseline[i].1.to_bits());
+            prop_assert_eq!(acc.to_bits(), baseline[i].2.to_bits());
+        }
+    }
+
     /// The batched stream metrics (`perplexity`, `greedy_predictions`, and
     /// through the latter `argmax_agreement`) equal their retained
     /// per-window reference implementations bit for bit, across stream
@@ -244,6 +338,54 @@ proptest! {
             model.greedy_predictions_reference(&stream)
         );
     }
+}
+
+/// The quantization methods of the scratch-reuse points: a codebook search
+/// (BitMoD), both integer grids and a 4-bit float, so the order-independence
+/// property exercises every forward-path branch the sweep does.
+const POINT_METHODS: [(&str, u8); 4] = [
+    ("bitmod", 3),
+    ("bitmod", 4),
+    ("int_asym", 3),
+    ("int_sym", 4),
+];
+
+fn point_config(i: usize) -> QuantConfig {
+    let (kind, bits) = POINT_METHODS[i];
+    let method = match kind {
+        "bitmod" => QuantMethod::bitmod(bits),
+        "int_asym" => QuantMethod::IntAsym { bits },
+        _ => QuantMethod::IntSym { bits },
+    };
+    QuantConfig::new(method, Granularity::PerGroup(64))
+}
+
+/// One tiny harness shared (warm scratch and all) by every proptest case of
+/// `scratch_reuse_is_order_independent`.
+fn shared_tiny_harness() -> &'static EvalHarness {
+    static HARNESS: std::sync::OnceLock<EvalHarness> = std::sync::OnceLock::new();
+    HARNESS.get_or_init(|| EvalHarness::with_config(LlmModel::Phi2B, ProxyConfig::tiny(), 77))
+}
+
+fn evaluate_point(h: &EvalHarness, i: usize) -> (f64, f64, f64) {
+    let quantized = h.reference.quantized(&point_config(i));
+    let ppl = h.evaluate_model(&quantized);
+    let acc = h.accuracy_percent(&quantized);
+    (ppl.wiki, ppl.c4, acc)
+}
+
+/// Every point evaluated once on its own fresh harness (cold scratch): the
+/// reference records the shuffled shared-harness evaluations must reproduce.
+fn baseline_point_records() -> &'static Vec<(f64, f64, f64)> {
+    static BASELINE: std::sync::OnceLock<Vec<(f64, f64, f64)>> = std::sync::OnceLock::new();
+    BASELINE.get_or_init(|| {
+        (0..POINT_METHODS.len())
+            .map(|i| {
+                let fresh = EvalHarness::with_config(LlmModel::Phi2B, ProxyConfig::tiny(), 77);
+                evaluate_point(&fresh, i)
+            })
+            .collect()
+    })
 }
 
 /// Explicit kernel edge shapes, checked outside the random sweep so they can

@@ -15,7 +15,7 @@
 //! what the reproduction preserves, and the tests pin those down.
 
 use crate::config::LlmModel;
-use crate::proxy::{LinearId, ProxyConfig, ProxyTransformer};
+use crate::proxy::{ForwardScratch, LinearId, ProxyConfig, ProxyTransformer};
 use bitmod_quant::{compose_quantize, CompositionMethod, QuantConfig, QuantStats};
 use bitmod_tensor::{stats, Matrix, SeededRng};
 use serde::{Deserialize, Serialize};
@@ -51,8 +51,9 @@ pub struct EvalHarness {
     /// temperature, so it is slightly harder, as C4 is in the paper).
     pub c4_stream: Vec<usize>,
     /// Calibration activations captured from the reference model, one entry
-    /// per decoder linear.
-    pub calibration: Vec<(LinearId, Matrix)>,
+    /// per decoder linear.  Entries alias: the linears that read the same
+    /// activation (Q/K/V, Gate/Up) share one `Arc`'d snapshot.
+    pub calibration: Vec<(LinearId, Arc<Matrix>)>,
     /// Cached perplexity of the FP32 reference on both streams.  Every sweep
     /// point of a model shares the harness, so the baseline is computed once
     /// here instead of once per configuration.
@@ -63,6 +64,51 @@ pub struct EvalHarness {
     wiki_reference_predictions: Vec<usize>,
     /// Cached greedy predictions of the reference on the C4 stream.
     c4_reference_predictions: Vec<usize>,
+    /// Reusable forward workspaces: consecutive evaluations on one worker
+    /// check a [`ForwardScratch`] out, run every forward of the point in it,
+    /// and check it back in — the steady-state evaluate path performs zero
+    /// heap allocations (see the `alloc_audit` integration test).
+    scratch: ScratchPool,
+}
+
+/// A mutex-guarded stack of [`ForwardScratch`] workspaces.
+///
+/// Lives inside [`EvalHarness`] so the harness's `&self` evaluation methods
+/// can reuse buffers across calls without changing their signatures.  The
+/// pool grows to the peak number of concurrent evaluations and each arena
+/// grows monotonically to the largest shape it has seen, so a warm harness
+/// stops allocating entirely.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    pool: Mutex<Vec<ForwardScratch>>,
+}
+
+impl ScratchPool {
+    fn with_seed(scratch: ForwardScratch) -> Self {
+        ScratchPool {
+            pool: Mutex::new(vec![scratch]),
+        }
+    }
+
+    fn checkout(&self) -> ForwardScratch {
+        self.pool
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn checkin(&self, scratch: ForwardScratch) {
+        self.pool.lock().expect("scratch pool lock").push(scratch);
+    }
+}
+
+impl Clone for ScratchPool {
+    /// Scratch buffers carry no data across calls; a cloned harness starts
+    /// with a fresh (empty) pool and re-grows it on first use.
+    fn clone(&self) -> Self {
+        ScratchPool::default()
+    }
 }
 
 /// Length of each generated evaluation stream.
@@ -102,6 +148,7 @@ impl EvalHarness {
             fp16_ppl,
             wiki_reference_predictions,
             c4_reference_predictions,
+            scratch: ScratchPool::with_seed(ForwardScratch::for_config(&config)),
         }
     }
 
@@ -114,11 +161,17 @@ impl EvalHarness {
     }
 
     /// Perplexity of an arbitrary (typically quantized) proxy model.
+    ///
+    /// The forwards run in a pooled [`ForwardScratch`], so on a warm harness
+    /// this performs no heap allocations.
     pub fn evaluate_model(&self, model: &ProxyTransformer) -> PerplexityPair {
-        PerplexityPair {
-            wiki: model.perplexity(&self.wiki_stream),
-            c4: model.perplexity(&self.c4_stream),
-        }
+        let mut scratch = self.scratch.checkout();
+        let pair = PerplexityPair {
+            wiki: model.perplexity_scratch(&self.wiki_stream, &mut scratch),
+            c4: model.perplexity_scratch(&self.c4_stream, &mut scratch),
+        };
+        self.scratch.checkin(scratch);
+        pair
     }
 
     /// Quantizes the reference model with `cfg` (round-to-nearest) and
@@ -131,8 +184,18 @@ impl EvalHarness {
     /// reference over both streams.  The reference side is served from the
     /// predictions cached at construction, so only `model`'s forwards run.
     pub fn accuracy_percent(&self, model: &ProxyTransformer) -> f64 {
-        let a = model.argmax_agreement_with(&self.wiki_reference_predictions, &self.wiki_stream);
-        let b = model.argmax_agreement_with(&self.c4_reference_predictions, &self.c4_stream);
+        let mut scratch = self.scratch.checkout();
+        let a = model.argmax_agreement_with_scratch(
+            &self.wiki_reference_predictions,
+            &self.wiki_stream,
+            &mut scratch,
+        );
+        let b = model.argmax_agreement_with_scratch(
+            &self.c4_reference_predictions,
+            &self.c4_stream,
+            &mut scratch,
+        );
+        self.scratch.checkin(scratch);
         50.0 * (a + b)
     }
 
@@ -236,12 +299,12 @@ impl EvalHarness {
     /// Panics if the id does not exist (cannot happen for ids produced by
     /// [`ProxyTransformer::linears`]).
     pub fn calibration_for(&self, id: LinearId) -> &Matrix {
-        &self
-            .calibration
+        self.calibration
             .iter()
             .find(|(cid, _)| *cid == id)
             .expect("calibration captured for every linear")
             .1
+            .as_ref()
     }
 }
 

@@ -17,6 +17,7 @@ use crate::config::LlmModel;
 use bitmod_quant::{quantize_matrix, QuantConfig};
 use bitmod_tensor::{Matrix, SeededRng};
 use serde::{from_map, Deserialize, Error, Serialize, Value};
+use std::sync::Arc;
 
 /// Size parameters of the proxy model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -128,18 +129,6 @@ impl LayerWeights {
             (LinearKind::Down, &self.w_down),
         ]
     }
-
-    fn get_mut(&mut self, kind: LinearKind) -> &mut Matrix {
-        match kind {
-            LinearKind::Query => &mut self.wq,
-            LinearKind::Key => &mut self.wk,
-            LinearKind::Value => &mut self.wv,
-            LinearKind::Output => &mut self.wo,
-            LinearKind::Gate => &mut self.w_gate,
-            LinearKind::Up => &mut self.w_up,
-            LinearKind::Down => &mut self.w_down,
-        }
-    }
 }
 
 /// The proxy transformer model.
@@ -224,6 +213,101 @@ fn positional_table(config: &ProxyConfig) -> Matrix {
     pos
 }
 
+/// Reusable per-worker workspace for proxy forward passes.
+///
+/// Every buffer a batched forward needs — the hidden-state arena, the
+/// normalized/projection ping-pong matrices, attention score and
+/// accumulator buffers, the logits matrix, softmax probabilities and the
+/// window bookkeeping vectors — lives here, reshaped (capacity-reusing, see
+/// [`Matrix::reset`]) instead of reallocated on every call.  Buffers grow
+/// monotonically to the largest shape a workspace has seen; after the first
+/// forward at a given shape, subsequent forwards through the same scratch
+/// perform **zero heap allocations** (enforced by the workspace's
+/// allocation-audit test against `bitmod_tensor::alloc_probe`).
+///
+/// All scratch-threaded entry points (`perplexity_scratch`,
+/// `greedy_predictions` via [`crate::eval::EvalHarness`], …) are
+/// bit-identical to their allocating wrappers: the kernels write every
+/// element they expose before it is read, so buffer reuse cannot leak state
+/// between calls.
+///
+/// The scratch is plain data with no ties to a specific model: one arena
+/// can serve models of different shapes back to back.  [`crate::eval`]
+/// pools these per harness so consecutive points evaluated on one worker
+/// reuse the same arena.
+#[derive(Debug, Default)]
+pub struct ForwardScratch {
+    /// Hidden states (`Σ window lengths × hidden`), the residual stream.
+    x: Matrix,
+    /// RMS-normalized hidden states (also the final-norm buffer).
+    normed: Matrix,
+    /// Query projection.
+    q: Matrix,
+    /// Key projection.
+    k: Matrix,
+    /// Value projection.
+    v: Matrix,
+    /// Attention output (pre-`wo`).
+    attn: Matrix,
+    /// Projection result shared by the attention-out and MLP-down matmuls.
+    proj: Matrix,
+    /// MLP gate path (becomes the activated hidden).
+    gate: Matrix,
+    /// MLP up path (gated MLPs only).
+    up: Matrix,
+    /// Final logits (`Σ window lengths × vocab`).
+    logits: Matrix,
+    /// Attention score/weight buffer (one window position at a time).
+    attn_weights: Vec<f64>,
+    /// Attention weighted-value accumulator (one head dimension wide).
+    attn_acc: Vec<f64>,
+    /// Softmax probabilities.
+    probs: Vec<f64>,
+    /// Window lengths of the current batch.
+    lens: Vec<usize>,
+    /// Concatenated window tokens (for non-contiguous window batches).
+    tokens: Vec<usize>,
+    /// Greedy next-token predictions.
+    preds: Vec<usize>,
+    /// Last-position normalized hidden row (generation fast path).
+    last_row: Vec<f32>,
+    /// Last-position logits (generation fast path).
+    last_logits: Vec<f32>,
+}
+
+impl ForwardScratch {
+    /// A fresh, empty workspace.  Buffers are allocated lazily by the first
+    /// forward pass and grow monotonically from there.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for one evaluation window of `config`'s shape,
+    /// so even the first forward pass allocates nothing beyond what streams
+    /// longer than one window require.
+    pub fn for_config(config: &ProxyConfig) -> Self {
+        let mut s = Self::new();
+        let seq = config.seq_len;
+        let h = config.hidden;
+        s.x.reset(seq, h);
+        s.normed.reset(seq, h);
+        s.q.reset(seq, h);
+        s.k.reset(seq, h);
+        s.v.reset(seq, h);
+        s.attn.reset(seq, h);
+        s.proj.reset(seq, h);
+        s.gate.reset(seq, config.intermediate);
+        s.up.reset(seq, config.intermediate);
+        s.logits.reset(seq, config.vocab);
+        s.attn_weights.reserve(seq);
+        s.attn_acc.reserve(h / config.heads.max(1));
+        s.probs.reserve(config.vocab);
+        s.last_row.reserve(h);
+        s.last_logits.reserve(config.vocab);
+        s
+    }
+}
+
 impl ProxyTransformer {
     /// Synthesizes a proxy model whose weights follow `model`'s distributional
     /// profile, rescaled for numerical stability (`1/√fan_in` overall scale,
@@ -297,30 +381,49 @@ impl ProxyTransformer {
     /// Returns a copy of the model with every decoder linear replaced by
     /// `f(id, weights)` (embedding and LM head untouched).  This is the hook
     /// the evaluation harness uses to apply plain PTQ, AWQ, GPTQ, ….
+    ///
+    /// The replacement layers are built directly from `f`'s outputs — the
+    /// original decoder linears are borrowed, never cloned-then-overwritten,
+    /// so a quantization pass allocates only the replacement weights (plus
+    /// the shared embedding/LM-head/positional copies the new model owns).
     pub fn map_linears(&self, mut f: impl FnMut(LinearId, &Matrix) -> Matrix) -> ProxyTransformer {
-        let mut out = self.clone();
-        for (layer, lw) in out.layers.iter_mut().enumerate() {
-            for kind in [
-                LinearKind::Query,
-                LinearKind::Key,
-                LinearKind::Value,
-                LinearKind::Output,
-                LinearKind::Gate,
-                LinearKind::Up,
-                LinearKind::Down,
-            ] {
-                let id = LinearId { layer, kind };
-                let original = self.layer_weight(id);
-                let replaced = f(id, original);
-                assert_eq!(
-                    (replaced.rows(), replaced.cols()),
-                    (original.rows(), original.cols()),
-                    "replacement for {id:?} changed the weight shape"
-                );
-                *lw.get_mut(kind) = replaced;
-            }
+        let layers = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(layer, lw)| {
+                let mut build = |kind: LinearKind, original: &Matrix| -> Matrix {
+                    let id = LinearId { layer, kind };
+                    let replaced = f(id, original);
+                    assert_eq!(
+                        (replaced.rows(), replaced.cols()),
+                        (original.rows(), original.cols()),
+                        "replacement for {id:?} changed the weight shape"
+                    );
+                    replaced
+                };
+                // Field order preserves the historical Query → … → Down call
+                // order of `f` (stats collectors rely on it).
+                LayerWeights {
+                    wq: build(LinearKind::Query, &lw.wq),
+                    wk: build(LinearKind::Key, &lw.wk),
+                    wv: build(LinearKind::Value, &lw.wv),
+                    wo: build(LinearKind::Output, &lw.wo),
+                    w_gate: build(LinearKind::Gate, &lw.w_gate),
+                    w_up: build(LinearKind::Up, &lw.w_up),
+                    w_down: build(LinearKind::Down, &lw.w_down),
+                }
+            })
+            .collect();
+        ProxyTransformer {
+            config: self.config,
+            source_model: self.source_model,
+            embedding: self.embedding.clone(),
+            layers,
+            lm_head: self.lm_head.clone(),
+            activation_bits: self.activation_bits,
+            positional: self.positional.clone(),
         }
-        out
     }
 
     /// Returns a quantized copy of the model (round-to-nearest per `cfg`).
@@ -371,7 +474,15 @@ impl ProxyTransformer {
 
     /// Forward pass that also captures the input activations of every decoder
     /// linear, for calibration-based methods (AWQ, GPTQ, SmoothQuant).
-    pub fn forward_with_capture(&self, tokens: &[usize]) -> (Matrix, Vec<(LinearId, Matrix)>) {
+    ///
+    /// The captured set is keyed by [`LinearId`], but linears that share an
+    /// input share one underlying matrix: Query/Key/Value all read the
+    /// attention-block norm and Gate/Up both read the MLP-block norm, so
+    /// each layer materializes four activation snapshots, not seven — the
+    /// `Arc` entries alias.  Calibration consumers only ever borrow
+    /// (`&Matrix` via deref), so the sharing is invisible to them while a
+    /// harness holds ~40% less calibration memory.
+    pub fn forward_with_capture(&self, tokens: &[usize]) -> (Matrix, Vec<(LinearId, Arc<Matrix>)>) {
         let mut captured = Vec::new();
         let logits = self.forward_impl(tokens, Some(&mut captured));
         (logits, captured)
@@ -394,24 +505,62 @@ impl ProxyTransformer {
     /// Panics if `windows` is empty, any window is empty, or any token id is
     /// outside the vocabulary.
     pub fn forward_batch(&self, windows: &[&[usize]]) -> Matrix {
-        self.forward_windows_impl(windows, None)
+        let mut scratch = ForwardScratch::new();
+        self.forward_batch_scratch(windows, None, &mut scratch);
+        std::mem::take(&mut scratch.logits)
     }
 
     fn forward_impl(
         &self,
         tokens: &[usize],
-        capture: Option<&mut Vec<(LinearId, Matrix)>>,
+        capture: Option<&mut Vec<(LinearId, Arc<Matrix>)>>,
     ) -> Matrix {
-        self.forward_windows_impl(&[tokens], capture)
+        let mut scratch = ForwardScratch::new();
+        self.forward_windows_scratch(tokens, &[tokens.len()], capture, &mut scratch);
+        std::mem::take(&mut scratch.logits)
     }
 
-    fn forward_windows_impl(
+    /// [`ProxyTransformer::forward_batch`] through a caller-provided scratch:
+    /// copies the (possibly non-contiguous) windows into the scratch's token
+    /// arena and leaves the stacked logits in `scratch.logits`.
+    fn forward_batch_scratch(
         &self,
         windows: &[&[usize]],
-        capture: Option<&mut Vec<(LinearId, Matrix)>>,
-    ) -> Matrix {
-        let x = self.hidden_states(windows, capture);
-        rms_norm(&x).matmul_nt(&self.lm_head)
+        capture: Option<&mut Vec<(LinearId, Arc<Matrix>)>>,
+        scratch: &mut ForwardScratch,
+    ) {
+        assert!(
+            !windows.is_empty(),
+            "forward batch needs at least one window"
+        );
+        let mut tokens = std::mem::take(&mut scratch.tokens);
+        let mut lens = std::mem::take(&mut scratch.lens);
+        tokens.clear();
+        lens.clear();
+        for w in windows {
+            tokens.extend_from_slice(w);
+            lens.push(w.len());
+        }
+        self.forward_windows_scratch(&tokens, &lens, capture, scratch);
+        scratch.tokens = tokens;
+        scratch.lens = lens;
+    }
+
+    /// Full batched forward over pre-stacked windows: `tokens` holds the
+    /// concatenated window tokens, `lens` their lengths.  Leaves the stacked
+    /// logits in `scratch.logits`.
+    fn forward_windows_scratch(
+        &self,
+        tokens: &[usize],
+        lens: &[usize],
+        capture: Option<&mut Vec<(LinearId, Arc<Matrix>)>>,
+        scratch: &mut ForwardScratch,
+    ) {
+        self.hidden_states_scratch(tokens, lens, capture, scratch);
+        rms_norm_into(&scratch.x, &mut scratch.normed);
+        scratch
+            .normed
+            .matmul_nt_into(&self.lm_head, &mut scratch.logits);
     }
 
     /// Logits of the *last* position of `tokens` only.
@@ -423,37 +572,55 @@ impl ProxyTransformer {
     /// position.  Autoregressive generation discards all rows but the last,
     /// so [`ProxyTransformer::generate`] runs on this path.
     pub fn forward_last_logits(&self, tokens: &[usize]) -> Vec<f32> {
-        let x = self.hidden_states(&[tokens], None);
-        let normed = rms_norm_row(x.row(x.rows() - 1));
-        self.lm_head.matvec(&normed)
+        let mut scratch = ForwardScratch::new();
+        self.forward_last_logits_scratch(tokens, &mut scratch);
+        std::mem::take(&mut scratch.last_logits)
     }
 
-    /// Runs embedding and every decoder layer over the stacked `windows`,
-    /// returning the final hidden states (before the last norm + LM head).
-    fn hidden_states(
+    /// [`ProxyTransformer::forward_last_logits`] through a caller-provided
+    /// scratch; the result is left in `scratch.last_logits`.
+    fn forward_last_logits_scratch(&self, tokens: &[usize], scratch: &mut ForwardScratch) {
+        self.hidden_states_scratch(tokens, &[tokens.len()], None, scratch);
+        rms_norm_row_into(scratch.x.row(scratch.x.rows() - 1), &mut scratch.last_row);
+        self.lm_head
+            .matvec_into(&scratch.last_row, &mut scratch.last_logits);
+    }
+
+    /// Runs embedding and every decoder layer over the stacked windows
+    /// (`tokens` concatenated, `lens` per-window lengths), leaving the final
+    /// hidden states (before the last norm + LM head) in `scratch.x`.
+    ///
+    /// Every stage writes into `scratch` buffers through the `_into` /
+    /// in-place kernel variants; in steady state (warm scratch, shapes within
+    /// the high-water mark) the whole pass performs zero heap allocations.
+    /// The stage order, element order and accumulation order are unchanged
+    /// from the historical allocating formulation, so results are
+    /// bit-identical.
+    fn hidden_states_scratch(
         &self,
-        windows: &[&[usize]],
-        mut capture: Option<&mut Vec<(LinearId, Matrix)>>,
-    ) -> Matrix {
-        assert!(
-            !windows.is_empty(),
-            "forward batch needs at least one window"
-        );
-        for w in windows {
-            assert!(!w.is_empty(), "cannot run a forward pass on no tokens");
+        tokens: &[usize],
+        lens: &[usize],
+        mut capture: Option<&mut Vec<(LinearId, Arc<Matrix>)>>,
+        s: &mut ForwardScratch,
+    ) {
+        assert!(!lens.is_empty(), "forward batch needs at least one window");
+        for &len in lens {
+            assert!(len > 0, "cannot run a forward pass on no tokens");
         }
-        let lens: Vec<usize> = windows.iter().map(|w| w.len()).collect();
         let seq: usize = lens.iter().sum();
+        assert_eq!(seq, tokens.len(), "window lengths must cover the tokens");
         let h = self.config.hidden;
         // Embed tokens (+ a simple sinusoidal position signal so attention has
         // positional information).  The signal is read from the table
         // precomputed at synthesis; positions beyond the table (sequences
         // longer than `seq_len`) fall back to the inline expressions.
         // Positions restart at 0 in every window.
-        let mut x = Matrix::zeros(seq, h);
+        let x = &mut s.x;
+        x.reset(seq, h);
         let mut base = 0;
-        for w in windows {
-            for (t, &tok) in w.iter().enumerate() {
+        for &len in lens {
+            for t in 0..len {
+                let tok = tokens[base + t];
                 assert!(tok < self.config.vocab, "token id {tok} out of vocabulary");
                 let emb = self.embedding.row(tok);
                 let row = x.row_mut(base + t);
@@ -470,97 +637,107 @@ impl ProxyTransformer {
                     }
                 }
             }
-            base += w.len();
+            base += len;
         }
-
-        // Per-tensor activation quantization is per *window* tensor: the
-        // absmax is taken over each window's segment, exactly as if the
-        // windows ran separately.
-        let act_q = |m: Matrix| -> Matrix {
-            match self.activation_bits {
-                None => m,
-                Some(bits) => quantize_activation_segmented(&m, bits, &lens),
-            }
-        };
 
         for (layer_idx, lw) in self.layers.iter().enumerate() {
             // --- attention block ---
-            let normed = act_q(rms_norm(&x));
+            rms_norm_into(&s.x, &mut s.normed);
+            // Per-tensor activation quantization is per *window* tensor: the
+            // absmax is taken over each window's segment, exactly as if the
+            // windows ran separately.
+            if let Some(bits) = self.activation_bits {
+                quantize_activation_segmented_inplace(&mut s.normed, bits, lens);
+            }
             if let Some(cap) = capture.as_deref_mut() {
+                // Query/Key/Value share the same input activation — snapshot
+                // it once and alias the three entries.
+                let shared = Arc::new(s.normed.clone());
                 for kind in [LinearKind::Query, LinearKind::Key, LinearKind::Value] {
                     cap.push((
                         LinearId {
                             layer: layer_idx,
                             kind,
                         },
-                        normed.clone(),
+                        Arc::clone(&shared),
                     ));
                 }
             }
-            let q = normed.matmul_nt(&lw.wq);
-            let k = normed.matmul_nt(&lw.wk);
-            let v = normed.matmul_nt(&lw.wv);
-            let attn = act_q(causal_attention_segmented(
-                &q,
-                &k,
-                &v,
+            s.normed.matmul_nt_into(&lw.wq, &mut s.q);
+            s.normed.matmul_nt_into(&lw.wk, &mut s.k);
+            s.normed.matmul_nt_into(&lw.wv, &mut s.v);
+            causal_attention_segmented_into(
+                &s.q,
+                &s.k,
+                &s.v,
                 self.config.heads,
-                &lens,
-            ));
+                lens,
+                &mut s.attn,
+                &mut s.attn_weights,
+                &mut s.attn_acc,
+            );
+            if let Some(bits) = self.activation_bits {
+                quantize_activation_segmented_inplace(&mut s.attn, bits, lens);
+            }
             if let Some(cap) = capture.as_deref_mut() {
                 cap.push((
                     LinearId {
                         layer: layer_idx,
                         kind: LinearKind::Output,
                     },
-                    attn.clone(),
+                    Arc::new(s.attn.clone()),
                 ));
             }
-            let attn_out = attn.matmul_nt(&lw.wo);
-            for (xi, ai) in x.as_mut_slice().iter_mut().zip(attn_out.as_slice()) {
+            s.attn.matmul_nt_into(&lw.wo, &mut s.proj);
+            for (xi, ai) in s.x.as_mut_slice().iter_mut().zip(s.proj.as_slice()) {
                 *xi += ai;
             }
 
             // --- MLP block ---
-            let normed = act_q(rms_norm(&x));
+            rms_norm_into(&s.x, &mut s.normed);
+            if let Some(bits) = self.activation_bits {
+                quantize_activation_segmented_inplace(&mut s.normed, bits, lens);
+            }
             if let Some(cap) = capture.as_deref_mut() {
+                // Gate and Up share the MLP-block norm; one snapshot, two
+                // aliased entries.
+                let shared = Arc::new(s.normed.clone());
                 for kind in [LinearKind::Gate, LinearKind::Up] {
                     cap.push((
                         LinearId {
                             layer: layer_idx,
                             kind,
                         },
-                        normed.clone(),
+                        Arc::clone(&shared),
                     ));
                 }
             }
-            let gate = normed.matmul_nt(&lw.w_gate);
-            let hidden_act = act_q(if self.config.gated_mlp {
-                let up = normed.matmul_nt(&lw.w_up);
-                let mut act = gate;
-                for (g, u) in act.as_mut_slice().iter_mut().zip(up.as_slice()) {
+            s.normed.matmul_nt_into(&lw.w_gate, &mut s.gate);
+            if self.config.gated_mlp {
+                s.normed.matmul_nt_into(&lw.w_up, &mut s.up);
+                for (g, u) in s.gate.as_mut_slice().iter_mut().zip(s.up.as_slice()) {
                     *g = silu(*g) * u;
                 }
-                act
             } else {
-                gate.map(silu)
-            });
+                s.gate.map_inplace(silu);
+            }
+            if let Some(bits) = self.activation_bits {
+                quantize_activation_segmented_inplace(&mut s.gate, bits, lens);
+            }
             if let Some(cap) = capture.as_deref_mut() {
                 cap.push((
                     LinearId {
                         layer: layer_idx,
                         kind: LinearKind::Down,
                     },
-                    hidden_act.clone(),
+                    Arc::new(s.gate.clone()),
                 ));
             }
-            let mlp_out = hidden_act.matmul_nt(&lw.w_down);
-            for (xi, mi) in x.as_mut_slice().iter_mut().zip(mlp_out.as_slice()) {
+            s.gate.matmul_nt_into(&lw.w_down, &mut s.proj);
+            for (xi, mi) in s.x.as_mut_slice().iter_mut().zip(s.proj.as_slice()) {
                 *xi += mi;
             }
         }
-
-        x
     }
 
     /// Autoregressively samples `len` tokens after `prompt` at the given
@@ -579,55 +756,79 @@ impl ProxyTransformer {
         assert!(!prompt.is_empty(), "prompt must be non-empty");
         assert!(temperature > 0.0, "temperature must be positive");
         let mut tokens = prompt.to_vec();
+        let mut scratch = ForwardScratch::new();
         for _ in 0..len {
             let window_start = tokens.len().saturating_sub(self.config.seq_len);
-            let logits = self.forward_last_logits(&tokens[window_start..]);
-            let probs = softmax_with_temperature(&logits, temperature);
-            let next = sample_from(&probs, rng);
+            self.forward_last_logits_scratch(&tokens[window_start..], &mut scratch);
+            softmax_with_temperature_into(&scratch.last_logits, temperature, &mut scratch.probs);
+            let next = sample_from(&scratch.probs, rng);
             tokens.push(next);
         }
         tokens
     }
 
-    /// The `seq_len` windows a stream evaluation runs on: every chunk of
-    /// `config.seq_len` tokens with at least two tokens (only the final chunk
-    /// can be shorter).
-    fn eval_windows<'a>(&self, stream: &'a [usize]) -> Vec<&'a [usize]> {
-        stream
-            .chunks(self.config.seq_len)
-            .filter(|w| w.len() >= 2)
-            .collect()
+    /// Fills `scratch.lens` with the lengths of the `seq_len` windows a
+    /// stream evaluation runs on: every chunk of `config.seq_len` tokens with
+    /// at least two tokens (only the final chunk can be shorter).  The kept
+    /// windows are a contiguous prefix of `stream`, so `lens` plus
+    /// `&stream[..lens.sum()]` fully describe the batch without building a
+    /// window slice vector.
+    fn eval_window_lens(&self, stream: &[usize], lens: &mut Vec<usize>) {
+        lens.clear();
+        lens.extend(
+            stream
+                .chunks(self.config.seq_len)
+                .filter(|w| w.len() >= 2)
+                .map(|w| w.len()),
+        );
     }
 
     /// Perplexity of the model on a token stream: `exp(mean cross-entropy)` of
     /// predicting token `t+1` from tokens `..=t`, evaluated in windows of
     /// `config.seq_len`.
     ///
-    /// All windows run as one [`ProxyTransformer::forward_batch`]; the result
-    /// is bit-identical to the per-window
-    /// [`ProxyTransformer::perplexity_reference`].
+    /// All windows run as one batched forward; the result is bit-identical
+    /// to the per-window [`ProxyTransformer::perplexity_reference`].
     ///
     /// # Panics
     ///
     /// Panics if the stream has fewer than two tokens.
     pub fn perplexity(&self, stream: &[usize]) -> f64 {
+        self.perplexity_scratch(stream, &mut ForwardScratch::new())
+    }
+
+    /// [`ProxyTransformer::perplexity`] through a caller-provided
+    /// [`ForwardScratch`]: on a warm scratch the whole evaluation performs
+    /// zero heap allocations.  Bit-identical to `perplexity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has fewer than two tokens.
+    pub fn perplexity_scratch(&self, stream: &[usize], scratch: &mut ForwardScratch) -> f64 {
         assert!(stream.len() >= 2, "perplexity needs at least two tokens");
-        let windows = self.eval_windows(stream);
+        let mut lens = std::mem::take(&mut scratch.lens);
+        self.eval_window_lens(stream, &mut lens);
         let mut total_nll = 0.0;
         let mut count = 0usize;
-        if !windows.is_empty() {
-            let logits = self.forward_batch(&windows);
+        if !lens.is_empty() {
+            let total: usize = lens.iter().sum();
+            self.forward_windows_scratch(&stream[..total], &lens, None, scratch);
             let mut base = 0;
-            for window in &windows {
-                for t in 0..window.len() - 1 {
-                    let probs = softmax_with_temperature(logits.row(base + t), 1.0);
-                    let target = window[t + 1];
-                    total_nll -= probs[target].max(1e-12).ln();
+            for &len in &lens {
+                for t in 0..len - 1 {
+                    softmax_with_temperature_into(
+                        scratch.logits.row(base + t),
+                        1.0,
+                        &mut scratch.probs,
+                    );
+                    let target = stream[base + t + 1];
+                    total_nll -= scratch.probs[target].max(1e-12).ln();
                     count += 1;
                 }
-                base += window.len();
+                base += len;
             }
         }
+        scratch.lens = lens;
         (total_nll / count.max(1) as f64).exp()
     }
 
@@ -666,20 +867,32 @@ impl ProxyTransformer {
     /// forward, bit-identical to the per-window
     /// [`ProxyTransformer::greedy_predictions_reference`].
     pub fn greedy_predictions(&self, stream: &[usize]) -> Vec<usize> {
-        let windows = self.eval_windows(stream);
-        let mut preds = Vec::new();
-        if windows.is_empty() {
-            return preds;
-        }
-        let logits = self.forward_batch(&windows);
-        let mut base = 0;
-        for window in &windows {
-            for t in 0..window.len() - 1 {
-                preds.push(argmax(logits.row(base + t)));
+        let mut scratch = ForwardScratch::new();
+        self.greedy_predictions_into(stream, &mut scratch);
+        std::mem::take(&mut scratch.preds)
+    }
+
+    /// [`ProxyTransformer::greedy_predictions`] through a caller-provided
+    /// scratch; the predictions are left in `scratch.preds` (zero heap
+    /// allocations on a warm scratch).
+    fn greedy_predictions_into(&self, stream: &[usize], scratch: &mut ForwardScratch) {
+        let mut preds = std::mem::take(&mut scratch.preds);
+        let mut lens = std::mem::take(&mut scratch.lens);
+        preds.clear();
+        self.eval_window_lens(stream, &mut lens);
+        if !lens.is_empty() {
+            let total: usize = lens.iter().sum();
+            self.forward_windows_scratch(&stream[..total], &lens, None, scratch);
+            let mut base = 0;
+            for &len in &lens {
+                for t in 0..len - 1 {
+                    preds.push(argmax(scratch.logits.row(base + t)));
+                }
+                base += len;
             }
-            base += window.len();
         }
-        preds
+        scratch.preds = preds;
+        scratch.lens = lens;
     }
 
     /// Per-window reference implementation of
@@ -708,8 +921,29 @@ impl ProxyTransformer {
     /// Panics if the stream has fewer than two tokens or the prediction count
     /// does not match the stream's windowing.
     pub fn argmax_agreement_with(&self, reference_predictions: &[usize], stream: &[usize]) -> f64 {
+        self.argmax_agreement_with_scratch(
+            reference_predictions,
+            stream,
+            &mut ForwardScratch::new(),
+        )
+    }
+
+    /// [`ProxyTransformer::argmax_agreement_with`] through a caller-provided
+    /// scratch (zero heap allocations on a warm scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has fewer than two tokens or the prediction count
+    /// does not match the stream's windowing.
+    pub fn argmax_agreement_with_scratch(
+        &self,
+        reference_predictions: &[usize],
+        stream: &[usize],
+        scratch: &mut ForwardScratch,
+    ) -> f64 {
         assert!(stream.len() >= 2, "agreement needs at least two tokens");
-        let ours = self.greedy_predictions(stream);
+        self.greedy_predictions_into(stream, scratch);
+        let ours = &scratch.preds;
         assert_eq!(
             ours.len(),
             reference_predictions.len(),
@@ -756,24 +990,43 @@ fn quantize_activation(m: &Matrix, bits: u8) -> Matrix {
 /// [`quantize_activation`] applied independently to each window segment of a
 /// stacked batch: rows `start..start + len` form one activation *tensor* with
 /// its own absmax, exactly as if the windows ran as separate forwards.
+#[cfg(test)]
 fn quantize_activation_segmented(m: &Matrix, bits: u8, lens: &[usize]) -> Matrix {
     let mut out = m.clone();
+    quantize_activation_segmented_inplace(&mut out, bits, lens);
+    out
+}
+
+/// In-place [`quantize_activation_segmented`]: the per-segment absmax fold
+/// and quantization map run directly on `m`'s storage.  The hot path — the
+/// clone the historical copy-then-quantize formulation paid per layer stage
+/// is gone; the arithmetic and element order are unchanged.
+fn quantize_activation_segmented_inplace(m: &mut Matrix, bits: u8, lens: &[usize]) {
     let cols = m.cols();
     let mut start = 0;
     for &len in lens {
         quantize_activation_slice(
-            &mut out.as_mut_slice()[start * cols..(start + len) * cols],
+            &mut m.as_mut_slice()[start * cols..(start + len) * cols],
             bits,
         );
         start += len;
     }
-    out
 }
 
 /// RMS normalization over the last dimension (no learned scale).
+#[cfg(test)]
 fn rms_norm(x: &Matrix) -> Matrix {
-    let mut out = x.clone();
+    let mut out = Matrix::default();
+    rms_norm_into(x, &mut out);
+    out
+}
+
+/// [`rms_norm`] writing into caller-provided storage (reshaped, capacity
+/// reused).  Bit-identical: the per-row mean square accumulates in the same
+/// `f64` order and every output element is written.
+fn rms_norm_into(x: &Matrix, out: &mut Matrix) {
     let cols = x.cols();
+    out.reset(x.rows(), cols);
     for r in 0..x.rows() {
         let row = x.row(r);
         let ms = row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / cols as f64;
@@ -782,15 +1035,24 @@ fn rms_norm(x: &Matrix) -> Matrix {
             *o = (v as f64 * inv) as f32;
         }
     }
-    out
 }
 
 /// [`rms_norm`] of a single row (same accumulation order and arithmetic),
 /// for the last-position-only generation path.
+#[cfg(test)]
 fn rms_norm_row(row: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    rms_norm_row_into(row, &mut out);
+    out
+}
+
+/// [`rms_norm_row`] writing into caller-provided storage (cleared, capacity
+/// reused).
+fn rms_norm_row_into(row: &[f32], out: &mut Vec<f32>) {
     let ms = row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / row.len() as f64;
     let inv = 1.0 / (ms + 1e-6).sqrt();
-    row.iter().map(|&v| (v as f64 * inv) as f32).collect()
+    out.clear();
+    out.extend(row.iter().map(|&v| (v as f64 * inv) as f32));
 }
 
 /// SiLU activation.
@@ -817,6 +1079,7 @@ fn causal_attention(q: &Matrix, k: &Matrix, v: &Matrix, heads: usize) -> Matrix 
 /// computes four `s` positions' dots concurrently for instruction-level
 /// parallelism; each dot keeps its own accumulator fed in ascending-`d`
 /// order, so this interleaving reorders nothing within any one reduction.
+#[cfg(test)]
 fn causal_attention_segmented(
     q: &Matrix,
     k: &Matrix,
@@ -824,12 +1087,35 @@ fn causal_attention_segmented(
     heads: usize,
     lens: &[usize],
 ) -> Matrix {
+    let mut out = Matrix::default();
+    let mut weights = Vec::new();
+    let mut acc = Vec::new();
+    causal_attention_segmented_into(q, k, v, heads, lens, &mut out, &mut weights, &mut acc);
+    out
+}
+
+/// [`causal_attention_segmented`] writing into caller-provided storage:
+/// `out` is reshaped (capacity reused), `weights`/`acc` are the score and
+/// weighted-value buffers the kernel already reused across positions and
+/// heads — now owned by the caller's scratch so consecutive forwards reuse
+/// them too.  Bit-identical to the allocating wrapper.
+#[allow(clippy::too_many_arguments)]
+fn causal_attention_segmented_into(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    heads: usize,
+    lens: &[usize],
+    out: &mut Matrix,
+    weights: &mut Vec<f64>,
+    acc: &mut Vec<f64>,
+) {
     let hidden = q.cols();
     let head_dim = hidden / heads;
     let scale = 1.0 / (head_dim as f64).sqrt();
-    let mut out = Matrix::zeros(q.rows(), hidden);
-    let mut weights: Vec<f64> = Vec::new();
-    let mut acc: Vec<f64> = vec![0.0; head_dim];
+    out.reset(q.rows(), hidden);
+    acc.clear();
+    acc.resize(head_dim, 0.0);
     let mut base = 0;
     for &seq in lens {
         for h in 0..heads {
@@ -866,11 +1152,11 @@ fn causal_attention_segmented(
                     s += 1;
                 }
                 let maxs = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                for w in &mut weights {
+                for w in weights.iter_mut() {
                     *w = (*w - maxs).exp();
                 }
                 let sum: f64 = weights.iter().sum();
-                for w in &mut weights {
+                for w in weights.iter_mut() {
                     *w /= sum;
                 }
                 // Weighted value sum: s-major loops with one f64 accumulator
@@ -890,17 +1176,28 @@ fn causal_attention_segmented(
         }
         base += seq;
     }
-    out
 }
 
 fn softmax_with_temperature(logits: &[f32], temperature: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    softmax_with_temperature_into(logits, temperature, &mut out);
+    out
+}
+
+/// [`softmax_with_temperature`] writing into caller-provided storage
+/// (cleared, capacity reused).  Same exp/normalize arithmetic and order.
+fn softmax_with_temperature_into(logits: &[f32], temperature: f64, out: &mut Vec<f64>) {
     let maxv = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
-    let exps: Vec<f64> = logits
-        .iter()
-        .map(|&l| ((l as f64 - maxv) / temperature).exp())
-        .collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    out.clear();
+    out.extend(
+        logits
+            .iter()
+            .map(|&l| ((l as f64 - maxv) / temperature).exp()),
+    );
+    let sum: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
 }
 
 fn sample_from(probs: &[f64], rng: &mut SeededRng) -> usize {
@@ -1039,6 +1336,60 @@ mod tests {
             let w = m.layer_weight(*id);
             assert_eq!(acts.cols(), w.cols(), "{id:?} activation width mismatch");
             assert_eq!(acts.rows(), 4);
+        }
+    }
+
+    #[test]
+    fn in_place_norms_match_allocating_reference() {
+        let mut rng = SeededRng::new(0xA110C);
+        let x = Matrix::from_vec(
+            7,
+            12,
+            (0..7 * 12).map(|_| rng.standard_normal() as f32).collect(),
+        );
+        let mut out = Matrix::default();
+        // Reuse one output buffer (including oversized capacity from the
+        // first call) and require bit-identity with the allocating form.
+        for rows in [7, 3, 7] {
+            let view = x.top_rows(rows);
+            rms_norm_into(&view, &mut out);
+            let reference = rms_norm(&view);
+            assert_eq!(out.as_slice(), reference.as_slice());
+        }
+        let mut row_out = Vec::new();
+        for r in 0..x.rows() {
+            rms_norm_row_into(x.row(r), &mut row_out);
+            assert_eq!(row_out, rms_norm_row(x.row(r)));
+        }
+    }
+
+    #[test]
+    fn capture_aliases_shared_activations() {
+        // Q/K/V read one norm, Gate/Up another: each layer snapshots four
+        // matrices, not seven.  The entries alias via `Arc`.
+        let m = tiny_model(12);
+        let (_, captured) = m.forward_with_capture(&[1, 2, 3, 4]);
+        let by_kind = |layer: usize, kind: LinearKind| -> &Arc<Matrix> {
+            captured
+                .iter()
+                .find(|(id, _)| *id == LinearId { layer, kind })
+                .map(|(_, m)| m)
+                .expect("captured")
+        };
+        for layer in 0..m.config.layers {
+            let q = by_kind(layer, LinearKind::Query);
+            assert!(Arc::ptr_eq(q, by_kind(layer, LinearKind::Key)));
+            assert!(Arc::ptr_eq(q, by_kind(layer, LinearKind::Value)));
+            let gate = by_kind(layer, LinearKind::Gate);
+            assert!(Arc::ptr_eq(gate, by_kind(layer, LinearKind::Up)));
+            assert!(!Arc::ptr_eq(q, gate));
+            assert!(!Arc::ptr_eq(q, by_kind(layer, LinearKind::Output)));
+            let distinct = captured
+                .iter()
+                .filter(|(id, _)| id.layer == layer)
+                .map(|(_, m)| Arc::as_ptr(m))
+                .collect::<std::collections::HashSet<_>>();
+            assert_eq!(distinct.len(), 4);
         }
     }
 

@@ -22,8 +22,8 @@ use crate::config::{QuantConfig, QuantMethod, ScaleDtype};
 use crate::granularity::Granularity;
 use crate::scale_quant::quantize_scales;
 use crate::slice::{
-    quantize_codebook, quantize_codebook_with_scale, quantize_int_asymmetric,
-    quantize_int_symmetric, quantize_int_symmetric_with_scale,
+    quantize_codebook_into, quantize_codebook_with_scale_into, quantize_int_asymmetric_into,
+    quantize_int_symmetric_into, quantize_int_symmetric_with_scale_into,
 };
 use bitmod_dtypes::olive;
 use bitmod_tensor::{f16::round_to_f16, stats, Matrix};
@@ -102,22 +102,34 @@ pub fn quantize_matrix(w: &Matrix, cfg: &QuantConfig) -> QuantizedMatrix {
 fn quantize_sliced(w: &Matrix, cfg: &QuantConfig) -> (Matrix, Vec<u8>, Vec<f32>) {
     match cfg.granularity {
         Granularity::PerTensor => {
-            let (rec, sel, scales) = quantize_slice_set(&[w.as_slice()], cfg);
-            let rec_matrix = Matrix::from_vec(w.rows(), w.cols(), rec.into_iter().next().unwrap());
-            (rec_matrix, sel, scales)
+            let mut rec = vec![0.0; w.as_slice().len()];
+            let mut sel = Vec::new();
+            let mut scales = Vec::new();
+            quantize_slice_set_into(
+                w.as_slice(),
+                rec.len(),
+                cfg,
+                &mut rec,
+                &mut sel,
+                &mut scales,
+            );
+            (Matrix::from_vec(w.rows(), w.cols(), rec), sel, scales)
         }
         Granularity::PerChannel | Granularity::PerGroup(_) => {
             let group = cfg.granularity.group_size_or(w.cols());
-            // Process rows in parallel; each row produces its reconstruction,
-            // selectors and scales.  Groups are borrowed straight out of the
-            // row — no per-group copies.
+            // Process rows in parallel; each row quantizes its groups straight
+            // into one flat reconstruction buffer (a single allocation per
+            // row, not one per group plus a concat).  Groups are borrowed
+            // straight out of the row — no per-group copies.
             let per_row: Vec<(Vec<f32>, Vec<u8>, Vec<f32>)> = (0..w.rows())
                 .into_par_iter()
                 .map(|r| {
                     let row = w.row(r);
-                    let slices: Vec<&[f32]> = row.chunks(group).collect();
-                    let (recs, sels, scales) = quantize_slice_set(&slices, cfg);
-                    (recs.concat(), sels, scales)
+                    let mut rec = vec![0.0; row.len()];
+                    let mut sels = Vec::new();
+                    let mut scales = Vec::new();
+                    quantize_slice_set_into(row, group, cfg, &mut rec, &mut sels, &mut scales);
+                    (rec, sels, scales)
                 })
                 .collect();
             let mut rec = Matrix::zeros(w.rows(), w.cols());
@@ -133,118 +145,123 @@ fn quantize_sliced(w: &Matrix, cfg: &QuantConfig) -> (Matrix, Vec<u8>, Vec<f32>)
     }
 }
 
-/// Quantizes a set of slices that share a second-level scale-quantization
-/// domain (i.e. the groups of one channel).  Returns per-slice
-/// reconstructions, BitMoD selectors and final scales.
-fn quantize_slice_set(slices: &[&[f32]], cfg: &QuantConfig) -> (Vec<Vec<f32>>, Vec<u8>, Vec<f32>) {
+/// Quantizes the `group`-sized slices of `values` (one second-level
+/// scale-quantization domain, i.e. the groups of one channel), writing the
+/// reconstructions into the matching regions of the flat `rec` buffer and
+/// appending BitMoD selectors and final scales.  The in-place `_into` slice
+/// quantizers keep the group loop free of per-group reconstruction
+/// allocations; only the adaptive searches (BitMoD/ANT/OliVe) still allocate
+/// inside their candidate scoring.
+fn quantize_slice_set_into(
+    values: &[f32],
+    group: usize,
+    cfg: &QuantConfig,
+    rec: &mut [f32],
+    selectors: &mut Vec<u8>,
+    scales: &mut Vec<f32>,
+) {
     use std::borrow::Cow;
 
-    // First pass: quantize each slice with its natural (FP32) scale.
-    let mut recs: Vec<Vec<f32>> = Vec::with_capacity(slices.len());
-    let mut selectors: Vec<u8> = Vec::new();
-    let mut nat_scales: Vec<f32> = Vec::with_capacity(slices.len());
+    assert_eq!(rec.len(), values.len(), "reconstruction buffer mismatch");
+    let scales_base = scales.len();
     // Remember per-slice codebooks for the re-scale pass; borrowed from the
     // config (Fixed) or the precomputed family grids (BitMoD) where possible.
-    let mut codebooks: Vec<Option<Cow<'_, bitmod_dtypes::Codebook>>> =
-        Vec::with_capacity(slices.len());
+    // Only that pass reads them, so the plain FP16-scale path skips the
+    // bookkeeping entirely.
+    let needs_rescale = matches!(cfg.scale_dtype, ScaleDtype::Int(_));
+    let mut codebooks: Vec<Option<Cow<'_, bitmod_dtypes::Codebook>>> = Vec::new();
 
-    for &slice in slices {
+    // First pass: quantize each slice with its natural (FP32) scale.
+    let mut start = 0;
+    for slice in values.chunks(group) {
+        let out = &mut rec[start..start + slice.len()];
+        let mut codebook = None;
         match &cfg.method {
             QuantMethod::IntSym { bits } => {
-                let q = quantize_int_symmetric(slice, *bits);
-                nat_scales.push(q.scale);
-                recs.push(q.reconstructed);
-                codebooks.push(None);
+                scales.push(quantize_int_symmetric_into(slice, *bits, out));
             }
             QuantMethod::IntAsym { bits } => {
-                let q = quantize_int_asymmetric(slice, *bits);
-                nat_scales.push(q.scale);
-                recs.push(q.reconstructed);
-                codebooks.push(None);
+                let (scale, _) = quantize_int_asymmetric_into(slice, *bits, out);
+                scales.push(scale);
             }
-            QuantMethod::Fixed { codebook, .. } => {
-                let q = quantize_codebook(slice, codebook);
-                nat_scales.push(q.scale);
-                recs.push(q.reconstructed);
-                codebooks.push(Some(Cow::Borrowed(codebook)));
+            QuantMethod::Fixed { codebook: cb, .. } => {
+                scales.push(quantize_codebook_into(slice, cb, out));
+                codebook = Some(Cow::Borrowed(cb));
             }
             QuantMethod::BitMod { family } => {
                 let g = adaptive_quantize_group(slice, family);
-                nat_scales.push(g.quant.scale);
-                recs.push(g.quant.reconstructed);
+                out.copy_from_slice(&g.quant.reconstructed);
+                scales.push(g.quant.scale);
                 selectors.push(g.special.selector);
-                codebooks.push(Some(Cow::Borrowed(
-                    family.extended_codebook(g.special.selector),
-                )));
+                codebook = Some(Cow::Borrowed(family.extended_codebook(g.special.selector)));
             }
             QuantMethod::Ant { bits } => {
                 let (best, _) = bitmod_dtypes::ant::select_best(slice, *bits);
-                let q = quantize_codebook(slice, &best);
-                nat_scales.push(q.scale);
-                recs.push(q.reconstructed);
-                codebooks.push(Some(Cow::Owned(best)));
+                scales.push(quantize_codebook_into(slice, &best, out));
+                codebook = Some(Cow::Owned(best));
             }
             QuantMethod::Olive { bits } => {
-                let (rec, scale) = quantize_olive_slice(slice, *bits);
-                nat_scales.push(scale);
-                recs.push(rec);
-                codebooks.push(None);
+                let (olive_rec, scale) = quantize_olive_slice(slice, *bits);
+                out.copy_from_slice(&olive_rec);
+                scales.push(scale);
             }
             QuantMethod::Mx { .. } | QuantMethod::Fp16 => {
                 unreachable!("handled by quantize_matrix directly")
             }
         }
+        if needs_rescale {
+            codebooks.push(codebook);
+        }
+        start += slice.len();
     }
 
     // Second pass: if the scaling factors themselves are quantized (VS-Quant /
     // Section III-C), re-quantize every slice with its reconstructed scale.
     if let ScaleDtype::Int(bits) = cfg.scale_dtype {
-        let qs = quantize_scales(&nat_scales, bits);
-        for (i, slice) in slices.iter().enumerate() {
+        let qs = quantize_scales(&scales[scales_base..], bits);
+        let mut start = 0;
+        for (i, slice) in values.chunks(group).enumerate() {
             let new_scale = qs.reconstructed[i];
-            let rec = match &cfg.method {
+            let out = &mut rec[start..start + slice.len()];
+            match &cfg.method {
                 QuantMethod::IntSym { bits } => {
-                    quantize_int_symmetric_with_scale(slice, *bits, new_scale).reconstructed
+                    quantize_int_symmetric_with_scale_into(slice, *bits, new_scale, out);
                 }
                 QuantMethod::IntAsym { bits } => {
                     // Keep the zero point in full precision (prior works store
                     // an 8-bit zero point; its quantization is not the paper's
                     // focus) but apply the integer-quantized scale.
-                    requantize_asym_with_scale(slice, *bits, new_scale)
+                    requantize_asym_with_scale_into(slice, *bits, new_scale, out);
                 }
                 QuantMethod::Olive { bits } => {
-                    let (rec, _) = quantize_olive_slice_with_scale(slice, *bits, new_scale);
-                    rec
+                    let (olive_rec, _) = quantize_olive_slice_with_scale(slice, *bits, new_scale);
+                    out.copy_from_slice(&olive_rec);
                 }
                 _ => {
                     let cb = codebooks[i]
                         .as_ref()
                         .expect("codebook-based methods recorded their codebook");
-                    quantize_codebook_with_scale(slice, cb, new_scale).reconstructed
+                    quantize_codebook_with_scale_into(slice, cb, new_scale, out);
                 }
-            };
-            recs[i] = rec;
-            nat_scales[i] = new_scale;
+            }
+            scales[scales_base + i] = new_scale;
+            start += slice.len();
         }
     }
-
-    (recs, selectors, nat_scales)
 }
 
-fn requantize_asym_with_scale(slice: &[f32], bits: u8, scale: f32) -> Vec<f32> {
+fn requantize_asym_with_scale_into(slice: &[f32], bits: u8, scale: f32, out: &mut [f32]) {
     if scale <= 0.0 {
-        return vec![0.0; slice.len()];
+        out.fill(0.0);
+        return;
     }
     let qmax = bitmod_dtypes::int::asymmetric_qmax(bits) as f32;
     let lo = slice.iter().copied().fold(f32::INFINITY, f32::min).min(0.0);
     let zero_point = (-lo / scale).round();
-    slice
-        .iter()
-        .map(|&x| {
-            let q = (x / scale + zero_point).round().clamp(0.0, qmax);
-            (q - zero_point) * scale
-        })
-        .collect()
+    for (o, &x) in out.iter_mut().zip(slice) {
+        let q = (x / scale + zero_point).round().clamp(0.0, qmax);
+        *o = (q - zero_point) * scale;
+    }
 }
 
 /// OliVe quantization of one slice: the scale is calibrated on the

@@ -45,13 +45,8 @@ pub struct SliceQuant {
 ///
 /// Panics if `bits < 2` or `bits > 16`.
 pub fn quantize_int_symmetric(values: &[f32], bits: u8) -> SliceQuant {
-    let qmax = symmetric_qmax(bits) as f32;
-    let absmax = stats::absmax(values);
-    let scale = if absmax > 0.0 { absmax / qmax } else { 1.0 };
-    let reconstructed: Vec<f32> = values
-        .iter()
-        .map(|&x| (x / scale).round().clamp(-qmax, qmax) * scale)
-        .collect();
+    let mut reconstructed = vec![0.0; values.len()];
+    let scale = quantize_int_symmetric_into(values, bits, &mut reconstructed);
     let mse = stats::mse(values, &reconstructed);
     SliceQuant {
         reconstructed,
@@ -59,6 +54,26 @@ pub fn quantize_int_symmetric(values: &[f32], bits: u8) -> SliceQuant {
         zero_point: 0.0,
         mse,
     }
+}
+
+/// [`quantize_int_symmetric`] writing the reconstruction into
+/// caller-provided storage (`out.len() == values.len()`, fully overwritten);
+/// returns the scale.  The group loops of the matrix engine use these
+/// `_into` variants so one flat row buffer replaces a reconstruction
+/// allocation per group.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()` or `bits` is out of range.
+pub fn quantize_int_symmetric_into(values: &[f32], bits: u8, out: &mut [f32]) -> f32 {
+    assert_eq!(out.len(), values.len(), "output buffer length mismatch");
+    let qmax = symmetric_qmax(bits) as f32;
+    let absmax = stats::absmax(values);
+    let scale = if absmax > 0.0 { absmax / qmax } else { 1.0 };
+    for (o, &x) in out.iter_mut().zip(values) {
+        *o = (x / scale).round().clamp(-qmax, qmax) * scale;
+    }
+    scale
 }
 
 /// Asymmetric integer quantization (Eq. 2):
@@ -69,14 +84,28 @@ pub fn quantize_int_symmetric(values: &[f32], bits: u8) -> SliceQuant {
 ///
 /// Panics if `bits` is 0 or greater than 16.
 pub fn quantize_int_asymmetric(values: &[f32], bits: u8) -> SliceQuant {
+    let mut reconstructed = vec![0.0; values.len()];
+    let (scale, zero_point) = quantize_int_asymmetric_into(values, bits, &mut reconstructed);
+    let mse = stats::mse(values, &reconstructed);
+    SliceQuant {
+        reconstructed,
+        scale,
+        zero_point,
+        mse,
+    }
+}
+
+/// [`quantize_int_asymmetric`] writing the reconstruction into
+/// caller-provided storage; returns `(scale, zero_point)`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()` or `bits` is out of range.
+pub fn quantize_int_asymmetric_into(values: &[f32], bits: u8, out: &mut [f32]) -> (f32, f32) {
+    assert_eq!(out.len(), values.len(), "output buffer length mismatch");
     let qmax = asymmetric_qmax(bits) as f32;
     if values.is_empty() {
-        return SliceQuant {
-            reconstructed: Vec::new(),
-            scale: 1.0,
-            zero_point: 0.0,
-            mse: 0.0,
-        };
+        return (1.0, 0.0);
     }
     // Single fused pass over the slice for both extrema (previously two
     // separate folds); the grid must always contain zero (Eq. 2).
@@ -89,20 +118,11 @@ pub fn quantize_int_asymmetric(values: &[f32], bits: u8) -> SliceQuant {
     let range = hi - lo;
     let scale = if range > 0.0 { range / qmax } else { 1.0 };
     let zero_point = (-lo / scale).round();
-    let reconstructed: Vec<f32> = values
-        .iter()
-        .map(|&x| {
-            let q = (x / scale + zero_point).round().clamp(0.0, qmax);
-            (q - zero_point) * scale
-        })
-        .collect();
-    let mse = stats::mse(values, &reconstructed);
-    SliceQuant {
-        reconstructed,
-        scale,
-        zero_point,
-        mse,
+    for (o, &x) in out.iter_mut().zip(values) {
+        let q = (x / scale + zero_point).round().clamp(0.0, qmax);
+        *o = (q - zero_point) * scale;
     }
+    (scale, zero_point)
 }
 
 /// Non-linear codebook quantization with an absmax-calibrated scale: the
@@ -110,12 +130,8 @@ pub fn quantize_int_asymmetric(values: &[f32], bits: u8) -> SliceQuant {
 /// every element is divided by the scale, snapped to the nearest codebook
 /// value, and multiplied back.
 pub fn quantize_codebook(values: &[f32], codebook: &Codebook) -> SliceQuant {
-    let absmax = stats::absmax(values);
-    let scale = codebook_scale(absmax, codebook);
-    let reconstructed: Vec<f32> = values
-        .iter()
-        .map(|&x| codebook.quantize(x / scale) * scale)
-        .collect();
+    let mut reconstructed = vec![0.0; values.len()];
+    let scale = quantize_codebook_into(values, codebook, &mut reconstructed);
     let mse = stats::mse(values, &reconstructed);
     SliceQuant {
         reconstructed,
@@ -123,6 +139,22 @@ pub fn quantize_codebook(values: &[f32], codebook: &Codebook) -> SliceQuant {
         zero_point: 0.0,
         mse,
     }
+}
+
+/// [`quantize_codebook`] writing the reconstruction into caller-provided
+/// storage; returns the absmax-calibrated scale.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()`.
+pub fn quantize_codebook_into(values: &[f32], codebook: &Codebook, out: &mut [f32]) -> f32 {
+    assert_eq!(out.len(), values.len(), "output buffer length mismatch");
+    let absmax = stats::absmax(values);
+    let scale = codebook_scale(absmax, codebook);
+    for (o, &x) in out.iter_mut().zip(values) {
+        *o = codebook.quantize(x / scale) * scale;
+    }
+    scale
 }
 
 /// Stack-buffer chunk width of the allocation-free MSE scans.  A quarter of
@@ -217,22 +249,36 @@ pub fn codebook_scale(absmax: f32, codebook: &Codebook) -> f32 {
 /// Non-linear codebook quantization with an explicit scale (used when the
 /// scale itself has been quantized or optimized by a calibration search).
 pub fn quantize_codebook_with_scale(values: &[f32], codebook: &Codebook, scale: f32) -> SliceQuant {
-    let reconstructed: Vec<f32> = values
-        .iter()
-        .map(|&x| {
-            if scale > 0.0 {
-                codebook.quantize(x / scale) * scale
-            } else {
-                0.0
-            }
-        })
-        .collect();
+    let mut reconstructed = vec![0.0; values.len()];
+    quantize_codebook_with_scale_into(values, codebook, scale, &mut reconstructed);
     let mse = stats::mse(values, &reconstructed);
     SliceQuant {
         reconstructed,
         scale,
         zero_point: 0.0,
         mse,
+    }
+}
+
+/// [`quantize_codebook_with_scale`] writing the reconstruction into
+/// caller-provided storage.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()`.
+pub fn quantize_codebook_with_scale_into(
+    values: &[f32],
+    codebook: &Codebook,
+    scale: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), values.len(), "output buffer length mismatch");
+    for (o, &x) in out.iter_mut().zip(values) {
+        *o = if scale > 0.0 {
+            codebook.quantize(x / scale) * scale
+        } else {
+            0.0
+        };
     }
 }
 
@@ -243,23 +289,37 @@ pub fn quantize_codebook_with_scale(values: &[f32], codebook: &Codebook, scale: 
 ///
 /// Panics if `bits < 2` or `bits > 16`.
 pub fn quantize_int_symmetric_with_scale(values: &[f32], bits: u8, scale: f32) -> SliceQuant {
-    let qmax = symmetric_qmax(bits) as f32;
-    let reconstructed: Vec<f32> = values
-        .iter()
-        .map(|&x| {
-            if scale > 0.0 {
-                (x / scale).round().clamp(-qmax, qmax) * scale
-            } else {
-                0.0
-            }
-        })
-        .collect();
+    let mut reconstructed = vec![0.0; values.len()];
+    quantize_int_symmetric_with_scale_into(values, bits, scale, &mut reconstructed);
     let mse = stats::mse(values, &reconstructed);
     SliceQuant {
         reconstructed,
         scale,
         zero_point: 0.0,
         mse,
+    }
+}
+
+/// [`quantize_int_symmetric_with_scale`] writing the reconstruction into
+/// caller-provided storage.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()` or `bits` is out of range.
+pub fn quantize_int_symmetric_with_scale_into(
+    values: &[f32],
+    bits: u8,
+    scale: f32,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), values.len(), "output buffer length mismatch");
+    let qmax = symmetric_qmax(bits) as f32;
+    for (o, &x) in out.iter_mut().zip(values) {
+        *o = if scale > 0.0 {
+            (x / scale).round().clamp(-qmax, qmax) * scale
+        } else {
+            0.0
+        };
     }
 }
 

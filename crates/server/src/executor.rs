@@ -20,6 +20,13 @@
 //! In-process executors consult the coordinator's daemon-lifetime
 //! [`bitmod::sweep::SweepAlgoCache`]; each remote worker process keeps its
 //! own, so algorithm sides are computed once per process either way.
+//!
+//! Harnesses pooled here also pool their forward workspaces: every
+//! `EvalHarness` owns a `ForwardScratch` pool, so once a daemon's harness
+//! is warm, repeated point evaluations through it are allocation-free in
+//! steady state (see `docs/PERFORMANCE.md`, "Memory traffic & scratch
+//! arenas") — long-running daemons stop touching the heap on the hot path
+//! rather than churning it per point.
 
 use crate::coordinator::Coordinator;
 use bitmod::shard::{run_partial_shard_cached, ShardSpec};

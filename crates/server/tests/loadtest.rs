@@ -43,6 +43,7 @@ fn load_cfg(addr: String) -> LoadConfig {
         mix: [3, 2, 1],
         overlap: 0.5,
         tiny_proxy: true,
+        closed_loop: None,
         ping_every: Duration::from_millis(20),
     }
 }
@@ -137,6 +138,42 @@ fn fixed_seed_load_is_deterministic_and_bit_identical() {
         ),
         "two fixed-seed runs must produce identical summaries"
     );
+}
+
+#[test]
+fn closed_loop_replay_matches_the_open_loop_run_bit_for_bit() {
+    // Same plan, opposite replay discipline: two fixed-concurrency workers
+    // pull jobs off the shared cursor instead of honoring arrival offsets.
+    // The grids submitted are identical, and the daemon's dedup/point-cache
+    // accounting is a function of the plan alone, so everything except the
+    // latency distributions must match the open-loop runs exactly.
+    let handle = Coordinator::start(CoordinatorConfig {
+        workers: 2,
+        shards: 2,
+        ..CoordinatorConfig::default()
+    });
+    let (addr, server) = listen(handle.coordinator());
+    let cfg = LoadConfig {
+        closed_loop: Some(2),
+        ..load_cfg(addr)
+    };
+    let report = loadgen::run(&cfg).expect("closed-loop run succeeds");
+    handle.coordinator().request_shutdown();
+    server.join().unwrap().unwrap();
+    handle.shutdown();
+
+    let expected = loadgen::plan(&cfg).expected();
+    assert_eq!(report.completed, cfg.jobs);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.deduped, expected.deduped);
+    assert_eq!(report.points_total, expected.points_total);
+    assert_eq!(report.points_cached, expected.points_cached);
+
+    // The fingerprint over index-ordered per-job record hashes equals the
+    // open-loop run's: the replay discipline changes *when* jobs are
+    // submitted, never *what* they compute.
+    let open = run_once();
+    assert_eq!(report.report_hash, open.report_hash);
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! A counting global allocator for allocation-audit tests and benchmarks.
+//!
+//! The workspace's steady-state claim — the N-th proxy forward on a warm
+//! harness performs **zero** heap allocations — is enforced by tests rather
+//! than asserted in comments.  This module provides the probe: a
+//! [`CountingAlloc`] that forwards to the system allocator while counting
+//! every allocation (and allocated byte) with relaxed atomics.
+//!
+//! The module is always compiled (it is a handful of atomics and has no
+//! dependencies) but is completely inert until a **binary** registers the
+//! probe as its global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: bitmod_tensor::alloc_probe::CountingAlloc =
+//!     bitmod_tensor::alloc_probe::CountingAlloc;
+//! ```
+//!
+//! The allocation-audit integration test and the `bitmod-cli` binary do so;
+//! library crates never pay the (two relaxed atomic increments per
+//! allocation) overhead unless linked into such a binary.
+//!
+//! Measure a region by differencing [`alloc_count`] before and after:
+//!
+//! ```
+//! use bitmod_tensor::alloc_probe::alloc_count;
+//!
+//! let before = alloc_count();
+//! // ... code under audit ...
+//! let allocs = alloc_count() - before; // 0 unless the probe is registered
+//! # let _ = allocs;
+//! ```
+//!
+//! Counters are process-wide, monotone and never reset, so concurrent
+//! threads' allocations show up in every observer's delta — run audits on a
+//! quiesced process (the gating test does).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts allocations.
+///
+/// Register it with `#[global_allocator]` in a binary to activate the
+/// [`alloc_count`] / [`alloc_bytes`] counters.  `realloc` counts as one
+/// allocation (it may move the block); `dealloc` is not counted — the probe
+/// tracks allocator *pressure*, not live-heap size.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System` for memory management; the counter
+// updates have no effect on allocator behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total number of heap allocations (`alloc` + `alloc_zeroed` + `realloc`
+/// calls) since process start.  Always `0` unless a [`CountingAlloc`] is
+/// registered as the global allocator.
+pub fn alloc_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Total number of bytes requested from the heap since process start.
+/// Always `0` unless a [`CountingAlloc`] is registered.
+pub fn alloc_bytes() -> u64 {
+    ALLOC_BYTES.load(Ordering::Relaxed)
+}
+
+/// `true` when the probe has observed at least one allocation — i.e. a
+/// [`CountingAlloc`] is registered in this process and something has
+/// allocated.  Lets shared reporting code (the bench harness) distinguish
+/// "zero allocations" from "probe not installed".
+pub fn probe_active() -> bool {
+    alloc_count() > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone() {
+        // The probe is not registered in unit tests; counters may be zero
+        // forever, but must never decrease.
+        let a = alloc_count();
+        let b = alloc_bytes();
+        let v: Vec<u64> = (0..64).collect();
+        assert!(alloc_count() >= a);
+        assert!(alloc_bytes() >= b);
+        drop(v);
+        assert!(alloc_count() >= a);
+    }
+}

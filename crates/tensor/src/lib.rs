@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc_probe;
 pub mod f16;
 pub mod matrix;
 pub mod rng;

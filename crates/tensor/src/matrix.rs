@@ -7,6 +7,7 @@
 //! dimension.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -15,6 +16,41 @@ use std::sync::OnceLock;
 /// independent `f32` accumulators fill a 256-bit SIMD register and hide
 /// FMA latency without spilling.
 const NT_PANEL: usize = 8;
+
+thread_local! {
+    /// Per-thread lane-major panel scratch shared by every `matmul_nt`
+    /// kernel invocation on this thread.  Grown monotonically to the largest
+    /// `k × NT_PANEL` any call needs and never shrunk, so steady-state
+    /// multiplications perform zero heap allocations.
+    static PANEL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Detaches this thread's panel scratch, grown to at least `len` elements.
+/// Pair with [`return_panel`].  The buffer's contents are unspecified on
+/// entry; every kernel fully overwrites the `k × nb` prefix it reads before
+/// reading it back, so reuse cannot change results.
+///
+/// Take/put-back (instead of holding a `RefCell` borrow across the kernel)
+/// keeps the hot loop free of borrow flags and sidesteps closure-inherited
+/// `#[target_feature]` subtleties in the SIMD kernels.
+fn take_panel(len: usize) -> Vec<f32> {
+    let mut buf = PANEL_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    buf
+}
+
+/// Returns a buffer obtained from [`take_panel`] to this thread's scratch
+/// slot, keeping whichever buffer is larger (growth is monotonic).
+fn return_panel(buf: Vec<f32>) {
+    PANEL_SCRATCH.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if buf.len() > slot.len() {
+            *slot = buf;
+        }
+    });
+}
 
 /// Which kernel implementation [`Matrix::matmul_nt`] dispatches to.
 ///
@@ -98,7 +134,7 @@ pub fn active_simd_backend() -> &'static str {
 /// assert_eq!(m.get(1, 0), 3.0);
 /// assert_eq!(m.row(0), &[1.0, 2.0]);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -137,6 +173,25 @@ impl Matrix {
         let mut m = Self::zeros(rows, cols);
         m.data.fill(value);
         m
+    }
+
+    /// Reshapes the matrix in place to `rows × cols`, discarding its
+    /// contents and zero-filling the new shape.  The existing heap buffer is
+    /// reused whenever its capacity suffices, so repeatedly resetting a
+    /// matrix to shapes no larger than its high-water mark performs no heap
+    /// allocation — the building block of the workspace's scratch arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(len, 0.0);
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -392,13 +447,34 @@ impl Matrix {
     ///
     /// Panics if the inner dimensions (`self.cols` vs `rhs.cols`) differ.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        };
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing into caller-provided storage.
+    ///
+    /// `out` is reshaped to `m × n`; its previous contents are discarded and
+    /// its heap buffer is reused whenever large enough, so steady-state
+    /// callers that keep `out` around perform zero heap allocations.  The
+    /// result is bit-identical to `matmul_nt` (which is now a thin wrapper
+    /// allocating a fresh `out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions (`self.cols` vs `rhs.cols`) differ.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, n) = (self.rows, rhs.rows);
-        let mut out = Matrix::zeros(m, n);
+        out.reset(m, n);
         // Row-block parallelism only when the product is big enough to
         // amortize the scheduler (and the per-block panel re-interleave);
         // small products and nested parallel regions run inline.
@@ -428,7 +504,6 @@ impl Matrix {
         } else {
             Self::matmul_nt_block(&self.data, self.cols, rhs, &mut out.data);
         }
-        out
     }
 
     /// Reference `matmul_nt`: always the scalar panel kernel, always
@@ -475,7 +550,7 @@ impl Matrix {
     fn matmul_nt_block_scalar(a: &[f32], k: usize, rhs: &Matrix, out: &mut [f32]) {
         const NB: usize = NT_PANEL;
         let n = rhs.rows;
-        let mut panel = vec![0.0f32; k * NB];
+        let mut panel = take_panel(k * NB);
         let mut j0 = 0;
         while j0 < n {
             let nb = (n - j0).min(NB);
@@ -513,6 +588,7 @@ impl Matrix {
             }
             j0 += nb;
         }
+        return_panel(panel);
     }
 
     /// AVX2 panel kernel.  Bit-identical to [`Matrix::matmul_nt_block_scalar`]:
@@ -551,7 +627,7 @@ impl Matrix {
             return Self::matmul_nt_block_scalar(a, k, rhs, out);
         }
         let m = a.len() / k;
-        let mut panel = vec![0.0f32; k * NB];
+        let mut panel = take_panel(k * NB);
         let mut j0 = 0;
         while j0 < n {
             let nb = (n - j0).min(NB);
@@ -615,6 +691,7 @@ impl Matrix {
             }
             j0 += nb;
         }
+        return_panel(panel);
     }
 
     /// NEON panel kernel.  Same bit-identity reasoning as the AVX2 kernel:
@@ -635,7 +712,7 @@ impl Matrix {
             return Self::matmul_nt_block_scalar(a, k, rhs, out);
         }
         let m = a.len() / k;
-        let mut panel = vec![0.0f32; k * NB];
+        let mut panel = take_panel(k * NB);
         let mut j0 = 0;
         while j0 < n {
             let nb = (n - j0).min(NB);
@@ -699,6 +776,7 @@ impl Matrix {
             }
             j0 += nb;
         }
+        return_panel(panel);
     }
 
     /// Matrix–vector product `self (m×k) * v (k) -> (m)`.
@@ -707,10 +785,25 @@ impl Matrix {
     ///
     /// Panics if `v.len() != cols`.
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec`] writing into caller-provided storage.  `out` is
+    /// cleared and refilled; its heap buffer is reused whenever large
+    /// enough.  Bit-identical to `matvec` (now a thin allocating wrapper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec_into(&self, v: &[f32], out: &mut Vec<f32>) {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
-        self.iter_rows()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        out.clear();
+        out.extend(
+            self.iter_rows()
+                .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum::<f32>()),
+        );
     }
 
     /// Element-wise map into a new matrix.
@@ -914,6 +1007,42 @@ mod tests {
             *v = ((state >> 8) as f32 / (1 << 24) as f32) * 4.0 - 2.0;
         }
         m
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_zero_fills() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let cap = m.data.capacity();
+        m.reset(1, 3);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.data.capacity(), cap, "smaller shape must not reallocate");
+    }
+
+    #[test]
+    fn matmul_nt_into_matches_with_reused_and_oversized_out() {
+        // One `out` buffer threaded through ascending and descending shapes:
+        // the reshape must discard stale contents and reuse capacity.
+        let mut out = Matrix::zeros(64, 64);
+        for &(m, k, n) in &[(4, 8, 8), (17, 5, 23), (1, 3, 9), (33, 12, 40)] {
+            let a = lcg_matrix(m, k, (m * 17 + k + n) as u32);
+            let b = lcg_matrix(n, k, (m + k * 5 + n) as u32);
+            a.matmul_nt_into(&b, &mut out);
+            let reference = a.matmul_nt_scalar(&b);
+            assert_eq!((out.rows(), out.cols()), (m, n));
+            for (x, y) in out.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "shape ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = lcg_matrix(7, 13, 99);
+        let v: Vec<f32> = a.row(3).to_vec();
+        let mut out = vec![f32::NAN; 32]; // stale, oversized
+        a.matvec_into(&v, &mut out);
+        assert_eq!(out, a.matvec(&v));
     }
 
     #[test]
